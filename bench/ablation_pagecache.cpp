@@ -1,0 +1,57 @@
+// Ablation A2 — how much usable page cache invalidates the premise?
+//
+// The paper's testbed has 384 GiB of RAM against a 138 GiB dataset, yet
+// training stays I/O-bound: the *usable* cache (after framework tensors,
+// decode workspace, co-tenants) is far smaller than the dataset. This
+// sweep varies the modeled usable cache as a fraction of the dataset and
+// shows where repeated epochs start hitting memory instead of the device
+// — and with it, where storage-layer optimizations stop mattering.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace prisma;
+using namespace prisma::bench;
+using namespace prisma::baselines;
+
+int main() {
+  const std::size_t scale = BenchScale();
+
+  PrintHeader("Ablation A2 — usable page cache vs training time (LeNet)");
+  std::printf("ImageNet/%zu, batch 256, 10 epochs\n", scale);
+
+  ExperimentConfig base;
+  base.model = sim::ModelProfile::LeNet();
+  base.global_batch = 256;
+  base.scale = scale;
+  base.seed = 1001;
+
+  const auto ds = MakeDataset(base);
+  const std::uint64_t dataset_bytes =
+      ds.train.TotalBytes() + ds.validation.TotalBytes();
+
+  std::printf("\n%10s | %13s | %13s | %10s\n", "cache", "TF baseline",
+              "PRISMA", "gain");
+  for (const double frac : {0.0, 0.25, 0.5, 0.9, 1.1}) {
+    ExperimentConfig cfg = base;
+    cfg.page_cache_bytes =
+        static_cast<std::uint64_t>(frac * static_cast<double>(dataset_bytes));
+    const auto baseline = RunTfBaseline(cfg);
+    const auto prisma = RunPrismaTf(cfg);
+    std::printf("%9.0f%% | %13.0f | %13.0f | %9.1f%%\n", frac * 100,
+                baseline.full_scale_estimate_s, prisma.full_scale_estimate_s,
+                ReductionPct(prisma.full_scale_estimate_s,
+                             baseline.full_scale_estimate_s));
+  }
+
+  PrintRule();
+  std::printf(
+      "reading: while the usable cache is well below the dataset size the\n"
+      "device serves (nearly) every epoch and PRISMA's benefit holds. Once\n"
+      "the whole dataset fits (>100%%), epochs 2+ run from memory, the\n"
+      "baseline collapses toward the optimized setups, and storage-layer\n"
+      "optimizations stop mattering — the regime the paper's setup (and\n"
+      "our default cache=0) deliberately avoids.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation A6 — optimized data formats: per-file reads vs record shards.
+//
+// The paper lists "optimized data formats (e.g., TFRecord)" among the
+// storage-backend optimizations a decoupled data plane should host (§II).
+// This bench quantifies why on the calibrated device model: one training
+// epoch ingested as (a) per-file random reads at several concurrency
+// levels vs (b) large sequential shard reads. Shards amortize the
+// per-request issue latency and ride the device's sequential bandwidth,
+// which is exactly the mechanism TFRecord exploits.
+//
+// Uses the analytic DeviceModel directly (no DES needed): ingest time =
+// sum of service times at the given steady-state concurrency.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "storage/device_model.hpp"
+
+using namespace prisma;
+using namespace prisma::bench;
+
+namespace {
+
+/// Epoch ingest time for n_requests of req_bytes each at concurrency c:
+/// every request is serviced at the shared per-stream rate, c at a time.
+double IngestSeconds(const storage::DeviceModel& model,
+                     std::uint64_t n_requests, std::uint64_t req_bytes,
+                     std::uint32_t c) {
+  const double per_request = ToSeconds(model.ServiceTime(req_bytes, c));
+  // c requests proceed in parallel: wall time = ceil(n/c) * service.
+  const double waves =
+      static_cast<double>((n_requests + c - 1) / c);
+  return waves * per_request;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t scale = BenchScale();
+  const std::uint64_t files = 1'281'167ull / scale;
+  const std::uint64_t mean_file = 113 * 1024;
+  const std::uint64_t total_bytes = files * mean_file;
+
+  const storage::DeviceModel model(storage::DeviceProfile::NvmeP4600());
+
+  PrintHeader("Ablation A6 — per-file reads vs record shards (one epoch)");
+  std::printf("%llu files x 113 KiB (ImageNet/%zu, %.1f GiB total)\n",
+              static_cast<unsigned long long>(files), scale,
+              static_cast<double>(total_bytes) / (1ull << 30));
+
+  std::printf("\nper-file random reads:\n  %12s %14s %14s\n", "concurrency",
+              "epoch (s)", "MB/s");
+  for (const std::uint32_t c : {1u, 4u, 8u, 30u}) {
+    const double secs = IngestSeconds(model, files, mean_file, c);
+    std::printf("  %12u %14.1f %14.0f\n", c, secs,
+                static_cast<double>(total_bytes) / secs / 1e6);
+  }
+
+  std::printf("\nrecord shards (single sequential reader):\n");
+  std::printf("  %12s %8s %13s %12s %12s\n", "shard size", "shards",
+              "epoch@c1 (s)", "vs file@c1", "vs file@c30");
+  const double file_c1 = IngestSeconds(model, files, mean_file, 1);
+  const double file_c30 = IngestSeconds(model, files, mean_file, 30);
+  for (const std::uint64_t shard_mib : {16ull, 64ull, 256ull, 1024ull}) {
+    const std::uint64_t shard_bytes = shard_mib << 20;
+    const std::uint64_t shards =
+        (total_bytes + shard_bytes - 1) / shard_bytes;
+    const double c1 = IngestSeconds(model, shards, shard_bytes, 1);
+    std::printf("  %9lluMiB %8llu %13.1f %11.1fx %11.1fx\n",
+                static_cast<unsigned long long>(shard_mib),
+                static_cast<unsigned long long>(shards), c1, file_c1 / c1,
+                file_c30 / c1);
+  }
+
+  PrintRule();
+  std::printf(
+      "reading: small per-file reads pay the ~80 us issue latency once per\n"
+      "sample and only reach device bandwidth at ~30 outstanding requests.\n"
+      "A SINGLE thread streaming 16-64 MiB shards matches that 30-thread\n"
+      "configuration (~2.6x faster than one random-read thread) — the\n"
+      "TFRecord effect, here as a stackable substrate: ShardedBackend\n"
+      "under PrefetchObject composes both optimizations with zero\n"
+      "framework changes (tests/record_format_test.cpp).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared helpers for the figure-reproduction benches: multi-seed runs
+// (the paper reports avg +/- stddev of 5 runs), simple aligned tables,
+// and paper-reference comparison rows.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/experiment.hpp"
+#include "common/stats.hpp"
+
+namespace prisma::bench {
+
+struct Summary {
+  double mean_s = 0.0;
+  double stddev_s = 0.0;
+  baselines::RunResult last;  // timelines/knobs of the final run
+};
+
+/// Runs `fn` with `runs` different seeds (paper methodology: 5 runs) and
+/// summarises the full-scale time estimates.
+inline Summary RunSeeds(
+    baselines::ExperimentConfig cfg, int runs,
+    const std::function<baselines::RunResult(const baselines::ExperimentConfig&)>&
+        fn) {
+  RunningStats stats;
+  Summary out;
+  for (int i = 0; i < runs; ++i) {
+    cfg.seed = 1000 + static_cast<std::uint64_t>(i);
+    out.last = fn(cfg);
+    stats.Add(out.last.full_scale_estimate_s);
+  }
+  out.mean_s = stats.Mean();
+  out.stddev_s = stats.StdDev();
+  return out;
+}
+
+/// Environment-tunable bench scale: PRISMA_BENCH_SCALE (dataset divisor,
+/// default 100 -> ~12.8k train files/epoch) and PRISMA_BENCH_RUNS
+/// (default 5, as in the paper).
+inline std::size_t BenchScale(std::size_t fallback = 100) {
+  if (const char* v = std::getenv("PRISMA_BENCH_SCALE")) {
+    const long parsed = std::atol(v);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return fallback;
+}
+
+inline int BenchRuns(int fallback = 5) {
+  if (const char* v = std::getenv("PRISMA_BENCH_RUNS")) {
+    const int parsed = std::atoi(v);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+/// Percentage reduction of `value` vs `baseline` (positive == faster).
+inline double ReductionPct(double value, double baseline) {
+  return baseline > 0.0 ? 100.0 * (1.0 - value / baseline) : 0.0;
+}
+
+}  // namespace prisma::bench

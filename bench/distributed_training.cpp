@@ -1,0 +1,96 @@
+// §VII experiment — distributed training on shared storage.
+//
+// N compute nodes, each training through its own PRISMA stage against ONE
+// parallel-FS backend that overloads past 16 concurrent reads. Compares
+// the three control regimes of baselines::DistributedControlMode and
+// prints per-mode makespan, per-node fairness, and device pressure.
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/distributed.hpp"
+#include "bench_util.hpp"
+
+using namespace prisma;
+using namespace prisma::bench;
+using namespace prisma::baselines;
+
+namespace {
+
+const char* ModeName(DistributedControlMode m) {
+  switch (m) {
+    case DistributedControlMode::kGreedy: return "greedy (framework-style)";
+    case DistributedControlMode::kIndependent: return "independent tuners";
+    case DistributedControlMode::kCoordinated: return "coordinated (SDS)";
+  }
+  return "?";
+}
+
+double Stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mean = 0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  return std::sqrt(var / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Distributed training — N nodes, one shared parallel FS");
+  std::printf("LeNet, 2 epochs/node, ImageNet/100 slice per node; device\n");
+  std::printf("overloads past 16 concurrent reads; budget = 16 producers\n");
+
+  for (const std::size_t nodes : {1ul, 2ul, 4ul, 8ul}) {
+    PrintRule();
+    std::printf("nodes = %zu\n", nodes);
+    double greedy_makespan = 0.0;
+    for (const auto mode : {DistributedControlMode::kGreedy,
+                            DistributedControlMode::kIndependent,
+                            DistributedControlMode::kCoordinated}) {
+      DistributedConfig cfg;
+      cfg.nodes = nodes;
+      cfg.mode = mode;
+      cfg.global_producer_budget = 16;
+      cfg.scale = 100;  // 12.8k files per node per epoch
+      cfg.epochs = 2;
+      // Framework startup is identical across regimes; shrink it so the
+      // table reads as steady-state training behaviour.
+      cfg.costs.framework_startup = Seconds{2};
+      const auto r = RunDistributed(cfg);
+
+      std::string producers;
+      for (const auto p : r.final_producers) {
+        producers += std::to_string(p) + " ";
+      }
+      std::printf(
+          "  %-26s makespan %7.1f s | node-stddev %5.1f s | device "
+          "conc mean %5.1f max %3ld | t = [ %s]\n",
+          ModeName(mode), r.makespan_s, Stddev(r.node_elapsed_s),
+          r.mean_device_concurrency,
+          static_cast<long>(r.max_device_concurrency), producers.c_str());
+      if (mode == DistributedControlMode::kGreedy) {
+        greedy_makespan = r.makespan_s;
+      } else if (mode == DistributedControlMode::kCoordinated &&
+                 greedy_makespan > 0) {
+        std::printf("  -> coordinated vs greedy: %.1f%% faster makespan\n",
+                    ReductionPct(r.makespan_s, greedy_makespan));
+      }
+    }
+  }
+
+  PrintRule();
+  std::printf(
+      "reading: with one node all three regimes roughly coincide. As nodes\n"
+      "multiply, greedy pools (16 readers/node) drive the shared device deep\n"
+      "into overload and makespan explodes. Independent PRISMA tuners do\n"
+      "remarkably well — each observes the *shared* plateau through its own\n"
+      "probes and backs off — because all jobs here are symmetric. The\n"
+      "coordinated control plane matches them while *guaranteeing* the cap\n"
+      "and the split: with heterogeneous or adversarial tenants only the\n"
+      "global budget keeps the device at its sweet spot (see\n"
+      "ablation_multitenant for the asymmetric case) — §VII's\n"
+      "distributed-stage direction.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 2 reproduction: average training time of TensorFlow (baseline /
+// optimized) vs PRISMA for LeNet, AlexNet, and ResNet-50 with batch sizes
+// {64, 128, 256}; ImageNet, 10 epochs, 4 GPUs, avg ± stddev over 5 seeds.
+//
+// Also prints the §V.A headline numbers next to the paper's reference
+// values (absolute numbers are a simulator estimate; the claim under test
+// is the *shape* — who wins and by roughly what factor).
+//
+// Environment: PRISMA_BENCH_SCALE (default 100), PRISMA_BENCH_RUNS (5).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace prisma;
+using namespace prisma::bench;
+using namespace prisma::baselines;
+
+namespace {
+
+struct PaperRef {
+  // Paper-quoted training times (s) where §V.A gives them; -1 otherwise.
+  double baseline = -1, optimized = -1, prisma = -1;
+};
+
+PaperRef RefFor(const std::string& model, std::size_t batch) {
+  // §V.A quotes LeNet bs64 and bs256 directly; baselines derived from the
+  // quoted reduction percentages (51%/55% @64, 54%/67% @256).
+  if (model == "lenet" && batch == 64) return {4177, 1851, 2047};
+  if (model == "lenet" && batch == 256) return {4087, 1363, 1880};
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t scale = BenchScale();
+  const int runs = BenchRuns();
+
+  PrintHeader("Figure 2 — TensorFlow: baseline vs TF-optimized vs PRISMA");
+  std::printf("dataset = ImageNet/%zu (%s), epochs = 10, 4 GPUs, %d runs\n",
+              scale, scale == 1 ? "full" : "scaled", runs);
+  std::printf("times below are full-scale estimates in seconds (avg ± std)\n");
+
+  const std::vector<sim::ModelProfile> models = {
+      sim::ModelProfile::LeNet(), sim::ModelProfile::AlexNet(),
+      sim::ModelProfile::ResNet50()};
+  const std::vector<std::size_t> batches = {64, 128, 256};
+
+  for (const auto& model : models) {
+    PrintRule();
+    std::printf("%-10s %5s | %13s | %22s | %22s\n", model.name.c_str(), "batch",
+                "TF baseline", "TF optimized", "PRISMA");
+    for (const std::size_t batch : batches) {
+      ExperimentConfig cfg;
+      cfg.model = model;
+      cfg.global_batch = batch;
+      cfg.scale = scale;
+
+      const Summary base = RunSeeds(cfg, runs, RunTfBaseline);
+      const Summary opt = RunSeeds(cfg, runs, RunTfOptimized);
+      const Summary prisma = RunSeeds(cfg, runs, RunPrismaTf);
+
+      std::printf(
+          "%-10s %5zu | %8.0f ±%3.0f | %8.0f ±%3.0f (-%4.1f%%) | %8.0f ±%3.0f "
+          "(-%4.1f%%)\n",
+          "", batch, base.mean_s, base.stddev_s, opt.mean_s, opt.stddev_s,
+          ReductionPct(opt.mean_s, base.mean_s), prisma.mean_s,
+          prisma.stddev_s, ReductionPct(prisma.mean_s, base.mean_s));
+
+      const PaperRef ref = RefFor(model.name, batch);
+      if (ref.baseline > 0) {
+        std::printf(
+            "%-10s %5s | paper:  %5.0f |          %5.0f (-%4.1f%%) |          "
+            "%5.0f (-%4.1f%%)\n",
+            "", "", ref.baseline, ref.optimized,
+            ReductionPct(ref.optimized, ref.baseline), ref.prisma,
+            ReductionPct(ref.prisma, ref.baseline));
+      }
+    }
+  }
+
+  PrintRule();
+  std::printf(
+      "expected shape (paper §V.A):\n"
+      "  * LeNet:    PRISMA and TF-optimized cut >50%% off baseline;\n"
+      "              TF-optimized pulls further ahead as batch grows\n"
+      "              (PRISMA does not prefetch validation files).\n"
+      "  * AlexNet:  both optimized setups cut >=20%% off baseline.\n"
+      "  * ResNet50: compute-bound — no setup changes training time.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 3 reproduction: cumulative distribution of the time spent at
+// each number of concurrently reading I/O threads, TF-optimized vs
+// PRISMA, for LeNet / AlexNet / ResNet-50 (batch 256).
+//
+// Paper claims reproduced here: PRISMA's feedback auto-tuner uses at most
+// ~4 concurrent threads (3 for ResNet-50) while TF-optimized allocates
+// its whole 30-thread pool — "2-7x more threads" — at similar storage
+// performance.
+//
+// The CDF is conditioned on >=1 active reader ("time spent by I/O threads
+// actively reading data", §V.A); idle time would otherwise dominate the
+// compute-bound runs.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/histogram.hpp"
+
+using namespace prisma;
+using namespace prisma::bench;
+using namespace prisma::baselines;
+
+namespace {
+
+/// CDF over active-reader counts, excluding value 0 (idle).
+std::vector<CdfPoint> ActiveCdf(const OccupancyTimeline& tl) {
+  Nanos active_total{0};
+  for (const auto& [value, t] : tl.TimeAtValue()) {
+    if (value >= 1) active_total += t;
+  }
+  std::vector<CdfPoint> out;
+  if (active_total.count() == 0) return out;
+  double cum = 0.0;
+  for (const auto& [value, t] : tl.TimeAtValue()) {
+    if (value < 1) continue;
+    cum += ToSeconds(t) / ToSeconds(active_total);
+    out.push_back({static_cast<double>(value), std::min(cum, 1.0)});
+  }
+  return out;
+}
+
+double ActiveMean(const OccupancyTimeline& tl) {
+  double num = 0.0, den = 0.0;
+  for (const auto& [value, t] : tl.TimeAtValue()) {
+    if (value < 1) continue;
+    num += static_cast<double>(value) * ToSeconds(t);
+    den += ToSeconds(t);
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+void PrintCdfColumn(const char* tag, const std::vector<CdfPoint>& cdf) {
+  std::printf("  %s  (threads : cumulative %% of active time)\n", tag);
+  for (const auto& p : cdf) {
+    std::printf("    %4.0f : %6.2f%%\n", p.value, p.cumulative * 100.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t scale = BenchScale();
+
+  PrintHeader("Figure 3 — CDF of concurrent I/O threads: TF-optimized vs PRISMA");
+  std::printf("dataset = ImageNet/%zu, batch 256, 10 epochs\n", scale);
+
+  const std::vector<sim::ModelProfile> models = {
+      sim::ModelProfile::LeNet(), sim::ModelProfile::AlexNet(),
+      sim::ModelProfile::ResNet50()};
+
+  for (const auto& model : models) {
+    ExperimentConfig cfg;
+    cfg.model = model;
+    cfg.global_batch = 256;
+    cfg.scale = scale;
+    cfg.seed = 1001;
+
+    const auto opt = RunTfOptimized(cfg);
+    const auto prisma = RunPrismaTf(cfg);
+
+    PrintRule();
+    std::printf("%s\n", model.name.c_str());
+    PrintCdfColumn("TF optimized", ActiveCdf(opt.reader_timeline));
+    PrintCdfColumn("PRISMA      ", ActiveCdf(prisma.reader_timeline));
+
+    const auto opt_max = opt.reader_timeline.MaxValue();
+    const auto prisma_max = prisma.reader_timeline.MaxValue();
+    std::printf(
+        "  summary: TF-opt max=%ld mean=%.1f | PRISMA max=%ld mean=%.1f "
+        "(auto-tuned t=%u) | ratio %.1fx\n",
+        static_cast<long>(opt_max), ActiveMean(opt.reader_timeline),
+        static_cast<long>(prisma_max), ActiveMean(prisma.reader_timeline),
+        prisma.final_producers,
+        prisma_max > 0 ? static_cast<double>(opt_max) /
+                             static_cast<double>(prisma_max)
+                       : 0.0);
+  }
+
+  PrintRule();
+  std::printf(
+      "expected shape (paper §V.A): PRISMA uses at most ~4 concurrent\n"
+      "threads (3 for ResNet-50); TF-optimized allocates the maximum (30)\n"
+      "regardless of need — 2-7x more than PRISMA — at similar storage\n"
+      "performance.\n");
+  return 0;
+}

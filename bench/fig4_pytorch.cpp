@@ -1,0 +1,92 @@
+// Figure 4 reproduction: average training time of PyTorch with 0-16
+// DataLoader worker processes vs PRISMA, LeNet and AlexNet, batch 256,
+// avg ± stddev over 5 seeds. Prints the §V.B absolute-delta table
+// (PRISMA advantage per worker count) next to the paper's values.
+//
+// Shape under test: PRISMA wins clearly at 0/2/4 workers (pre-epoch
+// prefetch head start + no worker respawns), loses slightly at 8/16
+// (buffer-synchronization bottleneck), and stays flat across the sweep
+// so users need not tune the worker count at all.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace prisma;
+using namespace prisma::bench;
+using namespace prisma::baselines;
+
+namespace {
+
+double PaperDelta(const std::string& model, std::size_t workers) {
+  // §V.B: training-time deltas (PyTorch minus PRISMA, s); positive means
+  // PRISMA was faster.
+  if (model == "lenet") {
+    switch (workers) {
+      case 0: return 2618;
+      case 2: return 1085;
+      case 4: return 176;
+      case 8: return -362;
+      case 16: return -405;
+    }
+  }
+  if (model == "alexnet") {
+    switch (workers) {
+      case 0: return 2710;
+      case 2: return 1171;
+      case 4: return 337;
+      case 8: return -211;
+      case 16: return -542;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t scale = BenchScale();
+  const int runs = BenchRuns();
+
+  PrintHeader("Figure 4 — PyTorch worker sweep vs PRISMA (batch 256)");
+  std::printf("dataset = ImageNet/%zu, epochs = 10, %d runs; times are\n",
+              scale, runs);
+  std::printf("full-scale estimates (s); delta = PyTorch - PRISMA\n");
+
+  const std::vector<sim::ModelProfile> models = {
+      sim::ModelProfile::LeNet(), sim::ModelProfile::AlexNet()};
+  const std::vector<std::size_t> worker_counts = {0, 2, 4, 8, 16};
+
+  for (const auto& model : models) {
+    PrintRule();
+    std::printf("%-8s %7s | %14s | %14s | %10s | %10s | %6s\n",
+                model.name.c_str(), "workers", "PyTorch", "PRISMA", "delta",
+                "paperΔ", "t*");
+    for (const std::size_t w : worker_counts) {
+      ExperimentConfig cfg;
+      cfg.model = model;
+      cfg.global_batch = 256;
+      cfg.scale = scale;
+
+      const Summary native = RunSeeds(
+          cfg, runs, [w](const ExperimentConfig& c) { return RunTorch(c, w); });
+      const Summary prisma = RunSeeds(cfg, runs, [w](const ExperimentConfig& c) {
+        return RunPrismaTorch(c, w);
+      });
+
+      std::printf(
+          "%-8s %7zu | %8.0f ±%3.0f | %8.0f ±%3.0f | %+10.0f | %+10.0f | %6u\n",
+          "", w, native.mean_s, native.stddev_s, prisma.mean_s,
+          prisma.stddev_s, native.mean_s - prisma.mean_s,
+          PaperDelta(model.name, w), prisma.last.final_producers);
+    }
+  }
+
+  PrintRule();
+  std::printf(
+      "expected shape (paper §V.B): PRISMA beats PyTorch at 0/2/4 workers\n"
+      "(it starts prefetching before the epoch begins), loses slightly at\n"
+      "8/16 (consumer/producer synchronization on the shared buffer), and\n"
+      "is flat across worker counts — no manual tuning needed.\n");
+  return 0;
+}

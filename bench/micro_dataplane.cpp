@@ -1,0 +1,248 @@
+// A5 — google-benchmark microbenchmarks of the live data plane: the
+// sample buffer (including the contended path behind the paper's
+// 8+-worker bottleneck), queues, wire codec, UDS round trips, and
+// end-to-end prefetch throughput.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <thread>
+
+#include "common/bounded_queue.hpp"
+#include "common/spsc_ring.hpp"
+#include "dataplane/prefetch_object.hpp"
+#include "dataplane/sample_buffer.hpp"
+#include "ipc/uds_client.hpp"
+#include "ipc/uds_server.hpp"
+#include "ipc/wire.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma {
+namespace {
+
+using dataplane::PrefetchObject;
+using dataplane::PrefetchOptions;
+using dataplane::Sample;
+using dataplane::SampleBuffer;
+
+// --- SampleBuffer ------------------------------------------------------------
+
+void BM_SampleBufferInsertTake(benchmark::State& state) {
+  SampleBuffer buf(1024, SteadyClock::Shared());
+  const std::size_t payload = static_cast<std::size_t>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::string name = "f" + std::to_string(i++ & 1023);
+    benchmark::DoNotOptimize(
+        buf.Insert(Sample{name, std::vector<std::byte>(payload)}));
+    auto taken = buf.Take(name);
+    benchmark::DoNotOptimize(taken);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload));
+}
+BENCHMARK(BM_SampleBufferInsertTake)->Arg(1024)->Arg(113 * 1024);
+
+void BM_SampleBufferContended(benchmark::State& state) {
+  // The synchronization point the paper identifies for 8+ workers: many
+  // consumers hammering one mutex-guarded buffer.
+  const int consumers = static_cast<int>(state.range(0));
+  SampleBuffer buf(4096, SteadyClock::Shared());
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> seq{0};
+
+  std::vector<std::thread> fleet;
+  for (int c = 0; c < consumers; ++c) {
+    fleet.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t i = seq.fetch_add(1, std::memory_order_relaxed);
+        const std::string name = "c" + std::to_string(i);
+        if (!buf.Insert(Sample{name, std::vector<std::byte>(512)}).ok()) break;
+        (void)buf.Take(name);
+      }
+    });
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::string name = "m" + std::to_string(i++);
+    benchmark::DoNotOptimize(
+        buf.Insert(Sample{name, std::vector<std::byte>(512)}));
+    (void)buf.Take(name);
+  }
+  stop = true;
+  buf.Close();
+  for (auto& t : fleet) t.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SampleBufferContended)->Arg(0)->Arg(2)->Arg(8)->Arg(16);
+
+// --- queues --------------------------------------------------------------------
+
+void BM_BoundedQueuePushPop(benchmark::State& state) {
+  BoundedQueue<int> q(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Push(1));
+    benchmark::DoNotOptimize(q.Pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoundedQueuePushPop);
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  SpscRing<int> r(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.TryPush(1));
+    benchmark::DoNotOptimize(r.TryPop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+// --- wire codec ------------------------------------------------------------------
+
+void BM_WireEncodeDecodeRequest(benchmark::State& state) {
+  ipc::Request req;
+  req.op = ipc::Op::kRead;
+  req.path = "train/00012345.jpg";
+  req.offset = 4096;
+  req.length = 113 * 1024;
+  for (auto _ : state) {
+    const auto bytes = ipc::EncodeRequest(req);
+    auto decoded = ipc::DecodeRequest(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireEncodeDecodeRequest);
+
+void BM_WireEncodeDecodeResponse(benchmark::State& state) {
+  ipc::Response resp;
+  resp.data.resize(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto bytes = ipc::EncodeResponse(resp);
+    auto decoded = ipc::DecodeResponse(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WireEncodeDecodeResponse)->Arg(1024)->Arg(113 * 1024);
+
+// --- UDS round trip ----------------------------------------------------------------
+
+class UdsFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    storage::SyntheticImageNetSpec spec;
+    spec.num_train = 64;
+    spec.num_validation = 1;
+    spec.mean_file_size = static_cast<double>(state.range(0));
+    spec.min_file_size = static_cast<std::uint64_t>(state.range(0));
+    spec.sigma = 0.0001;
+    ds_ = storage::MakeSyntheticImageNet(spec);
+
+    storage::SyntheticBackendOptions o;
+    o.profile = storage::DeviceProfile::Instant();
+    o.time_scale = 0.0;
+    auto backend = std::make_shared<storage::SyntheticBackend>(o, ds_);
+    auto object = std::make_shared<PrefetchObject>(
+        backend, PrefetchOptions{}, SteadyClock::Shared());
+    stage_ = std::make_shared<dataplane::Stage>(
+        dataplane::StageInfo{"bench", "bench", 0}, object);
+    (void)stage_->Start();
+
+    socket_path_ = "/tmp/prisma_bench_" + std::to_string(::getpid()) + ".sock";
+    server_ = std::make_unique<ipc::UdsServer>(socket_path_, stage_);
+    (void)server_->Start();
+    (void)client_.Connect(socket_path_);
+  }
+
+  void TearDown(const benchmark::State&) override {
+    client_.Close();
+    server_->Stop();
+    stage_->Stop();
+    server_.reset();
+  }
+
+  storage::ImageNetDataset ds_;
+  std::shared_ptr<dataplane::Stage> stage_;
+  std::string socket_path_;
+  std::unique_ptr<ipc::UdsServer> server_;
+  ipc::UdsClient client_;
+};
+
+BENCHMARK_DEFINE_F(UdsFixture, RoundTripRead)(benchmark::State& state) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& name = ds_.train.At(i++ % ds_.train.NumFiles()).name;
+    auto n = client_.Read(name, 0, buf);
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK_REGISTER_F(UdsFixture, RoundTripRead)->Arg(4096)->Arg(113 * 1024);
+
+BENCHMARK_DEFINE_F(UdsFixture, Ping)(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client_.Ping());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_REGISTER_F(UdsFixture, Ping)->Arg(4096);
+
+// --- end-to-end prefetch throughput ---------------------------------------------------
+
+void BM_PrefetchEpochThroughput(benchmark::State& state) {
+  storage::SyntheticImageNetSpec spec;
+  spec.num_train = 256;
+  spec.num_validation = 1;
+  spec.mean_file_size = 16 * 1024;
+  spec.min_file_size = 8 * 1024;
+  const auto ds = storage::MakeSyntheticImageNet(spec);
+
+  storage::SyntheticBackendOptions o;
+  o.profile = storage::DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  auto backend = std::make_shared<storage::SyntheticBackend>(o, ds);
+
+  PrefetchOptions po;
+  po.initial_producers = static_cast<std::uint32_t>(state.range(0));
+  po.max_producers = po.initial_producers;
+  po.buffer_capacity = 64;
+  PrefetchObject object(backend, po, SteadyClock::Shared());
+  (void)object.Start();
+
+  const auto names = ds.train.Names();
+  std::uint64_t epoch = 0;
+  std::vector<std::byte> buf(64 * 1024);
+  for (auto _ : state) {
+    (void)object.BeginEpoch(epoch++, names);
+    for (const auto& name : names) {
+      auto n = object.Read(name, 0, buf);
+      benchmark::DoNotOptimize(n);
+    }
+  }
+  object.Stop();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(names.size()));
+}
+BENCHMARK(BM_PrefetchEpochThroughput)->Arg(1)->Arg(2)->Arg(4);
+
+// --- synthetic content ------------------------------------------------------------------
+
+void BM_SyntheticContentFill(benchmark::State& state) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    storage::SyntheticContent::Fill("bench/file.jpg", 0, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SyntheticContentFill)->Arg(4096)->Arg(113 * 1024);
+
+}  // namespace
+}  // namespace prisma
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// LD_PRELOAD interception demo — zero-modification integration.
+//
+// The parent starts a PRISMA stage + UDS server, then execs
+// `ld_preload_reader` (a plain POSIX program that knows nothing about
+// PRISMA) with LD_PRELOAD=libprisma_shim.so. Every open/read/fstat the
+// child issues under the virtual prefix is transparently served from
+// PRISMA's prefetch buffer.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dataplane/prefetch_object.hpp"
+#include "ipc/uds_server.hpp"
+#include "storage/synthetic_backend.hpp"
+
+using namespace prisma;
+
+int main() {
+  storage::SyntheticImageNetSpec spec;
+  spec.num_train = 30;
+  spec.num_validation = 2;
+  spec.mean_file_size = 16 * 1024;
+  const auto dataset = storage::MakeSyntheticImageNet(spec);
+
+  storage::SyntheticBackendOptions bo;
+  bo.profile = storage::DeviceProfile::Instant();
+  bo.time_scale = 0.0;
+  auto backend = std::make_shared<storage::SyntheticBackend>(bo, dataset);
+
+  dataplane::PrefetchOptions po;
+  po.initial_producers = 2;
+  po.buffer_capacity = 32;
+  auto object = std::make_shared<dataplane::PrefetchObject>(
+      backend, po, SteadyClock::Shared());
+  auto stage = std::make_shared<dataplane::Stage>(
+      dataplane::StageInfo{"shim-job", "any", 0}, object);
+  if (!stage->Start().ok()) return 1;
+
+  const std::string socket_path =
+      "/tmp/prisma_shim_demo_" + std::to_string(::getpid()) + ".sock";
+  ipc::UdsServer server(socket_path, stage);
+  if (!server.Start().ok()) return 1;
+
+  // Announce a few files so they are prefetched before the child runs.
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < 8; ++i) names.push_back(dataset.train.At(i).name);
+  (void)stage->BeginEpoch(0, names);
+
+  const std::string prefix = "/prisma-virtual";
+  std::printf("server on %s; child reads %zu virtual files under %s\n",
+              socket_path.c_str(), names.size(), prefix.c_str());
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::setenv("LD_PRELOAD", PRISMA_SHIM_LIB_PATH, 1);
+    ::setenv("PRISMA_SHIM_SOCKET", socket_path.c_str(), 1);
+    ::setenv("PRISMA_SHIM_PREFIX", prefix.c_str(), 1);
+    std::vector<std::string> args{PRISMA_SHIM_READER_PATH};
+    for (const auto& n : names) args.push_back(prefix + "/" + n);
+    std::vector<char*> argv;
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(PRISMA_SHIM_READER_PATH, argv.data());
+    ::_exit(127);
+  }
+
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  const int rc = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+
+  const auto stats = stage->CollectStats();
+  std::printf(
+      "child exit=%d; stage served %llu buffered samples, %llu requests "
+      "total through the server\n",
+      rc, static_cast<unsigned long long>(stats.samples_consumed),
+      static_cast<unsigned long long>(server.requests_served()));
+
+  server.Stop();
+  stage->Stop();
+  return rc == 0 ? 0 : 1;
+}

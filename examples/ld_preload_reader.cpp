@@ -1,0 +1,51 @@
+// Unmodified "application" for the LD_PRELOAD demo: reads files with
+// plain POSIX calls and prints their sizes. It has no idea PRISMA
+// exists — the shim routes its I/O when LD_PRELOAD is set.
+//
+// Usage: ld_preload_reader <path> [<path> ...]
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <path>...\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const int fd = ::open(argv[i], O_RDONLY);
+    if (fd < 0) {
+      std::fprintf(stderr, "open(%s): %s\n", argv[i], std::strerror(errno));
+      return 1;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      std::fprintf(stderr, "fstat(%s) failed\n", argv[i]);
+      ::close(fd);
+      return 1;
+    }
+    std::size_t total = 0;
+    char buf[8192];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        std::fprintf(stderr, "read(%s) failed\n", argv[i]);
+        ::close(fd);
+        return 1;
+      }
+      if (n == 0) break;
+      total += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    std::printf("%s: stat=%lld read=%zu bytes\n", argv[i],
+                static_cast<long long>(st.st_size), total);
+    if (static_cast<long long>(total) != static_cast<long long>(st.st_size)) {
+      return 1;
+    }
+  }
+  return 0;
+}

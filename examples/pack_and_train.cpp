@@ -1,0 +1,108 @@
+// Data-format optimization demo: pack a small-file dataset into record
+// shards (storage/record_format.hpp), then train through PRISMA with the
+// ShardedBackend serving the ORIGINAL file namespace — the framework-side
+// consumer code is identical before and after packing, and both
+// optimizations (sharding below, prefetching above) compose without it
+// noticing.
+#include <chrono>
+#include <cstdio>
+
+#include "dataplane/prefetch_object.hpp"
+#include "storage/record_format.hpp"
+#include "storage/shuffler.hpp"
+#include "storage/synthetic_backend.hpp"
+
+using namespace prisma;
+
+namespace {
+
+double ConsumeEpoch(storage::StorageBackend& backend,
+                    const std::vector<std::string>& order) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& name : order) {
+    const auto size = backend.FileSize(name);
+    std::vector<std::byte> buf(static_cast<std::size_t>(size.value_or(0)));
+    (void)backend.Read(name, 0, buf);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  storage::SyntheticImageNetSpec spec;
+  spec.num_train = 500;
+  spec.num_validation = 5;
+  spec.mean_file_size = 24 * 1024;
+  const auto dataset = storage::MakeSyntheticImageNet(spec);
+
+  storage::SyntheticBackendOptions bo;
+  bo.profile = storage::DeviceProfile::NvmeP4600();
+  bo.time_scale = 0.05;
+  auto device = std::make_shared<storage::SyntheticBackend>(bo, dataset);
+
+  storage::EpochShuffler shuffler(dataset.train.Names(), 3);
+  const auto order = shuffler.OrderFor(0);
+
+  // 1. Baseline: per-file random reads from the device.
+  const double loose = ConsumeEpoch(*device, order);
+  std::printf("loose files, serial reads:        %.2f s\n", loose);
+
+  // 2. Pack into shards on the same device.
+  auto index =
+      storage::PackCatalog(dataset.train, *device, "packed/", 4 << 20);
+  if (!index.ok()) {
+    std::fprintf(stderr, "packing failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("packed %zu files into %zu shards\n", index->NumRecords(),
+              index->shards().size());
+  auto sharded = std::make_shared<storage::ShardedBackend>(device, *index);
+
+  // Sequential ingest: stream whole shards (this is where the format
+  // wins — large streaming reads instead of per-file random ones).
+  const auto t_seq = std::chrono::steady_clock::now();
+  std::size_t streamed = 0;
+  for (const auto& shard : index->shards()) {
+    auto records = storage::ReadShard(*device, shard);
+    if (!records.ok()) return 1;
+    streamed += records->size();
+  }
+  const double packed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_seq)
+          .count();
+  std::printf("sharded, streaming ingest:        %.2f s (%zu records)\n",
+              packed, streamed);
+
+  // 3. PRISMA on top of the shards: producers stream, consumer hits RAM.
+  dataplane::PrefetchOptions po;
+  po.initial_producers = 4;
+  po.max_producers = 4;
+  po.buffer_capacity = 64;
+  dataplane::PrefetchObject prefetch(sharded, po, SteadyClock::Shared());
+  if (!prefetch.Start().ok()) return 1;
+  (void)prefetch.BeginEpoch(0, order);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& name : order) {
+    std::vector<std::byte> buf(*dataset.train.SizeOf(name));
+    (void)prefetch.Read(name, 0, buf);
+  }
+  const double prisma =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  prefetch.Stop();
+  std::printf("sharded + PRISMA prefetch:        %.2f s\n", prisma);
+
+  std::printf(
+      "\nPRISMA over the shards (ShardedBackend keeps the original file\n"
+      "namespace) hides loading behind the consumer: %.0f%% faster than\n"
+      "loose serial reads. At this toy scale the streaming-ingest row is\n"
+      "CPU-bound on CRC verification rather than on the modeled device —\n"
+      "bench/ablation_record_format quantifies the real at-scale effect\n"
+      "(a single shard stream matches ~30 random-read threads).\n",
+      100.0 * (1.0 - prisma / loose));
+  (void)packed;
+  return 0;
+}

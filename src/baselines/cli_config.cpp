@@ -1,0 +1,102 @@
+#include "baselines/cli_config.hpp"
+
+namespace prisma::baselines {
+
+std::string_view PipelineName(PipelineKind kind) {
+  switch (kind) {
+    case PipelineKind::kTfBaseline: return "tf_baseline";
+    case PipelineKind::kTfOptimized: return "tf_optimized";
+    case PipelineKind::kPrismaTf: return "prisma_tf";
+    case PipelineKind::kTorch: return "torch";
+    case PipelineKind::kPrismaTorch: return "prisma_torch";
+  }
+  return "?";
+}
+
+Result<CliExperiment> ParseExperiment(const Config& config) {
+  CliExperiment out;
+
+  const std::string pipeline = config.GetString("pipeline", "prisma_tf");
+  if (pipeline == "tf_baseline") {
+    out.pipeline = PipelineKind::kTfBaseline;
+  } else if (pipeline == "tf_optimized") {
+    out.pipeline = PipelineKind::kTfOptimized;
+  } else if (pipeline == "prisma_tf") {
+    out.pipeline = PipelineKind::kPrismaTf;
+  } else if (pipeline == "torch") {
+    out.pipeline = PipelineKind::kTorch;
+  } else if (pipeline == "prisma_torch") {
+    out.pipeline = PipelineKind::kPrismaTorch;
+  } else {
+    return Status::InvalidArgument("unknown pipeline: " + pipeline);
+  }
+
+  const std::string model = config.GetString("model", "lenet");
+  if (model == "lenet") {
+    out.config.model = sim::ModelProfile::LeNet();
+  } else if (model == "alexnet") {
+    out.config.model = sim::ModelProfile::AlexNet();
+  } else if (model == "resnet50") {
+    out.config.model = sim::ModelProfile::ResNet50();
+  } else {
+    return Status::InvalidArgument("unknown model: " + model);
+  }
+
+  const auto positive = [&](std::string_view key, std::int64_t fallback,
+                            std::int64_t min = 1) -> Result<std::int64_t> {
+    const std::int64_t v = config.GetInt(key, fallback);
+    if (v < min) {
+      return Status::InvalidArgument(std::string(key) + " must be >= " +
+                                     std::to_string(min));
+    }
+    return v;
+  };
+
+  auto batch = positive("batch", 256);
+  if (!batch.ok()) return batch.status();
+  out.config.global_batch = static_cast<std::size_t>(*batch);
+
+  auto epochs = positive("epochs", 10);
+  if (!epochs.ok()) return epochs.status();
+  out.config.epochs = static_cast<std::size_t>(*epochs);
+
+  auto scale = positive("scale", 100);
+  if (!scale.ok()) return scale.status();
+  out.config.scale = static_cast<std::size_t>(*scale);
+
+  auto seed = positive("seed", 1, 0);
+  if (!seed.ok()) return seed.status();
+  out.config.seed = static_cast<std::uint64_t>(*seed);
+
+  auto runs = positive("runs", 1);
+  if (!runs.ok()) return runs.status();
+  out.runs = static_cast<int>(*runs);
+
+  auto workers = positive("workers", 4, 0);
+  if (!workers.ok()) return workers.status();
+  out.workers = static_cast<std::size_t>(*workers);
+
+  out.config.run_validation = config.GetBool("validation", true);
+  out.config.page_cache_bytes = config.GetBytes("page_cache", 0);
+  out.config.fixed_producers = static_cast<std::uint32_t>(
+      config.GetInt("fixed_producers", 0));
+  out.config.fixed_buffer =
+      static_cast<std::size_t>(config.GetInt("fixed_buffer", 0));
+  return out;
+}
+
+RunResult RunOnce(const CliExperiment& experiment, int run) {
+  ExperimentConfig cfg = experiment.config;
+  cfg.seed += static_cast<std::uint64_t>(run) * 7919;
+  switch (experiment.pipeline) {
+    case PipelineKind::kTfBaseline: return RunTfBaseline(cfg);
+    case PipelineKind::kTfOptimized: return RunTfOptimized(cfg);
+    case PipelineKind::kPrismaTf: return RunPrismaTf(cfg);
+    case PipelineKind::kTorch: return RunTorch(cfg, experiment.workers);
+    case PipelineKind::kPrismaTorch:
+      return RunPrismaTorch(cfg, experiment.workers);
+  }
+  return RunResult{};
+}
+
+}  // namespace prisma::baselines

@@ -1,0 +1,52 @@
+// Config-file / key=value front-end for the experiment pipelines — the
+// parsing layer behind tools/prisma_sim. Kept in the library so it is
+// unit-testable without spawning the binary.
+//
+// Recognized keys (all optional; defaults in parentheses):
+//   pipeline = tf_baseline | tf_optimized | prisma_tf | torch |
+//              prisma_torch                       (prisma_tf)
+//   model    = lenet | alexnet | resnet50         (lenet)
+//   batch    = global batch size                  (256)
+//   epochs   = training epochs                    (10)
+//   scale    = dataset divisor                    (100)
+//   seed     = base RNG seed                      (1)
+//   runs     = seeds per configuration            (1)
+//   workers  = PyTorch workers (torch pipelines)  (4)
+//   validation = bool                             (true)
+//   page_cache = byte size ("8GiB")               (0)
+//   fixed_producers / fixed_buffer = pin (t, N)   (0 = auto-tune)
+#pragma once
+
+#include <string>
+
+#include "baselines/experiment.hpp"
+#include "common/config.hpp"
+
+namespace prisma::baselines {
+
+enum class PipelineKind {
+  kTfBaseline,
+  kTfOptimized,
+  kPrismaTf,
+  kTorch,
+  kPrismaTorch,
+};
+
+struct CliExperiment {
+  PipelineKind pipeline = PipelineKind::kPrismaTf;
+  ExperimentConfig config;
+  std::size_t workers = 4;  // torch pipelines only
+  int runs = 1;
+};
+
+/// Stable name of a pipeline (for output headers).
+std::string_view PipelineName(PipelineKind kind);
+
+/// Builds an experiment from parsed configuration. InvalidArgument on
+/// unknown pipeline/model names or out-of-range numerics.
+Result<CliExperiment> ParseExperiment(const Config& config);
+
+/// Runs the experiment once with the config's seed offset by `run`.
+RunResult RunOnce(const CliExperiment& experiment, int run);
+
+}  // namespace prisma::baselines

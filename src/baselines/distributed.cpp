@@ -1,0 +1,264 @@
+#include "baselines/distributed.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "controlplane/policy.hpp"
+#include "sim/primitives.hpp"
+#include "sim/storage_actor.hpp"
+#include "sim/task.hpp"
+#include "storage/shuffler.hpp"
+
+namespace prisma::baselines {
+namespace {
+
+using sim::SimEngine;
+using sim::SimQueue;
+using sim::SimResource;
+using sim::SimSampleBuffer;
+using sim::SimStorage;
+using sim::SimTask;
+
+/// One compute node: a PRISMA stage (producers + buffer) feeding a local
+/// training loop. All nodes share the storage actor; everything else is
+/// node-local. File names are node-prefixed so page-cache state (when
+/// enabled) does not alias across nodes.
+class Node {
+ public:
+  Node(const DistributedConfig& cfg, std::size_t index, SimEngine& eng,
+       SimStorage& storage)
+      : cfg_(cfg),
+        index_(index),
+        eng_(eng),
+        storage_(storage),
+        prefetch_q_(eng, 0),
+        buffer_(eng, cfg.tuner.min_buffer),
+        slots_(eng, InitialProducers(cfg)),
+        target_producers_(InitialProducers(cfg)),
+        tuner_(cfg.tuner) {
+    ExperimentConfig ec;
+    ec.scale = cfg.scale;
+    const auto ds = MakeDataset(ec);
+    sizes_ = BuildSizeMap(ds);
+    names_ = ds.train.Names();
+  }
+
+  static std::uint32_t InitialProducers(const DistributedConfig& cfg) {
+    return cfg.mode == DistributedControlMode::kGreedy
+               ? cfg.max_producers_per_node
+               : cfg.tuner.min_producers;
+  }
+
+  void Start() {
+    EnqueueEpoch(0);
+    for (std::uint32_t i = 0; i < cfg_.max_producers_per_node; ++i) {
+      Bind(Producer());
+    }
+    Bind(Consumer());
+  }
+
+  bool Done() const { return done_; }
+  double ElapsedSeconds() const { return ToSeconds(finished_at_); }
+  std::uint32_t producers() const { return target_producers_; }
+
+  /// Control surface used by ControllerLoop / per-node tuner loops.
+  dataplane::StageStatsSnapshot Snapshot() const {
+    dataplane::StageStatsSnapshot s;
+    s.at = eng_.Now();
+    s.producers = target_producers_;
+    s.buffer_capacity = buffer_.Capacity();
+    s.buffer_occupancy = buffer_.Occupancy();
+    const auto& c = buffer_.counters();
+    s.samples_produced = c.inserts;
+    s.samples_consumed = c.takes;
+    s.consumer_hits = c.consumer_hits;
+    s.consumer_waits = c.consumer_waits;
+    s.consumer_wait_time = c.consumer_wait_time;
+    s.producer_blocks = c.producer_blocks;
+    s.queue_depth = prefetch_q_.Size();
+    return s;
+  }
+
+  controlplane::PrismaAutotuner& tuner() { return tuner_; }
+
+  void Apply(std::uint32_t producers, std::size_t buffer_capacity) {
+    target_producers_ =
+        std::clamp<std::uint32_t>(producers, 1, cfg_.max_producers_per_node);
+    slots_.SetTotal(static_cast<std::int64_t>(target_producers_));
+    if (buffer_capacity > 0) buffer_.SetCapacity(buffer_capacity);
+  }
+
+ private:
+  SimTask Bind(SimTask t) {
+    t.BindEngine(eng_);
+    return t;
+  }
+
+  std::string NodeName(const std::string& file) const {
+    return "node" + std::to_string(index_) + "/" + file;
+  }
+
+  void EnqueueEpoch(std::size_t epoch) {
+    storage::EpochShuffler shuffler(names_, cfg_.seed + index_ * 977);
+    for (auto& name : shuffler.OrderFor(epoch)) {
+      prefetch_q_.TryPush(std::move(name));
+    }
+  }
+
+  SimTask Producer() {
+    while (auto name = co_await prefetch_q_.Pop()) {
+      co_await slots_.Acquire();
+      const std::uint64_t bytes = sizes_.at(*name);
+      co_await storage_.Read(NodeName(*name), bytes);
+      const bool ok = co_await buffer_.Insert(std::move(*name), bytes);
+      slots_.Release();
+      if (!ok) break;
+    }
+  }
+
+  SimTask Consumer() {
+    co_await eng_.Delay(cfg_.costs.framework_startup);
+    for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+      storage::EpochShuffler shuffler(names_, cfg_.seed + index_ * 977);
+      std::size_t in_batch = 0;
+      for (const auto& name : shuffler.OrderFor(e)) {
+        if (!co_await buffer_.Take(name)) co_return;
+        co_await eng_.Delay(cfg_.costs.prisma_take_cost +
+                            cfg_.model.preprocess_per_sample);
+        if (++in_batch == cfg_.global_batch) {
+          co_await eng_.Delay(cfg_.model.StepTime(cfg_.global_batch, 4));
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) {
+        co_await eng_.Delay(cfg_.model.StepTime(cfg_.global_batch, 4));
+      }
+      if (e + 1 < cfg_.epochs) EnqueueEpoch(e + 1);
+    }
+    finished_at_ = eng_.Now();
+    done_ = true;
+    prefetch_q_.Close();
+    buffer_.Close();
+  }
+
+  const DistributedConfig& cfg_;
+  std::size_t index_;
+  SimEngine& eng_;
+  SimStorage& storage_;
+
+  std::unordered_map<std::string, std::uint64_t> sizes_;
+  std::vector<std::string> names_;
+
+  SimQueue<std::string> prefetch_q_;
+  SimSampleBuffer buffer_;
+  SimResource slots_;
+  std::uint32_t target_producers_;
+  controlplane::PrismaAutotuner tuner_;
+  bool done_ = false;
+  Nanos finished_at_{0};
+};
+
+/// Logically centralized controller over all nodes (coordinated mode) or
+/// a per-node tick loop (independent mode). Greedy mode runs no loop.
+SimTask ControlLoop(const DistributedConfig& cfg, SimEngine& eng,
+                    std::vector<std::unique_ptr<Node>>& nodes) {
+  const Nanos interval = std::max<Nanos>(
+      Nanos{cfg.costs.controller_interval.count() /
+            static_cast<std::int64_t>(cfg.scale)},
+      Micros{200});
+  // Previous snapshots to derive per-round starvation for fair shares.
+  std::vector<dataplane::StageStatsSnapshot> prev(nodes.size());
+  std::vector<bool> has_prev(nodes.size(), false);
+
+  for (;;) {
+    co_await eng.Delay(interval);
+    bool all_done = true;
+    for (const auto& n : nodes) all_done &= n->Done();
+    if (all_done) break;
+
+    // Phase 1: every node's own tuner proposes.
+    std::vector<std::uint32_t> requested(nodes.size());
+    std::vector<std::size_t> buffers(nodes.size());
+    std::vector<controlplane::StageDemand> demands(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      Node& node = *nodes[i];
+      const auto snap = node.Snapshot();
+      const auto knobs = node.tuner().Tick(snap);
+      requested[i] = knobs.producers.value_or(node.tuner().CurrentProducers());
+      buffers[i] = knobs.buffer_capacity.value_or(0);
+
+      demands[i].stage_id = "node" + std::to_string(i);
+      demands[i].requested = requested[i];
+      demands[i].weight = 1.0;
+      if (has_prev[i]) {
+        const auto d_takes = snap.samples_consumed - prev[i].samples_consumed;
+        const auto d_waits = snap.consumer_waits - prev[i].consumer_waits;
+        demands[i].starvation =
+            d_takes > 0 ? static_cast<double>(d_waits) /
+                              static_cast<double>(d_takes)
+                        : 0.0;
+      }
+      prev[i] = snap;
+      has_prev[i] = true;
+    }
+
+    // Phase 2: coordination (or not), phase 3: enforce.
+    if (cfg.mode == DistributedControlMode::kCoordinated) {
+      const auto shares = controlplane::ComputeFairShares(
+          demands, cfg.global_producer_budget);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        nodes[i]->Apply(std::min(requested[i], shares[i]), buffers[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        nodes[i]->Apply(requested[i], buffers[i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+storage::DeviceProfile DistributedConfig::OverloadableParallelFs() {
+  storage::DeviceProfile p = storage::DeviceProfile::ParallelFs();
+  p.jitter_frac = 0.02;
+  p.overload_threshold = 16;
+  p.overload_penalty = 0.06;
+  return p;
+}
+
+DistributedResult RunDistributed(const DistributedConfig& cfg) {
+  SimEngine eng;
+  sim::SimStorageOptions so;
+  so.profile = cfg.shared_device;
+  so.seed = cfg.seed * 31 + 5;
+  SimStorage storage(eng, so);
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(cfg.nodes);
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    nodes.push_back(std::make_unique<Node>(cfg, i, eng, storage));
+  }
+  for (auto& n : nodes) n->Start();
+
+  if (cfg.mode != DistributedControlMode::kGreedy) {
+    SimTask loop = ControlLoop(cfg, eng, nodes);
+    loop.BindEngine(eng);
+  }
+  eng.Run();
+
+  DistributedResult out;
+  for (const auto& n : nodes) {
+    out.node_elapsed_s.push_back(n->ElapsedSeconds());
+    out.makespan_s = std::max(out.makespan_s, n->ElapsedSeconds());
+    out.final_producers.push_back(n->producers());
+  }
+  const auto tl = storage.ReaderTimeline();
+  out.mean_device_concurrency = tl.TimeWeightedMean();
+  out.max_device_concurrency = tl.MaxValue();
+  out.events = eng.EventsProcessed();
+  return out;
+}
+
+}  // namespace prisma::baselines

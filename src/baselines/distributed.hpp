@@ -1,0 +1,63 @@
+// Distributed training scenario (paper §VII "Distributed training
+// settings" + Fig. 1's distributed data plane): N compute nodes each run
+// a PRISMA stage whose producers read from ONE shared parallel-FS-class
+// backend. Aggregate bandwidth degrades past an overload point, so how
+// the nodes' producer pools are governed decides everyone's fate:
+//
+//   kGreedy       — each node allocates its maximum pool regardless of
+//                   need (what framework-intrinsic optimizers do);
+//   kIndependent  — each node runs its own PRISMA feedback auto-tuner,
+//                   but with only local visibility;
+//   kCoordinated  — a logically centralized controller ticks every
+//                   node's tuner, then caps total producers at a global
+//                   budget with weighted max-min fair shares (the SDS
+//                   control plane of §III).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/experiment.hpp"
+
+namespace prisma::baselines {
+
+enum class DistributedControlMode {
+  kGreedy,
+  kIndependent,
+  kCoordinated,
+};
+
+struct DistributedConfig {
+  std::size_t nodes = 4;
+  sim::ModelProfile model = sim::ModelProfile::LeNet();
+  std::size_t global_batch = 256;
+  std::size_t epochs = 2;
+  /// Per-node dataset slice: ImageNet / scale files per epoch.
+  std::size_t scale = 400;
+  std::uint64_t seed = 1;
+  /// Shared backend profile; defaults to a parallel FS that overloads
+  /// past 16 concurrent readers.
+  storage::DeviceProfile shared_device = OverloadableParallelFs();
+  DistributedControlMode mode = DistributedControlMode::kCoordinated;
+  /// Producer budget across ALL nodes (coordinated mode).
+  std::uint32_t global_producer_budget = 16;
+  /// Per-node cap (greedy allocates exactly this).
+  std::uint32_t max_producers_per_node = 16;
+  controlplane::AutotunerOptions tuner;
+  PipelineCosts costs;
+
+  static storage::DeviceProfile OverloadableParallelFs();
+};
+
+struct DistributedResult {
+  std::vector<double> node_elapsed_s;  // per-node completion time
+  double makespan_s = 0.0;
+  double mean_device_concurrency = 0.0;
+  std::int64_t max_device_concurrency = 0;
+  std::vector<std::uint32_t> final_producers;
+  std::uint64_t events = 0;
+};
+
+DistributedResult RunDistributed(const DistributedConfig& cfg);
+
+}  // namespace prisma::baselines

@@ -1,0 +1,20 @@
+#include "baselines/experiment.hpp"
+
+namespace prisma::baselines {
+
+storage::ImageNetDataset MakeDataset(const ExperimentConfig& cfg) {
+  storage::SyntheticImageNetSpec spec;
+  spec.seed = 42;  // fixed: identical file population across pipelines
+  return storage::MakeSyntheticImageNet(spec.Scaled(cfg.scale));
+}
+
+std::unordered_map<std::string, std::uint64_t> BuildSizeMap(
+    const storage::ImageNetDataset& ds) {
+  std::unordered_map<std::string, std::uint64_t> sizes;
+  sizes.reserve(ds.train.NumFiles() + ds.validation.NumFiles());
+  for (const auto& f : ds.train.files()) sizes[f.name] = f.size;
+  for (const auto& f : ds.validation.files()) sizes[f.name] = f.size;
+  return sizes;
+}
+
+}  // namespace prisma::baselines

@@ -1,0 +1,401 @@
+#include "baselines/tf_pipelines.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/primitives.hpp"
+#include "sim/storage_actor.hpp"
+#include "sim/task.hpp"
+#include "storage/shuffler.hpp"
+
+namespace prisma::baselines {
+namespace {
+
+using sim::SimEngine;
+using sim::SimQueue;
+using sim::SimResource;
+using sim::SimSampleBuffer;
+using sim::SimStorage;
+using sim::SimTask;
+
+sim::SimStorageOptions StorageOptions(const ExperimentConfig& cfg) {
+  sim::SimStorageOptions o;
+  o.profile = cfg.device;
+  o.page_cache_bytes = cfg.page_cache_bytes;
+  o.seed = cfg.seed * 7919 + 13;
+  return o;
+}
+
+/// State shared by every TF-style run.
+class TfRunBase {
+ public:
+  explicit TfRunBase(const ExperimentConfig& cfg)
+      : cfg_(cfg),
+        storage_(eng_, StorageOptions(cfg)),
+        ds_(MakeDataset(cfg)),
+        sizes_(BuildSizeMap(ds_)),
+        shuffler_(ds_.train.Names(), cfg.seed),
+        batch_q_(eng_, 1) {}
+
+ protected:
+  std::uint64_t SizeOf(const std::string& name) const {
+    return sizes_.at(name);
+  }
+
+  /// The GPU-side consumer common to all three setups: pops batch tokens
+  /// and charges the synchronous data-parallel step time.
+  SimTask Trainer() {
+    while (auto b = co_await batch_q_.Pop()) {
+      const Nanos step =
+          b->validation
+              ? cfg_.model.ValidationStepTime(cfg_.global_batch, cfg_.num_gpus)
+              : cfg_.model.StepTime(cfg_.global_batch, cfg_.num_gpus);
+      co_await eng_.Delay(step);
+      if (!b->validation) samples_trained_ += b->count;
+    }
+    finished_at_ = eng_.Now();
+  }
+
+  RunResult Finish() {
+    RunResult r;
+    r.elapsed_s = ToSeconds(finished_at_);
+    r.fixed_overhead_s = ToSeconds(cfg_.costs.framework_startup);
+    r.full_scale_estimate_s =
+        (r.elapsed_s - r.fixed_overhead_s) * static_cast<double>(cfg_.scale) +
+        r.fixed_overhead_s;
+    r.reader_timeline = storage_.ReaderTimeline();
+    r.samples_trained = samples_trained_;
+    r.events = eng_.EventsProcessed();
+    return r;
+  }
+
+  const ExperimentConfig cfg_;
+  SimEngine eng_;
+  SimStorage storage_;
+  storage::ImageNetDataset ds_;
+  std::unordered_map<std::string, std::uint64_t> sizes_;
+  storage::EpochShuffler shuffler_;
+  SimQueue<BatchToken> batch_q_;
+  std::uint64_t samples_trained_ = 0;
+  Nanos finished_at_{0};
+};
+
+// ---------------------------------------------------------------------------
+// TF baseline: one loader thread reads + preprocesses on demand; the
+// capacity-1 batch queue gives the framework's natural one-batch
+// lookahead (the training loop's double buffering), nothing more.
+
+class TfBaselineRun : public TfRunBase {
+ public:
+  using TfRunBase::TfRunBase;
+
+  RunResult Run() {
+    SimTask loader = Loader();
+    loader.BindEngine(eng_);
+    SimTask trainer = Trainer();
+    trainer.BindEngine(eng_);
+    eng_.Run();
+    return Finish();
+  }
+
+ private:
+  SimTask Loader() {
+    co_await eng_.Delay(cfg_.costs.framework_startup);
+    for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+      const auto order = shuffler_.OrderFor(e);
+      std::size_t in_batch = 0;
+      for (const auto& name : order) {
+        co_await storage_.Read(name, SizeOf(name));
+        co_await eng_.Delay(cfg_.model.preprocess_per_sample);
+        if (++in_batch == cfg_.global_batch) {
+          co_await batch_q_.Push(BatchToken{false, in_batch});
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) co_await batch_q_.Push(BatchToken{false, in_batch});
+
+      if (cfg_.run_validation) {
+        in_batch = 0;
+        for (const auto& f : ds_.validation.files()) {
+          co_await storage_.Read(f.name, f.size);
+          co_await eng_.Delay(cfg_.model.preprocess_per_sample);
+          if (++in_batch == cfg_.global_batch) {
+            co_await batch_q_.Push(BatchToken{true, in_batch});
+            in_batch = 0;
+          }
+        }
+        if (in_batch > 0) co_await batch_q_.Push(BatchToken{true, in_batch});
+      }
+    }
+    batch_q_.Close();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TF optimized: a 30-reader pool feeds a prefetch buffer whose capacity
+// is governed by the reimplemented TensorFlow autotuner; readers also
+// run the map() preprocessing in parallel. This is the setup whose
+// thread usage Fig. 3 contrasts with PRISMA.
+
+class TfOptimizedRun : public TfRunBase {
+ public:
+  explicit TfOptimizedRun(const ExperimentConfig& cfg)
+      : TfRunBase(cfg),
+        tuner_(cfg.tf_tuner),
+        work_q_(eng_, 0),
+        sample_q_(eng_, tuner_.buffer_limit() * cfg.global_batch) {}
+
+  RunResult Run() {
+    std::vector<SimTask> tasks;
+    tasks.push_back(Bind(Feeder()));
+    for (std::uint32_t i = 0; i < tuner_.threads(); ++i) {
+      tasks.push_back(Bind(Reader()));
+    }
+    tasks.push_back(Bind(Consumer()));
+    SimTask trainer = Bind(Trainer());
+    eng_.Run();
+    return Finish();
+  }
+
+ private:
+  SimTask Bind(SimTask t) {
+    t.BindEngine(eng_);
+    return t;
+  }
+
+  SimTask Feeder() {
+    co_await eng_.Delay(cfg_.costs.framework_startup);
+    for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+      for (const auto& name : shuffler_.OrderFor(e)) {
+        co_await work_q_.Push(name);
+      }
+      if (cfg_.run_validation) {
+        for (const auto& f : ds_.validation.files()) {
+          co_await work_q_.Push(f.name);
+        }
+      }
+    }
+    work_q_.Close();
+  }
+
+  SimTask Reader() {
+    while (auto name = co_await work_q_.Pop()) {
+      co_await storage_.Read(*name, SizeOf(*name));
+      co_await eng_.Delay(cfg_.model.preprocess_per_sample);
+      if (!co_await sample_q_.Push(1)) break;
+    }
+  }
+
+  /// Input-pipeline consumer: assembles batches and forwards them to the
+  /// trainer, recording buffer occupancy for the TF autotuner exactly
+  /// where upstream does (on each consumption).
+  SimTask Consumer() {
+    co_await eng_.Delay(cfg_.costs.framework_startup);
+    const std::size_t train_count = ds_.train.NumFiles();
+    const std::size_t val_count =
+        cfg_.run_validation ? ds_.validation.NumFiles() : 0;
+    for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+      for (int phase = 0; phase < 2; ++phase) {
+        const bool validation = phase == 1;
+        std::size_t remaining = validation ? val_count : train_count;
+        while (remaining > 0) {
+          const std::size_t take = std::min(cfg_.global_batch, remaining);
+          for (std::size_t i = 0; i < take; ++i) {
+            if (!co_await sample_q_.Pop()) co_return;  // torn down
+          }
+          tuner_.RecordConsumption(sample_q_.Size() / cfg_.global_batch);
+          sample_q_.SetCapacity(tuner_.buffer_limit() * cfg_.global_batch);
+          if (!co_await batch_q_.Push(BatchToken{validation, take})) co_return;
+          remaining -= take;
+        }
+      }
+    }
+    batch_q_.Close();
+    sample_q_.Close();
+  }
+
+  controlplane::TfPrefetchAutotuner tuner_;
+  SimQueue<std::string> work_q_;
+  SimQueue<int> sample_q_;
+};
+
+// ---------------------------------------------------------------------------
+// PRISMA on TF: the baseline's single consumer now takes samples from
+// PRISMA's in-memory buffer; up to `t` producer slots prefetch in FIFO
+// order; the live PrismaAutotuner (identical code to the real control
+// plane) adjusts t and N from buffer statistics. Validation files are
+// NOT prefetched (pass-through), matching the prototype's limitation.
+
+class PrismaTfRun : public TfRunBase {
+ public:
+  explicit PrismaTfRun(const ExperimentConfig& cfg)
+      : TfRunBase(cfg),
+        tuner_(cfg.prisma_tuner),
+        pid_tuner_(cfg.pid_tuner),
+        prefetch_q_(eng_, 0),
+        buffer_(eng_, cfg.prisma_tuner.min_buffer),
+        slots_(eng_, cfg.prisma_tuner.min_producers),
+        target_producers_(cfg.prisma_tuner.min_producers) {}
+
+  RunResult Run() {
+    EnqueueEpoch(0);  // head start: prefetch begins at t=0
+    std::vector<SimTask> tasks;
+    const std::uint32_t pool = std::max(cfg_.prisma_tuner.max_producers,
+                                        cfg_.fixed_producers);
+    for (std::uint32_t i = 0; i < pool; ++i) {
+      tasks.push_back(Bind(Producer()));
+    }
+    tasks.push_back(Bind(Consumer()));
+    if (cfg_.fixed_producers > 0) {
+      // Ablation mode: pinned knobs, no control loop.
+      target_producers_ = cfg_.fixed_producers;
+      max_producers_seen_ = cfg_.fixed_producers;
+      slots_.SetTotal(cfg_.fixed_producers);
+      buffer_.SetCapacity(cfg_.fixed_buffer > 0
+                              ? cfg_.fixed_buffer
+                              : cfg_.fixed_producers *
+                                    cfg_.prisma_tuner.buffer_headroom);
+    } else {
+      tasks.push_back(Bind(ControllerLoop()));
+    }
+    SimTask trainer = Bind(Trainer());
+    eng_.Run();
+
+    RunResult r = Finish();
+    r.final_producers = target_producers_;
+    r.final_buffer = buffer_.Capacity();
+    r.max_producers_seen = max_producers_seen_;
+    return r;
+  }
+
+ private:
+  SimTask Bind(SimTask t) {
+    t.BindEngine(eng_);
+    return t;
+  }
+
+  void EnqueueEpoch(std::size_t epoch) {
+    for (auto& name : shuffler_.OrderFor(epoch)) {
+      prefetch_q_.TryPush(std::move(name));  // unbounded: never fails open
+    }
+  }
+
+  SimTask Producer() {
+    while (auto name = co_await prefetch_q_.Pop()) {
+      co_await slots_.Acquire();
+      const std::uint64_t bytes = SizeOf(*name);
+      co_await storage_.Read(*name, bytes);
+      const bool ok = co_await buffer_.Insert(std::move(*name), bytes);
+      slots_.Release();
+      if (!ok) break;
+    }
+  }
+
+  SimTask Consumer() {
+    co_await eng_.Delay(cfg_.costs.framework_startup);
+    for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+      std::size_t in_batch = 0;
+      for (const auto& name : shuffler_.OrderFor(e)) {
+        if (!co_await buffer_.Take(name)) co_return;  // torn down
+        co_await eng_.Delay(cfg_.costs.prisma_take_cost +
+                            cfg_.model.preprocess_per_sample);
+        if (++in_batch == cfg_.global_batch) {
+          co_await batch_q_.Push(BatchToken{false, in_batch});
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) co_await batch_q_.Push(BatchToken{false, in_batch});
+
+      // Announce the next epoch before validation starts so producers
+      // keep streaming while the GPU churns through validation batches.
+      if (e + 1 < cfg_.epochs) EnqueueEpoch(e + 1);
+
+      if (cfg_.run_validation) {
+        in_batch = 0;
+        for (const auto& f : ds_.validation.files()) {
+          co_await storage_.Read(f.name, f.size);  // pass-through
+          co_await eng_.Delay(cfg_.model.preprocess_per_sample);
+          if (++in_batch == cfg_.global_batch) {
+            co_await batch_q_.Push(BatchToken{true, in_batch});
+            in_batch = 0;
+          }
+        }
+        if (in_batch > 0) co_await batch_q_.Push(BatchToken{true, in_batch});
+      }
+    }
+    done_ = true;
+    batch_q_.Close();
+    prefetch_q_.Close();
+    buffer_.Close();
+  }
+
+  dataplane::StageStatsSnapshot Snapshot() const {
+    dataplane::StageStatsSnapshot s;
+    s.at = eng_.Now();
+    s.producers = target_producers_;
+    s.buffer_capacity = buffer_.Capacity();
+    s.buffer_occupancy = buffer_.Occupancy();
+    s.buffer_bytes = buffer_.OccupancyBytes();
+    const auto& c = buffer_.counters();
+    s.samples_produced = c.inserts;
+    s.samples_consumed = c.takes;
+    s.consumer_hits = c.consumer_hits;
+    s.consumer_waits = c.consumer_waits;
+    s.consumer_wait_time = c.consumer_wait_time;
+    s.producer_blocks = c.producer_blocks;
+    s.queue_depth = prefetch_q_.Size();
+    s.active_readers = storage_.Outstanding();
+    return s;
+  }
+
+  SimTask ControllerLoop() {
+    // Keep ticks-per-epoch constant across dataset scales: at scale s an
+    // epoch is s times shorter, so the cadence shrinks with it (otherwise
+    // the tuner sees only a handful of noisy ticks per epoch — a scaling
+    // artifact, not a property of the algorithm).
+    const Nanos interval = std::max<Nanos>(
+        Nanos{cfg_.costs.controller_interval.count() /
+              static_cast<std::int64_t>(cfg_.scale)},
+        Micros{200});
+    while (!done_) {
+      co_await eng_.Delay(interval);
+      if (done_) break;
+      const auto knobs =
+          cfg_.control_algorithm ==
+                  ExperimentConfig::ControlAlgorithm::kPidOccupancy
+              ? pid_tuner_.Tick(Snapshot())
+              : tuner_.Tick(Snapshot());
+      if (knobs.producers) {
+        target_producers_ = *knobs.producers;
+        slots_.SetTotal(static_cast<std::int64_t>(target_producers_));
+        max_producers_seen_ = std::max(max_producers_seen_, target_producers_);
+      }
+      if (knobs.buffer_capacity) buffer_.SetCapacity(*knobs.buffer_capacity);
+    }
+  }
+
+  controlplane::PrismaAutotuner tuner_;
+  controlplane::PidAutotuner pid_tuner_;
+  SimQueue<std::string> prefetch_q_;
+  SimSampleBuffer buffer_;
+  SimResource slots_;
+  std::uint32_t target_producers_;
+  std::uint32_t max_producers_seen_ = 1;
+  bool done_ = false;
+};
+
+}  // namespace
+
+RunResult RunTfBaseline(const ExperimentConfig& cfg) {
+  return TfBaselineRun(cfg).Run();
+}
+
+RunResult RunTfOptimized(const ExperimentConfig& cfg) {
+  return TfOptimizedRun(cfg).Run();
+}
+
+RunResult RunPrismaTf(const ExperimentConfig& cfg) {
+  return PrismaTfRun(cfg).Run();
+}
+
+}  // namespace prisma::baselines

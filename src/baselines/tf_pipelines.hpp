@@ -1,0 +1,16 @@
+// DES models of the three TensorFlow setups of §V.A. Entry points are
+// declared in experiment.hpp; this header only exists for tests that
+// want the shared batch-token type.
+#pragma once
+
+#include "baselines/experiment.hpp"
+
+namespace prisma::baselines {
+
+/// One batch handed from an input pipeline to the training step.
+struct BatchToken {
+  bool validation = false;
+  std::size_t count = 0;
+};
+
+}  // namespace prisma::baselines

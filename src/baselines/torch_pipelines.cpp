@@ -1,0 +1,394 @@
+// DES models of the §V.B setups: PyTorch DataLoader with 0-16 worker
+// processes, and PRISMA integrated through the UDS server.
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/experiment.hpp"
+#include "sim/primitives.hpp"
+#include "sim/storage_actor.hpp"
+#include "sim/task.hpp"
+#include "storage/shuffler.hpp"
+
+namespace prisma::baselines {
+namespace {
+
+using sim::SimEngine;
+using sim::SimQueue;
+using sim::SimResource;
+using sim::SimSampleBuffer;
+using sim::SimStorage;
+using sim::SimTask;
+
+sim::SimStorageOptions StorageOptions(const ExperimentConfig& cfg) {
+  sim::SimStorageOptions o;
+  o.profile = cfg.device;
+  o.page_cache_bytes = cfg.page_cache_bytes;
+  o.seed = cfg.seed * 104729 + 29;
+  return o;
+}
+
+/// Shared epoch-order type: workers index into it by batch.
+using EpochOrder = std::shared_ptr<const std::vector<std::string>>;
+
+class TorchRunBase {
+ public:
+  TorchRunBase(const ExperimentConfig& cfg, std::size_t workers)
+      : cfg_(cfg),
+        workers_(workers),
+        storage_(eng_, StorageOptions(cfg)),
+        ds_(MakeDataset(cfg)),
+        sizes_(BuildSizeMap(ds_)),
+        shuffler_(ds_.train.Names(), cfg.seed) {
+    // PyTorch's per-step loop overhead replaces the TF dispatch constant,
+    // and per-sample compute is scaled by the framework speed ratio.
+    model_ = cfg.model;
+    model_.step_overhead = cfg.costs.torch_step_overhead;
+    model_.gpu_per_sample = std::chrono::duration_cast<Nanos>(
+        model_.gpu_per_sample * cfg.costs.torch_gpu_factor);
+  }
+
+ protected:
+  std::uint64_t SizeOf(const std::string& name) const {
+    return sizes_.at(name);
+  }
+
+  std::size_t StepsFor(std::size_t count) const {
+    return (count + cfg_.global_batch - 1) / cfg_.global_batch;
+  }
+
+  std::size_t BatchCount(std::size_t batch_index, std::size_t total) const {
+    const std::size_t start = batch_index * cfg_.global_batch;
+    return std::min(cfg_.global_batch, total - start);
+  }
+
+  /// Validation: read + forward, inline in the main process (both setups
+  /// treat validation identically so Fig. 4 deltas come from training).
+  SimTask ValidationPass() {
+    std::size_t in_batch = 0;
+    for (const auto& f : ds_.validation.files()) {
+      co_await storage_.Read(f.name, f.size);
+      co_await eng_.Delay(model_.preprocess_per_sample);
+      if (++in_batch == cfg_.global_batch) {
+        co_await eng_.Delay(
+            model_.ValidationStepTime(cfg_.global_batch, cfg_.num_gpus));
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      co_await eng_.Delay(
+          model_.ValidationStepTime(cfg_.global_batch, cfg_.num_gpus));
+    }
+  }
+
+  RunResult Finish() {
+    RunResult r;
+    r.elapsed_s = ToSeconds(finished_at_);
+    // Startup plus one worker-fleet spawn per epoch never scale with the
+    // dataset (the spawn overlaps nothing at epoch start).
+    r.fixed_overhead_s = ToSeconds(cfg_.costs.framework_startup);
+    if (workers_ > 0) {
+      r.fixed_overhead_s +=
+          ToSeconds(cfg_.costs.torch_worker_spawn) * cfg_.epochs;
+    }
+    r.full_scale_estimate_s =
+        (r.elapsed_s - r.fixed_overhead_s) * static_cast<double>(cfg_.scale) +
+        r.fixed_overhead_s;
+    r.reader_timeline = storage_.ReaderTimeline();
+    r.samples_trained = samples_trained_;
+    r.events = eng_.EventsProcessed();
+    return r;
+  }
+
+  SimTask Bind(SimTask t) {
+    t.BindEngine(eng_);
+    return t;
+  }
+
+  const ExperimentConfig cfg_;
+  std::size_t workers_;
+  sim::ModelProfile model_;
+  SimEngine eng_;
+  SimStorage storage_;
+  storage::ImageNetDataset ds_;
+  std::unordered_map<std::string, std::uint64_t> sizes_;
+  storage::EpochShuffler shuffler_;
+  std::uint64_t samples_trained_ = 0;
+  Nanos finished_at_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Native PyTorch DataLoader.
+//  * workers == 0: the training loop loads each batch inline — fully
+//    serial with GPU compute (why 0 workers is the paper's worst case).
+//  * workers == w: w processes assemble batches round-robin, each keeping
+//    up to prefetch_factor batches in flight; workers respawn per epoch
+//    (the DataLoader default), which PRISMA's head start exploits.
+
+class TorchNativeRun : public TorchRunBase {
+ public:
+  using TorchRunBase::TorchRunBase;
+
+  RunResult Run() {
+    SimTask main = Bind(Main());
+    eng_.Run();
+    return Finish();
+  }
+
+ private:
+  SimTask Main() {
+    co_await eng_.Delay(cfg_.costs.framework_startup);
+    for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+      const auto order = std::make_shared<const std::vector<std::string>>(
+          shuffler_.OrderFor(e));
+      const std::size_t steps = StepsFor(order->size());
+
+      if (workers_ == 0) {
+        for (std::size_t b = 0; b < steps; ++b) {
+          const std::size_t n = BatchCount(b, order->size());
+          for (std::size_t i = 0; i < n; ++i) {
+            const auto& name = (*order)[b * cfg_.global_batch + i];
+            co_await storage_.Read(name, SizeOf(name));
+            co_await eng_.Delay(model_.preprocess_per_sample);
+          }
+          co_await eng_.Delay(
+              model_.StepTime(cfg_.global_batch, cfg_.num_gpus));
+          samples_trained_ += n;
+        }
+      } else {
+        // Per-epoch worker fleet with bounded-lookahead output queues.
+        std::vector<std::unique_ptr<SimQueue<std::size_t>>> out;
+        out.reserve(workers_);
+        for (std::size_t i = 0; i < workers_; ++i) {
+          out.push_back(std::make_unique<SimQueue<std::size_t>>(eng_, 2));
+        }
+        std::vector<SimTask> fleet;
+        fleet.reserve(workers_);
+        for (std::size_t id = 0; id < workers_; ++id) {
+          fleet.push_back(Bind(Worker(order, steps, id, out[id].get())));
+        }
+        for (std::size_t b = 0; b < steps; ++b) {
+          co_await out[b % workers_]->Pop();
+          co_await eng_.Delay(
+              model_.StepTime(cfg_.global_batch, cfg_.num_gpus));
+          samples_trained_ += BatchCount(b, order->size());
+        }
+        for (const auto& w : fleet) co_await w;
+      }
+
+      if (cfg_.run_validation) co_await ValidationPass();
+    }
+    finished_at_ = eng_.Now();
+  }
+
+  SimTask Worker(EpochOrder order, std::size_t steps, std::size_t id,
+                 SimQueue<std::size_t>* out) {
+    co_await eng_.Delay(cfg_.costs.torch_worker_spawn);
+    for (std::size_t b = id; b < steps; b += workers_) {
+      const std::size_t n = BatchCount(b, order->size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& name = (*order)[b * cfg_.global_batch + i];
+        co_await storage_.Read(name, SizeOf(name));
+        co_await eng_.Delay(model_.preprocess_per_sample);
+      }
+      if (!co_await out->Push(b)) break;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PRISMA under PyTorch: the same worker structure, but every sample fetch
+// traverses the UDS server — a serialized critical section (request
+// decode + the SampleBuffer lock + reply copy) — into PRISMA's buffer.
+// Producers fill the buffer exactly as in the TF integration, also paying
+// the shared lock on insert. With many workers the lock becomes the
+// bottleneck the paper reports for 8+ workers.
+
+class PrismaTorchRun : public TorchRunBase {
+ public:
+  PrismaTorchRun(const ExperimentConfig& cfg, std::size_t workers)
+      : TorchRunBase(cfg, workers),
+        tuner_(cfg.prisma_tuner),
+        prefetch_q_(eng_, 0),
+        buffer_(eng_, cfg.prisma_tuner.min_buffer),
+        slots_(eng_, cfg.prisma_tuner.min_producers),
+        server_lock_(eng_, 1),
+        target_producers_(cfg.prisma_tuner.min_producers) {}
+
+  RunResult Run() {
+    EnqueueEpoch(0);  // head start: producers fill during startup
+    const std::uint32_t pool = std::max(cfg_.prisma_tuner.max_producers,
+                                        cfg_.fixed_producers);
+    for (std::uint32_t i = 0; i < pool; ++i) {
+      Bind(Producer());
+    }
+    if (cfg_.fixed_producers > 0) {
+      target_producers_ = cfg_.fixed_producers;
+      max_producers_seen_ = cfg_.fixed_producers;
+      slots_.SetTotal(cfg_.fixed_producers);
+      buffer_.SetCapacity(cfg_.fixed_buffer > 0
+                              ? cfg_.fixed_buffer
+                              : cfg_.fixed_producers *
+                                    cfg_.prisma_tuner.buffer_headroom);
+    } else {
+      Bind(ControllerLoop());
+    }
+    SimTask main = Bind(Main());
+    eng_.Run();
+
+    RunResult r = Finish();
+    r.final_producers = target_producers_;
+    r.final_buffer = buffer_.Capacity();
+    r.max_producers_seen = max_producers_seen_;
+    return r;
+  }
+
+ private:
+  void EnqueueEpoch(std::size_t epoch) {
+    for (auto& name : shuffler_.OrderFor(epoch)) {
+      prefetch_q_.TryPush(std::move(name));
+    }
+  }
+
+  SimTask Producer() {
+    while (auto name = co_await prefetch_q_.Pop()) {
+      co_await slots_.Acquire();
+      const std::uint64_t bytes = SizeOf(*name);
+      co_await storage_.Read(*name, bytes);
+      // Insert serializes on the shared buffer lock.
+      co_await server_lock_.Acquire();
+      co_await eng_.Delay(cfg_.costs.uds_insert_cost);
+      server_lock_.Release();
+      const bool ok = co_await buffer_.Insert(std::move(*name), bytes);
+      slots_.Release();
+      if (!ok) break;
+    }
+  }
+
+  /// One sample fetched through the server by a worker (or the main
+  /// process when workers == 0).
+  SimTask FetchViaServer(std::string name) {
+    co_await server_lock_.Acquire();
+    co_await eng_.Delay(cfg_.costs.uds_request_cost);
+    server_lock_.Release();
+    co_await buffer_.Take(std::move(name));
+    co_await eng_.Delay(model_.preprocess_per_sample);
+  }
+
+  SimTask Main() {
+    co_await eng_.Delay(cfg_.costs.framework_startup);
+    for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+      const auto order = std::make_shared<const std::vector<std::string>>(
+          shuffler_.OrderFor(e));
+      const std::size_t steps = StepsFor(order->size());
+
+      if (workers_ == 0) {
+        for (std::size_t b = 0; b < steps; ++b) {
+          const std::size_t n = BatchCount(b, order->size());
+          for (std::size_t i = 0; i < n; ++i) {
+            co_await FetchViaServer((*order)[b * cfg_.global_batch + i]);
+          }
+          co_await eng_.Delay(
+              model_.StepTime(cfg_.global_batch, cfg_.num_gpus));
+          samples_trained_ += n;
+        }
+      } else {
+        std::vector<std::unique_ptr<SimQueue<std::size_t>>> out;
+        out.reserve(workers_);
+        for (std::size_t i = 0; i < workers_; ++i) {
+          out.push_back(std::make_unique<SimQueue<std::size_t>>(eng_, 2));
+        }
+        std::vector<SimTask> fleet;
+        fleet.reserve(workers_);
+        for (std::size_t id = 0; id < workers_; ++id) {
+          fleet.push_back(Bind(Worker(order, steps, id, out[id].get())));
+        }
+        for (std::size_t b = 0; b < steps; ++b) {
+          co_await out[b % workers_]->Pop();
+          co_await eng_.Delay(
+              model_.StepTime(cfg_.global_batch, cfg_.num_gpus));
+          samples_trained_ += BatchCount(b, order->size());
+        }
+        for (const auto& w : fleet) co_await w;
+      }
+
+      if (e + 1 < cfg_.epochs) EnqueueEpoch(e + 1);
+      if (cfg_.run_validation) co_await ValidationPass();
+    }
+    finished_at_ = eng_.Now();
+    done_ = true;
+    prefetch_q_.Close();
+    buffer_.Close();
+  }
+
+  SimTask Worker(EpochOrder order, std::size_t steps, std::size_t id,
+                 SimQueue<std::size_t>* out) {
+    co_await eng_.Delay(cfg_.costs.torch_worker_spawn);
+    for (std::size_t b = id; b < steps; b += workers_) {
+      const std::size_t n = BatchCount(b, order->size());
+      for (std::size_t i = 0; i < n; ++i) {
+        co_await FetchViaServer((*order)[b * cfg_.global_batch + i]);
+      }
+      if (!co_await out->Push(b)) break;
+    }
+  }
+
+  dataplane::StageStatsSnapshot Snapshot() const {
+    dataplane::StageStatsSnapshot s;
+    s.at = eng_.Now();
+    s.producers = target_producers_;
+    s.buffer_capacity = buffer_.Capacity();
+    s.buffer_occupancy = buffer_.Occupancy();
+    s.buffer_bytes = buffer_.OccupancyBytes();
+    const auto& c = buffer_.counters();
+    s.samples_produced = c.inserts;
+    s.samples_consumed = c.takes;
+    s.consumer_hits = c.consumer_hits;
+    s.consumer_waits = c.consumer_waits;
+    s.consumer_wait_time = c.consumer_wait_time;
+    s.producer_blocks = c.producer_blocks;
+    s.queue_depth = prefetch_q_.Size();
+    s.active_readers = storage_.Outstanding();
+    return s;
+  }
+
+  SimTask ControllerLoop() {
+    // Cadence tracks dataset scale (see the TF pipelines' note).
+    const Nanos interval = std::max<Nanos>(
+        Nanos{cfg_.costs.controller_interval.count() /
+              static_cast<std::int64_t>(cfg_.scale)},
+        Micros{200});
+    while (!done_) {
+      co_await eng_.Delay(interval);
+      if (done_) break;
+      const auto knobs = tuner_.Tick(Snapshot());
+      if (knobs.producers) {
+        target_producers_ = *knobs.producers;
+        slots_.SetTotal(static_cast<std::int64_t>(target_producers_));
+        max_producers_seen_ = std::max(max_producers_seen_, target_producers_);
+      }
+      if (knobs.buffer_capacity) buffer_.SetCapacity(*knobs.buffer_capacity);
+    }
+  }
+
+  controlplane::PrismaAutotuner tuner_;
+  SimQueue<std::string> prefetch_q_;
+  SimSampleBuffer buffer_;
+  SimResource slots_;
+  SimResource server_lock_;
+  std::uint32_t target_producers_;
+  std::uint32_t max_producers_seen_ = 1;
+  bool done_ = false;
+};
+
+}  // namespace
+
+RunResult RunTorch(const ExperimentConfig& cfg, std::size_t workers) {
+  return TorchNativeRun(cfg, workers).Run();
+}
+
+RunResult RunPrismaTorch(const ExperimentConfig& cfg, std::size_t workers) {
+  return PrismaTorchRun(cfg, workers).Run();
+}
+
+}  // namespace prisma::baselines

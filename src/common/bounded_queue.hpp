@@ -1,0 +1,142 @@
+// Blocking bounded MPMC queue with close semantics.
+//
+// Used for the data plane's FIFO filename queue and for batch hand-off
+// between pipeline stages in the live integrations. Closing wakes all
+// waiters; pops drain remaining items before reporting closed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace prisma {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit BoundedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns Aborted if closed.
+  Status Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || !Full(); });
+    if (closed_) return Status::Aborted("queue closed");
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Non-blocking push. Returns ResourceExhausted when full.
+  Status TryPush(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return Status::Aborted("queue closed");
+      if (Full()) return Status::ResourceExhausted("queue full");
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Blocks while empty. Returns nullopt once closed *and* drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Pop with a deadline: waits at most `timeout` for an item. Returns
+  /// nullopt on timeout or when closed-and-drained. Used by resizable
+  /// worker loops that must periodically re-check their retirement flag.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::optional<T> out;
+    {
+      std::lock_guard lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Marks the queue closed; producers fail, consumers drain then stop.
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Reopens a closed queue (e.g. between training epochs).
+  void Reopen() {
+    std::lock_guard lock(mu_);
+    closed_ = false;
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Adjusts capacity at runtime (control-plane knob). Growing wakes
+  /// blocked producers; shrinking never discards queued items.
+  void SetCapacity(std::size_t capacity) {
+    {
+      std::lock_guard lock(mu_);
+      capacity_ = capacity;
+    }
+    not_full_.notify_all();
+  }
+
+ private:
+  bool Full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace prisma

@@ -1,0 +1,16 @@
+#include "common/clock.hpp"
+
+namespace prisma {
+
+Nanos SteadyClock::Now() const {
+  return std::chrono::duration_cast<Nanos>(
+      std::chrono::steady_clock::now().time_since_epoch());
+}
+
+const std::shared_ptr<SteadyClock>& SteadyClock::Shared() {
+  static const std::shared_ptr<SteadyClock> instance =
+      std::make_shared<SteadyClock>();
+  return instance;
+}
+
+}  // namespace prisma

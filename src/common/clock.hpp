@@ -1,0 +1,60 @@
+// Clock abstraction so that control-plane and data-plane logic runs
+// unchanged against wall-clock time (real deployments, tests, examples)
+// and against the discrete-event engine's virtual time (paper-scale
+// benchmarks). See DESIGN.md §6.1.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/units.hpp"
+
+namespace prisma {
+
+/// Monotonic time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary (per-clock) epoch. Monotonic.
+  virtual Nanos Now() const = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  Nanos Now() const override;
+
+  /// Process-wide shared instance (clocks are stateless; sharing is safe).
+  static const std::shared_ptr<SteadyClock>& Shared();
+};
+
+/// Manually advanced clock for unit tests and the DES engine.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = Nanos{0}) : now_(start.count()) {}
+
+  Nanos Now() const override { return Nanos{now_.load(std::memory_order_acquire)}; }
+
+  void Advance(Nanos delta) { now_.fetch_add(delta.count(), std::memory_order_acq_rel); }
+  void Set(Nanos t) { now_.store(t.count(), std::memory_order_release); }
+
+ private:
+  std::atomic<std::int64_t> now_;
+};
+
+/// RAII stopwatch measuring elapsed time against an injected clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(clock), start_(clock.Now()) {}
+
+  Nanos Elapsed() const { return clock_.Now() - start_; }
+  void Restart() { start_ = clock_.Now(); }
+
+ private:
+  const Clock& clock_;
+  Nanos start_;
+};
+
+}  // namespace prisma

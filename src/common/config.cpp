@@ -1,0 +1,194 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace prisma {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+Result<Config> Config::FromString(std::string_view text) {
+  Config cfg;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("config line " + std::to_string(line_no) +
+                                     ": missing '='");
+    }
+    const std::string_view key = Trim(line.substr(0, eq));
+    const std::string_view value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument("config line " + std::to_string(line_no) +
+                                     ": empty key");
+    }
+    cfg.Set(std::string(key), std::string(value));
+  }
+  return cfg;
+}
+
+Result<Config> Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("config file not found: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return FromString(ss.str());
+}
+
+void Config::Set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::Has(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::optional<std::string> Config::GetString(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::GetString(std::string_view key, std::string fallback) const {
+  auto v = GetString(key);
+  return v ? *v : std::move(fallback);
+}
+
+Result<std::int64_t> Config::GetInt(std::string_view key) const {
+  const auto v = GetString(key);
+  if (!v) return Status::NotFound("missing key: " + std::string(key));
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc{} || ptr != v->data() + v->size()) {
+    return Status::InvalidArgument("key " + std::string(key) +
+                                   ": not an integer: " + *v);
+  }
+  return out;
+}
+
+std::int64_t Config::GetInt(std::string_view key, std::int64_t fallback) const {
+  const auto r = GetInt(key);
+  return r.ok() ? *r : fallback;
+}
+
+Result<double> Config::GetDouble(std::string_view key) const {
+  const auto v = GetString(key);
+  if (!v) return Status::NotFound("missing key: " + std::string(key));
+  try {
+    std::size_t idx = 0;
+    const double out = std::stod(*v, &idx);
+    if (idx != v->size()) throw std::invalid_argument("trailing chars");
+    return out;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("key " + std::string(key) +
+                                   ": not a number: " + *v);
+  }
+}
+
+double Config::GetDouble(std::string_view key, double fallback) const {
+  const auto r = GetDouble(key);
+  return r.ok() ? *r : fallback;
+}
+
+Result<bool> Config::GetBool(std::string_view key) const {
+  const auto v = GetString(key);
+  if (!v) return Status::NotFound("missing key: " + std::string(key));
+  const std::string lower = ToLower(*v);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
+  return Status::InvalidArgument("key " + std::string(key) +
+                                 ": not a boolean: " + *v);
+}
+
+bool Config::GetBool(std::string_view key, bool fallback) const {
+  const auto r = GetBool(key);
+  return r.ok() ? *r : fallback;
+}
+
+Result<std::uint64_t> Config::ParseBytes(std::string_view text) {
+  const std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) return Status::InvalidArgument("empty byte size");
+
+  std::size_t i = 0;
+  while (i < trimmed.size() &&
+         (std::isdigit(static_cast<unsigned char>(trimmed[i])) || trimmed[i] == '.')) {
+    ++i;
+  }
+  double value = 0.0;
+  try {
+    value = std::stod(std::string(trimmed.substr(0, i)));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad byte size: " + std::string(text));
+  }
+
+  const std::string unit = ToLower(Trim(trimmed.substr(i)));
+  double mult = 1.0;
+  if (unit.empty() || unit == "b") {
+    mult = 1.0;
+  } else if (unit == "kib" || unit == "k" || unit == "kb") {
+    mult = static_cast<double>(kKiB);
+  } else if (unit == "mib" || unit == "m" || unit == "mb") {
+    mult = static_cast<double>(kMiB);
+  } else if (unit == "gib" || unit == "g" || unit == "gb") {
+    mult = static_cast<double>(kGiB);
+  } else if (unit == "tib" || unit == "t" || unit == "tb") {
+    mult = static_cast<double>(kTiB);
+  } else {
+    return Status::InvalidArgument("unknown byte unit: " + unit);
+  }
+  if (value < 0.0) return Status::InvalidArgument("negative byte size");
+  return static_cast<std::uint64_t>(value * mult);
+}
+
+Result<std::uint64_t> Config::GetBytes(std::string_view key) const {
+  const auto v = GetString(key);
+  if (!v) return Status::NotFound("missing key: " + std::string(key));
+  auto parsed = ParseBytes(*v);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("key " + std::string(key) + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+std::uint64_t Config::GetBytes(std::string_view key, std::uint64_t fallback) const {
+  const auto r = GetBytes(key);
+  return r.ok() ? *r : fallback;
+}
+
+}  // namespace prisma

@@ -1,0 +1,59 @@
+// Flat key=value configuration with typed getters.
+//
+// Experiments, examples, and the LD_PRELOAD shim are parameterised through
+// this (files, strings, or environment). Keys are case-sensitive; values
+// are trimmed; '#' starts a comment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace prisma {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key = value" lines. Later duplicates override earlier ones.
+  static Result<Config> FromString(std::string_view text);
+
+  /// Reads and parses a config file.
+  static Result<Config> FromFile(const std::string& path);
+
+  void Set(std::string key, std::string value);
+  bool Has(std::string_view key) const;
+
+  std::optional<std::string> GetString(std::string_view key) const;
+  std::string GetString(std::string_view key, std::string fallback) const;
+
+  Result<std::int64_t> GetInt(std::string_view key) const;
+  std::int64_t GetInt(std::string_view key, std::int64_t fallback) const;
+
+  Result<double> GetDouble(std::string_view key) const;
+  double GetDouble(std::string_view key, double fallback) const;
+
+  Result<bool> GetBool(std::string_view key) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+
+  /// Byte sizes with optional suffix: "64KiB", "1.5GiB", "4096".
+  Result<std::uint64_t> GetBytes(std::string_view key) const;
+  std::uint64_t GetBytes(std::string_view key, std::uint64_t fallback) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  /// Parses a standalone byte-size literal (shared with GetBytes).
+  static Result<std::uint64_t> ParseBytes(std::string_view text);
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace prisma

@@ -1,0 +1,34 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace prisma {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;  // reflected IEEE
+
+constexpr std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::byte> data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    c = kTable[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace prisma

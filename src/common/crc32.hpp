@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) — integrity checksums for
+// the record-shard container format (storage/record_format.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace prisma {
+
+/// Computes CRC-32 over `data`, continuing from `seed` (pass the previous
+/// result to checksum data in chunks; start from the default for a fresh
+/// computation).
+std::uint32_t Crc32(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+}  // namespace prisma

@@ -1,0 +1,107 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace prisma {
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)), counts_(boundaries_.size() + 1, 0) {
+  // Boundaries must be sorted for the bucket search below.
+  std::sort(boundaries_.begin(), boundaries_.end());
+}
+
+Histogram Histogram::Exponential(double first, double growth, std::size_t n) {
+  std::vector<double> b;
+  b.reserve(n);
+  double v = first;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.push_back(v);
+    v *= growth;
+  }
+  return Histogram(std::move(b));
+}
+
+void Histogram::Add(double value) {
+  const auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), value);
+  counts_[static_cast<std::size_t>(it - boundaries_.begin())]++;
+  if (total_ == 0 || value < min_) min_ = value;
+  if (total_ == 0 || value > max_) max_ = value;
+  ++total_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      // Interpolate inside bucket i. Bucket edges:
+      const double lo = (i == 0) ? min_ : boundaries_[i - 1];
+      const double hi = (i == boundaries_.size()) ? max_ : boundaries_[i];
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+void OccupancyTimeline::Record(Nanos now, std::int64_t value) {
+  if (has_last_) {
+    Accumulate(now);
+  }
+  has_last_ = true;
+  last_time_ = now;
+  last_value_ = value;
+  max_value_ = std::max(max_value_, value);
+}
+
+void OccupancyTimeline::Finish(Nanos end) {
+  if (has_last_) {
+    Accumulate(end);
+    last_time_ = end;
+  }
+}
+
+void OccupancyTimeline::Accumulate(Nanos until) {
+  const Nanos span = until - last_time_;
+  if (span.count() <= 0) return;
+  time_at_value_[last_value_] += span;
+  total_time_ += span;
+}
+
+std::vector<CdfPoint> OccupancyTimeline::Cdf() const {
+  std::vector<CdfPoint> out;
+  if (total_time_.count() == 0) return out;
+  double cum = 0.0;
+  for (const auto& [value, t] : time_at_value_) {
+    cum += ToSeconds(t) / ToSeconds(total_time_);
+    out.push_back({static_cast<double>(value), std::min(cum, 1.0)});
+  }
+  return out;
+}
+
+double OccupancyTimeline::TimeWeightedMean() const {
+  if (total_time_.count() == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [value, t] : time_at_value_) {
+    acc += static_cast<double>(value) * ToSeconds(t);
+  }
+  return acc / ToSeconds(total_time_);
+}
+
+std::string FormatCdf(const std::vector<CdfPoint>& cdf) {
+  std::string out;
+  char buf[64];
+  for (const auto& p : cdf) {
+    std::snprintf(buf, sizeof(buf), "  %6.0f  %6.2f%%\n", p.value,
+                  p.cumulative * 100.0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace prisma

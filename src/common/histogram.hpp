@@ -1,0 +1,91 @@
+// Histograms and empirical CDFs.
+//
+// Figure 3 of the paper is a CDF over "number of concurrent I/O threads"
+// weighted by the time spent at each thread count; OccupancyTimeline
+// records (time, value) transitions and converts them into that CDF.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace prisma {
+
+/// Fixed-boundary histogram over doubles (latency distributions etc.).
+class Histogram {
+ public:
+  /// Buckets: (-inf, b0], (b0, b1], ..., (b_{n-1}, +inf).
+  explicit Histogram(std::vector<double> boundaries);
+
+  /// Convenience: n exponential buckets starting at `first`, factor `growth`.
+  static Histogram Exponential(double first, double growth, std::size_t n);
+
+  void Add(double value);
+  std::uint64_t TotalCount() const { return total_; }
+
+  /// Approximate quantile q in [0,1] by linear interpolation in-bucket.
+  double Quantile(double q) const;
+
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::uint64_t> counts_;  // boundaries_.size() + 1 buckets
+  std::uint64_t total_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One point of a discrete CDF: P(X <= value) = cumulative.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative = 0.0;  // in [0, 1]
+};
+
+/// Records a step function of an integer quantity over time (e.g. number
+/// of concurrently reading threads) and summarises it as a time-weighted
+/// distribution. Not thread-safe; each recording site owns one timeline.
+class OccupancyTimeline {
+ public:
+  /// Registers that the tracked value changed to `value` at time `now`.
+  /// Times must be non-decreasing.
+  void Record(Nanos now, std::int64_t value);
+
+  /// Closes the timeline at `end`, attributing trailing time to the last
+  /// recorded value.
+  void Finish(Nanos end);
+
+  /// Total time spent at each value. Only valid after Finish().
+  const std::map<std::int64_t, Nanos>& TimeAtValue() const { return time_at_value_; }
+
+  /// Time-weighted CDF: fraction of total time spent at <= value.
+  std::vector<CdfPoint> Cdf() const;
+
+  /// Time-weighted mean of the tracked value.
+  double TimeWeightedMean() const;
+
+  /// Largest value ever recorded (0 if empty).
+  std::int64_t MaxValue() const { return max_value_; }
+
+  Nanos TotalTime() const { return total_time_; }
+
+ private:
+  void Accumulate(Nanos until);
+
+  bool has_last_ = false;
+  Nanos last_time_{0};
+  std::int64_t last_value_ = 0;
+  std::int64_t max_value_ = 0;
+  Nanos total_time_{0};
+  std::map<std::int64_t, Nanos> time_at_value_;
+};
+
+/// Formats a CDF as aligned text rows "value  cumulative%" for bench output.
+std::string FormatCdf(const std::vector<CdfPoint>& cdf);
+
+}  // namespace prisma

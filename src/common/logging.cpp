@@ -1,0 +1,41 @@
+#include "common/logging.hpp"
+
+#include <mutex>
+
+namespace prisma {
+namespace {
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (!Enabled(level)) return;
+  std::lock_guard lock(SinkMutex());
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", LevelName(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace prisma

@@ -1,0 +1,70 @@
+// Minimal leveled, thread-safe logger.
+//
+// PRISMA components log through LOG(level) macros; the sink defaults to
+// stderr and can be silenced in tests/benchmarks. Formatting happens only
+// when the level is enabled.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace prisma {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_.store(static_cast<int>(level), std::memory_order_relaxed); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load(std::memory_order_relaxed)); }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes one line "[LEVEL] component: message" atomically.
+  void Write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+};
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LineBuilder() { Logger::Instance().Write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+// Usage: PRISMA_LOG(kInfo, "dataplane") << "buffer resized to " << n;
+#define PRISMA_LOG(level, component)                                  \
+  if (!::prisma::Logger::Instance().Enabled(::prisma::LogLevel::level)) {} \
+  else ::prisma::log_internal::LineBuilder(::prisma::LogLevel::level, (component))
+
+}  // namespace prisma

@@ -1,0 +1,64 @@
+#include "common/metrics.hpp"
+
+#include <cstdio>
+
+namespace prisma {
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels) {
+  const std::string key = name + labels;
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels) {
+  const std::string key = name + labels;
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  char buf[64];
+  for (const auto& [key, counter] : counters_) {
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(counter->Value()));
+    out += key;
+    out += buf;
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    std::snprintf(buf, sizeof(buf), " %g\n", gauge->Value());
+    out += key;
+    out += buf;
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string MetricsRegistry::Label(const std::string& key,
+                                   const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  return "{" + key + "=\"" + escaped + "\"}";
+}
+
+}  // namespace prisma

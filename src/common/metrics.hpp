@@ -1,0 +1,68 @@
+// Minimal metrics registry: named counters and gauges with a text
+// exposition format (Prometheus-style `name{label="v"} value` lines).
+//
+// The control plane publishes per-stage observations through this so
+// operators can scrape stage health (buffer occupancy, producer counts,
+// starvation) without touching the data path; see
+// controlplane::Controller::ExportMetrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace prisma {
+
+/// Monotonic counter. Cheap to increment from hot paths.
+class Counter {
+ public:
+  void Increment(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time gauge.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe registry keyed by (name, label-set). Instruments are
+/// created on first use and live as long as the registry.
+class MetricsRegistry {
+ public:
+  /// `labels` is a pre-rendered label block, e.g. `{stage="job-0"}`, or
+  /// empty. Kept as a string to stay allocation-light on lookups.
+  Counter& GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge& GetGauge(const std::string& name, const std::string& labels = "");
+
+  /// Renders every instrument as `name labels value` lines, sorted by
+  /// key, counters before gauges are NOT separated — order is by name.
+  std::string DumpText() const;
+
+  std::size_t size() const;
+
+  /// Process-wide default registry.
+  static MetricsRegistry& Default();
+
+  /// Renders a single-label block: {key="value"} with quoting of '"'.
+  static std::string Label(const std::string& key, const std::string& value);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace prisma

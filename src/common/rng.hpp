@@ -1,0 +1,124 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic behaviour in PRISMA (dataset size sampling, per-epoch
+// shuffles, simulated service-time jitter) flows through these generators so
+// experiments are reproducible from a single seed. xoshiro256** is used as
+// the workhorse; SplitMix64 seeds it and derives independent streams.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+
+namespace prisma {
+
+/// SplitMix64: tiny generator used to expand a single seed into full state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: high-quality 64-bit generator (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator, so it works with std::shuffle.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // 128-bit multiply keeps the distribution unbiased after rejection.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Normal deviate (Box-Muller; one value per call, simple over fast).
+  double NextGaussian(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    while (u1 <= 0.0) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Log-normal deviate parameterised by the *underlying* normal (mu, sigma).
+  double NextLogNormal(double mu, double sigma) {
+    return std::exp(NextGaussian(mu, sigma));
+  }
+
+  /// Exponential deviate with the given mean (> 0).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    while (u <= 0.0) u = NextDouble();
+    return -mean * std::log(u);
+  }
+
+  /// Derives an independent stream for a subcomponent (e.g. per-producer).
+  Xoshiro256 Fork() { return Xoshiro256(Next() ^ 0xd1342543de82ef95ull); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher-Yates shuffle driven by Xoshiro256 (deterministic per seed).
+template <typename T>
+void Shuffle(std::span<T> items, Xoshiro256& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = rng.NextBounded(i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace prisma

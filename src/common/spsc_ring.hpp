@@ -1,0 +1,70 @@
+// Wait-free single-producer/single-consumer ring buffer.
+//
+// Used on the hottest hand-off path (per-connection IPC reply buffers and
+// the intercept layer's read-ahead slot) where both ends are single
+// threads and blocking queues would dominate the per-sample cost.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace prisma {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// capacity must be a power of two (>= 2); one slot is kept empty.
+  explicit SpscRing(std::size_t capacity)
+      : buffer_(RoundUpPow2(capacity)), mask_(buffer_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool TryPush(T item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buffer_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> TryPop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T item = std::move(buffer_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return item;
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t Size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  std::size_t Capacity() const { return buffer_.size() - 1; }
+
+ private:
+  static std::size_t RoundUpPow2(std::size_t v) {
+    std::size_t p = 2;
+    while (p < v + 1) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace prisma

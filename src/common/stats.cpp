@@ -1,0 +1,17 @@
+// stats.hpp is header-only; this TU exists so the library always has at
+// least one object with the header instantiated under -Wall (catches ODR
+// and missing-include slips early).
+#include "common/stats.hpp"
+
+namespace prisma {
+namespace {
+[[maybe_unused]] void InstantiateForOdrCheck() {
+  RunningStats s;
+  s.Add(1.0);
+  Ewma e;
+  e.Add(1.0);
+  RateEstimator r;
+  r.Record(Nanos{0});
+}
+}  // namespace
+}  // namespace prisma

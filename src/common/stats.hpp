@@ -1,0 +1,127 @@
+// Streaming statistics: Welford mean/variance, EWMA, and windowed rate
+// estimation. The control plane's feedback loop consumes these; the
+// experiment harness uses them for the "avg ± stddev of 5 runs" rows.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/units.hpp"
+
+namespace prisma {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t Count() const { return n_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double Variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  void Reset() { *this = RunningStats{}; }
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n_total = static_cast<double>(n_ + other.n_);
+    m2_ += other.m2_ + delta * delta *
+               (static_cast<double>(n_) * static_cast<double>(other.n_)) / n_total;
+    mean_ += delta * static_cast<double>(other.n_) / n_total;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    n_ += other.n_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average with configurable smoothing.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool Initialized() const { return initialized_; }
+  double Value() const { return value_; }
+  void Reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Events-per-second estimator over a sliding time window.
+class RateEstimator {
+ public:
+  explicit RateEstimator(Nanos window = std::chrono::seconds{5})
+      : window_(window) {}
+
+  void Record(Nanos now, std::uint64_t count = 1) {
+    events_.push_back({now, count});
+    Evict(now);
+  }
+
+  /// Events per second observed inside the window ending at `now`.
+  double RatePerSecond(Nanos now) {
+    Evict(now);
+    std::uint64_t total = 0;
+    for (const auto& e : events_) total += e.count;
+    const double span = ToSeconds(window_);
+    return span > 0.0 ? static_cast<double>(total) / span : 0.0;
+  }
+
+  void Reset() { events_.clear(); }
+
+ private:
+  struct Event {
+    Nanos at;
+    std::uint64_t count;
+  };
+
+  void Evict(Nanos now) {
+    while (!events_.empty() && events_.front().at + window_ < now) {
+      events_.pop_front();
+    }
+  }
+
+  Nanos window_;
+  std::deque<Event> events_;
+};
+
+}  // namespace prisma

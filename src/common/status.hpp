@@ -1,0 +1,104 @@
+// Lightweight status / result types used across PRISMA.
+//
+// We avoid exceptions on hot I/O paths (producer threads, intercept layer,
+// IPC handlers); fallible operations return Status or Result<T> instead.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace prisma {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,   // transient: retryable (e.g. socket not yet up)
+  kAborted,       // shut down / cancelled while waiting
+  kIoError,       // errno-style failure from the backend
+  kInternal,
+};
+
+/// Human-readable name of a status code (stable, for logs and tests).
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status{}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status Aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
+  static Status IoError(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Mirrors std::expected
+/// (not yet available in libstdc++ 12) with the subset PRISMA needs.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    // An OK status carries no value; treat it as a misuse.
+    if (std::get<Status>(v_).ok()) {
+      v_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Error status; Status::Ok() when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace prisma

@@ -1,0 +1,28 @@
+#include "common/thread_pool.hpp"
+
+namespace prisma {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = tasks_.Pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace prisma

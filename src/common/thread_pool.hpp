@@ -1,0 +1,51 @@
+// Fixed-size worker pool used by the PyTorch-style live integration and
+// by tests that need concurrent load. The data plane's producers are NOT
+// pool tasks — they are long-lived threads managed by PrefetchObject so
+// the control plane can resize them (see dataplane/prefetch_object.hpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+
+namespace prisma {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    const Status s = tasks_.Push([task] { (*task)(); });
+    if (!s.ok()) {
+      // Pool already shut down: run inline so the future is never abandoned.
+      (*task)();
+    }
+    return fut;
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Stops accepting work and joins all workers (idempotent).
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  BoundedQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prisma

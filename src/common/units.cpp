@@ -1,0 +1,31 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace prisma {
+
+std::string FormatBytes(std::uint64_t bytes) {
+  constexpr std::array<const char*, 5> kSuffix{"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kSuffix.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kSuffix[unit]);
+  }
+  return buf;
+}
+
+std::string FormatDuration(Nanos d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f s", ToSeconds(d));
+  return buf;
+}
+
+}  // namespace prisma

@@ -1,0 +1,45 @@
+// Byte-size and duration literals/helpers shared by the storage model,
+// data plane, and experiment configuration.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace prisma {
+
+using Nanos = std::chrono::nanoseconds;
+using Micros = std::chrono::microseconds;
+using Millis = std::chrono::milliseconds;
+using Seconds = std::chrono::seconds;
+using DoubleSeconds = std::chrono::duration<double>;
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+/// Converts a duration to fractional seconds (for reporting).
+template <typename Rep, typename Period>
+constexpr double ToSeconds(std::chrono::duration<Rep, Period> d) {
+  return std::chrono::duration_cast<DoubleSeconds>(d).count();
+}
+
+/// Converts fractional seconds to nanoseconds, the engine's base unit.
+constexpr Nanos FromSeconds(double s) {
+  return std::chrono::duration_cast<Nanos>(DoubleSeconds{s});
+}
+
+/// Formats a byte count with a binary-unit suffix, e.g. "1.5 MiB".
+std::string FormatBytes(std::uint64_t bytes);
+
+/// Formats a duration as seconds with 3 decimals, e.g. "12.345 s".
+std::string FormatDuration(Nanos d);
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+}  // namespace prisma

@@ -1,0 +1,150 @@
+#include "controlplane/autotuner.hpp"
+
+#include <algorithm>
+
+namespace prisma::controlplane {
+
+PrismaAutotuner::PrismaAutotuner(AutotunerOptions options)
+    : options_(options),
+      producers_(options.min_producers),
+      buffer_(std::max(options.min_buffer,
+                       options.min_producers * options.buffer_headroom)) {}
+
+void PrismaAutotuner::Reset() {
+  const AutotunerOptions options = options_;
+  *this = PrismaAutotuner(options);
+}
+
+std::size_t PrismaAutotuner::TargetBuffer() const {
+  std::size_t target = producers_ * options_.buffer_headroom;
+  for (std::size_t i = 0; i < burst_doublings_; ++i) target *= 2;
+  return std::clamp<std::size_t>(target, options_.min_buffer,
+                                 options_.max_buffer);
+}
+
+dataplane::StageKnobs PrismaAutotuner::Tick(
+    const dataplane::StageStatsSnapshot& stats) {
+  dataplane::StageKnobs knobs;
+  if (!has_last_) {
+    has_last_ = true;
+    last_ = stats;
+    // Publish the initial configuration so stage and tuner agree.
+    knobs.producers = producers_;
+    knobs.buffer_capacity = buffer_;
+    return knobs;
+  }
+
+  const auto d_takes = stats.samples_consumed - last_.samples_consumed;
+  const auto d_waits = stats.consumer_waits - last_.consumer_waits;
+  const auto d_inserts = stats.samples_produced - last_.samples_produced;
+  const auto d_blocks = stats.producer_blocks - last_.producer_blocks;
+  last_ = stats;
+
+  if (d_takes == 0 && d_inserts == 0) {
+    // Idle tick (between epochs / before training starts): no signal.
+    return knobs;
+  }
+
+  meas_inserts_ += d_inserts;
+  meas_takes_ += d_takes;
+  meas_waits_ += d_waits;
+  meas_blocks_ += d_blocks;
+  meas_queue_depth_ = stats.queue_depth;
+  ++meas_ticks_;
+
+  if (meas_inserts_ < options_.period_min_inserts &&
+      meas_ticks_ < options_.period_max_ticks) {
+    return knobs;  // period still open
+  }
+  return ClosePeriod();
+}
+
+dataplane::StageKnobs PrismaAutotuner::ClosePeriod() {
+  dataplane::StageKnobs knobs;
+
+  const double rate =
+      static_cast<double>(meas_inserts_) / static_cast<double>(meas_ticks_);
+  const double starvation =
+      meas_takes_ > 0 ? static_cast<double>(meas_waits_) /
+                            static_cast<double>(meas_takes_)
+                      : 0.0;
+  const double blocked =
+      meas_inserts_ > 0 ? static_cast<double>(meas_blocks_) /
+                              static_cast<double>(meas_inserts_)
+                        : 1.0;
+  const bool work_remains = meas_queue_depth_ > 0;
+  const bool starving =
+      starvation > options_.starvation_threshold && work_remains;
+
+  meas_inserts_ = meas_takes_ = meas_waits_ = meas_blocks_ = 0;
+  meas_ticks_ = 0;
+
+  const std::uint32_t old_producers = producers_;
+  const std::size_t old_buffer = buffer_;
+
+  if (frozen_periods_left_ > 0) --frozen_periods_left_;
+
+  if (probing_) {
+    probing_ = false;
+    const bool gained =
+        rate >= base_rate_ * (1.0 + options_.rate_gain_threshold);
+    if (!gained) {
+      // Plateau: the device is saturated — retire the probe thread and
+      // freeze scale-up; repeated failures at the same count escalate
+      // the freeze exponentially. If consumers still starve here they
+      // are bursty rather than under-supplied: deepen the buffer.
+      producers_ = std::max(options_.min_producers, producers_ - 1);
+      if (producers_ == last_failed_probe_t_) {
+        ++consecutive_failed_probes_;
+      } else {
+        consecutive_failed_probes_ = 1;
+        last_failed_probe_t_ = producers_;
+      }
+      std::uint64_t freeze = options_.freeze_periods;
+      for (std::uint32_t i = 1; i < consecutive_failed_probes_; ++i) {
+        freeze = std::min<std::uint64_t>(freeze * 2,
+                                         options_.max_freeze_periods);
+      }
+      frozen_periods_left_ = static_cast<std::uint32_t>(freeze);
+      if (starving && TargetBuffer() < options_.max_buffer) {
+        ++burst_doublings_;
+      }
+      buffer_ = TargetBuffer();
+    } else {
+      consecutive_failed_probes_ = 0;
+    }
+  }
+
+  if (starving && !probing_ && frozen_periods_left_ == 0 &&
+      producers_ == old_producers) {  // don't re-raise in a revert period
+    calm_periods_ = 0;
+    if (producers_ < options_.max_producers) {
+      base_rate_ = rate;
+      ++producers_;
+      probing_ = true;
+      buffer_ = std::max(buffer_, TargetBuffer());
+    } else if (TargetBuffer() < options_.max_buffer) {
+      ++burst_doublings_;
+      buffer_ = TargetBuffer();
+      frozen_periods_left_ = options_.freeze_periods;
+    }
+  } else if (!starving && starvation == 0.0 &&
+             blocked > options_.overprovision_threshold &&
+             producers_ > options_.min_producers && !probing_) {
+    if (++calm_periods_ >= options_.cooldown_periods) {
+      calm_periods_ = 0;
+      --producers_;
+      buffer_ = TargetBuffer();
+    }
+  } else if (!starving) {
+    calm_periods_ = 0;
+  }
+
+  if (producers_ != old_producers) knobs.producers = producers_;
+  if (buffer_ != old_buffer) knobs.buffer_capacity = buffer_;
+  stable_periods_ =
+      (knobs.producers || knobs.buffer_capacity) ? 0 : stable_periods_ + 1;
+  return knobs;
+}
+
+}  // namespace prisma::controlplane

@@ -1,0 +1,124 @@
+// PRISMA's feedback auto-tuning control algorithm (paper §IV, control
+// plane): selects the number of producer threads `t` and the buffer
+// capacity `N` for "a balanced trade-off between performance and resource
+// usage" by observing data-plane statistics and adjusting until the
+// configuration converges.
+//
+// The tuner consumes periodic StageStatsSnapshot deltas from the
+// controller and aggregates them into *measurement periods* of at least
+// `period_min_inserts` produced samples (bounded by `period_max_ticks`).
+// Deciding on fixed sample counts — not fixed time — makes the statistics
+// equally reliable for a live stage polled at 100 ms and for a DES
+// pipeline polled at any virtual cadence.
+//
+// Per completed period:
+//
+//  1. Starvation-driven scale-up with probing. If consumers blocked on
+//     the buffer during the period, add one producer and *probe*: the
+//     next period measures the new configuration, and the thread is kept
+//     only if the production rate improved by `rate_gain_threshold`.
+//     Past the storage device's concurrency knee extra threads add
+//     nothing — the probe fails, the thread retires, and scale-up
+//     freezes (escalating on repeated failures at the same count, so
+//     noise cannot ratchet t upward). This is what keeps PRISMA at <= 4
+//     threads where TensorFlow's autotuner allocates its whole pool
+//     (Fig. 3). If starvation persists at a plateau the consumer is
+//     bursty rather than under-supplied — the buffer doubles instead.
+//
+//  2. Calm-driven scale-down. When no consumer waited and producers kept
+//     blocking on a full buffer, a producer is surplus; one retires after
+//     `cooldown_periods` consecutive calm periods.
+//
+// N follows t with headroom (N = t * buffer_headroom, clamped) plus the
+// burst doublings.
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/types.hpp"
+
+namespace prisma::controlplane {
+
+struct AutotunerOptions {
+  std::uint32_t min_producers = 1;
+  std::uint32_t max_producers = 16;
+  std::size_t min_buffer = 8;
+  std::size_t max_buffer = 4096;
+  /// Buffer slots provisioned per producer thread.
+  std::size_t buffer_headroom = 16;
+
+  /// A measurement period closes after this many produced samples...
+  std::uint64_t period_min_inserts = 1000;
+  /// ...or after this many non-idle ticks, whichever comes first.
+  std::uint32_t period_max_ticks = 200;
+
+  /// Consumer-wait fraction (waits / takes per period) that triggers
+  /// scale-up. 0.02 == consumers blocked on 2% of takes.
+  double starvation_threshold = 0.02;
+  /// Minimum relative production-rate gain a probe must deliver for the
+  /// extra producer to be kept. Set well above measurement noise at
+  /// period_min_inserts samples (sigma ~ 3%).
+  double rate_gain_threshold = 0.10;
+  /// Periods scale-up stays frozen after a failed probe; consecutive
+  /// failures at the same producer count double it, capped below.
+  std::uint32_t freeze_periods = 2;
+  std::uint32_t max_freeze_periods = 64;
+  /// Producer-block fraction that marks a period "calm" (over-provisioned).
+  double overprovision_threshold = 0.5;
+  /// Calm periods required before retiring a producer.
+  std::uint32_t cooldown_periods = 2;
+  /// Periods without any knob change after which Converged() holds.
+  std::uint32_t converged_periods = 4;
+};
+
+class PrismaAutotuner {
+ public:
+  explicit PrismaAutotuner(AutotunerOptions options);
+
+  /// Consumes a stats snapshot; returns the knobs to apply (fields set
+  /// only when they should change).
+  dataplane::StageKnobs Tick(const dataplane::StageStatsSnapshot& stats);
+
+  std::uint32_t CurrentProducers() const { return producers_; }
+  std::size_t CurrentBuffer() const { return buffer_; }
+  bool Converged() const {
+    return stable_periods_ >= options_.converged_periods;
+  }
+
+  /// Forgets history (e.g. when a stage is reassigned to this tuner).
+  void Reset();
+
+ private:
+  std::size_t TargetBuffer() const;
+  dataplane::StageKnobs ClosePeriod();
+
+  AutotunerOptions options_;
+  std::uint32_t producers_;
+  std::size_t buffer_;
+  std::size_t burst_doublings_ = 0;
+
+  bool has_last_ = false;
+  dataplane::StageStatsSnapshot last_;
+
+  // Accumulators of the open measurement period.
+  std::uint64_t meas_inserts_ = 0;
+  std::uint64_t meas_takes_ = 0;
+  std::uint64_t meas_waits_ = 0;
+  std::uint64_t meas_blocks_ = 0;
+  std::uint32_t meas_ticks_ = 0;
+  std::uint64_t meas_queue_depth_ = 0;  // last seen
+
+  // Probe state: producers_ was raised at the end of the previous period;
+  // the period now being measured runs the new configuration.
+  bool probing_ = false;
+  double base_rate_ = 0.0;
+
+  std::uint32_t frozen_periods_left_ = 0;
+  std::uint32_t consecutive_failed_probes_ = 0;
+  std::uint32_t last_failed_probe_t_ = 0;
+
+  std::uint32_t calm_periods_ = 0;
+  std::uint32_t stable_periods_ = 0;
+};
+
+}  // namespace prisma::controlplane

@@ -1,0 +1,267 @@
+#include "controlplane/controller.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace prisma::controlplane {
+
+Controller::Controller(std::string name, ControllerOptions options,
+                       PolicyFactory policy_factory,
+                       std::shared_ptr<const Clock> clock)
+    : name_(std::move(name)),
+      options_(options),
+      policy_factory_(std::move(policy_factory)),
+      clock_(std::move(clock)) {}
+
+Controller::~Controller() { Stop(); }
+
+Status Controller::Attach(std::shared_ptr<dataplane::Stage> stage) {
+  std::lock_guard lock(mu_);
+  const std::string& id = stage->info().id;
+  const auto dup = std::find_if(managed_.begin(), managed_.end(),
+                                [&](const Managed& m) {
+                                  return m.stage->info().id == id;
+                                });
+  if (dup != managed_.end()) {
+    return Status::AlreadyExists("stage already attached: " + id);
+  }
+  Managed m;
+  m.stage = std::move(stage);
+  m.policy = policy_factory_();
+  managed_.push_back(std::move(m));
+  return Status::Ok();
+}
+
+Status Controller::Detach(const std::string& stage_id) {
+  std::lock_guard lock(mu_);
+  const auto it = std::find_if(managed_.begin(), managed_.end(),
+                               [&](const Managed& m) {
+                                 return m.stage->info().id == stage_id;
+                               });
+  if (it == managed_.end()) {
+    return Status::NotFound("stage not attached: " + stage_id);
+  }
+  managed_.erase(it);
+  return Status::Ok();
+}
+
+void Controller::TickOnce() {
+  std::lock_guard lock(mu_);
+  last_observations_.clear();
+
+  // Phase 1: collect metrics and run every stage's own policy.
+  struct Proposal {
+    Managed* managed;
+    dataplane::StageStatsSnapshot stats;
+    dataplane::StageKnobs knobs;
+    double starvation = 0.0;
+  };
+  std::vector<Proposal> proposals;
+  proposals.reserve(managed_.size());
+  for (auto& m : managed_) {
+    Proposal p;
+    p.managed = &m;
+    p.stats = m.stage->CollectStats();
+    p.knobs = m.policy->Tick(p.stats);
+    if (m.has_last) {
+      const auto d_takes = p.stats.samples_consumed - m.last_stats.samples_consumed;
+      const auto d_waits = p.stats.consumer_waits - m.last_stats.consumer_waits;
+      p.starvation = d_takes > 0 ? static_cast<double>(d_waits) /
+                                       static_cast<double>(d_takes)
+                                 : 0.0;
+    }
+    m.last_stats = p.stats;
+    m.has_last = true;
+    proposals.push_back(std::move(p));
+  }
+
+  // Phase 2 (optional): coordinate producer shares against the global
+  // budget — this is what framework-intrinsic optimizations cannot do
+  // (paper §II "partial visibility").
+  if (options_.global_producer_budget > 0 && !proposals.empty()) {
+    std::vector<StageDemand> demands;
+    demands.reserve(proposals.size());
+    for (const auto& p : proposals) {
+      StageDemand d;
+      d.stage_id = p.managed->stage->info().id;
+      d.starvation = p.starvation;
+      d.requested = p.knobs.producers.value_or(p.stats.producers);
+      d.weight = p.managed->stage->info().weight;
+      demands.push_back(std::move(d));
+    }
+    const auto shares =
+        ComputeFairShares(demands, options_.global_producer_budget);
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+      proposals[i].knobs.producers = shares[i];
+    }
+  }
+
+  // Phase 3: enforce.
+  for (auto& p : proposals) {
+    if (p.knobs.producers || p.knobs.buffer_capacity) {
+      const Status s = p.managed->stage->ApplyKnobs(p.knobs);
+      if (!s.ok()) {
+        PRISMA_LOG(kWarn, "controller")
+            << name_ << ": ApplyKnobs failed for "
+            << p.managed->stage->info().id << ": " << s.ToString();
+      }
+    }
+    StageObservation obs{p.managed->stage->info().id, p.stats, p.knobs};
+    history_.push_back(obs);
+    last_observations_.push_back(std::move(obs));
+  }
+  while (history_.size() > options_.history_limit) history_.pop_front();
+}
+
+Status Controller::RunInBackground() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("controller already running");
+  }
+  {
+    std::lock_guard lock(stop_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void Controller::Loop() {
+  std::unique_lock lock(stop_mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+    stop_cv_.wait_for(lock, options_.poll_interval,
+                      [&] { return stop_requested_; });
+  }
+}
+
+void Controller::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t Controller::NumStages() const {
+  std::lock_guard lock(mu_);
+  return managed_.size();
+}
+
+std::vector<Controller::StageObservation> Controller::LastObservations() const {
+  std::lock_guard lock(mu_);
+  return last_observations_;
+}
+
+std::vector<Controller::StageObservation> Controller::History() const {
+  std::lock_guard lock(mu_);
+  return {history_.begin(), history_.end()};
+}
+
+void Controller::ExportMetrics(MetricsRegistry& registry) const {
+  std::lock_guard lock(mu_);
+  for (const auto& obs : last_observations_) {
+    const std::string labels = MetricsRegistry::Label("stage", obs.stage_id);
+    // Report the *effective* knob values: the observation's stats were
+    // collected before this round's knobs were pushed.
+    registry.GetGauge("prisma_stage_producers", labels)
+        .Set(obs.applied.producers.value_or(obs.stats.producers));
+    registry.GetGauge("prisma_stage_buffer_occupancy", labels)
+        .Set(static_cast<double>(obs.stats.buffer_occupancy));
+    registry.GetGauge("prisma_stage_buffer_capacity", labels)
+        .Set(static_cast<double>(
+            obs.applied.buffer_capacity.value_or(obs.stats.buffer_capacity)));
+    registry.GetGauge("prisma_stage_samples_consumed", labels)
+        .Set(static_cast<double>(obs.stats.samples_consumed));
+    registry.GetGauge("prisma_stage_consumer_waits", labels)
+        .Set(static_cast<double>(obs.stats.consumer_waits));
+    registry.GetGauge("prisma_stage_queue_depth", labels)
+        .Set(static_cast<double>(obs.stats.queue_depth));
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+ControlPlane::ControlPlane(std::size_t num_controllers,
+                           ControllerOptions options,
+                           PolicyFactory policy_factory,
+                           std::shared_ptr<const Clock> clock) {
+  const std::size_t n = std::max<std::size_t>(1, num_controllers);
+  controllers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    controllers_.push_back(std::make_unique<Controller>(
+        "controller-" + std::to_string(i), options, policy_factory, clock));
+  }
+  alive_.assign(n, true);
+}
+
+Status ControlPlane::Attach(std::shared_ptr<dataplane::Stage> stage) {
+  std::lock_guard lock(mu_);
+  // Round-robin over live controllers.
+  for (std::size_t probe = 0; probe < controllers_.size(); ++probe) {
+    const std::size_t i = (next_ + probe) % controllers_.size();
+    if (!alive_[i]) continue;
+    next_ = i + 1;
+    if (Status s = controllers_[i]->Attach(stage); !s.ok()) return s;
+    placements_.emplace_back(stage, i);
+    return Status::Ok();
+  }
+  return Status::Unavailable("no live controllers");
+}
+
+Status ControlPlane::RunInBackground() {
+  for (std::size_t i = 0; i < controllers_.size(); ++i) {
+    if (!alive_[i]) continue;
+    if (Status s = controllers_[i]->RunInBackground(); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+void ControlPlane::Stop() {
+  for (auto& c : controllers_) c->Stop();
+}
+
+void ControlPlane::TickOnce() {
+  for (std::size_t i = 0; i < controllers_.size(); ++i) {
+    if (alive_[i]) controllers_[i]->TickOnce();
+  }
+}
+
+Status ControlPlane::FailController(std::size_t index) {
+  std::lock_guard lock(mu_);
+  if (index >= controllers_.size()) {
+    return Status::InvalidArgument("no such controller");
+  }
+  if (!alive_[index]) return Status::FailedPrecondition("already failed");
+  std::size_t live = 0;
+  for (const bool a : alive_) live += a ? 1 : 0;
+  if (live <= 1) {
+    return Status::InvalidArgument("cannot fail the last live controller");
+  }
+
+  alive_[index] = false;
+  controllers_[index]->Stop();
+
+  // Reassign this controller's stages to the survivors (failover).
+  for (auto& [stage, owner] : placements_) {
+    if (owner != index) continue;
+    (void)controllers_[index]->Detach(stage->info().id);
+    for (std::size_t probe = 0; probe < controllers_.size(); ++probe) {
+      const std::size_t i = (next_ + probe) % controllers_.size();
+      if (!alive_[i]) continue;
+      next_ = i + 1;
+      if (controllers_[i]->Attach(stage).ok()) {
+        owner = i;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace prisma::controlplane

@@ -1,0 +1,143 @@
+// The control-plane controller (paper §III): logically centralized,
+// physically distributable. A Controller owns a set of stages, polls
+// their monitoring metrics on a fixed cadence, runs each stage's policy,
+// and pushes resulting knobs back. ControlPlane shards stages across
+// several controllers for scalability/availability (§VII).
+//
+// A Controller can run in two modes:
+//   * background thread (live deployments / examples): RunInBackground();
+//   * manual ticks (unit tests, DES benches): TickOnce() driven by the
+//     caller's clock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "controlplane/policy.hpp"
+#include "dataplane/stage.hpp"
+
+namespace prisma::controlplane {
+
+/// Creates a fresh policy instance for a newly attached stage.
+using PolicyFactory = std::function<std::unique_ptr<Policy>()>;
+
+struct ControllerOptions {
+  Millis poll_interval{100};
+  /// When > 0, producer threads across *all* attached stages are capped
+  /// at this budget via ComputeFairShares (multi-tenant coordination).
+  std::uint32_t global_producer_budget = 0;
+  /// Observations retained per controller for History() (ring buffer).
+  std::size_t history_limit = 256;
+};
+
+class Controller {
+ public:
+  Controller(std::string name, ControllerOptions options,
+             PolicyFactory policy_factory,
+             std::shared_ptr<const Clock> clock);
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Attaches a stage; a fresh policy is created for it.
+  Status Attach(std::shared_ptr<dataplane::Stage> stage);
+  Status Detach(const std::string& stage_id);
+
+  /// One control round: collect -> decide -> (coordinate) -> enforce.
+  void TickOnce();
+
+  /// Starts the polling thread.
+  Status RunInBackground();
+  /// Stops and joins the polling thread (idempotent).
+  void Stop();
+
+  std::size_t NumStages() const;
+  const std::string& name() const { return name_; }
+
+  /// Most recent stats per stage (for observability/tests).
+  struct StageObservation {
+    std::string stage_id;
+    dataplane::StageStatsSnapshot stats;
+    dataplane::StageKnobs applied;
+  };
+  std::vector<StageObservation> LastObservations() const;
+
+  /// Rolling window of recent observations (oldest first), capped at
+  /// options.history_limit — the control plane's monitoring record.
+  std::vector<StageObservation> History() const;
+
+  /// Publishes the latest per-stage observations as gauges:
+  ///   prisma_stage_producers{stage="id"}, prisma_stage_buffer_occupancy,
+  ///   prisma_stage_buffer_capacity, prisma_stage_samples_consumed,
+  ///   prisma_stage_consumer_waits, prisma_stage_queue_depth.
+  void ExportMetrics(MetricsRegistry& registry) const;
+
+ private:
+  struct Managed {
+    std::shared_ptr<dataplane::Stage> stage;
+    std::unique_ptr<Policy> policy;
+    dataplane::StageStatsSnapshot last_stats;
+    bool has_last = false;
+  };
+
+  void Loop();
+
+  std::string name_;
+  ControllerOptions options_;
+  PolicyFactory policy_factory_;
+  std::shared_ptr<const Clock> clock_;
+
+  mutable std::mutex mu_;
+  std::vector<Managed> managed_;
+  std::vector<StageObservation> last_observations_;
+  std::deque<StageObservation> history_;
+
+  std::thread thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+};
+
+/// A logically centralized control plane made of multiple controllers.
+/// Stages are sharded round-robin; the shard map survives controller
+/// failures by reassigning a failed controller's stages to the survivors.
+class ControlPlane {
+ public:
+  ControlPlane(std::size_t num_controllers, ControllerOptions options,
+               PolicyFactory policy_factory,
+               std::shared_ptr<const Clock> clock);
+
+  Status Attach(std::shared_ptr<dataplane::Stage> stage);
+
+  Status RunInBackground();
+  void Stop();
+  void TickOnce();
+
+  /// Simulates a controller crash: its stages move to the survivors.
+  /// InvalidArgument when index is out of range or it is the last one.
+  Status FailController(std::size_t index);
+
+  std::size_t NumControllers() const { return controllers_.size(); }
+  Controller& controller(std::size_t i) { return *controllers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  std::vector<bool> alive_;
+  // Stage -> controller assignment so failover can reassign.
+  std::mutex mu_;
+  std::vector<std::pair<std::shared_ptr<dataplane::Stage>, std::size_t>> placements_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace prisma::controlplane

@@ -1,0 +1,91 @@
+#include "controlplane/pid_autotuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prisma::controlplane {
+
+PidAutotuner::PidAutotuner(PidAutotunerOptions options)
+    : options_(options),
+      producers_(options.min_producers),
+      buffer_(std::max(options.min_buffer,
+                       options.min_producers * options.buffer_headroom)),
+      control_(options.min_producers) {}
+
+void PidAutotuner::Reset() {
+  const PidAutotunerOptions options = options_;
+  *this = PidAutotuner(options);
+}
+
+dataplane::StageKnobs PidAutotuner::Tick(
+    const dataplane::StageStatsSnapshot& stats) {
+  dataplane::StageKnobs knobs;
+  if (!has_last_) {
+    has_last_ = true;
+    last_ = stats;
+    knobs.producers = producers_;
+    knobs.buffer_capacity = buffer_;
+    return knobs;
+  }
+
+  const auto d_inserts = stats.samples_produced - last_.samples_produced;
+  const auto d_takes = stats.samples_consumed - last_.samples_consumed;
+  last_ = stats;
+  if (d_inserts == 0 && d_takes == 0) return knobs;  // idle
+
+  meas_inserts_ += d_inserts;
+  ++meas_ticks_;
+  occupancy_accum_ +=
+      stats.buffer_capacity > 0
+          ? static_cast<double>(stats.buffer_occupancy) /
+                static_cast<double>(stats.buffer_capacity)
+          : 0.0;
+
+  if (meas_inserts_ < options_.period_min_inserts &&
+      meas_ticks_ < options_.period_max_ticks) {
+    return knobs;
+  }
+  const double mean_occupancy =
+      occupancy_accum_ / static_cast<double>(meas_ticks_);
+  meas_inserts_ = 0;
+  meas_ticks_ = 0;
+  occupancy_accum_ = 0.0;
+  return ClosePeriod(mean_occupancy);
+}
+
+dataplane::StageKnobs PidAutotuner::ClosePeriod(double occupancy_ratio) {
+  dataplane::StageKnobs knobs;
+
+  // Positive error == buffer below setpoint == need more production.
+  const double error = options_.setpoint - occupancy_ratio;
+
+  // Velocity form: du = kp*(e - e1) + ki*e + kd*(e - 2*e1 + e2).
+  double du = options_.ki * error;
+  if (has_last_error_) {
+    du += options_.kp * (error - last_error_);
+    du += options_.kd * (error - 2.0 * last_error_ + prev_error_);
+  } else {
+    du += options_.kp * error;
+  }
+  prev_error_ = last_error_;
+  last_error_ = error;
+  has_last_error_ = true;
+
+  control_ = std::clamp(control_ + du,
+                        static_cast<double>(options_.min_producers),
+                        static_cast<double>(options_.max_producers));
+
+  const std::uint32_t old_producers = producers_;
+  const std::size_t old_buffer = buffer_;
+  producers_ = static_cast<std::uint32_t>(std::lround(control_));
+  producers_ = std::clamp(producers_, options_.min_producers,
+                          options_.max_producers);
+  buffer_ = std::clamp<std::size_t>(producers_ * options_.buffer_headroom,
+                                    options_.min_buffer, options_.max_buffer);
+
+  if (producers_ != old_producers) knobs.producers = producers_;
+  if (buffer_ != old_buffer) knobs.buffer_capacity = buffer_;
+  return knobs;
+}
+
+}  // namespace prisma::controlplane

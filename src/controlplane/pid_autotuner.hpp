@@ -1,0 +1,73 @@
+// PID occupancy controller — an ALTERNATIVE control algorithm for the
+// same (t, N) knobs, built to test the paper's caveat that "the same may
+// not hold true when considering other control algorithms" (§V.A).
+//
+// Classical feedback on buffer occupancy: hold the buffer at a setpoint
+// fraction (default 50%) by adding producers when it runs empty and
+// retiring them when it runs full. Velocity-form PID on the occupancy
+// error drives a continuous control variable that is rounded to the
+// discrete thread count.
+//
+// The instructive failure mode (bench/ablation_control): for an I/O-bound
+// workload the consumer drains the buffer no matter how many producers
+// exist, so occupancy NEVER reaches the setpoint, the integral term winds
+// up, and the PID pegs t at max — reaching PRISMA-level performance but
+// with TensorFlow-level over-provisioning. Occupancy alone cannot see the
+// device's plateau; PRISMA's rate-probing tuner can. Same knobs, same
+// stage, different control algorithm, different resource footprint —
+// which is exactly why the control plane makes algorithms swappable.
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/types.hpp"
+
+namespace prisma::controlplane {
+
+struct PidAutotunerOptions {
+  std::uint32_t min_producers = 1;
+  std::uint32_t max_producers = 16;
+  std::size_t min_buffer = 8;
+  std::size_t max_buffer = 4096;
+  std::size_t buffer_headroom = 16;
+
+  /// Target buffer occupancy fraction in (0, 1).
+  double setpoint = 0.5;
+  /// Velocity-form gains on the occupancy error.
+  double kp = 4.0;
+  double ki = 0.5;
+  double kd = 0.0;
+  /// Decisions are made on sample windows like the PRISMA tuner.
+  std::uint64_t period_min_inserts = 1000;
+  std::uint32_t period_max_ticks = 200;
+};
+
+class PidAutotuner {
+ public:
+  explicit PidAutotuner(PidAutotunerOptions options);
+
+  dataplane::StageKnobs Tick(const dataplane::StageStatsSnapshot& stats);
+
+  std::uint32_t CurrentProducers() const { return producers_; }
+  std::size_t CurrentBuffer() const { return buffer_; }
+  void Reset();
+
+ private:
+  dataplane::StageKnobs ClosePeriod(double occupancy_ratio);
+
+  PidAutotunerOptions options_;
+  std::uint32_t producers_;
+  std::size_t buffer_;
+  double control_ = 1.0;  // continuous thread count
+  double last_error_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_last_error_ = false;
+
+  bool has_last_ = false;
+  dataplane::StageStatsSnapshot last_;
+  std::uint64_t meas_inserts_ = 0;
+  std::uint32_t meas_ticks_ = 0;
+  double occupancy_accum_ = 0.0;
+};
+
+}  // namespace prisma::controlplane

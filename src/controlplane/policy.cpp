@@ -1,0 +1,48 @@
+#include "controlplane/policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace prisma::controlplane {
+
+std::vector<std::uint32_t> ComputeFairShares(std::vector<StageDemand> demands,
+                                             std::uint32_t budget) {
+  const std::size_t n = demands.size();
+  std::vector<std::uint32_t> shares(n, 0);
+  if (n == 0) return shares;
+
+  // Floor: one producer each (stages must make progress), even if that
+  // overshoots a tiny budget.
+  std::uint32_t spent = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    shares[i] = 1;
+    ++spent;
+  }
+
+  // Deal the remainder one thread at a time to the hungriest stage that
+  // still wants more (max-min fairness over the demand signal).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  while (spent < budget) {
+    // Stable sort each round: shares change relative hunger.
+    std::size_t best = n;
+    double best_key = -1.0;
+    for (const std::size_t i : order) {
+      if (shares[i] >= demands[i].requested) continue;  // satisfied
+      // Hunger = weighted demand divided by what it already holds.
+      const double weight = demands[i].weight > 0.0 ? demands[i].weight : 1.0;
+      const double key = weight * (demands[i].starvation + 1e-9) /
+                         static_cast<double>(shares[i]);
+      if (key > best_key) {
+        best_key = key;
+        best = i;
+      }
+    }
+    if (best == n) break;  // all requests satisfied; leave budget idle
+    ++shares[best];
+    ++spent;
+  }
+  return shares;
+}
+
+}  // namespace prisma::controlplane

@@ -1,0 +1,136 @@
+// Control-plane policies (paper §III: "user-defined policies ... that
+// orchestrate the overall system stack").
+//
+// A Policy maps a stage's monitoring snapshot to knob adjustments. The
+// Controller owns one policy instance per stage; cross-stage coordination
+// (multi-tenant fairness) is handled by the FairShareCoordinator, which
+// post-processes per-stage proposals against a global resource budget.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controlplane/autotuner.hpp"
+#include "controlplane/pid_autotuner.hpp"
+#include "controlplane/tf_autotuner.hpp"
+#include "dataplane/types.hpp"
+
+namespace prisma::controlplane {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual std::string_view Name() const = 0;
+  virtual dataplane::StageKnobs Tick(
+      const dataplane::StageStatsSnapshot& stats) = 0;
+};
+
+/// Pins knobs to fixed values (the "manually tuned" baseline).
+class FixedKnobsPolicy final : public Policy {
+ public:
+  explicit FixedKnobsPolicy(dataplane::StageKnobs knobs) : knobs_(knobs) {}
+  std::string_view Name() const override { return "fixed"; }
+  dataplane::StageKnobs Tick(const dataplane::StageStatsSnapshot&) override {
+    // Re-publishing constant knobs every tick is idempotent.
+    return knobs_;
+  }
+
+ private:
+  dataplane::StageKnobs knobs_;
+};
+
+/// PRISMA's feedback auto-tuner as a policy.
+class PrismaAutotunePolicy final : public Policy {
+ public:
+  explicit PrismaAutotunePolicy(AutotunerOptions options) : tuner_(options) {}
+  std::string_view Name() const override { return "prisma-autotune"; }
+  dataplane::StageKnobs Tick(
+      const dataplane::StageStatsSnapshot& stats) override {
+    return tuner_.Tick(stats);
+  }
+  const PrismaAutotuner& tuner() const { return tuner_; }
+
+ private:
+  PrismaAutotuner tuner_;
+};
+
+/// PID occupancy control as a policy (alternative control algorithm;
+/// see pid_autotuner.hpp for why it over-provisions on I/O-bound jobs).
+class PidAutotunePolicy final : public Policy {
+ public:
+  explicit PidAutotunePolicy(PidAutotunerOptions options) : tuner_(options) {}
+  std::string_view Name() const override { return "pid-occupancy"; }
+  dataplane::StageKnobs Tick(
+      const dataplane::StageStatsSnapshot& stats) override {
+    return tuner_.Tick(stats);
+  }
+  const PidAutotuner& tuner() const { return tuner_; }
+
+ private:
+  PidAutotuner tuner_;
+};
+
+/// TensorFlow-style autotuning as a policy (baseline comparisons).
+class TfAutotunePolicy final : public Policy {
+ public:
+  explicit TfAutotunePolicy(TfAutotunerOptions options) : tuner_(options) {}
+  std::string_view Name() const override { return "tf-autotune"; }
+  dataplane::StageKnobs Tick(
+      const dataplane::StageStatsSnapshot& stats) override {
+    return tuner_.Tick(stats);
+  }
+  const TfPrefetchAutotuner& tuner() const { return tuner_; }
+
+ private:
+  TfPrefetchAutotuner tuner_;
+};
+
+/// Decorator that layers a bandwidth reservation (QoS SLO) on top of any
+/// base policy: the wrapped policy tunes (t, N) while this pins the
+/// stage's backend read rate — the Cake/PSLO-style policy family the
+/// paper's related work discusses, expressed as a PRISMA control policy.
+class QosPolicy final : public Policy {
+ public:
+  QosPolicy(std::unique_ptr<Policy> base, double read_rate_bps)
+      : base_(std::move(base)), read_rate_bps_(read_rate_bps) {}
+  std::string_view Name() const override { return "qos"; }
+  dataplane::StageKnobs Tick(
+      const dataplane::StageStatsSnapshot& stats) override {
+    dataplane::StageKnobs knobs = base_->Tick(stats);
+    knobs.read_rate_bps = read_rate_bps_;
+    return knobs;
+  }
+  void SetRate(double read_rate_bps) { read_rate_bps_ = read_rate_bps; }
+
+ private:
+  std::unique_ptr<Policy> base_;
+  double read_rate_bps_;
+};
+
+// ---------------------------------------------------------------------------
+// Multi-tenant coordination (paper §VII "Access coordination to shared
+// datasets"): stages sharing a backend receive producer-thread shares from
+// a global budget instead of each scaling up independently.
+
+struct StageDemand {
+  std::string stage_id;
+  /// Demand signal in [0, inf): consumer starvation fraction this tick.
+  double starvation = 0.0;
+  /// The producers the stage's own policy asked for.
+  std::uint32_t requested = 1;
+  /// Tenant priority weight (> 0): a weight-2 stage is entitled to twice
+  /// the share of a weight-1 stage at equal demand ("prioritize
+  /// workloads", paper §III).
+  double weight = 1.0;
+};
+
+/// Splits `budget` producer threads across stages: every stage gets at
+/// least one; the remainder is dealt by descending weighted demand,
+/// capped at each stage's own request (work-conserving, weighted
+/// max-min-style share).
+std::vector<std::uint32_t> ComputeFairShares(std::vector<StageDemand> demands,
+                                             std::uint32_t budget);
+
+}  // namespace prisma::controlplane

@@ -1,0 +1,63 @@
+#include "controlplane/tf_autotuner.hpp"
+
+#include <algorithm>
+
+namespace prisma::controlplane {
+
+TfPrefetchAutotuner::TfPrefetchAutotuner(TfAutotunerOptions options)
+    : options_(options),
+      buffer_limit_(std::max<std::size_t>(1, options.initial_buffer)) {}
+
+void TfPrefetchAutotuner::RecordConsumption(std::size_t current_buffer_size) {
+  switch (mode_) {
+    case Mode::kDisabled:
+      return;
+    case Mode::kUpswing:
+      // Upstream: if the buffer is full when the consumer takes, the
+      // current limit suffices — stop growing. If it is empty, double.
+      if (current_buffer_size >= buffer_limit_) {
+        mode_ = Mode::kDownswing;
+        return;
+      }
+      if (current_buffer_size == 0 && buffer_limit_ < options_.max_buffer) {
+        buffer_limit_ = std::min(options_.max_buffer, buffer_limit_ * 2);
+      }
+      return;
+    case Mode::kDownswing:
+      // Upstream freezes the limit here (memory-budget trimming is
+      // handled elsewhere); nothing to do.
+      return;
+  }
+}
+
+dataplane::StageKnobs TfPrefetchAutotuner::Tick(
+    const dataplane::StageStatsSnapshot& stats) {
+  dataplane::StageKnobs knobs;
+  if (!has_last_) {
+    has_last_ = true;
+    last_ = stats;
+    // TF hands the pipeline its whole thread budget immediately.
+    knobs.producers = options_.thread_pool_size;
+    knobs.buffer_capacity = buffer_limit_;
+    return knobs;
+  }
+
+  const auto d_waits = stats.consumer_waits - last_.consumer_waits;
+  const auto d_takes = stats.samples_consumed - last_.samples_consumed;
+  last_ = stats;
+
+  const std::size_t before = buffer_limit_;
+  if (mode_ == Mode::kUpswing && d_takes > 0) {
+    if (d_waits > 0) {
+      if (buffer_limit_ < options_.max_buffer) {
+        buffer_limit_ = std::min(options_.max_buffer, buffer_limit_ * 2);
+      }
+    } else if (stats.buffer_occupancy >= buffer_limit_) {
+      mode_ = Mode::kDownswing;
+    }
+  }
+  if (buffer_limit_ != before) knobs.buffer_capacity = buffer_limit_;
+  return knobs;
+}
+
+}  // namespace prisma::controlplane

@@ -1,0 +1,59 @@
+// Reimplementation of TensorFlow's prefetch auto-tuning behaviour — the
+// framework-intrinsic mechanism the paper compares against ("TF
+// optimized", §V.A) and cites as tensorflow/core/kernels/data/
+// prefetch_autotuner.cc [48].
+//
+// Buffer sizing follows the upstream state machine exactly:
+//   kDisabled -> (if started empty) kUpswing: double buffer_limit every
+//   time the consumer finds the buffer empty, until a tick passes with no
+//   starvation at which point the size freezes (kDownswing in upstream
+//   only trims via a separate budget mechanism; the paper's observation
+//   is the over-provisioning, which this reproduces).
+// Thread allocation mirrors the paper's measurement (Fig. 3): tf.data
+// with AUTOTUNE hands the inter-op pool maximum (30 on the testbed's
+// 40-core node) to parallel interleave/map, "regardless of whether they
+// are needed or not".
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/types.hpp"
+
+namespace prisma::controlplane {
+
+struct TfAutotunerOptions {
+  std::size_t initial_buffer = 1;
+  std::size_t max_buffer = 512;
+  /// Thread-pool size handed to the input pipeline (testbed: 30).
+  std::uint32_t thread_pool_size = 30;
+};
+
+class TfPrefetchAutotuner {
+ public:
+  enum class Mode { kDisabled, kUpswing, kDownswing };
+
+  explicit TfPrefetchAutotuner(TfAutotunerOptions options);
+
+  /// Per-element hook, mirroring upstream RecordConsumption(buffer_size):
+  /// called with the current number of buffered elements each time the
+  /// consumer takes one.
+  void RecordConsumption(std::size_t current_buffer_size);
+
+  /// Snapshot-driven adapter so the same Controller can poll it like the
+  /// PRISMA tuner. Derives starvation from consumer_waits deltas.
+  dataplane::StageKnobs Tick(const dataplane::StageStatsSnapshot& stats);
+
+  std::size_t buffer_limit() const { return buffer_limit_; }
+  std::uint32_t threads() const { return options_.thread_pool_size; }
+  Mode mode() const { return mode_; }
+
+ private:
+  TfAutotunerOptions options_;
+  Mode mode_ = Mode::kUpswing;
+  std::size_t buffer_limit_;
+
+  bool has_last_ = false;
+  dataplane::StageStatsSnapshot last_;
+};
+
+}  // namespace prisma::controlplane

@@ -1,0 +1,66 @@
+// Adapter that lets optimization objects STACK (paper §III.A: objects
+// are "self-contained and extensible building blocks").
+//
+// An OptimizationObject consumes a StorageBackend; ObjectBackend exposes
+// an OptimizationObject *as* a StorageBackend, so stages can layer
+// mechanisms without either layer knowing about the other:
+//
+//   PrefetchObject                      (producers + in-memory buffer)
+//        | reads via ObjectBackend
+//   TieringObject                       (fast-tier promotion, LRU budget)
+//        | reads slow tier / fast tier
+//   PosixBackend / SyntheticBackend     (actual storage)
+//
+// The stack is read-oriented (DL training is read-dominated, §IV);
+// writes are rejected rather than silently bypassing the upper layers.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "dataplane/optimization_object.hpp"
+#include "storage/backend.hpp"
+
+namespace prisma::dataplane {
+
+class ObjectBackend final : public storage::StorageBackend {
+ public:
+  explicit ObjectBackend(std::shared_ptr<OptimizationObject> object)
+      : object_(std::move(object)) {}
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override {
+    auto n = object_->Read(path, offset, dst);
+    if (n.ok()) {
+      reads_.fetch_add(1, std::memory_order_relaxed);
+      bytes_read_.fetch_add(*n, std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  Status Write(const std::string&, std::span<const std::byte>) override {
+    return Status::FailedPrecondition(
+        "ObjectBackend is read-only: writes would bypass the optimization "
+        "stack above it");
+  }
+
+  Result<std::uint64_t> FileSize(const std::string& path) override {
+    return object_->FileSize(path);
+  }
+
+  storage::BackendStats Stats() const override {
+    storage::BackendStats s;
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  OptimizationObject& object() { return *object_; }
+
+ private:
+  std::shared_ptr<OptimizationObject> object_;
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+};
+
+}  // namespace prisma::dataplane

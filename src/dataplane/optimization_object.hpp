@@ -1,0 +1,59 @@
+// The optimization-object abstraction (paper §III.A).
+//
+// A stage hosts one or more optimization objects; each implements a
+// self-contained, reusable I/O mechanism (data prefetching, parallel I/O,
+// storage tiering, ...) applied to the DL framework's intercepted storage
+// requests, plus the control hooks (knobs + monitoring) the control plane
+// drives. New optimizations subclass this without touching any framework.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dataplane/types.hpp"
+
+namespace prisma::dataplane {
+
+class OptimizationObject {
+ public:
+  virtual ~OptimizationObject() = default;
+
+  /// Stable identifier ("prefetch", "tiering", ...).
+  virtual std::string_view Name() const = 0;
+
+  /// Starts background machinery (producer threads, migration workers).
+  virtual Status Start() = 0;
+
+  /// Stops and joins all background work. Idempotent.
+  virtual void Stop() = 0;
+
+  /// Services one intercepted read. Returns bytes copied into `dst`.
+  virtual Result<std::size_t> Read(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::span<std::byte> dst) = 0;
+
+  /// Size of `path` as the object would serve it (metadata intercept for
+  /// stat-like framework calls and the IPC client's buffer sizing).
+  virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Announces the file order of the upcoming epoch (prefetch hint).
+  /// Objects that do not prefetch may ignore it.
+  virtual Status BeginEpoch(std::uint64_t epoch,
+                            const std::vector<std::string>& order) {
+    (void)epoch;
+    (void)order;
+    return Status::Ok();
+  }
+
+  // --- Control interface (paper §III.A: "control interface that
+  // communicates with the control plane for internal stage management and
+  // monitoring") -------------------------------------------------------
+  virtual Status ApplyKnobs(const StageKnobs& knobs) = 0;
+  virtual StageStatsSnapshot CollectStats() const = 0;
+};
+
+}  // namespace prisma::dataplane

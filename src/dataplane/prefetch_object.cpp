@@ -1,0 +1,276 @@
+#include "dataplane/prefetch_object.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace prisma::dataplane {
+
+namespace {
+/// How often an idle producer re-checks its retirement flag.
+constexpr Millis kProducerPollInterval{20};
+}  // namespace
+
+PrefetchObject::PrefetchObject(
+    std::shared_ptr<storage::StorageBackend> backend, PrefetchOptions options,
+    std::shared_ptr<const Clock> clock)
+    : backend_(std::move(backend)),
+      options_(options),
+      clock_(std::move(clock)),
+      buffer_(options.buffer_capacity, clock_) {
+  if (options.read_rate_bps > 0.0) {
+    rate_bps_ = options.read_rate_bps;
+    rate_bucket_ = std::make_shared<storage::TokenBucket>(
+        options.read_rate_bps, options.rate_burst_bytes, clock_);
+  }
+}
+
+PrefetchObject::~PrefetchObject() { Stop(); }
+
+Status PrefetchObject::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("prefetch object already started");
+  }
+  buffer_.Reopen();
+  filename_queue_.Reopen();
+  target_producers_.store(
+      std::min(options_.initial_producers, options_.max_producers),
+      std::memory_order_release);
+  {
+    std::lock_guard lock(timeline_mu_);
+    reader_timeline_.Record(clock_->Now(), 0);
+  }
+  ReconcileProducers();
+  return Status::Ok();
+}
+
+void PrefetchObject::Stop() {
+  if (!running_.exchange(false)) return;
+  target_producers_.store(0, std::memory_order_release);
+  filename_queue_.Close();
+  buffer_.Close();
+  std::lock_guard lock(producers_mu_);
+  for (auto& p : producers_) {
+    if (p.joinable()) p.join();
+  }
+  producers_.clear();
+  std::lock_guard tl(timeline_mu_);
+  reader_timeline_.Finish(clock_->Now());
+}
+
+Status PrefetchObject::BeginEpoch(std::uint64_t epoch,
+                                  const std::vector<std::string>& order) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("prefetch object not started");
+  }
+  {
+    std::lock_guard lock(announced_mu_);
+    announced_.insert(order.begin(), order.end());
+  }
+  for (const auto& name : order) {
+    if (Status s = filename_queue_.Push(name); !s.ok()) return s;
+  }
+  PRISMA_LOG(kDebug, "prefetch")
+      << "epoch " << epoch << ": enqueued " << order.size() << " files";
+  return Status::Ok();
+}
+
+void PrefetchObject::ProducerLoop(std::uint32_t index) {
+  while (running_.load(std::memory_order_acquire) &&
+         index < target_producers_.load(std::memory_order_acquire)) {
+    auto name = filename_queue_.PopFor(kProducerPollInterval);
+    if (!name) {
+      if (filename_queue_.closed()) break;
+      continue;  // idle; re-check retirement
+    }
+
+    // QoS reservation: pay the byte budget before touching the backend.
+    if (const auto bucket = CurrentBucket()) {
+      const auto size = backend_->FileSize(*name);
+      if (size.ok()) {
+        const Nanos wait = bucket->Reserve(*size);
+        if (wait.count() > 0) {
+          std::this_thread::sleep_for(wait);
+        }
+      }
+    }
+
+    // Transient backend faults are retried with a short backoff; after
+    // the budget is spent the name is marked failed so any consumer
+    // blocked on it wakes and falls back to pass-through instead of
+    // hanging (see SampleBuffer::MarkFailed).
+    Result<std::vector<std::byte>> data =
+        Status::Internal("prefetch read not attempted");
+    for (std::uint32_t attempt = 0; attempt <= options_.read_retries;
+         ++attempt) {
+      if (attempt > 0) {
+        producer_read_errors_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(options_.retry_backoff * attempt);
+      }
+      RecordActiveReaders(+1);
+      data = backend_->ReadAll(*name);
+      RecordActiveReaders(-1);
+      if (data.ok()) break;
+    }
+    if (!data.ok()) {
+      producer_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      PRISMA_LOG(kWarn, "prefetch")
+          << "producer gave up on " << *name << ": "
+          << data.status().ToString();
+      buffer_.MarkFailed(*name);
+      continue;
+    }
+    if (data->size() > options_.max_sample_bytes) {
+      // Oversized files are never buffered; fail the waiter over to the
+      // pass-through path, which serves files of any size.
+      producer_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      buffer_.MarkFailed(*name);
+      continue;
+    }
+    Sample sample{*name, std::move(*data)};
+    if (!buffer_.Insert(std::move(sample)).ok()) break;  // closed
+  }
+}
+
+std::shared_ptr<storage::TokenBucket> PrefetchObject::CurrentBucket() const {
+  std::lock_guard lock(rate_mu_);
+  return rate_bucket_;
+}
+
+void PrefetchObject::RecordActiveReaders(std::int32_t delta) {
+  std::lock_guard lock(timeline_mu_);
+  const std::uint32_t value =
+      delta > 0 ? active_readers_.fetch_add(1, std::memory_order_acq_rel) + 1
+                : active_readers_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  reader_timeline_.Record(clock_->Now(), value);
+}
+
+void PrefetchObject::ReconcileProducers() {
+  std::lock_guard lock(producers_mu_);
+  // Retired threads (index >= target) exit on their own; join the ones
+  // that already finished so the vector reflects live threads only when
+  // shrinking, and spawn missing indices when growing.
+  const std::uint32_t target = target_producers_.load(std::memory_order_acquire);
+  while (producers_.size() > target) {
+    producers_.back().join();  // blocks at most one poll interval
+    producers_.pop_back();
+  }
+  for (std::uint32_t i = static_cast<std::uint32_t>(producers_.size());
+       i < target; ++i) {
+    producers_.emplace_back([this, i] { ProducerLoop(i); });
+  }
+}
+
+Result<std::size_t> PrefetchObject::Read(const std::string& path,
+                                         std::uint64_t offset,
+                                         std::span<std::byte> dst) {
+  bool announced;
+  {
+    std::lock_guard lock(announced_mu_);
+    announced = announced_.find(path) != announced_.end();
+  }
+  if (!announced || !running_.load(std::memory_order_acquire)) {
+    // Pass-through: e.g. validation files (the prototype does not
+    // prefetch those — §V.A) or reads before Start().
+    passthrough_reads_.fetch_add(1, std::memory_order_relaxed);
+    return backend_->Read(path, offset, dst);
+  }
+
+  // Chunked consumption support: a Take()n sample stays parked in
+  // taken_ until the consumer has read past its end.
+  std::unique_lock lock(taken_mu_);
+  auto it = taken_.find(path);
+  if (it == taken_.end()) {
+    lock.unlock();
+    if (offset > 0) {
+      // Likely an EOF probe after the sample was consumed (a read loop's
+      // final call). Never block on the buffer for bytes that cannot
+      // exist; answer from metadata instead.
+      const auto size = backend_->FileSize(path);
+      if (size.ok() && offset >= *size) return static_cast<std::size_t>(0);
+    }
+    auto sample = buffer_.Take(path);
+    if (!sample.ok()) {
+      // Buffer closed mid-epoch, or the producer gave up on this sample
+      // (persistent fault / oversized file): degrade to pass-through —
+      // correctness over acceleration.
+      passthrough_reads_.fetch_add(1, std::memory_order_relaxed);
+      return backend_->Read(path, offset, dst);
+    }
+    lock.lock();
+    it = taken_.emplace(path, std::move(*sample)).first;
+  }
+
+  const Sample& sample = it->second;
+  if (offset >= sample.size()) {
+    taken_.erase(it);
+    return static_cast<std::size_t>(0);  // EOF
+  }
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(dst.size(), sample.size() - offset));
+  std::copy_n(sample.data.data() + offset, n, dst.data());
+  if (offset + n >= sample.size()) {
+    taken_.erase(it);  // fully consumed -> evicted for good
+  }
+  reads_served_.fetch_add(1, std::memory_order_relaxed);
+  return n;
+}
+
+Result<std::uint64_t> PrefetchObject::FileSize(const std::string& path) {
+  return backend_->FileSize(path);
+}
+
+Status PrefetchObject::ApplyKnobs(const StageKnobs& knobs) {
+  if (knobs.buffer_capacity) {
+    buffer_.SetCapacity(*knobs.buffer_capacity);
+  }
+  if (knobs.read_rate_bps) {
+    std::lock_guard lock(rate_mu_);
+    rate_bps_ = *knobs.read_rate_bps;
+    if (rate_bps_ <= 0.0) {
+      rate_bucket_.reset();  // lift the limit
+    } else if (rate_bucket_ != nullptr) {
+      rate_bucket_->SetRate(rate_bps_);
+    } else {
+      rate_bucket_ = std::make_shared<storage::TokenBucket>(
+          rate_bps_, options_.rate_burst_bytes, clock_);
+    }
+  }
+  if (knobs.producers) {
+    const std::uint32_t t =
+        std::clamp<std::uint32_t>(*knobs.producers, 1, options_.max_producers);
+    target_producers_.store(t, std::memory_order_release);
+    if (running_.load(std::memory_order_acquire)) ReconcileProducers();
+  }
+  return Status::Ok();
+}
+
+StageStatsSnapshot PrefetchObject::CollectStats() const {
+  StageStatsSnapshot s;
+  s.at = clock_->Now();
+  s.producers = target_producers_.load(std::memory_order_acquire);
+  s.buffer_capacity = buffer_.Capacity();
+  s.buffer_occupancy = buffer_.Occupancy();
+  s.buffer_bytes = buffer_.OccupancyBytes();
+  const auto c = buffer_.GetCounters();
+  s.samples_produced = c.inserts;
+  s.samples_consumed = c.takes;
+  s.consumer_hits = c.consumer_hits;
+  s.consumer_waits = c.consumer_waits;
+  s.consumer_wait_time = c.consumer_wait_time;
+  s.producer_blocks = c.producer_blocks;
+  s.passthrough_reads = passthrough_reads_.load(std::memory_order_relaxed);
+  s.queue_depth = filename_queue_.size();
+  s.active_readers = active_readers_.load(std::memory_order_relaxed);
+  return s;
+}
+
+OccupancyTimeline PrefetchObject::ReaderTimeline() const {
+  std::lock_guard lock(timeline_mu_);
+  OccupancyTimeline copy = reader_timeline_;
+  copy.Finish(clock_->Now());
+  return copy;
+}
+
+}  // namespace prisma::dataplane

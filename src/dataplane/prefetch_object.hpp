@@ -1,0 +1,123 @@
+// Parallel data-prefetching optimization object (paper §IV, data plane).
+//
+// Up to `t` producer threads dequeue filenames from a FIFO queue (the
+// per-epoch order announced by the framework), read whole files from
+// backend storage, and insert them into the bounded SampleBuffer. The
+// consumer-facing Read() takes samples from the buffer (evicting them);
+// paths that were never announced (e.g. validation files — the prototype
+// does not prefetch those, §V.A) fall through to the backend directly.
+//
+// `t` and the buffer capacity `N` are live control-plane knobs: producer
+// threads are long-lived and resize without dropping queued work.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
+#include "dataplane/optimization_object.hpp"
+#include "dataplane/sample_buffer.hpp"
+#include "storage/backend.hpp"
+#include "storage/rate_limiter.hpp"
+
+namespace prisma::dataplane {
+
+struct PrefetchOptions {
+  std::uint32_t initial_producers = 1;
+  std::uint32_t max_producers = 16;
+  std::size_t buffer_capacity = 64;  // N, in samples
+  /// Hard cap on a single prefetched file (guards the buffer's memory).
+  std::uint64_t max_sample_bytes = 64ull * 1024 * 1024;
+  /// Transient-fault handling: a failed producer read is retried this
+  /// many times (with linear backoff) before the sample is marked failed
+  /// and its consumer falls back to pass-through.
+  std::uint32_t read_retries = 3;
+  Nanos retry_backoff{Millis{2}};
+  /// Initial backend read-bandwidth budget (bytes/s; 0 = unlimited).
+  /// Adjustable at runtime via StageKnobs::read_rate_bps — the QoS
+  /// reservation a multi-tenant control plane enforces per stage.
+  double read_rate_bps = 0.0;
+  /// Token-bucket depth when rate limiting is active.
+  std::uint64_t rate_burst_bytes = 8ull * 1024 * 1024;
+};
+
+class PrefetchObject final : public OptimizationObject {
+ public:
+  PrefetchObject(std::shared_ptr<storage::StorageBackend> backend,
+                 PrefetchOptions options,
+                 std::shared_ptr<const Clock> clock);
+  ~PrefetchObject() override;
+
+  std::string_view Name() const override { return "prefetch"; }
+
+  Status Start() override;
+  void Stop() override;
+
+  Status BeginEpoch(std::uint64_t epoch,
+                    const std::vector<std::string>& order) override;
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override;
+
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+
+  Status ApplyKnobs(const StageKnobs& knobs) override;
+  StageStatsSnapshot CollectStats() const override;
+
+  /// Time-weighted record of concurrently reading producers (Fig. 3).
+  /// Snapshot under lock; callers own the copy.
+  OccupancyTimeline ReaderTimeline() const;
+
+  SampleBuffer& buffer() { return buffer_; }
+
+ private:
+  void ProducerLoop(std::uint32_t index);
+  std::shared_ptr<storage::TokenBucket> CurrentBucket() const;
+  void RecordActiveReaders(std::int32_t delta);
+  /// Spawns/retires producers to match target_producers_.
+  void ReconcileProducers();
+
+  std::shared_ptr<storage::StorageBackend> backend_;
+  PrefetchOptions options_;
+  std::shared_ptr<const Clock> clock_;
+
+  SampleBuffer buffer_;
+  BoundedQueue<std::string> filename_queue_;  // unbounded FIFO
+
+  std::mutex producers_mu_;  // guards producers_ vector mutations
+  std::vector<std::thread> producers_;
+  std::atomic<std::uint32_t> target_producers_{0};
+  std::atomic<bool> running_{false};
+
+  // The set of announced (prefetchable) names; other paths pass through.
+  mutable std::mutex announced_mu_;
+  std::unordered_set<std::string> announced_;
+
+  // Samples taken from the buffer but not yet fully consumed (chunked
+  // reads); keyed by path, evicted once the consumer reads past the end.
+  std::mutex taken_mu_;
+  std::unordered_map<std::string, Sample> taken_;
+
+  // QoS: producers reserve bytes here before hitting the backend. The
+  // pointer is swapped atomically under rate_mu_ when the knob changes.
+  mutable std::mutex rate_mu_;
+  std::shared_ptr<storage::TokenBucket> rate_bucket_;  // null = unlimited
+  double rate_bps_ = 0.0;
+
+  std::atomic<std::uint32_t> active_readers_{0};
+  std::atomic<std::uint64_t> passthrough_reads_{0};
+  std::atomic<std::uint64_t> reads_served_{0};
+  std::atomic<std::uint64_t> producer_read_errors_{0};
+
+  mutable std::mutex timeline_mu_;
+  OccupancyTimeline reader_timeline_;
+};
+
+}  // namespace prisma::dataplane

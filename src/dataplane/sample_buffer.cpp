@@ -1,0 +1,142 @@
+#include "dataplane/sample_buffer.hpp"
+
+#include <utility>
+
+namespace prisma::dataplane {
+
+SampleBuffer::SampleBuffer(std::size_t capacity,
+                           std::shared_ptr<const Clock> clock)
+    : clock_(std::move(clock)), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Status SampleBuffer::Insert(Sample sample) {
+  std::unique_lock lock(mu_);
+  // Two cases skip the capacity gate: overwriting a resident name needs
+  // no extra slot, and a sample some consumer is *currently blocked on*
+  // must be admitted even into a full buffer (direct handoff). Without
+  // the handoff, producers racing ahead on later files can fill the
+  // buffer and deadlock against the consumer of an in-flight earlier
+  // file.
+  const bool handoff = awaited_names_.find(sample.name) != awaited_names_.end();
+  if (!handoff && samples_.find(sample.name) == samples_.end() && Full() &&
+      !closed_) {
+    ++counters_.producer_blocks;
+    not_full_.wait(lock, [&] {
+      return closed_ || !Full() ||
+             awaited_names_.find(sample.name) != awaited_names_.end();
+    });
+  }
+  if (closed_) return Status::Aborted("sample buffer closed");
+  // Re-probe: the map may have changed while blocked.
+  const auto existing = samples_.find(sample.name);
+
+  bytes_ += sample.size();
+  if (existing != samples_.end()) {
+    bytes_ -= existing->second.size();
+    existing->second = std::move(sample);
+  } else {
+    std::string key = sample.name;
+    samples_.emplace(std::move(key), std::move(sample));
+  }
+  ++counters_.inserts;
+  lock.unlock();
+  // The waiting consumer keys on a specific name; wake them all and let
+  // each re-check (consumer cardinality is small: the framework's readers).
+  sample_arrived_.notify_all();
+  return Status::Ok();
+}
+
+Result<Sample> SampleBuffer::Take(const std::string& name) {
+  std::unique_lock lock(mu_);
+  if (failed_names_.erase(name) > 0) {
+    return Status::IoError("prefetch failed for " + name);
+  }
+  auto it = samples_.find(name);
+  if (it == samples_.end()) {
+    if (closed_) return Status::Aborted("sample buffer closed");
+    ++counters_.consumer_waits;
+    const Nanos wait_start = clock_->Now();
+    ++awaited_names_[name];
+    // Blocked producers holding this name re-check the handoff condition.
+    not_full_.notify_all();
+    sample_arrived_.wait(lock, [&] {
+      it = samples_.find(name);
+      return closed_ || it != samples_.end() ||
+             failed_names_.find(name) != failed_names_.end();
+    });
+    if (auto an = awaited_names_.find(name); an != awaited_names_.end()) {
+      if (--an->second == 0) awaited_names_.erase(an);
+    }
+    counters_.consumer_wait_time += clock_->Now() - wait_start;
+    if (failed_names_.erase(name) > 0) {
+      return Status::IoError("prefetch failed for " + name);
+    }
+    if (it == samples_.end()) return Status::Aborted("sample buffer closed");
+  } else {
+    ++counters_.consumer_hits;
+  }
+
+  Sample out = std::move(it->second);
+  bytes_ -= out.size();
+  samples_.erase(it);
+  ++counters_.takes;
+  lock.unlock();
+  not_full_.notify_one();
+  return out;
+}
+
+bool SampleBuffer::Contains(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return samples_.find(name) != samples_.end();
+}
+
+void SampleBuffer::MarkFailed(const std::string& name) {
+  {
+    std::lock_guard lock(mu_);
+    failed_names_.insert(name);
+  }
+  sample_arrived_.notify_all();
+}
+
+void SampleBuffer::Close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  sample_arrived_.notify_all();
+}
+
+void SampleBuffer::Reopen() {
+  std::lock_guard lock(mu_);
+  closed_ = false;
+}
+
+void SampleBuffer::SetCapacity(std::size_t capacity) {
+  {
+    std::lock_guard lock(mu_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+  }
+  not_full_.notify_all();
+}
+
+std::size_t SampleBuffer::Capacity() const {
+  std::lock_guard lock(mu_);
+  return capacity_;
+}
+
+std::size_t SampleBuffer::Occupancy() const {
+  std::lock_guard lock(mu_);
+  return samples_.size();
+}
+
+std::uint64_t SampleBuffer::OccupancyBytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+SampleBuffer::Counters SampleBuffer::GetCounters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+}  // namespace prisma::dataplane

@@ -1,0 +1,98 @@
+// The in-memory sample buffer at the heart of PRISMA's prefetch object.
+//
+// Producers insert whole files (blocking while the buffer holds N
+// samples); consumers take a *specific* file by name, blocking until a
+// producer delivers it. The caching policy is the paper's: a sample is
+// stored when a producer reads it and evicted when the consumer takes it
+// (each file is needed exactly once per epoch).
+//
+// A single mutex guards the map — deliberately. The paper reports that
+// with 8+ PyTorch worker processes "PRISMA presents a performance
+// bottleneck upon the synchronization between consumer and producer
+// threads accessing the in-memory buffer"; this is that synchronization
+// point, and bench/micro_dataplane quantifies it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "dataplane/types.hpp"
+
+namespace prisma::dataplane {
+
+class SampleBuffer {
+ public:
+  /// `capacity` is the maximum number of resident samples (N, > 0).
+  SampleBuffer(std::size_t capacity, std::shared_ptr<const Clock> clock);
+
+  SampleBuffer(const SampleBuffer&) = delete;
+  SampleBuffer& operator=(const SampleBuffer&) = delete;
+
+  /// Producer side: blocks while the buffer is full. Aborted when closed.
+  /// Duplicate names overwrite (idempotent re-prefetch).
+  Status Insert(Sample sample);
+
+  /// Consumer side: blocks until `name` is resident, then removes and
+  /// returns it (evict-on-consume). Aborted when closed while waiting.
+  Result<Sample> Take(const std::string& name);
+
+  /// Non-blocking probe used by pass-through decisions and tests.
+  bool Contains(const std::string& name) const;
+
+  /// Producer-side failure propagation: marks `name` as permanently
+  /// failed so consumers blocked in Take(name) wake with an IoError
+  /// (and fall back to their pass-through path) instead of hanging.
+  /// The mark is consumed by the first Take that observes it.
+  void MarkFailed(const std::string& name);
+
+  /// Unblocks all waiters with Aborted and rejects further inserts.
+  void Close();
+
+  /// Re-arms a closed buffer (between epochs / jobs).
+  void Reopen();
+
+  /// Control knob: resize capacity. Growing wakes blocked producers.
+  void SetCapacity(std::size_t capacity);
+
+  std::size_t Capacity() const;
+  std::size_t Occupancy() const;
+  std::uint64_t OccupancyBytes() const;
+
+  struct Counters {
+    std::uint64_t inserts = 0;
+    std::uint64_t takes = 0;
+    std::uint64_t consumer_hits = 0;   // sample resident when Take arrived
+    std::uint64_t consumer_waits = 0;  // Take had to block
+    Nanos consumer_wait_time{0};
+    std::uint64_t producer_blocks = 0;  // Insert had to block
+  };
+  Counters GetCounters() const;
+
+ private:
+  bool Full() const { return samples_.size() >= capacity_; }
+
+  std::shared_ptr<const Clock> clock_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable sample_arrived_;
+  std::unordered_map<std::string, Sample> samples_;
+  // Names whose prefetch failed permanently (producer gave up); Take
+  // consumes the mark and reports the failure to the consumer.
+  std::unordered_set<std::string> failed_names_;
+  // Names consumers are currently blocked on (value = waiter count).
+  // Producers inserting one of these bypass the capacity gate so the
+  // handoff cannot deadlock against a full buffer.
+  std::unordered_map<std::string, int> awaited_names_;
+  std::size_t capacity_;
+  std::uint64_t bytes_ = 0;
+  bool closed_ = false;
+  Counters counters_;
+};
+
+}  // namespace prisma::dataplane

@@ -1,0 +1,48 @@
+#include "dataplane/stage.hpp"
+
+namespace prisma::dataplane {
+
+Stage::Stage(StageInfo info, std::shared_ptr<OptimizationObject> object)
+    : info_(std::move(info)), object_(std::move(object)) {}
+
+Status Stage::Start() { return object_->Start(); }
+
+void Stage::Stop() { object_->Stop(); }
+
+Result<std::size_t> Stage::Read(const std::string& path, std::uint64_t offset,
+                                std::span<std::byte> dst) {
+  return object_->Read(path, offset, dst);
+}
+
+Result<std::vector<std::byte>> Stage::ReadAll(const std::string& path,
+                                              std::uint64_t expected_size) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(expected_size));
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    auto n = object_->Read(path, done, std::span<std::byte>(buf).subspan(done));
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;
+    done += *n;
+  }
+  buf.resize(done);
+  return buf;
+}
+
+Result<std::uint64_t> Stage::FileSize(const std::string& path) {
+  return object_->FileSize(path);
+}
+
+Status Stage::BeginEpoch(std::uint64_t epoch,
+                         const std::vector<std::string>& order) {
+  return object_->BeginEpoch(epoch, order);
+}
+
+Status Stage::ApplyKnobs(const StageKnobs& knobs) {
+  return object_->ApplyKnobs(knobs);
+}
+
+StageStatsSnapshot Stage::CollectStats() const {
+  return object_->CollectStats();
+}
+
+}  // namespace prisma::dataplane

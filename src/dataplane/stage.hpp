@@ -1,0 +1,61 @@
+// A data-plane stage (paper §III.A / Fig. 1).
+//
+// One stage serves one DL job's storage traffic. It chains optimization
+// objects (PRISMA's prototype uses a single PrefetchObject), exposes the
+// POSIX-compliant interception surface the framework adapters call, and
+// the control interface the control plane drives. Stages register in a
+// StageRegistry so controllers and the UDS server can find them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/optimization_object.hpp"
+
+namespace prisma::dataplane {
+
+struct StageInfo {
+  std::string id;           // unique per registry ("job-17", "tf-lenet", ...)
+  std::string framework;    // "tensorflow", "pytorch", ... (informational)
+  std::uint64_t tenant_id = 0;  // multi-tenant grouping for fairness policies
+  double weight = 1.0;          // priority weight for coordinated shares
+};
+
+class Stage {
+ public:
+  Stage(StageInfo info, std::shared_ptr<OptimizationObject> object);
+
+  /// Starts the optimization object's background machinery.
+  Status Start();
+  /// Stops it (idempotent).
+  void Stop();
+
+  // --- POSIX-compliant interception surface (paper: "exposes a single
+  // read method to intercept and service read requests") ----------------
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst);
+
+  /// Whole-file convenience used by the adapters.
+  Result<std::vector<std::byte>> ReadAll(const std::string& path,
+                                         std::uint64_t expected_size);
+
+  /// Metadata intercept (stat-like calls).
+  Result<std::uint64_t> FileSize(const std::string& path);
+
+  /// Announces the upcoming epoch's file order (prefetch hint).
+  Status BeginEpoch(std::uint64_t epoch, const std::vector<std::string>& order);
+
+  // --- Control interface ------------------------------------------------
+  Status ApplyKnobs(const StageKnobs& knobs);
+  StageStatsSnapshot CollectStats() const;
+
+  const StageInfo& info() const { return info_; }
+  OptimizationObject& object() { return *object_; }
+
+ private:
+  StageInfo info_;
+  std::shared_ptr<OptimizationObject> object_;
+};
+
+}  // namespace prisma::dataplane

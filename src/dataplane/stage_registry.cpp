@@ -1,0 +1,42 @@
+#include "dataplane/stage_registry.hpp"
+
+namespace prisma::dataplane {
+
+Status StageRegistry::Register(std::shared_ptr<Stage> stage) {
+  std::lock_guard lock(mu_);
+  const std::string& id = stage->info().id;
+  if (stages_.find(id) != stages_.end()) {
+    return Status::AlreadyExists("stage already registered: " + id);
+  }
+  stages_[id] = std::move(stage);
+  return Status::Ok();
+}
+
+Status StageRegistry::Unregister(const std::string& id) {
+  std::lock_guard lock(mu_);
+  if (stages_.erase(id) == 0) {
+    return Status::NotFound("stage not registered: " + id);
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<Stage> StageRegistry::Find(const std::string& id) const {
+  std::lock_guard lock(mu_);
+  const auto it = stages_.find(id);
+  return it == stages_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Stage>> StageRegistry::All() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::shared_ptr<Stage>> out;
+  out.reserve(stages_.size());
+  for (const auto& [_, stage] : stages_) out.push_back(stage);
+  return out;
+}
+
+std::size_t StageRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return stages_.size();
+}
+
+}  // namespace prisma::dataplane

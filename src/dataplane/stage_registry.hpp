@@ -1,0 +1,38 @@
+// Registry of live data-plane stages.
+//
+// The control plane enumerates stages through this to collect metrics and
+// push knobs; the IPC server resolves a job id to its stage. Thread-safe.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dataplane/stage.hpp"
+
+namespace prisma::dataplane {
+
+class StageRegistry {
+ public:
+  /// Registers a stage under its info().id. AlreadyExists on duplicates.
+  Status Register(std::shared_ptr<Stage> stage);
+
+  /// Removes a stage; NotFound when absent.
+  Status Unregister(const std::string& id);
+
+  std::shared_ptr<Stage> Find(const std::string& id) const;
+
+  /// Snapshot of all registered stages (stable order by id).
+  std::vector<std::shared_ptr<Stage>> All() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Stage>> stages_;
+};
+
+}  // namespace prisma::dataplane

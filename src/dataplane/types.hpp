@@ -1,0 +1,60 @@
+// Shared data-plane value types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace prisma::dataplane {
+
+/// One training sample held by the in-memory buffer: a whole file, as the
+/// DL framework will consume it (paper §IV: files are read once per epoch).
+struct Sample {
+  std::string name;
+  std::vector<std::byte> data;
+
+  std::uint64_t size() const { return data.size(); }
+};
+
+/// Tuning knobs a control plane may push into a stage. Unset fields keep
+/// their current value, so policies can adjust one knob at a time.
+struct StageKnobs {
+  /// Number of producer (prefetch) threads `t`.
+  std::optional<std::uint32_t> producers;
+  /// In-memory buffer capacity `N`, in samples.
+  std::optional<std::size_t> buffer_capacity;
+  /// Backend read-bandwidth budget in bytes/s (QoS reservation; 0 lifts
+  /// the limit). Enforced by objects that own a token bucket.
+  std::optional<double> read_rate_bps;
+};
+
+/// Point-in-time monitoring snapshot a stage reports to the control plane
+/// (paper §III: "collecting monitoring metrics (e.g., cache hits, I/O rate)").
+struct StageStatsSnapshot {
+  Nanos at{0};
+
+  // Knob state.
+  std::uint32_t producers = 0;
+  std::size_t buffer_capacity = 0;
+
+  // Buffer state (instantaneous).
+  std::size_t buffer_occupancy = 0;
+  std::uint64_t buffer_bytes = 0;
+
+  // Monotonic counters since stage start.
+  std::uint64_t samples_produced = 0;   // producer inserts
+  std::uint64_t samples_consumed = 0;   // consumer takes
+  std::uint64_t consumer_hits = 0;      // sample ready on arrival
+  std::uint64_t consumer_waits = 0;     // consumer had to block
+  Nanos consumer_wait_time{0};          // total blocked time
+  std::uint64_t producer_blocks = 0;    // producer blocked on full buffer
+  std::uint64_t passthrough_reads = 0;  // reads bypassing the buffer
+  std::uint64_t queue_depth = 0;        // filenames still to prefetch
+  std::uint32_t active_readers = 0;     // producers mid-read right now
+};
+
+}  // namespace prisma::dataplane

@@ -1,0 +1,79 @@
+#include "frameworks/tf_adapter.hpp"
+
+namespace prisma::frameworks {
+
+namespace {
+
+/// Upstream behaviour: pread(2) on the backing file.
+class VanillaFile final : public TfRandomAccessFile {
+ public:
+  VanillaFile(std::shared_ptr<storage::StorageBackend> backend,
+              std::string path)
+      : backend_(std::move(backend)), path_(std::move(path)) {}
+
+  Result<std::size_t> Read(std::uint64_t offset,
+                           std::span<std::byte> dst) const override {
+    auto n = backend_->Read(path_, offset, dst);  // the pread call site
+    if (!n.ok()) return n.status();
+    if (*n < dst.size()) {
+      return Status::OutOfRange("EOF reached on " + path_);
+    }
+    return n;
+  }
+
+ private:
+  std::shared_ptr<storage::StorageBackend> backend_;
+  std::string path_;
+};
+
+/// The paper's patch: "we extended the existing POSIX file system backend
+/// and replaced the pread invocation with Prisma.read". The whole
+/// integration diff is the body of this Read().
+class PrismaFile final : public TfRandomAccessFile {
+ public:
+  PrismaFile(std::shared_ptr<dataplane::Stage> stage, std::string path)
+      : stage_(std::move(stage)), path_(std::move(path)) {}
+
+  Result<std::size_t> Read(std::uint64_t offset,
+                           std::span<std::byte> dst) const override {
+    auto n = stage_->Read(path_, offset, dst);  // Prisma.read
+    if (!n.ok()) return n.status();
+    if (*n < dst.size()) {
+      return Status::OutOfRange("EOF reached on " + path_);
+    }
+    return n;
+  }
+
+ private:
+  std::shared_ptr<dataplane::Stage> stage_;
+  std::string path_;
+};
+
+}  // namespace
+
+TfPosixFileSystem::TfPosixFileSystem(
+    std::shared_ptr<storage::StorageBackend> backend)
+    : backend_(std::move(backend)) {}
+
+TfPosixFileSystem::TfPosixFileSystem(
+    std::shared_ptr<storage::StorageBackend> backend,
+    std::shared_ptr<dataplane::Stage> stage)
+    : backend_(std::move(backend)), stage_(std::move(stage)) {}
+
+Result<std::unique_ptr<TfRandomAccessFile>>
+TfPosixFileSystem::NewRandomAccessFile(const std::string& path) const {
+  if (stage_ != nullptr) {
+    return std::unique_ptr<TfRandomAccessFile>(
+        std::make_unique<PrismaFile>(stage_, path));
+  }
+  return std::unique_ptr<TfRandomAccessFile>(
+      std::make_unique<VanillaFile>(backend_, path));
+}
+
+Result<std::uint64_t> TfPosixFileSystem::GetFileSize(
+    const std::string& path) const {
+  if (stage_ != nullptr) return stage_->FileSize(path);
+  return backend_->FileSize(path);
+}
+
+}  // namespace prisma::frameworks

@@ -1,0 +1,53 @@
+// TensorFlow-style integration (paper §IV, "Integration with DL
+// frameworks"): TensorFlow's POSIX filesystem backend wraps every input
+// file in a RandomAccessFile whose Read() issues pread(2). The paper's
+// 10-LoC patch swaps that pread for Prisma.read. This adapter mirrors
+// that structure: TfRandomAccessFile is the upstream class shape, and the
+// ONLY functional difference between the vanilla and PRISMA paths is the
+// body of Read() — exactly the decoupling argument of the paper.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "dataplane/stage.hpp"
+#include "storage/backend.hpp"
+
+namespace prisma::frameworks {
+
+/// Mirror of tensorflow::RandomAccessFile for the POSIX backend.
+class TfRandomAccessFile {
+ public:
+  virtual ~TfRandomAccessFile() = default;
+
+  /// Reads up to n bytes at `offset`. Mirrors upstream semantics:
+  /// returns OutOfRange at EOF with a short read.
+  virtual Result<std::size_t> Read(std::uint64_t offset,
+                                   std::span<std::byte> dst) const = 0;
+};
+
+/// Mirror of tensorflow::PosixFileSystem, parameterised on whether the
+/// PRISMA stage services reads (the 10-LoC patch) or the backend does.
+class TfPosixFileSystem {
+ public:
+  /// Vanilla: reads go straight to the storage backend.
+  explicit TfPosixFileSystem(std::shared_ptr<storage::StorageBackend> backend);
+
+  /// PRISMA-integrated: reads go to the data-plane stage.
+  TfPosixFileSystem(std::shared_ptr<storage::StorageBackend> backend,
+                    std::shared_ptr<dataplane::Stage> stage);
+
+  Result<std::unique_ptr<TfRandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) const;
+
+  Result<std::uint64_t> GetFileSize(const std::string& path) const;
+
+  bool prisma_enabled() const { return stage_ != nullptr; }
+
+ private:
+  std::shared_ptr<storage::StorageBackend> backend_;
+  std::shared_ptr<dataplane::Stage> stage_;  // null in vanilla mode
+};
+
+}  // namespace prisma::frameworks

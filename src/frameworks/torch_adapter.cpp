@@ -1,0 +1,19 @@
+#include "frameworks/torch_adapter.hpp"
+
+namespace prisma::frameworks {
+
+Status TorchWorkerClient::Connect(const std::string& socket_path) {
+  return client_.Connect(socket_path);
+}
+
+Result<std::vector<std::byte>> TorchWorkerClient::GetItem(
+    const std::string& name) {
+  return client_.ReadAll(name);
+}
+
+Status TorchWorkerClient::AnnounceEpoch(
+    std::uint64_t epoch, const std::vector<std::string>& order) {
+  return client_.BeginEpoch(epoch, order);
+}
+
+}  // namespace prisma::frameworks

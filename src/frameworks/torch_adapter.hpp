@@ -1,0 +1,42 @@
+// PyTorch-style integration (paper §IV): PyTorch's DataLoader spawns
+// worker *processes*, so the 35-LoC patch inserts a PRISMA client into
+// each worker's dataset `__getitem__`/fetch path, shipping reads to the
+// PRISMA UDS server. TorchWorkerClient is that per-worker object; it is
+// created after fork (sockets don't survive fork cleanly) and used by a
+// single worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ipc/uds_client.hpp"
+
+namespace prisma::frameworks {
+
+/// The per-worker handle of the PyTorch integration. Mirrors the shape of
+/// a Dataset wrapper: `GetItem(name)` returns the raw sample bytes the
+/// collate step would decode.
+class TorchWorkerClient {
+ public:
+  TorchWorkerClient() = default;
+
+  /// Connects this worker to the PRISMA server (call after fork()).
+  Status Connect(const std::string& socket_path);
+
+  /// Fetches one sample — the intercepted read invocation.
+  Result<std::vector<std::byte>> GetItem(const std::string& name);
+
+  /// The main process announces each epoch's (already shuffled) order.
+  Status AnnounceEpoch(std::uint64_t epoch,
+                       const std::vector<std::string>& order);
+
+  bool Connected() const { return client_.Connected(); }
+  ipc::UdsClient& raw_client() { return client_; }
+
+ private:
+  ipc::UdsClient client_;
+};
+
+}  // namespace prisma::frameworks

@@ -1,0 +1,171 @@
+#include "ipc/uds_client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace prisma::ipc {
+
+UdsClient::~UdsClient() { Close(); }
+
+UdsClient::UdsClient(UdsClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+UdsClient& UdsClient::operator=(UdsClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status UdsClient::Connect(const std::string& socket_path, Millis timeout) {
+  Close();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      fd_ = fd;
+      return Status::Ok();
+    }
+    const int err = errno;
+    ::close(fd);
+    if ((err != ENOENT && err != ECONNREFUSED) ||
+        std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable("connect " + socket_path + ": " +
+                                 std::strerror(err));
+    }
+    std::this_thread::sleep_for(Millis{10});
+  }
+}
+
+void UdsClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Response> UdsClient::RoundTrip(const Request& req) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  if (Status s = WriteFrame(fd_, EncodeRequest(req)); !s.ok()) return s;
+  auto frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  return DecodeResponse(*frame);
+}
+
+Status UdsClient::Ping() {
+  Request req;
+  req.op = Op::kPing;
+  auto resp = RoundTrip(req);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status{resp->code, "ping failed"};
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> UdsClient::Read(const std::string& path,
+                                    std::uint64_t offset,
+                                    std::span<std::byte> dst) {
+  Request req;
+  req.op = Op::kRead;
+  req.path = path;
+  req.offset = offset;
+  req.length = dst.size();
+  auto resp = RoundTrip(req);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status{resp->code, "remote read failed: " + path};
+  }
+  const std::size_t n = std::min(resp->data.size(), dst.size());
+  std::copy_n(resp->data.data(), n, dst.data());
+  return n;
+}
+
+Result<std::vector<std::byte>> UdsClient::ReadAll(const std::string& path) {
+  auto size = FileSize(path);
+  if (!size.ok()) return size.status();
+  std::vector<std::byte> buf(static_cast<std::size_t>(*size));
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    auto n = Read(path, done, std::span<std::byte>(buf).subspan(done));
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;
+    done += *n;
+  }
+  buf.resize(done);
+  return buf;
+}
+
+Result<std::uint64_t> UdsClient::FileSize(const std::string& path) {
+  Request req;
+  req.op = Op::kFileSize;
+  req.path = path;
+  auto resp = RoundTrip(req);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status{resp->code, "remote stat failed: " + path};
+  }
+  return resp->value;
+}
+
+Status UdsClient::BeginEpoch(std::uint64_t epoch,
+                             const std::vector<std::string>& names) {
+  Request req;
+  req.op = Op::kBeginEpoch;
+  req.epoch = epoch;
+  req.names = names;
+  auto resp = RoundTrip(req);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status{resp->code, "remote BeginEpoch failed"};
+  }
+  return Status::Ok();
+}
+
+Result<UdsClient::RemoteStats> UdsClient::Stats() {
+  Request req;
+  req.op = Op::kStats;
+  auto resp = RoundTrip(req);
+  if (!resp.ok()) return resp.status();
+  if (resp->code != StatusCode::kOk) {
+    return Status{resp->code, "remote stats failed"};
+  }
+  RemoteStats out;
+  out.samples_consumed = resp->value;
+  if (resp->data.size() >= 24) {
+    const auto get_u64 = [&](std::size_t at) {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(resp->data[at + i]) << (8 * i);
+      }
+      return v;
+    };
+    out.producers = get_u64(0);
+    out.buffer_capacity = get_u64(8);
+    out.buffer_occupancy = get_u64(16);
+  }
+  return out;
+}
+
+}  // namespace prisma::ipc

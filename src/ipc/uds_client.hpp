@@ -1,0 +1,67 @@
+// PRISMA UDS client — the per-worker-process handle the PyTorch-style
+// integration instantiates ("for each spawned process, a PRISMA client
+// instance is created to intercept all read invocations and submit them
+// to the server", paper §IV).
+//
+// A client owns one connection and is NOT thread-safe (each worker
+// process/thread creates its own, as in the paper's design).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "ipc/wire.hpp"
+
+namespace prisma::ipc {
+
+class UdsClient {
+ public:
+  UdsClient() = default;
+  ~UdsClient();
+
+  UdsClient(const UdsClient&) = delete;
+  UdsClient& operator=(const UdsClient&) = delete;
+  UdsClient(UdsClient&& other) noexcept;
+  UdsClient& operator=(UdsClient&& other) noexcept;
+
+  /// Connects, retrying until `timeout` elapses (server may still be
+  /// binding when workers fork).
+  Status Connect(const std::string& socket_path, Millis timeout = Millis{2000});
+
+  bool Connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Round-trip no-op (liveness probe).
+  Status Ping();
+
+  /// Reads up to dst.size() bytes of `path` at `offset` via the server.
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst);
+
+  /// Whole file, sized via FileSize.
+  Result<std::vector<std::byte>> ReadAll(const std::string& path);
+
+  Result<std::uint64_t> FileSize(const std::string& path);
+
+  /// Announces the epoch's file order to the server's stage.
+  Status BeginEpoch(std::uint64_t epoch, const std::vector<std::string>& names);
+
+  struct RemoteStats {
+    std::uint64_t samples_consumed = 0;
+    std::uint64_t producers = 0;
+    std::uint64_t buffer_capacity = 0;
+    std::uint64_t buffer_occupancy = 0;
+  };
+  Result<RemoteStats> Stats();
+
+ private:
+  Result<Response> RoundTrip(const Request& req);
+
+  int fd_ = -1;
+};
+
+}  // namespace prisma::ipc

@@ -1,0 +1,181 @@
+#include "ipc/uds_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace prisma::ipc {
+
+UdsServer::UdsServer(std::string socket_path,
+                     std::shared_ptr<dataplane::Stage> stage)
+    : socket_path_(std::move(socket_path)), stage_(std::move(stage)) {}
+
+UdsServer::~UdsServer() { Stop(); }
+
+Status UdsServer::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("server already running");
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    running_ = false;
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_ = false;
+    return Status::InvalidArgument("socket path too long: " + socket_path_);
+  }
+  std::strncpy(addr.sun_path, socket_path_.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path_.c_str());  // stale socket from a previous run
+
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s =
+        Status::IoError("bind " + socket_path_ + ": " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_ = false;
+    return s;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status s = Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_ = false;
+    return s;
+  }
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void UdsServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Shut the listening socket down; accept() returns with an error.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lock(conns_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    handlers.swap(handlers_);
+  }
+  for (auto& h : handlers) {
+    if (h.joinable()) h.join();
+  }
+  {
+    std::lock_guard lock(conns_mu_);
+    for (const int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+void UdsServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket closed by Stop()
+    }
+    std::lock_guard lock(conns_mu_);
+    conn_fds_.push_back(fd);
+    handlers_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void UdsServer::HandleConnection(int fd) {
+  while (running_.load(std::memory_order_acquire)) {
+    auto frame = ReadFrame(fd);
+    if (!frame.ok()) break;  // peer closed or connection error
+    auto req = DecodeRequest(*frame);
+    Response resp;
+    if (!req.ok()) {
+      resp.code = req.status().code();
+    } else {
+      resp = Dispatch(*req);
+    }
+    if (!WriteFrame(fd, EncodeResponse(resp)).ok()) break;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // fd is closed centrally in Stop(); closing here too would double-close,
+  // so only mark it by shutting down our end.
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+Response UdsServer::Dispatch(const Request& req) {
+  Response resp;
+  switch (req.op) {
+    case Op::kPing:
+      break;
+    case Op::kRead: {
+      if (req.length > kMaxFrameBytes / 2) {
+        resp.code = StatusCode::kInvalidArgument;
+        break;
+      }
+      resp.data.resize(static_cast<std::size_t>(req.length));
+      auto n = stage_->Read(req.path, req.offset, resp.data);
+      if (!n.ok()) {
+        resp.code = n.status().code();
+        resp.data.clear();
+        break;
+      }
+      resp.data.resize(*n);
+      resp.value = *n;
+      break;
+    }
+    case Op::kFileSize: {
+      auto size = stage_->FileSize(req.path);
+      if (!size.ok()) {
+        resp.code = size.status().code();
+        break;
+      }
+      resp.value = *size;
+      break;
+    }
+    case Op::kBeginEpoch: {
+      const Status s = stage_->BeginEpoch(req.epoch, req.names);
+      resp.code = s.code();
+      break;
+    }
+    case Op::kStats: {
+      const auto stats = stage_->CollectStats();
+      // Pack a compact subset: producers, capacity, occupancy, consumed.
+      resp.value = stats.samples_consumed;
+      resp.data.reserve(3 * 8);
+      const std::uint64_t fields[3] = {stats.producers, stats.buffer_capacity,
+                                       stats.buffer_occupancy};
+      for (const std::uint64_t f : fields) {
+        for (int i = 0; i < 8; ++i) {
+          resp.data.push_back(static_cast<std::byte>((f >> (8 * i)) & 0xff));
+        }
+      }
+      break;
+    }
+  }
+  return resp;
+}
+
+std::size_t UdsServer::active_connections() const {
+  std::lock_guard lock(conns_mu_);
+  return conn_fds_.size();
+}
+
+}  // namespace prisma::ipc

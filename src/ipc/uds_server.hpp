@@ -1,0 +1,59 @@
+// PRISMA UDS server: exposes one data-plane stage to external worker
+// *processes* (the PyTorch integration of paper §IV). Each accepted
+// connection gets a handler thread; requests on a connection are served
+// in order. The stage itself is shared — its SampleBuffer lock is the
+// synchronization point the paper identifies as the 8+-worker bottleneck.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dataplane/stage.hpp"
+#include "ipc/wire.hpp"
+
+namespace prisma::ipc {
+
+class UdsServer {
+ public:
+  UdsServer(std::string socket_path, std::shared_ptr<dataplane::Stage> stage);
+  ~UdsServer();
+
+  UdsServer(const UdsServer&) = delete;
+  UdsServer& operator=(const UdsServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop.
+  Status Start();
+
+  /// Stops accepting, closes all connections, joins all threads.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  std::size_t active_connections() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  Response Dispatch(const Request& req);
+
+  std::string socket_path_;
+  std::shared_ptr<dataplane::Stage> stage_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::thread> handlers_;
+  std::vector<int> conn_fds_;
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace prisma::ipc

@@ -1,0 +1,244 @@
+#include "ipc/wire.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace prisma::ipc {
+namespace {
+
+void PutU8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void PutU32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutBytes(std::vector<std::byte>& out, std::span<const std::byte> b) {
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+void PutString(std::vector<std::byte>& out, const std::string& s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  PutBytes(out, std::as_bytes(std::span(s.data(), s.size())));
+}
+
+/// Bounds-checked sequential reader over a payload.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::byte> data) : data_(data) {}
+
+  Result<std::uint8_t> U8() {
+    if (pos_ + 1 > data_.size()) return Truncated();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  Result<std::uint32_t> U32() {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::uint64_t> U64() {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> String() {
+    auto len = U32();
+    if (!len.ok()) return len.status();
+    if (pos_ + *len > data_.size()) return Truncated();
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+    pos_ += *len;
+    return s;
+  }
+
+  Result<std::vector<std::byte>> Bytes() {
+    auto len = U32();
+    if (!len.ok()) return len.status();
+    if (pos_ + *len > data_.size()) return Truncated();
+    std::vector<std::byte> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+    pos_ += *len;
+    return b;
+  }
+
+  bool Done() const { return pos_ == data_.size(); }
+  std::size_t Remaining() const { return data_.size() - pos_; }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("truncated wire payload");
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> EncodeRequest(const Request& req) {
+  std::vector<std::byte> out;
+  out.reserve(32 + req.path.size());
+  PutU8(out, static_cast<std::uint8_t>(req.op));
+  PutString(out, req.path);
+  PutU64(out, req.offset);
+  PutU64(out, req.length);
+  PutU64(out, req.epoch);
+  PutU32(out, static_cast<std::uint32_t>(req.names.size()));
+  for (const auto& n : req.names) PutString(out, n);
+  return out;
+}
+
+Result<Request> DecodeRequest(std::span<const std::byte> payload) {
+  Cursor c(payload);
+  Request req;
+  auto op = c.U8();
+  if (!op.ok()) return op.status();
+  if (*op > static_cast<std::uint8_t>(Op::kStats)) {
+    return Status::InvalidArgument("unknown opcode");
+  }
+  req.op = static_cast<Op>(*op);
+  auto path = c.String();
+  if (!path.ok()) return path.status();
+  req.path = std::move(*path);
+  auto offset = c.U64();
+  if (!offset.ok()) return offset.status();
+  req.offset = *offset;
+  auto length = c.U64();
+  if (!length.ok()) return length.status();
+  req.length = *length;
+  auto epoch = c.U64();
+  if (!epoch.ok()) return epoch.status();
+  req.epoch = *epoch;
+  auto n = c.U32();
+  if (!n.ok()) return n.status();
+  // Each name costs at least its 4-byte length prefix; a count that
+  // exceeds the remaining payload is corrupt. Checking BEFORE reserving
+  // keeps a hostile count from forcing a huge allocation.
+  if (*n > c.Remaining() / 4) {
+    return Status::InvalidArgument("name count exceeds payload");
+  }
+  req.names.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto name = c.String();
+    if (!name.ok()) return name.status();
+    req.names.push_back(std::move(*name));
+  }
+  if (!c.Done()) return Status::InvalidArgument("trailing bytes in request");
+  return req;
+}
+
+std::vector<std::byte> EncodeResponse(const Response& resp) {
+  std::vector<std::byte> out;
+  out.reserve(16 + resp.data.size());
+  PutU8(out, static_cast<std::uint8_t>(resp.code));
+  PutU64(out, resp.value);
+  PutU32(out, static_cast<std::uint32_t>(resp.data.size()));
+  PutBytes(out, resp.data);
+  return out;
+}
+
+Result<Response> DecodeResponse(std::span<const std::byte> payload) {
+  Cursor c(payload);
+  Response resp;
+  auto code = c.U8();
+  if (!code.ok()) return code.status();
+  if (*code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    return Status::InvalidArgument("unknown status code");
+  }
+  resp.code = static_cast<StatusCode>(*code);
+  auto value = c.U64();
+  if (!value.ok()) return value.status();
+  resp.value = *value;
+  auto data = c.Bytes();
+  if (!data.ok()) return data.status();
+  resp.data = std::move(*data);
+  if (!c.Done()) return Status::InvalidArgument("trailing bytes in response");
+  return resp;
+}
+
+Status WriteFrame(int fd, std::span<const std::byte> payload) {
+  std::byte prefix[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::byte>((len >> (8 * i)) & 0xff);
+  }
+
+  const auto send_all = [fd](const std::byte* p, std::size_t n) -> Status {
+    std::size_t done = 0;
+    while (done < n) {
+      const ssize_t w = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("send: ") + std::strerror(errno));
+      }
+      done += static_cast<std::size_t>(w);
+    }
+    return Status::Ok();
+  };
+
+  if (Status s = send_all(prefix, 4); !s.ok()) return s;
+  return send_all(payload.data(), payload.size());
+}
+
+Result<std::vector<std::byte>> ReadFrame(int fd) {
+  const auto recv_all = [fd](std::byte* p, std::size_t n,
+                             bool eof_ok) -> Result<std::size_t> {
+    std::size_t done = 0;
+    while (done < n) {
+      const ssize_t r = ::recv(fd, p + done, n - done, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("recv: ") + std::strerror(errno));
+      }
+      if (r == 0) {
+        if (eof_ok && done == 0) return Status::Aborted("peer closed");
+        return Status::IoError("connection truncated mid-frame");
+      }
+      done += static_cast<std::size_t>(r);
+    }
+    return done;
+  };
+
+  std::byte prefix[4];
+  if (auto r = recv_all(prefix, 4, /*eof_ok=*/true); !r.ok()) {
+    return r.status();
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame too large: " + std::to_string(len));
+  }
+  std::vector<std::byte> payload(len);
+  if (len > 0) {
+    if (auto r = recv_all(payload.data(), len, /*eof_ok=*/false); !r.ok()) {
+      return r.status();
+    }
+  }
+  return payload;
+}
+
+}  // namespace prisma::ipc

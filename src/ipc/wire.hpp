@@ -1,0 +1,61 @@
+// Wire protocol for the PRISMA UNIX-domain-socket integration (paper §IV:
+// PyTorch workers are processes, so reads are shipped to the PRISMA
+// server over UDS).
+//
+// Frames are length-prefixed:   [u32 payload_len][payload]
+// Request payload:  [u8 op][u32 path_len][path bytes][u64 offset]
+//                   [u64 length][u64 epoch][u32 n_names]{[u32 len][bytes]}*
+// Response payload: [u8 status_code][u64 value][u32 data_len][data bytes]
+//
+// All integers little-endian. `value` carries op-specific scalars
+// (file size for kFileSize, bytes read for kRead).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace prisma::ipc {
+
+enum class Op : std::uint8_t {
+  kPing = 0,
+  kRead = 1,
+  kFileSize = 2,
+  kBeginEpoch = 3,
+  kStats = 4,
+};
+
+struct Request {
+  Op op = Op::kPing;
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t epoch = 0;
+  std::vector<std::string> names;  // kBeginEpoch only
+};
+
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  std::uint64_t value = 0;
+  std::vector<std::byte> data;
+};
+
+std::vector<std::byte> EncodeRequest(const Request& req);
+Result<Request> DecodeRequest(std::span<const std::byte> payload);
+
+std::vector<std::byte> EncodeResponse(const Response& resp);
+Result<Response> DecodeResponse(std::span<const std::byte> payload);
+
+/// Blocking frame I/O over a connected socket. WriteFrame sends the
+/// length prefix + payload; ReadFrame returns the payload (Aborted on
+/// orderly peer close before a frame starts).
+Status WriteFrame(int fd, std::span<const std::byte> payload);
+Result<std::vector<std::byte>> ReadFrame(int fd);
+
+/// Upper bound accepted by ReadFrame (guards against corrupt prefixes).
+inline constexpr std::uint32_t kMaxFrameBytes = 256u * 1024 * 1024;
+
+}  // namespace prisma::ipc

@@ -1,0 +1,349 @@
+// libprisma_shim.so — LD_PRELOAD interception data plane.
+//
+// Routes POSIX file I/O on a configured path prefix through a PRISMA UDS
+// server, with zero changes to the application binary. This is the most
+// transparent of the three integration mechanisms (TF adapter, Torch
+// client, shim) and demonstrates the framework-agnostic claim literally:
+// any process whose reads fall under the prefix is accelerated.
+//
+// Environment:
+//   PRISMA_SHIM_SOCKET  — UDS path of the PRISMA server (required)
+//   PRISMA_SHIM_PREFIX  — path prefix to intercept (required)
+//
+// Intercepted: open, open64, openat, read, pread, pread64, lseek,
+// lseek64, close, and size queries via fstat/stat. Matching opens return
+// a real descriptor (an O_CLOEXEC dup of /dev/null) so the fd number is
+// unique and close() composes with the libc allocator; the shim keeps a
+// side table fd -> {path, offset, size}.
+//
+// Thread-safety: the side table is mutex-guarded; each thread lazily
+// opens its own UdsClient (the client is intentionally per-thread, as in
+// the paper's per-worker client design).
+
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <stdarg.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ipc/uds_client.hpp"
+
+namespace {
+
+using prisma::ipc::UdsClient;
+
+// --- real libc entry points -------------------------------------------------
+
+using OpenFn = int (*)(const char*, int, ...);
+using OpenatFn = int (*)(int, const char*, int, ...);
+using ReadFn = ssize_t (*)(int, void*, size_t);
+using PreadFn = ssize_t (*)(int, void*, size_t, off_t);
+using LseekFn = off_t (*)(int, off_t, int);
+using CloseFn = int (*)(int);
+using FstatFn = int (*)(int, struct stat*);
+using StatFn = int (*)(const char*, struct stat*);
+
+template <typename Fn>
+Fn Real(const char* name) {
+  static_assert(sizeof(Fn) == sizeof(void*));
+  void* sym = ::dlsym(RTLD_NEXT, name);
+  Fn fn;
+  std::memcpy(&fn, &sym, sizeof(fn));
+  return fn;
+}
+
+OpenFn real_open() { static OpenFn fn = Real<OpenFn>("open"); return fn; }
+OpenatFn real_openat() { static OpenatFn fn = Real<OpenatFn>("openat"); return fn; }
+ReadFn real_read() { static ReadFn fn = Real<ReadFn>("read"); return fn; }
+PreadFn real_pread() { static PreadFn fn = Real<PreadFn>("pread"); return fn; }
+LseekFn real_lseek() { static LseekFn fn = Real<LseekFn>("lseek"); return fn; }
+CloseFn real_close() { static CloseFn fn = Real<CloseFn>("close"); return fn; }
+FstatFn real_fstat() { static FstatFn fn = Real<FstatFn>("fstat"); return fn; }
+StatFn real_stat() { static StatFn fn = Real<StatFn>("stat"); return fn; }
+
+// --- shim state --------------------------------------------------------------
+
+struct TrackedFile {
+  std::string path;   // server-side name (prefix stripped)
+  off_t offset = 0;
+  off_t size = -1;    // lazily fetched
+};
+
+struct ShimState {
+  std::string socket_path;
+  std::string prefix;
+  bool enabled = false;
+
+  std::mutex mu;
+  std::unordered_map<int, TrackedFile> files;
+};
+
+ShimState& State() {
+  static ShimState& state = [ated = new ShimState()]() -> ShimState& {
+    ShimState& s = *ated;
+    const char* sock = std::getenv("PRISMA_SHIM_SOCKET");
+    const char* prefix = std::getenv("PRISMA_SHIM_PREFIX");
+    if (sock != nullptr && prefix != nullptr && sock[0] != '\0' &&
+        prefix[0] != '\0') {
+      s.socket_path = sock;
+      s.prefix = prefix;
+      s.enabled = true;
+    }
+    return s;  // leaked intentionally: shim state must outlive atexit I/O
+  }();
+  return state;
+}
+
+/// Per-thread client, lazily connected. Returns nullptr on failure so
+/// callers can fall back to real I/O.
+UdsClient* ThreadClient() {
+  thread_local UdsClient client;
+  thread_local bool attempted = false;
+  if (!client.Connected()) {
+    if (attempted) return nullptr;
+    attempted = true;
+    if (!client.Connect(State().socket_path).ok()) return nullptr;
+  }
+  return &client;
+}
+
+/// If `path` falls under the prefix, returns the server-side remainder.
+bool MatchPrefix(const char* path, std::string* remainder) {
+  ShimState& s = State();
+  if (!s.enabled || path == nullptr) return false;
+  const size_t plen = s.prefix.size();
+  if (std::strncmp(path, s.prefix.c_str(), plen) != 0) return false;
+  const char* rest = path + plen;
+  while (*rest == '/') ++rest;  // tolerate "prefix/" vs "prefix"
+  *remainder = rest;
+  return !remainder->empty();
+}
+
+int OpenTracked(const std::string& remainder) {
+  // Reserve a genuine descriptor slot so fd numbers never collide with
+  // libc-allocated ones.
+  const int fd = real_open()("/dev/null", O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return -1;
+  std::lock_guard lock(State().mu);
+  State().files[fd] = TrackedFile{remainder, 0, -1};
+  return fd;
+}
+
+/// Copies the tracked entry if fd is ours.
+bool LookupTracked(int fd, TrackedFile* out) {
+  std::lock_guard lock(State().mu);
+  const auto it = State().files.find(fd);
+  if (it == State().files.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void UpdateOffset(int fd, off_t offset) {
+  std::lock_guard lock(State().mu);
+  const auto it = State().files.find(fd);
+  if (it != State().files.end()) it->second.offset = offset;
+}
+
+void UpdateSize(int fd, off_t size) {
+  std::lock_guard lock(State().mu);
+  const auto it = State().files.find(fd);
+  if (it != State().files.end()) it->second.size = size;
+}
+
+off_t FetchSize(int fd, const TrackedFile& tf) {
+  if (tf.size >= 0) return tf.size;
+  UdsClient* client = ThreadClient();
+  if (client == nullptr) return -1;
+  const auto size = client->FileSize(tf.path);
+  if (!size.ok()) return -1;
+  UpdateSize(fd, static_cast<off_t>(*size));
+  return static_cast<off_t>(*size);
+}
+
+ssize_t RemoteRead(int fd, const TrackedFile& tf, void* buf, size_t count,
+                   off_t offset, bool advance) {
+  UdsClient* client = ThreadClient();
+  if (client == nullptr) {
+    errno = EIO;
+    return -1;
+  }
+  const auto n = client->Read(
+      tf.path, static_cast<std::uint64_t>(offset),
+      std::span<std::byte>(static_cast<std::byte*>(buf), count));
+  if (!n.ok()) {
+    errno = EIO;
+    return -1;
+  }
+  if (advance) UpdateOffset(fd, offset + static_cast<off_t>(*n));
+  return static_cast<ssize_t>(*n);
+}
+
+}  // namespace
+
+// --- interposed symbols -------------------------------------------------------
+
+extern "C" {
+
+int open(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  std::string remainder;
+  if ((flags & O_ACCMODE) == O_RDONLY && MatchPrefix(path, &remainder)) {
+    const int fd = OpenTracked(remainder);
+    if (fd >= 0) return fd;
+    // fall through to real open on tracking failure
+  }
+  return real_open()(path, flags, mode);
+}
+
+int open64(const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  std::string remainder;
+  if ((flags & O_ACCMODE) == O_RDONLY && MatchPrefix(path, &remainder)) {
+    const int fd = OpenTracked(remainder);
+    if (fd >= 0) return fd;
+  }
+  return real_open()(path, flags | O_LARGEFILE, mode);
+}
+
+int openat(int dirfd, const char* path, int flags, ...) {
+  mode_t mode = 0;
+  if ((flags & O_CREAT) != 0) {
+    va_list ap;
+    va_start(ap, flags);
+    mode = va_arg(ap, mode_t);
+    va_end(ap);
+  }
+  // Only absolute paths (dirfd-independent) are eligible for routing.
+  std::string remainder;
+  if (path[0] == '/' && (flags & O_ACCMODE) == O_RDONLY &&
+      MatchPrefix(path, &remainder)) {
+    const int fd = OpenTracked(remainder);
+    if (fd >= 0) return fd;
+  }
+  return real_openat()(dirfd, path, flags, mode);
+}
+
+ssize_t read(int fd, void* buf, size_t count) {
+  TrackedFile tf;
+  if (LookupTracked(fd, &tf)) {
+    return RemoteRead(fd, tf, buf, count, tf.offset, /*advance=*/true);
+  }
+  return real_read()(fd, buf, count);
+}
+
+ssize_t pread(int fd, void* buf, size_t count, off_t offset) {
+  TrackedFile tf;
+  if (LookupTracked(fd, &tf)) {
+    return RemoteRead(fd, tf, buf, count, offset, /*advance=*/false);
+  }
+  return real_pread()(fd, buf, count, offset);
+}
+
+ssize_t pread64(int fd, void* buf, size_t count, off_t offset) {
+  return pread(fd, buf, count, offset);
+}
+
+off_t lseek(int fd, off_t offset, int whence) {
+  TrackedFile tf;
+  if (LookupTracked(fd, &tf)) {
+    off_t base = 0;
+    switch (whence) {
+      case SEEK_SET: base = 0; break;
+      case SEEK_CUR: base = tf.offset; break;
+      case SEEK_END: {
+        const off_t size = FetchSize(fd, tf);
+        if (size < 0) {
+          errno = EIO;
+          return -1;
+        }
+        base = size;
+        break;
+      }
+      default:
+        errno = EINVAL;
+        return -1;
+    }
+    const off_t target = base + offset;
+    if (target < 0) {
+      errno = EINVAL;
+      return -1;
+    }
+    UpdateOffset(fd, target);
+    return target;
+  }
+  return real_lseek()(fd, offset, whence);
+}
+
+off_t lseek64(int fd, off_t offset, int whence) {
+  return lseek(fd, offset, whence);
+}
+
+int close(int fd) {
+  {
+    std::lock_guard lock(State().mu);
+    State().files.erase(fd);
+  }
+  return real_close()(fd);
+}
+
+int fstat(int fd, struct stat* st) {
+  TrackedFile tf;
+  if (LookupTracked(fd, &tf)) {
+    std::memset(st, 0, sizeof(*st));
+    const off_t size = FetchSize(fd, tf);
+    if (size < 0) {
+      errno = EIO;
+      return -1;
+    }
+    st->st_size = size;
+    st->st_mode = S_IFREG | 0444;
+    st->st_blksize = 4096;
+    st->st_blocks = (size + 511) / 512;
+    return 0;
+  }
+  return real_fstat()(fd, st);
+}
+
+int stat(const char* path, struct stat* st) {
+  std::string remainder;
+  if (MatchPrefix(path, &remainder)) {
+    UdsClient* client = ThreadClient();
+    if (client == nullptr) {
+      errno = EIO;
+      return -1;
+    }
+    const auto size = client->FileSize(remainder);
+    if (!size.ok()) {
+      errno = ENOENT;
+      return -1;
+    }
+    std::memset(st, 0, sizeof(*st));
+    st->st_size = static_cast<off_t>(*size);
+    st->st_mode = S_IFREG | 0444;
+    st->st_blksize = 4096;
+    st->st_blocks = (st->st_size + 511) / 512;
+    return 0;
+  }
+  return real_stat()(path, st);
+}
+
+}  // extern "C"

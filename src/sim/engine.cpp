@@ -1,0 +1,47 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace prisma::sim {
+
+SimEngine::SimEngine() : clock_(std::make_shared<ManualClock>()) {}
+
+void SimEngine::ScheduleAt(Nanos at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  calendar_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void SimEngine::ScheduleAfter(Nanos delay, std::function<void()> fn) {
+  ScheduleAt(now_ + (delay.count() > 0 ? delay : Nanos{0}), std::move(fn));
+}
+
+void SimEngine::ResumeAt(Nanos at, std::coroutine_handle<> h) {
+  ScheduleAt(at, [h] { h.resume(); });
+}
+
+void SimEngine::ResumeAfter(Nanos delay, std::coroutine_handle<> h) {
+  ScheduleAfter(delay, [h] { h.resume(); });
+}
+
+std::uint64_t SimEngine::Run(Nanos until) {
+  std::uint64_t processed = 0;
+  while (!calendar_.empty()) {
+    const Event& top = calendar_.top();
+    if (top.at > until) break;
+    // Move the closure out before popping so it can schedule new events.
+    Event ev{top.at, top.seq, std::move(const_cast<Event&>(top).fn)};
+    calendar_.pop();
+    now_ = ev.at;
+    clock_->Set(now_);
+    ev.fn();
+    ++processed;
+  }
+  events_processed_ += processed;
+  if (now_ < until && until != Nanos::max()) {
+    now_ = until;
+    clock_->Set(now_);
+  }
+  return processed;
+}
+
+}  // namespace prisma::sim

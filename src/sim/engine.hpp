@@ -1,0 +1,87 @@
+// Deterministic single-threaded discrete-event simulation engine.
+//
+// The engine owns a virtual clock and an event calendar; simulation
+// processes are C++20 coroutines (sim/task.hpp) that suspend on awaitables
+// (Delay, queue/resource operations) and are resumed by calendar events.
+// Determinism: events at equal timestamps fire in schedule order (FIFO via
+// a monotonically increasing sequence number), and all randomness flows
+// through seeded RNGs — identical configs give identical results.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/units.hpp"
+
+namespace prisma::sim {
+
+class SimEngine {
+ public:
+  SimEngine();
+
+  Nanos Now() const { return now_; }
+
+  /// The engine's clock as a prisma::Clock, for code shared with the live
+  /// system (e.g. stats timestamps).
+  const std::shared_ptr<ManualClock>& clock() const { return clock_; }
+
+  /// Schedules `fn` to run at absolute virtual time `at` (clamped to Now).
+  void ScheduleAt(Nanos at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after Now.
+  void ScheduleAfter(Nanos delay, std::function<void()> fn);
+
+  /// Convenience for resuming a suspended coroutine.
+  void ResumeAt(Nanos at, std::coroutine_handle<> h);
+  void ResumeAfter(Nanos delay, std::coroutine_handle<> h);
+
+  /// Runs until the calendar drains or `until` is reached (whichever is
+  /// first). Returns the number of events processed.
+  std::uint64_t Run(Nanos until = Nanos::max());
+
+  /// True when no events remain (suspended coroutines may still exist —
+  /// that is a deadlock if they were expected to finish).
+  bool Idle() const { return calendar_.empty(); }
+
+  std::uint64_t EventsProcessed() const { return events_processed_; }
+
+  /// Awaitable: suspend the current coroutine for `d` of virtual time.
+  auto Delay(Nanos d) {
+    struct Awaiter {
+      SimEngine* engine;
+      Nanos d;
+      bool await_ready() const noexcept { return d.count() <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine->ResumeAfter(d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+ private:
+  struct Event {
+    Nanos at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among equal timestamps
+    }
+  };
+
+  std::shared_ptr<ManualClock> clock_;
+  Nanos now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> calendar_;
+};
+
+}  // namespace prisma::sim

@@ -1,0 +1,51 @@
+#include "sim/model_zoo.hpp"
+
+#include <algorithm>
+
+namespace prisma::sim {
+
+Nanos ModelProfile::StepTime(std::size_t global_batch,
+                             std::size_t num_gpus) const {
+  const std::size_t per_replica =
+      (global_batch + num_gpus - 1) / std::max<std::size_t>(1, num_gpus);
+  return step_overhead + gpu_per_sample * static_cast<std::int64_t>(per_replica);
+}
+
+Nanos ModelProfile::ValidationStepTime(std::size_t global_batch,
+                                       std::size_t num_gpus) const {
+  const std::size_t per_replica =
+      (global_batch + num_gpus - 1) / std::max<std::size_t>(1, num_gpus);
+  const auto compute = std::chrono::duration_cast<Nanos>(
+      gpu_per_sample * static_cast<std::int64_t>(per_replica) *
+      validation_compute_factor);
+  return step_overhead / 2 + compute;
+}
+
+ModelProfile ModelProfile::LeNet() {
+  ModelProfile m;
+  m.name = "lenet";
+  m.gpu_per_sample = Micros{6};
+  m.step_overhead = Millis{9};
+  m.preprocess_per_sample = Micros{30};
+  return m;
+}
+
+ModelProfile ModelProfile::AlexNet() {
+  ModelProfile m;
+  m.name = "alexnet";
+  m.gpu_per_sample = Micros{520};
+  m.step_overhead = Millis{9};
+  m.preprocess_per_sample = Micros{35};
+  return m;
+}
+
+ModelProfile ModelProfile::ResNet50() {
+  ModelProfile m;
+  m.name = "resnet50";
+  m.gpu_per_sample = Micros{2400};
+  m.step_overhead = Millis{9};
+  m.preprocess_per_sample = Micros{35};
+  return m;
+}
+
+}  // namespace prisma::sim

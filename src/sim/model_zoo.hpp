@@ -1,0 +1,46 @@
+// Cost profiles of the paper's three workloads (§V: "I/O-bound models,
+// namely LeNet and AlexNet, and a compute-bound model, ResNet-50").
+//
+// The paper uses the models only as load generators with different
+// compute/I-O ratios; we capture each as per-step GPU time plus per-sample
+// CPU pre-processing. Constants are calibrated against the paper's
+// testbed-scale results (see EXPERIMENTS.md, "Calibration"); they are NOT
+// microarchitectural claims about V100s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace prisma::sim {
+
+struct ModelProfile {
+  std::string name;
+  /// GPU compute per sample on one replica (fwd + bwd + update share).
+  Nanos gpu_per_sample{0};
+  /// Fixed per-step framework dispatch/synchronization overhead (kernel
+  /// launches, MirroredStrategy all-reduce setup, feed plumbing). Large
+  /// relative to compute for tiny models — this is why larger batches
+  /// help the optimized setups (paper §V.A).
+  Nanos step_overhead{Millis{9}};
+  /// CPU pre-processing (decode/augment) per sample.
+  Nanos preprocess_per_sample{Micros{30}};
+  /// Validation runs forward-only: fraction of gpu_per_sample.
+  double validation_compute_factor = 0.35;
+
+  /// Synchronous data-parallel step time for a global batch split across
+  /// `num_gpus` replicas (replicas run in lockstep; allreduce inside the
+  /// overhead term).
+  Nanos StepTime(std::size_t global_batch, std::size_t num_gpus) const;
+
+  /// Validation (forward-only) step time.
+  Nanos ValidationStepTime(std::size_t global_batch,
+                           std::size_t num_gpus) const;
+
+  static ModelProfile LeNet();
+  static ModelProfile AlexNet();
+  static ModelProfile ResNet50();
+};
+
+}  // namespace prisma::sim

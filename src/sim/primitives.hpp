@@ -1,0 +1,434 @@
+// Coroutine-awaitable synchronization primitives for the DES engine:
+// bounded queues, counted resources, and the simulated sample buffer.
+// All wake-ups are routed through the engine calendar (zero-delay events)
+// so resumption order is deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/types.hpp"
+#include "sim/engine.hpp"
+
+namespace prisma::sim {
+
+/// Bounded FIFO queue. capacity == 0 means unbounded.
+template <typename T>
+class SimQueue {
+ public:
+  SimQueue(SimEngine& engine, std::size_t capacity)
+      : engine_(&engine), capacity_(capacity) {}
+
+  SimQueue(const SimQueue&) = delete;
+  SimQueue& operator=(const SimQueue&) = delete;
+
+  /// co_await queue.Push(v) -> bool (false when the queue was closed).
+  auto Push(T value) {
+    struct Awaiter {
+      SimQueue* q;
+      T value;
+      bool accepted = false;
+      bool await_ready() {
+        if (q->closed_) return true;  // rejected
+        if (!q->poppers_.empty()) {
+          // Hand off directly to the oldest popper.
+          PopWaiter w = q->poppers_.front();
+          q->poppers_.pop_front();
+          *w.slot = std::move(value);
+          q->engine_->ResumeAfter(Nanos{0}, w.h);
+          accepted = true;
+          return true;
+        }
+        if (q->capacity_ == 0 || q->items_.size() < q->capacity_) {
+          q->items_.push_back(std::move(value));
+          accepted = true;
+          return true;
+        }
+        return false;  // full: suspend
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        q->pushers_.push_back(PushWaiter{h, &value, &accepted});
+      }
+      bool await_resume() { return accepted; }
+    };
+    return Awaiter{this, std::move(value)};
+  }
+
+  /// co_await queue.Pop() -> std::optional<T> (nullopt when closed and
+  /// drained).
+  auto Pop() {
+    struct Awaiter {
+      SimQueue* q;
+      std::optional<T> slot = std::nullopt;
+      bool await_ready() {
+        if (!q->items_.empty()) {
+          slot = std::move(q->items_.front());
+          q->items_.pop_front();
+          q->AdmitWaitingPusher();
+          return true;
+        }
+        if (!q->pushers_.empty()) {
+          // Zero-capacity rendezvous: take straight from a pusher.
+          PushWaiter w = q->pushers_.front();
+          q->pushers_.pop_front();
+          slot = std::move(*w.value);
+          *w.accepted = true;
+          q->engine_->ResumeAfter(Nanos{0}, w.h);
+          return true;
+        }
+        return q->closed_;  // closed + empty -> ready with nullopt
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        q->poppers_.push_back(PopWaiter{h, &slot});
+      }
+      std::optional<T> await_resume() { return std::move(slot); }
+    };
+    return Awaiter{this};
+  }
+
+  /// Non-blocking push; false when closed or full. Always succeeds on an
+  /// unbounded queue — the epoch feeders use it to enqueue file orders
+  /// without suspending.
+  bool TryPush(T value) {
+    if (closed_) return false;
+    if (!poppers_.empty()) {
+      PopWaiter w = poppers_.front();
+      poppers_.pop_front();
+      *w.slot = std::move(value);
+      engine_->ResumeAfter(Nanos{0}, w.h);
+      return true;
+    }
+    if (capacity_ != 0 && items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  /// Non-blocking pop (engine-thread only, e.g. from controller hooks).
+  std::optional<T> TryPop() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    AdmitWaitingPusher();
+    return v;
+  }
+
+  void Close() {
+    closed_ = true;
+    for (auto& w : poppers_) {
+      engine_->ResumeAfter(Nanos{0}, w.h);  // slot stays empty -> nullopt
+    }
+    poppers_.clear();
+    for (auto& w : pushers_) {
+      *w.accepted = false;
+      engine_->ResumeAfter(Nanos{0}, w.h);
+    }
+    pushers_.clear();
+  }
+
+  std::size_t Size() const { return items_.size(); }
+  bool Closed() const { return closed_; }
+  void SetCapacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (!pushers_.empty() &&
+           (capacity_ == 0 || items_.size() < capacity_)) {
+      AdmitWaitingPusher();
+    }
+  }
+
+ private:
+  struct PopWaiter {
+    std::coroutine_handle<> h;
+    std::optional<T>* slot;
+  };
+  struct PushWaiter {
+    std::coroutine_handle<> h;
+    T* value;
+    bool* accepted;
+  };
+
+  void AdmitWaitingPusher() {
+    if (pushers_.empty()) return;
+    if (capacity_ != 0 && items_.size() >= capacity_) return;
+    PushWaiter w = pushers_.front();
+    pushers_.pop_front();
+    items_.push_back(std::move(*w.value));
+    *w.accepted = true;
+    engine_->ResumeAfter(Nanos{0}, w.h);
+  }
+
+  SimEngine* engine_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  std::deque<PopWaiter> poppers_;
+  std::deque<PushWaiter> pushers_;
+};
+
+/// Counted resource (semaphore) with FIFO waiters. The total can be
+/// retargeted at runtime (control-plane knob); shrinking below the units
+/// currently held simply lets holders drain without replacement.
+class SimResource {
+ public:
+  SimResource(SimEngine& engine, std::int64_t total)
+      : engine_(&engine), available_(total), total_(total) {}
+
+  SimResource(const SimResource&) = delete;
+  SimResource& operator=(const SimResource&) = delete;
+
+  /// co_await res.Acquire(n);
+  auto Acquire(std::int64_t n = 1) {
+    struct Awaiter {
+      SimResource* r;
+      std::int64_t n;
+      bool await_ready() {
+        if (r->waiters_.empty() && r->available_ >= n) {
+          r->available_ -= n;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        r->waiters_.push_back(Waiter{h, n});
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, n};
+  }
+
+  void Release(std::int64_t n = 1) {
+    available_ += n;
+    Drain();
+  }
+
+  /// Retargets the pool size. Growth wakes waiters; shrink drives
+  /// `available` negative until enough holders release.
+  void SetTotal(std::int64_t total) {
+    available_ += total - total_;
+    total_ = total;
+    Drain();
+  }
+
+  std::int64_t Available() const { return available_; }
+  std::int64_t InUse() const { return total_ - available_; }
+  std::int64_t Total() const { return total_; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    std::int64_t n;
+  };
+
+  void Drain() {
+    while (!waiters_.empty() && available_ >= waiters_.front().n) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      available_ -= w.n;
+      engine_->ResumeAfter(Nanos{0}, w.h);
+    }
+  }
+
+  SimEngine* engine_;
+  std::int64_t available_;
+  std::int64_t total_;
+  std::deque<Waiter> waiters_;
+};
+
+/// DES mirror of dataplane::SampleBuffer: keyed bounded buffer with
+/// evict-on-consume semantics and the same counter vocabulary, so the
+/// *live* PrismaAutotuner drives simulated pipelines unmodified.
+class SimSampleBuffer {
+ public:
+  SimSampleBuffer(SimEngine& engine, std::size_t capacity)
+      : engine_(&engine), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  SimSampleBuffer(const SimSampleBuffer&) = delete;
+  SimSampleBuffer& operator=(const SimSampleBuffer&) = delete;
+
+  /// co_await buf.Insert(name, bytes) -> bool (false when closed).
+  auto Insert(std::string name, std::uint64_t bytes) {
+    struct Awaiter {
+      SimSampleBuffer* b;
+      std::string name;
+      std::uint64_t bytes;
+      bool accepted = false;
+      bool blocked = false;
+      bool await_ready() {
+        if (b->closed_) return true;
+        // Direct handoff: a name some consumer is blocked on is admitted
+        // even into a full buffer (mirrors dataplane::SampleBuffer).
+        const bool handoff = b->take_waiters_.count(name) != 0;
+        if (handoff || b->resident_.count(name) != 0 ||
+            b->resident_.size() < b->capacity_) {
+          b->DoInsert(std::move(name), bytes);
+          accepted = true;
+          return true;
+        }
+        ++b->counters_.producer_blocks;
+        blocked = true;
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        b->insert_waiters_.push_back(InsertWaiter{h, &name});
+      }
+      bool await_resume() {
+        if (blocked && !accepted && !b->closed_) {
+          // Woken with space available: complete the insert now.
+          b->DoInsert(std::move(name), bytes);
+          accepted = true;
+        }
+        return accepted;
+      }
+    };
+    return Awaiter{this, std::move(name), bytes};
+  }
+
+  /// co_await buf.Take(name) -> std::optional<uint64_t bytes>
+  /// (nullopt when closed while waiting).
+  auto Take(std::string name) {
+    struct Awaiter {
+      SimSampleBuffer* b;
+      std::string name;
+      std::optional<std::uint64_t> result = std::nullopt;
+      Nanos wait_start{0};
+      bool waited = false;
+      bool await_ready() {
+        const auto it = b->resident_.find(name);
+        if (it != b->resident_.end()) {
+          ++b->counters_.consumer_hits;
+          result = b->DoEvict(it);
+          return true;
+        }
+        if (b->closed_) return true;  // nullopt
+        ++b->counters_.consumer_waits;
+        waited = true;
+        wait_start = b->engine_->Now();
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        b->take_waiters_[name].push_back(TakeWaiter{h, this});
+        // A producer blocked on a full buffer may be holding exactly this
+        // name; let it re-try through the handoff path.
+        b->WakeInsertWaitersForHandoff(name);
+      }
+      std::optional<std::uint64_t> await_resume() {
+        if (waited) {
+          b->counters_.consumer_wait_time += b->engine_->Now() - wait_start;
+          const auto it = b->resident_.find(name);
+          if (it != b->resident_.end()) {
+            result = b->DoEvict(it);
+          }
+        }
+        return result;
+      }
+    };
+    return Awaiter{this, std::move(name)};
+  }
+
+  void Close() {
+    closed_ = true;
+    for (auto& [_, waiters] : take_waiters_) {
+      for (auto& w : waiters) engine_->ResumeAfter(Nanos{0}, w.h);
+    }
+    take_waiters_.clear();
+    for (auto& w : insert_waiters_) engine_->ResumeAfter(Nanos{0}, w.h);
+    insert_waiters_.clear();
+  }
+
+  void SetCapacity(std::size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    WakeInsertWaiters();
+  }
+
+  std::size_t Capacity() const { return capacity_; }
+  std::size_t Occupancy() const { return resident_.size(); }
+  std::uint64_t OccupancyBytes() const { return bytes_; }
+
+  /// Same counter vocabulary as dataplane::SampleBuffer::Counters.
+  struct Counters {
+    std::uint64_t inserts = 0;
+    std::uint64_t takes = 0;
+    std::uint64_t consumer_hits = 0;
+    std::uint64_t consumer_waits = 0;
+    Nanos consumer_wait_time{0};
+    std::uint64_t producer_blocks = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct InsertWaiter {
+    std::coroutine_handle<> h;
+    const std::string* name;  // points into the suspended awaiter's frame
+  };
+  struct TakeWaiter {
+    std::coroutine_handle<> h;
+    void* awaiter;
+  };
+
+  void WakeInsertWaitersForHandoff(const std::string& name) {
+    for (auto it = insert_waiters_.begin(); it != insert_waiters_.end(); ++it) {
+      if (*it->name == name) {
+        engine_->ResumeAfter(Nanos{0}, it->h);
+        insert_waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void DoInsert(std::string name, std::uint64_t bytes) {
+    auto [it, inserted] = resident_.emplace(std::move(name), bytes);
+    if (inserted) {
+      bytes_ += bytes;
+    } else {
+      bytes_ += bytes - it->second;
+      it->second = bytes;
+    }
+    ++counters_.inserts;
+    // Wake consumers waiting for this name.
+    const auto wit = take_waiters_.find(it->first);
+    if (wit != take_waiters_.end()) {
+      for (auto& w : wit->second) engine_->ResumeAfter(Nanos{0}, w.h);
+      take_waiters_.erase(wit);
+    }
+  }
+
+  std::uint64_t DoEvict(std::unordered_map<std::string, std::uint64_t>::iterator it) {
+    const std::uint64_t bytes = it->second;
+    bytes_ -= bytes;
+    resident_.erase(it);
+    ++counters_.takes;
+    WakeInsertWaiters();
+    return bytes;
+  }
+
+  void WakeInsertWaiters() {
+    // Wake one waiter per free slot. A concurrent Insert can still race a
+    // woken waiter to a slot, so occupancy may transiently overshoot
+    // capacity by at most the producer count — the paper's "at most N"
+    // buffer is a target, and the autotuner tolerates the slack.
+    std::size_t free_slots =
+        capacity_ > resident_.size() ? capacity_ - resident_.size() : 0;
+    while (!insert_waiters_.empty() && free_slots > 0) {
+      InsertWaiter w = insert_waiters_.front();
+      insert_waiters_.pop_front();
+      engine_->ResumeAfter(Nanos{0}, w.h);
+      --free_slots;
+    }
+  }
+
+  SimEngine* engine_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::unordered_map<std::string, std::uint64_t> resident_;  // name -> bytes
+  std::uint64_t bytes_ = 0;
+  std::deque<InsertWaiter> insert_waiters_;
+  std::map<std::string, std::vector<TakeWaiter>> take_waiters_;
+  Counters counters_;
+};
+
+}  // namespace prisma::sim

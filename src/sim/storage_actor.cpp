@@ -1,0 +1,58 @@
+#include "sim/storage_actor.hpp"
+
+#include <algorithm>
+
+namespace prisma::sim {
+
+SimStorage::SimStorage(SimEngine& engine, SimStorageOptions options)
+    : engine_(&engine),
+      options_(options),
+      device_(options.profile),
+      cache_(options.page_cache_bytes),
+      rng_(options.seed) {
+  timeline_.Record(engine_->Now(), 0);
+}
+
+SimTask SimStorage::Read(std::string path, std::uint64_t bytes) {
+  SimTask t = ReadImpl(std::move(path), bytes);
+  t.BindEngine(*engine_);
+  return t;
+}
+
+void SimStorage::RecordOutstanding() {
+  timeline_.Record(engine_->Now(), outstanding_);
+}
+
+SimTask SimStorage::ReadImpl(std::string path, std::uint64_t bytes) {
+  const bool hit = cache_.AccessAndAdmit(path, bytes);
+
+  ++outstanding_;
+  RecordOutstanding();
+
+  Nanos service;
+  if (hit) {
+    // Memory-speed copy; model as fixed 8 GB/s, no jitter.
+    service = FromSeconds(static_cast<double>(bytes) / 8.0e9);
+  } else {
+    service = device_.ServiceTime(bytes, outstanding_);
+    if (options_.profile.jitter_frac > 0.0) {
+      const double jitter =
+          std::max(0.1, rng_.NextGaussian(1.0, options_.profile.jitter_frac));
+      service = FromSeconds(ToSeconds(service) * jitter);
+    }
+  }
+  co_await engine_->Delay(service);
+
+  --outstanding_;
+  RecordOutstanding();
+  ++reads_;
+  bytes_read_ += bytes;
+}
+
+OccupancyTimeline SimStorage::ReaderTimeline() const {
+  OccupancyTimeline copy = timeline_;
+  copy.Finish(engine_->Now());
+  return copy;
+}
+
+}  // namespace prisma::sim

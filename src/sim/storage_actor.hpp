@@ -1,0 +1,60 @@
+// DES storage device: charges virtual service time for each read using
+// the shared DeviceModel (concurrency-dependent bandwidth sharing), an
+// optional page-cache model, and deterministic per-read jitter. Records
+// the concurrent-reader timeline used for Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "storage/device_model.hpp"
+#include "storage/page_cache.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace prisma::sim {
+
+struct SimStorageOptions {
+  storage::DeviceProfile profile = storage::DeviceProfile::NvmeP4600();
+  std::uint64_t page_cache_bytes = 0;
+  std::uint64_t seed = 11;
+};
+
+class SimStorage {
+ public:
+  SimStorage(SimEngine& engine, SimStorageOptions options);
+
+  /// Awaitable full-file read: completes after the modeled service time.
+  /// `co_await storage.Read(name, bytes);`
+  SimTask Read(std::string path, std::uint64_t bytes);
+
+  std::uint32_t Outstanding() const { return outstanding_; }
+  std::uint64_t ReadsCompleted() const { return reads_; }
+  std::uint64_t BytesRead() const { return bytes_read_; }
+
+  /// Concurrent-reader step function over virtual time (Fig. 3 input).
+  /// Finished at the engine's current time.
+  OccupancyTimeline ReaderTimeline() const;
+
+  storage::PageCacheModel& page_cache() { return cache_; }
+  const storage::DeviceModel& device() const { return device_; }
+
+ private:
+  SimTask ReadImpl(std::string path, std::uint64_t bytes);
+  void RecordOutstanding();
+
+  SimEngine* engine_;
+  SimStorageOptions options_;
+  storage::DeviceModel device_;
+  storage::PageCacheModel cache_;
+  Xoshiro256 rng_;
+
+  std::uint32_t outstanding_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  OccupancyTimeline timeline_;
+};
+
+}  // namespace prisma::sim

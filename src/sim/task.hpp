@@ -1,0 +1,113 @@
+// SimTask — the coroutine type simulation processes are written in.
+//
+// Semantics:
+//  * eager start: the body runs until its first suspension as soon as the
+//    coroutine is called;
+//  * fire-and-forget with joinability: the frame self-destroys at
+//    completion, but completion state lives in a shared block so other
+//    coroutines can `co_await task` (join) and plain code can poll
+//    `task.Done()`;
+//  * exceptions escaping a task terminate the simulation (a modelling
+//    bug, never a recoverable condition).
+//
+// Joining after the frame is gone is safe: only the shared state is
+// touched. Waiters are resumed through the engine calendar at the
+// completion timestamp, preserving deterministic ordering.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace prisma::sim {
+
+class SimTask {
+ public:
+  struct State {
+    bool done = false;
+    SimEngine* engine = nullptr;
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+
+  struct promise_type {
+    std::shared_ptr<State> state = std::make_shared<State>();
+
+    SimTask get_return_object() {
+      return SimTask(state);
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // Mark done and hand waiters to the calendar, then let the frame
+        // be destroyed (returning false resumes no one synchronously but
+        // allows the coroutine to finish and free itself).
+        const std::shared_ptr<State> s = h.promise().state;
+        s->done = true;
+        if (s->engine != nullptr) {
+          for (const auto w : s->waiters) {
+            s->engine->ResumeAfter(Nanos{0}, w);
+          }
+        } else {
+          for (const auto w : s->waiters) w.resume();
+        }
+        s->waiters.clear();
+        return false;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  SimTask() = default;
+  explicit SimTask(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  bool Valid() const { return state_ != nullptr; }
+  bool Done() const { return !state_ || state_->done; }
+
+  /// Routes waiter wake-ups through `engine` (deterministic ordering).
+  /// Call once right after creating the task.
+  void BindEngine(SimEngine& engine) {
+    if (state_) state_->engine = &engine;
+  }
+
+  /// Awaitable join.
+  auto operator co_await() const {
+    struct Awaiter {
+      std::shared_ptr<State> state;
+      bool await_ready() const noexcept { return !state || state->done; }
+      void await_suspend(std::coroutine_handle<> h) {
+        state->waiters.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// Spawns a task bound to `engine` (helper keeping call sites terse).
+template <typename F, typename... Args>
+SimTask Spawn(SimEngine& engine, F&& f, Args&&... args) {
+  SimTask t = std::forward<F>(f)(std::forward<Args>(args)...);
+  t.BindEngine(engine);
+  return t;
+}
+
+/// Joins every task in the container.
+inline SimTask JoinAll(std::vector<SimTask> tasks) {
+  for (const auto& t : tasks) {
+    co_await t;
+  }
+}
+
+}  // namespace prisma::sim

@@ -1,0 +1,20 @@
+#include "storage/backend.hpp"
+
+namespace prisma::storage {
+
+Result<std::vector<std::byte>> StorageBackend::ReadAll(const std::string& path) {
+  const auto size = FileSize(path);
+  if (!size.ok()) return size.status();
+  std::vector<std::byte> buf(static_cast<std::size_t>(*size));
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    auto n = Read(path, done, std::span<std::byte>(buf).subspan(done));
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;  // truncated concurrently; return what we have
+    done += *n;
+  }
+  buf.resize(done);
+  return buf;
+}
+
+}  // namespace prisma::storage

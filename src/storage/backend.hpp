@@ -1,0 +1,50 @@
+// Backend storage abstraction.
+//
+// The data plane's producers read training samples through this interface;
+// implementations include a real POSIX filesystem backend and a synthetic
+// backend that models device service times (DESIGN.md §2/§3). All methods
+// must be safe to call from multiple threads concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace prisma::storage {
+
+/// Aggregated backend counters (monotonic).
+struct BackendStats {
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t cache_hits = 0;   // page-cache model hits (synthetic backend)
+  std::uint64_t cache_misses = 0;
+};
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Reads up to dst.size() bytes from `path` at `offset`; returns the
+  /// number of bytes read (0 at EOF).
+  virtual Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                                   std::span<std::byte> dst) = 0;
+
+  /// Reads the entire file into a freshly allocated buffer.
+  virtual Result<std::vector<std::byte>> ReadAll(const std::string& path);
+
+  /// Creates/overwrites `path` with `data` (used by the dataset
+  /// materializer and the tiering optimization object).
+  virtual Status Write(const std::string& path, std::span<const std::byte> data) = 0;
+
+  virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;
+
+  virtual BackendStats Stats() const = 0;
+};
+
+}  // namespace prisma::storage

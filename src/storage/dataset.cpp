@@ -1,0 +1,132 @@
+#include "storage/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace prisma::storage {
+
+DatasetCatalog::DatasetCatalog(std::vector<FileInfo> files)
+    : files_(std::move(files)) {
+  for (const auto& f : files_) total_bytes_ += f.size;
+}
+
+double DatasetCatalog::MeanFileSize() const {
+  return files_.empty()
+             ? 0.0
+             : static_cast<double>(total_bytes_) / static_cast<double>(files_.size());
+}
+
+Result<std::uint64_t> DatasetCatalog::SizeOf(const std::string& name) const {
+  // Catalogs are generated in name order, so binary search by name.
+  const auto it = std::lower_bound(
+      files_.begin(), files_.end(), name,
+      [](const FileInfo& f, const std::string& n) { return f.name < n; });
+  if (it == files_.end() || it->name != name) {
+    return Status::NotFound("file not in catalog: " + name);
+  }
+  return it->size;
+}
+
+std::vector<std::string> DatasetCatalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& f : files_) out.push_back(f.name);
+  return out;
+}
+
+SyntheticImageNetSpec SyntheticImageNetSpec::Scaled(std::size_t factor) const {
+  SyntheticImageNetSpec s = *this;
+  if (factor > 1) {
+    s.num_train = std::max<std::size_t>(1, num_train / factor);
+    s.num_validation = std::max<std::size_t>(1, num_validation / factor);
+  }
+  return s;
+}
+
+namespace {
+
+DatasetCatalog GenerateSplit(const std::string& prefix, std::size_t count,
+                             const SyntheticImageNetSpec& spec, Xoshiro256& rng) {
+  // Parameterize the log-normal so its mean equals spec.mean_file_size:
+  //   mean = exp(mu + sigma^2 / 2)  =>  mu = ln(mean) - sigma^2 / 2.
+  const double mu =
+      std::log(spec.mean_file_size) - spec.sigma * spec.sigma / 2.0;
+
+  std::vector<FileInfo> files;
+  files.reserve(count);
+  char name[64];
+  for (std::size_t i = 0; i < count; ++i) {
+    std::snprintf(name, sizeof(name), "%s%08zu.jpg", prefix.c_str(), i);
+    const double raw = rng.NextLogNormal(mu, spec.sigma);
+    const auto size = std::max<std::uint64_t>(
+        spec.min_file_size, static_cast<std::uint64_t>(raw));
+    files.push_back(FileInfo{name, size});
+  }
+  return DatasetCatalog(std::move(files));
+}
+
+}  // namespace
+
+ImageNetDataset MakeSyntheticImageNet(const SyntheticImageNetSpec& spec) {
+  Xoshiro256 rng(spec.seed);
+  ImageNetDataset ds;
+  ds.train = GenerateSplit(spec.train_prefix, spec.num_train, spec, rng);
+  ds.validation =
+      GenerateSplit(spec.validation_prefix, spec.num_validation, spec, rng);
+  return ds;
+}
+
+Status Materialize(const DatasetCatalog& catalog, StorageBackend& backend) {
+  for (const auto& f : catalog.files()) {
+    const auto content = SyntheticContent::Generate(f.name, f.size);
+    if (Status s = backend.Write(f.name, content); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+namespace SyntheticContent {
+
+namespace {
+std::uint64_t PathSeed(const std::string& path) {
+  // FNV-1a over the path, then finalized through SplitMix64 for diffusion.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : path) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return SplitMix64(h).Next();
+}
+}  // namespace
+
+void Fill(const std::string& path, std::uint64_t offset,
+          std::span<std::byte> dst) {
+  // Content is a stream of 8-byte words; word k = splitmix(seed + k).
+  // Computing any offset's bytes requires only its containing words.
+  const std::uint64_t seed = PathSeed(path);
+  std::size_t i = 0;
+  while (i < dst.size()) {
+    const std::uint64_t pos = offset + i;
+    const std::uint64_t word_index = pos / 8;
+    const std::uint64_t in_word = pos % 8;
+    const std::uint64_t word = SplitMix64(seed + word_index).Next();
+    const auto* bytes = reinterpret_cast<const std::byte*>(&word);
+    const std::size_t take =
+        std::min<std::size_t>(8 - in_word, dst.size() - i);
+    std::copy_n(bytes + in_word, take, dst.data() + i);
+    i += take;
+  }
+}
+
+std::vector<std::byte> Generate(const std::string& path, std::uint64_t size) {
+  std::vector<std::byte> out(static_cast<std::size_t>(size));
+  Fill(path, 0, out);
+  return out;
+}
+
+}  // namespace SyntheticContent
+
+}  // namespace prisma::storage

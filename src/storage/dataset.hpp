@@ -1,0 +1,90 @@
+// Dataset catalog and synthetic ImageNet-like dataset generation.
+//
+// The paper trains on ImageNet-1k: 1,281,167 training images (~138 GiB)
+// and 50,000 validation images (~6 GiB). Only the *file population* —
+// names and a realistic size distribution — matters to the storage layer,
+// so the generator produces a catalog of virtual files whose sizes follow
+// a log-normal fit of ImageNet JPEG sizes (mean ~= 113 KiB). Catalogs can
+// be used virtually (DES benches at full scale) or materialized to disk at
+// reduced scale for the live tests/examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "storage/backend.hpp"
+
+namespace prisma::storage {
+
+struct FileInfo {
+  std::string name;
+  std::uint64_t size = 0;
+};
+
+/// Immutable list of dataset files (one split: train or validation).
+class DatasetCatalog {
+ public:
+  DatasetCatalog() = default;
+  explicit DatasetCatalog(std::vector<FileInfo> files);
+
+  const std::vector<FileInfo>& files() const { return files_; }
+  std::size_t NumFiles() const { return files_.size(); }
+  std::uint64_t TotalBytes() const { return total_bytes_; }
+  double MeanFileSize() const;
+
+  const FileInfo& At(std::size_t i) const { return files_[i]; }
+
+  /// Index lookup by name; NotFound if absent.
+  Result<std::uint64_t> SizeOf(const std::string& name) const;
+
+  /// All file names, in catalog order.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<FileInfo> files_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Parameters for synthetic ImageNet-style generation.
+struct SyntheticImageNetSpec {
+  std::size_t num_train = 1'281'167;
+  std::size_t num_validation = 50'000;
+  /// Mean JPEG size; 138 GiB / 1.28 M images ~= 113 KiB.
+  double mean_file_size = 113.0 * 1024.0;
+  /// Log-normal sigma of the underlying normal (JPEG sizes are skewed).
+  double sigma = 0.5;
+  std::uint64_t min_file_size = 4 * 1024;
+  std::uint64_t seed = 42;
+  std::string train_prefix = "train/";
+  std::string validation_prefix = "val/";
+
+  /// Shrinks file counts by `factor` keeping the size distribution, for
+  /// laptop-scale live runs (e.g. factor=1000 -> ~1281 train files).
+  SyntheticImageNetSpec Scaled(std::size_t factor) const;
+};
+
+struct ImageNetDataset {
+  DatasetCatalog train;
+  DatasetCatalog validation;
+};
+
+/// Generates train + validation catalogs per `spec` (deterministic in seed).
+ImageNetDataset MakeSyntheticImageNet(const SyntheticImageNetSpec& spec);
+
+/// Writes every catalog file to `backend` with deterministic content (see
+/// SyntheticContent below). Intended for scaled-down catalogs only.
+Status Materialize(const DatasetCatalog& catalog, StorageBackend& backend);
+
+/// Deterministic pseudo-random file content: byte j of `path` depends only
+/// on (path, j), so any reader — live backend, shim test, IPC round-trip —
+/// can validate payloads without storing golden files.
+namespace SyntheticContent {
+/// Fills `dst` with the content of `path` at `offset`.
+void Fill(const std::string& path, std::uint64_t offset, std::span<std::byte> dst);
+/// Convenience: whole-file content of the given size.
+std::vector<std::byte> Generate(const std::string& path, std::uint64_t size);
+}  // namespace SyntheticContent
+
+}  // namespace prisma::storage

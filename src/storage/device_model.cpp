@@ -1,0 +1,81 @@
+#include "storage/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prisma::storage {
+
+DeviceProfile DeviceProfile::NvmeP4600() {
+  DeviceProfile p;
+  p.name = "nvme-p4600";
+  p.issue_latency = Micros{80};
+  p.max_bandwidth_bps = 1.15e9;
+  p.concurrency_knee = 1.3;
+  p.jitter_frac = 0.03;
+  return p;
+}
+
+DeviceProfile DeviceProfile::Hdd7200() {
+  DeviceProfile p;
+  p.name = "hdd-7200rpm";
+  p.issue_latency = Millis{6};
+  p.max_bandwidth_bps = 1.6e8;
+  p.concurrency_knee = 1.2;
+  p.jitter_frac = 0.15;
+  return p;
+}
+
+DeviceProfile DeviceProfile::ParallelFs() {
+  DeviceProfile p;
+  p.name = "parallel-fs";
+  p.issue_latency = Micros{350};
+  p.max_bandwidth_bps = 4.0e9;
+  p.concurrency_knee = 6.0;
+  p.jitter_frac = 0.08;
+  return p;
+}
+
+DeviceProfile DeviceProfile::Instant() {
+  DeviceProfile p;
+  p.name = "instant";
+  p.issue_latency = Nanos{0};
+  p.max_bandwidth_bps = 1.0e15;
+  p.concurrency_knee = 1.0;
+  p.jitter_frac = 0.0;
+  return p;
+}
+
+double DeviceModel::AggregateBandwidth(std::uint32_t concurrency) const {
+  const double c = std::max<std::uint32_t>(concurrency, 1);
+  double bw = profile_.max_bandwidth_bps *
+              (1.0 - std::exp(-c / profile_.concurrency_knee));
+  if (profile_.overload_threshold > 0 && c > profile_.overload_threshold) {
+    const double excess = c - profile_.overload_threshold;
+    bw /= 1.0 + profile_.overload_penalty * excess;
+  }
+  return bw;
+}
+
+Nanos DeviceModel::ServiceTime(std::uint64_t bytes,
+                               std::uint32_t concurrency) const {
+  std::uint32_t effective = std::max<std::uint32_t>(concurrency, 1);
+  if (profile_.seq_parallel_chunk_bytes > 0) {
+    std::uint64_t internal =
+        std::min<std::uint64_t>(bytes / profile_.seq_parallel_chunk_bytes, 64);
+    if (profile_.overload_threshold > 0) {
+      // Internal streaming is controller-managed prefetch, not competing
+      // requests — it never trips the contention overload.
+      internal = std::min<std::uint64_t>(internal, profile_.overload_threshold);
+    }
+    effective = std::max<std::uint32_t>(
+        effective, static_cast<std::uint32_t>(internal));
+  }
+  const double c = std::max<std::uint32_t>(concurrency, 1);
+  // Bandwidth is extracted at the *effective* depth but shared across the
+  // `concurrency` outstanding requests.
+  const double per_stream = AggregateBandwidth(effective) / c;
+  const double transfer_s = static_cast<double>(bytes) / per_stream;
+  return profile_.issue_latency + FromSeconds(transfer_s);
+}
+
+}  // namespace prisma::storage

@@ -1,0 +1,46 @@
+#include "storage/flaky_backend.hpp"
+
+#include <thread>
+
+namespace prisma::storage {
+
+FlakyBackend::FlakyBackend(std::shared_ptr<StorageBackend> inner,
+                           FlakyOptions options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+Result<std::size_t> FlakyBackend::Read(const std::string& path,
+                                       std::uint64_t offset,
+                                       std::span<std::byte> dst) {
+  bool fail = false;
+  bool spike = false;
+  {
+    std::lock_guard lock(mu_);
+    const std::uint32_t attempt = attempts_[path]++;
+    const bool eligible =
+        options_.fail_first_n == 0 || attempt < options_.fail_first_n;
+    if (eligible && rng_.NextDouble() < options_.read_error_rate) fail = true;
+    if (rng_.NextDouble() < options_.latency_spike_rate) spike = true;
+  }
+  if (spike) {
+    injected_spikes_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(options_.spike_duration);
+  }
+  if (fail) {
+    injected_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected transient fault: " + path);
+  }
+  return inner_->Read(path, offset, dst);
+}
+
+Status FlakyBackend::Write(const std::string& path,
+                           std::span<const std::byte> data) {
+  return inner_->Write(path, data);
+}
+
+Result<std::uint64_t> FlakyBackend::FileSize(const std::string& path) {
+  return inner_->FileSize(path);
+}
+
+BackendStats FlakyBackend::Stats() const { return inner_->Stats(); }
+
+}  // namespace prisma::storage

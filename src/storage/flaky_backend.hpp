@@ -1,0 +1,61 @@
+// Failure-injection decorator: deterministic (seeded) transient I/O
+// errors and latency spikes over any backend. Used by robustness tests
+// to prove the data plane degrades gracefully instead of wedging — a
+// producer that hits a flaky read must retry and, if the fault persists,
+// fail the waiting consumer over to the pass-through path rather than
+// leave it blocked forever.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "storage/backend.hpp"
+
+namespace prisma::storage {
+
+struct FlakyOptions {
+  /// Probability in [0,1] that a Read fails with a transient IO error.
+  double read_error_rate = 0.0;
+  /// Probability in [0,1] that a Read stalls for `spike_duration`.
+  double latency_spike_rate = 0.0;
+  Nanos spike_duration{Millis{5}};
+  std::uint64_t seed = 99;
+  /// When > 0, only the first `fail_first_n` reads of each path can
+  /// fail — models transient faults that clear on retry.
+  std::uint32_t fail_first_n = 0;
+};
+
+class FlakyBackend final : public StorageBackend {
+ public:
+  FlakyBackend(std::shared_ptr<StorageBackend> inner, FlakyOptions options);
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override;
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  BackendStats Stats() const override;
+
+  std::uint64_t InjectedErrors() const {
+    return injected_errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t InjectedSpikes() const {
+    return injected_spikes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<StorageBackend> inner_;
+  FlakyOptions options_;
+  std::mutex mu_;  // guards rng_ and attempts_
+  Xoshiro256 rng_;
+  std::unordered_map<std::string, std::uint32_t> attempts_;
+  std::atomic<std::uint64_t> injected_errors_{0};
+  std::atomic<std::uint64_t> injected_spikes_{0};
+};
+
+}  // namespace prisma::storage

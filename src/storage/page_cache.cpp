@@ -1,0 +1,62 @@
+#include "storage/page_cache.hpp"
+
+namespace prisma::storage {
+
+bool PageCacheModel::AccessAndAdmit(const std::string& path,
+                                    std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+
+  if (const auto it = index_.find(path); it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+    return true;
+  }
+
+  ++misses_;
+  if (bytes > capacity_) return false;  // never admit oversized files
+
+  // Evict from the LRU end until the new file fits.
+  while (used_ + bytes > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.bytes;
+    index_.erase(victim.path);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{path, bytes});
+  index_[path] = lru_.begin();
+  used_ += bytes;
+  return false;
+}
+
+bool PageCacheModel::Contains(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  return index_.find(path) != index_.end();
+}
+
+void PageCacheModel::DropAll() {
+  std::lock_guard lock(mu_);
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+std::uint64_t PageCacheModel::UsedBytes() const {
+  std::lock_guard lock(mu_);
+  return used_;
+}
+
+std::uint64_t PageCacheModel::Hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PageCacheModel::Misses() const {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+}  // namespace prisma::storage

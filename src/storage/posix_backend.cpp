@@ -1,0 +1,109 @@
+#include "storage/posix_backend.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace prisma::storage {
+namespace {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_;
+};
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  const int err = errno;
+  if (err == ENOENT) return Status::NotFound(op + " " + path + ": no such file");
+  return Status::IoError(op + " " + path + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+PosixBackend::PosixBackend(std::filesystem::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);  // best effort
+}
+
+std::filesystem::path PosixBackend::Resolve(const std::string& path) const {
+  const std::filesystem::path p(path);
+  return p.is_absolute() ? p : root_ / p;
+}
+
+Result<std::size_t> PosixBackend::Read(const std::string& path,
+                                       std::uint64_t offset,
+                                       std::span<std::byte> dst) {
+  const auto full = Resolve(path);
+  Fd fd(::open(full.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.valid()) return ErrnoStatus("open", full.string());
+
+  std::size_t done = 0;
+  while (done < dst.size()) {
+    const ssize_t n = ::pread(fd.get(), dst.data() + done, dst.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", full.string());
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(done, std::memory_order_relaxed);
+  return done;
+}
+
+Status PosixBackend::Write(const std::string& path,
+                           std::span<const std::byte> data) {
+  const auto full = Resolve(path);
+  std::error_code ec;
+  std::filesystem::create_directories(full.parent_path(), ec);
+
+  Fd fd(::open(full.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+  if (!fd.valid()) return ErrnoStatus("open", full.string());
+
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd.get(), data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", full.string());
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(done, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<std::uint64_t> PosixBackend::FileSize(const std::string& path) {
+  const auto full = Resolve(path);
+  struct stat st{};
+  if (::stat(full.c_str(), &st) != 0) return ErrnoStatus("stat", full.string());
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+BackendStats PosixBackend::Stats() const {
+  BackendStats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace prisma::storage

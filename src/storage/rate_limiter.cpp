@@ -1,0 +1,77 @@
+#include "storage/rate_limiter.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace prisma::storage {
+
+TokenBucket::TokenBucket(double rate_bps, std::uint64_t burst_bytes,
+                         std::shared_ptr<const Clock> clock)
+    : clock_(std::move(clock)),
+      rate_bps_(std::max(1.0, rate_bps)),
+      burst_(std::max<std::uint64_t>(1, burst_bytes)),
+      tokens_(static_cast<double>(burst_)),
+      last_refill_(clock_->Now()) {}
+
+void TokenBucket::RefillLocked(Nanos now) {
+  const Nanos elapsed = now - last_refill_;
+  if (elapsed.count() <= 0) return;
+  tokens_ = std::min(static_cast<double>(burst_),
+                     tokens_ + rate_bps_ * ToSeconds(elapsed));
+  last_refill_ = now;
+}
+
+Nanos TokenBucket::Reserve(std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  RefillLocked(clock_->Now());
+  tokens_ -= static_cast<double>(bytes);
+  if (tokens_ >= 0.0) return Nanos{0};
+  // Debt: the caller waits until refill covers it. Later callers see the
+  // debt too and queue up proportionally (FIFO fairness via the mutex).
+  return FromSeconds(-tokens_ / rate_bps_);
+}
+
+std::uint64_t TokenBucket::AvailableBytes() const {
+  std::lock_guard lock(mu_);
+  // Observation only: refill without mutating last_refill_ would drift,
+  // so compute the would-be value.
+  const Nanos elapsed = clock_->Now() - last_refill_;
+  const double tokens =
+      std::min(static_cast<double>(burst_),
+               tokens_ + rate_bps_ * std::max(0.0, ToSeconds(elapsed)));
+  return tokens > 0.0 ? static_cast<std::uint64_t>(tokens) : 0;
+}
+
+void TokenBucket::SetRate(double rate_bps) {
+  std::lock_guard lock(mu_);
+  RefillLocked(clock_->Now());
+  rate_bps_ = std::max(1.0, rate_bps);
+}
+
+RateLimitedBackend::RateLimitedBackend(std::shared_ptr<StorageBackend> inner,
+                                       double rate_bps,
+                                       std::uint64_t burst_bytes,
+                                       std::shared_ptr<const Clock> clock)
+    : inner_(std::move(inner)),
+      bucket_(rate_bps, burst_bytes, std::move(clock)) {}
+
+Result<std::size_t> RateLimitedBackend::Read(const std::string& path,
+                                             std::uint64_t offset,
+                                             std::span<std::byte> dst) {
+  const Nanos wait = bucket_.Reserve(dst.size());
+  if (wait.count() > 0) std::this_thread::sleep_for(wait);
+  return inner_->Read(path, offset, dst);
+}
+
+Status RateLimitedBackend::Write(const std::string& path,
+                                 std::span<const std::byte> data) {
+  return inner_->Write(path, data);
+}
+
+Result<std::uint64_t> RateLimitedBackend::FileSize(const std::string& path) {
+  return inner_->FileSize(path);
+}
+
+BackendStats RateLimitedBackend::Stats() const { return inner_->Stats(); }
+
+}  // namespace prisma::storage

@@ -1,0 +1,74 @@
+// Token-bucket bandwidth limiting — the QoS/bandwidth-reservation policy
+// family the paper's related work attributes to SDS systems (Cake, PSLO,
+// SIREN) and that a PRISMA control plane can enforce per tenant.
+//
+// TokenBucket is clock-injected (live SteadyClock or a test ManualClock)
+// and returns the *delay* a request must wait, so it composes with both
+// sleeping backends (RateLimitedBackend) and the DES engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "storage/backend.hpp"
+
+namespace prisma::storage {
+
+class TokenBucket {
+ public:
+  /// rate_bps: sustained bytes/second; burst_bytes: bucket depth (peak
+  /// debt a burst may take without waiting).
+  TokenBucket(double rate_bps, std::uint64_t burst_bytes,
+              std::shared_ptr<const Clock> clock);
+
+  /// Reserves `bytes` of budget. Returns how long the caller must wait
+  /// before proceeding (0 when within burst). The reservation is
+  /// committed immediately — concurrent callers queue up behind it.
+  Nanos Reserve(std::uint64_t bytes);
+
+  /// Tokens currently available (<= burst; negative debt is clamped 0).
+  std::uint64_t AvailableBytes() const;
+
+  double rate_bps() const { return rate_bps_; }
+  std::uint64_t burst_bytes() const { return burst_; }
+
+  /// Control-plane knob: retarget the sustained rate.
+  void SetRate(double rate_bps);
+
+ private:
+  void RefillLocked(Nanos now);
+
+  std::shared_ptr<const Clock> clock_;
+  mutable std::mutex mu_;
+  double rate_bps_;
+  std::uint64_t burst_;
+  double tokens_;        // may go negative: committed-but-unpaid debt
+  Nanos last_refill_{0};
+};
+
+/// Backend decorator enforcing a read-bandwidth budget with real sleeps.
+/// Writes pass through unthrottled (training is read-dominated; extend
+/// with a second bucket if a workload needs write SLOs).
+class RateLimitedBackend final : public StorageBackend {
+ public:
+  RateLimitedBackend(std::shared_ptr<StorageBackend> inner, double rate_bps,
+                     std::uint64_t burst_bytes,
+                     std::shared_ptr<const Clock> clock);
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override;
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  BackendStats Stats() const override;
+
+  TokenBucket& bucket() { return bucket_; }
+
+ private:
+  std::shared_ptr<StorageBackend> inner_;
+  TokenBucket bucket_;
+};
+
+}  // namespace prisma::storage

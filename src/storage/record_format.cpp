@@ -1,0 +1,211 @@
+#include "storage/record_format.hpp"
+
+#include <cstring>
+
+#include "common/crc32.hpp"
+
+namespace prisma::storage {
+namespace {
+
+void PutU32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t GetU32(std::span<const std::byte> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(std::span<const std::byte> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+constexpr std::size_t kHeaderCrcBytes = 4;
+constexpr std::size_t kHeaderBodyBytes = 4 + 8;  // name_len + data_len
+constexpr std::size_t kPayloadCrcBytes = 4;
+
+}  // namespace
+
+void ShardIndex::Add(std::string name, RecordLocation loc) {
+  index_[std::move(name)] = std::move(loc);
+}
+
+Result<RecordLocation> ShardIndex::Find(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("record not in index: " + name);
+  }
+  return it->second;
+}
+
+void ShardIndex::AddShard(std::string shard) {
+  shards_.push_back(std::move(shard));
+}
+
+RecordShardWriter::RecordShardWriter(StorageBackend& backend,
+                                     std::string prefix,
+                                     std::uint64_t target_shard_bytes)
+    : backend_(backend),
+      prefix_(std::move(prefix)),
+      target_bytes_(std::max<std::uint64_t>(target_shard_bytes, 4096)) {
+  current_.insert(current_.end(),
+                  reinterpret_cast<const std::byte*>(kShardMagic),
+                  reinterpret_cast<const std::byte*>(kShardMagic) + 8);
+}
+
+Status RecordShardWriter::Append(const std::string& name,
+                                 std::span<const std::byte> data) {
+  if (finished_) return Status::FailedPrecondition("writer already finished");
+  if (name.size() > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("record name too long");
+  }
+
+  // Header body + CRC.
+  std::vector<std::byte> header_body;
+  header_body.reserve(kHeaderBodyBytes);
+  PutU32(header_body, static_cast<std::uint32_t>(name.size()));
+  PutU64(header_body, data.size());
+  PutU32(current_, Crc32(header_body));
+  current_.insert(current_.end(), header_body.begin(), header_body.end());
+
+  // Payload (name + data) + CRC.
+  const auto name_bytes = std::as_bytes(std::span(name.data(), name.size()));
+  std::uint32_t payload_crc = Crc32(name_bytes);
+  payload_crc = Crc32(data, payload_crc);
+  current_.insert(current_.end(), name_bytes.begin(), name_bytes.end());
+  const std::uint64_t data_offset = current_.size();
+  current_.insert(current_.end(), data.begin(), data.end());
+  PutU32(current_, payload_crc);
+
+  const std::string shard = prefix_ + std::to_string(shard_number_) + ".rec";
+  index_.Add(name, RecordLocation{shard, data_offset, data.size()});
+
+  if (current_.size() >= target_bytes_) {
+    return FlushShard();
+  }
+  return Status::Ok();
+}
+
+Status RecordShardWriter::FlushShard() {
+  const std::string shard = prefix_ + std::to_string(shard_number_) + ".rec";
+  if (Status s = backend_.Write(shard, current_); !s.ok()) return s;
+  index_.AddShard(shard);
+  ++shard_number_;
+  current_.clear();
+  current_.insert(current_.end(),
+                  reinterpret_cast<const std::byte*>(kShardMagic),
+                  reinterpret_cast<const std::byte*>(kShardMagic) + 8);
+  return Status::Ok();
+}
+
+Result<ShardIndex> RecordShardWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("already finished");
+  finished_ = true;
+  if (current_.size() > 8) {  // more than the magic: flush the tail shard
+    if (Status s = FlushShard(); !s.ok()) return s;
+  }
+  return std::move(index_);
+}
+
+Result<ShardIndex> PackCatalog(const DatasetCatalog& catalog,
+                               StorageBackend& backend,
+                               const std::string& prefix,
+                               std::uint64_t target_shard_bytes) {
+  RecordShardWriter writer(backend, prefix, target_shard_bytes);
+  for (const auto& f : catalog.files()) {
+    const auto content = SyntheticContent::Generate(f.name, f.size);
+    if (Status s = writer.Append(f.name, content); !s.ok()) return s;
+  }
+  return writer.Finish();
+}
+
+Result<std::vector<std::pair<std::string, std::vector<std::byte>>>>
+ReadShard(StorageBackend& backend, const std::string& shard) {
+  auto raw = backend.ReadAll(shard);
+  if (!raw.ok()) return raw.status();
+  const std::span<const std::byte> data(*raw);
+
+  if (data.size() < 8 ||
+      std::memcmp(data.data(), kShardMagic, 8) != 0) {
+    return Status::InvalidArgument("bad shard magic: " + shard);
+  }
+
+  std::vector<std::pair<std::string, std::vector<std::byte>>> out;
+  std::size_t pos = 8;
+  while (pos < data.size()) {
+    if (pos + kHeaderCrcBytes + kHeaderBodyBytes > data.size()) {
+      return Status::InvalidArgument("truncated record header in " + shard);
+    }
+    const std::uint32_t header_crc = GetU32(data, pos);
+    const auto header_body =
+        data.subspan(pos + kHeaderCrcBytes, kHeaderBodyBytes);
+    if (Crc32(header_body) != header_crc) {
+      return Status::IoError("record header corrupt in " + shard);
+    }
+    const std::uint32_t name_len = GetU32(data, pos + kHeaderCrcBytes);
+    const std::uint64_t data_len = GetU64(data, pos + kHeaderCrcBytes + 4);
+    pos += kHeaderCrcBytes + kHeaderBodyBytes;
+
+    if (pos + name_len + data_len + kPayloadCrcBytes > data.size()) {
+      return Status::InvalidArgument("truncated record payload in " + shard);
+    }
+    const auto payload = data.subspan(pos, name_len + data_len);
+    const std::uint32_t expected =
+        GetU32(data, pos + name_len + static_cast<std::size_t>(data_len));
+    if (Crc32(payload) != expected) {
+      return Status::IoError("record payload corrupt in " + shard);
+    }
+    std::string name(reinterpret_cast<const char*>(payload.data()), name_len);
+    std::vector<std::byte> record(payload.begin() + name_len, payload.end());
+    out.emplace_back(std::move(name), std::move(record));
+    pos += name_len + static_cast<std::size_t>(data_len) + kPayloadCrcBytes;
+  }
+  return out;
+}
+
+ShardedBackend::ShardedBackend(std::shared_ptr<StorageBackend> inner,
+                               ShardIndex index)
+    : inner_(std::move(inner)), index_(std::move(index)) {}
+
+Result<std::size_t> ShardedBackend::Read(const std::string& path,
+                                         std::uint64_t offset,
+                                         std::span<std::byte> dst) {
+  auto loc = index_.Find(path);
+  if (!loc.ok()) return loc.status();
+  if (offset >= loc->data_len) return static_cast<std::size_t>(0);
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(dst.size(), loc->data_len - offset));
+  return inner_->Read(loc->shard, loc->data_offset + offset,
+                      dst.subspan(0, n));
+}
+
+Status ShardedBackend::Write(const std::string&,
+                             std::span<const std::byte>) {
+  return Status::FailedPrecondition(
+      "ShardedBackend is immutable: rewrite shards with RecordShardWriter");
+}
+
+Result<std::uint64_t> ShardedBackend::FileSize(const std::string& path) {
+  auto loc = index_.Find(path);
+  if (!loc.ok()) return loc.status();
+  return loc->data_len;
+}
+
+BackendStats ShardedBackend::Stats() const { return inner_->Stats(); }
+
+}  // namespace prisma::storage

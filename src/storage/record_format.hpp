@@ -1,0 +1,116 @@
+// Record-shard container format — the "optimized data formats" family of
+// I/O optimizations the paper lists among data-plane candidates (§II,
+// citing TFRecord [49]): millions of small sample files are packed into
+// a few large shards, so epoch ingestion becomes large sequential reads
+// (amortizing per-request issue latency) instead of millions of small
+// random ones. bench/ablation_record_format quantifies the effect on the
+// device model.
+//
+// On-disk layout of a shard (all integers little-endian):
+//
+//   shard   := magic "PRSM1\0\0\0" (8 bytes) | record*
+//   record  := u32 header_crc          -- CRC-32 of the next 12 bytes
+//            | u32 name_len | u64 data_len
+//            | name[name_len] | data[data_len]
+//            | u32 payload_crc          -- CRC-32 of name + data
+//
+// (TFRecord uses masked CRC-32C; we use plain CRC-32 — same integrity
+// role, simpler dependency story.)
+//
+// A ShardIndex maps sample name -> (shard file, payload offset, size) so
+// a ShardedBackend can serve the ORIGINAL file namespace by range-reading
+// shards — the framework never learns the files were repacked.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "storage/backend.hpp"
+#include "storage/dataset.hpp"
+
+namespace prisma::storage {
+
+inline constexpr char kShardMagic[8] = {'P', 'R', 'S', 'M', '1', 0, 0, 0};
+
+struct RecordLocation {
+  std::string shard;         // shard file name
+  std::uint64_t data_offset; // offset of the sample bytes within the shard
+  std::uint64_t data_len;
+};
+
+class ShardIndex {
+ public:
+  void Add(std::string name, RecordLocation loc);
+  Result<RecordLocation> Find(const std::string& name) const;
+  std::size_t NumRecords() const { return index_.size(); }
+  const std::vector<std::string>& shards() const { return shards_; }
+  void AddShard(std::string shard);
+
+ private:
+  std::unordered_map<std::string, RecordLocation> index_;
+  std::vector<std::string> shards_;
+};
+
+/// Streams records into shard files of ~target_shard_bytes each.
+class RecordShardWriter {
+ public:
+  /// Shards are written to `backend` as "<prefix><N>.rec".
+  RecordShardWriter(StorageBackend& backend, std::string prefix,
+                    std::uint64_t target_shard_bytes);
+
+  /// Appends one sample; rolls to a new shard when the target is hit.
+  Status Append(const std::string& name, std::span<const std::byte> data);
+
+  /// Flushes the final shard and returns the index of everything written.
+  Result<ShardIndex> Finish();
+
+ private:
+  Status FlushShard();
+
+  StorageBackend& backend_;
+  std::string prefix_;
+  std::uint64_t target_bytes_;
+  std::size_t shard_number_ = 0;
+  std::vector<std::byte> current_;  // shard under construction
+  ShardIndex index_;
+  bool finished_ = false;
+};
+
+/// Packs an entire catalog (deterministic synthetic content) into shards.
+Result<ShardIndex> PackCatalog(const DatasetCatalog& catalog,
+                               StorageBackend& backend,
+                               const std::string& prefix,
+                               std::uint64_t target_shard_bytes);
+
+/// Sequentially decodes every record of one shard (integrity-checked).
+/// Returns (name, data) pairs in on-disk order.
+Result<std::vector<std::pair<std::string, std::vector<std::byte>>>>
+ReadShard(StorageBackend& backend, const std::string& shard);
+
+/// Serves the ORIGINAL sample namespace out of shards: Read("train/x.jpg")
+/// range-reads the owning shard. Whole-record reads verify the payload
+/// CRC; partial reads return the requested slice unverified (documented
+/// trade-off — verification needs the full payload).
+class ShardedBackend final : public StorageBackend {
+ public:
+  ShardedBackend(std::shared_ptr<StorageBackend> inner, ShardIndex index);
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override;
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  BackendStats Stats() const override;
+
+  const ShardIndex& index() const { return index_; }
+
+ private:
+  std::shared_ptr<StorageBackend> inner_;
+  ShardIndex index_;
+};
+
+}  // namespace prisma::storage

@@ -1,0 +1,39 @@
+#include "storage/shuffler.hpp"
+
+#include <fstream>
+
+#include "common/rng.hpp"
+
+namespace prisma::storage {
+
+std::vector<std::string> EpochShuffler::OrderFor(std::uint64_t epoch) const {
+  std::vector<std::string> order = names_;
+  // Mix epoch into the seed with a SplitMix step so consecutive epochs
+  // give unrelated permutations even for small seeds.
+  Xoshiro256 rng(SplitMix64(seed_ ^ (epoch * 0x9e3779b97f4a7c15ull)).Next());
+  Shuffle(std::span<std::string>(order), rng);
+  return order;
+}
+
+Status WriteFilenameList(const std::string& path,
+                         const std::vector<std::string>& names) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (const auto& n : names) out << n << '\n';
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ReadFilenameList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("filename list not found: " + path);
+  std::vector<std::string> names;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) names.push_back(line);
+  }
+  return names;
+}
+
+}  // namespace prisma::storage

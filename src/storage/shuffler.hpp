@@ -1,0 +1,44 @@
+// Per-epoch filename shuffling — the "filenames list" module of §IV.
+//
+// The DL framework shuffles the dataset once per epoch; PRISMA must see
+// the *same* order ahead of time so producers prefetch exactly the files
+// the consumers will request (footnote 1 of the paper: the shuffle is
+// performed identically to the framework's own mechanism). Both sides
+// therefore derive the epoch order from EpochShuffler with a shared seed,
+// or exchange it through a filename-list file (the paper's Python module).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace prisma::storage {
+
+class EpochShuffler {
+ public:
+  EpochShuffler(std::vector<std::string> names, std::uint64_t seed)
+      : names_(std::move(names)), seed_(seed) {}
+
+  /// Deterministic permutation for `epoch` (Fisher-Yates over a stream
+  /// derived from seed ^ epoch). Two shufflers with equal names+seed
+  /// produce identical orders — the framework/PRISMA agreement invariant.
+  std::vector<std::string> OrderFor(std::uint64_t epoch) const;
+
+  std::size_t NumFiles() const { return names_.size(); }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::uint64_t seed_;
+};
+
+/// Writes one filename per line (the shared filename-list file).
+Status WriteFilenameList(const std::string& path,
+                         const std::vector<std::string>& names);
+
+/// Reads a filename-list file written by WriteFilenameList.
+Result<std::vector<std::string>> ReadFilenameList(const std::string& path);
+
+}  // namespace prisma::storage

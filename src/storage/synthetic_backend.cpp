@@ -1,0 +1,111 @@
+#include "storage/synthetic_backend.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace prisma::storage {
+
+SyntheticBackend::SyntheticBackend(SyntheticBackendOptions options,
+                                   ImageNetDataset dataset)
+    : SyntheticBackend(std::move(options)) {
+  Register(dataset.train);
+  Register(dataset.validation);
+}
+
+SyntheticBackend::SyntheticBackend(SyntheticBackendOptions options)
+    : options_(options),
+      device_(options.profile),
+      cache_(options.page_cache_bytes),
+      rng_(options.seed) {}
+
+void SyntheticBackend::Register(const DatasetCatalog& catalog) {
+  std::lock_guard lock(mu_);
+  for (const auto& f : catalog.files()) files_[f.name] = f.size;
+}
+
+Nanos SyntheticBackend::ModelServiceTime(std::uint64_t bytes, bool cache_hit,
+                                         std::uint32_t concurrency) {
+  double seconds;
+  if (cache_hit) {
+    seconds = static_cast<double>(bytes) / options_.cache_hit_bandwidth_bps;
+  } else {
+    seconds = ToSeconds(device_.ServiceTime(bytes, concurrency));
+    if (options_.profile.jitter_frac > 0.0) {
+      std::lock_guard lock(mu_);
+      const double jitter =
+          rng_.NextGaussian(1.0, options_.profile.jitter_frac);
+      seconds *= std::max(0.1, jitter);
+    }
+  }
+  return FromSeconds(seconds * options_.time_scale);
+}
+
+Result<std::size_t> SyntheticBackend::Read(const std::string& path,
+                                           std::uint64_t offset,
+                                           std::span<std::byte> dst) {
+  std::uint64_t size = 0;
+  const std::vector<std::byte>* override_data = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (const auto ov = overrides_.find(path); ov != overrides_.end()) {
+      override_data = &ov->second;
+      size = ov->second.size();
+    } else if (const auto it = files_.find(path); it != files_.end()) {
+      size = it->second;
+    } else {
+      return Status::NotFound("synthetic backend: " + path);
+    }
+  }
+
+  if (offset >= size) return static_cast<std::size_t>(0);
+  const std::size_t n =
+      std::min<std::uint64_t>(dst.size(), size - offset);
+
+  const bool hit = cache_.AccessAndAdmit(path, size);
+  const std::uint32_t concurrency =
+      outstanding_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const Nanos service = ModelServiceTime(n, hit, concurrency);
+  if (service.count() > 0) std::this_thread::sleep_for(service);
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+
+  if (override_data != nullptr) {
+    std::copy_n(override_data->data() + offset, n, dst.data());
+  } else {
+    SyntheticContent::Fill(path, offset, dst.subspan(0, n));
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
+Status SyntheticBackend::Write(const std::string& path,
+                               std::span<const std::byte> data) {
+  {
+    std::lock_guard lock(mu_);
+    overrides_[path].assign(data.begin(), data.end());
+    files_[path] = data.size();
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<std::uint64_t> SyntheticBackend::FileSize(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("synthetic backend: " + path);
+  return it->second;
+}
+
+BackendStats SyntheticBackend::Stats() const {
+  BackendStats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_.Hits();
+  s.cache_misses = cache_.Misses();
+  return s;
+}
+
+}  // namespace prisma::storage

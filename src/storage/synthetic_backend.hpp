@@ -1,0 +1,82 @@
+// Real-time synthetic backend: serves catalog files with deterministic
+// content while charging device-model service times with actual sleeps.
+//
+// This lets live (threaded) tests and examples experience a realistic
+// storage device — single-stream slowness, concurrency scaling, page-cache
+// hits — without materializing hundreds of GiB. Service times can be
+// scaled down uniformly (time_scale) to keep test wall-time small while
+// preserving relative behaviour.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "storage/backend.hpp"
+#include "storage/dataset.hpp"
+#include "storage/device_model.hpp"
+#include "storage/page_cache.hpp"
+
+namespace prisma::storage {
+
+struct SyntheticBackendOptions {
+  DeviceProfile profile = DeviceProfile::NvmeP4600();
+  /// Usable page-cache budget in bytes (0 disables the cache model).
+  std::uint64_t page_cache_bytes = 0;
+  /// Multiplies every modeled service time (e.g. 0.001 => 1000x faster).
+  double time_scale = 1.0;
+  /// Service time for a page-cache hit, per byte (memory copy speed).
+  double cache_hit_bandwidth_bps = 8.0e9;
+  std::uint64_t seed = 7;
+};
+
+class SyntheticBackend final : public StorageBackend {
+ public:
+  SyntheticBackend(SyntheticBackendOptions options, ImageNetDataset dataset);
+
+  /// Convenience: empty dataset; register catalogs later.
+  explicit SyntheticBackend(SyntheticBackendOptions options);
+
+  /// Adds every file of `catalog` to the servable namespace.
+  void Register(const DatasetCatalog& catalog);
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override;
+  Status Write(const std::string& path, std::span<const std::byte> data) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  BackendStats Stats() const override;
+
+  /// Number of reads currently in service (for tests and the monitor).
+  std::uint32_t OutstandingReads() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+
+  PageCacheModel& page_cache() { return cache_; }
+  const DeviceModel& device() const { return device_; }
+
+ private:
+  Nanos ModelServiceTime(std::uint64_t bytes, bool cache_hit,
+                         std::uint32_t concurrency);
+
+  SyntheticBackendOptions options_;
+  DeviceModel device_;
+  PageCacheModel cache_;
+
+  mutable std::mutex mu_;                       // guards files_ and rng_
+  std::map<std::string, std::uint64_t> files_;  // name -> size
+  std::map<std::string, std::vector<std::byte>> overrides_;  // from Write()
+  Xoshiro256 rng_;
+
+  std::atomic<std::uint32_t> outstanding_{0};
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace prisma::storage

@@ -1,0 +1,107 @@
+// CLI experiment parsing (tools/prisma_sim's front-end).
+#include <gtest/gtest.h>
+
+#include "baselines/cli_config.hpp"
+
+namespace prisma::baselines {
+namespace {
+
+Result<CliExperiment> Parse(std::string_view text) {
+  auto config = Config::FromString(text);
+  if (!config.ok()) return config.status();
+  return ParseExperiment(*config);
+}
+
+TEST(CliConfigTest, DefaultsAreSane) {
+  auto e = Parse("");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->pipeline, PipelineKind::kPrismaTf);
+  EXPECT_EQ(e->config.model.name, "lenet");
+  EXPECT_EQ(e->config.global_batch, 256u);
+  EXPECT_EQ(e->config.epochs, 10u);
+  EXPECT_EQ(e->config.scale, 100u);
+  EXPECT_EQ(e->runs, 1);
+  EXPECT_TRUE(e->config.run_validation);
+}
+
+TEST(CliConfigTest, ParsesEveryPipeline) {
+  const std::pair<const char*, PipelineKind> cases[] = {
+      {"tf_baseline", PipelineKind::kTfBaseline},
+      {"tf_optimized", PipelineKind::kTfOptimized},
+      {"prisma_tf", PipelineKind::kPrismaTf},
+      {"torch", PipelineKind::kTorch},
+      {"prisma_torch", PipelineKind::kPrismaTorch},
+  };
+  for (const auto& [name, kind] : cases) {
+    auto e = Parse(std::string("pipeline = ") + name);
+    ASSERT_TRUE(e.ok()) << name;
+    EXPECT_EQ(e->pipeline, kind) << name;
+    EXPECT_EQ(PipelineName(e->pipeline), name);
+  }
+}
+
+TEST(CliConfigTest, ParsesEveryModel) {
+  for (const char* name : {"lenet", "alexnet", "resnet50"}) {
+    auto e = Parse(std::string("model = ") + name);
+    ASSERT_TRUE(e.ok()) << name;
+    EXPECT_EQ(e->config.model.name, name);
+  }
+}
+
+TEST(CliConfigTest, RejectsUnknownNames) {
+  EXPECT_EQ(Parse("pipeline = mxnet").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Parse("model = vgg16").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliConfigTest, RejectsOutOfRangeNumerics) {
+  EXPECT_FALSE(Parse("batch = 0").ok());
+  EXPECT_FALSE(Parse("epochs = -1").ok());
+  EXPECT_FALSE(Parse("scale = 0").ok());
+  EXPECT_FALSE(Parse("runs = 0").ok());
+  EXPECT_TRUE(Parse("workers = 0").ok());  // 0 workers is a real setup
+}
+
+TEST(CliConfigTest, NumericAndByteKeys) {
+  auto e = Parse(
+      "batch = 64\nepochs = 3\nscale = 500\nseed = 9\nruns = 2\n"
+      "workers = 8\nvalidation = false\npage_cache = 2GiB\n"
+      "fixed_producers = 4\nfixed_buffer = 128\n");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->config.global_batch, 64u);
+  EXPECT_EQ(e->config.epochs, 3u);
+  EXPECT_EQ(e->config.scale, 500u);
+  EXPECT_EQ(e->config.seed, 9u);
+  EXPECT_EQ(e->runs, 2);
+  EXPECT_EQ(e->workers, 8u);
+  EXPECT_FALSE(e->config.run_validation);
+  EXPECT_EQ(e->config.page_cache_bytes, 2ull << 30);
+  EXPECT_EQ(e->config.fixed_producers, 4u);
+  EXPECT_EQ(e->config.fixed_buffer, 128u);
+}
+
+TEST(CliConfigTest, RunOnceExecutesEveryPipeline) {
+  for (const char* pipeline :
+       {"tf_baseline", "tf_optimized", "prisma_tf", "torch", "prisma_torch"}) {
+    auto e = Parse(std::string("pipeline = ") + pipeline +
+                   "\nepochs = 1\nscale = 4000\nworkers = 2\n");
+    ASSERT_TRUE(e.ok()) << pipeline;
+    const auto r = RunOnce(*e, 0);
+    EXPECT_GT(r.samples_trained, 0u) << pipeline;
+    EXPECT_GT(r.elapsed_s, 0.0) << pipeline;
+  }
+}
+
+TEST(CliConfigTest, RunOffsetsSeedPerRun) {
+  auto e = Parse("pipeline = prisma_tf\nepochs = 1\nscale = 4000\n");
+  ASSERT_TRUE(e.ok());
+  const auto r0 = RunOnce(*e, 0);
+  const auto r1 = RunOnce(*e, 1);
+  EXPECT_NE(r0.elapsed_s, r1.elapsed_s);  // different seeds
+  const auto r0_again = RunOnce(*e, 0);
+  EXPECT_DOUBLE_EQ(r0.elapsed_s, r0_again.elapsed_s);  // deterministic
+}
+
+}  // namespace
+}  // namespace prisma::baselines

@@ -1,0 +1,361 @@
+// Unit tests for src/common foundations: Status/Result, units, Config,
+// RNG (determinism + distribution properties), Clock, logging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/config.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace prisma {
+namespace {
+
+using namespace prisma::literals;
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::NotFound("a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  // Building a Result from an OK status is a misuse; it must not silently
+  // pretend to hold a value.
+  Result<int> r = Status::Ok();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+// --- Units -------------------------------------------------------------------
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(1_KiB, 1024ull);
+  EXPECT_EQ(1_MiB, 1024ull * 1024);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(UnitsTest, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(ToSeconds(FromSeconds(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(Millis{250}), 0.25);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB), "3.00 MiB");
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(Millis{1234}), "1.234 s");
+}
+
+// --- Config -------------------------------------------------------------------
+
+TEST(ConfigTest, ParsesKeyValues) {
+  auto cfg = Config::FromString("a = 1\nb= hello \n# comment\nc = 2.5\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a", 0), 1);
+  EXPECT_EQ(cfg->GetString("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("c", 0), 2.5);
+}
+
+TEST(ConfigTest, LaterDuplicateWins) {
+  auto cfg = Config::FromString("k = 1\nk = 2\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("k", 0), 2);
+}
+
+TEST(ConfigTest, InlineCommentsStripped) {
+  auto cfg = Config::FromString("k = 7 # trailing\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("k", 0), 7);
+}
+
+TEST(ConfigTest, MissingEqualsIsError) {
+  auto cfg = Config::FromString("not a pair\n");
+  EXPECT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigTest, EmptyKeyIsError) {
+  EXPECT_FALSE(Config::FromString(" = value\n").ok());
+}
+
+TEST(ConfigTest, TypedGetterErrors) {
+  auto cfg = Config::FromString("s = abc\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("s").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cfg->GetInt("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cfg->GetInt("s", 9), 9);
+}
+
+TEST(ConfigTest, Booleans) {
+  auto cfg = Config::FromString("t1=true\nt2=YES\nt3=1\nf1=off\nbad=maybe\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->GetBool("t1", false));
+  EXPECT_TRUE(cfg->GetBool("t2", false));
+  EXPECT_TRUE(cfg->GetBool("t3", false));
+  EXPECT_FALSE(cfg->GetBool("f1", true));
+  EXPECT_FALSE(cfg->GetBool("bad").ok());
+}
+
+struct ByteCase {
+  const char* text;
+  std::uint64_t expected;
+};
+
+class ConfigBytesTest : public ::testing::TestWithParam<ByteCase> {};
+
+TEST_P(ConfigBytesTest, ParsesByteSizes) {
+  const auto& p = GetParam();
+  auto r = Config::ParseBytes(p.text);
+  ASSERT_TRUE(r.ok()) << p.text << ": " << r.status().ToString();
+  EXPECT_EQ(*r, p.expected) << p.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ConfigBytesTest,
+    ::testing::Values(ByteCase{"4096", 4096}, ByteCase{"4096B", 4096},
+                      ByteCase{"64KiB", 64 * 1024},
+                      ByteCase{"64k", 64 * 1024}, ByteCase{"1MiB", 1_MiB},
+                      ByteCase{"1.5GiB", 1536 * 1_MiB},
+                      ByteCase{"2 GiB", 2_GiB}, ByteCase{"1TiB", 1024_GiB},
+                      ByteCase{"0", 0}));
+
+TEST(ConfigTest, BadByteSizes) {
+  EXPECT_FALSE(Config::ParseBytes("").ok());
+  EXPECT_FALSE(Config::ParseBytes("abc").ok());
+  EXPECT_FALSE(Config::ParseBytes("12XiB").ok());
+}
+
+TEST(ConfigTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/prisma_config_test.cfg";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("buffer = 64KiB\nthreads = 4\n", f);
+    fclose(f);
+  }
+  auto cfg = Config::FromFile(path);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetBytes("buffer", 0), 64 * 1024u);
+  EXPECT_EQ(cfg->GetInt("threads", 0), 4);
+  EXPECT_FALSE(Config::FromFile(path + ".does_not_exist").ok());
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.Next(), vb = b.Next(), vc = c.Next();
+    all_equal &= (va == vb);
+    any_diff |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.NextBounded(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Xoshiro256 rng(99);
+  const int n = 50000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(5.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, LogNormalMeanMatchesFormula) {
+  // mean of LogNormal(mu, sigma) = exp(mu + sigma^2/2).
+  Xoshiro256 rng(5);
+  const double mu = 2.0, sigma = 0.5;
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.NextLogNormal(mu, sigma);
+  const double expected = std::exp(mu + sigma * sigma / 2);
+  EXPECT_NEAR(sum / n, expected, expected * 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Xoshiro256 rng(5);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Xoshiro256 a(1);
+  Xoshiro256 b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Xoshiro256 rng(17);
+  Shuffle(std::span<int>(v), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  // And it actually moved things.
+  int displaced = 0;
+  for (int i = 0; i < 100; ++i) displaced += (v[i] != i);
+  EXPECT_GT(displaced, 50);
+}
+
+TEST(RngTest, ShuffleDeterministicPerSeed) {
+  std::vector<int> v1(50), v2(50);
+  std::iota(v1.begin(), v1.end(), 0);
+  std::iota(v2.begin(), v2.end(), 0);
+  Xoshiro256 r1(3), r2(3);
+  Shuffle(std::span<int>(v1), r1);
+  Shuffle(std::span<int>(v2), r2);
+  EXPECT_EQ(v1, v2);
+}
+
+// --- Clock --------------------------------------------------------------------
+
+TEST(ClockTest, SteadyClockIsMonotonic) {
+  SteadyClock clock;
+  const Nanos a = clock.Now();
+  const Nanos b = clock.Now();
+  EXPECT_LE(a.count(), b.count());
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(Nanos{100});
+  EXPECT_EQ(clock.Now(), Nanos{100});
+  clock.Advance(Millis{2});
+  EXPECT_EQ(clock.Now(), Nanos{100} + Nanos{2'000'000});
+  clock.Set(Nanos{5});
+  EXPECT_EQ(clock.Now(), Nanos{5});
+}
+
+TEST(ClockTest, StopwatchMeasuresManualClock) {
+  ManualClock clock;
+  Stopwatch sw(clock);
+  clock.Advance(Millis{7});
+  EXPECT_EQ(sw.Elapsed(), Millis{7});
+  sw.Restart();
+  EXPECT_EQ(sw.Elapsed(), Nanos{0});
+}
+
+TEST(ClockTest, SharedSteadyClockSingleton) {
+  EXPECT_EQ(SteadyClock::Shared().get(), SteadyClock::Shared().get());
+}
+
+// --- Logging -------------------------------------------------------------------
+
+TEST(LoggingTest, LevelGate) {
+  Logger& log = Logger::Instance();
+  const LogLevel prev = log.level();
+  log.SetLevel(LogLevel::kError);
+  EXPECT_FALSE(log.Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.Enabled(LogLevel::kError));
+  log.SetLevel(LogLevel::kOff);
+  EXPECT_FALSE(log.Enabled(LogLevel::kError));
+  log.SetLevel(prev);
+}
+
+TEST(LoggingTest, MacroCompilesAndIsCheap) {
+  Logger::Instance().SetLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  PRISMA_LOG(kDebug, "test") << expensive();
+  EXPECT_EQ(evaluations, 0) << "disabled log level must not format";
+  Logger::Instance().SetLevel(LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace prisma

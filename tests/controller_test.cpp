@@ -1,0 +1,315 @@
+// Controller and ControlPlane: stage attachment, collect->decide->enforce
+// rounds, multi-tenant fair-share coordination, sharding, and failover.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "controlplane/controller.hpp"
+#include "dataplane/prefetch_object.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::controlplane {
+namespace {
+
+using dataplane::PrefetchObject;
+using dataplane::PrefetchOptions;
+using dataplane::Stage;
+using dataplane::StageInfo;
+using dataplane::StageKnobs;
+
+std::shared_ptr<Stage> MakeStage(const std::string& id,
+                                 std::uint32_t initial_producers = 1) {
+  storage::SyntheticBackendOptions o;
+  o.profile = storage::DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  auto backend = std::make_shared<storage::SyntheticBackend>(o);
+  PrefetchOptions po;
+  po.initial_producers = initial_producers;
+  po.max_producers = 32;
+  auto object =
+      std::make_shared<PrefetchObject>(backend, po, SteadyClock::Shared());
+  auto stage = std::make_shared<Stage>(StageInfo{id, "test", 0}, object);
+  EXPECT_TRUE(stage->Start().ok());
+  return stage;
+}
+
+PolicyFactory FixedFactory(std::uint32_t producers, std::size_t buffer) {
+  return [=] {
+    StageKnobs knobs;
+    knobs.producers = producers;
+    knobs.buffer_capacity = buffer;
+    return std::make_unique<FixedKnobsPolicy>(knobs);
+  };
+}
+
+ControllerOptions FastOptions() {
+  ControllerOptions o;
+  o.poll_interval = Millis{5};
+  return o;
+}
+
+// --- ComputeFairShares ----------------------------------------------------------
+
+TEST(FairShareTest, EveryStageGetsAtLeastOne) {
+  std::vector<StageDemand> demands(4);
+  for (auto& d : demands) d.requested = 8;
+  const auto shares = ComputeFairShares(demands, 2);  // budget < stages
+  for (const auto s : shares) EXPECT_EQ(s, 1u);
+}
+
+TEST(FairShareTest, BudgetFullyDealtWhenDemanded) {
+  std::vector<StageDemand> demands(3);
+  for (auto& d : demands) {
+    d.requested = 10;
+    d.starvation = 0.5;
+  }
+  const auto shares = ComputeFairShares(demands, 12);
+  EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), 0u), 12u);
+  for (const auto s : shares) EXPECT_EQ(s, 4u);  // symmetric demands
+}
+
+TEST(FairShareTest, HungrierStageGetsMore) {
+  std::vector<StageDemand> demands(2);
+  demands[0].requested = 10;
+  demands[0].starvation = 0.9;
+  demands[1].requested = 10;
+  demands[1].starvation = 0.1;
+  const auto shares = ComputeFairShares(demands, 10);
+  EXPECT_GT(shares[0], shares[1]);
+  EXPECT_EQ(shares[0] + shares[1], 10u);
+}
+
+TEST(FairShareTest, SatisfiedStagesDontHoardBudget) {
+  std::vector<StageDemand> demands(2);
+  demands[0].requested = 2;  // only wants 2
+  demands[0].starvation = 1.0;
+  demands[1].requested = 20;
+  demands[1].starvation = 0.5;
+  const auto shares = ComputeFairShares(demands, 16);
+  EXPECT_EQ(shares[0], 2u);
+  EXPECT_EQ(shares[1], 14u);
+}
+
+TEST(FairShareTest, LeftoverBudgetStaysIdle) {
+  std::vector<StageDemand> demands(2);
+  demands[0].requested = 2;
+  demands[1].requested = 3;
+  const auto shares = ComputeFairShares(demands, 100);
+  EXPECT_EQ(shares[0], 2u);
+  EXPECT_EQ(shares[1], 3u);
+}
+
+TEST(FairShareTest, EmptyInput) {
+  EXPECT_TRUE(ComputeFairShares({}, 10).empty());
+}
+
+struct FairShareCase {
+  std::size_t stages;
+  std::uint32_t budget;
+};
+
+class FairShareSweep : public ::testing::TestWithParam<FairShareCase> {};
+
+TEST_P(FairShareSweep, InvariantsHold) {
+  const auto& p = GetParam();
+  std::vector<StageDemand> demands(p.stages);
+  for (std::size_t i = 0; i < p.stages; ++i) {
+    demands[i].requested = static_cast<std::uint32_t>(1 + i % 7);
+    demands[i].starvation = 0.1 * static_cast<double>(i % 5);
+  }
+  const auto shares = ComputeFairShares(demands, p.budget);
+  ASSERT_EQ(shares.size(), p.stages);
+  std::uint32_t total = 0;
+  std::uint32_t requested_total = 0;
+  for (std::size_t i = 0; i < p.stages; ++i) {
+    EXPECT_GE(shares[i], 1u);  // floor
+    EXPECT_LE(shares[i], std::max<std::uint32_t>(demands[i].requested, 1));
+    total += shares[i];
+    requested_total += std::max<std::uint32_t>(demands[i].requested, 1);
+  }
+  // Work conserving up to demand, never above max(budget, floor).
+  const std::uint32_t floor_total = static_cast<std::uint32_t>(p.stages);
+  EXPECT_LE(total, std::max(p.budget, floor_total));
+  EXPECT_LE(total, requested_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FairShareSweep,
+    ::testing::Values(FairShareCase{1, 1}, FairShareCase{1, 16},
+                      FairShareCase{3, 2}, FairShareCase{4, 16},
+                      FairShareCase{8, 8}, FairShareCase{8, 64},
+                      FairShareCase{16, 33}));
+
+// --- Controller -------------------------------------------------------------------
+
+TEST(ControllerTest, AttachRejectsDuplicates) {
+  Controller c("c0", FastOptions(), FixedFactory(2, 16),
+               SteadyClock::Shared());
+  auto stage = MakeStage("s1");
+  EXPECT_TRUE(c.Attach(stage).ok());
+  EXPECT_EQ(c.Attach(stage).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(c.NumStages(), 1u);
+  stage->Stop();
+}
+
+TEST(ControllerTest, DetachRemoves) {
+  Controller c("c0", FastOptions(), FixedFactory(2, 16),
+               SteadyClock::Shared());
+  auto stage = MakeStage("s1");
+  ASSERT_TRUE(c.Attach(stage).ok());
+  EXPECT_TRUE(c.Detach("s1").ok());
+  EXPECT_EQ(c.Detach("s1").code(), StatusCode::kNotFound);
+  EXPECT_EQ(c.NumStages(), 0u);
+  stage->Stop();
+}
+
+TEST(ControllerTest, TickAppliesPolicyKnobs) {
+  Controller c("c0", FastOptions(), FixedFactory(4, 64),
+               SteadyClock::Shared());
+  auto stage = MakeStage("s1", /*initial_producers=*/1);
+  ASSERT_TRUE(c.Attach(stage).ok());
+  c.TickOnce();
+  const auto stats = stage->CollectStats();
+  EXPECT_EQ(stats.producers, 4u);
+  EXPECT_EQ(stats.buffer_capacity, 64u);
+  stage->Stop();
+}
+
+TEST(ControllerTest, ObservationsExposeStats) {
+  Controller c("c0", FastOptions(), FixedFactory(2, 16),
+               SteadyClock::Shared());
+  auto s1 = MakeStage("a");
+  auto s2 = MakeStage("b");
+  ASSERT_TRUE(c.Attach(s1).ok());
+  ASSERT_TRUE(c.Attach(s2).ok());
+  c.TickOnce();
+  const auto obs = c.LastObservations();
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0].stage_id, "a");
+  EXPECT_EQ(obs[1].stage_id, "b");
+  s1->Stop();
+  s2->Stop();
+}
+
+TEST(ControllerTest, GlobalBudgetCapsProducers) {
+  // Two stages each *requesting* 8 producers, budget 6: coordination must
+  // cap the total (the paper's shared-resource argument, §II).
+  ControllerOptions o = FastOptions();
+  o.global_producer_budget = 6;
+  Controller c("c0", o, FixedFactory(8, 16), SteadyClock::Shared());
+  auto s1 = MakeStage("a");
+  auto s2 = MakeStage("b");
+  ASSERT_TRUE(c.Attach(s1).ok());
+  ASSERT_TRUE(c.Attach(s2).ok());
+  c.TickOnce();
+  const auto p1 = s1->CollectStats().producers;
+  const auto p2 = s2->CollectStats().producers;
+  EXPECT_LE(p1 + p2, 6u);
+  EXPECT_GE(p1, 1u);
+  EXPECT_GE(p2, 1u);
+  s1->Stop();
+  s2->Stop();
+}
+
+TEST(ControllerTest, BackgroundLoopTicksPeriodically) {
+  Controller c("c0", FastOptions(), FixedFactory(3, 24),
+               SteadyClock::Shared());
+  auto stage = MakeStage("s1");
+  ASSERT_TRUE(c.Attach(stage).ok());
+  ASSERT_TRUE(c.RunInBackground().ok());
+  EXPECT_EQ(c.RunInBackground().code(), StatusCode::kFailedPrecondition);
+  std::this_thread::sleep_for(Millis{50});
+  c.Stop();
+  c.Stop();  // idempotent
+  EXPECT_EQ(stage->CollectStats().producers, 3u);
+  stage->Stop();
+}
+
+TEST(ControllerTest, PrismaPolicyDrivesRealStage) {
+  // Wire the real autotune policy to a real stage and verify ticks apply
+  // its initial knobs without blowing up on an idle stage.
+  auto factory = [] {
+    AutotunerOptions o;
+    o.period_min_inserts = 10;
+    o.period_max_ticks = 2;
+    return std::make_unique<PrismaAutotunePolicy>(o);
+  };
+  Controller c("c0", FastOptions(), factory, SteadyClock::Shared());
+  auto stage = MakeStage("s1");
+  ASSERT_TRUE(c.Attach(stage).ok());
+  for (int i = 0; i < 5; ++i) c.TickOnce();
+  EXPECT_EQ(stage->CollectStats().producers, 1u);  // idle: stays at min
+  stage->Stop();
+}
+
+// --- ControlPlane -------------------------------------------------------------------
+
+TEST(ControlPlaneTest, ShardsStagesRoundRobin) {
+  ControlPlane plane(3, FastOptions(), FixedFactory(2, 16),
+                     SteadyClock::Shared());
+  std::vector<std::shared_ptr<Stage>> stages;
+  for (int i = 0; i < 6; ++i) {
+    stages.push_back(MakeStage("s" + std::to_string(i)));
+    ASSERT_TRUE(plane.Attach(stages.back()).ok());
+  }
+  EXPECT_EQ(plane.controller(0).NumStages(), 2u);
+  EXPECT_EQ(plane.controller(1).NumStages(), 2u);
+  EXPECT_EQ(plane.controller(2).NumStages(), 2u);
+  for (auto& s : stages) s->Stop();
+}
+
+TEST(ControlPlaneTest, TickReachesAllStages) {
+  ControlPlane plane(2, FastOptions(), FixedFactory(5, 40),
+                     SteadyClock::Shared());
+  std::vector<std::shared_ptr<Stage>> stages;
+  for (int i = 0; i < 4; ++i) {
+    stages.push_back(MakeStage("s" + std::to_string(i)));
+    ASSERT_TRUE(plane.Attach(stages.back()).ok());
+  }
+  plane.TickOnce();
+  for (auto& s : stages) {
+    EXPECT_EQ(s->CollectStats().producers, 5u) << s->info().id;
+    s->Stop();
+  }
+}
+
+TEST(ControlPlaneTest, FailoverReassignsStages) {
+  ControlPlane plane(2, FastOptions(), FixedFactory(2, 16),
+                     SteadyClock::Shared());
+  std::vector<std::shared_ptr<Stage>> stages;
+  for (int i = 0; i < 4; ++i) {
+    stages.push_back(MakeStage("s" + std::to_string(i)));
+    ASSERT_TRUE(plane.Attach(stages.back()).ok());
+  }
+  ASSERT_TRUE(plane.FailController(0).ok());
+  // Survivor owns everything; ticks still reach every stage.
+  EXPECT_EQ(plane.controller(1).NumStages(), 4u);
+  plane.TickOnce();
+  for (auto& s : stages) {
+    EXPECT_EQ(s->CollectStats().producers, 2u);
+    s->Stop();
+  }
+}
+
+TEST(ControlPlaneTest, CannotFailLastController) {
+  ControlPlane plane(2, FastOptions(), FixedFactory(2, 16),
+                     SteadyClock::Shared());
+  ASSERT_TRUE(plane.FailController(0).ok());
+  EXPECT_FALSE(plane.FailController(1).ok());
+  EXPECT_EQ(plane.FailController(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(plane.FailController(9).ok());
+}
+
+TEST(ControlPlaneTest, AttachAfterFailoverSkipsDeadController) {
+  ControlPlane plane(2, FastOptions(), FixedFactory(2, 16),
+                     SteadyClock::Shared());
+  ASSERT_TRUE(plane.FailController(0).ok());
+  auto stage = MakeStage("late");
+  ASSERT_TRUE(plane.Attach(stage).ok());
+  EXPECT_EQ(plane.controller(1).NumStages(), 1u);
+  stage->Stop();
+}
+
+}  // namespace
+}  // namespace prisma::controlplane

@@ -1,0 +1,224 @@
+// Failure injection: the data plane must degrade gracefully — retry
+// transient faults, fail persistent ones over to pass-through, and never
+// leave a consumer blocked forever.
+#include <gtest/gtest.h>
+
+#include "dataplane/prefetch_object.hpp"
+#include "dataplane/sample_buffer.hpp"
+#include "storage/flaky_backend.hpp"
+#include "storage/shuffler.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::dataplane {
+namespace {
+
+using storage::FlakyBackend;
+using storage::FlakyOptions;
+
+std::shared_ptr<storage::SyntheticBackend> InstantBackend(
+    const storage::ImageNetDataset& ds) {
+  storage::SyntheticBackendOptions o;
+  o.profile = storage::DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  return std::make_shared<storage::SyntheticBackend>(o, ds);
+}
+
+storage::ImageNetDataset SmallDataset(std::size_t n = 50) {
+  storage::SyntheticImageNetSpec spec;
+  spec.num_train = n;
+  spec.num_validation = 2;
+  spec.mean_file_size = 8 * 1024;
+  spec.min_file_size = 1024;
+  return storage::MakeSyntheticImageNet(spec);
+}
+
+// --- FlakyBackend itself -------------------------------------------------------
+
+TEST(FlakyBackendTest, ZeroRatesPassThrough) {
+  const auto ds = SmallDataset(5);
+  FlakyBackend flaky(InstantBackend(ds), FlakyOptions{});
+  const auto& f = ds.train.At(0);
+  auto data = flaky.ReadAll(f.name);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), f.size);
+  EXPECT_EQ(flaky.InjectedErrors(), 0u);
+}
+
+TEST(FlakyBackendTest, InjectsErrorsAtConfiguredRate) {
+  const auto ds = SmallDataset(5);
+  FlakyOptions fo;
+  fo.read_error_rate = 0.5;
+  FlakyBackend flaky(InstantBackend(ds), fo);
+  const auto& f = ds.train.At(0);
+  int failures = 0;
+  std::vector<std::byte> buf(64);
+  for (int i = 0; i < 400; ++i) {
+    if (!flaky.Read(f.name, 0, buf).ok()) ++failures;
+  }
+  EXPECT_NEAR(failures, 200, 60);  // ~binomial(400, 0.5)
+  EXPECT_EQ(flaky.InjectedErrors(), static_cast<std::uint64_t>(failures));
+}
+
+TEST(FlakyBackendTest, FailFirstNClearsOnRetry) {
+  const auto ds = SmallDataset(5);
+  FlakyOptions fo;
+  fo.read_error_rate = 1.0;  // always... but only the first 2 attempts
+  fo.fail_first_n = 2;
+  FlakyBackend flaky(InstantBackend(ds), fo);
+  const auto& f = ds.train.At(0);
+  std::vector<std::byte> buf(64);
+  EXPECT_FALSE(flaky.Read(f.name, 0, buf).ok());
+  EXPECT_FALSE(flaky.Read(f.name, 0, buf).ok());
+  EXPECT_TRUE(flaky.Read(f.name, 0, buf).ok());  // 3rd attempt succeeds
+}
+
+TEST(FlakyBackendTest, LatencySpikesDelay) {
+  const auto ds = SmallDataset(5);
+  FlakyOptions fo;
+  fo.latency_spike_rate = 1.0;
+  fo.spike_duration = Millis{15};
+  FlakyBackend flaky(InstantBackend(ds), fo);
+  std::vector<std::byte> buf(64);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(flaky.Read(ds.train.At(0).name, 0, buf).ok());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, Millis{10});
+  EXPECT_GE(flaky.InjectedSpikes(), 1u);
+}
+
+// --- SampleBuffer failure propagation --------------------------------------------
+
+TEST(SampleBufferFailureTest, MarkFailedWakesBlockedConsumer) {
+  SampleBuffer buf(4, SteadyClock::Shared());
+  std::thread producer([&] {
+    std::this_thread::sleep_for(Millis{20});
+    buf.MarkFailed("doomed");
+  });
+  const auto r = buf.Take("doomed");
+  producer.join();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(SampleBufferFailureTest, MarkIsConsumedOnce) {
+  SampleBuffer buf(4, SteadyClock::Shared());
+  buf.MarkFailed("x");
+  EXPECT_EQ(buf.Take("x").status().code(), StatusCode::kIoError);
+  // Mark consumed: a later insert serves normally.
+  ASSERT_TRUE(buf.Insert(Sample{"x", std::vector<std::byte>(8)}).ok());
+  EXPECT_TRUE(buf.Take("x").ok());
+}
+
+// --- PrefetchObject end-to-end under faults ---------------------------------------
+
+TEST(PrefetchFaultTest, TransientFaultsAreRetriedAway) {
+  // Every file's first read fails; the producer's retry budget (3)
+  // absorbs it and the epoch completes fully buffered.
+  const auto ds = SmallDataset(40);
+  FlakyOptions fo;
+  fo.read_error_rate = 1.0;
+  fo.fail_first_n = 1;
+  auto flaky = std::make_shared<FlakyBackend>(InstantBackend(ds), fo);
+
+  PrefetchOptions po;
+  po.initial_producers = 2;
+  po.buffer_capacity = 8;
+  po.retry_backoff = Nanos{0};
+  PrefetchObject object(flaky, po, SteadyClock::Shared());
+  ASSERT_TRUE(object.Start().ok());
+
+  const auto names = ds.train.Names();
+  ASSERT_TRUE(object.BeginEpoch(0, names).ok());
+  for (const auto& name : names) {
+    std::vector<std::byte> buf(*ds.train.SizeOf(name));
+    ASSERT_TRUE(object.Read(name, 0, buf).ok()) << name;
+    EXPECT_EQ(buf, storage::SyntheticContent::Generate(name, buf.size()));
+  }
+  object.Stop();
+  const auto stats = object.CollectStats();
+  EXPECT_EQ(stats.samples_consumed, names.size());
+  EXPECT_EQ(stats.passthrough_reads, 0u);  // retries fixed everything
+  EXPECT_GE(flaky->InjectedErrors(), names.size());
+}
+
+TEST(PrefetchFaultTest, PersistentFaultFailsOverToPassthrough) {
+  // Prefetch reads always fail, pass-through reads succeed: model a
+  // fault affecting the producer path only (fail_first_n covers the
+  // retry budget; the consumer's fallback read then succeeds).
+  const auto ds = SmallDataset(10);
+  FlakyOptions fo;
+  fo.read_error_rate = 1.0;
+  fo.fail_first_n = 4;  // initial + 3 retries all fail
+  auto flaky = std::make_shared<FlakyBackend>(InstantBackend(ds), fo);
+
+  PrefetchOptions po;
+  po.initial_producers = 1;
+  po.buffer_capacity = 4;
+  po.read_retries = 3;
+  po.retry_backoff = Nanos{0};
+  PrefetchObject object(flaky, po, SteadyClock::Shared());
+  ASSERT_TRUE(object.Start().ok());
+
+  const auto& f = ds.train.At(0);
+  ASSERT_TRUE(object.BeginEpoch(0, {f.name}).ok());
+  std::vector<std::byte> buf(f.size);
+  // Must complete (via pass-through), not hang.
+  auto n = object.Read(f.name, 0, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(buf, storage::SyntheticContent::Generate(f.name, f.size));
+  EXPECT_GE(object.CollectStats().passthrough_reads, 1u);
+  object.Stop();
+}
+
+TEST(PrefetchFaultTest, OversizedSampleFailsOverToPassthrough) {
+  // Regression for the oversized-file hang: the producer refuses to
+  // buffer it, but the consumer must still be served.
+  const auto ds = SmallDataset(5);
+  auto backend = InstantBackend(ds);
+  PrefetchOptions po;
+  po.initial_producers = 1;
+  po.max_sample_bytes = 16;  // everything is oversized
+  PrefetchObject object(backend, po, SteadyClock::Shared());
+  ASSERT_TRUE(object.Start().ok());
+  const auto& f = ds.train.At(0);
+  ASSERT_TRUE(object.BeginEpoch(0, {f.name}).ok());
+  std::vector<std::byte> buf(f.size);
+  auto n = object.Read(f.name, 0, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, f.size);
+  EXPECT_GE(object.CollectStats().passthrough_reads, 1u);
+  object.Stop();
+}
+
+TEST(PrefetchFaultTest, NoisyEpochStillCompletesCorrectly) {
+  // 15% random transient faults + occasional latency spikes across a
+  // multi-producer epoch: every sample must still arrive intact.
+  const auto ds = SmallDataset(60);
+  FlakyOptions fo;
+  fo.read_error_rate = 0.15;
+  fo.latency_spike_rate = 0.02;
+  fo.spike_duration = Millis{1};
+  auto flaky = std::make_shared<FlakyBackend>(InstantBackend(ds), fo);
+
+  PrefetchOptions po;
+  po.initial_producers = 4;
+  po.buffer_capacity = 16;
+  po.retry_backoff = Nanos{0};
+  PrefetchObject object(flaky, po, SteadyClock::Shared());
+  ASSERT_TRUE(object.Start().ok());
+
+  storage::EpochShuffler shuffler(ds.train.Names(), 7);
+  for (std::uint64_t e = 0; e < 2; ++e) {
+    const auto order = shuffler.OrderFor(e);
+    ASSERT_TRUE(object.BeginEpoch(e, order).ok());
+    for (const auto& name : order) {
+      std::vector<std::byte> buf(*ds.train.SizeOf(name));
+      ASSERT_TRUE(object.Read(name, 0, buf).ok()) << name;
+      ASSERT_EQ(buf, storage::SyntheticContent::Generate(name, buf.size()));
+    }
+  }
+  object.Stop();
+  EXPECT_GT(flaky->InjectedErrors(), 0u);
+}
+
+}  // namespace
+}  // namespace prisma::dataplane

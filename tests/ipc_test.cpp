@@ -1,0 +1,355 @@
+// IPC tests: wire-protocol round trips and decode hardening, plus live
+// UDS server/client integration against a real data-plane stage.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "dataplane/prefetch_object.hpp"
+#include "ipc/uds_client.hpp"
+#include "ipc/uds_server.hpp"
+#include "ipc/wire.hpp"
+#include "storage/shuffler.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::ipc {
+namespace {
+
+// --- wire protocol ------------------------------------------------------------
+
+TEST(WireTest, RequestRoundTrip) {
+  Request req;
+  req.op = Op::kRead;
+  req.path = "train/00000001.jpg";
+  req.offset = 12345;
+  req.length = 67890;
+  req.epoch = 3;
+  const auto encoded = EncodeRequest(req);
+  auto decoded = DecodeRequest(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->op, Op::kRead);
+  EXPECT_EQ(decoded->path, req.path);
+  EXPECT_EQ(decoded->offset, req.offset);
+  EXPECT_EQ(decoded->length, req.length);
+  EXPECT_EQ(decoded->epoch, req.epoch);
+}
+
+TEST(WireTest, RequestWithNamesRoundTrip) {
+  Request req;
+  req.op = Op::kBeginEpoch;
+  req.epoch = 7;
+  for (int i = 0; i < 100; ++i) req.names.push_back("file-" + std::to_string(i));
+  auto decoded = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->names, req.names);
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  Response resp;
+  resp.code = StatusCode::kNotFound;
+  resp.value = 987654321;
+  resp.data = {std::byte{1}, std::byte{2}, std::byte{255}};
+  auto decoded = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kNotFound);
+  EXPECT_EQ(decoded->value, resp.value);
+  EXPECT_EQ(decoded->data, resp.data);
+}
+
+TEST(WireTest, EmptyStringsAndData) {
+  Request req;
+  auto decoded = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->path.empty());
+  Response resp;
+  auto dresp = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(dresp.ok());
+  EXPECT_TRUE(dresp->data.empty());
+}
+
+TEST(WireTest, TruncatedPayloadsRejected) {
+  // Property: every strict prefix of a valid encoding must fail cleanly,
+  // never crash or mis-decode.
+  Request req;
+  req.op = Op::kBeginEpoch;
+  req.path = "some/path";
+  req.names = {"a", "bc", "def"};
+  const auto full = EncodeRequest(req);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    auto r = DecodeRequest(std::span(full.data(), cut));
+    EXPECT_FALSE(r.ok()) << "prefix length " << cut;
+  }
+  EXPECT_TRUE(DecodeRequest(full).ok());
+}
+
+TEST(WireTest, TrailingGarbageRejected) {
+  Request req;
+  req.path = "p";
+  auto bytes = EncodeRequest(req);
+  bytes.push_back(std::byte{0});
+  EXPECT_FALSE(DecodeRequest(bytes).ok());
+}
+
+TEST(WireTest, UnknownOpcodeRejected) {
+  Request req;
+  auto bytes = EncodeRequest(req);
+  bytes[0] = std::byte{200};
+  EXPECT_FALSE(DecodeRequest(bytes).ok());
+}
+
+TEST(WireTest, UnknownStatusCodeRejected) {
+  Response resp;
+  auto bytes = EncodeResponse(resp);
+  bytes[0] = std::byte{250};
+  EXPECT_FALSE(DecodeResponse(bytes).ok());
+}
+
+class WireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzzTest, MutatedPayloadsNeverCrash) {
+  // Property: random single-byte corruptions of valid encodings either
+  // decode to *something* or fail cleanly — never crash, never read out
+  // of bounds (run under ASan/valgrind for the full guarantee).
+  Xoshiro256 rng(GetParam());
+  Request req;
+  req.op = Op::kBeginEpoch;
+  req.path = "train/00000042.jpg";
+  req.offset = rng.Next();
+  req.length = rng.Next();
+  for (int i = 0; i < 8; ++i) {
+    req.names.push_back("n" + std::to_string(rng.NextBounded(1000)));
+  }
+  const auto valid = EncodeRequest(req);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = valid;
+    const std::size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] = static_cast<std::byte>(rng.Next() & 0xff);
+    const auto decoded = DecodeRequest(mutated);  // must not crash
+    if (decoded.ok()) {
+      // Re-encoding a successfully decoded request must round-trip.
+      const auto reencoded = EncodeRequest(*decoded);
+      EXPECT_TRUE(DecodeRequest(reencoded).ok());
+    }
+  }
+  // Random garbage of various sizes must also fail cleanly.
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::byte> garbage(rng.NextBounded(256));
+    for (auto& b : garbage) b = static_cast<std::byte>(rng.Next() & 0xff);
+    (void)DecodeRequest(garbage);
+    (void)DecodeResponse(garbage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(WireTest, FrameIoOverSocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::vector<std::byte> payload =
+      EncodeRequest(Request{Op::kPing, "x", 1, 2, 3, {}});
+  ASSERT_TRUE(WriteFrame(fds[0], payload).ok());
+  auto got = ReadFrame(fds[1]);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, payload);
+  ::close(fds[0]);
+  auto eof = ReadFrame(fds[1]);
+  EXPECT_EQ(eof.status().code(), StatusCode::kAborted);  // orderly close
+  ::close(fds[1]);
+}
+
+TEST(WireTest, OversizedFramePrefixRejected) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::byte prefix[4];
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::byte>((huge >> (8 * i)) & 0xff);
+  }
+  ASSERT_EQ(::send(fds[0], prefix, 4, 0), 4);
+  auto got = ReadFrame(fds[1]);
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- UDS server/client ----------------------------------------------------------
+
+class UdsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::SyntheticImageNetSpec spec;
+    spec.num_train = 30;
+    spec.num_validation = 5;
+    spec.mean_file_size = 8 * 1024;
+    spec.min_file_size = 1024;
+    ds_ = storage::MakeSyntheticImageNet(spec);
+
+    storage::SyntheticBackendOptions o;
+    o.profile = storage::DeviceProfile::Instant();
+    o.time_scale = 0.0;
+    backend_ = std::make_shared<storage::SyntheticBackend>(o, ds_);
+
+    dataplane::PrefetchOptions po;
+    po.initial_producers = 2;
+    po.buffer_capacity = 16;
+    auto object = std::make_shared<dataplane::PrefetchObject>(
+        backend_, po, SteadyClock::Shared());
+    stage_ = std::make_shared<dataplane::Stage>(
+        dataplane::StageInfo{"uds-job", "pytorch", 0}, object);
+    ASSERT_TRUE(stage_->Start().ok());
+
+    socket_path_ = ::testing::TempDir() + "/prisma_uds_" +
+                   std::to_string(::getpid()) + "_" +
+                   ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+                   ".sock";
+    server_ = std::make_unique<UdsServer>(socket_path_, stage_);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    stage_->Stop();
+  }
+
+  storage::ImageNetDataset ds_;
+  std::shared_ptr<storage::SyntheticBackend> backend_;
+  std::shared_ptr<dataplane::Stage> stage_;
+  std::string socket_path_;
+  std::unique_ptr<UdsServer> server_;
+};
+
+TEST_F(UdsTest, PingRoundTrip) {
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(UdsTest, FileSizeThroughServer) {
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  const auto& f = ds_.train.At(0);
+  auto size = client.FileSize(f.name);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, f.size);
+  EXPECT_EQ(client.FileSize("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(UdsTest, FullEpochThroughServer) {
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+
+  storage::EpochShuffler shuffler(ds_.train.Names(), 3);
+  const auto order = shuffler.OrderFor(0);
+  ASSERT_TRUE(client.BeginEpoch(0, order).ok());
+
+  for (const auto& name : order) {
+    auto data = client.ReadAll(name);
+    ASSERT_TRUE(data.ok()) << name;
+    const auto expected =
+        storage::SyntheticContent::Generate(name, *ds_.train.SizeOf(name));
+    EXPECT_EQ(*data, expected) << name;
+  }
+  EXPECT_GE(server_->requests_served(), order.size());
+}
+
+TEST_F(UdsTest, RemoteStats) {
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  const auto& f = ds_.train.At(1);
+  ASSERT_TRUE(client.BeginEpoch(0, {f.name}).ok());
+  auto data = client.ReadAll(f.name);
+  ASSERT_TRUE(data.ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->samples_consumed, 1u);
+  EXPECT_EQ(stats->producers, 2u);
+  EXPECT_EQ(stats->buffer_capacity, 16u);
+}
+
+TEST_F(UdsTest, MultipleConcurrentClients) {
+  // Mirrors the PyTorch deployment: each "worker" owns a client; the
+  // shared stage serves them all.
+  storage::EpochShuffler shuffler(ds_.train.Names(), 5);
+  const auto order = shuffler.OrderFor(0);
+  {
+    UdsClient announcer;
+    ASSERT_TRUE(announcer.Connect(socket_path_).ok());
+    ASSERT_TRUE(announcer.BeginEpoch(0, order).ok());
+  }
+
+  constexpr int kWorkers = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      UdsClient client;
+      if (!client.Connect(socket_path_).ok()) {
+        ++failures;
+        return;
+      }
+      // Worker w reads batch indices i with i % kWorkers == w.
+      for (std::size_t i = w; i < order.size(); i += kWorkers) {
+        auto data = client.ReadAll(order[i]);
+        if (!data.ok() ||
+            *data != storage::SyntheticContent::Generate(
+                         order[i], *ds_.train.SizeOf(order[i]))) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(UdsTest, UnannouncedReadPassesThrough) {
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  const auto& f = ds_.validation.At(0);
+  auto data = client.ReadAll(f.name);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), f.size);
+}
+
+TEST_F(UdsTest, RangedRead) {
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  const auto& f = ds_.validation.At(1);  // pass-through path: no eviction
+  const auto whole = storage::SyntheticContent::Generate(f.name, f.size);
+  std::vector<std::byte> buf(128);
+  auto n = client.Read(f.name, 256, buf);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 128u);
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(buf[i], whole[256 + i]);
+}
+
+TEST_F(UdsTest, ServerStopUnblocksClients) {
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  server_->Stop();
+  EXPECT_FALSE(client.Ping().ok());
+}
+
+TEST_F(UdsTest, ConnectToMissingSocketFailsFast) {
+  UdsClient client;
+  const auto status =
+      client.Connect("/tmp/prisma_no_such_socket.sock", Millis{50});
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(UdsTest, StartTwiceFails) {
+  EXPECT_EQ(server_->Start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(UdsServerTest, SocketPathTooLong) {
+  auto stage = std::shared_ptr<dataplane::Stage>();
+  UdsServer server(std::string(200, 'x'), stage);
+  EXPECT_EQ(server.Start().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace prisma::ipc

@@ -1,0 +1,153 @@
+// PID occupancy controller: feedback direction, anti-windup clamping,
+// policy wrapper, and the contrast with the probing tuner inside the
+// DES pipeline (the §V.A "other control algorithms" caveat).
+#include <gtest/gtest.h>
+
+#include "baselines/experiment.hpp"
+#include "controlplane/pid_autotuner.hpp"
+#include "controlplane/policy.hpp"
+
+namespace prisma::controlplane {
+namespace {
+
+using dataplane::StageStatsSnapshot;
+
+PidAutotunerOptions FastOptions() {
+  PidAutotunerOptions o;
+  o.period_min_inserts = 50;
+  o.period_max_ticks = 2;
+  o.max_producers = 16;
+  return o;
+}
+
+/// Drives the PID with a synthetic stage whose occupancy we script.
+class ScriptedStage {
+ public:
+  explicit ScriptedStage(PidAutotunerOptions options) : tuner_(options) {
+    capacity_ = 16;
+  }
+
+  void Tick(double occupancy_ratio) {
+    stats_.at += Millis{100};
+    stats_.samples_produced += 100;
+    stats_.samples_consumed += 100;
+    stats_.buffer_capacity = capacity_;
+    stats_.buffer_occupancy =
+        static_cast<std::size_t>(occupancy_ratio * capacity_);
+    const auto knobs = tuner_.Tick(stats_);
+    if (knobs.producers) producers_ = *knobs.producers;
+    if (knobs.buffer_capacity) capacity_ = *knobs.buffer_capacity;
+  }
+
+  void RunTicks(int n, double occupancy) {
+    for (int i = 0; i < n; ++i) Tick(occupancy);
+  }
+
+  std::uint32_t producers() const { return producers_; }
+  PidAutotuner& tuner() { return tuner_; }
+
+ private:
+  PidAutotuner tuner_;
+  StageStatsSnapshot stats_;
+  std::uint32_t producers_ = 1;
+  std::size_t capacity_;
+};
+
+TEST(PidAutotunerTest, FirstTickPublishesInitialKnobs) {
+  PidAutotuner tuner(FastOptions());
+  StageStatsSnapshot s;
+  const auto knobs = tuner.Tick(s);
+  EXPECT_TRUE(knobs.producers.has_value());
+  EXPECT_TRUE(knobs.buffer_capacity.has_value());
+}
+
+TEST(PidAutotunerTest, EmptyBufferScalesUp) {
+  ScriptedStage stage(FastOptions());
+  stage.RunTicks(100, /*occupancy=*/0.0);  // forever below setpoint
+  EXPECT_GT(stage.producers(), 4u);
+}
+
+TEST(PidAutotunerTest, FullBufferScalesDown) {
+  ScriptedStage stage(FastOptions());
+  stage.RunTicks(60, 0.0);  // wind up first
+  const auto peak = stage.producers();
+  stage.RunTicks(200, 1.0);  // buffer saturated: decay
+  EXPECT_LT(stage.producers(), peak);
+  EXPECT_LE(stage.producers(), 2u);
+}
+
+TEST(PidAutotunerTest, HoldsAtSetpoint) {
+  ScriptedStage stage(FastOptions());
+  stage.RunTicks(40, 0.2);
+  const auto before = stage.producers();
+  stage.RunTicks(40, 0.5);  // exactly at setpoint: no drive
+  // Velocity form: zero error -> zero integral contribution; at most the
+  // one-period derivative kick.
+  EXPECT_NEAR(static_cast<double>(stage.producers()),
+              static_cast<double>(before), 3.0);
+}
+
+TEST(PidAutotunerTest, ClampsToBounds) {
+  PidAutotunerOptions o = FastOptions();
+  o.max_producers = 6;
+  ScriptedStage stage(o);
+  stage.RunTicks(300, 0.0);
+  EXPECT_LE(stage.producers(), 6u);
+  stage.RunTicks(300, 1.0);
+  EXPECT_GE(stage.producers(), o.min_producers);
+}
+
+TEST(PidAutotunerTest, IdleTicksIgnored) {
+  PidAutotuner tuner(FastOptions());
+  StageStatsSnapshot s;
+  (void)tuner.Tick(s);
+  for (int i = 0; i < 20; ++i) {
+    const auto knobs = tuner.Tick(s);  // no progress
+    EXPECT_FALSE(knobs.producers.has_value());
+  }
+}
+
+TEST(PidAutotunerTest, ResetRestoresInitialState) {
+  ScriptedStage stage(FastOptions());
+  stage.RunTicks(100, 0.0);
+  ASSERT_GT(stage.tuner().CurrentProducers(), 1u);
+  stage.tuner().Reset();
+  EXPECT_EQ(stage.tuner().CurrentProducers(), 1u);
+}
+
+TEST(PidAutotunePolicyTest, WrapsTuner) {
+  PidAutotunePolicy policy(FastOptions());
+  EXPECT_EQ(policy.Name(), "pid-occupancy");
+  StageStatsSnapshot s;
+  const auto knobs = policy.Tick(s);
+  EXPECT_TRUE(knobs.producers.has_value());
+}
+
+// --- the §V.A contrast inside the DES pipeline -------------------------------------
+
+TEST(ControlAlgorithmContrastTest, PidOverProvisionsWherePrismaHolds) {
+  baselines::ExperimentConfig cfg;
+  cfg.global_batch = 256;
+  cfg.epochs = 3;
+  cfg.scale = 400;
+  cfg.seed = 5;
+  // Give the PID enough decision periods at this reduced scale to reach
+  // its steady state (its wind-up rate is per period, not per sample).
+  cfg.pid_tuner.period_min_inserts = 200;
+
+  const auto prisma = baselines::RunPrismaTf(cfg);
+  cfg.control_algorithm =
+      baselines::ExperimentConfig::ControlAlgorithm::kPidOccupancy;
+  const auto pid = baselines::RunPrismaTf(cfg);
+
+  // Both finish the workload...
+  EXPECT_EQ(prisma.samples_trained, pid.samples_trained);
+  // ...at broadly similar speed...
+  EXPECT_NEAR(pid.elapsed_s, prisma.elapsed_s, prisma.elapsed_s * 0.35);
+  // ...but the PID cannot detect the device plateau from occupancy and
+  // allocates far more threads than the probing tuner.
+  EXPECT_GE(pid.max_producers_seen, prisma.max_producers_seen * 2);
+}
+
+}  // namespace
+}  // namespace prisma::controlplane

@@ -1,0 +1,280 @@
+// DES pipeline model tests (the Fig. 2-4 engines): determinism, sample
+// accounting, the paper's qualitative orderings at reduced scale, and
+// autotuner behaviour inside the pipelines.
+#include <gtest/gtest.h>
+
+#include "baselines/experiment.hpp"
+
+namespace prisma::baselines {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.model = sim::ModelProfile::LeNet();
+  cfg.global_batch = 256;
+  cfg.epochs = 2;
+  cfg.scale = 2000;  // ~640 train files per epoch: fast tests
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(DatasetHelpersTest, MakeDatasetScales) {
+  auto cfg = SmallConfig();
+  const auto ds = MakeDataset(cfg);
+  EXPECT_EQ(ds.train.NumFiles(), 1'281'167u / 2000);
+  EXPECT_EQ(ds.validation.NumFiles(), 50'000u / 2000);
+  const auto sizes = BuildSizeMap(ds);
+  EXPECT_EQ(sizes.size(), ds.train.NumFiles() + ds.validation.NumFiles());
+}
+
+TEST(PipelinesTest, TfBaselineTrainsAllSamples) {
+  auto cfg = SmallConfig();
+  const auto r = RunTfBaseline(cfg);
+  const auto ds = MakeDataset(cfg);
+  EXPECT_EQ(r.samples_trained, cfg.epochs * ds.train.NumFiles());
+  EXPECT_GT(r.elapsed_s, 0.0);
+  EXPECT_GT(r.events, 0u);
+}
+
+TEST(PipelinesTest, TfOptimizedTrainsAllSamples) {
+  auto cfg = SmallConfig();
+  const auto r = RunTfOptimized(cfg);
+  const auto ds = MakeDataset(cfg);
+  EXPECT_EQ(r.samples_trained, cfg.epochs * ds.train.NumFiles());
+}
+
+TEST(PipelinesTest, PrismaTfTrainsAllSamples) {
+  auto cfg = SmallConfig();
+  const auto r = RunPrismaTf(cfg);
+  const auto ds = MakeDataset(cfg);
+  EXPECT_EQ(r.samples_trained, cfg.epochs * ds.train.NumFiles());
+  EXPECT_GE(r.final_producers, 1u);
+  EXPECT_LE(r.final_producers, cfg.prisma_tuner.max_producers);
+}
+
+TEST(PipelinesTest, TorchTrainsAllSamplesAllWorkerCounts) {
+  auto cfg = SmallConfig();
+  const auto ds = MakeDataset(cfg);
+  for (const std::size_t w : {0u, 1u, 2u, 4u}) {
+    const auto r = RunTorch(cfg, w);
+    EXPECT_EQ(r.samples_trained, cfg.epochs * ds.train.NumFiles())
+        << "workers=" << w;
+  }
+}
+
+TEST(PipelinesTest, PrismaTorchTrainsAllSamples) {
+  auto cfg = SmallConfig();
+  const auto ds = MakeDataset(cfg);
+  for (const std::size_t w : {0u, 2u}) {
+    const auto r = RunPrismaTorch(cfg, w);
+    EXPECT_EQ(r.samples_trained, cfg.epochs * ds.train.NumFiles())
+        << "workers=" << w;
+  }
+}
+
+TEST(PipelinesTest, DeterministicPerSeed) {
+  auto cfg = SmallConfig();
+  const auto a = RunPrismaTf(cfg);
+  const auto b = RunPrismaTf(cfg);
+  EXPECT_DOUBLE_EQ(a.elapsed_s, b.elapsed_s);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.final_producers, b.final_producers);
+
+  cfg.seed = 2;
+  const auto c = RunPrismaTf(cfg);
+  EXPECT_NE(a.elapsed_s, c.elapsed_s);  // different shuffle + jitter
+}
+
+TEST(PipelinesTest, BaselineSlowerThanOptimizedOnIoBoundModel) {
+  // The paper's headline (Fig. 2, LeNet): optimized setups cut training
+  // time by ~half or more vs the single-threaded baseline.
+  auto cfg = SmallConfig();
+  cfg.scale = 500;
+  const auto base = RunTfBaseline(cfg);
+  const auto opt = RunTfOptimized(cfg);
+  const auto prisma = RunPrismaTf(cfg);
+  EXPECT_LT(opt.full_scale_estimate_s, base.full_scale_estimate_s * 0.7);
+  EXPECT_LT(prisma.full_scale_estimate_s, base.full_scale_estimate_s * 0.8);
+}
+
+TEST(PipelinesTest, ComputeBoundModelUnaffected) {
+  // Fig. 2, ResNet-50: "PRISMA has no impact on training time".
+  auto cfg = SmallConfig();
+  cfg.model = sim::ModelProfile::ResNet50();
+  cfg.scale = 2000;
+  const auto base = RunTfBaseline(cfg);
+  const auto opt = RunTfOptimized(cfg);
+  const auto prisma = RunPrismaTf(cfg);
+  EXPECT_NEAR(opt.elapsed_s, base.elapsed_s, base.elapsed_s * 0.05);
+  EXPECT_NEAR(prisma.elapsed_s, base.elapsed_s, base.elapsed_s * 0.05);
+}
+
+TEST(PipelinesTest, PrismaBeatsLowWorkerTorch) {
+  // Fig. 4: PRISMA outperforms PyTorch with 0 and 2 workers.
+  auto cfg = SmallConfig();
+  cfg.scale = 500;
+  const auto torch0 = RunTorch(cfg, 0);
+  const auto torch2 = RunTorch(cfg, 2);
+  const auto prisma = RunPrismaTorch(cfg, 2);
+  EXPECT_LT(prisma.full_scale_estimate_s, torch0.full_scale_estimate_s);
+  EXPECT_LT(prisma.full_scale_estimate_s, torch2.full_scale_estimate_s);
+}
+
+TEST(PipelinesTest, PrismaTorchFlatAcrossWorkerCounts) {
+  // Fig. 4: "PRISMA performs similarly for different combinations of
+  // PyTorch workers" — the auto-tuner removes the worker-count knob.
+  auto cfg = SmallConfig();
+  cfg.scale = 500;
+  const auto p0 = RunPrismaTorch(cfg, 0);
+  const auto p4 = RunPrismaTorch(cfg, 4);
+  const auto p8 = RunPrismaTorch(cfg, 8);
+  const double lo = std::min({p0.full_scale_estimate_s, p4.full_scale_estimate_s, p8.full_scale_estimate_s});
+  const double hi = std::max({p0.full_scale_estimate_s, p4.full_scale_estimate_s, p8.full_scale_estimate_s});
+  EXPECT_LT((hi - lo) / lo, 0.30);
+}
+
+TEST(PipelinesTest, TorchImprovesWithWorkers) {
+  auto cfg = SmallConfig();
+  cfg.scale = 500;
+  const auto w0 = RunTorch(cfg, 0);
+  const auto w4 = RunTorch(cfg, 4);
+  EXPECT_LT(w4.full_scale_estimate_s, w0.full_scale_estimate_s);
+}
+
+TEST(PipelinesTest, PrismaAutotunerStaysNearDeviceKnee) {
+  // Fig. 3: PRISMA uses at most ~4 concurrent threads on the NVMe
+  // profile while TF-optimized allocates its whole 30-thread pool.
+  auto cfg = SmallConfig();
+  cfg.scale = 200;
+  cfg.epochs = 3;
+  const auto prisma = RunPrismaTf(cfg);
+  EXPECT_LE(prisma.max_producers_seen, 6u);
+  const auto opt = RunTfOptimized(cfg);
+  EXPECT_EQ(opt.reader_timeline.MaxValue(), 30);
+  EXPECT_LT(prisma.reader_timeline.MaxValue(),
+            opt.reader_timeline.MaxValue() / 2);
+}
+
+TEST(PipelinesTest, ValidationTogglesAffectTime) {
+  auto cfg = SmallConfig();
+  cfg.scale = 1000;
+  const auto with_val = RunPrismaTf(cfg);
+  cfg.run_validation = false;
+  const auto without_val = RunPrismaTf(cfg);
+  EXPECT_LT(without_val.elapsed_s, with_val.elapsed_s);
+}
+
+TEST(PipelinesTest, FullScaleEstimateExcludesFixedOverheads) {
+  auto cfg = SmallConfig();
+  const auto r = RunTfBaseline(cfg);
+  EXPECT_NEAR(r.fixed_overhead_s, ToSeconds(cfg.costs.framework_startup), 1e-9);
+  const double expected = (r.elapsed_s - r.fixed_overhead_s) * cfg.scale +
+                          r.fixed_overhead_s;
+  EXPECT_DOUBLE_EQ(r.full_scale_estimate_s, expected);
+}
+
+TEST(PipelinesTest, TorchWorkerSpawnCountsAsFixedOverhead) {
+  auto cfg = SmallConfig();
+  const auto w0 = RunTorch(cfg, 0);
+  const auto w2 = RunTorch(cfg, 2);
+  EXPECT_GT(w2.fixed_overhead_s, w0.fixed_overhead_s);
+}
+
+TEST(PipelinesTest, ReaderTimelineCoversRun) {
+  auto cfg = SmallConfig();
+  const auto r = RunTfBaseline(cfg);
+  EXPECT_NEAR(ToSeconds(r.reader_timeline.TotalTime()), r.elapsed_s,
+              r.elapsed_s * 0.02);
+  EXPECT_EQ(r.reader_timeline.MaxValue(), 1);  // single-threaded loader
+}
+
+TEST(PipelinesTest, LargerBatchHelpsOptimizedSetups) {
+  // §V.A: "Contrary to TF baseline, PRISMA and TF optimized improve
+  // training performance with larger batch sizes."
+  auto cfg = SmallConfig();
+  cfg.scale = 500;
+  cfg.global_batch = 64;
+  const auto opt64 = RunTfOptimized(cfg);
+  const auto base64 = RunTfBaseline(cfg);
+  cfg.global_batch = 256;
+  const auto opt256 = RunTfOptimized(cfg);
+  const auto base256 = RunTfBaseline(cfg);
+  EXPECT_LT(opt256.full_scale_estimate_s, opt64.full_scale_estimate_s);
+  // Baseline is storage-bound: batch size barely matters.
+  EXPECT_NEAR(base256.full_scale_estimate_s, base64.full_scale_estimate_s,
+              base64.full_scale_estimate_s * 0.1);
+}
+
+// --- conservation property sweep -------------------------------------------------
+// For every pipeline and a grid of configurations: exactly
+// epochs * train_files samples are trained, the run terminates (no
+// deadlock in the coroutine plumbing), and elapsed time is positive and
+// finite. This is the invariant that caught the buffer-handoff deadlock.
+
+struct SweepCase {
+  const char* pipeline;
+  const char* model;
+  std::size_t batch;
+  std::size_t scale;
+  std::size_t workers;
+};
+
+class PipelineSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineSweepTest, ConservesSamplesAndTerminates) {
+  const auto& p = GetParam();
+  ExperimentConfig cfg;
+  if (std::string(p.model) == "alexnet") {
+    cfg.model = sim::ModelProfile::AlexNet();
+  } else if (std::string(p.model) == "resnet50") {
+    cfg.model = sim::ModelProfile::ResNet50();
+  }
+  cfg.global_batch = p.batch;
+  cfg.epochs = 2;
+  cfg.scale = p.scale;
+  cfg.seed = 3;
+
+  RunResult r;
+  const std::string pipeline = p.pipeline;
+  if (pipeline == "tf_baseline") {
+    r = RunTfBaseline(cfg);
+  } else if (pipeline == "tf_optimized") {
+    r = RunTfOptimized(cfg);
+  } else if (pipeline == "prisma_tf") {
+    r = RunPrismaTf(cfg);
+  } else if (pipeline == "torch") {
+    r = RunTorch(cfg, p.workers);
+  } else {
+    r = RunPrismaTorch(cfg, p.workers);
+  }
+
+  const auto ds = MakeDataset(cfg);
+  EXPECT_EQ(r.samples_trained, cfg.epochs * ds.train.NumFiles());
+  EXPECT_GT(r.elapsed_s, 0.0);
+  EXPECT_LT(r.elapsed_s, 1e7);
+  EXPECT_GT(r.events, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineSweepTest,
+    ::testing::Values(
+        SweepCase{"tf_baseline", "lenet", 64, 2000, 0},
+        SweepCase{"tf_baseline", "resnet50", 256, 4000, 0},
+        SweepCase{"tf_optimized", "lenet", 37, 2000, 0},   // odd batch
+        SweepCase{"tf_optimized", "alexnet", 256, 2000, 0},
+        SweepCase{"prisma_tf", "lenet", 64, 2000, 0},
+        SweepCase{"prisma_tf", "lenet", 1, 8000, 0},       // batch of 1
+        SweepCase{"prisma_tf", "resnet50", 256, 4000, 0},
+        SweepCase{"torch", "lenet", 256, 2000, 1},
+        SweepCase{"torch", "alexnet", 100, 2000, 3},       // odd divisor
+        SweepCase{"prisma_torch", "lenet", 256, 2000, 1},
+        SweepCase{"prisma_torch", "lenet", 64, 2000, 5},
+        SweepCase{"prisma_torch", "alexnet", 256, 2000, 8}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.pipeline) + "_" + info.param.model +
+             "_b" + std::to_string(info.param.batch) + "_w" +
+             std::to_string(info.param.workers);
+    });
+
+}  // namespace
+}  // namespace prisma::baselines

@@ -1,0 +1,271 @@
+// Concurrency-primitive tests: BoundedQueue (blocking semantics, close,
+// live capacity changes), SpscRing, and ThreadPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "common/spsc_ring.hpp"
+#include "common/thread_pool.hpp"
+
+namespace prisma {
+namespace {
+
+// --- BoundedQueue ---------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.Push(i).ok());
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1).ok());
+  EXPECT_TRUE(q.TryPush(2).ok());
+  EXPECT_EQ(q.TryPush(3).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, UnboundedNeverFull) {
+  BoundedQueue<int> q(0);
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(q.TryPush(i).ok());
+  EXPECT_EQ(q.size(), 10000u);
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1).ok());
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    ASSERT_TRUE(q.Push(2).ok());
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 1);
+  t.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> q;
+  std::atomic<int> got{-1};
+  std::thread t([&] { got = q.Pop().value_or(-2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), -1);
+  ASSERT_TRUE(q.Push(7).ok());
+  t.join();
+  EXPECT_EQ(got.load(), 7);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+  BoundedQueue<int> q;
+  ASSERT_TRUE(q.Push(1).ok());
+  ASSERT_TRUE(q.Push(2).ok());
+  q.Close();
+  EXPECT_EQ(q.Push(3).code(), StatusCode::kAborted);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPoppers) {
+  BoundedQueue<int> q;
+  std::thread t([&] { EXPECT_FALSE(q.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  t.join();
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPushers) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1).ok());
+  std::thread t([&] { EXPECT_EQ(q.Push(2).code(), StatusCode::kAborted); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  t.join();
+}
+
+TEST(BoundedQueueTest, ReopenAfterClose) {
+  BoundedQueue<int> q;
+  q.Close();
+  q.Reopen();
+  EXPECT_TRUE(q.Push(4).ok());
+  EXPECT_EQ(*q.Pop(), 4);
+}
+
+TEST(BoundedQueueTest, PopForTimesOut) {
+  BoundedQueue<int> q;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.PopFor(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(25));
+}
+
+TEST(BoundedQueueTest, PopForReturnsItem) {
+  BoundedQueue<int> q;
+  ASSERT_TRUE(q.Push(5).ok());
+  EXPECT_EQ(q.PopFor(std::chrono::milliseconds(50)).value_or(-1), 5);
+}
+
+TEST(BoundedQueueTest, GrowingCapacityUnblocksPushers) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1).ok());
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    ASSERT_TRUE(q.Push(2).ok());
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());
+  q.SetCapacity(4);
+  t.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueueTest, ShrinkingCapacityKeepsItems) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.Push(i).ok());
+  q.SetCapacity(1);
+  EXPECT_EQ(q.size(), 4u);  // never discards
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(*q.Pop(), i);
+}
+
+TEST(BoundedQueueTest, MpmcStressPreservesAllItems) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 2000;
+  BoundedQueue<int> q(64);
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i).ok());
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        ++count;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
+}
+
+// --- SpscRing ----------------------------------------------------------------------
+
+TEST(SpscRingTest, CapacityRoundsUp) {
+  SpscRing<int> r(5);
+  EXPECT_GE(r.Capacity(), 5u);
+}
+
+TEST(SpscRingTest, FifoOrderAndFull) {
+  SpscRing<int> r(4);
+  const std::size_t cap = r.Capacity();
+  for (std::size_t i = 0; i < cap; ++i) ASSERT_TRUE(r.TryPush(static_cast<int>(i)));
+  EXPECT_FALSE(r.TryPush(999));
+  for (std::size_t i = 0; i < cap; ++i) {
+    auto v = r.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, static_cast<int>(i));
+  }
+  EXPECT_FALSE(r.TryPop().has_value());
+}
+
+TEST(SpscRingTest, SizeTracking) {
+  SpscRing<int> r(8);
+  EXPECT_TRUE(r.Empty());
+  r.TryPush(1);
+  r.TryPush(2);
+  EXPECT_EQ(r.Size(), 2u);
+  r.TryPop();
+  EXPECT_EQ(r.Size(), 1u);
+}
+
+TEST(SpscRingTest, TwoThreadStressNoLossNoReorder) {
+  SpscRing<int> r(128);
+  constexpr int kItems = 200000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems;) {
+      if (r.TryPush(i)) ++i;
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    if (auto v = r.TryPop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(r.Empty());
+}
+
+// --- ThreadPool ----------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, ParallelExecution) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0}, peak{0};
+  std::vector<std::future<void>> fs;
+  for (int i = 0; i < 8; ++i) {
+    fs.push_back(pool.Submit([&] {
+      const int now = ++concurrent;
+      int old = peak.load();
+      while (now > old && !peak.compare_exchange_weak(old, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      --concurrent;
+    }));
+  }
+  for (auto& f : fs) f.get();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndRunsPending) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> fs;
+  for (int i = 0; i < 16; ++i) fs.push_back(pool.Submit([&] { ++ran; }));
+  pool.Shutdown();
+  pool.Shutdown();
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInline) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  auto f = pool.Submit([] { return 5; });
+  EXPECT_EQ(f.get(), 5);
+}
+
+}  // namespace
+}  // namespace prisma

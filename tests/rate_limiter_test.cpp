@@ -1,0 +1,242 @@
+// Token-bucket QoS: clock-injected bucket math (ManualClock) and the
+// sleeping RateLimitedBackend decorator.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "controlplane/controller.hpp"
+#include "dataplane/prefetch_object.hpp"
+#include "storage/rate_limiter.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::storage {
+namespace {
+
+TEST(TokenBucketTest, BurstIsFree) {
+  auto clock = std::make_shared<ManualClock>();
+  TokenBucket bucket(/*rate_bps=*/1000.0, /*burst=*/500, clock);
+  EXPECT_EQ(bucket.Reserve(200), Nanos{0});
+  EXPECT_EQ(bucket.Reserve(300), Nanos{0});  // exactly drains the burst
+}
+
+TEST(TokenBucketTest, DebtComputesWait) {
+  auto clock = std::make_shared<ManualClock>();
+  TokenBucket bucket(1000.0, 500, clock);
+  ASSERT_EQ(bucket.Reserve(500), Nanos{0});
+  // 1000 more bytes at 1000 B/s -> 1 second of debt.
+  const Nanos wait = bucket.Reserve(1000);
+  EXPECT_NEAR(ToSeconds(wait), 1.0, 1e-9);
+}
+
+TEST(TokenBucketTest, RefillOverTime) {
+  auto clock = std::make_shared<ManualClock>();
+  TokenBucket bucket(1000.0, 1000, clock);
+  ASSERT_EQ(bucket.Reserve(1000), Nanos{0});
+  EXPECT_EQ(bucket.AvailableBytes(), 0u);
+  clock->Advance(Millis{500});  // +500 tokens
+  EXPECT_NEAR(static_cast<double>(bucket.AvailableBytes()), 500.0, 1.0);
+  EXPECT_EQ(bucket.Reserve(400), Nanos{0});
+}
+
+TEST(TokenBucketTest, TokensCapAtBurst) {
+  auto clock = std::make_shared<ManualClock>();
+  TokenBucket bucket(1e6, 1000, clock);
+  clock->Advance(Seconds{100});  // massive idle time
+  EXPECT_EQ(bucket.AvailableBytes(), 1000u);
+}
+
+TEST(TokenBucketTest, QueuedCallersAccumulateDebt) {
+  auto clock = std::make_shared<ManualClock>();
+  TokenBucket bucket(1000.0, 0, clock);  // burst clamps to 1
+  const Nanos w1 = bucket.Reserve(1000);
+  const Nanos w2 = bucket.Reserve(1000);
+  EXPECT_GT(w2, w1);  // second caller waits behind the first's debt
+  EXPECT_NEAR(ToSeconds(w2) - ToSeconds(w1), 1.0, 1e-3);
+}
+
+TEST(TokenBucketTest, SetRateTakesEffect) {
+  auto clock = std::make_shared<ManualClock>();
+  TokenBucket bucket(1000.0, 1, clock);
+  (void)bucket.Reserve(1);  // drain
+  bucket.SetRate(1e6);
+  const Nanos wait = bucket.Reserve(1000);
+  EXPECT_LT(ToSeconds(wait), 0.01);  // 1000 B at 1 MB/s ~ 1 ms
+}
+
+TEST(TokenBucketTest, SteadyStateRateProperty) {
+  // Property: cumulative wait for N requests of b bytes converges to
+  // N*b/rate regardless of interleaving.
+  auto clock = std::make_shared<ManualClock>();
+  TokenBucket bucket(10'000.0, 1000, clock);
+  constexpr int kRequests = 50;
+  constexpr std::uint64_t kBytes = 2000;
+  for (int i = 0; i < kRequests; ++i) {
+    // The caller sleeps out its debt; emulate real time passing.
+    clock->Advance(bucket.Reserve(kBytes));
+  }
+  // Total virtual time ~ (bytes - burst) / rate.
+  const double expected = (kRequests * kBytes - 1000.0) / 10'000.0;
+  EXPECT_NEAR(ToSeconds(clock->Now()), expected, 0.05);
+}
+
+TEST(RateLimitedBackendTest, PassesDataThrough) {
+  SyntheticBackendOptions o;
+  o.profile = DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  auto inner = std::make_shared<SyntheticBackend>(o);
+  std::vector<std::byte> payload(256, std::byte{7});
+  ASSERT_TRUE(inner->Write("f", payload).ok());
+
+  RateLimitedBackend limited(inner, /*rate=*/1e9, /*burst=*/1 << 20,
+                             SteadyClock::Shared());
+  auto data = limited.ReadAll("f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, payload);
+  EXPECT_EQ(*limited.FileSize("f"), 256u);
+}
+
+TEST(RateLimitedBackendTest, ThrottlesSustainedReads) {
+  SyntheticBackendOptions o;
+  o.profile = DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  auto inner = std::make_shared<SyntheticBackend>(o);
+  std::vector<std::byte> payload(10 * 1024);
+  ASSERT_TRUE(inner->Write("f", payload).ok());
+
+  // 1 MiB/s with a 10 KiB burst: reading 50 KiB must take ~40 ms+.
+  RateLimitedBackend limited(inner, 1024.0 * 1024.0, 10 * 1024,
+                             SteadyClock::Shared());
+  std::vector<std::byte> buf(10 * 1024);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(limited.Read("f", 0, buf).ok());
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GT(secs, 0.030);
+  EXPECT_LT(secs, 0.30);
+}
+
+TEST(RateLimitedBackendTest, WritesUnthrottled) {
+  SyntheticBackendOptions o;
+  o.profile = DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  auto inner = std::make_shared<SyntheticBackend>(o);
+  RateLimitedBackend limited(inner, 1.0, 1, SteadyClock::Shared());  // ~0 B/s
+  std::vector<std::byte> payload(4096);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(limited.Write("w", payload).ok());
+  EXPECT_LT(std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count(),
+            0.1);
+}
+
+}  // namespace
+}  // namespace prisma::storage
+
+// --- QoS through the data plane / control plane -----------------------------
+
+namespace prisma {
+namespace {
+
+std::shared_ptr<storage::SyntheticBackend> QosBackend(std::size_t files,
+                                                      std::uint64_t size) {
+  storage::SyntheticBackendOptions o;
+  o.profile = storage::DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  auto backend = std::make_shared<storage::SyntheticBackend>(o);
+  for (std::size_t i = 0; i < files; ++i) {
+    (void)backend->Write("q" + std::to_string(i),
+                         std::vector<std::byte>(size));
+  }
+  return backend;
+}
+
+TEST(PrefetchQosTest, RateKnobThrottlesProducers) {
+  auto backend = QosBackend(40, 10 * 1024);
+
+  dataplane::PrefetchOptions po;
+  po.initial_producers = 4;
+  po.max_producers = 4;
+  po.buffer_capacity = 64;
+  po.read_rate_bps = 1024.0 * 1024.0;  // 1 MiB/s
+  po.rate_burst_bytes = 10 * 1024;     // one file of burst
+  dataplane::PrefetchObject object(backend, po, SteadyClock::Shared());
+  ASSERT_TRUE(object.Start().ok());
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 20; ++i) names.push_back("q" + std::to_string(i));
+  ASSERT_TRUE(object.BeginEpoch(0, names).ok());
+
+  // 20 x 10 KiB = 200 KiB at 1 MiB/s with 10 KiB burst -> >= ~180 ms.
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& name : names) {
+    std::vector<std::byte> buf(10 * 1024);
+    ASSERT_TRUE(object.Read(name, 0, buf).ok());
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  object.Stop();
+  EXPECT_GT(secs, 0.12);
+}
+
+TEST(PrefetchQosTest, LiftingTheLimitRestoresSpeed) {
+  auto backend = QosBackend(40, 10 * 1024);
+  dataplane::PrefetchOptions po;
+  po.initial_producers = 2;
+  po.buffer_capacity = 64;
+  po.read_rate_bps = 64.0 * 1024.0;  // crawl
+  dataplane::PrefetchObject object(backend, po, SteadyClock::Shared());
+  ASSERT_TRUE(object.Start().ok());
+
+  dataplane::StageKnobs knobs;
+  knobs.read_rate_bps = 0.0;  // lift
+  ASSERT_TRUE(object.ApplyKnobs(knobs).ok());
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 20; ++i) names.push_back("q" + std::to_string(i));
+  ASSERT_TRUE(object.BeginEpoch(0, names).ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& name : names) {
+    std::vector<std::byte> buf(10 * 1024);
+    ASSERT_TRUE(object.Read(name, 0, buf).ok());
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  object.Stop();
+  EXPECT_LT(secs, 0.5);  // would be >3 s at 64 KiB/s
+}
+
+TEST(PrefetchQosTest, QosPolicyPinsRateThroughController) {
+  auto backend = QosBackend(4, 1024);
+  dataplane::PrefetchOptions po;
+  po.initial_producers = 1;
+  auto object = std::make_shared<dataplane::PrefetchObject>(
+      backend, po, SteadyClock::Shared());
+  auto stage = std::make_shared<dataplane::Stage>(
+      dataplane::StageInfo{"qos-job", "any", 0}, object);
+  ASSERT_TRUE(stage->Start().ok());
+
+  controlplane::Controller controller(
+      "ctrl", controlplane::ControllerOptions{},
+      [] {
+        dataplane::StageKnobs fixed;
+        fixed.producers = 2;
+        return std::make_unique<controlplane::QosPolicy>(
+            std::make_unique<controlplane::FixedKnobsPolicy>(fixed),
+            /*read_rate_bps=*/5.0e6);
+      },
+      SteadyClock::Shared());
+  ASSERT_TRUE(controller.Attach(stage).ok());
+  controller.TickOnce();
+  // The knob path is exercised end-to-end; producers knob flowed too.
+  EXPECT_EQ(stage->CollectStats().producers, 2u);
+  stage->Stop();
+}
+
+}  // namespace
+}  // namespace prisma

@@ -1,0 +1,251 @@
+// Record-shard container format: CRC32 vectors, write/read round trips,
+// corruption detection, sharding behaviour, and the ShardedBackend
+// serving the original namespace (including through a prefetch stage).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/crc32.hpp"
+#include "dataplane/prefetch_object.hpp"
+#include "storage/record_format.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::storage {
+namespace {
+
+std::vector<std::byte> Bytes(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::shared_ptr<SyntheticBackend> InstantBackend() {
+  SyntheticBackendOptions o;
+  o.profile = DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  return std::make_shared<SyntheticBackend>(o);
+}
+
+// --- CRC32 --------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard test vector: CRC-32("123456789") == 0xCBF43926.
+  const auto v = Bytes("123456789");
+  EXPECT_EQ(Crc32(v), 0xCBF43926u);
+  EXPECT_EQ(Crc32({}), 0u);
+  EXPECT_EQ(Crc32(Bytes("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, ChunkedEqualsWhole) {
+  const auto whole = Bytes("the quick brown fox jumps over the lazy dog");
+  const std::uint32_t full = Crc32(whole);
+  const std::span<const std::byte> s(whole);
+  for (const std::size_t split : {1ul, 7ul, 20ul, whole.size() - 1}) {
+    const std::uint32_t part = Crc32(s.subspan(split), Crc32(s.subspan(0, split)));
+    EXPECT_EQ(part, full) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  auto data = Bytes("some payload worth protecting");
+  const std::uint32_t clean = Crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= std::byte{1};
+    EXPECT_NE(Crc32(data), clean) << "flip at " << i;
+    data[i] ^= std::byte{1};
+  }
+}
+
+// --- writer / reader round trip ---------------------------------------------------
+
+TEST(RecordFormatTest, RoundTripSingleShard) {
+  auto backend = InstantBackend();
+  RecordShardWriter writer(*backend, "shards/train-", 1ull << 30);
+  ASSERT_TRUE(writer.Append("a.jpg", Bytes("alpha")).ok());
+  ASSERT_TRUE(writer.Append("b.jpg", Bytes("bravo-bravo")).ok());
+  auto index = writer.Finish();
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumRecords(), 2u);
+  ASSERT_EQ(index->shards().size(), 1u);
+
+  auto records = ReadShard(*backend, index->shards()[0]);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].first, "a.jpg");
+  EXPECT_EQ((*records)[0].second, Bytes("alpha"));
+  EXPECT_EQ((*records)[1].first, "b.jpg");
+  EXPECT_EQ((*records)[1].second, Bytes("bravo-bravo"));
+}
+
+TEST(RecordFormatTest, RollsShardsAtTarget) {
+  auto backend = InstantBackend();
+  RecordShardWriter writer(*backend, "s-", 8192);  // clamp floor is 4096
+  const std::vector<std::byte> payload(3000);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.Append("f" + std::to_string(i), payload).ok());
+  }
+  auto index = writer.Finish();
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(index->shards().size(), 2u);
+  EXPECT_EQ(index->NumRecords(), 10u);
+  // Every shard decodes cleanly.
+  std::size_t total = 0;
+  for (const auto& shard : index->shards()) {
+    auto records = ReadShard(*backend, shard);
+    ASSERT_TRUE(records.ok());
+    total += records->size();
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(RecordFormatTest, AppendAfterFinishFails) {
+  auto backend = InstantBackend();
+  RecordShardWriter writer(*backend, "s-", 1 << 20);
+  ASSERT_TRUE(writer.Append("x", Bytes("1")).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.Append("y", Bytes("2")).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer.Finish().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RecordFormatTest, EmptyFinishHasNoShards) {
+  auto backend = InstantBackend();
+  RecordShardWriter writer(*backend, "s-", 1 << 20);
+  auto index = writer.Finish();
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumRecords(), 0u);
+  EXPECT_TRUE(index->shards().empty());
+}
+
+// --- corruption detection ----------------------------------------------------------
+
+class RecordCorruptionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RecordCorruptionTest, FlippedByteIsDetected) {
+  auto backend = InstantBackend();
+  RecordShardWriter writer(*backend, "c-", 1 << 20);
+  ASSERT_TRUE(writer.Append("sample.jpg", Bytes("payload-under-test")).ok());
+  auto index = writer.Finish();
+  ASSERT_TRUE(index.ok());
+
+  auto raw = backend->ReadAll(index->shards()[0]);
+  ASSERT_TRUE(raw.ok());
+  const std::size_t pos = 8 + GetParam();  // past the magic
+  ASSERT_LT(pos, raw->size());
+  (*raw)[pos] ^= std::byte{0x40};
+  ASSERT_TRUE(backend->Write(index->shards()[0], *raw).ok());
+
+  const auto records = ReadShard(*backend, index->shards()[0]);
+  EXPECT_FALSE(records.ok()) << "corruption at offset " << pos;
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, RecordCorruptionTest,
+                         ::testing::Values(0, 2, 4, 8, 12, 16, 20, 30));
+
+TEST(RecordFormatTest, BadMagicRejected) {
+  auto backend = InstantBackend();
+  ASSERT_TRUE(backend->Write("bogus.rec", Bytes("NOTASHARD")).ok());
+  EXPECT_FALSE(ReadShard(*backend, "bogus.rec").ok());
+}
+
+TEST(RecordFormatTest, TruncatedShardRejected) {
+  auto backend = InstantBackend();
+  RecordShardWriter writer(*backend, "t-", 1 << 20);
+  ASSERT_TRUE(writer.Append("x", Bytes("0123456789")).ok());
+  auto index = writer.Finish();
+  ASSERT_TRUE(index.ok());
+  auto raw = backend->ReadAll(index->shards()[0]);
+  ASSERT_TRUE(raw.ok());
+  raw->resize(raw->size() - 6);  // chop the payload CRC + tail
+  ASSERT_TRUE(backend->Write(index->shards()[0], *raw).ok());
+  EXPECT_FALSE(ReadShard(*backend, index->shards()[0]).ok());
+}
+
+// --- PackCatalog + ShardedBackend ----------------------------------------------------
+
+TEST(ShardedBackendTest, ServesOriginalNamespace) {
+  SyntheticImageNetSpec spec;
+  spec.num_train = 25;
+  spec.num_validation = 1;
+  spec.mean_file_size = 4 * 1024;
+  spec.min_file_size = 512;
+  const auto ds = MakeSyntheticImageNet(spec);
+
+  auto backend = InstantBackend();
+  auto index = PackCatalog(ds.train, *backend, "packed/train-", 64 * 1024);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->NumRecords(), 25u);
+
+  ShardedBackend sharded(backend, *index);
+  for (const auto& f : ds.train.files()) {
+    EXPECT_EQ(*sharded.FileSize(f.name), f.size);
+    auto data = sharded.ReadAll(f.name);
+    ASSERT_TRUE(data.ok()) << f.name;
+    EXPECT_EQ(*data, SyntheticContent::Generate(f.name, f.size)) << f.name;
+  }
+  EXPECT_EQ(sharded.FileSize("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShardedBackendTest, RangeReadsAndEof) {
+  auto backend = InstantBackend();
+  RecordShardWriter writer(*backend, "r-", 1 << 20);
+  ASSERT_TRUE(writer.Append("f", Bytes("0123456789")).ok());
+  auto index = writer.Finish();
+  ASSERT_TRUE(index.ok());
+  ShardedBackend sharded(backend, *index);
+
+  std::vector<std::byte> buf(4);
+  auto n = sharded.Read("f", 3, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  EXPECT_EQ(std::memcmp(buf.data(), "3456", 4), 0);
+  auto eof = sharded.Read("f", 10, buf);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);
+}
+
+TEST(ShardedBackendTest, ImmutableByDesign) {
+  auto backend = InstantBackend();
+  RecordShardWriter writer(*backend, "w-", 1 << 20);
+  ASSERT_TRUE(writer.Append("f", Bytes("x")).ok());
+  auto index = writer.Finish();
+  ASSERT_TRUE(index.ok());
+  ShardedBackend sharded(backend, *index);
+  EXPECT_EQ(sharded.Write("f", Bytes("y")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedBackendTest, PrefetchStageRunsOverShards) {
+  // The stacking claim end-to-end: PRISMA's prefetch object neither
+  // knows nor cares that the "files" live inside shards.
+  SyntheticImageNetSpec spec;
+  spec.num_train = 20;
+  spec.num_validation = 1;
+  spec.mean_file_size = 4 * 1024;
+  spec.min_file_size = 512;
+  const auto ds = MakeSyntheticImageNet(spec);
+
+  auto raw = InstantBackend();
+  auto index = PackCatalog(ds.train, *raw, "pk/", 32 * 1024);
+  ASSERT_TRUE(index.ok());
+  auto sharded = std::make_shared<ShardedBackend>(raw, *index);
+
+  dataplane::PrefetchOptions po;
+  po.initial_producers = 2;
+  po.buffer_capacity = 8;
+  dataplane::PrefetchObject object(sharded, po, SteadyClock::Shared());
+  ASSERT_TRUE(object.Start().ok());
+  const auto names = ds.train.Names();
+  ASSERT_TRUE(object.BeginEpoch(0, names).ok());
+  for (const auto& name : names) {
+    std::vector<std::byte> buf(*ds.train.SizeOf(name));
+    ASSERT_TRUE(object.Read(name, 0, buf).ok());
+    EXPECT_EQ(buf, SyntheticContent::Generate(name, buf.size()));
+  }
+  object.Stop();
+  EXPECT_EQ(object.CollectStats().samples_consumed, names.size());
+}
+
+}  // namespace
+}  // namespace prisma::storage

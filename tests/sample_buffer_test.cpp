@@ -1,0 +1,210 @@
+// SampleBuffer: PRISMA's bounded in-memory buffer with evict-on-consume
+// semantics, capacity blocking, the direct-handoff deadlock fix, and
+// counter accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "dataplane/sample_buffer.hpp"
+
+namespace prisma::dataplane {
+namespace {
+
+Sample MakeSample(const std::string& name, std::size_t bytes = 16) {
+  return Sample{name, std::vector<std::byte>(bytes)};
+}
+
+std::shared_ptr<const Clock> TestClock() { return SteadyClock::Shared(); }
+
+TEST(SampleBufferTest, InsertThenTake) {
+  SampleBuffer buf(4, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("a", 100)).ok());
+  auto s = buf.Take("a");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->name, "a");
+  EXPECT_EQ(s->size(), 100u);
+}
+
+TEST(SampleBufferTest, EvictOnConsume) {
+  // The paper's caching policy: stored on producer read, evicted when the
+  // consumer requests it.
+  SampleBuffer buf(4, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("a")).ok());
+  EXPECT_TRUE(buf.Contains("a"));
+  ASSERT_TRUE(buf.Take("a").ok());
+  EXPECT_FALSE(buf.Contains("a"));
+  EXPECT_EQ(buf.Occupancy(), 0u);
+}
+
+TEST(SampleBufferTest, HitVsWaitCounters) {
+  SampleBuffer buf(4, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("ready")).ok());
+  ASSERT_TRUE(buf.Take("ready").ok());  // hit
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(buf.Insert(MakeSample("late")).ok());
+  });
+  ASSERT_TRUE(buf.Take("late").ok());  // wait
+  producer.join();
+
+  const auto c = buf.GetCounters();
+  EXPECT_EQ(c.consumer_hits, 1u);
+  EXPECT_EQ(c.consumer_waits, 1u);
+  EXPECT_GT(c.consumer_wait_time.count(), 0);
+  EXPECT_EQ(c.inserts, 2u);
+  EXPECT_EQ(c.takes, 2u);
+}
+
+TEST(SampleBufferTest, OccupancyBytes) {
+  SampleBuffer buf(4, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("a", 100)).ok());
+  ASSERT_TRUE(buf.Insert(MakeSample("b", 200)).ok());
+  EXPECT_EQ(buf.OccupancyBytes(), 300u);
+  ASSERT_TRUE(buf.Take("a").ok());
+  EXPECT_EQ(buf.OccupancyBytes(), 200u);
+}
+
+TEST(SampleBufferTest, DuplicateInsertOverwrites) {
+  SampleBuffer buf(4, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("a", 10)).ok());
+  ASSERT_TRUE(buf.Insert(MakeSample("a", 99)).ok());
+  EXPECT_EQ(buf.Occupancy(), 1u);
+  EXPECT_EQ(buf.OccupancyBytes(), 99u);
+  auto s = buf.Take("a");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 99u);
+}
+
+TEST(SampleBufferTest, InsertBlocksWhenFull) {
+  SampleBuffer buf(2, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("a")).ok());
+  ASSERT_TRUE(buf.Insert(MakeSample("b")).ok());
+
+  std::atomic<bool> inserted{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(buf.Insert(MakeSample("c")).ok());
+    inserted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(inserted.load());
+  ASSERT_TRUE(buf.Take("a").ok());  // frees a slot
+  producer.join();
+  EXPECT_TRUE(inserted.load());
+  EXPECT_GE(buf.GetCounters().producer_blocks, 1u);
+}
+
+TEST(SampleBufferTest, DirectHandoffBypassesFullBuffer) {
+  // Regression: a consumer blocked on name X must receive X even when
+  // the buffer is full of other samples; otherwise producer(X) and the
+  // consumer deadlock against each other.
+  SampleBuffer buf(2, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("later1")).ok());
+  ASSERT_TRUE(buf.Insert(MakeSample("later2")).ok());  // buffer now full
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Must not block forever despite the full buffer.
+    ASSERT_TRUE(buf.Insert(MakeSample("wanted")).ok());
+  });
+  auto s = buf.Take("wanted");  // blocks until handoff
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->name, "wanted");
+  producer.join();
+}
+
+TEST(SampleBufferTest, CapacityGrowthUnblocksProducer) {
+  SampleBuffer buf(1, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("a")).ok());
+  std::atomic<bool> inserted{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(buf.Insert(MakeSample("b")).ok());
+    inserted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(inserted.load());
+  buf.SetCapacity(4);
+  producer.join();
+  EXPECT_TRUE(inserted.load());
+  EXPECT_EQ(buf.Capacity(), 4u);
+}
+
+TEST(SampleBufferTest, CloseUnblocksEverybody) {
+  SampleBuffer buf(1, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("a")).ok());
+
+  std::thread blocked_producer([&] {
+    EXPECT_EQ(buf.Insert(MakeSample("b")).code(), StatusCode::kAborted);
+  });
+  std::thread blocked_consumer([&] {
+    EXPECT_EQ(buf.Take("never").status().code(), StatusCode::kAborted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  buf.Close();
+  blocked_producer.join();
+  blocked_consumer.join();
+
+  EXPECT_EQ(buf.Insert(MakeSample("c")).code(), StatusCode::kAborted);
+}
+
+TEST(SampleBufferTest, ReopenAfterClose) {
+  SampleBuffer buf(2, TestClock());
+  buf.Close();
+  buf.Reopen();
+  ASSERT_TRUE(buf.Insert(MakeSample("a")).ok());
+  EXPECT_TRUE(buf.Take("a").ok());
+}
+
+TEST(SampleBufferTest, ZeroCapacityClampedToOne) {
+  SampleBuffer buf(0, TestClock());
+  EXPECT_EQ(buf.Capacity(), 1u);
+  buf.SetCapacity(0);
+  EXPECT_EQ(buf.Capacity(), 1u);
+}
+
+class SampleBufferStressTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SampleBufferStressTest, ProducersAndConsumerAgree) {
+  // Property: with P producers racing over a shared FIFO of names and one
+  // consumer taking in order, every sample is delivered exactly once and
+  // the buffer drains to empty. Exercises blocking, handoff, and eviction
+  // under real thread interleavings.
+  const std::size_t capacity = GetParam();
+  constexpr int kFiles = 400;
+  constexpr int kProducers = 4;
+  SampleBuffer buf(capacity, TestClock());
+
+  std::atomic<int> next_index{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (;;) {
+        const int i = next_index.fetch_add(1);
+        if (i >= kFiles) break;
+        ASSERT_TRUE(
+            buf.Insert(MakeSample("f" + std::to_string(i), 8 + i % 32)).ok());
+      }
+    });
+  }
+
+  for (int i = 0; i < kFiles; ++i) {
+    auto s = buf.Take("f" + std::to_string(i));
+    ASSERT_TRUE(s.ok()) << "file " << i;
+    EXPECT_EQ(s->size(), 8u + i % 32);
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(buf.Occupancy(), 0u);
+  const auto c = buf.GetCounters();
+  EXPECT_EQ(c.inserts, static_cast<std::uint64_t>(kFiles));
+  EXPECT_EQ(c.takes, static_cast<std::uint64_t>(kFiles));
+  EXPECT_EQ(c.consumer_hits + c.consumer_waits, static_cast<std::uint64_t>(kFiles));
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SampleBufferStressTest,
+                         ::testing::Values(1, 2, 3, 8, 64, 1024));
+
+}  // namespace
+}  // namespace prisma::dataplane

@@ -1,0 +1,159 @@
+// Helper binary exec'd under LD_PRELOAD=libprisma_shim.so by shim_test
+// and the ld_preload_demo example. It uses ONLY plain POSIX calls — the
+// point is that the shim routes them to PRISMA without this program
+// knowing. Exit code 0 iff every file's content matches the expected
+// deterministic synthetic content.
+//
+// Usage: shim_reader [--seek] <virtual-prefix> <name> [<name> ...]
+// Default mode: for each name, opens "<virtual-prefix>/<name>", fstat()s
+// it, reads it with read(2) in chunks, and compares against
+// SyntheticContent. --seek mode instead exercises lseek(SEEK_END/SET/CUR)
+// and pread(2) against the same expected content.
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/dataset.hpp"
+
+namespace {
+
+/// lseek + pread exercises for one virtual file; returns 0 on success.
+int VerifyWithSeeks(const std::string& path, const std::string& name) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    std::fprintf(stderr, "open(%s) failed\n", path.c_str());
+    return 1;
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size <= 0) {
+    std::fprintf(stderr, "lseek(SEEK_END) on %s failed\n", path.c_str());
+    ::close(fd);
+    return 1;
+  }
+  const auto expected = prisma::storage::SyntheticContent::Generate(
+      name, static_cast<std::uint64_t>(size));
+
+  // Read the back half via SEEK_SET + read.
+  const off_t half = size / 2;
+  if (::lseek(fd, half, SEEK_SET) != half) {
+    ::close(fd);
+    return 1;
+  }
+  std::vector<std::byte> back(static_cast<std::size_t>(size - half));
+  std::size_t got = 0;
+  while (got < back.size()) {
+    const ssize_t n = ::read(fd, back.data() + got, back.size() - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  if (got != back.size() ||
+      std::memcmp(back.data(), expected.data() + half, back.size()) != 0) {
+    std::fprintf(stderr, "%s: SEEK_SET read mismatch\n", path.c_str());
+    ::close(fd);
+    return 1;
+  }
+
+  // SEEK_CUR relative rewind, then pread at an absolute offset (pread
+  // must not disturb the file offset).
+  if (::lseek(fd, -static_cast<off_t>(back.size()), SEEK_CUR) != half) {
+    ::close(fd);
+    return 1;
+  }
+  std::byte probe[16];
+  const std::size_t probe_len =
+      std::min<std::size_t>(sizeof(probe), static_cast<std::size_t>(size));
+  if (::pread(fd, probe, probe_len, 0) != static_cast<ssize_t>(probe_len) ||
+      std::memcmp(probe, expected.data(), probe_len) != 0) {
+    std::fprintf(stderr, "%s: pread mismatch\n", path.c_str());
+    ::close(fd);
+    return 1;
+  }
+  if (::lseek(fd, 0, SEEK_CUR) != half) {
+    std::fprintf(stderr, "%s: pread moved the offset\n", path.c_str());
+    ::close(fd);
+    return 1;
+  }
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool seek_mode = false;
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--seek") == 0) {
+    seek_mode = true;
+    first = 2;
+  }
+  if (argc < first + 2) {
+    std::fprintf(stderr, "usage: %s [--seek] <prefix> <name>...\n", argv[0]);
+    return 2;
+  }
+  const std::string prefix = argv[first];
+
+  if (seek_mode) {
+    for (int i = first + 1; i < argc; ++i) {
+      const std::string name = argv[i];
+      if (const int rc = VerifyWithSeeks(prefix + "/" + name, name); rc != 0) {
+        return rc;
+      }
+    }
+    std::printf("shim_reader: seek-verified %d files\n", argc - first - 1);
+    return 0;
+  }
+
+  for (int i = first + 1; i < argc; ++i) {
+    const std::string name = argv[i];
+    const std::string path = prefix + "/" + name;
+
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      std::fprintf(stderr, "open(%s) failed: %s\n", path.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      std::fprintf(stderr, "fstat(%s) failed\n", path.c_str());
+      ::close(fd);
+      return 1;
+    }
+
+    std::vector<std::byte> data;
+    data.reserve(static_cast<std::size_t>(st.st_size));
+    std::byte chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0) {
+        std::fprintf(stderr, "read(%s) failed\n", path.c_str());
+        ::close(fd);
+        return 1;
+      }
+      if (n == 0) break;
+      data.insert(data.end(), chunk, chunk + n);
+    }
+    ::close(fd);
+
+    if (static_cast<off_t>(data.size()) != st.st_size) {
+      std::fprintf(stderr, "%s: size mismatch (read %zu, stat %lld)\n",
+                   path.c_str(), data.size(),
+                   static_cast<long long>(st.st_size));
+      return 1;
+    }
+    const auto expected =
+        prisma::storage::SyntheticContent::Generate(name, data.size());
+    if (data != expected) {
+      std::fprintf(stderr, "%s: content mismatch\n", path.c_str());
+      return 1;
+    }
+  }
+  std::printf("shim_reader: verified %d files\n", argc - 2);
+  return 0;
+}

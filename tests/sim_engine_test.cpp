@@ -1,0 +1,467 @@
+// DES engine tests: event ordering, virtual clock, coroutine tasks, and
+// the awaitable primitives (queue, resource, sample buffer).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/primitives.hpp"
+#include "sim/storage_actor.hpp"
+#include "sim/task.hpp"
+
+namespace prisma::sim {
+namespace {
+
+TEST(SimEngineTest, EventsFireInTimeOrder) {
+  SimEngine eng;
+  std::vector<int> order;
+  eng.ScheduleAfter(Millis{30}, [&] { order.push_back(3); });
+  eng.ScheduleAfter(Millis{10}, [&] { order.push_back(1); });
+  eng.ScheduleAfter(Millis{20}, [&] { order.push_back(2); });
+  eng.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.Now(), Millis{30});
+}
+
+TEST(SimEngineTest, EqualTimestampsFifo) {
+  SimEngine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.ScheduleAfter(Millis{5}, [&, i] { order.push_back(i); });
+  }
+  eng.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimEngineTest, RunUntilStopsEarly) {
+  SimEngine eng;
+  int fired = 0;
+  eng.ScheduleAfter(Millis{10}, [&] { ++fired; });
+  eng.ScheduleAfter(Millis{100}, [&] { ++fired; });
+  eng.Run(Millis{50});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.Now(), Millis{50});
+  eng.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngineTest, NestedScheduling) {
+  SimEngine eng;
+  Nanos inner_time{0};
+  eng.ScheduleAfter(Millis{10}, [&] {
+    eng.ScheduleAfter(Millis{5}, [&] { inner_time = eng.Now(); });
+  });
+  eng.Run();
+  EXPECT_EQ(inner_time, Millis{15});
+}
+
+TEST(SimEngineTest, ClockTracksVirtualTime) {
+  SimEngine eng;
+  Nanos seen{0};
+  eng.ScheduleAfter(Seconds{2}, [&] { seen = eng.clock()->Now(); });
+  eng.Run();
+  EXPECT_EQ(seen, Seconds{2});
+}
+
+TEST(SimEngineTest, PastEventsClampToNow) {
+  SimEngine eng;
+  eng.ScheduleAfter(Millis{10}, [&] {
+    eng.ScheduleAt(Millis{1}, [] {});  // in the past: clamped
+  });
+  eng.Run();
+  EXPECT_EQ(eng.Now(), Millis{10});
+}
+
+// --- SimTask -------------------------------------------------------------------
+
+SimTask SimpleDelay(SimEngine& eng, int* done) {
+  co_await eng.Delay(Millis{10});
+  *done = 1;
+}
+
+TEST(SimTaskTest, RunsToCompletion) {
+  SimEngine eng;
+  int done = 0;
+  auto t = Spawn(eng, SimpleDelay, std::ref(eng), &done);
+  EXPECT_FALSE(t.Done());
+  eng.Run();
+  EXPECT_TRUE(t.Done());
+  EXPECT_EQ(done, 1);
+}
+
+SimTask Joiner(SimEngine& eng, SimTask inner, int* after) {
+  co_await inner;
+  *after = static_cast<int>(ToSeconds(eng.Now()) * 1000);
+}
+
+TEST(SimTaskTest, JoinWaitsForCompletion) {
+  SimEngine eng;
+  int done = 0, after = -1;
+  auto inner = Spawn(eng, SimpleDelay, std::ref(eng), &done);
+  auto outer = Spawn(eng, Joiner, std::ref(eng), inner, &after);
+  eng.Run();
+  EXPECT_TRUE(outer.Done());
+  EXPECT_EQ(after, 10);
+}
+
+TEST(SimTaskTest, JoinAlreadyDoneTask) {
+  SimEngine eng;
+  int done = 0, after = -1;
+  auto inner = Spawn(eng, SimpleDelay, std::ref(eng), &done);
+  eng.Run();
+  ASSERT_TRUE(inner.Done());
+  auto outer = Spawn(eng, Joiner, std::ref(eng), inner, &after);
+  eng.Run();
+  EXPECT_TRUE(outer.Done());
+}
+
+TEST(SimTaskTest, JoinAllJoinsEverything) {
+  SimEngine eng;
+  int d1 = 0, d2 = 0;
+  std::vector<SimTask> tasks;
+  tasks.push_back(Spawn(eng, SimpleDelay, std::ref(eng), &d1));
+  tasks.push_back(Spawn(eng, SimpleDelay, std::ref(eng), &d2));
+  auto all = Spawn(eng, JoinAll, std::move(tasks));
+  eng.Run();
+  EXPECT_TRUE(all.Done());
+  EXPECT_EQ(d1 + d2, 2);
+}
+
+// --- SimQueue -------------------------------------------------------------------
+
+SimTask QueueProducer(SimEngine& eng, SimQueue<int>& q, int n, Nanos gap) {
+  for (int i = 0; i < n; ++i) {
+    co_await eng.Delay(gap);
+    co_await q.Push(i);
+  }
+  q.Close();
+}
+
+SimTask QueueConsumer(SimEngine& eng, SimQueue<int>& q, Nanos work,
+                      std::vector<int>* got) {
+  while (auto v = co_await q.Pop()) {
+    co_await eng.Delay(work);
+    got->push_back(*v);
+  }
+}
+
+TEST(SimQueueTest, FifoThroughBackpressure) {
+  SimEngine eng;
+  SimQueue<int> q(eng, 2);
+  std::vector<int> got;
+  auto p = Spawn(eng, QueueProducer, std::ref(eng), std::ref(q), 50, Nanos{0});
+  auto c = Spawn(eng, QueueConsumer, std::ref(eng), std::ref(q), Millis{1}, &got);
+  eng.Run();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+  // Consumer-paced: 50 ms of work.
+  EXPECT_EQ(eng.Now(), Millis{50});
+}
+
+TEST(SimQueueTest, SlowProducerPacesConsumer) {
+  SimEngine eng;
+  SimQueue<int> q(eng, 8);
+  std::vector<int> got;
+  auto p = Spawn(eng, QueueProducer, std::ref(eng), std::ref(q), 10, Millis{5});
+  auto c = Spawn(eng, QueueConsumer, std::ref(eng), std::ref(q), Nanos{0}, &got);
+  eng.Run();
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_EQ(eng.Now(), Millis{50});
+}
+
+TEST(SimQueueTest, CloseWakesBlockedPopper) {
+  SimEngine eng;
+  SimQueue<int> q(eng, 1);
+  bool popped_null = false;
+  auto popper = [](SimQueue<int>& q, bool* out) -> SimTask {
+    auto v = co_await q.Pop();
+    *out = !v.has_value();
+  };
+  auto t = Spawn(eng, popper, std::ref(q), &popped_null);
+  eng.ScheduleAfter(Millis{1}, [&] { q.Close(); });
+  eng.Run();
+  EXPECT_TRUE(t.Done());
+  EXPECT_TRUE(popped_null);
+}
+
+TEST(SimQueueTest, TryPushDeliversToWaiter) {
+  SimEngine eng;
+  SimQueue<int> q(eng, 1);
+  int got = -1;
+  auto popper = [](SimQueue<int>& q, int* out) -> SimTask {
+    auto v = co_await q.Pop();
+    *out = v.value_or(-2);
+  };
+  auto t = Spawn(eng, popper, std::ref(q), &got);
+  EXPECT_TRUE(q.TryPush(42));
+  eng.Run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(SimQueueTest, SetCapacityAdmitsWaiters) {
+  SimEngine eng;
+  SimQueue<int> q(eng, 1);
+  int pushed = 0;
+  auto pusher = [](SimQueue<int>& q, int* count) -> SimTask {
+    for (int i = 0; i < 3; ++i) {
+      if (co_await q.Push(i)) ++*count;
+    }
+  };
+  auto t = Spawn(eng, pusher, std::ref(q), &pushed);
+  eng.Run();
+  EXPECT_EQ(pushed, 1);  // capacity 1; two pushes blocked
+  q.SetCapacity(8);
+  eng.Run();
+  EXPECT_EQ(pushed, 3);
+}
+
+// --- SimResource -----------------------------------------------------------------
+
+TEST(SimResourceTest, LimitsConcurrency) {
+  SimEngine eng;
+  SimResource res(eng, 2);
+  int active = 0, peak = 0, done = 0;
+  auto worker = [&](SimEngine& e, SimResource& r) -> SimTask {
+    co_await r.Acquire();
+    peak = std::max(peak, ++active);
+    co_await e.Delay(Millis{10});
+    --active;
+    r.Release();
+    ++done;
+  };
+  for (int i = 0; i < 6; ++i) Spawn(eng, worker, std::ref(eng), std::ref(res));
+  eng.Run();
+  EXPECT_EQ(done, 6);
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(eng.Now(), Millis{30});  // 6 jobs, 2 at a time, 10 ms each
+}
+
+TEST(SimResourceTest, SetTotalGrowsConcurrency) {
+  SimEngine eng;
+  SimResource res(eng, 1);
+  int done = 0;
+  auto worker = [&](SimEngine& e, SimResource& r) -> SimTask {
+    co_await r.Acquire();
+    co_await e.Delay(Millis{10});
+    r.Release();
+    ++done;
+  };
+  for (int i = 0; i < 4; ++i) Spawn(eng, worker, std::ref(eng), std::ref(res));
+  eng.ScheduleAfter(Millis{10}, [&] { res.SetTotal(4); });
+  eng.Run();
+  EXPECT_EQ(done, 4);
+  // 1 job in [0,10); remaining 3 run concurrently in [10,20).
+  EXPECT_EQ(eng.Now(), Millis{20});
+}
+
+TEST(SimResourceTest, SetTotalShrinkDrains) {
+  SimEngine eng;
+  SimResource res(eng, 4);
+  int concurrent = 0, peak_after_shrink = 0, done = 0;
+  bool shrunk = false;
+  auto worker = [&](SimEngine& e, SimResource& r) -> SimTask {
+    co_await r.Acquire();
+    ++concurrent;
+    if (shrunk) peak_after_shrink = std::max(peak_after_shrink, concurrent);
+    co_await e.Delay(Millis{10});
+    --concurrent;
+    r.Release();
+    ++done;
+  };
+  for (int i = 0; i < 12; ++i) Spawn(eng, worker, std::ref(eng), std::ref(res));
+  eng.ScheduleAfter(Millis{5}, [&] {
+    res.SetTotal(1);
+    shrunk = true;
+  });
+  eng.Run();
+  EXPECT_EQ(done, 12);
+  EXPECT_LE(peak_after_shrink, 1);
+}
+
+// --- SimSampleBuffer -------------------------------------------------------------
+
+SimTask BufferProducer(SimEngine& eng, SimSampleBuffer& buf,
+                       const std::vector<std::string>& names, Nanos gap) {
+  for (const auto& n : names) {
+    co_await eng.Delay(gap);
+    co_await buf.Insert(n, 100);
+  }
+}
+
+SimTask BufferConsumer(SimEngine& eng, SimSampleBuffer& buf,
+                       const std::vector<std::string>& names, int* got) {
+  for (const auto& n : names) {
+    auto b = co_await buf.Take(n);
+    if (b) ++*got;
+  }
+  (void)eng;
+}
+
+TEST(SimSampleBufferTest, InOrderFlow) {
+  SimEngine eng;
+  SimSampleBuffer buf(eng, 4);
+  std::vector<std::string> names;
+  for (int i = 0; i < 40; ++i) names.push_back("f" + std::to_string(i));
+  int got = 0;
+  Spawn(eng, BufferProducer, std::ref(eng), std::ref(buf), names, Millis{1});
+  Spawn(eng, BufferConsumer, std::ref(eng), std::ref(buf), names, &got);
+  eng.Run();
+  EXPECT_EQ(got, 40);
+  EXPECT_EQ(buf.Occupancy(), 0u);
+  EXPECT_EQ(buf.counters().takes, 40u);
+}
+
+TEST(SimSampleBufferTest, HandoffBypassesFullBuffer) {
+  // Regression mirror of the live SampleBuffer deadlock: a full buffer
+  // must still admit the name a consumer is waiting for.
+  SimEngine eng;
+  SimSampleBuffer buf(eng, 2);
+  bool delivered = false;
+
+  auto producer = [](SimEngine& e, SimSampleBuffer& b) -> SimTask {
+    co_await b.Insert("later1", 10);
+    co_await b.Insert("later2", 10);  // buffer now full
+    co_await e.Delay(Millis{5});
+    co_await b.Insert("wanted", 10);  // must hand off, not block
+  };
+  auto consumer = [](SimSampleBuffer& b, bool* out) -> SimTask {
+    auto v = co_await b.Take("wanted");
+    *out = v.has_value();
+  };
+  Spawn(eng, producer, std::ref(eng), std::ref(buf));
+  Spawn(eng, consumer, std::ref(buf), &delivered);
+  eng.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_TRUE(eng.Idle());
+}
+
+TEST(SimSampleBufferTest, CapacityBlocksProducer) {
+  SimEngine eng;
+  SimSampleBuffer buf(eng, 2);
+  std::vector<std::string> names{"a", "b", "c", "d"};
+  int got = 0;
+  Spawn(eng, BufferProducer, std::ref(eng), std::ref(buf), names, Nanos{0});
+  eng.Run();
+  EXPECT_EQ(buf.Occupancy(), 2u);  // producer parked on the 3rd insert
+  EXPECT_GE(buf.counters().producer_blocks, 1u);
+  Spawn(eng, BufferConsumer, std::ref(eng), std::ref(buf), names, &got);
+  eng.Run();
+  EXPECT_EQ(got, 4);
+}
+
+TEST(SimSampleBufferTest, CloseDeliversNullopt) {
+  SimEngine eng;
+  SimSampleBuffer buf(eng, 2);
+  bool got_null = false;
+  auto consumer = [](SimSampleBuffer& b, bool* out) -> SimTask {
+    auto v = co_await b.Take("never");
+    *out = !v.has_value();
+  };
+  Spawn(eng, consumer, std::ref(buf), &got_null);
+  eng.ScheduleAfter(Millis{1}, [&] { buf.Close(); });
+  eng.Run();
+  EXPECT_TRUE(got_null);
+}
+
+TEST(SimSampleBufferTest, CountersMatchLiveVocabulary) {
+  SimEngine eng;
+  SimSampleBuffer buf(eng, 4);
+  int got = 0;
+  std::vector<std::string> names{"x"};
+  Spawn(eng, BufferConsumer, std::ref(eng), std::ref(buf), names, &got);
+  eng.Run();  // consumer waits
+  Spawn(eng, BufferProducer, std::ref(eng), std::ref(buf), names, Nanos{0});
+  eng.Run();
+  EXPECT_EQ(got, 1);
+  const auto& c = buf.counters();
+  EXPECT_EQ(c.consumer_waits, 1u);
+  EXPECT_EQ(c.consumer_hits, 0u);
+  EXPECT_EQ(c.inserts, 1u);
+  EXPECT_EQ(c.takes, 1u);
+}
+
+// --- SimStorage -------------------------------------------------------------------
+
+SimTask DoRead(SimStorage& st, std::string name, std::uint64_t bytes) {
+  co_await st.Read(std::move(name), bytes);
+}
+
+TEST(SimStorageTest, ChargesServiceTime) {
+  SimEngine eng;
+  SimStorageOptions o;
+  o.profile = storage::DeviceProfile::NvmeP4600();
+  o.profile.jitter_frac = 0.0;
+  SimStorage st(eng, o);
+  Spawn(eng, DoRead, std::ref(st), "f", 113 * 1024);
+  eng.Run();
+  const double expected =
+      ToSeconds(st.device().ServiceTime(113 * 1024, 1));
+  EXPECT_NEAR(ToSeconds(eng.Now()), expected, 1e-9);
+  EXPECT_EQ(st.ReadsCompleted(), 1u);
+  EXPECT_EQ(st.BytesRead(), 113u * 1024);
+}
+
+TEST(SimStorageTest, ConcurrentReadsShareBandwidth) {
+  SimEngine eng;
+  SimStorageOptions o;
+  o.profile.jitter_frac = 0.0;
+  SimStorage st(eng, o);
+  for (int i = 0; i < 8; ++i) {
+    Spawn(eng, DoRead, std::ref(st), "f" + std::to_string(i), 113 * 1024);
+  }
+  eng.Run();
+  // 8 concurrent readers must finish sooner than 8 serial reads but later
+  // than one solo read.
+  const double solo = ToSeconds(st.device().ServiceTime(113 * 1024, 1));
+  EXPECT_GT(ToSeconds(eng.Now()), solo);
+  EXPECT_LT(ToSeconds(eng.Now()), 8 * solo);
+}
+
+TEST(SimStorageTest, TimelineRecordsConcurrency) {
+  SimEngine eng;
+  SimStorageOptions o;
+  o.profile.jitter_frac = 0.0;
+  SimStorage st(eng, o);
+  for (int i = 0; i < 4; ++i) {
+    Spawn(eng, DoRead, std::ref(st), "f" + std::to_string(i), 50000);
+  }
+  eng.Run();
+  const auto tl = st.ReaderTimeline();
+  EXPECT_EQ(tl.MaxValue(), 4);
+  EXPECT_EQ(st.Outstanding(), 0u);
+}
+
+TEST(SimStorageTest, PageCacheAcceleratesRepeats) {
+  SimEngine eng;
+  SimStorageOptions o;
+  o.profile.jitter_frac = 0.0;
+  o.page_cache_bytes = 10u << 20;
+  SimStorage st(eng, o);
+  Spawn(eng, DoRead, std::ref(st), "hot", 113 * 1024);
+  eng.Run();
+  const Nanos first = eng.Now();
+  Spawn(eng, DoRead, std::ref(st), "hot", 113 * 1024);
+  eng.Run();
+  const Nanos second = eng.Now() - first;
+  EXPECT_LT(second, first / 10);
+}
+
+TEST(SimStorageTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SimEngine eng;
+    SimStorageOptions o;
+    o.seed = 77;
+    SimStorage st(eng, o);
+    for (int i = 0; i < 20; ++i) {
+      Spawn(eng, DoRead, std::ref(st), "f" + std::to_string(i),
+            100000 + i * 1000);
+    }
+    eng.Run();
+    return eng.Now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace prisma::sim

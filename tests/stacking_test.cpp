@@ -1,0 +1,156 @@
+// Optimization-object stacking through ObjectBackend: prefetching layered
+// over tiering, each layer oblivious of the other (paper §III.A's
+// composable building blocks).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dataplane/object_backend.hpp"
+#include "dataplane/prefetch_object.hpp"
+#include "dataplane/tiering_object.hpp"
+#include "storage/shuffler.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::dataplane {
+namespace {
+
+using storage::DeviceProfile;
+using storage::SyntheticBackend;
+using storage::SyntheticBackendOptions;
+
+class StackingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::SyntheticImageNetSpec spec;
+    spec.num_train = 40;
+    spec.num_validation = 4;
+    spec.mean_file_size = 8 * 1024;
+    spec.min_file_size = 1024;
+    ds_ = storage::MakeSyntheticImageNet(spec);
+
+    SyntheticBackendOptions o;
+    o.profile = DeviceProfile::Instant();
+    o.time_scale = 0.0;
+    slow_ = std::make_shared<SyntheticBackend>(o, ds_);
+    fast_ = std::make_shared<SyntheticBackend>(o);
+  }
+
+  storage::ImageNetDataset ds_;
+  std::shared_ptr<SyntheticBackend> slow_;
+  std::shared_ptr<SyntheticBackend> fast_;
+};
+
+TEST_F(StackingTest, ObjectBackendForwardsReads) {
+  auto tiering = std::make_shared<TieringObject>(
+      slow_, fast_, TieringOptions{}, SteadyClock::Shared());
+  ASSERT_TRUE(tiering->Start().ok());
+  ObjectBackend backend(tiering);
+
+  const auto& f = ds_.train.At(0);
+  auto data = backend.ReadAll(f.name);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, storage::SyntheticContent::Generate(f.name, f.size));
+  EXPECT_EQ(*backend.FileSize(f.name), f.size);
+  EXPECT_GE(backend.Stats().reads, 1u);
+  tiering->Stop();
+}
+
+TEST_F(StackingTest, ObjectBackendRejectsWrites) {
+  auto tiering = std::make_shared<TieringObject>(
+      slow_, fast_, TieringOptions{}, SteadyClock::Shared());
+  ObjectBackend backend(tiering);
+  std::vector<std::byte> data(8);
+  EXPECT_EQ(backend.Write("x", data).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StackingTest, PrefetchOverTieringServesCorrectContent) {
+  // Full stack: PrefetchObject -> ObjectBackend -> TieringObject -> slow.
+  auto tiering = std::make_shared<TieringObject>(
+      slow_, fast_, TieringOptions{}, SteadyClock::Shared());
+  ASSERT_TRUE(tiering->Start().ok());
+  auto middle = std::make_shared<ObjectBackend>(tiering);
+
+  PrefetchOptions po;
+  po.initial_producers = 2;
+  po.buffer_capacity = 8;
+  PrefetchObject prefetch(middle, po, SteadyClock::Shared());
+  ASSERT_TRUE(prefetch.Start().ok());
+
+  storage::EpochShuffler shuffler(ds_.train.Names(), 5);
+  const auto order = shuffler.OrderFor(0);
+  ASSERT_TRUE(prefetch.BeginEpoch(0, order).ok());
+  for (const auto& name : order) {
+    const auto size = *ds_.train.SizeOf(name);
+    std::vector<std::byte> buf(size);
+    ASSERT_TRUE(prefetch.Read(name, 0, buf).ok()) << name;
+    EXPECT_EQ(buf, storage::SyntheticContent::Generate(name, size));
+  }
+  prefetch.Stop();
+
+  // The lower layer did real work: reads flowed through tiering, which
+  // promoted files to the fast tier in the background.
+  EXPECT_EQ(tiering->Counters().slow_reads, order.size());
+  tiering->Stop();
+  EXPECT_GE(tiering->Counters().promotions, 1u);
+}
+
+TEST_F(StackingTest, SecondEpochHitsFastTierThroughTheStack) {
+  TieringOptions to;
+  to.fast_tier_capacity = 1ull << 30;  // everything fits
+  auto tiering = std::make_shared<TieringObject>(slow_, fast_, to,
+                                                 SteadyClock::Shared());
+  ASSERT_TRUE(tiering->Start().ok());
+  auto middle = std::make_shared<ObjectBackend>(tiering);
+
+  PrefetchOptions po;
+  po.initial_producers = 1;
+  po.buffer_capacity = 8;
+  PrefetchObject prefetch(middle, po, SteadyClock::Shared());
+  ASSERT_TRUE(prefetch.Start().ok());
+
+  storage::EpochShuffler shuffler(ds_.train.Names(), 9);
+  for (std::uint64_t e = 0; e < 2; ++e) {
+    const auto order = shuffler.OrderFor(e);
+    ASSERT_TRUE(prefetch.BeginEpoch(e, order).ok());
+    for (const auto& name : order) {
+      std::vector<std::byte> buf(*ds_.train.SizeOf(name));
+      ASSERT_TRUE(prefetch.Read(name, 0, buf).ok());
+    }
+    if (e == 0) {
+      // Wait for background promotions to land before epoch 2.
+      for (int i = 0; i < 500; ++i) {
+        if (tiering->Counters().promotions >= ds_.train.NumFiles()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  }
+  prefetch.Stop();
+  tiering->Stop();
+
+  const auto c = tiering->Counters();
+  EXPECT_GE(c.fast_hits, ds_.train.NumFiles())
+      << "epoch 2 should be served from the fast tier";
+}
+
+TEST_F(StackingTest, StackedStatsSeparateLayers) {
+  auto tiering = std::make_shared<TieringObject>(
+      slow_, fast_, TieringOptions{}, SteadyClock::Shared());
+  ASSERT_TRUE(tiering->Start().ok());
+  auto middle = std::make_shared<ObjectBackend>(tiering);
+  PrefetchObject prefetch(middle, PrefetchOptions{}, SteadyClock::Shared());
+  ASSERT_TRUE(prefetch.Start().ok());
+
+  const auto& f = ds_.train.At(0);
+  ASSERT_TRUE(prefetch.BeginEpoch(0, {f.name}).ok());
+  std::vector<std::byte> buf(f.size);
+  ASSERT_TRUE(prefetch.Read(f.name, 0, buf).ok());
+
+  EXPECT_EQ(prefetch.CollectStats().samples_consumed, 1u);  // top layer
+  EXPECT_GE(middle->Stats().reads, 1u);                     // adapter
+  EXPECT_EQ(tiering->CollectStats().passthrough_reads, 1u); // bottom layer
+  prefetch.Stop();
+  tiering->Stop();
+}
+
+}  // namespace
+}  // namespace prisma::dataplane

@@ -1,0 +1,242 @@
+// Unit tests for streaming statistics, histograms, and the
+// occupancy-timeline CDF machinery behind Fig. 3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace prisma {
+namespace {
+
+// --- RunningStats -------------------------------------------------------------
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.Mean(), 3.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  // Property: merging partitions must reproduce the sequential result.
+  Xoshiro256 rng(8);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.NextGaussian(10, 3));
+
+  RunningStats all;
+  for (const double v : values) all.Add(v);
+
+  RunningStats a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Add(values[i]);
+  }
+  RunningStats merged = a;
+  merged.Merge(b);
+  merged.Merge(c);
+
+  EXPECT_EQ(merged.Count(), all.Count());
+  EXPECT_NEAR(merged.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(merged.Variance(), all.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(merged.Max(), all.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats a_copy = a;
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), a_copy.Mean());
+  b.Merge(a);  // adopt
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+TEST(RunningStatsTest, Reset) {
+  RunningStats s;
+  s.Add(5);
+  s.Reset();
+  EXPECT_EQ(s.Count(), 0u);
+}
+
+// --- Ewma ----------------------------------------------------------------------
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.Initialized());
+  e.Add(10.0);
+  EXPECT_TRUE(e.Initialized());
+  EXPECT_DOUBLE_EQ(e.Value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.Add(42.0);
+  EXPECT_NEAR(e.Value(), 42.0, 1e-9);
+}
+
+TEST(EwmaTest, SmoothingWeight) {
+  Ewma e(0.5);
+  e.Add(0.0);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.Value(), 5.0);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.Value(), 7.5);
+}
+
+// --- RateEstimator ---------------------------------------------------------------
+
+TEST(RateEstimatorTest, CountsWithinWindow) {
+  RateEstimator r(Seconds{10});
+  for (int i = 0; i < 50; ++i) r.Record(Millis{i * 100});
+  // 50 events in a 10 s window -> 5/s.
+  EXPECT_NEAR(r.RatePerSecond(Millis{5000}), 5.0, 1e-9);
+}
+
+TEST(RateEstimatorTest, EvictsOldEvents) {
+  RateEstimator r(Seconds{1});
+  r.Record(Nanos{0}, 100);
+  EXPECT_GT(r.RatePerSecond(Millis{500}), 0.0);
+  EXPECT_EQ(r.RatePerSecond(Seconds{10}), 0.0);
+}
+
+TEST(RateEstimatorTest, WeightedCounts) {
+  RateEstimator r(Seconds{2});
+  r.Record(Millis{100}, 10);
+  r.Record(Millis{200}, 30);
+  EXPECT_NEAR(r.RatePerSecond(Millis{300}), 20.0, 1e-9);
+}
+
+// --- Histogram --------------------------------------------------------------------
+
+TEST(HistogramTest, BucketsAndTotal) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (const double v : {0.5, 5.0, 50.0, 500.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_EQ(h.counts()[0], 1u);  // <= 1
+  EXPECT_EQ(h.counts()[1], 2u);  // (1, 10]
+  EXPECT_EQ(h.counts()[2], 1u);  // (10, 100]
+  EXPECT_EQ(h.counts()[3], 1u);  // > 100
+}
+
+TEST(HistogramTest, ExponentialBoundaries) {
+  const Histogram h = Histogram::Exponential(1.0, 2.0, 4);
+  const std::vector<double> expected{1, 2, 4, 8};
+  EXPECT_EQ(h.boundaries(), expected);
+}
+
+TEST(HistogramTest, QuantileInterpolation) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) h.Add(15.0);  // all in (10,20]
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  EXPECT_EQ(h.Quantile(0.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram h = Histogram::Exponential(1.0, 2.0, 12);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) h.Add(rng.NextExponential(100.0));
+  double prev = 0.0;
+  for (double q = 0.1; q <= 0.99; q += 0.1) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+// --- OccupancyTimeline ---------------------------------------------------------------
+
+TEST(OccupancyTimelineTest, TimeAtValueAccounting) {
+  OccupancyTimeline tl;
+  tl.Record(Seconds{0}, 0);
+  tl.Record(Seconds{2}, 1);   // 2 s at 0
+  tl.Record(Seconds{5}, 3);   // 3 s at 1
+  tl.Finish(Seconds{10});     // 5 s at 3
+  EXPECT_EQ(tl.TimeAtValue().at(0), Seconds{2});
+  EXPECT_EQ(tl.TimeAtValue().at(1), Seconds{3});
+  EXPECT_EQ(tl.TimeAtValue().at(3), Seconds{5});
+  EXPECT_EQ(tl.TotalTime(), Seconds{10});
+  EXPECT_EQ(tl.MaxValue(), 3);
+}
+
+TEST(OccupancyTimelineTest, CdfSumsToOne) {
+  OccupancyTimeline tl;
+  tl.Record(Seconds{0}, 2);
+  tl.Record(Seconds{1}, 4);
+  tl.Record(Seconds{3}, 1);
+  tl.Finish(Seconds{4});
+  const auto cdf = tl.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_NEAR(cdf.back().cumulative, 1.0, 1e-12);
+  // Monotone non-decreasing in both axes.
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].cumulative, cdf[i - 1].cumulative);
+  }
+}
+
+TEST(OccupancyTimelineTest, TimeWeightedMean) {
+  OccupancyTimeline tl;
+  tl.Record(Seconds{0}, 0);
+  tl.Record(Seconds{5}, 10);  // 5 s at 0
+  tl.Finish(Seconds{10});     // 5 s at 10
+  EXPECT_DOUBLE_EQ(tl.TimeWeightedMean(), 5.0);
+}
+
+TEST(OccupancyTimelineTest, EmptyTimeline) {
+  OccupancyTimeline tl;
+  tl.Finish(Seconds{1});
+  EXPECT_TRUE(tl.Cdf().empty());
+  EXPECT_EQ(tl.TimeWeightedMean(), 0.0);
+  EXPECT_EQ(tl.TotalTime(), Nanos{0});
+}
+
+TEST(OccupancyTimelineTest, ZeroDurationRecordsIgnored) {
+  OccupancyTimeline tl;
+  tl.Record(Seconds{1}, 5);
+  tl.Record(Seconds{1}, 7);  // zero time at 5
+  tl.Finish(Seconds{2});
+  EXPECT_EQ(tl.TimeAtValue().count(5), 0u);
+  EXPECT_EQ(tl.TimeAtValue().at(7), Seconds{1});
+}
+
+TEST(OccupancyTimelineTest, FormatCdfContainsRows) {
+  OccupancyTimeline tl;
+  tl.Record(Seconds{0}, 1);
+  tl.Finish(Seconds{2});
+  const std::string text = FormatCdf(tl.Cdf());
+  EXPECT_NE(text.find("100.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prisma

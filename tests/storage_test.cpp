@@ -1,0 +1,454 @@
+// Storage substrate tests: POSIX backend, synthetic content, dataset
+// generation, per-epoch shuffling, device model, and the page-cache model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <set>
+
+#include "common/units.hpp"
+#include "storage/dataset.hpp"
+#include "storage/device_model.hpp"
+#include "storage/page_cache.hpp"
+#include "storage/posix_backend.hpp"
+#include "storage/shuffler.hpp"
+
+namespace prisma::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::byte> Bytes(std::string_view s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+class PosixBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) / "prisma_posix_test";
+    fs::remove_all(root_);
+    backend_ = std::make_unique<PosixBackend>(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+  std::unique_ptr<PosixBackend> backend_;
+};
+
+TEST_F(PosixBackendTest, WriteThenReadBack) {
+  ASSERT_TRUE(backend_->Write("a/b/file.bin", Bytes("hello world")).ok());
+  auto data = backend_->ReadAll("a/b/file.bin");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(data->data()), data->size()),
+            "hello world");
+}
+
+TEST_F(PosixBackendTest, ReadAtOffset) {
+  ASSERT_TRUE(backend_->Write("f", Bytes("0123456789")).ok());
+  std::vector<std::byte> buf(4);
+  auto n = backend_->Read("f", 3, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(buf.data()), 4), "3456");
+}
+
+TEST_F(PosixBackendTest, ReadPastEofReturnsShort) {
+  ASSERT_TRUE(backend_->Write("f", Bytes("abc")).ok());
+  std::vector<std::byte> buf(10);
+  auto n = backend_->Read("f", 0, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+  auto n2 = backend_->Read("f", 100, buf);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 0u);
+}
+
+TEST_F(PosixBackendTest, MissingFileIsNotFound) {
+  std::vector<std::byte> buf(1);
+  EXPECT_EQ(backend_->Read("nope", 0, buf).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(backend_->FileSize("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PosixBackendTest, FileSize) {
+  ASSERT_TRUE(backend_->Write("f", Bytes("12345")).ok());
+  auto size = backend_->FileSize("f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+}
+
+TEST_F(PosixBackendTest, OverwriteTruncates) {
+  ASSERT_TRUE(backend_->Write("f", Bytes("long content here")).ok());
+  ASSERT_TRUE(backend_->Write("f", Bytes("x")).ok());
+  EXPECT_EQ(*backend_->FileSize("f"), 1u);
+}
+
+TEST_F(PosixBackendTest, StatsCount) {
+  ASSERT_TRUE(backend_->Write("f", Bytes("abcd")).ok());
+  auto data = backend_->ReadAll("f");
+  ASSERT_TRUE(data.ok());
+  const auto stats = backend_->Stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.bytes_written, 4u);
+  EXPECT_GE(stats.reads, 1u);
+  EXPECT_EQ(stats.bytes_read, 4u);
+}
+
+// --- SyntheticContent --------------------------------------------------------
+
+TEST(SyntheticContentTest, DeterministicPerPath) {
+  const auto a1 = SyntheticContent::Generate("train/1.jpg", 1000);
+  const auto a2 = SyntheticContent::Generate("train/1.jpg", 1000);
+  const auto b = SyntheticContent::Generate("train/2.jpg", 1000);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(SyntheticContentTest, OffsetFillMatchesWholeFile) {
+  // Property: reading [off, off+len) must equal the slice of the whole.
+  const auto whole = SyntheticContent::Generate("x.jpg", 4096);
+  for (const std::size_t off : {0ul, 1ul, 7ul, 8ul, 1000ul, 4090ul}) {
+    std::vector<std::byte> part(64);
+    const std::size_t len = std::min<std::size_t>(64, 4096 - off);
+    part.resize(len);
+    SyntheticContent::Fill("x.jpg", off, part);
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(part[i], whole[off + i]) << "off=" << off << " i=" << i;
+    }
+  }
+}
+
+TEST(SyntheticContentTest, ContentLooksRandom) {
+  const auto data = SyntheticContent::Generate("y.jpg", 100000);
+  std::array<int, 256> counts{};
+  for (const std::byte b : data) counts[static_cast<unsigned char>(b)]++;
+  // Every byte value should appear, roughly uniformly.
+  for (int c : counts) EXPECT_GT(c, 100);
+}
+
+// --- Dataset -----------------------------------------------------------------
+
+TEST(DatasetTest, SyntheticImageNetCounts) {
+  SyntheticImageNetSpec spec;
+  spec.num_train = 1000;
+  spec.num_validation = 100;
+  const auto ds = MakeSyntheticImageNet(spec);
+  EXPECT_EQ(ds.train.NumFiles(), 1000u);
+  EXPECT_EQ(ds.validation.NumFiles(), 100u);
+}
+
+TEST(DatasetTest, MeanFileSizeMatchesSpec) {
+  SyntheticImageNetSpec spec;
+  spec.num_train = 20000;
+  spec.num_validation = 10;
+  const auto ds = MakeSyntheticImageNet(spec);
+  // Log-normal parameterised to hit the configured mean (~113 KiB).
+  EXPECT_NEAR(ds.train.MeanFileSize(), spec.mean_file_size,
+              spec.mean_file_size * 0.03);
+}
+
+TEST(DatasetTest, FullScaleTotalApproximates138GiB) {
+  // The paper's dataset: 1.28 M images ~ 138 GiB. Verify our synthetic
+  // full-scale catalog lands in that ballpark (sizes only; no I/O).
+  SyntheticImageNetSpec spec;
+  const auto ds = MakeSyntheticImageNet(spec);
+  const double gib = static_cast<double>(ds.train.TotalBytes()) / (1ull << 30);
+  EXPECT_GT(gib, 125.0);
+  EXPECT_LT(gib, 151.0);
+  EXPECT_EQ(ds.train.NumFiles(), 1'281'167u);
+  EXPECT_EQ(ds.validation.NumFiles(), 50'000u);
+}
+
+TEST(DatasetTest, DeterministicPerSeed) {
+  SyntheticImageNetSpec spec;
+  spec.num_train = 500;
+  spec.num_validation = 50;
+  const auto a = MakeSyntheticImageNet(spec);
+  const auto b = MakeSyntheticImageNet(spec);
+  spec.seed = 43;
+  const auto c = MakeSyntheticImageNet(spec);
+  ASSERT_EQ(a.train.NumFiles(), b.train.NumFiles());
+  for (std::size_t i = 0; i < a.train.NumFiles(); ++i) {
+    EXPECT_EQ(a.train.At(i).size, b.train.At(i).size);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.train.NumFiles(); ++i) {
+    any_diff |= a.train.At(i).size != c.train.At(i).size;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetTest, MinFileSizeEnforced) {
+  SyntheticImageNetSpec spec;
+  spec.num_train = 5000;
+  spec.num_validation = 1;
+  spec.min_file_size = 64 * 1024;
+  const auto ds = MakeSyntheticImageNet(spec);
+  for (const auto& f : ds.train.files()) EXPECT_GE(f.size, 64u * 1024);
+}
+
+TEST(DatasetTest, ScaledSpecDividesCounts) {
+  SyntheticImageNetSpec spec;
+  const auto scaled = spec.Scaled(1000);
+  EXPECT_EQ(scaled.num_train, spec.num_train / 1000);
+  EXPECT_EQ(scaled.num_validation, spec.num_validation / 1000);
+  EXPECT_EQ(spec.Scaled(1).num_train, spec.num_train);
+}
+
+TEST(DatasetTest, SizeOfLookup) {
+  SyntheticImageNetSpec spec;
+  spec.num_train = 100;
+  spec.num_validation = 1;
+  const auto ds = MakeSyntheticImageNet(spec);
+  const auto& f = ds.train.At(42);
+  auto size = ds.train.SizeOf(f.name);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, f.size);
+  EXPECT_EQ(ds.train.SizeOf("not-a-file").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatasetTest, MaterializeWritesAllFiles) {
+  const fs::path root = fs::path(::testing::TempDir()) / "prisma_mat_test";
+  fs::remove_all(root);
+  PosixBackend backend(root);
+
+  SyntheticImageNetSpec spec;
+  spec.num_train = 20;
+  spec.num_validation = 5;
+  spec.mean_file_size = 8 * 1024;
+  spec.min_file_size = 1024;
+  const auto ds = MakeSyntheticImageNet(spec);
+  ASSERT_TRUE(Materialize(ds.train, backend).ok());
+
+  for (const auto& f : ds.train.files()) {
+    auto size = backend.FileSize(f.name);
+    ASSERT_TRUE(size.ok()) << f.name;
+    EXPECT_EQ(*size, f.size);
+    auto data = backend.ReadAll(f.name);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, SyntheticContent::Generate(f.name, f.size));
+  }
+  fs::remove_all(root);
+}
+
+// --- EpochShuffler -------------------------------------------------------------
+
+class ShufflerTest : public ::testing::Test {
+ protected:
+  std::vector<std::string> Names(int n) {
+    std::vector<std::string> names;
+    for (int i = 0; i < n; ++i) names.push_back("f" + std::to_string(i));
+    return names;
+  }
+};
+
+TEST_F(ShufflerTest, OrderIsPermutation) {
+  EpochShuffler s(Names(200), 7);
+  const auto order = s.OrderFor(0);
+  EXPECT_EQ(order.size(), 200u);
+  std::set<std::string> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), 200u);
+}
+
+TEST_F(ShufflerTest, SameSeedSameOrder) {
+  // THE agreement invariant: framework and PRISMA derive identical
+  // per-epoch orders from the shared seed (paper §IV footnote 1).
+  EpochShuffler a(Names(100), 11), b(Names(100), 11);
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    EXPECT_EQ(a.OrderFor(e), b.OrderFor(e)) << "epoch " << e;
+  }
+}
+
+TEST_F(ShufflerTest, DifferentEpochsDiffer) {
+  EpochShuffler s(Names(100), 11);
+  EXPECT_NE(s.OrderFor(0), s.OrderFor(1));
+  EXPECT_NE(s.OrderFor(1), s.OrderFor(2));
+}
+
+TEST_F(ShufflerTest, DifferentSeedsDiffer) {
+  EpochShuffler a(Names(100), 1), b(Names(100), 2);
+  EXPECT_NE(a.OrderFor(0), b.OrderFor(0));
+}
+
+TEST_F(ShufflerTest, PositionsAreUniformAcrossEpochs) {
+  // Property behind footnote 1 ("does not change how files are shuffled
+  // ... important to avoid any impact on the accuracy of the trained
+  // model"): over many epochs, each file's average position must be
+  // near the middle — no positional bias that would skew training.
+  constexpr int kFiles = 64;
+  constexpr int kEpochs = 400;
+  EpochShuffler s(Names(kFiles), 123);
+  std::vector<double> position_sum(kFiles, 0.0);
+  for (int e = 0; e < kEpochs; ++e) {
+    const auto order = s.OrderFor(static_cast<std::uint64_t>(e));
+    for (int pos = 0; pos < kFiles; ++pos) {
+      const int idx = std::stoi(order[pos].substr(1));
+      position_sum[idx] += pos;
+    }
+  }
+  const double expected_mean = (kFiles - 1) / 2.0;  // 31.5
+  // Std error of the mean position over 400 epochs ~ 18.5/20 ~ 0.92;
+  // allow 4 sigma.
+  for (int i = 0; i < kFiles; ++i) {
+    EXPECT_NEAR(position_sum[i] / kEpochs, expected_mean, 4.0)
+        << "file " << i << " is positionally biased";
+  }
+}
+
+TEST(DeviceModelTest, ServiceTimeMonotonicInBytes) {
+  const DeviceModel m(DeviceProfile::NvmeP4600());
+  Nanos prev{0};
+  for (std::uint64_t bytes = 4096; bytes <= (64ull << 20); bytes *= 4) {
+    const Nanos t = m.ServiceTime(bytes, 4);
+    EXPECT_GT(t, prev) << "bytes=" << bytes;
+    prev = t;
+  }
+}
+
+TEST_F(ShufflerTest, FilenameListRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/prisma_list_test.txt";
+  EpochShuffler s(Names(50), 3);
+  const auto order = s.OrderFor(2);
+  ASSERT_TRUE(WriteFilenameList(path, order).ok());
+  auto loaded = ReadFilenameList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, order);
+  EXPECT_EQ(ReadFilenameList(path + ".missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- DeviceModel ----------------------------------------------------------------
+
+TEST(DeviceModelTest, BandwidthSaturates) {
+  const DeviceModel m(DeviceProfile::NvmeP4600());
+  const double a1 = m.AggregateBandwidth(1);
+  const double a4 = m.AggregateBandwidth(4);
+  const double a32 = m.AggregateBandwidth(32);
+  EXPECT_LT(a1, a4);
+  EXPECT_LT(a4, a32);
+  EXPECT_LT(a32, m.profile().max_bandwidth_bps * 1.0001);
+  // Saturation: 32 readers extract nearly everything.
+  EXPECT_GT(a32, m.profile().max_bandwidth_bps * 0.99);
+}
+
+TEST(DeviceModelTest, MarginalGainDiminishes) {
+  const DeviceModel m(DeviceProfile::NvmeP4600());
+  double prev_gain = 1e18;
+  for (std::uint32_t c = 1; c < 16; ++c) {
+    const double gain = m.AggregateBandwidth(c + 1) - m.AggregateBandwidth(c);
+    EXPECT_LE(gain, prev_gain * 1.0001);
+    prev_gain = gain;
+  }
+}
+
+TEST(DeviceModelTest, ServiceTimeComponents) {
+  DeviceProfile p = DeviceProfile::Instant();
+  p.issue_latency = Micros{100};
+  p.max_bandwidth_bps = 1e9;
+  p.concurrency_knee = 1e-6;  // effectively always at max bandwidth
+  const DeviceModel m(p);
+  const Nanos t = m.ServiceTime(1'000'000, 1);
+  // 100 us latency + 1 MB / 1 GB/s = 1 ms.
+  EXPECT_NEAR(ToSeconds(t), 100e-6 + 1e-3, 1e-6);
+}
+
+TEST(DeviceModelTest, PerStreamSlowsWithConcurrency) {
+  const DeviceModel m(DeviceProfile::NvmeP4600());
+  // A single request takes longer per-stream when sharing the device.
+  EXPECT_LT(m.ServiceTime(100000, 1), m.ServiceTime(100000, 8));
+}
+
+TEST(DeviceModelTest, LargeSequentialReadsUnlockFullBandwidth) {
+  // A single big streaming read behaves like a deep queue: its
+  // throughput approaches max bandwidth even at concurrency 1, while an
+  // equal volume of small reads at concurrency 1 does not.
+  const DeviceModel m(DeviceProfile::NvmeP4600());
+  const std::uint64_t big = 64ull << 20;
+  const double big_bps = static_cast<double>(big) / ToSeconds(m.ServiceTime(big, 1));
+  EXPECT_GT(big_bps, m.profile().max_bandwidth_bps * 0.9);
+
+  const std::uint64_t small = 113 * 1024;
+  const double small_bps =
+      static_cast<double>(small) / ToSeconds(m.ServiceTime(small, 1));
+  EXPECT_LT(small_bps, m.profile().max_bandwidth_bps * 0.65);
+}
+
+TEST(DeviceModelTest, SequentialBoostCanBeDisabled) {
+  DeviceProfile p = DeviceProfile::NvmeP4600();
+  p.seq_parallel_chunk_bytes = 0;
+  p.jitter_frac = 0.0;
+  const DeviceModel m(p);
+  const std::uint64_t big = 64ull << 20;
+  // Without the boost, a big read at c=1 runs at single-stream speed.
+  const double bps = static_cast<double>(big) / ToSeconds(m.ServiceTime(big, 1));
+  EXPECT_LT(bps, m.AggregateBandwidth(1) * 1.01);
+}
+
+TEST(DeviceModelTest, ProfilesAreOrdered) {
+  const DeviceModel ssd(DeviceProfile::NvmeP4600());
+  const DeviceModel hdd(DeviceProfile::Hdd7200());
+  const DeviceModel pfs(DeviceProfile::ParallelFs());
+  EXPECT_LT(ssd.ServiceTime(113 * 1024, 1), hdd.ServiceTime(113 * 1024, 1));
+  EXPECT_GT(pfs.AggregateBandwidth(64), ssd.AggregateBandwidth(64));
+}
+
+// --- PageCacheModel ----------------------------------------------------------------
+
+TEST(PageCacheTest, MissThenHit) {
+  PageCacheModel cache(1 << 20);
+  EXPECT_FALSE(cache.AccessAndAdmit("a", 1000));
+  EXPECT_TRUE(cache.AccessAndAdmit("a", 1000));
+  EXPECT_EQ(cache.Hits(), 1u);
+  EXPECT_EQ(cache.Misses(), 1u);
+}
+
+TEST(PageCacheTest, LruEviction) {
+  PageCacheModel cache(3000);
+  cache.AccessAndAdmit("a", 1000);
+  cache.AccessAndAdmit("b", 1000);
+  cache.AccessAndAdmit("c", 1000);
+  cache.AccessAndAdmit("a", 0);       // touch a -> LRU order: b
+  cache.AccessAndAdmit("d", 1000);    // evicts b
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+}
+
+TEST(PageCacheTest, OversizedFilesNeverAdmitted) {
+  PageCacheModel cache(1000);
+  EXPECT_FALSE(cache.AccessAndAdmit("big", 5000));
+  EXPECT_FALSE(cache.Contains("big"));
+  EXPECT_EQ(cache.UsedBytes(), 0u);
+}
+
+TEST(PageCacheTest, ZeroCapacityDisables) {
+  PageCacheModel cache(0);
+  EXPECT_FALSE(cache.AccessAndAdmit("a", 10));
+  EXPECT_FALSE(cache.AccessAndAdmit("a", 10));
+  EXPECT_EQ(cache.Hits(), 0u);
+}
+
+TEST(PageCacheTest, DropAll) {
+  PageCacheModel cache(1 << 20);
+  cache.AccessAndAdmit("a", 100);
+  cache.DropAll();
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_EQ(cache.UsedBytes(), 0u);
+}
+
+TEST(PageCacheTest, UsedBytesTracksResidency) {
+  PageCacheModel cache(10000);
+  cache.AccessAndAdmit("a", 4000);
+  cache.AccessAndAdmit("b", 4000);
+  EXPECT_EQ(cache.UsedBytes(), 8000u);
+  cache.AccessAndAdmit("c", 4000);  // evicts a
+  EXPECT_EQ(cache.UsedBytes(), 8000u);
+  EXPECT_FALSE(cache.Contains("a"));
+}
+
+}  // namespace
+}  // namespace prisma::storage

@@ -1,0 +1,174 @@
+// SyntheticBackend: deterministic content + modeled service times with
+// real sleeps, concurrency tracking, overrides, and the page-cache path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::storage {
+namespace {
+
+SyntheticBackendOptions FastOptions() {
+  SyntheticBackendOptions o;
+  o.profile = DeviceProfile::Instant();
+  o.time_scale = 0.0;  // no sleeping in functional tests
+  return o;
+}
+
+ImageNetDataset SmallDataset() {
+  SyntheticImageNetSpec spec;
+  spec.num_train = 50;
+  spec.num_validation = 10;
+  spec.mean_file_size = 16 * 1024;
+  spec.min_file_size = 4 * 1024;
+  return MakeSyntheticImageNet(spec);
+}
+
+TEST(SyntheticBackendTest, ServesCatalogFiles) {
+  const auto ds = SmallDataset();
+  SyntheticBackend backend(FastOptions(), ds);
+  for (const auto& f : ds.train.files()) {
+    auto size = backend.FileSize(f.name);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size, f.size);
+    auto data = backend.ReadAll(f.name);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, SyntheticContent::Generate(f.name, f.size));
+  }
+}
+
+TEST(SyntheticBackendTest, UnknownFileNotFound) {
+  SyntheticBackend backend(FastOptions());
+  std::vector<std::byte> buf(10);
+  EXPECT_EQ(backend.Read("ghost", 0, buf).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SyntheticBackendTest, OffsetReads) {
+  const auto ds = SmallDataset();
+  SyntheticBackend backend(FastOptions(), ds);
+  const auto& f = ds.train.At(0);
+  const auto whole = SyntheticContent::Generate(f.name, f.size);
+  std::vector<std::byte> buf(100);
+  auto n = backend.Read(f.name, 500, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(buf[i], whole[500 + i]);
+}
+
+TEST(SyntheticBackendTest, ReadPastEof) {
+  const auto ds = SmallDataset();
+  SyntheticBackend backend(FastOptions(), ds);
+  const auto& f = ds.train.At(0);
+  std::vector<std::byte> buf(10);
+  auto n = backend.Read(f.name, f.size + 100, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(SyntheticBackendTest, WriteOverridesContent) {
+  SyntheticBackend backend(FastOptions());
+  std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  ASSERT_TRUE(backend.Write("custom", payload).ok());
+  auto data = backend.ReadAll("custom");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, payload);
+  EXPECT_EQ(*backend.FileSize("custom"), 3u);
+}
+
+TEST(SyntheticBackendTest, StatsAccumulate) {
+  const auto ds = SmallDataset();
+  SyntheticBackend backend(FastOptions(), ds);
+  (void)backend.ReadAll(ds.train.At(0).name);
+  (void)backend.ReadAll(ds.train.At(1).name);
+  const auto stats = backend.Stats();
+  EXPECT_GE(stats.reads, 2u);
+  EXPECT_EQ(stats.bytes_read, ds.train.At(0).size + ds.train.At(1).size);
+}
+
+TEST(SyntheticBackendTest, ModeledServiceTimeSleeps) {
+  SyntheticBackendOptions o;
+  o.profile = DeviceProfile::Instant();
+  o.profile.issue_latency = Millis{20};
+  o.time_scale = 1.0;
+  SyntheticBackend backend(o);
+  std::vector<std::byte> payload(100);
+  ASSERT_TRUE(backend.Write("f", payload).ok());
+
+  std::vector<std::byte> buf(100);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(backend.Read("f", 0, buf).ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, Millis{15});
+}
+
+TEST(SyntheticBackendTest, TimeScaleShrinksServiceTime) {
+  SyntheticBackendOptions o;
+  o.profile = DeviceProfile::Instant();
+  o.profile.issue_latency = Millis{100};
+  o.time_scale = 0.01;  // 100x faster: ~1 ms
+  SyntheticBackend backend(o);
+  ASSERT_TRUE(backend.Write("f", std::vector<std::byte>(10)).ok());
+
+  std::vector<std::byte> buf(10);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(backend.Read("f", 0, buf).ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, Millis{50});
+}
+
+TEST(SyntheticBackendTest, PageCacheHitsAfterFirstRead) {
+  SyntheticBackendOptions o;
+  o.profile = DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  o.page_cache_bytes = 1 << 20;
+  const auto ds = SmallDataset();
+  SyntheticBackend backend(o, ds);
+
+  const auto& f = ds.train.At(0);
+  (void)backend.ReadAll(f.name);
+  (void)backend.ReadAll(f.name);
+  const auto stats = backend.Stats();
+  EXPECT_GE(stats.cache_hits, 1u);
+  EXPECT_GE(stats.cache_misses, 1u);
+}
+
+TEST(SyntheticBackendTest, ConcurrencyIsTracked) {
+  SyntheticBackendOptions o;
+  o.profile = DeviceProfile::Instant();
+  o.profile.issue_latency = Millis{50};
+  o.time_scale = 1.0;
+  SyntheticBackend backend(o);
+  ASSERT_TRUE(backend.Write("f", std::vector<std::byte>(8)).ok());
+
+  std::atomic<std::uint32_t> peak{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      std::vector<std::byte> buf(8);
+      ASSERT_TRUE(backend.Read("f", 0, buf).ok());
+    });
+  }
+  // Sample outstanding reads while the sleeps are in flight.
+  for (int i = 0; i < 20; ++i) {
+    peak = std::max(peak.load(), backend.OutstandingReads());
+    std::this_thread::sleep_for(Millis{5});
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GE(peak.load(), 2u);
+  EXPECT_EQ(backend.OutstandingReads(), 0u);
+}
+
+TEST(SyntheticBackendTest, RegisterAddsFiles) {
+  SyntheticBackend backend(FastOptions());
+  const auto ds = SmallDataset();
+  EXPECT_FALSE(backend.FileSize(ds.validation.At(0).name).ok());
+  backend.Register(ds.validation);
+  EXPECT_TRUE(backend.FileSize(ds.validation.At(0).name).ok());
+}
+
+}  // namespace
+}  // namespace prisma::storage

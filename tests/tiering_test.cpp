@@ -1,0 +1,163 @@
+// TieringObject: async promotion from slow to fast tier, fast-tier hits,
+// LRU demotion under a byte budget.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "dataplane/tiering_object.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::dataplane {
+namespace {
+
+using storage::DeviceProfile;
+using storage::SyntheticBackend;
+using storage::SyntheticBackendOptions;
+
+class TieringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticBackendOptions o;
+    o.profile = DeviceProfile::Instant();
+    o.time_scale = 0.0;
+    slow_ = std::make_shared<SyntheticBackend>(o);
+    fast_ = std::make_shared<SyntheticBackend>(o);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(slow_
+                      ->Write("f" + std::to_string(i),
+                              std::vector<std::byte>(1000, std::byte{static_cast<unsigned char>(i)}))
+                      .ok());
+    }
+  }
+
+  std::unique_ptr<TieringObject> MakeObject(TieringOptions options = {}) {
+    return std::make_unique<TieringObject>(slow_, fast_, options,
+                                           SteadyClock::Shared());
+  }
+
+  void WaitForPromotion(TieringObject& obj, const std::string& path) {
+    for (int i = 0; i < 200 && !obj.ResidentFast(path); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(obj.ResidentFast(path)) << path;
+  }
+
+  std::shared_ptr<SyntheticBackend> slow_;
+  std::shared_ptr<SyntheticBackend> fast_;
+};
+
+TEST_F(TieringTest, FirstReadFromSlowThenPromoted) {
+  auto obj = MakeObject();
+  ASSERT_TRUE(obj->Start().ok());
+
+  std::vector<std::byte> buf(1000);
+  ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+  EXPECT_EQ(obj->Counters().slow_reads, 1u);
+
+  WaitForPromotion(*obj, "f1");
+  ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+  EXPECT_EQ(obj->Counters().fast_hits, 1u);
+  EXPECT_EQ(buf[0], std::byte{1});
+  obj->Stop();
+}
+
+TEST_F(TieringTest, PromotionCopiesContent) {
+  auto obj = MakeObject();
+  ASSERT_TRUE(obj->Start().ok());
+  std::vector<std::byte> buf(1000);
+  ASSERT_TRUE(obj->Read("f3", 0, buf).ok());
+  WaitForPromotion(*obj, "f3");
+  auto fast_copy = fast_->ReadAll("f3");
+  ASSERT_TRUE(fast_copy.ok());
+  auto slow_copy = slow_->ReadAll("f3");
+  ASSERT_TRUE(slow_copy.ok());
+  EXPECT_EQ(*fast_copy, *slow_copy);
+  obj->Stop();
+}
+
+TEST_F(TieringTest, LruDemotionUnderBudget) {
+  TieringOptions options;
+  options.fast_tier_capacity = 2500;  // fits two 1000-byte files
+  auto obj = MakeObject(options);
+  ASSERT_TRUE(obj->Start().ok());
+
+  std::vector<std::byte> buf(1000);
+  ASSERT_TRUE(obj->Read("f0", 0, buf).ok());
+  WaitForPromotion(*obj, "f0");
+  ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+  WaitForPromotion(*obj, "f1");
+  ASSERT_TRUE(obj->Read("f2", 0, buf).ok());
+  WaitForPromotion(*obj, "f2");
+
+  EXPECT_FALSE(obj->ResidentFast("f0"));  // demoted as LRU
+  EXPECT_GE(obj->Counters().demotions, 1u);
+  EXPECT_LE(obj->Counters().fast_bytes, options.fast_tier_capacity);
+  obj->Stop();
+}
+
+TEST_F(TieringTest, TouchRefreshesLru) {
+  TieringOptions options;
+  options.fast_tier_capacity = 2500;
+  auto obj = MakeObject(options);
+  ASSERT_TRUE(obj->Start().ok());
+
+  std::vector<std::byte> buf(1000);
+  ASSERT_TRUE(obj->Read("f0", 0, buf).ok());
+  WaitForPromotion(*obj, "f0");
+  ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+  WaitForPromotion(*obj, "f1");
+  ASSERT_TRUE(obj->Read("f0", 0, buf).ok());  // touch f0 (fast hit)
+  ASSERT_TRUE(obj->Read("f2", 0, buf).ok());
+  WaitForPromotion(*obj, "f2");
+
+  EXPECT_TRUE(obj->ResidentFast("f0"));   // refreshed
+  EXPECT_FALSE(obj->ResidentFast("f1"));  // victim
+  obj->Stop();
+}
+
+TEST_F(TieringTest, OversizedFilesNeverPromoted) {
+  TieringOptions options;
+  options.max_promote_bytes = 10;
+  auto obj = MakeObject(options);
+  ASSERT_TRUE(obj->Start().ok());
+  std::vector<std::byte> buf(1000);
+  ASSERT_TRUE(obj->Read("f5", 0, buf).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(obj->ResidentFast("f5"));
+  EXPECT_EQ(obj->Counters().promotions, 0u);
+  obj->Stop();
+}
+
+TEST_F(TieringTest, FileSizePrefersResidentCopy) {
+  auto obj = MakeObject();
+  ASSERT_TRUE(obj->Start().ok());
+  auto size = obj->FileSize("f7");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 1000u);
+  obj->Stop();
+}
+
+TEST_F(TieringTest, MissingFileErrors) {
+  auto obj = MakeObject();
+  ASSERT_TRUE(obj->Start().ok());
+  std::vector<std::byte> buf(10);
+  EXPECT_FALSE(obj->Read("ghost", 0, buf).ok());
+  obj->Stop();
+}
+
+TEST_F(TieringTest, StatsSnapshotShape) {
+  auto obj = MakeObject();
+  ASSERT_TRUE(obj->Start().ok());
+  std::vector<std::byte> buf(1000);
+  ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+  WaitForPromotion(*obj, "f1");
+  const auto s = obj->CollectStats();
+  EXPECT_EQ(s.buffer_occupancy, 1u);   // one resident file
+  EXPECT_EQ(s.buffer_bytes, 1000u);
+  EXPECT_EQ(s.passthrough_reads, 1u);  // the slow read
+  obj->Stop();
+}
+
+}  // namespace
+}  // namespace prisma::dataplane

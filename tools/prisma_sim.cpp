@@ -1,0 +1,87 @@
+// prisma_sim — config-driven experiment runner.
+//
+// Usage:
+//   prisma_sim [config-file] [key=value ...]
+//
+// Later key=value arguments override the file; with no arguments a
+// default prisma_tf/LeNet experiment runs. Keys are documented in
+// src/baselines/cli_config.hpp; sample files live in configs/.
+//
+// Examples:
+//   prisma_sim configs/fig2_lenet.cfg
+//   prisma_sim pipeline=torch workers=8 model=alexnet runs=3
+//   prisma_sim configs/fig2_lenet.cfg scale=50 epochs=5
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/cli_config.hpp"
+#include "common/stats.hpp"
+
+using namespace prisma;
+using namespace prisma::baselines;
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::printf(
+          "usage: %s [config-file] [key=value ...]\n"
+          "keys: pipeline model batch epochs scale seed runs workers\n"
+          "      validation page_cache fixed_producers fixed_buffer\n",
+          argv[0]);
+      return 0;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      auto loaded = Config::FromFile(arg);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "cannot load %s: %s\n", arg.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      for (const auto& [k, v] : loaded->entries()) config.Set(k, v);
+    } else {
+      config.Set(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+
+  auto experiment = ParseExperiment(config);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "bad configuration: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "pipeline=%s model=%s batch=%zu epochs=%zu scale=%zu runs=%d%s\n",
+      std::string(PipelineName(experiment->pipeline)).c_str(),
+      experiment->config.model.name.c_str(), experiment->config.global_batch,
+      experiment->config.epochs, experiment->config.scale, experiment->runs,
+      (experiment->pipeline == PipelineKind::kTorch ||
+       experiment->pipeline == PipelineKind::kPrismaTorch)
+          ? (" workers=" + std::to_string(experiment->workers)).c_str()
+          : "");
+
+  RunningStats stats;
+  RunResult last;
+  for (int run = 0; run < experiment->runs; ++run) {
+    last = RunOnce(*experiment, run);
+    stats.Add(last.full_scale_estimate_s);
+    std::printf("  run %d: %.1f s (full-scale est %.0f s)\n", run,
+                last.elapsed_s, last.full_scale_estimate_s);
+  }
+
+  std::printf(
+      "result: %.0f s avg full-scale estimate (±%.0f over %d runs), "
+      "%llu samples/run",
+      stats.Mean(), stats.StdDev(), experiment->runs,
+      static_cast<unsigned long long>(last.samples_trained));
+  if (last.final_producers > 0) {
+    std::printf(", auto-tuned t=%u N=%zu", last.final_producers,
+                last.final_buffer);
+  }
+  std::printf("\n");
+  return 0;
+}
