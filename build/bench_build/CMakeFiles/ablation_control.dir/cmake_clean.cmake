@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_control"
+  "../bench/ablation_control.pdb"
+  "CMakeFiles/ablation_control.dir/ablation_control.cpp.o"
+  "CMakeFiles/ablation_control.dir/ablation_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

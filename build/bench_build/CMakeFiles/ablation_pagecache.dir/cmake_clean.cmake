@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pagecache"
+  "../bench/ablation_pagecache.pdb"
+  "CMakeFiles/ablation_pagecache.dir/ablation_pagecache.cpp.o"
+  "CMakeFiles/ablation_pagecache.dir/ablation_pagecache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pagecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

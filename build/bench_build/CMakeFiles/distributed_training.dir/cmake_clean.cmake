@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/distributed_training"
+  "../bench/distributed_training.pdb"
+  "CMakeFiles/distributed_training.dir/distributed_training.cpp.o"
+  "CMakeFiles/distributed_training.dir/distributed_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

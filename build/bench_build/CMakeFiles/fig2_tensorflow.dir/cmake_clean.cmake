@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_tensorflow"
+  "../bench/fig2_tensorflow.pdb"
+  "CMakeFiles/fig2_tensorflow.dir/fig2_tensorflow.cpp.o"
+  "CMakeFiles/fig2_tensorflow.dir/fig2_tensorflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tensorflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_tensorflow.
+# This may be replaced when dependencies are built.

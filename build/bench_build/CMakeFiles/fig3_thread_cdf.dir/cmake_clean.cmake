@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_thread_cdf"
+  "../bench/fig3_thread_cdf.pdb"
+  "CMakeFiles/fig3_thread_cdf.dir/fig3_thread_cdf.cpp.o"
+  "CMakeFiles/fig3_thread_cdf.dir/fig3_thread_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_thread_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_pytorch"
+  "../bench/fig4_pytorch.pdb"
+  "CMakeFiles/fig4_pytorch.dir/fig4_pytorch.cpp.o"
+  "CMakeFiles/fig4_pytorch.dir/fig4_pytorch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pytorch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

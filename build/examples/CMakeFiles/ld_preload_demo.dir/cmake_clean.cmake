@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_preload_demo.dir/ld_preload_demo.cpp.o"
+  "CMakeFiles/ld_preload_demo.dir/ld_preload_demo.cpp.o.d"
+  "ld_preload_demo"
+  "ld_preload_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_preload_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

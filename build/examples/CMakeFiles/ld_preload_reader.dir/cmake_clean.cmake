@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_preload_reader.dir/ld_preload_reader.cpp.o"
+  "CMakeFiles/ld_preload_reader.dir/ld_preload_reader.cpp.o.d"
+  "ld_preload_reader"
+  "ld_preload_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_preload_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

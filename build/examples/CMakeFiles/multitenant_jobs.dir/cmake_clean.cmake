@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitenant_jobs.dir/multitenant_jobs.cpp.o"
+  "CMakeFiles/multitenant_jobs.dir/multitenant_jobs.cpp.o.d"
+  "multitenant_jobs"
+  "multitenant_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitenant_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

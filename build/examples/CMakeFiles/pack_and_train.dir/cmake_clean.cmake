@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_and_train.dir/pack_and_train.cpp.o"
+  "CMakeFiles/pack_and_train.dir/pack_and_train.cpp.o.d"
+  "pack_and_train"
+  "pack_and_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_and_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

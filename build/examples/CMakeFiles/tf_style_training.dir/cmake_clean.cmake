@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tf_style_training.dir/tf_style_training.cpp.o"
+  "CMakeFiles/tf_style_training.dir/tf_style_training.cpp.o.d"
+  "tf_style_training"
+  "tf_style_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tf_style_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torch_multiprocess.dir/torch_multiprocess.cpp.o"
+  "CMakeFiles/torch_multiprocess.dir/torch_multiprocess.cpp.o.d"
+  "torch_multiprocess"
+  "torch_multiprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torch_multiprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cli_config.cpp" "src/baselines/CMakeFiles/prisma_baselines.dir/cli_config.cpp.o" "gcc" "src/baselines/CMakeFiles/prisma_baselines.dir/cli_config.cpp.o.d"
+  "/root/repo/src/baselines/distributed.cpp" "src/baselines/CMakeFiles/prisma_baselines.dir/distributed.cpp.o" "gcc" "src/baselines/CMakeFiles/prisma_baselines.dir/distributed.cpp.o.d"
+  "/root/repo/src/baselines/experiment.cpp" "src/baselines/CMakeFiles/prisma_baselines.dir/experiment.cpp.o" "gcc" "src/baselines/CMakeFiles/prisma_baselines.dir/experiment.cpp.o.d"
+  "/root/repo/src/baselines/tf_pipelines.cpp" "src/baselines/CMakeFiles/prisma_baselines.dir/tf_pipelines.cpp.o" "gcc" "src/baselines/CMakeFiles/prisma_baselines.dir/tf_pipelines.cpp.o.d"
+  "/root/repo/src/baselines/torch_pipelines.cpp" "src/baselines/CMakeFiles/prisma_baselines.dir/torch_pipelines.cpp.o" "gcc" "src/baselines/CMakeFiles/prisma_baselines.dir/torch_pipelines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prisma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prisma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/prisma_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/prisma_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

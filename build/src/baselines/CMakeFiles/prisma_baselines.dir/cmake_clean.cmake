@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_baselines.dir/cli_config.cpp.o"
+  "CMakeFiles/prisma_baselines.dir/cli_config.cpp.o.d"
+  "CMakeFiles/prisma_baselines.dir/distributed.cpp.o"
+  "CMakeFiles/prisma_baselines.dir/distributed.cpp.o.d"
+  "CMakeFiles/prisma_baselines.dir/experiment.cpp.o"
+  "CMakeFiles/prisma_baselines.dir/experiment.cpp.o.d"
+  "CMakeFiles/prisma_baselines.dir/tf_pipelines.cpp.o"
+  "CMakeFiles/prisma_baselines.dir/tf_pipelines.cpp.o.d"
+  "CMakeFiles/prisma_baselines.dir/torch_pipelines.cpp.o"
+  "CMakeFiles/prisma_baselines.dir/torch_pipelines.cpp.o.d"
+  "libprisma_baselines.a"
+  "libprisma_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_common.dir/clock.cpp.o"
+  "CMakeFiles/prisma_common.dir/clock.cpp.o.d"
+  "CMakeFiles/prisma_common.dir/config.cpp.o"
+  "CMakeFiles/prisma_common.dir/config.cpp.o.d"
+  "CMakeFiles/prisma_common.dir/crc32.cpp.o"
+  "CMakeFiles/prisma_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/prisma_common.dir/histogram.cpp.o"
+  "CMakeFiles/prisma_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/prisma_common.dir/logging.cpp.o"
+  "CMakeFiles/prisma_common.dir/logging.cpp.o.d"
+  "CMakeFiles/prisma_common.dir/metrics.cpp.o"
+  "CMakeFiles/prisma_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/prisma_common.dir/stats.cpp.o"
+  "CMakeFiles/prisma_common.dir/stats.cpp.o.d"
+  "CMakeFiles/prisma_common.dir/status.cpp.o"
+  "CMakeFiles/prisma_common.dir/status.cpp.o.d"
+  "CMakeFiles/prisma_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/prisma_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/prisma_common.dir/units.cpp.o"
+  "CMakeFiles/prisma_common.dir/units.cpp.o.d"
+  "libprisma_common.a"
+  "libprisma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controlplane/autotuner.cpp" "src/controlplane/CMakeFiles/prisma_controlplane.dir/autotuner.cpp.o" "gcc" "src/controlplane/CMakeFiles/prisma_controlplane.dir/autotuner.cpp.o.d"
+  "/root/repo/src/controlplane/controller.cpp" "src/controlplane/CMakeFiles/prisma_controlplane.dir/controller.cpp.o" "gcc" "src/controlplane/CMakeFiles/prisma_controlplane.dir/controller.cpp.o.d"
+  "/root/repo/src/controlplane/pid_autotuner.cpp" "src/controlplane/CMakeFiles/prisma_controlplane.dir/pid_autotuner.cpp.o" "gcc" "src/controlplane/CMakeFiles/prisma_controlplane.dir/pid_autotuner.cpp.o.d"
+  "/root/repo/src/controlplane/policy.cpp" "src/controlplane/CMakeFiles/prisma_controlplane.dir/policy.cpp.o" "gcc" "src/controlplane/CMakeFiles/prisma_controlplane.dir/policy.cpp.o.d"
+  "/root/repo/src/controlplane/tf_autotuner.cpp" "src/controlplane/CMakeFiles/prisma_controlplane.dir/tf_autotuner.cpp.o" "gcc" "src/controlplane/CMakeFiles/prisma_controlplane.dir/tf_autotuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/prisma_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prisma_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

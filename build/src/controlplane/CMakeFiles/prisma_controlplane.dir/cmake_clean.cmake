@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_controlplane.dir/autotuner.cpp.o"
+  "CMakeFiles/prisma_controlplane.dir/autotuner.cpp.o.d"
+  "CMakeFiles/prisma_controlplane.dir/controller.cpp.o"
+  "CMakeFiles/prisma_controlplane.dir/controller.cpp.o.d"
+  "CMakeFiles/prisma_controlplane.dir/pid_autotuner.cpp.o"
+  "CMakeFiles/prisma_controlplane.dir/pid_autotuner.cpp.o.d"
+  "CMakeFiles/prisma_controlplane.dir/policy.cpp.o"
+  "CMakeFiles/prisma_controlplane.dir/policy.cpp.o.d"
+  "CMakeFiles/prisma_controlplane.dir/tf_autotuner.cpp.o"
+  "CMakeFiles/prisma_controlplane.dir/tf_autotuner.cpp.o.d"
+  "libprisma_controlplane.a"
+  "libprisma_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

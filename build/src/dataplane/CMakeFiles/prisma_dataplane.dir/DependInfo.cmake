@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/prefetch_object.cpp" "src/dataplane/CMakeFiles/prisma_dataplane.dir/prefetch_object.cpp.o" "gcc" "src/dataplane/CMakeFiles/prisma_dataplane.dir/prefetch_object.cpp.o.d"
+  "/root/repo/src/dataplane/sample_buffer.cpp" "src/dataplane/CMakeFiles/prisma_dataplane.dir/sample_buffer.cpp.o" "gcc" "src/dataplane/CMakeFiles/prisma_dataplane.dir/sample_buffer.cpp.o.d"
+  "/root/repo/src/dataplane/stage.cpp" "src/dataplane/CMakeFiles/prisma_dataplane.dir/stage.cpp.o" "gcc" "src/dataplane/CMakeFiles/prisma_dataplane.dir/stage.cpp.o.d"
+  "/root/repo/src/dataplane/stage_registry.cpp" "src/dataplane/CMakeFiles/prisma_dataplane.dir/stage_registry.cpp.o" "gcc" "src/dataplane/CMakeFiles/prisma_dataplane.dir/stage_registry.cpp.o.d"
+  "/root/repo/src/dataplane/tiering_object.cpp" "src/dataplane/CMakeFiles/prisma_dataplane.dir/tiering_object.cpp.o" "gcc" "src/dataplane/CMakeFiles/prisma_dataplane.dir/tiering_object.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prisma_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_dataplane.dir/prefetch_object.cpp.o"
+  "CMakeFiles/prisma_dataplane.dir/prefetch_object.cpp.o.d"
+  "CMakeFiles/prisma_dataplane.dir/sample_buffer.cpp.o"
+  "CMakeFiles/prisma_dataplane.dir/sample_buffer.cpp.o.d"
+  "CMakeFiles/prisma_dataplane.dir/stage.cpp.o"
+  "CMakeFiles/prisma_dataplane.dir/stage.cpp.o.d"
+  "CMakeFiles/prisma_dataplane.dir/stage_registry.cpp.o"
+  "CMakeFiles/prisma_dataplane.dir/stage_registry.cpp.o.d"
+  "CMakeFiles/prisma_dataplane.dir/tiering_object.cpp.o"
+  "CMakeFiles/prisma_dataplane.dir/tiering_object.cpp.o.d"
+  "libprisma_dataplane.a"
+  "libprisma_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

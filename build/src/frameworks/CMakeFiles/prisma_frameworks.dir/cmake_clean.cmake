@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_frameworks.dir/tf_adapter.cpp.o"
+  "CMakeFiles/prisma_frameworks.dir/tf_adapter.cpp.o.d"
+  "CMakeFiles/prisma_frameworks.dir/torch_adapter.cpp.o"
+  "CMakeFiles/prisma_frameworks.dir/torch_adapter.cpp.o.d"
+  "libprisma_frameworks.a"
+  "libprisma_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/uds_client.cpp" "src/ipc/CMakeFiles/prisma_ipc.dir/uds_client.cpp.o" "gcc" "src/ipc/CMakeFiles/prisma_ipc.dir/uds_client.cpp.o.d"
+  "/root/repo/src/ipc/uds_server.cpp" "src/ipc/CMakeFiles/prisma_ipc.dir/uds_server.cpp.o" "gcc" "src/ipc/CMakeFiles/prisma_ipc.dir/uds_server.cpp.o.d"
+  "/root/repo/src/ipc/wire.cpp" "src/ipc/CMakeFiles/prisma_ipc.dir/wire.cpp.o" "gcc" "src/ipc/CMakeFiles/prisma_ipc.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/prisma_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prisma_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_ipc.dir/uds_client.cpp.o"
+  "CMakeFiles/prisma_ipc.dir/uds_client.cpp.o.d"
+  "CMakeFiles/prisma_ipc.dir/uds_server.cpp.o"
+  "CMakeFiles/prisma_ipc.dir/uds_server.cpp.o.d"
+  "CMakeFiles/prisma_ipc.dir/wire.cpp.o"
+  "CMakeFiles/prisma_ipc.dir/wire.cpp.o.d"
+  "libprisma_ipc.a"
+  "libprisma_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_shim.dir/shim.cpp.o"
+  "CMakeFiles/prisma_shim.dir/shim.cpp.o.d"
+  "libprisma_shim.pdb"
+  "libprisma_shim.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_shim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_sim.dir/engine.cpp.o"
+  "CMakeFiles/prisma_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/prisma_sim.dir/model_zoo.cpp.o"
+  "CMakeFiles/prisma_sim.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/prisma_sim.dir/storage_actor.cpp.o"
+  "CMakeFiles/prisma_sim.dir/storage_actor.cpp.o.d"
+  "libprisma_sim.a"
+  "libprisma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

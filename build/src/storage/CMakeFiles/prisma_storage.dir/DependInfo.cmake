@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/backend.cpp" "src/storage/CMakeFiles/prisma_storage.dir/backend.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/backend.cpp.o.d"
+  "/root/repo/src/storage/dataset.cpp" "src/storage/CMakeFiles/prisma_storage.dir/dataset.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/dataset.cpp.o.d"
+  "/root/repo/src/storage/device_model.cpp" "src/storage/CMakeFiles/prisma_storage.dir/device_model.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/device_model.cpp.o.d"
+  "/root/repo/src/storage/flaky_backend.cpp" "src/storage/CMakeFiles/prisma_storage.dir/flaky_backend.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/flaky_backend.cpp.o.d"
+  "/root/repo/src/storage/page_cache.cpp" "src/storage/CMakeFiles/prisma_storage.dir/page_cache.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/page_cache.cpp.o.d"
+  "/root/repo/src/storage/posix_backend.cpp" "src/storage/CMakeFiles/prisma_storage.dir/posix_backend.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/posix_backend.cpp.o.d"
+  "/root/repo/src/storage/rate_limiter.cpp" "src/storage/CMakeFiles/prisma_storage.dir/rate_limiter.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/storage/record_format.cpp" "src/storage/CMakeFiles/prisma_storage.dir/record_format.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/record_format.cpp.o.d"
+  "/root/repo/src/storage/shuffler.cpp" "src/storage/CMakeFiles/prisma_storage.dir/shuffler.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/shuffler.cpp.o.d"
+  "/root/repo/src/storage/synthetic_backend.cpp" "src/storage/CMakeFiles/prisma_storage.dir/synthetic_backend.cpp.o" "gcc" "src/storage/CMakeFiles/prisma_storage.dir/synthetic_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

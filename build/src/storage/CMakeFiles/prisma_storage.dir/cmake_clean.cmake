@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_storage.dir/backend.cpp.o"
+  "CMakeFiles/prisma_storage.dir/backend.cpp.o.d"
+  "CMakeFiles/prisma_storage.dir/dataset.cpp.o"
+  "CMakeFiles/prisma_storage.dir/dataset.cpp.o.d"
+  "CMakeFiles/prisma_storage.dir/device_model.cpp.o"
+  "CMakeFiles/prisma_storage.dir/device_model.cpp.o.d"
+  "CMakeFiles/prisma_storage.dir/flaky_backend.cpp.o"
+  "CMakeFiles/prisma_storage.dir/flaky_backend.cpp.o.d"
+  "CMakeFiles/prisma_storage.dir/page_cache.cpp.o"
+  "CMakeFiles/prisma_storage.dir/page_cache.cpp.o.d"
+  "CMakeFiles/prisma_storage.dir/posix_backend.cpp.o"
+  "CMakeFiles/prisma_storage.dir/posix_backend.cpp.o.d"
+  "CMakeFiles/prisma_storage.dir/rate_limiter.cpp.o"
+  "CMakeFiles/prisma_storage.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/prisma_storage.dir/record_format.cpp.o"
+  "CMakeFiles/prisma_storage.dir/record_format.cpp.o.d"
+  "CMakeFiles/prisma_storage.dir/shuffler.cpp.o"
+  "CMakeFiles/prisma_storage.dir/shuffler.cpp.o.d"
+  "CMakeFiles/prisma_storage.dir/synthetic_backend.cpp.o"
+  "CMakeFiles/prisma_storage.dir/synthetic_backend.cpp.o.d"
+  "libprisma_storage.a"
+  "libprisma_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

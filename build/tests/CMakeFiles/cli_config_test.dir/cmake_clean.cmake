@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_config_test.dir/cli_config_test.cpp.o"
+  "CMakeFiles/cli_config_test.dir/cli_config_test.cpp.o.d"
+  "cli_config_test"
+  "cli_config_test.pdb"
+  "cli_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pid_autotuner_test.dir/pid_autotuner_test.cpp.o"
+  "CMakeFiles/pid_autotuner_test.dir/pid_autotuner_test.cpp.o.d"
+  "pid_autotuner_test"
+  "pid_autotuner_test.pdb"
+  "pid_autotuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pid_autotuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelines_test.dir/pipelines_test.cpp.o"
+  "CMakeFiles/pipelines_test.dir/pipelines_test.cpp.o.d"
+  "pipelines_test"
+  "pipelines_test.pdb"
+  "pipelines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

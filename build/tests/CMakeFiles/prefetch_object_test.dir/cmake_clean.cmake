@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_object_test.dir/prefetch_object_test.cpp.o"
+  "CMakeFiles/prefetch_object_test.dir/prefetch_object_test.cpp.o.d"
+  "prefetch_object_test"
+  "prefetch_object_test.pdb"
+  "prefetch_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

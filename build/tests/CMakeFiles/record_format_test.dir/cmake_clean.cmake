@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_format_test.dir/record_format_test.cpp.o"
+  "CMakeFiles/record_format_test.dir/record_format_test.cpp.o.d"
+  "record_format_test"
+  "record_format_test.pdb"
+  "record_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

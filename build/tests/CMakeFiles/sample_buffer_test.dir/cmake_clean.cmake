@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_buffer_test.dir/sample_buffer_test.cpp.o"
+  "CMakeFiles/sample_buffer_test.dir/sample_buffer_test.cpp.o.d"
+  "sample_buffer_test"
+  "sample_buffer_test.pdb"
+  "sample_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

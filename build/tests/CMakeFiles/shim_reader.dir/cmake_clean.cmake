@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shim_reader.dir/shim_reader.cpp.o"
+  "CMakeFiles/shim_reader.dir/shim_reader.cpp.o.d"
+  "shim_reader"
+  "shim_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shim_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stacking_test.dir/stacking_test.cpp.o"
+  "CMakeFiles/stacking_test.dir/stacking_test.cpp.o.d"
+  "stacking_test"
+  "stacking_test.pdb"
+  "stacking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stacking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_backend_test[1]_include.cmake")
+include("/root/repo/build/tests/sample_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/prefetch_object_test[1]_include.cmake")
+include("/root/repo/build/tests/tiering_test[1]_include.cmake")
+include("/root/repo/build/tests/autotuner_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/pipelines_test[1]_include.cmake")
+include("/root/repo/build/tests/frameworks_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/stacking_test[1]_include.cmake")
+include("/root/repo/build/tests/rate_limiter_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_test[1]_include.cmake")
+include("/root/repo/build/tests/record_format_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_config_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/pid_autotuner_test[1]_include.cmake")
+include("/root/repo/build/tests/shim_test[1]_include.cmake")

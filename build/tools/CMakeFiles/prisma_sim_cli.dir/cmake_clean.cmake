@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prisma_sim_cli.dir/prisma_sim.cpp.o"
+  "CMakeFiles/prisma_sim_cli.dir/prisma_sim.cpp.o.d"
+  "prisma-sim"
+  "prisma-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prisma_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
