@@ -46,9 +46,14 @@ BENCHMARK(BM_SampleBufferInsertTake)->Arg(1024)->Arg(113 * 1024);
 
 void BM_SampleBufferContended(benchmark::State& state) {
   // The synchronization point the paper identifies for 8+ workers: many
-  // consumers hammering one mutex-guarded buffer.
+  // consumers hammering the shared buffer. range(0) is the number of
+  // *background* consumer threads (the timed thread is one more),
+  // range(1) the shard count — 1 reproduces the prototype's single-mutex
+  // buffer, so each row pair quantifies the sharding win at that
+  // concurrency level.
   const int consumers = static_cast<int>(state.range(0));
-  SampleBuffer buf(4096, SteadyClock::Shared());
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  SampleBuffer buf(4096, SteadyClock::Shared(), shards);
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> seq{0};
 
@@ -75,7 +80,14 @@ void BM_SampleBufferContended(benchmark::State& state) {
   for (auto& t : fleet) t.join();
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_SampleBufferContended)->Arg(0)->Arg(2)->Arg(8)->Arg(16);
+BENCHMARK(BM_SampleBufferContended)
+    ->ArgNames({"consumers", "shards"})
+    ->Args({0, 1})
+    ->Args({0, 16})
+    ->Args({7, 1})
+    ->Args({7, 16})
+    ->Args({31, 1})
+    ->Args({31, 16});
 
 // --- queues --------------------------------------------------------------------
 

@@ -242,6 +242,7 @@ bench_build/CMakeFiles/micro_dataplane.dir/micro_dataplane.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/dataplane/types.hpp \
  /root/repo/src/dataplane/sample_buffer.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/storage/backend.hpp \
  /root/repo/src/storage/rate_limiter.hpp \
  /root/repo/src/ipc/uds_client.hpp /root/repo/src/ipc/wire.hpp \

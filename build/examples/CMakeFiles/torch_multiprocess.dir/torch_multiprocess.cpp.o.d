@@ -257,6 +257,11 @@ examples/CMakeFiles/torch_multiprocess.dir/torch_multiprocess.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/dataplane/types.hpp \
  /root/repo/src/dataplane/sample_buffer.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/storage/backend.hpp \
  /root/repo/src/storage/rate_limiter.hpp \
  /root/repo/src/frameworks/torch_adapter.hpp \

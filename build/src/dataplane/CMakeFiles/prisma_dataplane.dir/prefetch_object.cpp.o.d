@@ -231,12 +231,13 @@ src/dataplane/CMakeFiles/prisma_dataplane.dir/prefetch_object.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/dataplane/types.hpp \
  /root/repo/src/dataplane/sample_buffer.hpp \
- /root/repo/src/storage/backend.hpp \
- /root/repo/src/storage/rate_limiter.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/storage/backend.hpp \
+ /root/repo/src/storage/rate_limiter.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

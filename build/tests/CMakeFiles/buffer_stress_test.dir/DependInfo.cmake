@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/buffer_stress_test.cpp" "tests/CMakeFiles/buffer_stress_test.dir/buffer_stress_test.cpp.o" "gcc" "tests/CMakeFiles/buffer_stress_test.dir/buffer_stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/prisma_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/prisma_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/prisma_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/prisma_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/prisma_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prisma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prisma_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prisma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_stress_test.dir/buffer_stress_test.cpp.o"
+  "CMakeFiles/buffer_stress_test.dir/buffer_stress_test.cpp.o.d"
+  "buffer_stress_test"
+  "buffer_stress_test.pdb"
+  "buffer_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

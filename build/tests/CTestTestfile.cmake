@@ -26,5 +26,6 @@ include("/root/repo/build/tests/distributed_test[1]_include.cmake")
 include("/root/repo/build/tests/record_format_test[1]_include.cmake")
 include("/root/repo/build/tests/cli_config_test[1]_include.cmake")
 include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_stress_test[1]_include.cmake")
 include("/root/repo/build/tests/pid_autotuner_test[1]_include.cmake")
 include("/root/repo/build/tests/shim_test[1]_include.cmake")

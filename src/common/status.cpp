@@ -15,6 +15,7 @@ std::string_view StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }

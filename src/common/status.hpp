@@ -21,9 +21,10 @@ enum class StatusCode {
   kResourceExhausted,
   kFailedPrecondition,
   kUnavailable,   // transient: retryable (e.g. socket not yet up)
-  kAborted,       // shut down / cancelled while waiting
+  kAborted,       // shut down while waiting
   kIoError,       // errno-style failure from the backend
   kInternal,
+  kCancelled,     // caller-requested cancellation (e.g. retiring worker)
 };
 
 /// Human-readable name of a status code (stable, for logs and tests).
@@ -47,6 +48,7 @@ class [[nodiscard]] Status {
   static Status Aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
   static Status IoError(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status Cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
 
   bool ok() const noexcept { return code_ == StatusCode::kOk; }
   StatusCode code() const noexcept { return code_; }

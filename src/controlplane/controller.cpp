@@ -182,6 +182,13 @@ void Controller::ExportMetrics(MetricsRegistry& registry) const {
         .Set(static_cast<double>(obs.stats.consumer_waits));
     registry.GetGauge("prisma_stage_queue_depth", labels)
         .Set(static_cast<double>(obs.stats.queue_depth));
+    registry.GetGauge("prisma_stage_buffer_shards", labels)
+        .Set(static_cast<double>(
+            obs.applied.buffer_shards.value_or(obs.stats.buffer_shards)));
+    registry.GetGauge("prisma_stage_read_retries", labels)
+        .Set(static_cast<double>(obs.stats.read_retries));
+    registry.GetGauge("prisma_stage_read_failures", labels)
+        .Set(static_cast<double>(obs.stats.read_failures));
   }
 }
 

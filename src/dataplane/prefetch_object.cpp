@@ -17,7 +17,7 @@ PrefetchObject::PrefetchObject(
     : backend_(std::move(backend)),
       options_(options),
       clock_(std::move(clock)),
-      buffer_(options.buffer_capacity, clock_) {
+      buffer_(options.buffer_capacity, clock_, options.buffer_shards) {
   if (options.read_rate_bps > 0.0) {
     rate_bps_ = options.read_rate_bps;
     rate_bucket_ = std::make_shared<storage::TokenBucket>(
@@ -77,6 +77,12 @@ Status PrefetchObject::BeginEpoch(std::uint64_t epoch,
 }
 
 void PrefetchObject::ProducerLoop(std::uint32_t index) {
+  // Observed by a blocked Insert so a retiring producer abandons the wait
+  // instead of stalling ReconcileProducers until a consumer frees a slot.
+  const auto retired = [this, index] {
+    return !running_.load(std::memory_order_acquire) ||
+           index >= target_producers_.load(std::memory_order_acquire);
+  };
   while (running_.load(std::memory_order_acquire) &&
          index < target_producers_.load(std::memory_order_acquire)) {
     auto name = filename_queue_.PopFor(kProducerPollInterval);
@@ -105,7 +111,7 @@ void PrefetchObject::ProducerLoop(std::uint32_t index) {
     for (std::uint32_t attempt = 0; attempt <= options_.read_retries;
          ++attempt) {
       if (attempt > 0) {
-        producer_read_errors_.fetch_add(1, std::memory_order_relaxed);
+        read_retries_.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::sleep_for(options_.retry_backoff * attempt);
       }
       RecordActiveReaders(+1);
@@ -114,7 +120,7 @@ void PrefetchObject::ProducerLoop(std::uint32_t index) {
       if (data.ok()) break;
     }
     if (!data.ok()) {
-      producer_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      read_failures_.fetch_add(1, std::memory_order_relaxed);
       PRISMA_LOG(kWarn, "prefetch")
           << "producer gave up on " << *name << ": "
           << data.status().ToString();
@@ -124,12 +130,22 @@ void PrefetchObject::ProducerLoop(std::uint32_t index) {
     if (data->size() > options_.max_sample_bytes) {
       // Oversized files are never buffered; fail the waiter over to the
       // pass-through path, which serves files of any size.
-      producer_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      oversize_rejects_.fetch_add(1, std::memory_order_relaxed);
       buffer_.MarkFailed(*name);
       continue;
     }
     Sample sample{*name, std::move(*data)};
-    if (!buffer_.Insert(std::move(sample)).ok()) break;  // closed
+    const Status inserted = buffer_.Insert(std::move(sample), retired);
+    if (inserted.code() == StatusCode::kCancelled) {
+      // Retiring mid-insert: the sample never landed, so fail the name
+      // over to the consumer's pass-through path. (Re-queueing it at the
+      // FIFO tail would break the epoch-order invariant that keeps the
+      // direct handoff deadlock-free: the consumer's awaited name must
+      // stay at or before every name still in flight.)
+      buffer_.MarkFailed(*name);
+      break;
+    }
+    if (!inserted.ok()) break;  // closed
   }
 }
 
@@ -140,20 +156,26 @@ std::shared_ptr<storage::TokenBucket> PrefetchObject::CurrentBucket() const {
 
 void PrefetchObject::RecordActiveReaders(std::int32_t delta) {
   std::lock_guard lock(timeline_mu_);
-  const std::uint32_t value =
-      delta > 0 ? active_readers_.fetch_add(1, std::memory_order_acq_rel) + 1
-                : active_readers_.fetch_sub(1, std::memory_order_acq_rel) - 1;
-  reader_timeline_.Record(clock_->Now(), value);
+  active_readers_ += static_cast<std::uint32_t>(delta);
+  reader_timeline_.Record(clock_->Now(), active_readers_);
+}
+
+void PrefetchObject::RetireAnnounced(const std::string& path) {
+  std::lock_guard lock(announced_mu_);
+  announced_.erase(path);
 }
 
 void PrefetchObject::ReconcileProducers() {
   std::lock_guard lock(producers_mu_);
   // Retired threads (index >= target) exit on their own; join the ones
   // that already finished so the vector reflects live threads only when
-  // shrinking, and spawn missing indices when growing.
+  // shrinking, and spawn missing indices when growing. A retiree blocked
+  // in a full-buffer Insert observes its retirement (the cancel predicate
+  // passed to Insert) and gives up, so each join blocks at most one poll
+  // interval even with no consumer draining the buffer.
   const std::uint32_t target = target_producers_.load(std::memory_order_acquire);
   while (producers_.size() > target) {
-    producers_.back().join();  // blocks at most one poll interval
+    producers_.back().join();
     producers_.pop_back();
   }
   for (std::uint32_t i = static_cast<std::uint32_t>(producers_.size());
@@ -194,7 +216,10 @@ Result<std::size_t> PrefetchObject::Read(const std::string& path,
     if (!sample.ok()) {
       // Buffer closed mid-epoch, or the producer gave up on this sample
       // (persistent fault / oversized file): degrade to pass-through —
-      // correctness over acceleration.
+      // correctness over acceleration. Retire the name so the rest of
+      // this file's chunks (and later epochs until re-announced) skip
+      // straight to pass-through instead of blocking on the buffer.
+      RetireAnnounced(path);
       passthrough_reads_.fetch_add(1, std::memory_order_relaxed);
       return backend_->Read(path, offset, dst);
     }
@@ -205,13 +230,18 @@ Result<std::size_t> PrefetchObject::Read(const std::string& path,
   const Sample& sample = it->second;
   if (offset >= sample.size()) {
     taken_.erase(it);
+    RetireAnnounced(path);
     return static_cast<std::size_t>(0);  // EOF
   }
   const std::size_t n = static_cast<std::size_t>(
       std::min<std::uint64_t>(dst.size(), sample.size() - offset));
   std::copy_n(sample.data.data() + offset, n, dst.data());
   if (offset + n >= sample.size()) {
-    taken_.erase(it);  // fully consumed -> evicted for good
+    // Fully consumed -> evicted for good, and the name's per-epoch life
+    // is over: drop it from the announced set (re-announced next epoch)
+    // so the set stays bounded by in-flight names, not history.
+    taken_.erase(it);
+    RetireAnnounced(path);
   }
   reads_served_.fetch_add(1, std::memory_order_relaxed);
   return n;
@@ -241,7 +271,18 @@ Status PrefetchObject::ApplyKnobs(const StageKnobs& knobs) {
     const std::uint32_t t =
         std::clamp<std::uint32_t>(*knobs.producers, 1, options_.max_producers);
     target_producers_.store(t, std::memory_order_release);
-    if (running_.load(std::memory_order_acquire)) ReconcileProducers();
+    if (running_.load(std::memory_order_acquire)) {
+      // Retirees blocked in a full-buffer Insert re-check their cancel
+      // predicate only when woken; kick them so the joins below finish
+      // promptly even with no consumer draining the buffer.
+      buffer_.WakeBlockedProducers();
+      ReconcileProducers();
+    }
+  }
+  if (knobs.buffer_shards) {
+    // Applied last: resharding requires a quiescent buffer and reports
+    // FailedPrecondition otherwise, which must not block the other knobs.
+    return buffer_.SetShardCount(*knobs.buffer_shards);
   }
   return Status::Ok();
 }
@@ -251,6 +292,7 @@ StageStatsSnapshot PrefetchObject::CollectStats() const {
   s.at = clock_->Now();
   s.producers = target_producers_.load(std::memory_order_acquire);
   s.buffer_capacity = buffer_.Capacity();
+  s.buffer_shards = buffer_.ShardCount();
   s.buffer_occupancy = buffer_.Occupancy();
   s.buffer_bytes = buffer_.OccupancyBytes();
   const auto c = buffer_.GetCounters();
@@ -262,7 +304,17 @@ StageStatsSnapshot PrefetchObject::CollectStats() const {
   s.producer_blocks = c.producer_blocks;
   s.passthrough_reads = passthrough_reads_.load(std::memory_order_relaxed);
   s.queue_depth = filename_queue_.size();
-  s.active_readers = active_readers_.load(std::memory_order_relaxed);
+  s.read_retries = read_retries_.load(std::memory_order_relaxed);
+  s.read_failures = read_failures_.load(std::memory_order_relaxed);
+  s.oversize_rejects = oversize_rejects_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(timeline_mu_);
+    s.active_readers = active_readers_;
+  }
+  {
+    std::lock_guard lock(announced_mu_);
+    s.announced_names = announced_.size();
+  }
   return s;
 }
 

@@ -33,6 +33,9 @@ struct PrefetchOptions {
   std::uint32_t initial_producers = 1;
   std::uint32_t max_producers = 16;
   std::size_t buffer_capacity = 64;  // N, in samples
+  /// Buffer shard count S (0 = 2 x hardware_concurrency). Consumers and
+  /// producers touching different files contend only within a shard.
+  std::size_t buffer_shards = 0;
   /// Hard cap on a single prefetched file (guards the buffer's memory).
   std::uint64_t max_sample_bytes = 64ull * 1024 * 1024;
   /// Transient-fault handling: a failed producer read is retried this
@@ -81,6 +84,10 @@ class PrefetchObject final : public OptimizationObject {
   void ProducerLoop(std::uint32_t index);
   std::shared_ptr<storage::TokenBucket> CurrentBucket() const;
   void RecordActiveReaders(std::int32_t delta);
+  /// Drops `path` from the announced set once its per-epoch prefetch life
+  /// is over (consumed, failed, or oversized) so the set cannot grow
+  /// without bound across epochs.
+  void RetireAnnounced(const std::string& path);
   /// Spawns/retires producers to match target_producers_.
   void ReconcileProducers();
 
@@ -111,12 +118,19 @@ class PrefetchObject final : public OptimizationObject {
   std::shared_ptr<storage::TokenBucket> rate_bucket_;  // null = unlimited
   double rate_bps_ = 0.0;
 
-  std::atomic<std::uint32_t> active_readers_{0};
   std::atomic<std::uint64_t> passthrough_reads_{0};
   std::atomic<std::uint64_t> reads_served_{0};
-  std::atomic<std::uint64_t> producer_read_errors_{0};
+  // Distinct producer fault counters (a retried-then-successful read is
+  // not a failure; an oversized read is not a read error).
+  std::atomic<std::uint64_t> read_retries_{0};
+  std::atomic<std::uint64_t> read_failures_{0};
+  std::atomic<std::uint64_t> oversize_rejects_{0};
 
   mutable std::mutex timeline_mu_;
+  // Guarded by timeline_mu_ (not atomic: every update already holds the
+  // lock to append to the timeline, and a separate atomic invites
+  // unguarded increments that would reorder timeline entries).
+  std::uint32_t active_readers_ = 0;
   OccupancyTimeline reader_timeline_;
 };
 

@@ -1,142 +1,343 @@
 #include "dataplane/sample_buffer.hpp"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 namespace prisma::dataplane {
 
+namespace {
+
+std::size_t DefaultShardCount() {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 2 : 2 * hw;
+}
+
+// Shard slots allocated beyond the initial request so SetShardCount can
+// grow the active set without reallocating (allocated slots never move).
+constexpr std::size_t kMinShardSlots = 64;
+
+std::size_t HashName(const std::string& name) {
+  return std::hash<std::string>{}(name);
+}
+
+}  // namespace
+
 SampleBuffer::SampleBuffer(std::size_t capacity,
-                           std::shared_ptr<const Clock> clock)
-    : clock_(std::move(clock)), capacity_(capacity == 0 ? 1 : capacity) {}
+                           std::shared_ptr<const Clock> clock,
+                           std::size_t num_shards)
+    : clock_(std::move(clock)),
+      active_shards_(num_shards == 0 ? DefaultShardCount() : num_shards),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  const std::size_t slots =
+      std::max(active_shards_.load(std::memory_order_relaxed), kMinShardSlots);
+  shards_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SampleBuffer::Shard& SampleBuffer::LockShard(
+    const std::string& name, std::unique_lock<std::mutex>& lock) const {
+  const std::size_t h = HashName(name);
+  for (;;) {
+    const std::size_t n = active_shards_.load(std::memory_order_acquire);
+    Shard& shard = *shards_[h % n];
+    std::unique_lock candidate(shard.mu);
+    // A reshard publishes the new modulus only while holding every shard
+    // mutex, so holding one pins the mapping; a stale resolution simply
+    // retries against the new modulus.
+    if (active_shards_.load(std::memory_order_acquire) == n) {
+      lock = std::move(candidate);
+      return shard;
+    }
+  }
+}
+
+bool SampleBuffer::TryAcquireSlot() {
+  std::size_t used = slots_used_.load(std::memory_order_seq_cst);
+  while (used < capacity_.load(std::memory_order_seq_cst)) {
+    if (slots_used_.compare_exchange_weak(used, used + 1,
+                                          std::memory_order_seq_cst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SampleBuffer::ForceAcquireSlot() {
+  slots_used_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void SampleBuffer::ReleaseSlot() {
+  slots_used_.fetch_sub(1, std::memory_order_seq_cst);
+  // seq_cst handshake: a producer registers in capacity_waiters_ before
+  // probing the slot count, so either this load sees the waiter (and we
+  // wake it) or the waiter's probe sees the freed slot.
+  if (capacity_waiters_.load(std::memory_order_seq_cst) > 0) {
+    WakeBlockedProducers();
+  }
+}
+
+void SampleBuffer::WakeBlockedProducers() {
+  for (const auto& shard : shards_) {
+    // Lock-hop before notifying: a waiter that just failed its predicate
+    // cannot miss the wakeup, because we cannot take its mutex until it
+    // is parked on the condition variable.
+    { std::lock_guard lock(shard->mu); }
+    shard->not_full.notify_all();
+  }
+}
 
 Status SampleBuffer::Insert(Sample sample) {
-  std::unique_lock lock(mu_);
-  // Two cases skip the capacity gate: overwriting a resident name needs
-  // no extra slot, and a sample some consumer is *currently blocked on*
-  // must be admitted even into a full buffer (direct handoff). Without
-  // the handoff, producers racing ahead on later files can fill the
-  // buffer and deadlock against the consumer of an in-flight earlier
-  // file.
-  const bool handoff = awaited_names_.find(sample.name) != awaited_names_.end();
-  if (!handoff && samples_.find(sample.name) == samples_.end() && Full() &&
-      !closed_) {
-    ++counters_.producer_blocks;
-    not_full_.wait(lock, [&] {
-      return closed_ || !Full() ||
-             awaited_names_.find(sample.name) != awaited_names_.end();
-    });
-  }
-  if (closed_) return Status::Aborted("sample buffer closed");
-  // Re-probe: the map may have changed while blocked.
-  const auto existing = samples_.find(sample.name);
+  return Insert(std::move(sample), CancelPredicate{});
+}
 
-  bytes_ += sample.size();
-  if (existing != samples_.end()) {
-    bytes_ -= existing->second.size();
+Status SampleBuffer::Insert(Sample sample, const CancelPredicate& cancelled) {
+  std::unique_lock<std::mutex> lock;
+  Shard& shard = LockShard(sample.name, lock);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::Aborted("sample buffer closed");
+  }
+
+  auto existing = shard.samples.find(sample.name);
+  bool have_slot = false;
+  if (existing == shard.samples.end()) {
+    // Two cases skip the slot acquisition: overwriting a resident name
+    // reuses its token, and a sample some consumer is *currently blocked
+    // on* is admitted even into a full buffer (direct handoff). Without
+    // the handoff, producers racing ahead on later files can fill the
+    // buffer and deadlock against the consumer of an in-flight earlier
+    // file.
+    if (shard.awaited_names.find(sample.name) != shard.awaited_names.end()) {
+      ForceAcquireSlot();
+      have_slot = true;
+    } else if (TryAcquireSlot()) {
+      have_slot = true;
+    } else {
+      ++shard.counters.producer_blocks;
+      capacity_waiters_.fetch_add(1, std::memory_order_seq_cst);
+      for (;;) {
+        shard.not_full.wait(lock, [&] {
+          if (closed_.load(std::memory_order_acquire)) return true;
+          if (cancelled && cancelled()) return true;
+          if (shard.awaited_names.find(sample.name) !=
+              shard.awaited_names.end()) {
+            return true;
+          }
+          if (!have_slot) have_slot = TryAcquireSlot();
+          return have_slot;
+        });
+        if (closed_.load(std::memory_order_acquire)) {
+          capacity_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+          if (have_slot) ReleaseSlot();
+          return Status::Aborted("sample buffer closed");
+        }
+        // Re-probe: the map may have changed while blocked.
+        existing = shard.samples.find(sample.name);
+        if (existing != shard.samples.end()) {
+          if (have_slot) {
+            ReleaseSlot();
+            have_slot = false;
+          }
+          break;
+        }
+        if (have_slot) break;
+        if (shard.awaited_names.find(sample.name) !=
+            shard.awaited_names.end()) {
+          ForceAcquireSlot();  // woken for the handoff
+          have_slot = true;
+          break;
+        }
+        if (cancelled && cancelled()) {
+          capacity_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+          return Status::Cancelled("insert cancelled while blocked");
+        }
+        // Wakeup condition gone by re-check (e.g. a Close raced with a
+        // Reopen): we are still registered as a waiter, so keep waiting.
+      }
+      capacity_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  shard.bytes += sample.size();
+  if (existing != shard.samples.end()) {
+    shard.bytes -= existing->second.size();
     existing->second = std::move(sample);
   } else {
     std::string key = sample.name;
-    samples_.emplace(std::move(key), std::move(sample));
+    shard.samples.emplace(std::move(key), std::move(sample));
   }
-  ++counters_.inserts;
+  ++shard.counters.inserts;
   lock.unlock();
   // The waiting consumer keys on a specific name; wake them all and let
   // each re-check (consumer cardinality is small: the framework's readers).
-  sample_arrived_.notify_all();
+  shard.sample_arrived.notify_all();
   return Status::Ok();
 }
 
 Result<Sample> SampleBuffer::Take(const std::string& name) {
-  std::unique_lock lock(mu_);
-  if (failed_names_.erase(name) > 0) {
+  std::unique_lock<std::mutex> lock;
+  Shard& shard = LockShard(name, lock);
+  if (shard.failed_names.erase(name) > 0) {
     return Status::IoError("prefetch failed for " + name);
   }
-  auto it = samples_.find(name);
-  if (it == samples_.end()) {
-    if (closed_) return Status::Aborted("sample buffer closed");
-    ++counters_.consumer_waits;
-    const Nanos wait_start = clock_->Now();
-    ++awaited_names_[name];
-    // Blocked producers holding this name re-check the handoff condition.
-    not_full_.notify_all();
-    sample_arrived_.wait(lock, [&] {
-      it = samples_.find(name);
-      return closed_ || it != samples_.end() ||
-             failed_names_.find(name) != failed_names_.end();
-    });
-    if (auto an = awaited_names_.find(name); an != awaited_names_.end()) {
-      if (--an->second == 0) awaited_names_.erase(an);
+  auto it = shard.samples.find(name);
+  if (it == shard.samples.end()) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Aborted("sample buffer closed");
     }
-    counters_.consumer_wait_time += clock_->Now() - wait_start;
-    if (failed_names_.erase(name) > 0) {
+    ++shard.counters.consumer_waits;
+    const Nanos wait_start = clock_->Now();
+    ++shard.awaited_names[name];
+    // Producers blocked on capacity whose sample hashes here re-check the
+    // handoff condition.
+    shard.not_full.notify_all();
+    shard.sample_arrived.wait(lock, [&] {
+      it = shard.samples.find(name);
+      return closed_.load(std::memory_order_acquire) ||
+             it != shard.samples.end() ||
+             shard.failed_names.find(name) != shard.failed_names.end();
+    });
+    if (auto an = shard.awaited_names.find(name);
+        an != shard.awaited_names.end()) {
+      if (--an->second == 0) shard.awaited_names.erase(an);
+    }
+    shard.counters.consumer_wait_time += clock_->Now() - wait_start;
+    if (shard.failed_names.erase(name) > 0) {
       return Status::IoError("prefetch failed for " + name);
     }
-    if (it == samples_.end()) return Status::Aborted("sample buffer closed");
+    if (it == shard.samples.end()) {
+      return Status::Aborted("sample buffer closed");
+    }
   } else {
-    ++counters_.consumer_hits;
+    ++shard.counters.consumer_hits;
   }
 
   Sample out = std::move(it->second);
-  bytes_ -= out.size();
-  samples_.erase(it);
-  ++counters_.takes;
+  shard.bytes -= out.size();
+  shard.samples.erase(it);
+  ++shard.counters.takes;
   lock.unlock();
-  not_full_.notify_one();
+  ReleaseSlot();
   return out;
 }
 
 bool SampleBuffer::Contains(const std::string& name) const {
-  std::lock_guard lock(mu_);
-  return samples_.find(name) != samples_.end();
+  std::unique_lock<std::mutex> lock;
+  const Shard& shard = LockShard(name, lock);
+  return shard.samples.find(name) != shard.samples.end();
 }
 
 void SampleBuffer::MarkFailed(const std::string& name) {
-  {
-    std::lock_guard lock(mu_);
-    failed_names_.insert(name);
-  }
-  sample_arrived_.notify_all();
+  std::unique_lock<std::mutex> lock;
+  Shard& shard = LockShard(name, lock);
+  shard.failed_names.insert(name);
+  lock.unlock();
+  shard.sample_arrived.notify_all();
 }
 
 void SampleBuffer::Close() {
-  {
-    std::lock_guard lock(mu_);
-    closed_ = true;
+  closed_.store(true, std::memory_order_seq_cst);
+  for (const auto& shard : shards_) {
+    { std::lock_guard lock(shard->mu); }
+    shard->not_full.notify_all();
+    shard->sample_arrived.notify_all();
   }
-  not_full_.notify_all();
-  sample_arrived_.notify_all();
 }
 
 void SampleBuffer::Reopen() {
-  std::lock_guard lock(mu_);
-  closed_ = false;
+  closed_.store(false, std::memory_order_seq_cst);
 }
 
 void SampleBuffer::SetCapacity(std::size_t capacity) {
-  {
-    std::lock_guard lock(mu_);
-    capacity_ = capacity == 0 ? 1 : capacity;
+  capacity_.store(capacity == 0 ? 1 : capacity, std::memory_order_seq_cst);
+  WakeBlockedProducers();
+}
+
+Status SampleBuffer::SetShardCount(std::size_t num_shards) {
+  const std::size_t target = std::clamp<std::size_t>(
+      num_shards == 0 ? DefaultShardCount() : num_shards, 1, shards_.size());
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  // Blocked waiters key on per-shard condition variables; moving the
+  // name -> shard map under them would strand their wakeups.
+  if (capacity_waiters_.load(std::memory_order_seq_cst) > 0) {
+    return Status::FailedPrecondition(
+        "cannot reshard while producers are blocked");
   }
-  not_full_.notify_all();
+  for (const auto& shard : shards_) {
+    if (!shard->awaited_names.empty()) {
+      return Status::FailedPrecondition(
+          "cannot reshard while consumers are blocked");
+    }
+  }
+  if (target == active_shards_.load(std::memory_order_relaxed)) {
+    return Status::Ok();
+  }
+
+  std::vector<Sample> resident;
+  std::vector<std::string> failed;
+  for (const auto& shard : shards_) {
+    for (auto& [name, sample] : shard->samples) resident.push_back(std::move(sample));
+    shard->samples.clear();
+    shard->bytes = 0;
+    for (const auto& name : shard->failed_names) failed.push_back(name);
+    shard->failed_names.clear();
+  }
+  active_shards_.store(target, std::memory_order_seq_cst);
+  for (auto& sample : resident) {
+    Shard& home = *shards_[HashName(sample.name) % target];
+    home.bytes += sample.size();
+    std::string key = sample.name;
+    home.samples.emplace(std::move(key), std::move(sample));
+  }
+  for (auto& name : failed) {
+    shards_[HashName(name) % target]->failed_names.insert(std::move(name));
+  }
+  return Status::Ok();
 }
 
 std::size_t SampleBuffer::Capacity() const {
-  std::lock_guard lock(mu_);
-  return capacity_;
+  return capacity_.load(std::memory_order_seq_cst);
+}
+
+std::size_t SampleBuffer::ShardCount() const {
+  return active_shards_.load(std::memory_order_acquire);
 }
 
 std::size_t SampleBuffer::Occupancy() const {
-  std::lock_guard lock(mu_);
-  return samples_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->samples.size();
+  }
+  return total;
 }
 
 std::uint64_t SampleBuffer::OccupancyBytes() const {
-  std::lock_guard lock(mu_);
-  return bytes_;
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->bytes;
+  }
+  return total;
 }
 
 SampleBuffer::Counters SampleBuffer::GetCounters() const {
-  std::lock_guard lock(mu_);
-  return counters_;
+  Counters total;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    const Counters& c = shard->counters;
+    total.inserts += c.inserts;
+    total.takes += c.takes;
+    total.consumer_hits += c.consumer_hits;
+    total.consumer_waits += c.consumer_waits;
+    total.consumer_wait_time += c.consumer_wait_time;
+    total.producer_blocks += c.producer_blocks;
+  }
+  return total;
 }
 
 }  // namespace prisma::dataplane

@@ -6,19 +6,39 @@
 // stored when a producer reads it and evicted when the consumer takes it
 // (each file is needed exactly once per epoch).
 //
-// A single mutex guards the map — deliberately. The paper reports that
-// with 8+ PyTorch worker processes "PRISMA presents a performance
-// bottleneck upon the synchronization between consumer and producer
-// threads accessing the in-memory buffer"; this is that synchronization
-// point, and bench/micro_dataplane quantifies it.
+// The buffer is sharded. The paper reports that with 8+ PyTorch worker
+// processes "PRISMA presents a performance bottleneck upon the
+// synchronization between consumer and producer threads accessing the
+// in-memory buffer" — the prototype guarded the whole map with one
+// mutex. Here samples hash by name to one of S shards (default
+// S = 2 x hardware_concurrency), each shard owning its own mutex,
+// condition variables, resident map, awaited set, and failed set, so
+// concurrent producers/consumers touching different files never contend
+// on a lock. bench/micro_dataplane quantifies the win at 1/8/32
+// concurrent consumers vs the single-shard (= single-mutex) baseline.
+//
+// The global capacity N stays exact across shards via an atomic
+// slot-token scheme: a producer acquires a token before inserting into
+// its shard and the consumer releases it on take. A producer that cannot
+// get a token parks on its shard's condition variable (it registers in
+// `capacity_waiters_` first, so releases and capacity growth know to wake
+// it). The paper's direct-handoff rule is preserved per shard: a name a
+// consumer is currently blocked on is admitted past the capacity gate
+// (forced token, occupancy may transiently exceed N), which is what keeps
+// a full buffer from deadlocking against the consumer of an in-flight
+// file.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/status.hpp"
@@ -28,15 +48,25 @@ namespace prisma::dataplane {
 
 class SampleBuffer {
  public:
+  /// Re-evaluated while an Insert is blocked on a full buffer; returning
+  /// true makes Insert give up with kCancelled (used by retiring
+  /// producers so a control-plane shrink never stalls on a full buffer).
+  using CancelPredicate = std::function<bool()>;
+
   /// `capacity` is the maximum number of resident samples (N, > 0).
-  SampleBuffer(std::size_t capacity, std::shared_ptr<const Clock> clock);
+  /// `num_shards` selects S; 0 means 2 x hardware_concurrency.
+  SampleBuffer(std::size_t capacity, std::shared_ptr<const Clock> clock,
+               std::size_t num_shards = 0);
 
   SampleBuffer(const SampleBuffer&) = delete;
   SampleBuffer& operator=(const SampleBuffer&) = delete;
 
   /// Producer side: blocks while the buffer is full. Aborted when closed.
-  /// Duplicate names overwrite (idempotent re-prefetch).
+  /// Duplicate names overwrite (idempotent re-prefetch). If `cancelled`
+  /// is provided and turns true while blocked, returns kCancelled without
+  /// inserting (pair with WakeBlockedProducers()).
   Status Insert(Sample sample);
+  Status Insert(Sample sample, const CancelPredicate& cancelled);
 
   /// Consumer side: blocks until `name` is resident, then removes and
   /// returns it (evict-on-consume). Aborted when closed while waiting.
@@ -60,7 +90,20 @@ class SampleBuffer {
   /// Control knob: resize capacity. Growing wakes blocked producers.
   void SetCapacity(std::size_t capacity);
 
+  /// Control knob: change the active shard count (0 = default). Resident
+  /// samples and failure marks migrate to their new home shards. Fails
+  /// with FailedPrecondition while any producer or consumer is blocked —
+  /// their wakeups key on per-shard condition variables, so the name ->
+  /// shard map must not move under them. The shard count is clamped to
+  /// the slots allocated at construction.
+  Status SetShardCount(std::size_t num_shards);
+
+  /// Wakes producers blocked in Insert so their cancel predicates are
+  /// re-evaluated (e.g. after the producer target shrinks).
+  void WakeBlockedProducers();
+
   std::size_t Capacity() const;
+  std::size_t ShardCount() const;
   std::size_t Occupancy() const;
   std::uint64_t OccupancyBytes() const;
 
@@ -72,27 +115,54 @@ class SampleBuffer {
     Nanos consumer_wait_time{0};
     std::uint64_t producer_blocks = 0;  // Insert had to block
   };
+  /// Exact totals: the sum of every shard's counters.
   Counters GetCounters() const;
 
  private:
-  bool Full() const { return samples_.size() >= capacity_; }
+  // Sized to a cacheline multiple so neighbouring shards' mutexes do not
+  // false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::condition_variable not_full;
+    std::condition_variable sample_arrived;
+    std::unordered_map<std::string, Sample> samples;
+    // Names whose prefetch failed permanently (producer gave up); Take
+    // consumes the mark and reports the failure to the consumer.
+    std::unordered_set<std::string> failed_names;
+    // Names consumers are currently blocked on (value = waiter count).
+    // Producers inserting one of these bypass the capacity gate so the
+    // handoff cannot deadlock against a full buffer.
+    std::unordered_map<std::string, int> awaited_names;
+    std::uint64_t bytes = 0;
+    Counters counters;
+  };
+
+  /// Locks the active home shard of `name` and returns it. Re-resolves
+  /// if SetShardCount changed the mapping between hashing and locking
+  /// (reshard holds every shard mutex, so holding one pins the mapping).
+  Shard& LockShard(const std::string& name,
+                   std::unique_lock<std::mutex>& lock) const;
+
+  bool TryAcquireSlot();
+  void ForceAcquireSlot();
+  void ReleaseSlot();
 
   std::shared_ptr<const Clock> clock_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable sample_arrived_;
-  std::unordered_map<std::string, Sample> samples_;
-  // Names whose prefetch failed permanently (producer gave up); Take
-  // consumes the mark and reports the failure to the consumer.
-  std::unordered_set<std::string> failed_names_;
-  // Names consumers are currently blocked on (value = waiter count).
-  // Producers inserting one of these bypass the capacity gate so the
-  // handoff cannot deadlock against a full buffer.
-  std::unordered_map<std::string, int> awaited_names_;
-  std::size_t capacity_;
-  std::uint64_t bytes_ = 0;
-  bool closed_ = false;
-  Counters counters_;
+
+  // Shard storage is allocated once and never moves or shrinks, so a
+  // thread that resolved a shard under a stale modulus still locks a
+  // live object (and then re-resolves).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> active_shards_;
+
+  // Global slot tokens: one per resident sample, acquired before a shard
+  // insert and released on take. seq_cst on the waiter/slot handshake
+  // keeps the "waiter registered but release saw zero waiters" window
+  // closed (see ReleaseSlot).
+  std::atomic<std::size_t> capacity_;
+  std::atomic<std::size_t> slots_used_{0};
+  std::atomic<std::uint32_t> capacity_waiters_{0};
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace prisma::dataplane

@@ -27,6 +27,9 @@ struct StageKnobs {
   std::optional<std::uint32_t> producers;
   /// In-memory buffer capacity `N`, in samples.
   std::optional<std::size_t> buffer_capacity;
+  /// Buffer shard count `S` (0 = implementation default). Applied only
+  /// when the buffer is quiescent — see SampleBuffer::SetShardCount.
+  std::optional<std::size_t> buffer_shards;
   /// Backend read-bandwidth budget in bytes/s (QoS reservation; 0 lifts
   /// the limit). Enforced by objects that own a token bucket.
   std::optional<double> read_rate_bps;
@@ -40,6 +43,7 @@ struct StageStatsSnapshot {
   // Knob state.
   std::uint32_t producers = 0;
   std::size_t buffer_capacity = 0;
+  std::size_t buffer_shards = 0;
 
   // Buffer state (instantaneous).
   std::size_t buffer_occupancy = 0;
@@ -55,6 +59,12 @@ struct StageStatsSnapshot {
   std::uint64_t passthrough_reads = 0;  // reads bypassing the buffer
   std::uint64_t queue_depth = 0;        // filenames still to prefetch
   std::uint32_t active_readers = 0;     // producers mid-read right now
+
+  // Producer fault accounting (distinct causes, counted once each).
+  std::uint64_t read_retries = 0;     // retry attempts after transient faults
+  std::uint64_t read_failures = 0;    // retry budget exhausted; sample failed
+  std::uint64_t oversize_rejects = 0; // read ok but too large to buffer
+  std::uint64_t announced_names = 0;  // names currently routed via the buffer
 };
 
 }  // namespace prisma::dataplane

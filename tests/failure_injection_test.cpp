@@ -138,6 +138,12 @@ TEST(PrefetchFaultTest, TransientFaultsAreRetriedAway) {
   EXPECT_EQ(stats.samples_consumed, names.size());
   EXPECT_EQ(stats.passthrough_reads, 0u);  // retries fixed everything
   EXPECT_GE(flaky->InjectedErrors(), names.size());
+  // Each file needed exactly one retry, and a retried-then-successful
+  // read is NOT a failure (the old code counted every retry attempt as a
+  // producer_read_error).
+  EXPECT_EQ(stats.read_retries, names.size());
+  EXPECT_EQ(stats.read_failures, 0u);
+  EXPECT_EQ(stats.oversize_rejects, 0u);
 }
 
 TEST(PrefetchFaultTest, PersistentFaultFailsOverToPassthrough) {
@@ -165,7 +171,12 @@ TEST(PrefetchFaultTest, PersistentFaultFailsOverToPassthrough) {
   auto n = object.Read(f.name, 0, buf);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(buf, storage::SyntheticContent::Generate(f.name, f.size));
-  EXPECT_GE(object.CollectStats().passthrough_reads, 1u);
+  const auto stats = object.CollectStats();
+  EXPECT_GE(stats.passthrough_reads, 1u);
+  // One exhausted retry budget: 3 retry attempts, then a single failure.
+  EXPECT_EQ(stats.read_failures, 1u);
+  EXPECT_EQ(stats.read_retries, 3u);
+  EXPECT_EQ(stats.oversize_rejects, 0u);
   object.Stop();
 }
 
@@ -185,7 +196,11 @@ TEST(PrefetchFaultTest, OversizedSampleFailsOverToPassthrough) {
   auto n = object.Read(f.name, 0, buf);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, f.size);
-  EXPECT_GE(object.CollectStats().passthrough_reads, 1u);
+  const auto stats = object.CollectStats();
+  EXPECT_GE(stats.passthrough_reads, 1u);
+  // The read itself succeeded; rejecting its size is not a read error.
+  EXPECT_EQ(stats.oversize_rejects, 1u);
+  EXPECT_EQ(stats.read_failures, 0u);
   object.Stop();
 }
 

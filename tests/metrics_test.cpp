@@ -106,6 +106,12 @@ TEST(ControllerMetricsTest, ExportPublishesPerStageGauges) {
                    3.0);
   EXPECT_GE(registry.GetGauge("prisma_stage_buffer_capacity", labels).Value(),
             1.0);
+  EXPECT_GE(registry.GetGauge("prisma_stage_buffer_shards", labels).Value(),
+            1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("prisma_stage_read_retries", labels).Value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("prisma_stage_read_failures", labels).Value(), 0.0);
   const std::string text = registry.DumpText();
   EXPECT_NE(text.find("prisma_stage_producers{stage=\"job-42\"} 3"),
             std::string::npos);

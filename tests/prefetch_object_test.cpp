@@ -182,7 +182,12 @@ TEST_F(PrefetchObjectTest, OversizedSamplesFallBackToPassthrough) {
   // to reject it, then verify a pass-through read of a *different*,
   // unannounced file still works (the announced read would block).
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_EQ(obj->CollectStats().samples_produced, 0u);
+  const auto stats = obj->CollectStats();
+  EXPECT_EQ(stats.samples_produced, 0u);
+  // An oversized read is a rejection, not a read error.
+  EXPECT_EQ(stats.oversize_rejects, 1u);
+  EXPECT_EQ(stats.read_failures, 0u);
+  EXPECT_EQ(stats.read_retries, 0u);
   obj->Stop();
 }
 
@@ -201,6 +206,92 @@ TEST_F(PrefetchObjectTest, MultipleEpochsFlowThrough) {
   const auto stats = obj->CollectStats();
   EXPECT_EQ(stats.samples_consumed, 3 * ds_.train.NumFiles());
   obj->Stop();
+}
+
+TEST_F(PrefetchObjectTest, AnnouncedSetStaysBoundedAcrossEpochs) {
+  // Regression: BeginEpoch used to insert into the announced set and
+  // never clear it, so long-running jobs grew it without bound. Names
+  // must retire as they are consumed; after each fully-read epoch the
+  // set is empty again.
+  auto obj = MakeObject({.initial_producers = 2, .buffer_capacity = 16});
+  ASSERT_TRUE(obj->Start().ok());
+  storage::EpochShuffler shuffler(ds_.train.Names(), 7);
+  for (std::uint64_t e = 0; e < 4; ++e) {
+    const auto order = shuffler.OrderFor(e);
+    ASSERT_TRUE(obj->BeginEpoch(e, order).ok());
+    EXPECT_EQ(obj->CollectStats().announced_names, order.size());
+    for (const auto& name : order) {
+      std::vector<std::byte> buf(*ds_.train.SizeOf(name));
+      ASSERT_TRUE(obj->Read(name, 0, buf).ok());
+    }
+    EXPECT_EQ(obj->CollectStats().announced_names, 0u)
+        << "epoch " << e << " left names announced";
+  }
+  obj->Stop();
+}
+
+TEST_F(PrefetchObjectTest, ProducerShrinkDoesNotStallOnFullBuffer) {
+  // Regression: shrinking the producer count used to stall in
+  // ReconcileProducers' join when a retiring producer sat blocked in
+  // buffer_.Insert() on a full buffer with no consumer draining it.
+  auto obj = MakeObject({.initial_producers = 4,
+                         .max_producers = 8,
+                         .buffer_capacity = 2});
+  ASSERT_TRUE(obj->Start().ok());
+  ASSERT_TRUE(obj->BeginEpoch(0, ds_.train.Names()).ok());
+  // Let producers fill the 2-slot buffer and block; nobody reads.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  StageKnobs knobs;
+  knobs.producers = 1;
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(obj->ApplyKnobs(knobs).ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_EQ(obj->CollectStats().producers, 1u);
+
+  // The epoch still completes: names whose insert was cancelled fail
+  // over to pass-through, everything else flows through the buffer.
+  for (const auto& name : ds_.train.Names()) {
+    std::vector<std::byte> buf(*ds_.train.SizeOf(name));
+    ASSERT_TRUE(obj->Read(name, 0, buf).ok()) << name;
+  }
+  obj->Stop();
+}
+
+TEST_F(PrefetchObjectTest, BufferShardsKnobAppliesWhenQuiescent) {
+  auto obj = MakeObject({.initial_producers = 1, .buffer_capacity = 8});
+  ASSERT_TRUE(obj->Start().ok());
+  StageKnobs knobs;
+  knobs.buffer_shards = 4;
+  ASSERT_TRUE(obj->ApplyKnobs(knobs).ok());
+  EXPECT_EQ(obj->CollectStats().buffer_shards, 4u);
+
+  // Work still flows through the resharded buffer.
+  storage::EpochShuffler shuffler(ds_.train.Names(), 13);
+  const auto order = shuffler.OrderFor(0);
+  ASSERT_TRUE(obj->BeginEpoch(0, order).ok());
+  for (const auto& name : order) {
+    std::vector<std::byte> buf(*ds_.train.SizeOf(name));
+    ASSERT_TRUE(obj->Read(name, 0, buf).ok());
+  }
+  obj->Stop();
+}
+
+TEST_F(PrefetchObjectTest, CleanRunReportsNoFaultCounters) {
+  auto obj = MakeObject({.initial_producers = 2, .buffer_capacity = 8});
+  ASSERT_TRUE(obj->Start().ok());
+  const auto order = ds_.train.Names();
+  ASSERT_TRUE(obj->BeginEpoch(0, order).ok());
+  for (const auto& name : order) {
+    std::vector<std::byte> buf(*ds_.train.SizeOf(name));
+    ASSERT_TRUE(obj->Read(name, 0, buf).ok());
+  }
+  obj->Stop();
+  const auto stats = obj->CollectStats();
+  EXPECT_EQ(stats.read_retries, 0u);
+  EXPECT_EQ(stats.read_failures, 0u);
+  EXPECT_EQ(stats.oversize_rejects, 0u);
 }
 
 TEST_F(PrefetchObjectTest, StopIsIdempotentAndStartFailsTwice) {

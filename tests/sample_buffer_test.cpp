@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "dataplane/sample_buffer.hpp"
@@ -164,17 +165,118 @@ TEST(SampleBufferTest, ZeroCapacityClampedToOne) {
   EXPECT_EQ(buf.Capacity(), 1u);
 }
 
-class SampleBufferStressTest : public ::testing::TestWithParam<std::size_t> {};
+TEST(SampleBufferTest, ShardCountDefaultsAndExplicit) {
+  SampleBuffer defaulted(4, TestClock());
+  const std::size_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(defaulted.ShardCount(), hw == 0 ? 2u : 2 * hw);
+
+  SampleBuffer explicit_shards(4, TestClock(), 8);
+  EXPECT_EQ(explicit_shards.ShardCount(), 8u);
+}
+
+TEST(SampleBufferTest, CapacityIsGlobalAcrossShards) {
+  // N bounds total residency, not per-shard residency: with N = 2 and
+  // many shards, a third insert must block no matter where it hashes.
+  SampleBuffer buf(2, TestClock(), 16);
+  ASSERT_TRUE(buf.Insert(MakeSample("a")).ok());
+  ASSERT_TRUE(buf.Insert(MakeSample("b")).ok());
+  EXPECT_EQ(buf.Occupancy(), 2u);
+
+  std::atomic<bool> inserted{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(buf.Insert(MakeSample("c")).ok());
+    inserted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(inserted.load());
+  ASSERT_TRUE(buf.Take("a").ok());
+  producer.join();
+  EXPECT_TRUE(inserted.load());
+}
+
+TEST(SampleBufferTest, BlockedInsertHonoursCancelPredicate) {
+  // A retiring producer must not stall forever on a full buffer with no
+  // consumer draining it (the ReconcileProducers join hazard).
+  SampleBuffer buf(1, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("resident")).ok());
+
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    const Status s =
+        buf.Insert(MakeSample("stuck"), [&] { return cancel.load(); });
+    EXPECT_EQ(s.code(), StatusCode::kCancelled);
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done.load());
+  cancel = true;
+  buf.WakeBlockedProducers();
+  producer.join();
+  EXPECT_TRUE(done.load());
+  // The cancelled sample was never admitted; its slot is free again.
+  ASSERT_TRUE(buf.Take("resident").ok());
+  ASSERT_TRUE(buf.Insert(MakeSample("next")).ok());
+  EXPECT_FALSE(buf.Contains("stuck"));
+}
+
+TEST(SampleBufferTest, PreCancelledInsertStillAdmitsWhenNotBlocked) {
+  // The predicate only matters while blocked; an insert that finds room
+  // proceeds even if its producer is already marked for retirement.
+  SampleBuffer buf(4, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("a"), [] { return true; }).ok());
+  EXPECT_TRUE(buf.Contains("a"));
+}
+
+TEST(SampleBufferTest, SetShardCountMigratesResidents) {
+  SampleBuffer buf(16, TestClock(), 8);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(buf.Insert(MakeSample("f" + std::to_string(i), 10 + i)).ok());
+  }
+  buf.MarkFailed("doomed");
+  ASSERT_TRUE(buf.SetShardCount(2).ok());
+  EXPECT_EQ(buf.ShardCount(), 2u);
+  EXPECT_EQ(buf.Occupancy(), 10u);
+
+  // Every resident survives the migration with its payload intact, and
+  // the failure mark still reaches its consumer.
+  for (int i = 0; i < 10; ++i) {
+    auto s = buf.Take("f" + std::to_string(i));
+    ASSERT_TRUE(s.ok()) << "file " << i;
+    EXPECT_EQ(s->size(), 10u + i);
+  }
+  EXPECT_EQ(buf.Take("doomed").status().code(), StatusCode::kIoError);
+  EXPECT_EQ(buf.Occupancy(), 0u);
+}
+
+TEST(SampleBufferTest, SetShardCountRefusesWhileConsumerBlocked) {
+  SampleBuffer buf(4, TestClock(), 4);
+  std::thread consumer([&] { (void)buf.Take("pending"); });
+  // Wait until the consumer has registered as awaited.
+  for (int i = 0; i < 500 && buf.SetShardCount(2).ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(buf.SetShardCount(2).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(buf.Insert(MakeSample("pending")).ok());
+  consumer.join();
+  // Quiescent again: the reshard now succeeds.
+  EXPECT_TRUE(buf.SetShardCount(2).ok());
+  EXPECT_EQ(buf.ShardCount(), 2u);
+}
+
+class SampleBufferStressTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
 
 TEST_P(SampleBufferStressTest, ProducersAndConsumerAgree) {
   // Property: with P producers racing over a shared FIFO of names and one
   // consumer taking in order, every sample is delivered exactly once and
   // the buffer drains to empty. Exercises blocking, handoff, and eviction
-  // under real thread interleavings.
-  const std::size_t capacity = GetParam();
+  // under real thread interleavings, across shard counts (1 = the old
+  // single-mutex layout; 0 = the hardware-sized default).
+  const auto [capacity, shards] = GetParam();
   constexpr int kFiles = 400;
   constexpr int kProducers = 4;
-  SampleBuffer buf(capacity, TestClock());
+  SampleBuffer buf(capacity, TestClock(), shards);
 
   std::atomic<int> next_index{0};
   std::vector<std::thread> producers;
@@ -203,8 +305,10 @@ TEST_P(SampleBufferStressTest, ProducersAndConsumerAgree) {
   EXPECT_EQ(c.consumer_hits + c.consumer_waits, static_cast<std::uint64_t>(kFiles));
 }
 
-INSTANTIATE_TEST_SUITE_P(Capacities, SampleBufferStressTest,
-                         ::testing::Values(1, 2, 3, 8, 64, 1024));
+INSTANTIATE_TEST_SUITE_P(
+    CapacitiesByShards, SampleBufferStressTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 8, 64, 1024),
+                       ::testing::Values<std::size_t>(1, 4, 0)));
 
 }  // namespace
 }  // namespace prisma::dataplane
