@@ -1,0 +1,200 @@
+// IPC throughput bench: the PyTorch-deployment shape (N worker processes
+// -> one PRISMA stage over UDS), measured end to end through the
+// zero-copy path. Reports steady-state ns/sample, MB/s, and the
+// zero-copy trajectory metrics (copies/sample, bytes copied/sample,
+// pool allocs/sample), and writes machine-readable results to
+// BENCH_ipc_throughput.json.
+//
+// Workers here are threads, each owning its own UdsClient connection —
+// the wire work per request is identical to separate processes; only the
+// address space is shared (and the copy counters rely on that).
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+#include "dataplane/prefetch_object.hpp"
+#include "dataplane/stage.hpp"
+#include "ipc/uds_client.hpp"
+#include "ipc/uds_server.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma {
+namespace {
+
+struct RunResult {
+  int workers = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t bytes = 0;
+  double wall_seconds = 0.0;
+  double ns_per_sample = 0.0;
+  double mb_per_second = 0.0;
+  double copies_per_sample = 0.0;
+  double bytes_copied_per_sample = 0.0;
+  double allocs_per_sample = 0.0;
+};
+
+RunResult RunConfig(int workers, int epochs) {
+  storage::SyntheticImageNetSpec spec;
+  spec.num_train = 256;
+  spec.num_validation = 1;
+  spec.mean_file_size = 64 * 1024;
+  spec.min_file_size = 32 * 1024;
+  const auto ds = storage::MakeSyntheticImageNet(spec);
+
+  storage::SyntheticBackendOptions o;
+  o.profile = storage::DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  auto backend = std::make_shared<storage::SyntheticBackend>(o, ds);
+
+  dataplane::PrefetchOptions po;
+  po.initial_producers = 2;
+  po.max_producers = 4;
+  po.buffer_capacity = 64;
+  auto object = std::make_shared<dataplane::PrefetchObject>(
+      backend, po, SteadyClock::Shared());
+  auto stage = std::make_shared<dataplane::Stage>(
+      dataplane::StageInfo{"ipc-bench", "pytorch", 0}, object);
+  if (!stage->Start().ok()) return {};
+
+  const std::string socket_path = "/tmp/prisma_ipc_bench_" +
+                                  std::to_string(::getpid()) + "_" +
+                                  std::to_string(workers) + ".sock";
+  ipc::UdsServer server(socket_path, stage);
+  if (!server.Start().ok()) {
+    stage->Stop();
+    return {};
+  }
+
+  const auto names = ds.train.Names();
+  std::vector<std::uint64_t> sizes(names.size());
+  std::uint64_t epoch_bytes = 0;
+  std::uint64_t max_size = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    sizes[i] = *ds.train.SizeOf(names[i]);
+    epoch_bytes += sizes[i];
+    max_size = std::max(max_size, sizes[i]);
+  }
+
+  // One warm-up epoch populates the buffer pool's free lists so the
+  // measured epochs see the steady state a long training run lives in.
+  ipc::UdsClient announcer;
+  (void)announcer.Connect(socket_path);
+
+  const auto run_epoch = [&](std::uint64_t epoch) {
+    std::atomic<int> failures{0};
+    (void)announcer.BeginEpoch(epoch, names);
+    std::vector<std::thread> fleet;
+    for (int w = 0; w < workers; ++w) {
+      fleet.emplace_back([&, w] {
+        ipc::UdsClient client;
+        if (!client.Connect(socket_path).ok()) {
+          ++failures;
+          return;
+        }
+        std::vector<std::byte> dst(max_size);
+        for (std::size_t i = static_cast<std::size_t>(w); i < names.size();
+             i += static_cast<std::size_t>(workers)) {
+          auto n = client.Read(names[i], 0, dst);
+          if (!n.ok() || *n != sizes[i]) ++failures;
+        }
+      });
+    }
+    for (auto& t : fleet) t.join();
+    return failures.load() == 0;
+  };
+
+  RunResult result;
+  result.workers = workers;
+  bool ok = run_epoch(0);  // warm-up
+
+  const std::uint64_t copies0 = CopyAccounting::Copies();
+  const std::uint64_t copy_bytes0 = CopyAccounting::CopiedBytes();
+  const std::uint64_t allocs0 = object->CollectStats().pool_misses;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int e = 1; e <= epochs && ok; ++e) ok = run_epoch(static_cast<std::uint64_t>(e));
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs1 = object->CollectStats().pool_misses;
+
+  server.Stop();
+  stage->Stop();
+  if (!ok) {
+    std::fprintf(stderr, "ipc_throughput: worker failures at %d workers\n",
+                 workers);
+    return {};
+  }
+
+  result.samples = static_cast<std::uint64_t>(epochs) * names.size();
+  result.bytes = static_cast<std::uint64_t>(epochs) * epoch_bytes;
+  result.wall_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  result.ns_per_sample =
+      result.wall_seconds * 1e9 / static_cast<double>(result.samples);
+  result.mb_per_second = static_cast<double>(result.bytes) / 1e6 /
+                         result.wall_seconds;
+  result.copies_per_sample =
+      static_cast<double>(CopyAccounting::Copies() - copies0) /
+      static_cast<double>(result.samples);
+  result.bytes_copied_per_sample =
+      static_cast<double>(CopyAccounting::CopiedBytes() - copy_bytes0) /
+      static_cast<double>(result.samples);
+  result.allocs_per_sample = static_cast<double>(allocs1 - allocs0) /
+                             static_cast<double>(result.samples);
+  return result;
+}
+
+void WriteJson(const char* path, const std::vector<RunResult>& results) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ipc_throughput: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"ipc_throughput\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"samples\": %llu, \"bytes\": %llu, "
+                 "\"wall_seconds\": %.6f, \"ns_per_sample\": %.1f, "
+                 "\"mb_per_second\": %.1f, \"copies_per_sample\": %.3f, "
+                 "\"bytes_copied_per_sample\": %.1f, "
+                 "\"allocs_per_sample\": %.4f}%s\n",
+                 r.workers, static_cast<unsigned long long>(r.samples),
+                 static_cast<unsigned long long>(r.bytes), r.wall_seconds,
+                 r.ns_per_sample, r.mb_per_second, r.copies_per_sample,
+                 r.bytes_copied_per_sample, r.allocs_per_sample,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace prisma
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_ipc_throughput.json";
+  if (argc > 1) out_path = argv[1];
+
+  std::printf("# ipc_throughput: N UDS workers -> one PRISMA stage\n");
+  std::printf("%-8s %-12s %-10s %-16s %-20s %-14s\n", "workers", "ns/sample",
+              "MB/s", "copies/sample", "bytes_copied/sample", "allocs/sample");
+  std::vector<prisma::RunResult> results;
+  for (const int workers : {1, 4, 8}) {
+    const auto r = prisma::RunConfig(workers, /*epochs=*/3);
+    if (r.samples == 0) return 1;
+    std::printf("%-8d %-12.0f %-10.1f %-16.3f %-20.1f %-14.4f\n", r.workers,
+                r.ns_per_sample, r.mb_per_second, r.copies_per_sample,
+                r.bytes_copied_per_sample, r.allocs_per_sample);
+    results.push_back(r);
+  }
+  prisma::WriteJson(out_path, results);
+  std::printf("# wrote %s\n", out_path);
+  return 0;
+}

@@ -6,9 +6,13 @@
 
 #include <unistd.h>
 
+#include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "common/bounded_queue.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/spsc_ring.hpp"
 #include "dataplane/prefetch_object.hpp"
 #include "dataplane/sample_buffer.hpp"
@@ -157,10 +161,10 @@ class UdsFixture : public benchmark::Fixture {
     o.profile = storage::DeviceProfile::Instant();
     o.time_scale = 0.0;
     auto backend = std::make_shared<storage::SyntheticBackend>(o, ds_);
-    auto object = std::make_shared<PrefetchObject>(
+    object_ = std::make_shared<PrefetchObject>(
         backend, PrefetchOptions{}, SteadyClock::Shared());
     stage_ = std::make_shared<dataplane::Stage>(
-        dataplane::StageInfo{"bench", "bench", 0}, object);
+        dataplane::StageInfo{"bench", "bench", 0}, object_);
     (void)stage_->Start();
 
     socket_path_ = "/tmp/prisma_bench_" + std::to_string(::getpid()) + ".sock";
@@ -177,6 +181,7 @@ class UdsFixture : public benchmark::Fixture {
   }
 
   storage::ImageNetDataset ds_;
+  std::shared_ptr<PrefetchObject> object_;
   std::shared_ptr<dataplane::Stage> stage_;
   std::string socket_path_;
   std::unique_ptr<ipc::UdsServer> server_;
@@ -185,6 +190,9 @@ class UdsFixture : public benchmark::Fixture {
 
 BENCHMARK_DEFINE_F(UdsFixture, RoundTripRead)(benchmark::State& state) {
   std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  const std::uint64_t copies0 = CopyAccounting::Copies();
+  const std::uint64_t copy_bytes0 = CopyAccounting::CopiedBytes();
+  const std::uint64_t allocs0 = object_->CollectStats().pool_misses;
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& name = ds_.train.At(i++ % ds_.train.NumFiles()).name;
@@ -193,6 +201,17 @@ BENCHMARK_DEFINE_F(UdsFixture, RoundTripRead)(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  // Zero-copy trajectory metrics: counted consumer-path copies, bytes
+  // those copies moved, and payload allocations that missed the pool.
+  state.counters["copies_per_op"] = benchmark::Counter(
+      static_cast<double>(CopyAccounting::Copies() - copies0),
+      benchmark::Counter::kAvgIterations);
+  state.counters["bytes_copied_per_op"] = benchmark::Counter(
+      static_cast<double>(CopyAccounting::CopiedBytes() - copy_bytes0),
+      benchmark::Counter::kAvgIterations);
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(object_->CollectStats().pool_misses - allocs0),
+      benchmark::Counter::kAvgIterations);
 }
 BENCHMARK_REGISTER_F(UdsFixture, RoundTripRead)->Arg(4096)->Arg(113 * 1024);
 
@@ -227,6 +246,10 @@ void BM_PrefetchEpochThroughput(benchmark::State& state) {
   (void)object.Start();
 
   const auto names = ds.train.Names();
+  const auto per_sample = static_cast<double>(names.size());
+  const std::uint64_t copies0 = CopyAccounting::Copies();
+  const std::uint64_t copy_bytes0 = CopyAccounting::CopiedBytes();
+  const std::uint64_t allocs0 = object.CollectStats().pool_misses;
   std::uint64_t epoch = 0;
   std::vector<std::byte> buf(64 * 1024);
   for (auto _ : state) {
@@ -236,11 +259,69 @@ void BM_PrefetchEpochThroughput(benchmark::State& state) {
       benchmark::DoNotOptimize(n);
     }
   }
+  const std::uint64_t allocs1 = object.CollectStats().pool_misses;
   object.Stop();
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(names.size()));
+  state.counters["copies_per_sample"] = benchmark::Counter(
+      static_cast<double>(CopyAccounting::Copies() - copies0) / per_sample,
+      benchmark::Counter::kAvgIterations);
+  state.counters["bytes_copied_per_sample"] = benchmark::Counter(
+      static_cast<double>(CopyAccounting::CopiedBytes() - copy_bytes0) /
+          per_sample,
+      benchmark::Counter::kAvgIterations);
+  state.counters["allocs_per_sample"] = benchmark::Counter(
+      static_cast<double>(allocs1 - allocs0) / per_sample,
+      benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_PrefetchEpochThroughput)->Arg(1)->Arg(2)->Arg(4);
+
+// --- pooled vs heap whole-file reads -------------------------------------------------
+
+void BM_SyntheticReadAll(benchmark::State& state) {
+  // pooled=0: the classic ReadAll (fresh vector per file). pooled=1: the
+  // zero-copy producer path (ReadAllShared drawing recycled chunks).
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  const bool pooled = state.range(1) != 0;
+  storage::SyntheticImageNetSpec spec;
+  spec.num_train = 16;
+  spec.num_validation = 1;
+  spec.mean_file_size = static_cast<double>(bytes);
+  spec.min_file_size = bytes;
+  spec.sigma = 0.0001;
+  const auto ds = storage::MakeSyntheticImageNet(spec);
+  storage::SyntheticBackendOptions o;
+  o.profile = storage::DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  storage::SyntheticBackend backend(o, ds);
+  const auto pool = BufferPool::Create(64ull * 1024 * 1024);
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& name = ds.train.At(i++ % ds.train.NumFiles()).name;
+    if (pooled) {
+      auto payload = backend.ReadAllShared(name, pool);
+      benchmark::DoNotOptimize(payload);
+    } else {
+      auto data = backend.ReadAll(name);
+      benchmark::DoNotOptimize(data);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  const auto stats = pool->Stats();
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      pooled ? static_cast<double>(stats.misses) : 1.0,
+      pooled ? benchmark::Counter::kAvgIterations
+             : benchmark::Counter::kDefaults);
+}
+BENCHMARK(BM_SyntheticReadAll)
+    ->ArgNames({"bytes", "pooled"})
+    ->Args({113 * 1024, 0})
+    ->Args({113 * 1024, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
 
 // --- synthetic content ------------------------------------------------------------------
 
@@ -257,4 +338,26 @@ BENCHMARK(BM_SyntheticContentFill)->Arg(4096)->Arg(113 * 1024);
 }  // namespace
 }  // namespace prisma
 
-BENCHMARK_MAIN();
+// Custom main: default to machine-readable output (BENCH_*.json) so the
+// perf trajectory is tracked across PRs without remembering flags.
+// Explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_dataplane.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full ctest suite.
+#
+# Environment:
+#   PRISMA_SANITIZE   empty (default) or one of address|thread|undefined;
+#                     forwarded to the PRISMA_SANITIZE cmake cache option.
+#   BUILD_DIR         build tree location (default: build-ci, or
+#                     build-ci-$PRISMA_SANITIZE for sanitizer runs).
+#   JOBS              parallelism (default: nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+if [[ -n "${PRISMA_SANITIZE:-}" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-ci-${PRISMA_SANITIZE}}"
+  cmake -B "${BUILD_DIR}" -S . -DPRISMA_SANITIZE="${PRISMA_SANITIZE}"
+else
+  BUILD_DIR="${BUILD_DIR:-build-ci}"
+  cmake -B "${BUILD_DIR}" -S .
+fi
+
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

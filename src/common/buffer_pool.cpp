@@ -1,0 +1,181 @@
+#include "common/buffer_pool.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace prisma {
+namespace {
+
+std::atomic<std::uint64_t> g_copy_count{0};
+std::atomic<std::uint64_t> g_copy_bytes{0};
+
+}  // namespace
+
+SamplePayload SamplePayload::CopyOf(std::span<const std::byte> bytes) {
+  if (bytes.empty()) {
+    return SamplePayload{};
+  }
+  auto owned = std::make_unique<std::byte[]>(bytes.size());
+  std::memcpy(owned.get(), bytes.data(), bytes.size());
+  std::shared_ptr<const std::byte> shared(owned.release(),
+                                          [](const std::byte* p) {
+                                            delete[] p;
+                                          });
+  return SamplePayload{std::move(shared), bytes.size()};
+}
+
+SamplePayload SamplePayload::Adopt(std::vector<std::byte> bytes) {
+  if (bytes.empty()) {
+    return SamplePayload{};
+  }
+  const std::size_t size = bytes.size();
+  auto holder = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+  // Aliasing constructor: the control block keeps the vector alive while
+  // the payload points straight at its storage.
+  std::shared_ptr<const std::byte> shared(holder, holder->data());
+  return SamplePayload{std::move(shared), size};
+}
+
+PayloadWriter::~PayloadWriter() {
+  if (bytes_ != nullptr && pool_ != nullptr) {
+    pool_->Release(bytes_.release(), class_index_);
+  }
+}
+
+PayloadWriter::PayloadWriter(PayloadWriter&& other) noexcept
+    : pool_(std::move(other.pool_)),
+      bytes_(std::move(other.bytes_)),
+      capacity_(other.capacity_),
+      class_index_(other.class_index_) {
+  other.capacity_ = 0;
+}
+
+PayloadWriter& PayloadWriter::operator=(PayloadWriter&& other) noexcept {
+  if (this != &other) {
+    if (bytes_ != nullptr && pool_ != nullptr) {
+      pool_->Release(bytes_.release(), class_index_);
+    }
+    pool_ = std::move(other.pool_);
+    bytes_ = std::move(other.bytes_);
+    capacity_ = other.capacity_;
+    class_index_ = other.class_index_;
+    other.capacity_ = 0;
+  }
+  return *this;
+}
+
+SamplePayload PayloadWriter::Freeze(std::size_t size) && {
+  if (bytes_ == nullptr || size > capacity_) {
+    return SamplePayload{};
+  }
+  std::byte* raw = bytes_.release();
+  capacity_ = 0;
+  if (pool_ == nullptr) {
+    // Oversize chunk: plain delete when the last reference drops.
+    std::shared_ptr<const std::byte> shared(raw, [](const std::byte* p) {
+      delete[] p;
+    });
+    return SamplePayload{std::move(shared), size};
+  }
+  std::shared_ptr<BufferPool> pool = std::move(pool_);
+  const std::size_t class_index = class_index_;
+  std::shared_ptr<const std::byte> shared(
+      raw, [pool, class_index](const std::byte* p) {
+        pool->Release(const_cast<std::byte*>(p), class_index);
+      });
+  return SamplePayload{std::move(shared), size};
+}
+
+std::shared_ptr<BufferPool> BufferPool::Create(std::uint64_t max_cached_bytes) {
+  return std::shared_ptr<BufferPool>(new BufferPool(max_cached_bytes));
+}
+
+const std::shared_ptr<BufferPool>& BufferPool::Default() {
+  static const std::shared_ptr<BufferPool> pool =
+      Create(/*max_cached_bytes=*/256ull * 1024 * 1024);
+  return pool;
+}
+
+std::size_t BufferPool::ClassIndex(std::size_t bytes) {
+  if (bytes <= kMinChunkBytes) {
+    return 0;
+  }
+  if (bytes > kMaxChunkBytes) {
+    return kNumClasses;
+  }
+  return static_cast<std::size_t>(
+      std::bit_width(bytes - 1) - std::bit_width(kMinChunkBytes - 1));
+}
+
+PayloadWriter BufferPool::Acquire(std::size_t min_bytes) {
+  const std::size_t class_index = ClassIndex(min_bytes);
+  if (class_index >= kNumClasses) {
+    oversize_.fetch_add(1, std::memory_order_relaxed);
+    return PayloadWriter{nullptr, std::make_unique<std::byte[]>(min_bytes),
+                         min_bytes, kNumClasses};
+  }
+  const std::size_t chunk_bytes = ClassBytes(class_index);
+  SizeClass& cls = classes_[class_index];
+  {
+    std::lock_guard<std::mutex> lock(cls.mu);
+    if (!cls.free_list.empty()) {
+      std::unique_ptr<std::byte[]> bytes = std::move(cls.free_list.back());
+      cls.free_list.pop_back();
+      cached_bytes_.fetch_sub(chunk_bytes, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return PayloadWriter{shared_from_this(), std::move(bytes), chunk_bytes,
+                           class_index};
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return PayloadWriter{shared_from_this(),
+                       std::make_unique<std::byte[]>(chunk_bytes), chunk_bytes,
+                       class_index};
+}
+
+void BufferPool::Release(std::byte* bytes, std::size_t class_index) {
+  std::unique_ptr<std::byte[]> owned(bytes);
+  if (class_index >= kNumClasses) {
+    return;  // oversize chunks are never cached
+  }
+  const std::size_t chunk_bytes = ClassBytes(class_index);
+  if (cached_bytes_.load(std::memory_order_relaxed) + chunk_bytes >
+      max_cached_bytes_) {
+    discards_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SizeClass& cls = classes_[class_index];
+  {
+    std::lock_guard<std::mutex> lock(cls.mu);
+    cls.free_list.push_back(std::move(owned));
+  }
+  cached_bytes_.fetch_add(chunk_bytes, std::memory_order_relaxed);
+  recycled_.fetch_add(1, std::memory_order_relaxed);
+}
+
+BufferPoolStats BufferPool::Stats() const {
+  BufferPoolStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.oversize = oversize_.load(std::memory_order_relaxed);
+  stats.recycled = recycled_.load(std::memory_order_relaxed);
+  stats.discards = discards_.load(std::memory_order_relaxed);
+  stats.cached_bytes = cached_bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void CopyAccounting::Count(std::size_t bytes) noexcept {
+  g_copy_count.fetch_add(1, std::memory_order_relaxed);
+  g_copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t CopyAccounting::Copies() noexcept {
+  return g_copy_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CopyAccounting::CopiedBytes() noexcept {
+  return g_copy_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace prisma

@@ -1,0 +1,180 @@
+// Refcounted, pooled sample payloads — the allocation layer of the
+// zero-copy data plane (DESIGN.md §9).
+//
+// A producer's backend read lands in a PayloadWriter (a writable chunk
+// drawn from a size-classed BufferPool), is frozen into an immutable
+// SamplePayload, and from then on only *references* travel: through the
+// SampleBuffer, the prefetch object's parked-sample map, and the UDS
+// server's scatter-gather send. The single mandatory byte copy on a
+// consumer path is the one into the caller's destination buffer (or the
+// socket), and it is accounted in CopyAccounting so tests and benches
+// can assert "at most one copy per payload byte".
+//
+// When the last SamplePayload reference drops, the chunk returns to its
+// pool's free list (bounded by max_cached_bytes) instead of the global
+// allocator — cutting malloc/free churn at the 8–32 producer counts
+// where the sharded buffer moved the bottleneck.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace prisma {
+
+class BufferPool;
+
+/// Shared, immutable byte buffer. Cheap to copy (one refcount bump);
+/// the bytes stay valid until the last reference drops, so a reader
+/// holding a payload is safe even after the sample was evicted from
+/// every buffer and map.
+class SamplePayload {
+ public:
+  SamplePayload() = default;
+  SamplePayload(std::shared_ptr<const std::byte> data, std::size_t size)
+      : data_(std::move(data)), size_(size) {}
+
+  /// Allocates (unpooled) and copies `bytes` — convenience for tests and
+  /// cold paths.
+  static SamplePayload CopyOf(std::span<const std::byte> bytes);
+
+  /// Takes ownership of `bytes` without copying.
+  static SamplePayload Adopt(std::vector<std::byte> bytes);
+
+  const std::byte* data() const noexcept { return data_.get(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::span<const std::byte> span() const noexcept {
+    return {data_.get(), size_};
+  }
+
+  /// Number of outstanding references (approximate under concurrency;
+  /// exact in single-threaded tests).
+  long use_count() const noexcept { return data_.use_count(); }
+
+  explicit operator bool() const noexcept { return data_ != nullptr; }
+
+ private:
+  std::shared_ptr<const std::byte> data_;
+  std::size_t size_ = 0;
+};
+
+/// Unique, writable stage of a payload's life: the producer fills
+/// span() and then Freeze()s it into an immutable SamplePayload. If the
+/// writer dies without freezing (failed read), the chunk returns to the
+/// pool directly.
+class PayloadWriter {
+ public:
+  PayloadWriter() = default;
+  ~PayloadWriter();
+  PayloadWriter(PayloadWriter&& other) noexcept;
+  PayloadWriter& operator=(PayloadWriter&& other) noexcept;
+  PayloadWriter(const PayloadWriter&) = delete;
+  PayloadWriter& operator=(const PayloadWriter&) = delete;
+
+  bool valid() const noexcept { return bytes_ != nullptr; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::span<std::byte> span() noexcept { return {bytes_.get(), capacity_}; }
+
+  /// Seals `size` bytes (<= capacity) as an immutable shared payload.
+  /// The chunk is recycled into the pool when the last reference drops.
+  SamplePayload Freeze(std::size_t size) &&;
+
+ private:
+  friend class BufferPool;
+  PayloadWriter(std::shared_ptr<BufferPool> pool,
+                std::unique_ptr<std::byte[]> bytes, std::size_t capacity,
+                std::size_t class_index)
+      : pool_(std::move(pool)),
+        bytes_(std::move(bytes)),
+        capacity_(capacity),
+        class_index_(class_index) {}
+
+  std::shared_ptr<BufferPool> pool_;  // null => unpooled (oversize)
+  std::unique_ptr<std::byte[]> bytes_;
+  std::size_t capacity_ = 0;
+  std::size_t class_index_ = 0;
+};
+
+struct BufferPoolStats {
+  std::uint64_t hits = 0;      // acquisitions served from a free list
+  std::uint64_t misses = 0;    // acquisitions that allocated fresh memory
+  std::uint64_t oversize = 0;  // larger than the largest class (unpooled)
+  std::uint64_t recycled = 0;  // chunks returned into a free list
+  std::uint64_t discards = 0;  // chunks freed because the cache was full
+  std::uint64_t cached_bytes = 0;  // bytes currently parked in free lists
+};
+
+/// Size-classed free-list allocator for sample payloads. Classes are
+/// powers of two from kMinChunkBytes to kMaxChunkBytes; requests above
+/// the largest class fall back to exact, unpooled allocations. All
+/// methods are thread-safe; the cached-bytes budget bounds idle memory.
+class BufferPool : public std::enable_shared_from_this<BufferPool> {
+ public:
+  static constexpr std::size_t kMinChunkBytes = 4 * 1024;
+  static constexpr std::size_t kNumClasses = 15;  // 4 KiB .. 64 MiB
+  static constexpr std::size_t kMaxChunkBytes = kMinChunkBytes
+                                                << (kNumClasses - 1);
+
+  static std::shared_ptr<BufferPool> Create(std::uint64_t max_cached_bytes);
+
+  /// Process-wide pool for callers without their own (tiering
+  /// promotions, ad-hoc reads).
+  static const std::shared_ptr<BufferPool>& Default();
+
+  /// Returns a writable chunk of capacity >= max(min_bytes, class floor).
+  PayloadWriter Acquire(std::size_t min_bytes);
+
+  BufferPoolStats Stats() const;
+  std::uint64_t CachedBytes() const {
+    return cached_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Size class serving `bytes` (kNumClasses for oversize requests).
+  static std::size_t ClassIndex(std::size_t bytes);
+  static std::size_t ClassBytes(std::size_t class_index) {
+    return kMinChunkBytes << class_index;
+  }
+
+ private:
+  friend class PayloadWriter;
+  explicit BufferPool(std::uint64_t max_cached_bytes)
+      : max_cached_bytes_(max_cached_bytes) {}
+
+  /// Return path for frozen payloads and abandoned writers.
+  void Release(std::byte* bytes, std::size_t class_index);
+
+  struct SizeClass {
+    std::mutex mu;
+    std::vector<std::unique_ptr<std::byte[]>> free_list;
+  };
+
+  const std::uint64_t max_cached_bytes_;
+  std::array<SizeClass, kNumClasses> classes_;
+  std::atomic<std::uint64_t> cached_bytes_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> oversize_{0};
+  std::atomic<std::uint64_t> recycled_{0};
+  std::atomic<std::uint64_t> discards_{0};
+};
+
+/// Process-wide tally of consumer-path payload copies (the memcpy into a
+/// caller's dst, or the socket recv into the remote caller's dst). The
+/// zero-copy invariant — at most ONE such copy per consumed payload byte
+/// — is asserted by tests/zero_copy_test and reported by the benches as
+/// bytes-copied/sample. Storage reads filling a payload (pread, content
+/// synthesis) are the data's birth, not a copy, and are not counted.
+class CopyAccounting {
+ public:
+  static void Count(std::size_t bytes) noexcept;
+  static std::uint64_t Copies() noexcept;
+  static std::uint64_t CopiedBytes() noexcept;
+};
+
+}  // namespace prisma

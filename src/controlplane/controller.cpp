@@ -189,6 +189,12 @@ void Controller::ExportMetrics(MetricsRegistry& registry) const {
         .Set(static_cast<double>(obs.stats.read_retries));
     registry.GetGauge("prisma_stage_read_failures", labels)
         .Set(static_cast<double>(obs.stats.read_failures));
+    registry.GetGauge("prisma_stage_pool_hits", labels)
+        .Set(static_cast<double>(obs.stats.pool_hits));
+    registry.GetGauge("prisma_stage_pool_misses", labels)
+        .Set(static_cast<double>(obs.stats.pool_misses));
+    registry.GetGauge("prisma_stage_pool_cached_bytes", labels)
+        .Set(static_cast<double>(obs.stats.pool_cached_bytes));
   }
 }
 

@@ -36,6 +36,21 @@ class OptimizationObject {
                                    std::uint64_t offset,
                                    std::span<std::byte> dst) = 0;
 
+  /// Zero-copy variant: returns a refcounted view of up to `max_bytes`
+  /// starting at `offset` (length 0 at EOF). The view keeps the bytes
+  /// alive independent of buffer eviction, so callers (the UDS server's
+  /// scatter-gather send) defer the one mandatory copy to the consumer's
+  /// own destination. Objects that cannot serve by reference return
+  /// kFailedPrecondition and the caller falls back to Read().
+  virtual Result<SampleView> ReadRef(const std::string& path,
+                                     std::uint64_t offset,
+                                     std::size_t max_bytes) {
+    (void)path;
+    (void)offset;
+    (void)max_bytes;
+    return Status::FailedPrecondition("ReadRef unsupported by this object");
+  }
+
   /// Size of `path` as the object would serve it (metadata intercept for
   /// stat-like framework calls and the IPC client's buffer sizing).
   virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;

@@ -17,7 +17,8 @@ PrefetchObject::PrefetchObject(
     : backend_(std::move(backend)),
       options_(options),
       clock_(std::move(clock)),
-      buffer_(options.buffer_capacity, clock_, options.buffer_shards) {
+      buffer_(options.buffer_capacity, clock_, options.buffer_shards),
+      pool_(BufferPool::Create(options.pool_max_cached_bytes)) {
   if (options.read_rate_bps > 0.0) {
     rate_bps_ = options.read_rate_bps;
     rate_bucket_ = std::make_shared<storage::TokenBucket>(
@@ -106,7 +107,7 @@ void PrefetchObject::ProducerLoop(std::uint32_t index) {
     // the budget is spent the name is marked failed so any consumer
     // blocked on it wakes and falls back to pass-through instead of
     // hanging (see SampleBuffer::MarkFailed).
-    Result<std::vector<std::byte>> data =
+    Result<SamplePayload> data =
         Status::Internal("prefetch read not attempted");
     for (std::uint32_t attempt = 0; attempt <= options_.read_retries;
          ++attempt) {
@@ -115,7 +116,7 @@ void PrefetchObject::ProducerLoop(std::uint32_t index) {
         std::this_thread::sleep_for(options_.retry_backoff * attempt);
       }
       RecordActiveReaders(+1);
-      data = backend_->ReadAll(*name);
+      data = backend_->ReadAllShared(*name, pool_);
       RecordActiveReaders(-1);
       if (data.ok()) break;
     }
@@ -134,15 +135,22 @@ void PrefetchObject::ProducerLoop(std::uint32_t index) {
       buffer_.MarkFailed(*name);
       continue;
     }
+    // Keep a refcounted alias of the payload (no byte copy) so a
+    // cancelled insert can still land the sample below.
+    SamplePayload payload = *data;
     Sample sample{*name, std::move(*data)};
     const Status inserted = buffer_.Insert(std::move(sample), retired);
     if (inserted.code() == StatusCode::kCancelled) {
-      // Retiring mid-insert: the sample never landed, so fail the name
-      // over to the consumer's pass-through path. (Re-queueing it at the
-      // FIFO tail would break the epoch-order invariant that keeps the
-      // direct handoff deadlock-free: the consumer's awaited name must
-      // stay at or before every name still in flight.)
-      buffer_.MarkFailed(*name);
+      // Retiring mid-insert. The read work is done, so land the sample
+      // with a forced slot (transient over-capacity, bounded by the
+      // producer count) instead of dropping it to the pass-through path.
+      // Re-queueing at the FIFO tail is not an option: it would break
+      // the epoch-order invariant that keeps the direct handoff
+      // deadlock-free (the consumer's awaited name must stay at or
+      // before every name still in flight).
+      if (!buffer_.InsertNow(Sample{*name, std::move(payload)}).ok()) {
+        buffer_.MarkFailed(*name);  // closed under us
+      }
       break;
     }
     if (!inserted.ok()) break;  // closed
@@ -184,23 +192,23 @@ void PrefetchObject::ReconcileProducers() {
   }
 }
 
-Result<std::size_t> PrefetchObject::Read(const std::string& path,
-                                         std::uint64_t offset,
-                                         std::span<std::byte> dst) {
+Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
+                                           std::uint64_t offset,
+                                           std::size_t max_bytes) {
   bool announced;
   {
     std::lock_guard lock(announced_mu_);
     announced = announced_.find(path) != announced_.end();
   }
   if (!announced || !running_.load(std::memory_order_acquire)) {
-    // Pass-through: e.g. validation files (the prototype does not
-    // prefetch those — §V.A) or reads before Start().
-    passthrough_reads_.fetch_add(1, std::memory_order_relaxed);
-    return backend_->Read(path, offset, dst);
+    // Pass-through territory: e.g. validation files (the prototype does
+    // not prefetch those — §V.A) or reads before Start(). The caller
+    // falls back to Read(), which serves from the backend.
+    return Status::FailedPrecondition("not buffered: " + path);
   }
 
-  // Chunked consumption support: a Take()n sample stays parked in
-  // taken_ until the consumer has read past its end.
+  // Chunked consumption support: a Take()n sample's payload stays parked
+  // in taken_ until the consumer has read past its end.
   std::unique_lock lock(taken_mu_);
   auto it = taken_.find(path);
   if (it == taken_.end()) {
@@ -210,7 +218,7 @@ Result<std::size_t> PrefetchObject::Read(const std::string& path,
       // final call). Never block on the buffer for bytes that cannot
       // exist; answer from metadata instead.
       const auto size = backend_->FileSize(path);
-      if (size.ok() && offset >= *size) return static_cast<std::size_t>(0);
+      if (size.ok() && offset >= *size) return SampleView{};
     }
     auto sample = buffer_.Take(path);
     if (!sample.ok()) {
@@ -220,23 +228,23 @@ Result<std::size_t> PrefetchObject::Read(const std::string& path,
       // this file's chunks (and later epochs until re-announced) skip
       // straight to pass-through instead of blocking on the buffer.
       RetireAnnounced(path);
-      passthrough_reads_.fetch_add(1, std::memory_order_relaxed);
-      return backend_->Read(path, offset, dst);
+      return Status::FailedPrecondition("sample failed over: " + path);
     }
     lock.lock();
-    it = taken_.emplace(path, std::move(*sample)).first;
+    it = taken_.emplace(path, std::move(sample->payload)).first;
   }
 
-  const Sample& sample = it->second;
-  if (offset >= sample.size()) {
+  // Grab a ref under the lock; the bytes stay alive through it even if
+  // another chunk's read erases the entry, so no copy happens in here.
+  SamplePayload payload = it->second;
+  if (offset >= payload.size()) {
     taken_.erase(it);
     RetireAnnounced(path);
-    return static_cast<std::size_t>(0);  // EOF
+    return SampleView{};  // EOF
   }
   const std::size_t n = static_cast<std::size_t>(
-      std::min<std::uint64_t>(dst.size(), sample.size() - offset));
-  std::copy_n(sample.data.data() + offset, n, dst.data());
-  if (offset + n >= sample.size()) {
+      std::min<std::uint64_t>(max_bytes, payload.size() - offset));
+  if (offset + n >= payload.size()) {
     // Fully consumed -> evicted for good, and the name's per-epoch life
     // is over: drop it from the announced set (re-announced next epoch)
     // so the set stays bounded by in-flight names, not history.
@@ -244,7 +252,26 @@ Result<std::size_t> PrefetchObject::Read(const std::string& path,
     RetireAnnounced(path);
   }
   reads_served_.fetch_add(1, std::memory_order_relaxed);
-  return n;
+  return SampleView{std::move(payload), static_cast<std::size_t>(offset), n};
+}
+
+Result<std::size_t> PrefetchObject::Read(const std::string& path,
+                                         std::uint64_t offset,
+                                         std::span<std::byte> dst) {
+  auto view = ReadRef(path, offset, dst.size());
+  if (!view.ok()) {
+    if (view.status().code() == StatusCode::kFailedPrecondition) {
+      passthrough_reads_.fetch_add(1, std::memory_order_relaxed);
+      return backend_->Read(path, offset, dst);
+    }
+    return view.status();
+  }
+  const auto src = view->data();
+  if (!src.empty()) {
+    std::copy_n(src.data(), src.size(), dst.data());
+    CopyAccounting::Count(src.size());  // THE one consumer-path copy
+  }
+  return src.size();
 }
 
 Result<std::uint64_t> PrefetchObject::FileSize(const std::string& path) {
@@ -315,6 +342,10 @@ StageStatsSnapshot PrefetchObject::CollectStats() const {
     std::lock_guard lock(announced_mu_);
     s.announced_names = announced_.size();
   }
+  const auto pool_stats = pool_->Stats();
+  s.pool_hits = pool_stats.hits;
+  s.pool_misses = pool_stats.misses;
+  s.pool_cached_bytes = pool_stats.cached_bytes;
   return s;
 }
 

@@ -49,6 +49,9 @@ struct PrefetchOptions {
   double read_rate_bps = 0.0;
   /// Token-bucket depth when rate limiting is active.
   std::uint64_t rate_burst_bytes = 8ull * 1024 * 1024;
+  /// Idle-memory budget of the payload buffer pool backend reads draw
+  /// from (chunks recycle instead of hitting the allocator per sample).
+  std::uint64_t pool_max_cached_bytes = 256ull * 1024 * 1024;
 };
 
 class PrefetchObject final : public OptimizationObject {
@@ -68,6 +71,14 @@ class PrefetchObject final : public OptimizationObject {
 
   Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
                            std::span<std::byte> dst) override;
+
+  /// Zero-copy consumer path: returns a refcounted view of the buffered
+  /// sample (taking/evicting it from the buffer exactly like Read), with
+  /// no byte copy. kFailedPrecondition signals "serve via Read()": the
+  /// path was never announced, the stage is stopped, or the producer
+  /// failed the sample over to pass-through.
+  Result<SampleView> ReadRef(const std::string& path, std::uint64_t offset,
+                             std::size_t max_bytes) override;
 
   Result<std::uint64_t> FileSize(const std::string& path) override;
 
@@ -107,10 +118,15 @@ class PrefetchObject final : public OptimizationObject {
   mutable std::mutex announced_mu_;
   std::unordered_set<std::string> announced_;
 
+  // Payload allocations recycle through this pool (shared with the
+  // backend read path; stats surface in CollectStats).
+  std::shared_ptr<BufferPool> pool_;
+
   // Samples taken from the buffer but not yet fully consumed (chunked
   // reads); keyed by path, evicted once the consumer reads past the end.
+  // Holds payload refs only — consumers copy outside this lock.
   std::mutex taken_mu_;
-  std::unordered_map<std::string, Sample> taken_;
+  std::unordered_map<std::string, SamplePayload> taken_;
 
   // QoS: producers reserve bytes here before hitting the backend. The
   // pointer is swapped atomically under rate_mu_ when the knob changes.

@@ -176,6 +176,30 @@ Status SampleBuffer::Insert(Sample sample, const CancelPredicate& cancelled) {
   return Status::Ok();
 }
 
+Status SampleBuffer::InsertNow(Sample sample) {
+  std::unique_lock<std::mutex> lock;
+  Shard& shard = LockShard(sample.name, lock);
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::Aborted("sample buffer closed");
+  }
+  auto existing = shard.samples.find(sample.name);
+  if (existing == shard.samples.end() && !TryAcquireSlot()) {
+    ForceAcquireSlot();  // over-capacity until the matching Take
+  }
+  shard.bytes += sample.size();
+  if (existing != shard.samples.end()) {
+    shard.bytes -= existing->second.size();
+    existing->second = std::move(sample);
+  } else {
+    std::string key = sample.name;
+    shard.samples.emplace(std::move(key), std::move(sample));
+  }
+  ++shard.counters.inserts;
+  lock.unlock();
+  shard.sample_arrived.notify_all();
+  return Status::Ok();
+}
+
 Result<Sample> SampleBuffer::Take(const std::string& name) {
   std::unique_lock<std::mutex> lock;
   Shard& shard = LockShard(name, lock);

@@ -68,6 +68,13 @@ class SampleBuffer {
   Status Insert(Sample sample);
   Status Insert(Sample sample, const CancelPredicate& cancelled);
 
+  /// Never-blocking insert: forces a slot when the buffer is full
+  /// (transient over-capacity, released by the eventual Take). Used by a
+  /// retiring producer to land its in-flight sample rather than dropping
+  /// completed read work; callers are bounded by the producer count, so
+  /// the overshoot is too. Aborted when closed.
+  Status InsertNow(Sample sample);
+
   /// Consumer side: blocks until `name` is resident, then removes and
   /// returns it (evict-on-consume). Aborted when closed while waiting.
   Result<Sample> Take(const std::string& name);

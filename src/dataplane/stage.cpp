@@ -14,6 +14,12 @@ Result<std::size_t> Stage::Read(const std::string& path, std::uint64_t offset,
   return object_->Read(path, offset, dst);
 }
 
+Result<SampleView> Stage::ReadRef(const std::string& path,
+                                  std::uint64_t offset,
+                                  std::size_t max_bytes) {
+  return object_->ReadRef(path, offset, max_bytes);
+}
+
 Result<std::vector<std::byte>> Stage::ReadAll(const std::string& path,
                                               std::uint64_t expected_size) {
   std::vector<std::byte> buf(static_cast<std::size_t>(expected_size));

@@ -36,6 +36,11 @@ class Stage {
   Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
                            std::span<std::byte> dst);
 
+  /// Zero-copy read: refcounted view of the bytes, no copy into a caller
+  /// buffer. kFailedPrecondition means "use Read() instead".
+  Result<SampleView> ReadRef(const std::string& path, std::uint64_t offset,
+                             std::size_t max_bytes);
+
   /// Whole-file convenience used by the adapters.
   Result<std::vector<std::byte>> ReadAll(const std::string& path,
                                          std::uint64_t expected_size);

@@ -40,13 +40,13 @@ void TieringObject::Stop() {
 
 void TieringObject::MigrationLoop() {
   while (auto path = promote_queue_.Pop()) {
-    auto data = slow_->ReadAll(*path);
+    auto data = slow_->ReadAllShared(*path, BufferPool::Default());
     if (!data.ok()) {
       std::lock_guard lock(mu_);
       pending_.erase(*path);
       continue;
     }
-    if (Status s = fast_->Write(*path, *data); !s.ok()) {
+    if (Status s = fast_->Write(*path, data->span()); !s.ok()) {
       PRISMA_LOG(kWarn, "tiering") << "promotion failed: " << s.ToString();
       std::lock_guard lock(mu_);
       pending_.erase(*path);

@@ -4,20 +4,47 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/units.hpp"
 
 namespace prisma::dataplane {
 
 /// One training sample held by the in-memory buffer: a whole file, as the
 /// DL framework will consume it (paper §IV: files are read once per epoch).
+/// The bytes are a refcounted immutable payload, so handing a sample to a
+/// consumer (or evicting it) never copies data — readers that still hold
+/// the payload keep it alive.
 struct Sample {
   std::string name;
-  std::vector<std::byte> data;
+  SamplePayload payload;
 
-  std::uint64_t size() const { return data.size(); }
+  Sample() = default;
+  Sample(std::string n, SamplePayload p)
+      : name(std::move(n)), payload(std::move(p)) {}
+  /// Adopts the vector without copying (tests and benches build samples
+  /// from vectors; the storage path builds them from pooled payloads).
+  Sample(std::string n, std::vector<std::byte> bytes)
+      : name(std::move(n)), payload(SamplePayload::Adopt(std::move(bytes))) {}
+
+  std::uint64_t size() const { return payload.size(); }
+  std::span<const std::byte> bytes() const { return payload.span(); }
+};
+
+/// A consumer's view into a payload: the refcount keeps the bytes alive
+/// for as long as the view exists, independent of buffer eviction.
+struct SampleView {
+  SamplePayload payload;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+
+  std::span<const std::byte> data() const {
+    return payload.span().subspan(offset, length);
+  }
 };
 
 /// Tuning knobs a control plane may push into a stage. Unset fields keep
@@ -65,6 +92,11 @@ struct StageStatsSnapshot {
   std::uint64_t read_failures = 0;    // retry budget exhausted; sample failed
   std::uint64_t oversize_rejects = 0; // read ok but too large to buffer
   std::uint64_t announced_names = 0;  // names currently routed via the buffer
+
+  // Payload buffer-pool counters (zero-copy path, DESIGN.md §9).
+  std::uint64_t pool_hits = 0;          // pooled chunk reused
+  std::uint64_t pool_misses = 0;        // fresh allocation
+  std::uint64_t pool_cached_bytes = 0;  // bytes idle in pool free lists
 };
 
 }  // namespace prisma::dataplane

@@ -11,6 +11,26 @@ Result<std::vector<std::byte>> TorchWorkerClient::GetItem(
   return client_.ReadAll(name);
 }
 
+Result<std::size_t> TorchWorkerClient::GetItemInto(const std::string& name,
+                                                   std::span<std::byte> dst) {
+  const auto size = client_.FileSize(name);
+  if (!size.ok()) return size.status();
+  if (*size > dst.size()) {
+    return Status::OutOfRange("GetItemInto: " + name + " needs " +
+                              std::to_string(*size) + " bytes, dst has " +
+                              std::to_string(dst.size()));
+  }
+  std::size_t done = 0;
+  const auto total = static_cast<std::size_t>(*size);
+  while (done < total) {
+    auto n = client_.Read(name, done, dst.subspan(done, total - done));
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;
+    done += *n;
+  }
+  return done;
+}
+
 Status TorchWorkerClient::AnnounceEpoch(
     std::uint64_t epoch, const std::vector<std::string>& order) {
   return client_.BeginEpoch(epoch, order);

@@ -6,7 +6,9 @@
 // single worker.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,12 @@ class TorchWorkerClient {
 
   /// Fetches one sample — the intercepted read invocation.
   Result<std::vector<std::byte>> GetItem(const std::string& name);
+
+  /// Zero-copy variant: fetches the sample into caller-owned memory (a
+  /// pinned tensor's storage, a reused staging buffer) and returns the
+  /// byte count. OutOfRange if `dst` is smaller than the sample.
+  Result<std::size_t> GetItemInto(const std::string& name,
+                                  std::span<std::byte> dst);
 
   /// The main process announces each epoch's (already shuffled) order.
   Status AnnounceEpoch(std::uint64_t epoch,

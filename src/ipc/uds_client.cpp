@@ -10,6 +10,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/buffer_pool.hpp"
+
 namespace prisma::ipc {
 
 UdsClient::~UdsClient() { Close(); }
@@ -67,7 +69,7 @@ void UdsClient::Close() {
 
 Result<Response> UdsClient::RoundTrip(const Request& req) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
-  if (Status s = WriteFrame(fd_, EncodeRequest(req)); !s.ok()) return s;
+  if (Status s = WriteRequestFrame(fd_, req); !s.ok()) return s;
   auto frame = ReadFrame(fd_);
   if (!frame.ok()) return frame.status();
   return DecodeResponse(*frame);
@@ -87,18 +89,29 @@ Status UdsClient::Ping() {
 Result<std::size_t> UdsClient::Read(const std::string& path,
                                     std::uint64_t offset,
                                     std::span<std::byte> dst) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
   Request req;
   req.op = Op::kRead;
   req.path = path;
   req.offset = offset;
   req.length = dst.size();
-  auto resp = RoundTrip(req);
-  if (!resp.ok()) return resp.status();
-  if (resp->code != StatusCode::kOk) {
-    return Status{resp->code, "remote read failed: " + path};
+  if (Status s = WriteRequestFrame(fd_, req); !s.ok()) return s;
+
+  // Streaming decode: parse the fixed response header, then recv the
+  // payload straight into the caller's destination — no frame buffer,
+  // no copy-out. This recv IS the consumer path's one mandatory copy.
+  auto header = ReadResponseHeader(fd_);
+  if (!header.ok()) return header.status();
+  if (header->code != StatusCode::kOk) {
+    if (Status s = DrainResponseData(fd_, header->data_len); !s.ok()) return s;
+    return Status{header->code, "remote read failed: " + path};
   }
-  const std::size_t n = std::min(resp->data.size(), dst.size());
-  std::copy_n(resp->data.data(), n, dst.data());
+  const std::size_t n = std::min<std::size_t>(header->data_len, dst.size());
+  if (Status s = ReadResponseData(fd_, dst.first(n)); !s.ok()) return s;
+  if (Status s = DrainResponseData(fd_, header->data_len - n); !s.ok()) {
+    return s;
+  }
+  if (n > 0) CopyAccounting::Count(n);
   return n;
 }
 

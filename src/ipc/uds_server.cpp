@@ -102,17 +102,24 @@ void UdsServer::AcceptLoop() {
 }
 
 void UdsServer::HandleConnection(int fd) {
+  // Pass-through reads for this connection land here; reusing the vector
+  // across requests keeps the fallback path allocation-free at steady
+  // state.
+  std::vector<std::byte> scratch;
   while (running_.load(std::memory_order_acquire)) {
     auto frame = ReadFrame(fd);
     if (!frame.ok()) break;  // peer closed or connection error
     auto req = DecodeRequest(*frame);
-    Response resp;
+    Status sent = Status::Ok();
     if (!req.ok()) {
-      resp.code = req.status().code();
+      sent = WriteResponseFrame(fd, req.status().code(), 0, {});
+    } else if (req->op == Op::kRead) {
+      sent = HandleRead(fd, *req, scratch);
     } else {
-      resp = Dispatch(*req);
+      const Response resp = Dispatch(*req);
+      sent = WriteResponseFrame(fd, resp.code, resp.value, resp.data);
     }
-    if (!WriteFrame(fd, EncodeResponse(resp)).ok()) break;
+    if (!sent.ok()) break;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
   }
   // fd is closed centrally in Stop(); closing here too would double-close,
@@ -120,27 +127,52 @@ void UdsServer::HandleConnection(int fd) {
   ::shutdown(fd, SHUT_RDWR);
 }
 
+Status UdsServer::HandleRead(int fd, const Request& req,
+                             std::vector<std::byte>& scratch) {
+  if (req.length > kMaxFrameBytes / 2) {
+    return WriteResponseFrame(fd, StatusCode::kInvalidArgument, 0, {});
+  }
+  // Zero-copy fast path: a buffered sample is served by reference — the
+  // view's refcount keeps the payload alive through the sendmsg, so the
+  // bytes go from the producer's pooled buffer straight to the socket.
+  auto view = stage_->ReadRef(req.path, req.offset,
+                              static_cast<std::size_t>(req.length));
+  if (view.ok()) {
+    const auto data = view->data();
+    return WriteResponseFrame(fd, StatusCode::kOk, data.size(), data);
+  }
+  if (view.status().code() != StatusCode::kFailedPrecondition) {
+    return WriteResponseFrame(fd, view.status().code(), 0, {});
+  }
+
+  // Pass-through fallback (unannounced paths, failed-over samples).
+  // Clamp the staging allocation to the bytes the file can actually
+  // yield — a huge req.length must not force a huge buffer.
+  const auto size = stage_->FileSize(req.path);
+  if (!size.ok()) {
+    return WriteResponseFrame(fd, size.status().code(), 0, {});
+  }
+  const std::uint64_t avail = req.offset < *size ? *size - req.offset : 0;
+  const auto want =
+      static_cast<std::size_t>(std::min<std::uint64_t>(req.length, avail));
+  if (scratch.size() < want) scratch.resize(want);
+  auto n = stage_->Read(req.path, req.offset, std::span(scratch).first(want));
+  if (!n.ok()) {
+    return WriteResponseFrame(fd, n.status().code(), 0, {});
+  }
+  return WriteResponseFrame(fd, StatusCode::kOk, *n,
+                            std::span<const std::byte>(scratch).first(*n));
+}
+
 Response UdsServer::Dispatch(const Request& req) {
   Response resp;
   switch (req.op) {
     case Op::kPing:
       break;
-    case Op::kRead: {
-      if (req.length > kMaxFrameBytes / 2) {
-        resp.code = StatusCode::kInvalidArgument;
-        break;
-      }
-      resp.data.resize(static_cast<std::size_t>(req.length));
-      auto n = stage_->Read(req.path, req.offset, resp.data);
-      if (!n.ok()) {
-        resp.code = n.status().code();
-        resp.data.clear();
-        break;
-      }
-      resp.data.resize(*n);
-      resp.value = *n;
+    case Op::kRead:
+      // Handled by HandleRead (needs the fd for the zero-copy send).
+      resp.code = StatusCode::kInternal;
       break;
-    }
     case Op::kFileSize: {
       auto size = stage_->FileSize(req.path);
       if (!size.ok()) {

@@ -41,6 +41,12 @@ class UdsServer {
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
+  /// kRead: serves the buffered sample by reference (scatter-gather send
+  /// of header + payload, no intermediate buffer); pass-through reads
+  /// land in `scratch`, clamped to the file's actual size. Sends the
+  /// response itself; returns the send status.
+  Status HandleRead(int fd, const Request& req,
+                    std::vector<std::byte>& scratch);
   Response Dispatch(const Request& req);
 
   std::string socket_path_;

@@ -1,8 +1,10 @@
 #include "ipc/wire.hpp"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -178,51 +180,182 @@ Result<Response> DecodeResponse(std::span<const std::byte> payload) {
   return resp;
 }
 
-Status WriteFrame(int fd, std::span<const std::byte> payload) {
-  std::byte prefix[4];
-  const auto len = static_cast<std::uint32_t>(payload.size());
+namespace {
+
+Result<std::size_t> RecvAll(int fd, std::byte* p, std::size_t n, bool eof_ok) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::recv(fd, p + done, n - done, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      if (eof_ok && done == 0) return Status::Aborted("peer closed");
+      return Status::IoError("connection truncated mid-frame");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return done;
+}
+
+void PutPrefix(std::byte prefix[4], std::uint32_t len) {
   for (int i = 0; i < 4; ++i) {
     prefix[i] = static_cast<std::byte>((len >> (8 * i)) & 0xff);
   }
+}
 
-  const auto send_all = [fd](const std::byte* p, std::size_t n) -> Status {
-    std::size_t done = 0;
-    while (done < n) {
-      const ssize_t w = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
-      if (w < 0) {
-        if (errno == EINTR) continue;
-        return Status::IoError(std::string("send: ") + std::strerror(errno));
-      }
-      done += static_cast<std::size_t>(w);
+}  // namespace
+
+Status WriteFrameV(int fd,
+                   std::initializer_list<std::span<const std::byte>> parts) {
+  constexpr std::size_t kMaxParts = 8;
+  if (parts.size() > kMaxParts) {
+    return Status::InvalidArgument("WriteFrameV: too many parts");
+  }
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  if (total > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame too large: " + std::to_string(total));
+  }
+
+  std::byte prefix[4];
+  PutPrefix(prefix, static_cast<std::uint32_t>(total));
+
+  iovec iov[kMaxParts + 1];
+  std::size_t n_iov = 0;
+  iov[n_iov++] = {prefix, 4};
+  for (const auto& p : parts) {
+    if (p.empty()) continue;
+    iov[n_iov++] = {const_cast<std::byte*>(p.data()), p.size()};
+  }
+
+  // One sendmsg for the whole frame in the common case; the loop only
+  // spins again on a partial send (kernel buffer full), advancing the
+  // iovec window past what went out.
+  std::size_t idx = 0;
+  while (idx < n_iov) {
+    msghdr msg{};
+    msg.msg_iov = iov + idx;
+    msg.msg_iovlen = n_iov - idx;
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("sendmsg: ") + std::strerror(errno));
     }
-    return Status::Ok();
-  };
+    auto advanced = static_cast<std::size_t>(w);
+    while (idx < n_iov && advanced >= iov[idx].iov_len) {
+      advanced -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < n_iov && advanced > 0) {
+      iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + advanced;
+      iov[idx].iov_len -= advanced;
+    }
+  }
+  return Status::Ok();
+}
 
-  if (Status s = send_all(prefix, 4); !s.ok()) return s;
-  return send_all(payload.data(), payload.size());
+Status WriteFrame(int fd, std::span<const std::byte> payload) {
+  return WriteFrameV(fd, {payload});
+}
+
+Status WriteRequestFrame(int fd, const Request& req) {
+  if (!req.names.empty()) {
+    // kBeginEpoch carries a name list; the flat encoder is simpler than
+    // one iovec entry per name and this op is once-per-epoch cold.
+    const auto payload = EncodeRequest(req);
+    return WriteFrameV(fd, {payload});
+  }
+  // [u8 op][u32 path_len] | path bytes | [u64 offset][u64 length]
+  // [u64 epoch][u32 n_names=0] — same bytes as EncodeRequest, no buffer.
+  std::vector<std::byte> head;
+  head.reserve(5);
+  PutU8(head, static_cast<std::uint8_t>(req.op));
+  PutU32(head, static_cast<std::uint32_t>(req.path.size()));
+  std::vector<std::byte> tail;
+  tail.reserve(28);
+  PutU64(tail, req.offset);
+  PutU64(tail, req.length);
+  PutU64(tail, req.epoch);
+  PutU32(tail, 0);
+  return WriteFrameV(
+      fd, {head, std::as_bytes(std::span(req.path.data(), req.path.size())),
+           tail});
+}
+
+Status WriteResponseFrame(int fd, StatusCode code, std::uint64_t value,
+                          std::span<const std::byte> data) {
+  std::vector<std::byte> head;
+  head.reserve(kResponseHeaderBytes);
+  PutU8(head, static_cast<std::uint8_t>(code));
+  PutU64(head, value);
+  PutU32(head, static_cast<std::uint32_t>(data.size()));
+  return WriteFrameV(fd, {head, data});
+}
+
+Result<ResponseHeader> ReadResponseHeader(int fd) {
+  std::byte prefix[4];
+  if (auto r = RecvAll(fd, prefix, 4, /*eof_ok=*/true); !r.ok()) {
+    return r.status();
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame too large: " + std::to_string(len));
+  }
+  if (len < kResponseHeaderBytes) {
+    return Status::InvalidArgument("response frame shorter than header");
+  }
+
+  std::byte raw[kResponseHeaderBytes];
+  if (auto r = RecvAll(fd, raw, kResponseHeaderBytes, /*eof_ok=*/false);
+      !r.ok()) {
+    return r.status();
+  }
+  const auto code = static_cast<std::uint8_t>(raw[0]);
+  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    return Status::InvalidArgument("unknown status code");
+  }
+  ResponseHeader header;
+  header.code = static_cast<StatusCode>(code);
+  for (int i = 0; i < 8; ++i) {
+    header.value |= static_cast<std::uint64_t>(raw[1 + i]) << (8 * i);
+  }
+  for (int i = 0; i < 4; ++i) {
+    header.data_len |= static_cast<std::uint32_t>(raw[9 + i]) << (8 * i);
+  }
+  if (kResponseHeaderBytes + header.data_len != len) {
+    return Status::InvalidArgument("response data length mismatch");
+  }
+  return header;
+}
+
+Status ReadResponseData(int fd, std::span<std::byte> dst) {
+  if (dst.empty()) return Status::Ok();
+  if (auto r = RecvAll(fd, dst.data(), dst.size(), /*eof_ok=*/false); !r.ok()) {
+    return r.status();
+  }
+  return Status::Ok();
+}
+
+Status DrainResponseData(int fd, std::size_t n) {
+  std::byte sink[4096];
+  while (n > 0) {
+    const std::size_t chunk = std::min(n, sizeof(sink));
+    if (auto r = RecvAll(fd, sink, chunk, /*eof_ok=*/false); !r.ok()) {
+      return r.status();
+    }
+    n -= chunk;
+  }
+  return Status::Ok();
 }
 
 Result<std::vector<std::byte>> ReadFrame(int fd) {
-  const auto recv_all = [fd](std::byte* p, std::size_t n,
-                             bool eof_ok) -> Result<std::size_t> {
-    std::size_t done = 0;
-    while (done < n) {
-      const ssize_t r = ::recv(fd, p + done, n - done, 0);
-      if (r < 0) {
-        if (errno == EINTR) continue;
-        return Status::IoError(std::string("recv: ") + std::strerror(errno));
-      }
-      if (r == 0) {
-        if (eof_ok && done == 0) return Status::Aborted("peer closed");
-        return Status::IoError("connection truncated mid-frame");
-      }
-      done += static_cast<std::size_t>(r);
-    }
-    return done;
-  };
-
   std::byte prefix[4];
-  if (auto r = recv_all(prefix, 4, /*eof_ok=*/true); !r.ok()) {
+  if (auto r = RecvAll(fd, prefix, 4, /*eof_ok=*/true); !r.ok()) {
     return r.status();
   }
   std::uint32_t len = 0;
@@ -234,7 +367,7 @@ Result<std::vector<std::byte>> ReadFrame(int fd) {
   }
   std::vector<std::byte> payload(len);
   if (len > 0) {
-    if (auto r = recv_all(payload.data(), len, /*eof_ok=*/false); !r.ok()) {
+    if (auto r = RecvAll(fd, payload.data(), len, /*eof_ok=*/false); !r.ok()) {
       return r.status();
     }
   }

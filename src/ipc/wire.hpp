@@ -11,7 +11,9 @@
 // (file size for kFileSize, bytes read for kRead).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
@@ -54,6 +56,43 @@ Result<Response> DecodeResponse(std::span<const std::byte> payload);
 /// orderly peer close before a frame starts).
 Status WriteFrame(int fd, std::span<const std::byte> payload);
 Result<std::vector<std::byte>> ReadFrame(int fd);
+
+/// Scatter-gather frame write: one sendmsg carries the length prefix and
+/// the concatenation of `parts` (at most 8) — no intermediate encode
+/// buffer, no per-part syscall. The bytes on the wire are identical to
+/// WriteFrame(fd, concat(parts)).
+Status WriteFrameV(int fd, std::initializer_list<std::span<const std::byte>> parts);
+
+/// Frames a request without building the encode buffer when the request
+/// carries no name list (every op but kBeginEpoch).
+Status WriteRequestFrame(int fd, const Request& req);
+
+/// Fixed-size leading portion of a response payload:
+/// [u8 status_code][u64 value][u32 data_len].
+inline constexpr std::size_t kResponseHeaderBytes = 13;
+
+/// Frames a response as header + data spans in one sendmsg; `data` is
+/// typically a refcounted sample payload served without copying.
+Status WriteResponseFrame(int fd, StatusCode code, std::uint64_t value,
+                          std::span<const std::byte> data);
+
+struct ResponseHeader {
+  StatusCode code = StatusCode::kOk;
+  std::uint64_t value = 0;
+  std::uint32_t data_len = 0;
+};
+
+/// Streaming response decode for the client's zero-copy read: consumes
+/// the frame prefix + fixed header, leaving exactly data_len payload
+/// bytes on the socket for ReadResponseData/DrainResponseData. Aborted
+/// on orderly peer close before a frame starts.
+Result<ResponseHeader> ReadResponseHeader(int fd);
+
+/// Receives exactly dst.size() payload bytes into caller storage.
+Status ReadResponseData(int fd, std::span<std::byte> dst);
+
+/// Discards `n` payload bytes (error responses, oversized replies).
+Status DrainResponseData(int fd, std::size_t n);
 
 /// Upper bound accepted by ReadFrame (guards against corrupt prefixes).
 inline constexpr std::uint32_t kMaxFrameBytes = 256u * 1024 * 1024;

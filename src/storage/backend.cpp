@@ -17,4 +17,20 @@ Result<std::vector<std::byte>> StorageBackend::ReadAll(const std::string& path) 
   return buf;
 }
 
+Result<SamplePayload> StorageBackend::ReadAllShared(
+    const std::string& path, const std::shared_ptr<BufferPool>& pool) {
+  const auto size = FileSize(path);
+  if (!size.ok()) return size.status();
+  const auto total = static_cast<std::size_t>(*size);
+  PayloadWriter writer = pool->Acquire(total);
+  std::size_t done = 0;
+  while (done < total) {
+    auto n = Read(path, done, writer.span().subspan(done, total - done));
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;  // truncated concurrently; freeze what we have
+    done += *n;
+  }
+  return std::move(writer).Freeze(done);
+}
+
 }  // namespace prisma::storage

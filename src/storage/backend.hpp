@@ -8,10 +8,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/status.hpp"
 
 namespace prisma::storage {
@@ -37,6 +39,15 @@ class StorageBackend {
 
   /// Reads the entire file into a freshly allocated buffer.
   virtual Result<std::vector<std::byte>> ReadAll(const std::string& path);
+
+  /// Reads the entire file into a refcounted payload drawn from `pool`.
+  /// This is the producer's entry to the zero-copy path: the bytes land
+  /// in pooled memory once and travel by reference from there on. The
+  /// default implementation loops over Read(), so decorator backends
+  /// (fault injection, rate limiting) keep their semantics without
+  /// overriding this.
+  virtual Result<SamplePayload> ReadAllShared(
+      const std::string& path, const std::shared_ptr<BufferPool>& pool);
 
   /// Creates/overwrites `path` with `data` (used by the dataset
   /// materializer and the tiering optimization object).

@@ -67,6 +67,33 @@ Result<std::size_t> PosixBackend::Read(const std::string& path,
   return done;
 }
 
+Result<SamplePayload> PosixBackend::ReadAllShared(
+    const std::string& path, const std::shared_ptr<BufferPool>& pool) {
+  const auto full = Resolve(path);
+  Fd fd(::open(full.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.valid()) return ErrnoStatus("open", full.string());
+
+  struct stat st{};
+  if (::fstat(fd.get(), &st) != 0) return ErrnoStatus("fstat", full.string());
+  const auto total = static_cast<std::size_t>(st.st_size);
+
+  PayloadWriter writer = pool->Acquire(total);
+  std::size_t done = 0;
+  while (done < total) {
+    const ssize_t n = ::read(fd.get(), writer.span().data() + done,
+                             total - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read", full.string());
+    }
+    if (n == 0) break;  // truncated concurrently; freeze what we have
+    done += static_cast<std::size_t>(n);
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(done, std::memory_order_relaxed);
+  return std::move(writer).Freeze(done);
+}
+
 Status PosixBackend::Write(const std::string& path,
                            std::span<const std::byte> data) {
   const auto full = Resolve(path);

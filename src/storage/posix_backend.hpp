@@ -21,6 +21,11 @@ class PosixBackend final : public StorageBackend {
 
   Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
                            std::span<std::byte> dst) override;
+  /// Opens the file once (vs. once per Read chunk in the default loop)
+  /// and streams it straight into a pooled payload.
+  Result<SamplePayload> ReadAllShared(
+      const std::string& path,
+      const std::shared_ptr<BufferPool>& pool) override;
   Status Write(const std::string& path, std::span<const std::byte> data) override;
   Result<std::uint64_t> FileSize(const std::string& path) override;
   BackendStats Stats() const override;

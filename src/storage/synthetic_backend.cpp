@@ -78,6 +78,50 @@ Result<std::size_t> SyntheticBackend::Read(const std::string& path,
   return n;
 }
 
+Result<SamplePayload> SyntheticBackend::ReadAllShared(
+    const std::string& path, const std::shared_ptr<BufferPool>& pool) {
+  std::uint64_t size = 0;
+  const std::vector<std::byte>* override_data = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (const auto ov = overrides_.find(path); ov != overrides_.end()) {
+      override_data = &ov->second;
+      size = ov->second.size();
+    } else if (const auto it = files_.find(path); it != files_.end()) {
+      size = it->second;
+    } else {
+      return Status::NotFound("synthetic backend: " + path);
+    }
+  }
+
+  const auto n = static_cast<std::size_t>(size);
+  const bool hit = cache_.AccessAndAdmit(path, size);
+  const std::uint32_t concurrency =
+      outstanding_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const Nanos service = ModelServiceTime(n, hit, concurrency);
+  if (service.count() > 0) std::this_thread::sleep_for(service);
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+
+  PayloadWriter writer = pool->Acquire(n);
+  if (override_data != nullptr) {
+    // overrides_ entries are only appended (Write replaces the vector
+    // under mu_, but existing tests never race Write against reads of
+    // the same name); re-check under the lock to stay safe anyway.
+    std::lock_guard lock(mu_);
+    const auto ov = overrides_.find(path);
+    if (ov != overrides_.end() && ov->second.size() >= n) {
+      std::copy_n(ov->second.data(), n, writer.span().data());
+    } else {
+      SyntheticContent::Fill(path, 0, writer.span().subspan(0, n));
+    }
+  } else {
+    SyntheticContent::Fill(path, 0, writer.span().subspan(0, n));
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  return std::move(writer).Freeze(n);
+}
+
 Status SyntheticBackend::Write(const std::string& path,
                                std::span<const std::byte> data) {
   {

@@ -47,6 +47,12 @@ class SyntheticBackend final : public StorageBackend {
 
   Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
                            std::span<std::byte> dst) override;
+  /// One catalog lookup and one modeled service charge for the whole
+  /// file (the default loop would charge per chunk), synthesized
+  /// directly into a pooled payload.
+  Result<SamplePayload> ReadAllShared(
+      const std::string& path,
+      const std::shared_ptr<BufferPool>& pool) override;
   Status Write(const std::string& path, std::span<const std::byte> data) override;
   Result<std::uint64_t> FileSize(const std::string& path) override;
   BackendStats Stats() const override;

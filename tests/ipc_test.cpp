@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <thread>
 
 #include "common/rng.hpp"
@@ -176,6 +179,147 @@ TEST(WireTest, OversizedFramePrefixRejected) {
   ::close(fds[1]);
 }
 
+TEST(WireTest, ScatterFrameMatchesContiguousFrame) {
+  // WriteFrameV(parts) must put the exact same bytes on the wire as
+  // WriteFrame(concat(parts)).
+  const std::vector<std::byte> a = {std::byte{1}, std::byte{2}, std::byte{3}};
+  const std::vector<std::byte> b = {};  // empty parts must be harmless
+  const std::vector<std::byte> c = {std::byte{9}, std::byte{8}};
+  std::vector<std::byte> concat = a;
+  concat.insert(concat.end(), c.begin(), c.end());
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(WriteFrameV(fds[0], {a, b, c}).ok());
+  auto got = ReadFrame(fds[1]);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, concat);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, ScatterFrameAtMaxFrameBytes) {
+  // 8 scatter parts aliasing one 32 MiB pattern buffer add up to exactly
+  // kMaxFrameBytes; the frame far exceeds the socket buffer, so this
+  // also exercises WriteFrameV's partial-send iovec advance. The reader
+  // allocates the frame once and spot-checks the pattern.
+  constexpr std::size_t kPartBytes = kMaxFrameBytes / 8;
+  std::vector<std::byte> part(kPartBytes);
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    part[i] = static_cast<std::byte>((i * 31 + 7) & 0xff);
+  }
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread writer([&] {
+    EXPECT_TRUE(
+        WriteFrameV(fds[0], {part, part, part, part, part, part, part, part})
+            .ok());
+  });
+  auto got = ReadFrame(fds[1]);
+  writer.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), kMaxFrameBytes);
+  for (const std::size_t at :
+       {std::size_t{0}, kPartBytes - 1, kPartBytes, 3 * kPartBytes + 12345,
+        static_cast<std::size_t>(kMaxFrameBytes) - 1}) {
+    EXPECT_EQ((*got)[at], part[at % kPartBytes]) << at;
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, ScatterFrameTooManyPartsRejected) {
+  const std::vector<std::byte> p = {std::byte{0}};
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  EXPECT_EQ(WriteFrameV(fds[0], {p, p, p, p, p, p, p, p, p}).code(),
+            StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, RequestFrameMatchesEncodeRequest) {
+  // The scatter fast path and the flat encoder must be byte-identical;
+  // DecodeRequest (old servers) must keep understanding both.
+  Request req;
+  req.op = Op::kRead;
+  req.path = "train/00000042.jpg";
+  req.offset = 4096;
+  req.length = 65536;
+  req.epoch = 11;
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(WriteRequestFrame(fds[0], req).ok());
+  auto frame = ReadFrame(fds[1]);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(*frame, EncodeRequest(req));
+
+  req.op = Op::kBeginEpoch;
+  req.names = {"a", "bb", "ccc"};
+  ASSERT_TRUE(WriteRequestFrame(fds[0], req).ok());
+  frame = ReadFrame(fds[1]);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(*frame, EncodeRequest(req));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, StreamingResponseDecodeMatchesEncodeResponse) {
+  Response resp;
+  resp.code = StatusCode::kOk;
+  resp.value = 77;
+  resp.data.resize(1000);
+  for (std::size_t i = 0; i < resp.data.size(); ++i) {
+    resp.data[i] = static_cast<std::byte>(i & 0xff);
+  }
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(WriteResponseFrame(fds[0], resp.code, resp.value, resp.data).ok());
+  auto header = ReadResponseHeader(fds[1]);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->code, resp.code);
+  EXPECT_EQ(header->value, resp.value);
+  ASSERT_EQ(header->data_len, resp.data.size());
+  // Split the payload between a destination recv and a drain (the
+  // client's partial-read shape).
+  std::vector<std::byte> dst(600);
+  ASSERT_TRUE(ReadResponseData(fds[1], dst).ok());
+  ASSERT_TRUE(DrainResponseData(fds[1], header->data_len - dst.size()).ok());
+  for (std::size_t i = 0; i < dst.size(); ++i) EXPECT_EQ(dst[i], resp.data[i]);
+
+  // And the old block decoder still reads WriteResponseFrame's bytes.
+  ASSERT_TRUE(WriteResponseFrame(fds[0], resp.code, resp.value, resp.data).ok());
+  auto frame = ReadFrame(fds[1]);
+  ASSERT_TRUE(frame.ok());
+  auto decoded = DecodeResponse(*frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->data, resp.data);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireTest, ResponseHeaderRejectsLengthMismatch) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Frame claims 20 payload bytes but the header says data_len = 99.
+  std::vector<std::byte> payload;
+  payload.push_back(std::byte{0});                       // kOk
+  for (int i = 0; i < 8; ++i) payload.push_back(std::byte{0});  // value
+  const std::uint32_t bad_len = 99;
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<std::byte>((bad_len >> (8 * i)) & 0xff));
+  }
+  payload.resize(20);
+  ASSERT_TRUE(WriteFrame(fds[0], payload).ok());
+  EXPECT_EQ(ReadResponseHeader(fds[1]).status().code(),
+            StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 // --- UDS server/client ----------------------------------------------------------
 
 class UdsTest : public ::testing::Test {
@@ -325,6 +469,76 @@ TEST_F(UdsTest, RangedRead) {
   ASSERT_TRUE(n.ok());
   ASSERT_EQ(*n, 128u);
   for (int i = 0; i < 128; ++i) EXPECT_EQ(buf[i], whole[256 + i]);
+}
+
+TEST_F(UdsTest, ChunkedReadOfBufferedSample) {
+  // Chunked consumption of an announced (buffered, zero-copy-served)
+  // sample: odd-sized chunks, then the EOF probe must return 0.
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  const auto& f = ds_.train.At(2);
+  ASSERT_TRUE(client.BeginEpoch(0, {f.name}).ok());
+
+  const auto expected = storage::SyntheticContent::Generate(f.name, f.size);
+  std::vector<std::byte> got;
+  std::vector<std::byte> chunk(1000);
+  std::uint64_t offset = 0;
+  for (;;) {
+    auto n = client.Read(f.name, offset, chunk);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (*n == 0) break;
+    got.insert(got.end(), chunk.begin(), chunk.begin() + *n);
+    offset += *n;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(UdsTest, OffsetReadOfBufferedSample) {
+  // A mid-file first touch takes the sample from the buffer and parks
+  // the payload; the offset slice must match the synthetic content.
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  const auto& f = ds_.train.At(3);
+  ASSERT_GT(f.size, 700u);
+  ASSERT_TRUE(client.BeginEpoch(0, {f.name}).ok());
+
+  const auto whole = storage::SyntheticContent::Generate(f.name, f.size);
+  std::vector<std::byte> buf(512);
+  auto n = client.Read(f.name, 200, buf);
+  ASSERT_TRUE(n.ok());
+  const auto want = std::min<std::size_t>(512, f.size - 200);
+  ASSERT_EQ(*n, want);
+  for (std::size_t i = 0; i < want; ++i) EXPECT_EQ(buf[i], whole[200 + i]);
+}
+
+TEST_F(UdsTest, HugeLengthRequestClampedToFileSize) {
+  // A request asking for kMaxFrameBytes/2 on a small file must get the
+  // file's bytes back — the server clamps its staging allocation to the
+  // actual size instead of honoring the attacker-controlled length.
+  const auto& f = ds_.validation.At(2);  // pass-through (never announced)
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path_.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  Request req;
+  req.op = Op::kRead;
+  req.path = f.name;
+  req.offset = 0;
+  req.length = kMaxFrameBytes / 2;
+  ASSERT_TRUE(WriteRequestFrame(fd, req).ok());
+  auto header = ReadResponseHeader(fd);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->code, StatusCode::kOk);
+  EXPECT_EQ(header->value, f.size);
+  ASSERT_EQ(header->data_len, f.size);
+  std::vector<std::byte> data(header->data_len);
+  ASSERT_TRUE(ReadResponseData(fd, data).ok());
+  EXPECT_EQ(data, storage::SyntheticContent::Generate(f.name, f.size));
+  ::close(fd);
 }
 
 TEST_F(UdsTest, ServerStopUnblocksClients) {

@@ -310,5 +310,55 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 8, 64, 1024),
                        ::testing::Values<std::size_t>(1, 4, 0)));
 
+TEST(SampleBufferTest, PayloadOutlivesEviction) {
+  // Zero-copy invariant: a reader that grabbed a payload ref stays valid
+  // after the sample is evicted, the name is reinserted with different
+  // bytes, and the buffer is closed. ASan validates the accesses.
+  SampleBuffer buf(4, TestClock());
+  std::vector<std::byte> first(64, std::byte{0xAA});
+  ASSERT_TRUE(buf.Insert(Sample{"a", std::move(first)}).ok());
+
+  auto taken = buf.Take("a");  // evicts "a" from the buffer
+  ASSERT_TRUE(taken.ok());
+  SamplePayload held = taken->payload;
+  taken = Status::NotFound("dropped");  // the Sample itself is gone
+
+  std::vector<std::byte> second(64, std::byte{0x55});
+  ASSERT_TRUE(buf.Insert(Sample{"a", std::move(second)}).ok());
+  ASSERT_TRUE(buf.Take("a").ok());
+  buf.Close();
+
+  ASSERT_EQ(held.size(), 64u);
+  for (const std::byte b : held.span()) EXPECT_EQ(b, std::byte{0xAA});
+}
+
+TEST(SampleBufferTest, InsertNowLandsIntoFullBuffer) {
+  // A retiring producer must not drop completed read work: InsertNow
+  // forces a slot past capacity and the overshoot drains with the Takes.
+  SampleBuffer buf(2, TestClock());
+  ASSERT_TRUE(buf.Insert(MakeSample("a")).ok());
+  ASSERT_TRUE(buf.Insert(MakeSample("b")).ok());
+  ASSERT_EQ(buf.Occupancy(), 2u);
+
+  ASSERT_TRUE(buf.InsertNow(MakeSample("c", 32)).ok());
+  ASSERT_EQ(buf.Occupancy(), 3u);  // transient over-capacity
+
+  auto c = buf.Take("c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 32u);
+  ASSERT_TRUE(buf.Take("a").ok());
+  ASSERT_TRUE(buf.Take("b").ok());
+  ASSERT_EQ(buf.Occupancy(), 0u);
+
+  // Slot accounting is back in balance: capacity inserts fit again.
+  ASSERT_TRUE(buf.Insert(MakeSample("d")).ok());
+  ASSERT_TRUE(buf.Insert(MakeSample("e")).ok());
+  ASSERT_TRUE(buf.Take("d").ok());
+  ASSERT_TRUE(buf.Take("e").ok());
+
+  buf.Close();
+  EXPECT_EQ(buf.InsertNow(MakeSample("f")).code(), StatusCode::kAborted);
+}
+
 }  // namespace
 }  // namespace prisma::dataplane
