@@ -1,24 +1,142 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, and run the full ctest suite.
+# Tier-1 verification and the static-analysis matrix, one mode per run.
+#
+# Usage: scripts/ci.sh [MODE]
+#
+# Modes:
+#   default    configure + build + full ctest suite (tier-1)
+#   asan       tier-1 under AddressSanitizer
+#   tsan       tier-1 under ThreadSanitizer
+#   ubsan      tier-1 under UndefinedBehaviorSanitizer
+#   lockcheck  tier-1 as a Debug build with the runtime lock-order
+#              validator (PRISMA_LOCK_ORDER_CHECKS) enabled; this is the
+#              build where the LockOrderDeathTest cases actually run
+#   tsa        clang -Wthread-safety -Werror compile of the tree (no
+#              tests); skipped with a notice when clang is unavailable
+#   tidy       clang-tidy over files changed since the merge base,
+#              filtered through scripts/clang-tidy-baseline.txt; skipped
+#              with a notice when clang-tidy is unavailable
 #
 # Environment:
-#   PRISMA_SANITIZE   empty (default) or one of address|thread|undefined;
-#                     forwarded to the PRISMA_SANITIZE cmake cache option.
-#   BUILD_DIR         build tree location (default: build-ci, or
-#                     build-ci-$PRISMA_SANITIZE for sanitizer runs).
-#   JOBS              parallelism (default: nproc).
+#   PRISMA_SANITIZE  legacy interface: address|thread|undefined maps to
+#                    the matching mode when no MODE argument is given.
+#   BUILD_DIR        build tree override (default: build-ci-$MODE, or
+#                    build-ci for the default mode) — per-mode trees so
+#                    CI caching never mixes sanitizer runtimes.
+#   JOBS             parallelism (default: nproc).
+#   TIDY_BASE        merge base for the tidy mode (default: origin/main,
+#                    falling back to HEAD~1).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
-if [[ -n "${PRISMA_SANITIZE:-}" ]]; then
-  BUILD_DIR="${BUILD_DIR:-build-ci-${PRISMA_SANITIZE}}"
-  cmake -B "${BUILD_DIR}" -S . -DPRISMA_SANITIZE="${PRISMA_SANITIZE}"
-else
-  BUILD_DIR="${BUILD_DIR:-build-ci}"
-  cmake -B "${BUILD_DIR}" -S .
+MODE="${1:-}"
+if [[ -z "${MODE}" ]]; then
+  case "${PRISMA_SANITIZE:-}" in
+    address) MODE=asan ;;
+    thread) MODE=tsan ;;
+    undefined) MODE=ubsan ;;
+    "") MODE=default ;;
+    *) echo "unknown PRISMA_SANITIZE='${PRISMA_SANITIZE}'" >&2; exit 2 ;;
+  esac
 fi
 
-cmake --build "${BUILD_DIR}" -j "${JOBS}"
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+configure_build_test() {
+  local build_dir="$1"; shift
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+find_clang() {
+  local tool
+  for tool in "$@"; do
+    if command -v "${tool}" > /dev/null 2>&1; then
+      echo "${tool}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+case "${MODE}" in
+  default)
+    configure_build_test "${BUILD_DIR:-build-ci}"
+    ;;
+  asan)
+    configure_build_test "${BUILD_DIR:-build-ci-asan}" -DPRISMA_SANITIZE=address
+    ;;
+  tsan)
+    configure_build_test "${BUILD_DIR:-build-ci-tsan}" -DPRISMA_SANITIZE=thread
+    ;;
+  ubsan)
+    # halt_on_error: a UB report must fail the test, not scroll past.
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+    configure_build_test "${BUILD_DIR:-build-ci-ubsan}" \
+      -DPRISMA_SANITIZE=undefined
+    ;;
+  lockcheck)
+    configure_build_test "${BUILD_DIR:-build-ci-lockcheck}" \
+      -DCMAKE_BUILD_TYPE=Debug -DPRISMA_LOCK_CHECKS=ON
+    ;;
+  tsa)
+    # Compile-only pass with Clang Thread Safety Analysis promoted to an
+    # error. The annotations are no-ops under GCC, so this is the one
+    # mode that actually checks them; environments without clang (like
+    # the gcc-only dev container) skip rather than fail.
+    if ! CLANGXX="$(find_clang clang++ clang++-18 clang++-17 clang++-16 \
+        clang++-15 clang++-14)"; then
+      echo "ci.sh tsa: clang++ not found; skipping thread-safety build"
+      exit 0
+    fi
+    BUILD_DIR="${BUILD_DIR:-build-ci-tsa}"
+    cmake -B "${BUILD_DIR}" -S . \
+      -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+      -DPRISMA_THREAD_SAFETY=ON -DPRISMA_WERROR=ON
+    cmake --build "${BUILD_DIR}" -j "${JOBS}"
+    echo "ci.sh tsa: clean under -Wthread-safety -Werror"
+    ;;
+  tidy)
+    if ! TIDY="$(find_clang clang-tidy clang-tidy-18 clang-tidy-17 \
+        clang-tidy-16 clang-tidy-15 clang-tidy-14)"; then
+      echo "ci.sh tidy: clang-tidy not found; skipping lint"
+      exit 0
+    fi
+    BUILD_DIR="${BUILD_DIR:-build-ci-tidy}"
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    # Lint only the files this change touches: full-tree lint on a
+    # codebase with pre-existing noise buries new findings. The baseline
+    # file absorbs known noise lines so only fresh diagnostics fail.
+    base="${TIDY_BASE:-origin/main}"
+    if ! git rev-parse --verify --quiet "${base}" > /dev/null; then
+      base="HEAD~1"
+    fi
+    mapfile -t changed < <(git diff --name-only --diff-filter=d \
+      "$(git merge-base "${base}" HEAD)" -- 'src/*.cpp' 'tests/*.cpp' \
+      'bench/*.cpp' 'tools/*.cpp' 'examples/*.cpp')
+    if [[ "${#changed[@]}" -eq 0 ]]; then
+      echo "ci.sh tidy: no changed C++ sources; nothing to lint"
+      exit 0
+    fi
+    baseline="scripts/clang-tidy-baseline.txt"
+    out="$(mktemp)"
+    "${TIDY}" -p "${BUILD_DIR}" --quiet "${changed[@]}" > "${out}" || true
+    # Normalize to "file:line-less" fingerprints so moved lines do not
+    # churn the baseline, then drop everything the baseline already has.
+    fresh="$(grep -E "(warning|error):" "${out}" \
+      | sed -E 's|^[^:]*/||; s|:[0-9]+:[0-9]+:|:|' \
+      | sort -u \
+      | grep -Fxv -f <(grep -vE '^(#|$)' "${baseline}") || true)"
+    if [[ -n "${fresh}" ]]; then
+      echo "ci.sh tidy: new clang-tidy findings (not in ${baseline}):"
+      echo "${fresh}"
+      exit 1
+    fi
+    echo "ci.sh tidy: clean (${#changed[@]} files, baseline-filtered)"
+    ;;
+  *)
+    echo "unknown mode '${MODE}'" >&2
+    exit 2
+    ;;
+esac

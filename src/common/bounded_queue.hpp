@@ -5,13 +5,12 @@
 // waiters; pops drain remaining items before reporting closed.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 
 namespace prisma {
@@ -20,43 +19,44 @@ template <typename T>
 class BoundedQueue {
  public:
   /// capacity == 0 means unbounded.
-  explicit BoundedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit BoundedQueue(std::size_t capacity = 0)
+      : mu_(LockRank::kQueue), capacity_(capacity) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while the queue is full. Returns Aborted if closed.
-  Status Push(T item) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || !Full(); });
+  Status Push(T item) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && Full()) not_full_.Wait(mu_);
     if (closed_) return Status::Aborted("queue closed");
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return Status::Ok();
   }
 
   /// Non-blocking push. Returns ResourceExhausted when full.
-  Status TryPush(T item) {
+  Status TryPush(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return Status::Aborted("queue closed");
       if (Full()) return Status::ResourceExhausted("queue full");
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return Status::Ok();
   }
 
   /// Blocks while empty. Returns nullopt once closed *and* drained.
-  std::optional<T> Pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return item;
   }
 
@@ -64,79 +64,87 @@ class BoundedQueue {
   /// nullopt on timeout or when closed-and-drained. Used by resizable
   /// worker loops that must periodically re-check their retirement flag.
   template <typename Rep, typename Period>
-  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
-    not_empty_.wait_for(lock, timeout,
-                        [&] { return closed_ || !items_.empty(); });
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout)
+      EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) {
+      if (!not_empty_.WaitUntil(mu_, deadline)) break;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
+  std::optional<T> TryPop() EXCLUDES(mu_) {
     std::optional<T> out;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (items_.empty()) return std::nullopt;
       out = std::move(items_.front());
       items_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return out;
   }
 
   /// Marks the queue closed; producers fail, consumers drain then stop.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   /// Reopens a closed queue (e.g. between training epochs).
-  void Reopen() {
-    std::lock_guard lock(mu_);
+  void Reopen() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     closed_ = false;
   }
 
-  bool closed() const {
-    std::lock_guard lock(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
+  std::size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   bool empty() const { return size() == 0; }
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return capacity_;
+  }
 
   /// Adjusts capacity at runtime (control-plane knob). Growing wakes
   /// blocked producers; shrinking never discards queued items.
-  void SetCapacity(std::size_t capacity) {
+  void SetCapacity(std::size_t capacity) EXCLUDES(mu_) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       capacity_ = capacity;
     }
-    not_full_.notify_all();
+    not_full_.NotifyAll();
   }
 
  private:
-  bool Full() const { return capacity_ != 0 && items_.size() >= capacity_; }
+  bool Full() const REQUIRES(mu_) {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  std::size_t capacity_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace prisma

@@ -118,7 +118,7 @@ PayloadWriter BufferPool::Acquire(std::size_t min_bytes) {
   const std::size_t chunk_bytes = ClassBytes(class_index);
   SizeClass& cls = classes_[class_index];
   {
-    std::lock_guard<std::mutex> lock(cls.mu);
+    MutexLock lock(cls.mu);
     if (!cls.free_list.empty()) {
       std::unique_ptr<std::byte[]> bytes = std::move(cls.free_list.back());
       cls.free_list.pop_back();
@@ -147,7 +147,7 @@ void BufferPool::Release(std::byte* bytes, std::size_t class_index) {
   }
   SizeClass& cls = classes_[class_index];
   {
-    std::lock_guard<std::mutex> lock(cls.mu);
+    MutexLock lock(cls.mu);
     cls.free_list.push_back(std::move(owned));
   }
   cached_bytes_.fetch_add(chunk_bytes, std::memory_order_relaxed);

@@ -21,9 +21,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace prisma {
 
@@ -150,8 +151,8 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
   void Release(std::byte* bytes, std::size_t class_index);
 
   struct SizeClass {
-    std::mutex mu;
-    std::vector<std::unique_ptr<std::byte[]>> free_list;
+    Mutex mu{LockRank::kBufferPool};
+    std::vector<std::unique_ptr<std::byte[]>> free_list GUARDED_BY(mu);
   };
 
   const std::uint64_t max_cached_bytes_;

@@ -1,6 +1,6 @@
 #include "common/logging.hpp"
 
-#include <mutex>
+#include "common/mutex.hpp"
 
 namespace prisma {
 namespace {
@@ -17,8 +17,8 @@ std::string_view LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex& SinkMutex() {
-  static std::mutex m;
+Mutex& SinkMutex() {
+  static Mutex m{LockRank::kLeaf};
   return m;
 }
 
@@ -32,7 +32,7 @@ Logger& Logger::Instance() {
 void Logger::Write(LogLevel level, std::string_view component,
                    std::string_view message) {
   if (!Enabled(level)) return;
-  std::lock_guard lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", LevelName(level).data(),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

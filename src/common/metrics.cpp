@@ -7,7 +7,7 @@ namespace prisma {
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& labels) {
   const std::string key = name + labels;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[key];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -16,14 +16,14 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 Gauge& MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& labels) {
   const std::string key = name + labels;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[key];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 std::string MetricsRegistry::DumpText() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   char buf[64];
   for (const auto& [key, counter] : counters_) {
@@ -41,7 +41,7 @@ std::string MetricsRegistry::DumpText() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return counters_.size() + gauges_.size();
 }
 

@@ -11,8 +11,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.hpp"
 
 namespace prisma {
 
@@ -44,14 +45,16 @@ class MetricsRegistry {
  public:
   /// `labels` is a pre-rendered label block, e.g. `{stage="job-0"}`, or
   /// empty. Kept as a string to stay allocation-light on lookups.
-  Counter& GetCounter(const std::string& name, const std::string& labels = "");
-  Gauge& GetGauge(const std::string& name, const std::string& labels = "");
+  Counter& GetCounter(const std::string& name, const std::string& labels = "")
+      EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name, const std::string& labels = "")
+      EXCLUDES(mu_);
 
   /// Renders every instrument as `name labels value` lines, sorted by
   /// key, counters before gauges are NOT separated — order is by name.
-  std::string DumpText() const;
+  std::string DumpText() const EXCLUDES(mu_);
 
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mu_);
 
   /// Process-wide default registry.
   static MetricsRegistry& Default();
@@ -60,9 +63,9 @@ class MetricsRegistry {
   static std::string Label(const std::string& key, const std::string& value);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  mutable Mutex mu_{LockRank::kLeaf};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
 };
 
 }  // namespace prisma

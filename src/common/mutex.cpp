@@ -1,0 +1,180 @@
+#include "common/mutex.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if PRISMA_LOCK_ORDER_CHECKS
+#include <execinfo.h>
+#endif
+
+namespace prisma {
+
+const char* LockRankName(LockRank rank) noexcept {
+  switch (rank) {
+    case LockRank::kUnranked: return "kUnranked";
+    case LockRank::kLeaf: return "kLeaf";
+    case LockRank::kBufferPool: return "kBufferPool";
+    case LockRank::kPageCache: return "kPageCache";
+    case LockRank::kRateLimiter: return "kRateLimiter";
+    case LockRank::kBackend: return "kBackend";
+    case LockRank::kShard: return "kShard";
+    case LockRank::kQueue: return "kQueue";
+    case LockRank::kStage: return "kStage";
+    case LockRank::kRegistry: return "kRegistry";
+    case LockRank::kController: return "kController";
+  }
+  return "?";
+}
+
+#if PRISMA_LOCK_ORDER_CHECKS
+
+namespace {
+
+// Deep enough for the worst legitimate nesting (SetShardCount holds
+// every shard slot — 64 by default — under a controller lock).
+constexpr int kMaxHeld = 192;
+constexpr int kMaxFrames = 24;
+
+struct HeldLock {
+  const Mutex* mu;
+  LockRank rank;
+  std::uint64_t seq;
+  void* frames[kMaxFrames];
+  int depth;
+};
+
+struct HeldStack {
+  HeldLock entries[kMaxHeld];
+  int size = 0;
+};
+
+thread_local HeldStack tls_held;
+
+std::atomic<std::uint64_t> g_mutex_seq{0};
+
+void DumpBacktrace(const char* title, void* const* frames, int depth) {
+  std::fprintf(stderr, "%s\n", title);
+  if (depth > 0) {
+    backtrace_symbols_fd(const_cast<void**>(frames), depth, /*stderr*/ 2);
+  } else {
+    std::fprintf(stderr, "  (no frames captured)\n");
+  }
+}
+
+[[noreturn]] void Violation(const char* kind, const Mutex& incoming,
+                            const HeldLock* conflicting) {
+  // First line is the stable diagnostic the death tests match on.
+  std::fprintf(stderr,
+               "prisma: lock-order violation (%s): acquiring %s mutex %p\n",
+               kind, LockRankName(incoming.rank()),
+               static_cast<const void*>(&incoming));
+  if (conflicting != nullptr) {
+    std::fprintf(stderr, "  while holding %s mutex %p, acquired at:\n",
+                 LockRankName(conflicting->rank),
+                 static_cast<const void*>(conflicting->mu));
+    DumpBacktrace("  --- conflicting acquisition stack ---",
+                  conflicting->frames, conflicting->depth);
+  }
+  void* here[kMaxFrames];
+  const int depth = backtrace(here, kMaxFrames);
+  DumpBacktrace("  --- current acquisition stack ---", here, depth);
+  std::abort();
+}
+
+bool IsHeldByThisThread(const Mutex& mu) {
+  const HeldStack& held = tls_held;
+  for (int i = 0; i < held.size; ++i) {
+    if (held.entries[i].mu == &mu) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Mutex::Mutex(LockRank rank) noexcept
+    : rank_(rank), seq_(g_mutex_seq.fetch_add(1, std::memory_order_relaxed)) {}
+
+// Pre-acquisition check, run before blocking on the underlying mutex so
+// a violation aborts with the diagnostic instead of deadlocking.
+// try_lock skips this (it cannot block, hence cannot deadlock).
+void Mutex::DebugCheckAcquire() {
+  const Mutex& mu = *this;
+  const HeldStack& held = tls_held;
+  for (int i = 0; i < held.size; ++i) {
+    if (held.entries[i].mu == &mu) {
+      Violation("re-entrant acquisition", mu, &held.entries[i]);
+    }
+  }
+  if (mu.rank() != LockRank::kUnranked) {
+    // Compare against the innermost *ranked* hold: ranks must strictly
+    // descend; equal ranks only in ascending construction order.
+    for (int i = held.size - 1; i >= 0; --i) {
+      const HeldLock& top = held.entries[i];
+      if (top.rank == LockRank::kUnranked) continue;
+      const bool ok =
+          static_cast<int>(mu.rank()) < static_cast<int>(top.rank) ||
+          (mu.rank() == top.rank && seq_ > top.seq);
+      if (!ok) Violation("rank order", mu, &top);
+      break;
+    }
+  }
+}
+
+// Records *this as held (after the underlying acquisition succeeded).
+void Mutex::DebugRecordAcquired() {
+  HeldStack& held = tls_held;
+  if (held.size >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "prisma: lock-order validator: held-lock stack overflow "
+                 "(%d locks held by one thread)\n",
+                 held.size);
+    std::abort();
+  }
+  HeldLock& e = held.entries[held.size++];
+  e.mu = this;
+  e.rank = rank_;
+  e.seq = seq_;
+  e.depth = backtrace(e.frames, kMaxFrames);
+}
+
+void Mutex::DebugOnReleased() {
+  const Mutex& mu = *this;
+  HeldStack& held = tls_held;
+  for (int i = held.size - 1; i >= 0; --i) {
+    if (held.entries[i].mu != &mu) continue;
+    for (int j = i; j < held.size - 1; ++j) {
+      held.entries[j] = held.entries[j + 1];
+    }
+    --held.size;
+    return;
+  }
+  // Unlock of a mutex this thread never recorded: either cross-thread
+  // unlock (illegal for std::mutex) or validator state corruption.
+  std::fprintf(stderr,
+               "prisma: lock-order violation (release of unheld mutex): "
+               "%s mutex %p\n",
+               LockRankName(mu.rank()), static_cast<const void*>(&mu));
+  std::abort();
+}
+
+void Mutex::AssertHeld() const {
+  if (!IsHeldByThisThread(*this)) {
+    std::fprintf(stderr,
+                 "prisma: lock-order violation (AssertHeld failed): "
+                 "%s mutex %p is not held by this thread\n",
+                 LockRankName(rank_), static_cast<const void*>(this));
+    std::abort();
+  }
+}
+
+#else  // !PRISMA_LOCK_ORDER_CHECKS
+
+Mutex::Mutex(LockRank rank) noexcept : rank_(rank) {}
+
+void Mutex::AssertHeld() const {}
+
+#endif  // PRISMA_LOCK_ORDER_CHECKS
+
+}  // namespace prisma

@@ -1,0 +1,196 @@
+// Annotated mutex / condition-variable wrappers with a debug lock-order
+// validator.
+//
+// Why not plain std::mutex: the data plane's correctness rests on
+// fine-grained locking (per-shard buffer mutexes, refcounted payload
+// lifetimes, producer retirement, controller feedback), and no test
+// schedule exercises every interleaving. Two compile/debug-time nets
+// replace "hope TSan's schedule hits it":
+//
+//  1. Static: prisma::Mutex is a Clang Thread Safety capability. State
+//     declared GUARDED_BY(mu) cannot compile unless the accessor holds
+//     mu (clang -Wthread-safety -Werror; see scripts/ci.sh tsa). Under
+//     GCC the attributes vanish and Mutex degrades to std::mutex plus
+//     the runtime validator.
+//
+//  2. Dynamic: every Mutex carries a LockRank. In checked builds
+//     (-DPRISMA_LOCK_CHECKS=ON, default for Debug) each thread tracks
+//     the stack of held locks; acquiring out of rank order or
+//     re-entrantly aborts immediately with the acquisition backtrace of
+//     the conflicting held lock AND the current stack. Ordering bugs
+//     that annotations cannot express (the rank order is a global
+//     property, not a per-call-site one) die deterministically in every
+//     debug test run instead of deadlocking once a year in production.
+//
+// The global rank order (outermost first — a thread may only acquire a
+// mutex of LOWER rank than every mutex it already holds):
+//
+//   kController > kRegistry > kStage > kQueue > kShard > kBackend
+//               > kRateLimiter > kPageCache > kBufferPool > kLeaf
+//
+// Same-rank nesting (e.g. SampleBuffer::SetShardCount taking every
+// shard, ControlPlane calling into its Controllers) is permitted only in
+// ascending construction order, which makes "lock shards by index" and
+// "owner locks itself before its members" the canonical — and checked —
+// idioms. See DESIGN.md §10 for the full invariant table and how to
+// rank new locked state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+#ifndef PRISMA_LOCK_ORDER_CHECKS
+#define PRISMA_LOCK_ORDER_CHECKS 0
+#endif
+
+namespace prisma {
+
+/// Global lock ordering, outermost (acquired first) = highest value.
+/// A thread holding rank r may acquire only ranks strictly below r, or
+/// rank r again on a mutex constructed later than every held rank-r one.
+enum class LockRank : int {
+  kUnranked = -1,    // exempt from ordering checks (re-entrancy still fatal)
+  kLeaf = 1,         // logging sink, metrics registry, shim fd table
+  kBufferPool = 2,   // payload size-class free lists
+  kPageCache = 3,    // page-cache model LRU
+  kRateLimiter = 4,  // token buckets
+  kBackend = 5,      // storage-backend internal state
+  kShard = 6,        // sample-buffer shards
+  kQueue = 7,        // bounded MPMC queues
+  kStage = 8,        // optimization-object state (prefetch, tiering)
+  kRegistry = 9,     // stage registry, UDS server connection table
+  kController = 10,  // control-plane state
+};
+
+/// Stable name for diagnostics ("kShard" etc.).
+const char* LockRankName(LockRank rank) noexcept;
+
+/// std::mutex with a thread-safety capability and a ranked identity.
+/// BasicLockable, so std::unique_lock<Mutex> and
+/// std::condition_variable_any compose with it; prefer MutexLock and
+/// prisma::CondVar, which carry the static annotations.
+class CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kUnranked) noexcept;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+#if PRISMA_LOCK_ORDER_CHECKS
+    // Checked *before* blocking: a re-entrant or out-of-rank acquire
+    // must abort with the diagnostic, not sit in the deadlock it was
+    // about to create.
+    DebugCheckAcquire();
+#endif
+    mu_.lock();
+#if PRISMA_LOCK_ORDER_CHECKS
+    DebugRecordAcquired();
+#endif
+  }
+  void unlock() RELEASE() {
+#if PRISMA_LOCK_ORDER_CHECKS
+    DebugOnReleased();
+#endif
+    mu_.unlock();
+  }
+  /// Never blocks, so it cannot deadlock: recorded but not rank-checked.
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if PRISMA_LOCK_ORDER_CHECKS
+    DebugRecordAcquired();
+#endif
+    return true;
+  }
+
+  /// In checked builds, aborts unless the calling thread holds *this.
+  /// The static analysis also treats it as proof of acquisition.
+  void AssertHeld() const ASSERT_CAPABILITY(this);
+
+  LockRank rank() const noexcept { return rank_; }
+
+  /// True when the build carries the runtime lock-order validator
+  /// (tests use this to skip/run the death tests).
+  static constexpr bool OrderCheckingEnabled() noexcept {
+    return PRISMA_LOCK_ORDER_CHECKS != 0;
+  }
+
+ private:
+#if PRISMA_LOCK_ORDER_CHECKS
+  void DebugCheckAcquire();
+  void DebugRecordAcquired();
+  void DebugOnReleased();
+#endif
+
+  std::mutex mu_;
+  const LockRank rank_;
+#if PRISMA_LOCK_ORDER_CHECKS
+  const std::uint64_t seq_;  // construction order, for same-rank nesting
+#endif
+};
+
+/// Scoped lock holder (the annotated std::unique_lock replacement).
+/// Relockable: Unlock()/Lock() support the unlock-before-notify and
+/// drop-across-blocking-call patterns; the destructor releases only if
+/// currently held. Not movable — the static analysis tracks it by name.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() {
+    if (owned_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() {
+    owned_ = false;
+    mu_.unlock();
+  }
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+/// Condition variable bound to prisma::Mutex. Waits release and
+/// re-acquire through Mutex::unlock/lock, so the lock-order validator
+/// stays consistent across blocking. No predicate overloads on purpose:
+/// predicates touching GUARDED_BY state would be analyzed as separate
+/// (unannotated) lambdas — write `while (!cond) cv.Wait(mu);` instead,
+/// which the analysis follows exactly.
+class CondVar {
+ public:
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Returns false on timeout.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline) == std::cv_status::no_timeout;
+  }
+
+  /// Returns false on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace prisma

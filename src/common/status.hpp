@@ -50,12 +50,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
   static Status Cancelled(std::string m) { return {StatusCode::kCancelled, std::move(m)}; }
 
-  bool ok() const noexcept { return code_ == StatusCode::kOk; }
-  StatusCode code() const noexcept { return code_; }
-  const std::string& message() const noexcept { return message_; }
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
 
   /// "OK" or "<CODE>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) noexcept {
     return a.code_ == b.code_;
@@ -79,25 +79,27 @@ class [[nodiscard]] Result {
     }
   }
 
-  bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(v_); }
   explicit operator bool() const noexcept { return ok(); }
 
   /// Error status; Status::Ok() when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(v_);
   }
 
-  T& value() & { return std::get<T>(v_); }
-  const T& value() const& { return std::get<T>(v_); }
-  T&& value() && { return std::get<T>(std::move(v_)); }
+  [[nodiscard]] T& value() & { return std::get<T>(v_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
 
-  T& operator*() & { return value(); }
-  const T& operator*() const& { return value(); }
-  T* operator->() { return &value(); }
-  const T* operator->() const { return &value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
 
-  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
 
  private:
   std::variant<T, Status> v_;

@@ -17,7 +17,7 @@ Controller::Controller(std::string name, ControllerOptions options,
 Controller::~Controller() { Stop(); }
 
 Status Controller::Attach(std::shared_ptr<dataplane::Stage> stage) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const std::string& id = stage->info().id;
   const auto dup = std::find_if(managed_.begin(), managed_.end(),
                                 [&](const Managed& m) {
@@ -34,7 +34,7 @@ Status Controller::Attach(std::shared_ptr<dataplane::Stage> stage) {
 }
 
 Status Controller::Detach(const std::string& stage_id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = std::find_if(managed_.begin(), managed_.end(),
                                [&](const Managed& m) {
                                  return m.stage->info().id == stage_id;
@@ -47,7 +47,7 @@ Status Controller::Detach(const std::string& stage_id) {
 }
 
 void Controller::TickOnce() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   last_observations_.clear();
 
   // Phase 1: collect metrics and run every stage's own policy.
@@ -120,7 +120,7 @@ Status Controller::RunInBackground() {
     return Status::FailedPrecondition("controller already running");
   }
   {
-    std::lock_guard lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     stop_requested_ = false;
   }
   thread_ = std::thread([this] { Loop(); });
@@ -128,43 +128,46 @@ Status Controller::RunInBackground() {
 }
 
 void Controller::Loop() {
-  std::unique_lock lock(stop_mu_);
+  MutexLock lock(stop_mu_);
   while (!stop_requested_) {
-    lock.unlock();
+    lock.Unlock();
     TickOnce();
-    lock.lock();
-    stop_cv_.wait_for(lock, options_.poll_interval,
-                      [&] { return stop_requested_; });
+    lock.Lock();
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.poll_interval;
+    while (!stop_requested_) {
+      if (!stop_cv_.WaitUntil(stop_mu_, deadline)) break;  // timed out
+    }
   }
 }
 
 void Controller::Stop() {
   if (!running_.exchange(false)) return;
   {
-    std::lock_guard lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     stop_requested_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 std::size_t Controller::NumStages() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return managed_.size();
 }
 
 std::vector<Controller::StageObservation> Controller::LastObservations() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return last_observations_;
 }
 
 std::vector<Controller::StageObservation> Controller::History() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {history_.begin(), history_.end()};
 }
 
 void Controller::ExportMetrics(MetricsRegistry& registry) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& obs : last_observations_) {
     const std::string labels = MetricsRegistry::Label("stage", obs.stage_id);
     // Report the *effective* knob values: the observation's stats were
@@ -214,7 +217,7 @@ ControlPlane::ControlPlane(std::size_t num_controllers,
 }
 
 Status ControlPlane::Attach(std::shared_ptr<dataplane::Stage> stage) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Round-robin over live controllers.
   for (std::size_t probe = 0; probe < controllers_.size(); ++probe) {
     const std::size_t i = (next_ + probe) % controllers_.size();
@@ -228,6 +231,7 @@ Status ControlPlane::Attach(std::shared_ptr<dataplane::Stage> stage) {
 }
 
 Status ControlPlane::RunInBackground() {
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < controllers_.size(); ++i) {
     if (!alive_[i]) continue;
     if (Status s = controllers_[i]->RunInBackground(); !s.ok()) return s;
@@ -236,17 +240,22 @@ Status ControlPlane::RunInBackground() {
 }
 
 void ControlPlane::Stop() {
+  // No mu_: Stop() joins controller loop threads, and FailController
+  // (which also calls into a controller under mu_) must not be blocked
+  // behind those joins. controllers_ itself is immutable after
+  // construction, and Controller::Stop() is idempotent/thread-safe.
   for (auto& c : controllers_) c->Stop();
 }
 
 void ControlPlane::TickOnce() {
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < controllers_.size(); ++i) {
     if (alive_[i]) controllers_[i]->TickOnce();
   }
 }
 
 Status ControlPlane::FailController(std::size_t index) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (index >= controllers_.size()) {
     return Status::InvalidArgument("no such controller");
   }

@@ -11,17 +11,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/metrics.hpp"
+#include "common/mutex.hpp"
 #include "controlplane/policy.hpp"
 #include "dataplane/stage.hpp"
 
@@ -50,18 +49,18 @@ class Controller {
   Controller& operator=(const Controller&) = delete;
 
   /// Attaches a stage; a fresh policy is created for it.
-  Status Attach(std::shared_ptr<dataplane::Stage> stage);
-  Status Detach(const std::string& stage_id);
+  Status Attach(std::shared_ptr<dataplane::Stage> stage) EXCLUDES(mu_);
+  Status Detach(const std::string& stage_id) EXCLUDES(mu_);
 
   /// One control round: collect -> decide -> (coordinate) -> enforce.
-  void TickOnce();
+  void TickOnce() EXCLUDES(mu_);
 
   /// Starts the polling thread.
   Status RunInBackground();
   /// Stops and joins the polling thread (idempotent).
   void Stop();
 
-  std::size_t NumStages() const;
+  std::size_t NumStages() const EXCLUDES(mu_);
   const std::string& name() const { return name_; }
 
   /// Most recent stats per stage (for observability/tests).
@@ -70,17 +69,17 @@ class Controller {
     dataplane::StageStatsSnapshot stats;
     dataplane::StageKnobs applied;
   };
-  std::vector<StageObservation> LastObservations() const;
+  std::vector<StageObservation> LastObservations() const EXCLUDES(mu_);
 
   /// Rolling window of recent observations (oldest first), capped at
   /// options.history_limit — the control plane's monitoring record.
-  std::vector<StageObservation> History() const;
+  std::vector<StageObservation> History() const EXCLUDES(mu_);
 
   /// Publishes the latest per-stage observations as gauges:
   ///   prisma_stage_producers{stage="id"}, prisma_stage_buffer_occupancy,
   ///   prisma_stage_buffer_capacity, prisma_stage_samples_consumed,
   ///   prisma_stage_consumer_waits, prisma_stage_queue_depth.
-  void ExportMetrics(MetricsRegistry& registry) const;
+  void ExportMetrics(MetricsRegistry& registry) const EXCLUDES(mu_);
 
  private:
   struct Managed {
@@ -97,15 +96,15 @@ class Controller {
   PolicyFactory policy_factory_;
   std::shared_ptr<const Clock> clock_;
 
-  mutable std::mutex mu_;
-  std::vector<Managed> managed_;
-  std::vector<StageObservation> last_observations_;
-  std::deque<StageObservation> history_;
+  mutable Mutex mu_{LockRank::kController};
+  std::vector<Managed> managed_ GUARDED_BY(mu_);
+  std::vector<StageObservation> last_observations_ GUARDED_BY(mu_);
+  std::deque<StageObservation> history_ GUARDED_BY(mu_);
 
   std::thread thread_;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;
+  Mutex stop_mu_{LockRank::kController};  // never nested with mu_
+  CondVar stop_cv_;
+  bool stop_requested_ GUARDED_BY(stop_mu_) = false;
   std::atomic<bool> running_{false};
 };
 
@@ -118,26 +117,33 @@ class ControlPlane {
                PolicyFactory policy_factory,
                std::shared_ptr<const Clock> clock);
 
-  Status Attach(std::shared_ptr<dataplane::Stage> stage);
+  Status Attach(std::shared_ptr<dataplane::Stage> stage) EXCLUDES(mu_);
 
-  Status RunInBackground();
+  Status RunInBackground() EXCLUDES(mu_);
   void Stop();
-  void TickOnce();
+  void TickOnce() EXCLUDES(mu_);
 
   /// Simulates a controller crash: its stages move to the survivors.
   /// InvalidArgument when index is out of range or it is the last one.
-  Status FailController(std::size_t index);
+  Status FailController(std::size_t index) EXCLUDES(mu_);
 
   std::size_t NumControllers() const { return controllers_.size(); }
   Controller& controller(std::size_t i) { return *controllers_[i]; }
 
  private:
+  // Sized in the constructor and never resized afterwards; only the
+  // pointed-to Controllers are mutable.
   std::vector<std::unique_ptr<Controller>> controllers_;
-  std::vector<bool> alive_;
+  // mu_ also orders calls into the controllers: ControlPlane::mu_ is
+  // constructed before any Controller's mutexes (the controllers are
+  // created in the constructor body), so the same-rank kController
+  // nesting in Attach/TickOnce/FailController is in construction order.
+  mutable Mutex mu_{LockRank::kController};
+  std::vector<bool> alive_ GUARDED_BY(mu_);
   // Stage -> controller assignment so failover can reassign.
-  std::mutex mu_;
-  std::vector<std::pair<std::shared_ptr<dataplane::Stage>, std::size_t>> placements_;
-  std::size_t next_ = 0;
+  std::vector<std::pair<std::shared_ptr<dataplane::Stage>, std::size_t>>
+      placements_ GUARDED_BY(mu_);
+  std::size_t next_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace prisma::controlplane

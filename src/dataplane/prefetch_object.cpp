@@ -39,7 +39,7 @@ Status PrefetchObject::Start() {
       std::min(options_.initial_producers, options_.max_producers),
       std::memory_order_release);
   {
-    std::lock_guard lock(timeline_mu_);
+    MutexLock lock(timeline_mu_);
     reader_timeline_.Record(clock_->Now(), 0);
   }
   ReconcileProducers();
@@ -51,12 +51,12 @@ void PrefetchObject::Stop() {
   target_producers_.store(0, std::memory_order_release);
   filename_queue_.Close();
   buffer_.Close();
-  std::lock_guard lock(producers_mu_);
+  MutexLock lock(producers_mu_);
   for (auto& p : producers_) {
     if (p.joinable()) p.join();
   }
   producers_.clear();
-  std::lock_guard tl(timeline_mu_);
+  MutexLock tl(timeline_mu_);
   reader_timeline_.Finish(clock_->Now());
 }
 
@@ -66,7 +66,7 @@ Status PrefetchObject::BeginEpoch(std::uint64_t epoch,
     return Status::FailedPrecondition("prefetch object not started");
   }
   {
-    std::lock_guard lock(announced_mu_);
+    MutexLock lock(announced_mu_);
     announced_.insert(order.begin(), order.end());
   }
   for (const auto& name : order) {
@@ -158,23 +158,23 @@ void PrefetchObject::ProducerLoop(std::uint32_t index) {
 }
 
 std::shared_ptr<storage::TokenBucket> PrefetchObject::CurrentBucket() const {
-  std::lock_guard lock(rate_mu_);
+  MutexLock lock(rate_mu_);
   return rate_bucket_;
 }
 
 void PrefetchObject::RecordActiveReaders(std::int32_t delta) {
-  std::lock_guard lock(timeline_mu_);
+  MutexLock lock(timeline_mu_);
   active_readers_ += static_cast<std::uint32_t>(delta);
   reader_timeline_.Record(clock_->Now(), active_readers_);
 }
 
 void PrefetchObject::RetireAnnounced(const std::string& path) {
-  std::lock_guard lock(announced_mu_);
+  MutexLock lock(announced_mu_);
   announced_.erase(path);
 }
 
 void PrefetchObject::ReconcileProducers() {
-  std::lock_guard lock(producers_mu_);
+  MutexLock lock(producers_mu_);
   // Retired threads (index >= target) exit on their own; join the ones
   // that already finished so the vector reflects live threads only when
   // shrinking, and spawn missing indices when growing. A retiree blocked
@@ -197,7 +197,7 @@ Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
                                            std::size_t max_bytes) {
   bool announced;
   {
-    std::lock_guard lock(announced_mu_);
+    MutexLock lock(announced_mu_);
     announced = announced_.find(path) != announced_.end();
   }
   if (!announced || !running_.load(std::memory_order_acquire)) {
@@ -209,10 +209,10 @@ Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
 
   // Chunked consumption support: a Take()n sample's payload stays parked
   // in taken_ until the consumer has read past its end.
-  std::unique_lock lock(taken_mu_);
+  MutexLock lock(taken_mu_);
   auto it = taken_.find(path);
   if (it == taken_.end()) {
-    lock.unlock();
+    lock.Unlock();
     if (offset > 0) {
       // Likely an EOF probe after the sample was consumed (a read loop's
       // final call). Never block on the buffer for bytes that cannot
@@ -230,27 +230,31 @@ Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
       RetireAnnounced(path);
       return Status::FailedPrecondition("sample failed over: " + path);
     }
-    lock.lock();
+    lock.Lock();
     it = taken_.emplace(path, std::move(sample->payload)).first;
   }
 
   // Grab a ref under the lock; the bytes stay alive through it even if
   // another chunk's read erases the entry, so no copy happens in here.
   SamplePayload payload = it->second;
-  if (offset >= payload.size()) {
+  const bool eof = offset >= payload.size();
+  const std::size_t n =
+      eof ? 0
+          : static_cast<std::size_t>(
+                std::min<std::uint64_t>(max_bytes, payload.size() - offset));
+  const bool consumed = offset + n >= payload.size();
+  if (consumed) {
+    // Fully consumed (or an EOF probe) -> evicted for good, and the
+    // name's per-epoch life is over: drop it from the announced set
+    // (re-announced next epoch) so the set stays bounded by in-flight
+    // names, not history.
     taken_.erase(it);
-    RetireAnnounced(path);
-    return SampleView{};  // EOF
   }
-  const std::size_t n = static_cast<std::size_t>(
-      std::min<std::uint64_t>(max_bytes, payload.size() - offset));
-  if (offset + n >= payload.size()) {
-    // Fully consumed -> evicted for good, and the name's per-epoch life
-    // is over: drop it from the announced set (re-announced next epoch)
-    // so the set stays bounded by in-flight names, not history.
-    taken_.erase(it);
-    RetireAnnounced(path);
-  }
+  lock.Unlock();
+  // Both mutexes are kStage-ranked and deliberately never nest:
+  // announced_mu_ is only taken after taken_mu_ is released.
+  if (consumed) RetireAnnounced(path);
+  if (eof) return SampleView{};
   reads_served_.fetch_add(1, std::memory_order_relaxed);
   return SampleView{std::move(payload), static_cast<std::size_t>(offset), n};
 }
@@ -283,7 +287,7 @@ Status PrefetchObject::ApplyKnobs(const StageKnobs& knobs) {
     buffer_.SetCapacity(*knobs.buffer_capacity);
   }
   if (knobs.read_rate_bps) {
-    std::lock_guard lock(rate_mu_);
+    MutexLock lock(rate_mu_);
     rate_bps_ = *knobs.read_rate_bps;
     if (rate_bps_ <= 0.0) {
       rate_bucket_.reset();  // lift the limit
@@ -335,11 +339,11 @@ StageStatsSnapshot PrefetchObject::CollectStats() const {
   s.read_failures = read_failures_.load(std::memory_order_relaxed);
   s.oversize_rejects = oversize_rejects_.load(std::memory_order_relaxed);
   {
-    std::lock_guard lock(timeline_mu_);
+    MutexLock lock(timeline_mu_);
     s.active_readers = active_readers_;
   }
   {
-    std::lock_guard lock(announced_mu_);
+    MutexLock lock(announced_mu_);
     s.announced_names = announced_.size();
   }
   const auto pool_stats = pool_->Stats();
@@ -350,7 +354,7 @@ StageStatsSnapshot PrefetchObject::CollectStats() const {
 }
 
 OccupancyTimeline PrefetchObject::ReaderTimeline() const {
-  std::lock_guard lock(timeline_mu_);
+  MutexLock lock(timeline_mu_);
   OccupancyTimeline copy = reader_timeline_;
   copy.Finish(clock_->Now());
   return copy;

@@ -13,7 +13,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,6 +21,7 @@
 #include "common/bounded_queue.hpp"
 #include "common/clock.hpp"
 #include "common/histogram.hpp"
+#include "common/mutex.hpp"
 #include "dataplane/optimization_object.hpp"
 #include "dataplane/sample_buffer.hpp"
 #include "storage/backend.hpp"
@@ -87,20 +87,21 @@ class PrefetchObject final : public OptimizationObject {
 
   /// Time-weighted record of concurrently reading producers (Fig. 3).
   /// Snapshot under lock; callers own the copy.
-  OccupancyTimeline ReaderTimeline() const;
+  OccupancyTimeline ReaderTimeline() const EXCLUDES(timeline_mu_);
 
   SampleBuffer& buffer() { return buffer_; }
 
  private:
   void ProducerLoop(std::uint32_t index);
-  std::shared_ptr<storage::TokenBucket> CurrentBucket() const;
-  void RecordActiveReaders(std::int32_t delta);
+  std::shared_ptr<storage::TokenBucket> CurrentBucket() const
+      EXCLUDES(rate_mu_);
+  void RecordActiveReaders(std::int32_t delta) EXCLUDES(timeline_mu_);
   /// Drops `path` from the announced set once its per-epoch prefetch life
   /// is over (consumed, failed, or oversized) so the set cannot grow
   /// without bound across epochs.
-  void RetireAnnounced(const std::string& path);
+  void RetireAnnounced(const std::string& path) EXCLUDES(announced_mu_);
   /// Spawns/retires producers to match target_producers_.
-  void ReconcileProducers();
+  void ReconcileProducers() EXCLUDES(producers_mu_);
 
   std::shared_ptr<storage::StorageBackend> backend_;
   PrefetchOptions options_;
@@ -109,14 +110,19 @@ class PrefetchObject final : public OptimizationObject {
   SampleBuffer buffer_;
   BoundedQueue<std::string> filename_queue_;  // unbounded FIFO
 
-  std::mutex producers_mu_;  // guards producers_ vector mutations
-  std::vector<std::thread> producers_;
+  // NOTE: the five stage mutexes below share LockRank::kStage; the only
+  // nested pair (Stop: producers_mu_ then timeline_mu_) is legal because
+  // same-rank locks may nest in declaration (construction) order. Every
+  // other pair must not nest — in particular ReadRef releases taken_mu_
+  // before retiring a name under announced_mu_.
+  Mutex producers_mu_{LockRank::kStage};  // guards producers_ mutations
+  std::vector<std::thread> producers_ GUARDED_BY(producers_mu_);
   std::atomic<std::uint32_t> target_producers_{0};
   std::atomic<bool> running_{false};
 
   // The set of announced (prefetchable) names; other paths pass through.
-  mutable std::mutex announced_mu_;
-  std::unordered_set<std::string> announced_;
+  mutable Mutex announced_mu_{LockRank::kStage};
+  std::unordered_set<std::string> announced_ GUARDED_BY(announced_mu_);
 
   // Payload allocations recycle through this pool (shared with the
   // backend read path; stats surface in CollectStats).
@@ -125,14 +131,15 @@ class PrefetchObject final : public OptimizationObject {
   // Samples taken from the buffer but not yet fully consumed (chunked
   // reads); keyed by path, evicted once the consumer reads past the end.
   // Holds payload refs only — consumers copy outside this lock.
-  std::mutex taken_mu_;
-  std::unordered_map<std::string, SamplePayload> taken_;
+  Mutex taken_mu_{LockRank::kStage};
+  std::unordered_map<std::string, SamplePayload> taken_ GUARDED_BY(taken_mu_);
 
   // QoS: producers reserve bytes here before hitting the backend. The
   // pointer is swapped atomically under rate_mu_ when the knob changes.
-  mutable std::mutex rate_mu_;
-  std::shared_ptr<storage::TokenBucket> rate_bucket_;  // null = unlimited
-  double rate_bps_ = 0.0;
+  mutable Mutex rate_mu_{LockRank::kStage};
+  std::shared_ptr<storage::TokenBucket> rate_bucket_
+      GUARDED_BY(rate_mu_);  // null = unlimited
+  double rate_bps_ GUARDED_BY(rate_mu_) = 0.0;
 
   std::atomic<std::uint64_t> passthrough_reads_{0};
   std::atomic<std::uint64_t> reads_served_{0};
@@ -142,12 +149,12 @@ class PrefetchObject final : public OptimizationObject {
   std::atomic<std::uint64_t> read_failures_{0};
   std::atomic<std::uint64_t> oversize_rejects_{0};
 
-  mutable std::mutex timeline_mu_;
-  // Guarded by timeline_mu_ (not atomic: every update already holds the
-  // lock to append to the timeline, and a separate atomic invites
-  // unguarded increments that would reorder timeline entries).
-  std::uint32_t active_readers_ = 0;
-  OccupancyTimeline reader_timeline_;
+  mutable Mutex timeline_mu_{LockRank::kStage};
+  // Not atomic: every update already holds the lock to append to the
+  // timeline, and a separate atomic invites unguarded increments that
+  // would reorder timeline entries.
+  std::uint32_t active_readers_ GUARDED_BY(timeline_mu_) = 0;
+  OccupancyTimeline reader_timeline_ GUARDED_BY(timeline_mu_);
 };
 
 }  // namespace prisma::dataplane

@@ -30,17 +30,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "dataplane/types.hpp"
 
@@ -129,26 +128,27 @@ class SampleBuffer {
   // Sized to a cacheline multiple so neighbouring shards' mutexes do not
   // false-share.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::condition_variable not_full;
-    std::condition_variable sample_arrived;
-    std::unordered_map<std::string, Sample> samples;
+    mutable Mutex mu{LockRank::kShard};
+    CondVar not_full;
+    CondVar sample_arrived;
+    std::unordered_map<std::string, Sample> samples GUARDED_BY(mu);
     // Names whose prefetch failed permanently (producer gave up); Take
     // consumes the mark and reports the failure to the consumer.
-    std::unordered_set<std::string> failed_names;
+    std::unordered_set<std::string> failed_names GUARDED_BY(mu);
     // Names consumers are currently blocked on (value = waiter count).
     // Producers inserting one of these bypass the capacity gate so the
     // handoff cannot deadlock against a full buffer.
-    std::unordered_map<std::string, int> awaited_names;
-    std::uint64_t bytes = 0;
-    Counters counters;
+    std::unordered_map<std::string, int> awaited_names GUARDED_BY(mu);
+    std::uint64_t bytes GUARDED_BY(mu) = 0;
+    Counters counters GUARDED_BY(mu);
   };
 
-  /// Locks the active home shard of `name` and returns it. Re-resolves
-  /// if SetShardCount changed the mapping between hashing and locking
-  /// (reshard holds every shard mutex, so holding one pins the mapping).
-  Shard& LockShard(const std::string& name,
-                   std::unique_lock<std::mutex>& lock) const;
+  // Home-shard resolution is a resolve/lock/re-check loop inlined at
+  // each call site (so the static analysis can see which shard mutex is
+  // held): hash the name, lock shards_[h % active_shards_], and retry if
+  // active_shards_ moved in between. A reshard publishes the new modulus
+  // only while holding every shard mutex, so holding one pins the
+  // mapping; a stale resolution simply retries against the new modulus.
 
   bool TryAcquireSlot();
   void ForceAcquireSlot();

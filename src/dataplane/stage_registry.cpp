@@ -3,7 +3,7 @@
 namespace prisma::dataplane {
 
 Status StageRegistry::Register(std::shared_ptr<Stage> stage) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const std::string& id = stage->info().id;
   if (stages_.find(id) != stages_.end()) {
     return Status::AlreadyExists("stage already registered: " + id);
@@ -13,7 +13,7 @@ Status StageRegistry::Register(std::shared_ptr<Stage> stage) {
 }
 
 Status StageRegistry::Unregister(const std::string& id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (stages_.erase(id) == 0) {
     return Status::NotFound("stage not registered: " + id);
   }
@@ -21,13 +21,13 @@ Status StageRegistry::Unregister(const std::string& id) {
 }
 
 std::shared_ptr<Stage> StageRegistry::Find(const std::string& id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = stages_.find(id);
   return it == stages_.end() ? nullptr : it->second;
 }
 
 std::vector<std::shared_ptr<Stage>> StageRegistry::All() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::shared_ptr<Stage>> out;
   out.reserve(stages_.size());
   for (const auto& [_, stage] : stages_) out.push_back(stage);
@@ -35,7 +35,7 @@ std::vector<std::shared_ptr<Stage>> StageRegistry::All() const {
 }
 
 std::size_t StageRegistry::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stages_.size();
 }
 

@@ -6,10 +6,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "dataplane/stage.hpp"
 
@@ -18,21 +18,21 @@ namespace prisma::dataplane {
 class StageRegistry {
  public:
   /// Registers a stage under its info().id. AlreadyExists on duplicates.
-  Status Register(std::shared_ptr<Stage> stage);
+  Status Register(std::shared_ptr<Stage> stage) EXCLUDES(mu_);
 
   /// Removes a stage; NotFound when absent.
-  Status Unregister(const std::string& id);
+  Status Unregister(const std::string& id) EXCLUDES(mu_);
 
-  std::shared_ptr<Stage> Find(const std::string& id) const;
+  std::shared_ptr<Stage> Find(const std::string& id) const EXCLUDES(mu_);
 
   /// Snapshot of all registered stages (stable order by id).
-  std::vector<std::shared_ptr<Stage>> All() const;
+  std::vector<std::shared_ptr<Stage>> All() const EXCLUDES(mu_);
 
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Stage>> stages_;
+  mutable Mutex mu_{LockRank::kRegistry};
+  std::map<std::string, std::shared_ptr<Stage>> stages_ GUARDED_BY(mu_);
 };
 
 }  // namespace prisma::dataplane

@@ -42,13 +42,13 @@ void TieringObject::MigrationLoop() {
   while (auto path = promote_queue_.Pop()) {
     auto data = slow_->ReadAllShared(*path, BufferPool::Default());
     if (!data.ok()) {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       pending_.erase(*path);
       continue;
     }
     if (Status s = fast_->Write(*path, data->span()); !s.ok()) {
       PRISMA_LOG(kWarn, "tiering") << "promotion failed: " << s.ToString();
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       pending_.erase(*path);
       continue;
     }
@@ -57,7 +57,7 @@ void TieringObject::MigrationLoop() {
 }
 
 void TieringObject::Admit(const std::string& path, std::uint64_t bytes) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   pending_.erase(path);
   if (resident_.find(path) != resident_.end()) return;  // raced: already in
 
@@ -85,7 +85,7 @@ Result<std::size_t> TieringObject::Read(const std::string& path,
                                         std::span<std::byte> dst) {
   bool fast_hit = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = resident_.find(path);
     if (it != resident_.end()) {
       fast_hit = true;
@@ -100,7 +100,7 @@ Result<std::size_t> TieringObject::Read(const std::string& path,
   auto n = slow_->Read(path, offset, dst);
   if (!n.ok()) return n;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.slow_reads;
     const bool queued = pending_.find(path) != pending_.end();
     const bool resident = resident_.find(path) != resident_.end();
@@ -117,7 +117,7 @@ Result<std::size_t> TieringObject::Read(const std::string& path,
 
 Result<std::uint64_t> TieringObject::FileSize(const std::string& path) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const auto it = resident_.find(path);
     if (it != resident_.end()) return it->second.bytes;
   }
@@ -134,7 +134,7 @@ Status TieringObject::ApplyKnobs(const StageKnobs& knobs) {
 StageStatsSnapshot TieringObject::CollectStats() const {
   StageStatsSnapshot s;
   s.at = clock_->Now();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   s.producers = options_.migration_workers;
   s.buffer_occupancy = resident_.size();
   s.buffer_bytes = fast_bytes_;
@@ -145,14 +145,14 @@ StageStatsSnapshot TieringObject::CollectStats() const {
 }
 
 TieringObject::TierCounters TieringObject::Counters() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   TierCounters c = counters_;
   c.fast_bytes = fast_bytes_;
   return c;
 }
 
 bool TieringObject::ResidentFast(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return resident_.find(path) != resident_.end();
 }
 

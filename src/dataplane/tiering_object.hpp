@@ -11,12 +11,12 @@
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "common/bounded_queue.hpp"
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "dataplane/optimization_object.hpp"
 #include "storage/backend.hpp"
 
@@ -65,7 +65,7 @@ class TieringObject final : public OptimizationObject {
  private:
   void MigrationLoop();
   /// Registers a promoted file, demoting LRU entries over budget.
-  void Admit(const std::string& path, std::uint64_t bytes);
+  void Admit(const std::string& path, std::uint64_t bytes) EXCLUDES(mu_);
 
   std::shared_ptr<storage::StorageBackend> slow_;
   std::shared_ptr<storage::StorageBackend> fast_;
@@ -76,16 +76,17 @@ class TieringObject final : public OptimizationObject {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex mu_;  // guards residency index + LRU + counters
-  std::list<std::string> lru_;  // front = MRU
+  mutable Mutex mu_{LockRank::kStage};
+  std::list<std::string> lru_ GUARDED_BY(mu_);  // front = MRU
   struct Resident {
     std::uint64_t bytes;
     std::list<std::string>::iterator lru_it;
   };
-  std::unordered_map<std::string, Resident> resident_;
-  std::unordered_map<std::string, bool> pending_;  // queued for promotion
-  std::uint64_t fast_bytes_ = 0;
-  TierCounters counters_;
+  std::unordered_map<std::string, Resident> resident_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, bool> pending_
+      GUARDED_BY(mu_);  // queued for promotion
+  std::uint64_t fast_bytes_ GUARDED_BY(mu_) = 0;
+  TierCounters counters_ GUARDED_BY(mu_);
 };
 
 }  // namespace prisma::dataplane

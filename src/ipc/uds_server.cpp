@@ -63,27 +63,35 @@ Status UdsServer::Start() {
 
 void UdsServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Shut the listening socket down; accept() returns with an error.
+  // Wake the accept loop with shutdown (blocked accept4 returns EINVAL),
+  // but close and clear the fd only after the join: the loop reads
+  // listen_fd_, and closing early would let the kernel hand the number
+  // to someone else while accept4 still uses it.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
 
-  std::vector<std::thread> handlers;
+  // Claim every live connection, then tear down outside the lock: the
+  // shutdown wakes handlers blocked in ReadFrame, the join waits for
+  // them to finish, and the close happens only after the join so no
+  // handler ever reads a closed (possibly reused) descriptor.
+  std::unordered_map<int, std::thread> conns;
+  std::vector<std::thread> finished;
   {
-    std::lock_guard lock(conns_mu_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    handlers.swap(handlers_);
+    MutexLock lock(conns_mu_);
+    conns.swap(conns_);
+    finished.swap(finished_);
+    for (const auto& [fd, thread] : conns) ::shutdown(fd, SHUT_RDWR);
   }
-  for (auto& h : handlers) {
-    if (h.joinable()) h.join();
+  for (auto& [fd, thread] : conns) {
+    if (thread.joinable()) thread.join();
+    ::close(fd);
   }
-  {
-    std::lock_guard lock(conns_mu_);
-    for (const int fd : conn_fds_) ::close(fd);
-    conn_fds_.clear();
+  for (auto& thread : finished) {
+    if (thread.joinable()) thread.join();
   }
   ::unlink(socket_path_.c_str());
 }
@@ -95,9 +103,17 @@ void UdsServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listening socket closed by Stop()
     }
-    std::lock_guard lock(conns_mu_);
-    conn_fds_.push_back(fd);
-    handlers_.emplace_back([this, fd] { HandleConnection(fd); });
+    MutexLock lock(conns_mu_);
+    // Reap handlers that ended on natural disconnects so neither the
+    // thread handles nor the map grow with connection churn. The joins
+    // are instant: these threads have already returned.
+    for (auto& thread : finished_) {
+      if (thread.joinable()) thread.join();
+    }
+    finished_.clear();
+    // The handler may look itself up immediately; it blocks on conns_mu_
+    // until this insertion is published.
+    conns_.emplace(fd, std::thread([this, fd] { HandleConnection(fd); }));
   }
 }
 
@@ -122,9 +138,15 @@ void UdsServer::HandleConnection(int fd) {
     if (!sent.ok()) break;
     requests_served_.fetch_add(1, std::memory_order_relaxed);
   }
-  // fd is closed centrally in Stop(); closing here too would double-close,
-  // so only mark it by shutting down our end.
-  ::shutdown(fd, SHUT_RDWR);
+  // Natural disconnect: remove our entry and close the fd; the accept
+  // loop joins the parked thread handle later. If the entry is gone,
+  // Stop() claimed the map and owns both the join and the close.
+  MutexLock lock(conns_mu_);
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  finished_.push_back(std::move(it->second));
+  conns_.erase(it);
+  ::close(fd);
 }
 
 Status UdsServer::HandleRead(int fd, const Request& req,
@@ -206,8 +228,8 @@ Response UdsServer::Dispatch(const Request& req) {
 }
 
 std::size_t UdsServer::active_connections() const {
-  std::lock_guard lock(conns_mu_);
-  return conn_fds_.size();
+  MutexLock lock(conns_mu_);
+  return conns_.size();
 }
 
 }  // namespace prisma::ipc

@@ -7,11 +7,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "dataplane/stage.hpp"
 #include "ipc/wire.hpp"
@@ -36,7 +37,7 @@ class UdsServer {
   std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
-  std::size_t active_connections() const;
+  std::size_t active_connections() const EXCLUDES(conns_mu_);
 
  private:
   void AcceptLoop();
@@ -56,9 +57,16 @@ class UdsServer {
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
 
-  mutable std::mutex conns_mu_;
-  std::vector<std::thread> handlers_;
-  std::vector<int> conn_fds_;
+  // Connection lifecycle: the accept loop inserts fd -> handler thread;
+  // on natural disconnect the handler removes its own entry, closes the
+  // fd, and parks its thread handle in finished_ for the accept loop (or
+  // Stop) to join. Stop() claims the whole map instead: it shuts every
+  // fd down, joins the handlers, then closes. Whoever removes an entry
+  // owns the close, so an fd is never closed twice or after the kernel
+  // reused its number.
+  mutable Mutex conns_mu_{LockRank::kRegistry};
+  std::unordered_map<int, std::thread> conns_ GUARDED_BY(conns_mu_);
+  std::vector<std::thread> finished_ GUARDED_BY(conns_mu_);
   std::atomic<std::uint64_t> requests_served_{0};
 };
 

@@ -29,10 +29,10 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
 #include "ipc/uds_client.hpp"
 
 namespace {
@@ -81,8 +81,8 @@ struct ShimState {
   std::string prefix;
   bool enabled = false;
 
-  std::mutex mu;
-  std::unordered_map<int, TrackedFile> files;
+  prisma::Mutex mu{prisma::LockRank::kLeaf};
+  std::unordered_map<int, TrackedFile> files GUARDED_BY(mu);
 };
 
 ShimState& State() {
@@ -131,30 +131,34 @@ int OpenTracked(const std::string& remainder) {
   // libc-allocated ones.
   const int fd = real_open()("/dev/null", O_RDONLY | O_CLOEXEC);
   if (fd < 0) return -1;
-  std::lock_guard lock(State().mu);
-  State().files[fd] = TrackedFile{remainder, 0, -1};
+  ShimState& s = State();
+  prisma::MutexLock lock(s.mu);
+  s.files[fd] = TrackedFile{remainder, 0, -1};
   return fd;
 }
 
 /// Copies the tracked entry if fd is ours.
 bool LookupTracked(int fd, TrackedFile* out) {
-  std::lock_guard lock(State().mu);
-  const auto it = State().files.find(fd);
-  if (it == State().files.end()) return false;
+  ShimState& s = State();
+  prisma::MutexLock lock(s.mu);
+  const auto it = s.files.find(fd);
+  if (it == s.files.end()) return false;
   *out = it->second;
   return true;
 }
 
 void UpdateOffset(int fd, off_t offset) {
-  std::lock_guard lock(State().mu);
-  const auto it = State().files.find(fd);
-  if (it != State().files.end()) it->second.offset = offset;
+  ShimState& s = State();
+  prisma::MutexLock lock(s.mu);
+  const auto it = s.files.find(fd);
+  if (it != s.files.end()) it->second.offset = offset;
 }
 
 void UpdateSize(int fd, off_t size) {
-  std::lock_guard lock(State().mu);
-  const auto it = State().files.find(fd);
-  if (it != State().files.end()) it->second.size = size;
+  ShimState& s = State();
+  prisma::MutexLock lock(s.mu);
+  const auto it = s.files.find(fd);
+  if (it != s.files.end()) it->second.size = size;
 }
 
 off_t FetchSize(int fd, const TrackedFile& tf) {
@@ -299,8 +303,9 @@ off_t lseek64(int fd, off_t offset, int whence) {
 
 int close(int fd) {
   {
-    std::lock_guard lock(State().mu);
-    State().files.erase(fd);
+    ShimState& s = State();
+    prisma::MutexLock lock(s.mu);
+    s.files.erase(fd);
   }
   return real_close()(fd);
 }

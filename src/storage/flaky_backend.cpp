@@ -14,7 +14,7 @@ Result<std::size_t> FlakyBackend::Read(const std::string& path,
   bool fail = false;
   bool spike = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const std::uint32_t attempt = attempts_[path]++;
     const bool eligible =
         options_.fail_first_n == 0 || attempt < options_.fail_first_n;

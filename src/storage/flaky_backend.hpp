@@ -8,10 +8,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "storage/backend.hpp"
@@ -51,9 +51,9 @@ class FlakyBackend final : public StorageBackend {
  private:
   std::shared_ptr<StorageBackend> inner_;
   FlakyOptions options_;
-  std::mutex mu_;  // guards rng_ and attempts_
-  Xoshiro256 rng_;
-  std::unordered_map<std::string, std::uint32_t> attempts_;
+  Mutex mu_{LockRank::kBackend};
+  Xoshiro256 rng_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint32_t> attempts_ GUARDED_BY(mu_);
   std::atomic<std::uint64_t> injected_errors_{0};
   std::atomic<std::uint64_t> injected_spikes_{0};
 };

@@ -4,7 +4,7 @@ namespace prisma::storage {
 
 bool PageCacheModel::AccessAndAdmit(const std::string& path,
                                     std::uint64_t bytes) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (capacity_ == 0) {
     ++misses_;
     return false;
@@ -33,29 +33,29 @@ bool PageCacheModel::AccessAndAdmit(const std::string& path,
 }
 
 bool PageCacheModel::Contains(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return index_.find(path) != index_.end();
 }
 
 void PageCacheModel::DropAll() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   used_ = 0;
 }
 
 std::uint64_t PageCacheModel::UsedBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return used_;
 }
 
 std::uint64_t PageCacheModel::Hits() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 std::uint64_t PageCacheModel::Misses() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

@@ -9,9 +9,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/mutex.hpp"
 
 namespace prisma::storage {
 
@@ -23,18 +24,19 @@ class PageCacheModel {
 
   /// Returns true when `path` is fully resident; touches LRU order.
   /// On miss, admits the file (evicting LRU entries to fit).
-  bool AccessAndAdmit(const std::string& path, std::uint64_t bytes);
+  bool AccessAndAdmit(const std::string& path, std::uint64_t bytes)
+      EXCLUDES(mu_);
 
   /// Lookup without admission (does not modify state).
-  bool Contains(const std::string& path) const;
+  bool Contains(const std::string& path) const EXCLUDES(mu_);
 
   /// Drops everything (echoes `echo 3 > /proc/sys/vm/drop_caches`).
-  void DropAll();
+  void DropAll() EXCLUDES(mu_);
 
-  std::uint64_t UsedBytes() const;
+  std::uint64_t UsedBytes() const EXCLUDES(mu_);
   std::uint64_t CapacityBytes() const { return capacity_; }
-  std::uint64_t Hits() const;
-  std::uint64_t Misses() const;
+  std::uint64_t Hits() const EXCLUDES(mu_);
+  std::uint64_t Misses() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -42,13 +44,14 @@ class PageCacheModel {
     std::uint64_t bytes;
   };
 
-  mutable std::mutex mu_;
-  std::uint64_t capacity_;
-  std::uint64_t used_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::list<Entry> lru_;  // front == most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  mutable Mutex mu_{LockRank::kPageCache};
+  const std::uint64_t capacity_;
+  std::uint64_t used_ GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ GUARDED_BY(mu_) = 0;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front == most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace prisma::storage

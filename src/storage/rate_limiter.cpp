@@ -22,7 +22,7 @@ void TokenBucket::RefillLocked(Nanos now) {
 }
 
 Nanos TokenBucket::Reserve(std::uint64_t bytes) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   RefillLocked(clock_->Now());
   tokens_ -= static_cast<double>(bytes);
   if (tokens_ >= 0.0) return Nanos{0};
@@ -32,7 +32,7 @@ Nanos TokenBucket::Reserve(std::uint64_t bytes) {
 }
 
 std::uint64_t TokenBucket::AvailableBytes() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Observation only: refill without mutating last_refill_ would drift,
   // so compute the would-be value.
   const Nanos elapsed = clock_->Now() - last_refill_;
@@ -43,7 +43,7 @@ std::uint64_t TokenBucket::AvailableBytes() const {
 }
 
 void TokenBucket::SetRate(double rate_bps) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   RefillLocked(clock_->Now());
   rate_bps_ = std::max(1.0, rate_bps);
 }

@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "storage/backend.hpp"
 
 namespace prisma::storage {
@@ -26,26 +26,29 @@ class TokenBucket {
   /// Reserves `bytes` of budget. Returns how long the caller must wait
   /// before proceeding (0 when within burst). The reservation is
   /// committed immediately — concurrent callers queue up behind it.
-  Nanos Reserve(std::uint64_t bytes);
+  Nanos Reserve(std::uint64_t bytes) EXCLUDES(mu_);
 
   /// Tokens currently available (<= burst; negative debt is clamped 0).
-  std::uint64_t AvailableBytes() const;
+  std::uint64_t AvailableBytes() const EXCLUDES(mu_);
 
-  double rate_bps() const { return rate_bps_; }
+  double rate_bps() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return rate_bps_;
+  }
   std::uint64_t burst_bytes() const { return burst_; }
 
   /// Control-plane knob: retarget the sustained rate.
-  void SetRate(double rate_bps);
+  void SetRate(double rate_bps) EXCLUDES(mu_);
 
  private:
-  void RefillLocked(Nanos now);
+  void RefillLocked(Nanos now) REQUIRES(mu_);
 
   std::shared_ptr<const Clock> clock_;
-  mutable std::mutex mu_;
-  double rate_bps_;
-  std::uint64_t burst_;
-  double tokens_;        // may go negative: committed-but-unpaid debt
-  Nanos last_refill_{0};
+  mutable Mutex mu_{LockRank::kRateLimiter};
+  double rate_bps_ GUARDED_BY(mu_);
+  const std::uint64_t burst_;
+  double tokens_ GUARDED_BY(mu_);  // may go negative: committed-but-unpaid debt
+  Nanos last_refill_ GUARDED_BY(mu_){0};
 };
 
 /// Backend decorator enforcing a read-bandwidth budget with real sleeps.

@@ -19,7 +19,7 @@ SyntheticBackend::SyntheticBackend(SyntheticBackendOptions options)
       rng_(options.seed) {}
 
 void SyntheticBackend::Register(const DatasetCatalog& catalog) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& f : catalog.files()) files_[f.name] = f.size;
 }
 
@@ -31,7 +31,7 @@ Nanos SyntheticBackend::ModelServiceTime(std::uint64_t bytes, bool cache_hit,
   } else {
     seconds = ToSeconds(device_.ServiceTime(bytes, concurrency));
     if (options_.profile.jitter_frac > 0.0) {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       const double jitter =
           rng_.NextGaussian(1.0, options_.profile.jitter_frac);
       seconds *= std::max(0.1, jitter);
@@ -44,11 +44,11 @@ Result<std::size_t> SyntheticBackend::Read(const std::string& path,
                                            std::uint64_t offset,
                                            std::span<std::byte> dst) {
   std::uint64_t size = 0;
-  const std::vector<std::byte>* override_data = nullptr;
+  bool has_override = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (const auto ov = overrides_.find(path); ov != overrides_.end()) {
-      override_data = &ov->second;
+      has_override = true;
       size = ov->second.size();
     } else if (const auto it = files_.find(path); it != files_.end()) {
       size = it->second;
@@ -68,9 +68,20 @@ Result<std::size_t> SyntheticBackend::Read(const std::string& path,
   if (service.count() > 0) std::this_thread::sleep_for(service);
   outstanding_.fetch_sub(1, std::memory_order_acq_rel);
 
-  if (override_data != nullptr) {
-    std::copy_n(override_data->data() + offset, n, dst.data());
-  } else {
+  bool copied = false;
+  if (has_override) {
+    // A concurrent Write() may have replaced (and reallocated) the
+    // override vector while we slept off the modeled service time, so
+    // re-resolve it under the lock instead of dereferencing a stale
+    // pointer. Fall through to synthesis if it vanished or shrank.
+    MutexLock lock(mu_);
+    const auto ov = overrides_.find(path);
+    if (ov != overrides_.end() && ov->second.size() >= offset + n) {
+      std::copy_n(ov->second.data() + offset, n, dst.data());
+      copied = true;
+    }
+  }
+  if (!copied) {
     SyntheticContent::Fill(path, offset, dst.subspan(0, n));
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
@@ -81,11 +92,11 @@ Result<std::size_t> SyntheticBackend::Read(const std::string& path,
 Result<SamplePayload> SyntheticBackend::ReadAllShared(
     const std::string& path, const std::shared_ptr<BufferPool>& pool) {
   std::uint64_t size = 0;
-  const std::vector<std::byte>* override_data = nullptr;
+  bool has_override = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (const auto ov = overrides_.find(path); ov != overrides_.end()) {
-      override_data = &ov->second;
+      has_override = true;
       size = ov->second.size();
     } else if (const auto it = files_.find(path); it != files_.end()) {
       size = it->second;
@@ -103,11 +114,10 @@ Result<SamplePayload> SyntheticBackend::ReadAllShared(
   outstanding_.fetch_sub(1, std::memory_order_acq_rel);
 
   PayloadWriter writer = pool->Acquire(n);
-  if (override_data != nullptr) {
-    // overrides_ entries are only appended (Write replaces the vector
-    // under mu_, but existing tests never race Write against reads of
-    // the same name); re-check under the lock to stay safe anyway.
-    std::lock_guard lock(mu_);
+  if (has_override) {
+    // Re-resolve under the lock: a concurrent Write() may have replaced
+    // (and reallocated) the override vector during the modeled sleep.
+    MutexLock lock(mu_);
     const auto ov = overrides_.find(path);
     if (ov != overrides_.end() && ov->second.size() >= n) {
       std::copy_n(ov->second.data(), n, writer.span().data());
@@ -125,7 +135,7 @@ Result<SamplePayload> SyntheticBackend::ReadAllShared(
 Status SyntheticBackend::Write(const std::string& path,
                                std::span<const std::byte> data) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     overrides_[path].assign(data.begin(), data.end());
     files_[path] = data.size();
   }
@@ -135,7 +145,7 @@ Status SyntheticBackend::Write(const std::string& path,
 }
 
 Result<std::uint64_t> SyntheticBackend::FileSize(const std::string& path) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("synthetic backend: " + path);
   return it->second;

@@ -11,9 +11,10 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
@@ -73,10 +74,11 @@ class SyntheticBackend final : public StorageBackend {
   DeviceModel device_;
   PageCacheModel cache_;
 
-  mutable std::mutex mu_;                       // guards files_ and rng_
-  std::map<std::string, std::uint64_t> files_;  // name -> size
-  std::map<std::string, std::vector<std::byte>> overrides_;  // from Write()
-  Xoshiro256 rng_;
+  mutable Mutex mu_{LockRank::kBackend};
+  std::map<std::string, std::uint64_t> files_ GUARDED_BY(mu_);  // name -> size
+  std::map<std::string, std::vector<std::byte>> overrides_
+      GUARDED_BY(mu_);  // from Write()
+  Xoshiro256 rng_ GUARDED_BY(mu_);
 
   std::atomic<std::uint32_t> outstanding_{0};
   std::atomic<std::uint64_t> reads_{0};
