@@ -68,7 +68,8 @@ void BM_SampleBufferContended(benchmark::State& state) {
         const std::uint64_t i = seq.fetch_add(1, std::memory_order_relaxed);
         const std::string name = "c" + std::to_string(i);
         if (!buf.Insert(Sample{name, std::vector<std::byte>(512)}).ok()) break;
-        (void)buf.Take(name);
+        PRISMA_IGNORE_STATUS(buf.Take(name),
+                             "contender loop; races with Close are expected");
       }
     });
   }
@@ -77,7 +78,8 @@ void BM_SampleBufferContended(benchmark::State& state) {
     const std::string name = "m" + std::to_string(i++);
     benchmark::DoNotOptimize(
         buf.Insert(Sample{name, std::vector<std::byte>(512)}));
-    (void)buf.Take(name);
+    PRISMA_IGNORE_STATUS(buf.Take(name),
+                         "throughput loop; a miss is part of the workload");
   }
   stop = true;
   buf.Close();
@@ -169,8 +171,10 @@ class UdsFixture : public benchmark::Fixture {
 
     socket_path_ = "/tmp/prisma_bench_" + std::to_string(::getpid()) + ".sock";
     server_ = std::make_unique<ipc::UdsServer>(socket_path_, stage_);
-    (void)server_->Start();
-    (void)client_.Connect(socket_path_);
+    PRISMA_IGNORE_STATUS(server_->Start(),
+                         "bench fixture; failure surfaces on first RPC");
+    PRISMA_IGNORE_STATUS(client_.Connect(socket_path_),
+                         "bench fixture; failure surfaces on first RPC");
   }
 
   void TearDown(const benchmark::State&) override {
@@ -253,7 +257,8 @@ void BM_PrefetchEpochThroughput(benchmark::State& state) {
   std::uint64_t epoch = 0;
   std::vector<std::byte> buf(64 * 1024);
   for (auto _ : state) {
-    (void)object.BeginEpoch(epoch++, names);
+    PRISMA_IGNORE_STATUS(object.BeginEpoch(epoch++, names),
+                         "prefetch hint only; reads are what is measured");
     for (const auto& name : names) {
       auto n = object.Read(name, 0, buf);
       benchmark::DoNotOptimize(n);

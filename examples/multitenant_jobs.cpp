@@ -35,7 +35,8 @@ void ConsumeEpoch(const std::shared_ptr<dataplane::Stage>& stage,
   for (const auto& name : order) {
     const auto size = stage->FileSize(name);
     std::vector<std::byte> buf(static_cast<std::size_t>(size.value_or(0)));
-    (void)stage->Read(name, 0, buf);
+    PRISMA_IGNORE_STATUS(stage->Read(name, 0, buf),
+                         "demo consumer; throughput is the observable");
     if (pace.count() > 0) std::this_thread::sleep_for(pace);
   }
 }
@@ -70,14 +71,19 @@ int main() {
         return std::make_unique<controlplane::PrismaAutotunePolicy>(ao);
       },
       SteadyClock::Shared());
-  (void)controller.Attach(hungry);
-  (void)controller.Attach(relaxed);
-  (void)controller.RunInBackground();
+  PRISMA_IGNORE_STATUS(controller.Attach(hungry),
+                       "demo setup; a failed attach shows up as no tuning");
+  PRISMA_IGNORE_STATUS(controller.Attach(relaxed),
+                       "demo setup; a failed attach shows up as no tuning");
+  PRISMA_IGNORE_STATUS(controller.RunInBackground(),
+                       "demo setup; a failed start shows up as no tuning");
 
   storage::EpochShuffler shuffler(dataset.train.Names(), 3);
   const auto order = shuffler.OrderFor(0);
-  (void)hungry->BeginEpoch(0, order);
-  (void)relaxed->BeginEpoch(0, order);
+  PRISMA_IGNORE_STATUS(hungry->BeginEpoch(0, order),
+                       "prefetch hint only");
+  PRISMA_IGNORE_STATUS(relaxed->BeginEpoch(0, order),
+                       "prefetch hint only");
 
   std::printf("two jobs sharing one device, global budget = 6 producers\n");
   std::thread t1([&] { ConsumeEpoch(hungry, order, Nanos{0}); });

@@ -58,14 +58,17 @@ int main() {
         return std::make_unique<controlplane::PrismaAutotunePolicy>(tuner);
       },
       SteadyClock::Shared());
-  (void)controller.Attach(stage);
-  (void)controller.RunInBackground();
+  PRISMA_IGNORE_STATUS(controller.Attach(stage),
+                       "demo setup; a failed attach shows up as no tuning");
+  PRISMA_IGNORE_STATUS(controller.RunInBackground(),
+                       "demo setup; a failed start shows up as no tuning");
 
   // --- 4. "framework" consumer loop ------------------------------------------
   storage::EpochShuffler shuffler(dataset.train.Names(), /*seed=*/42);
   for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
     const auto order = shuffler.OrderFor(epoch);
-    (void)stage->BeginEpoch(epoch, order);  // the prefetch hint
+    PRISMA_IGNORE_STATUS(stage->BeginEpoch(epoch, order),
+                         "the prefetch hint; reads below do the work");
 
     const auto t0 = std::chrono::steady_clock::now();
     std::uint64_t bytes = 0;

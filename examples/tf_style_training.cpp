@@ -36,7 +36,8 @@ EpochResult TrainOneEpoch(frameworks::TfPosixFileSystem& fs,
     if (!file.ok()) continue;
     const auto size = fs.GetFileSize(name);
     std::vector<std::byte> buf(static_cast<std::size_t>(size.value_or(0)));
-    (void)(*file)->Read(0, buf);
+    PRISMA_IGNORE_STATUS((*file)->Read(0, buf),
+                         "training-loop model; bytes are discarded");
     if (++in_batch == batch_size) {
       std::this_thread::sleep_for(gpu_step);  // the "GPU"
       in_batch = 0;
@@ -103,14 +104,17 @@ int main() {
         return std::make_unique<controlplane::PrismaAutotunePolicy>(ao);
       },
       SteadyClock::Shared());
-  (void)controller.Attach(stage);
-  (void)controller.RunInBackground();
+  PRISMA_IGNORE_STATUS(controller.Attach(stage),
+                       "demo setup; a failed attach shows up as no tuning");
+  PRISMA_IGNORE_STATUS(controller.RunInBackground(),
+                       "demo setup; a failed start shows up as no tuning");
 
   frameworks::TfPosixFileSystem prisma_fs(backend, stage);
   double prisma_total = 0;
   for (std::uint64_t e = 0; e < kEpochs; ++e) {
     const auto order = shuffler.OrderFor(e);
-    (void)stage->BeginEpoch(e, order);
+    PRISMA_IGNORE_STATUS(stage->BeginEpoch(e, order),
+                         "prefetch hint only");
     const auto r = TrainOneEpoch(prisma_fs, order, kBatch, kGpuStep);
     const auto stats = stage->CollectStats();
     std::printf("  epoch %llu: %.2f s (t=%u, N=%zu)\n",

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification and the static-analysis matrix, one mode per run.
 #
-# Usage: scripts/ci.sh [MODE]
+# Usage: scripts/ci.sh [MODE] [MODE_ARG]
 #
 # Modes:
 #   default    configure + build + full ctest suite (tier-1)
@@ -16,6 +16,12 @@
 #   tidy       clang-tidy over files changed since the merge base,
 #              filtered through scripts/clang-tidy-baseline.txt; skipped
 #              with a notice when clang-tidy is unavailable
+#   lint       prisma-lint (tools/prisma_lint) over the whole tree,
+#              filtered through scripts/prisma-lint-baseline.txt.
+#              `lint changed` lints only files changed since the merge
+#              base (the cross-TU index still covers the whole tree, so
+#              interprocedural checks stay accurate) — the fast path for
+#              PR builds; pushes to main run the full form.
 #
 # Environment:
 #   PRISMA_SANITIZE  legacy interface: address|thread|undefined maps to
@@ -134,6 +140,36 @@ case "${MODE}" in
       exit 1
     fi
     echo "ci.sh tidy: clean (${#changed[@]} files, baseline-filtered)"
+    ;;
+  lint)
+    # prisma-lint builds with the host toolchain alone (no libclang), so
+    # unlike tsa/tidy this mode never skips.
+    BUILD_DIR="${BUILD_DIR:-build-ci-lint}"
+    cmake -B "${BUILD_DIR}" -S . > /dev/null
+    cmake --build "${BUILD_DIR}" -j "${JOBS}" --target prisma_lint
+    lint_bin="${BUILD_DIR}/tools/prisma_lint/prisma_lint"
+    lint_args=(--root . --compdb "${BUILD_DIR}/compile_commands.json"
+               --baseline scripts/prisma-lint-baseline.txt)
+    if [[ "${2:-full}" == "changed" ]]; then
+      base="${TIDY_BASE:-origin/main}"
+      if ! git rev-parse --verify --quiet "${base}" > /dev/null; then
+        base="HEAD~1"
+      fi
+      mapfile -t changed < <(git diff --name-only --diff-filter=d \
+        "$(git merge-base "${base}" HEAD)" -- 'src/*' 'tests/*' 'bench/*' \
+        'tools/*' 'examples/*' \
+        | grep -E '\.(cpp|cc|cxx|hpp|h)$' \
+        | grep -vE '(^|/)lint_fixtures/' || true)
+      if [[ "${#changed[@]}" -eq 0 ]]; then
+        echo "ci.sh lint: no changed C++ sources; nothing to lint"
+        exit 0
+      fi
+      "${lint_bin}" "${lint_args[@]}" "${changed[@]}"
+      echo "ci.sh lint: clean (${#changed[@]} changed files)"
+    else
+      "${lint_bin}" "${lint_args[@]}"
+      echo "ci.sh lint: clean (full tree)"
+    fi
     ;;
   *)
     echo "unknown mode '${MODE}'" >&2

@@ -105,4 +105,24 @@ class [[nodiscard]] Result {
   std::variant<T, Status> v_;
 };
 
+namespace internal {
+
+inline void IgnoreStatusImpl(const Status&) {}
+template <typename T>
+void IgnoreStatusImpl(const Result<T>&) {}
+
+}  // namespace internal
+
 }  // namespace prisma
+
+/// Deliberately discard a Status/Result with a stated reason. This is
+/// the only sanctioned way to drop one: a bare `(void)expr` hides the
+/// decision from reviewers and from prisma-lint's status-checked rule.
+/// The reason must be a non-empty string literal:
+///   PRISMA_IGNORE_STATUS(conn->Close(), "already tearing down");
+#define PRISMA_IGNORE_STATUS(expr, reason)                                \
+  do {                                                                    \
+    static_assert(sizeof(reason) > 1,                                     \
+                  "PRISMA_IGNORE_STATUS needs a non-empty reason");       \
+    ::prisma::internal::IgnoreStatusImpl((expr));                         \
+  } while (0)

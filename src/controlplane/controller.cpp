@@ -18,6 +18,7 @@ Controller::~Controller() { Stop(); }
 
 Status Controller::Attach(std::shared_ptr<dataplane::Stage> stage) {
   MutexLock lock(mu_);
+  while (tick_in_progress_) tick_done_.Wait(mu_);
   const std::string& id = stage->info().id;
   const auto dup = std::find_if(managed_.begin(), managed_.end(),
                                 [&](const Managed& m) {
@@ -35,6 +36,7 @@ Status Controller::Attach(std::shared_ptr<dataplane::Stage> stage) {
 
 Status Controller::Detach(const std::string& stage_id) {
   MutexLock lock(mu_);
+  while (tick_in_progress_) tick_done_.Wait(mu_);
   const auto it = std::find_if(managed_.begin(), managed_.end(),
                                [&](const Managed& m) {
                                  return m.stage->info().id == stage_id;
@@ -46,9 +48,17 @@ Status Controller::Detach(const std::string& stage_id) {
   return Status::Ok();
 }
 
-void Controller::TickOnce() {
+void Controller::TickOnce() NO_THREAD_SAFETY_ANALYSIS {
+  // The tick runs with mu_ released: CollectStats may RPC to a remote
+  // stage and ApplyKnobs may join producer threads, and neither may run
+  // under a lock. tick_in_progress_ keeps managed_ frozen meanwhile
+  // (Attach/Detach wait on tick_done_), so the Managed elements the
+  // proposals point into cannot move; TSA cannot express that hand-off,
+  // hence the disabled analysis.
   MutexLock lock(mu_);
-  last_observations_.clear();
+  while (tick_in_progress_) tick_done_.Wait(mu_);
+  tick_in_progress_ = true;
+  lock.Unlock();
 
   // Phase 1: collect metrics and run every stage's own policy.
   struct Proposal {
@@ -97,7 +107,9 @@ void Controller::TickOnce() {
     }
   }
 
-  // Phase 3: enforce.
+  // Phase 3: enforce, still unlocked.
+  std::vector<StageObservation> observations;
+  observations.reserve(proposals.size());
   for (auto& p : proposals) {
     if (p.knobs.producers || p.knobs.buffer_capacity) {
       const Status s = p.managed->stage->ApplyKnobs(p.knobs);
@@ -107,11 +119,16 @@ void Controller::TickOnce() {
             << p.managed->stage->info().id << ": " << s.ToString();
       }
     }
-    StageObservation obs{p.managed->stage->info().id, p.stats, p.knobs};
-    history_.push_back(obs);
-    last_observations_.push_back(std::move(obs));
+    observations.push_back(
+        StageObservation{p.managed->stage->info().id, p.stats, p.knobs});
   }
+
+  lock.Lock();
+  last_observations_ = observations;
+  for (auto& obs : observations) history_.push_back(std::move(obs));
   while (history_.size() > options_.history_limit) history_.pop_front();
+  tick_in_progress_ = false;
+  tick_done_.NotifyAll();
 }
 
 Status Controller::RunInBackground() {
@@ -248,41 +265,57 @@ void ControlPlane::Stop() {
 }
 
 void ControlPlane::TickOnce() {
-  MutexLock lock(mu_);
-  for (std::size_t i = 0; i < controllers_.size(); ++i) {
-    if (alive_[i]) controllers_[i]->TickOnce();
+  // Snapshot the live set, then tick with mu_ released: a tick does
+  // stage I/O, and controllers_ itself is immutable after construction.
+  std::vector<Controller*> live;
+  {
+    MutexLock lock(mu_);
+    live.reserve(controllers_.size());
+    for (std::size_t i = 0; i < controllers_.size(); ++i) {
+      if (alive_[i]) live.push_back(controllers_[i].get());
+    }
   }
+  for (Controller* c : live) c->TickOnce();
 }
 
 Status ControlPlane::FailController(std::size_t index) {
-  MutexLock lock(mu_);
-  if (index >= controllers_.size()) {
-    return Status::InvalidArgument("no such controller");
-  }
-  if (!alive_[index]) return Status::FailedPrecondition("already failed");
-  std::size_t live = 0;
-  for (const bool a : alive_) live += a ? 1 : 0;
-  if (live <= 1) {
-    return Status::InvalidArgument("cannot fail the last live controller");
-  }
+  Controller* failed = nullptr;
+  {
+    MutexLock lock(mu_);
+    if (index >= controllers_.size()) {
+      return Status::InvalidArgument("no such controller");
+    }
+    if (!alive_[index]) return Status::FailedPrecondition("already failed");
+    std::size_t live = 0;
+    for (const bool a : alive_) live += a ? 1 : 0;
+    if (live <= 1) {
+      return Status::InvalidArgument("cannot fail the last live controller");
+    }
 
-  alive_[index] = false;
-  controllers_[index]->Stop();
+    alive_[index] = false;
+    failed = controllers_[index].get();
 
-  // Reassign this controller's stages to the survivors (failover).
-  for (auto& [stage, owner] : placements_) {
-    if (owner != index) continue;
-    (void)controllers_[index]->Detach(stage->info().id);
-    for (std::size_t probe = 0; probe < controllers_.size(); ++probe) {
-      const std::size_t i = (next_ + probe) % controllers_.size();
-      if (!alive_[i]) continue;
-      next_ = i + 1;
-      if (controllers_[i]->Attach(stage).ok()) {
-        owner = i;
-        break;
+    // Reassign this controller's stages to the survivors (failover).
+    for (auto& [stage, owner] : placements_) {
+      if (owner != index) continue;
+      PRISMA_IGNORE_STATUS(failed->Detach(stage->info().id),
+                           "controller already declared failed; best-effort");
+      for (std::size_t probe = 0; probe < controllers_.size(); ++probe) {
+        const std::size_t i = (next_ + probe) % controllers_.size();
+        if (!alive_[i]) continue;
+        next_ = i + 1;
+        if (controllers_[i]->Attach(stage).ok()) {
+          owner = i;
+          break;
+        }
       }
     }
   }
+  // Join the failed controller's polling loop with mu_ released: Stop()
+  // blocks on a thread join, and a concurrent tick must not wedge the
+  // whole control plane behind it. The loop may run one final tick
+  // against its already-detached stage set, which is harmless.
+  failed->Stop();
   return Status::Ok();
 }
 

@@ -91,8 +91,9 @@ class Controller {
 
   void Loop();
 
-  std::string name_;
-  ControllerOptions options_;
+  std::string name_;           // prisma-lint: unguarded(immutable after construction)
+  ControllerOptions options_;  // prisma-lint: unguarded(immutable after construction)
+  // prisma-lint: unguarded(set in the constructor, invoked only from Attach which holds mu_)
   PolicyFactory policy_factory_;
   std::shared_ptr<const Clock> clock_;
 
@@ -100,7 +101,15 @@ class Controller {
   std::vector<Managed> managed_ GUARDED_BY(mu_);
   std::vector<StageObservation> last_observations_ GUARDED_BY(mu_);
   std::deque<StageObservation> history_ GUARDED_BY(mu_);
+  // Set for the duration of one tick. TickOnce releases mu_ while it
+  // talks to stages (CollectStats may RPC, ApplyKnobs may join producer
+  // threads — neither may run under a lock); Attach/Detach wait on
+  // tick_done_ instead of racing, so managed_ stays frozen while the
+  // tick runs unlocked.
+  bool tick_in_progress_ GUARDED_BY(mu_) = false;
+  CondVar tick_done_;
 
+  // prisma-lint: unguarded(written only after the running_ CAS hand-off in RunInBackground/Stop)
   std::thread thread_;
   Mutex stop_mu_{LockRank::kController};  // never nested with mu_
   CondVar stop_cv_;
@@ -133,6 +142,7 @@ class ControlPlane {
  private:
   // Sized in the constructor and never resized afterwards; only the
   // pointed-to Controllers are mutable.
+  // prisma-lint: unguarded(immutable after construction; Stop reads it without mu_ by design)
   std::vector<std::unique_ptr<Controller>> controllers_;
   // mu_ also orders calls into the controllers: ControlPlane::mu_ is
   // constructed before any Controller's mutexes (the controllers are

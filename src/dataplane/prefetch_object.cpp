@@ -51,12 +51,19 @@ void PrefetchObject::Stop() {
   target_producers_.store(0, std::memory_order_release);
   filename_queue_.Close();
   buffer_.Close();
-  MutexLock lock(producers_mu_);
-  for (auto& p : producers_) {
+  // Claim the producer handles under the lock, join with it released: a
+  // retiring producer can block up to one poll interval in Insert, and
+  // nothing else may need producers_mu_ for that long.
+  std::vector<std::thread> retired;
+  {
+    MutexLock lock(producers_mu_);
+    retired.swap(producers_);
+  }
+  for (auto& p : retired) {
     if (p.joinable()) p.join();
   }
-  producers_.clear();
   MutexLock tl(timeline_mu_);
+  // prisma-lint: allow(no-blocking-under-lock, OccupancyTimeline::Finish is in-memory; the blocking Finish is RecordWriter's)
   reader_timeline_.Finish(clock_->Now());
 }
 
@@ -174,22 +181,28 @@ void PrefetchObject::RetireAnnounced(const std::string& path) {
 }
 
 void PrefetchObject::ReconcileProducers() {
-  MutexLock lock(producers_mu_);
-  // Retired threads (index >= target) exit on their own; join the ones
-  // that already finished so the vector reflects live threads only when
-  // shrinking, and spawn missing indices when growing. A retiree blocked
-  // in a full-buffer Insert observes its retirement (the cancel predicate
-  // passed to Insert) and gives up, so each join blocks at most one poll
-  // interval even with no consumer draining the buffer.
-  const std::uint32_t target = target_producers_.load(std::memory_order_acquire);
-  while (producers_.size() > target) {
-    producers_.back().join();
-    producers_.pop_back();
+  // Retired threads (index >= target) exit on their own; claim their
+  // handles when shrinking so the vector reflects live threads only,
+  // and spawn missing indices when growing. A retiree blocked in a
+  // full-buffer Insert observes its retirement (the cancel predicate
+  // passed to Insert) and gives up — but that still means a join can
+  // block for up to one poll interval, so the joins run with
+  // producers_mu_ released.
+  std::vector<std::thread> retired;
+  {
+    MutexLock lock(producers_mu_);
+    const std::uint32_t target =
+        target_producers_.load(std::memory_order_acquire);
+    while (producers_.size() > target) {
+      retired.push_back(std::move(producers_.back()));
+      producers_.pop_back();
+    }
+    for (std::uint32_t i = static_cast<std::uint32_t>(producers_.size());
+         i < target; ++i) {
+      producers_.emplace_back([this, i] { ProducerLoop(i); });
+    }
   }
-  for (std::uint32_t i = static_cast<std::uint32_t>(producers_.size());
-       i < target; ++i) {
-    producers_.emplace_back([this, i] { ProducerLoop(i); });
-  }
+  for (auto& p : retired) p.join();
 }
 
 Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
@@ -354,8 +367,11 @@ StageStatsSnapshot PrefetchObject::CollectStats() const {
 }
 
 OccupancyTimeline PrefetchObject::ReaderTimeline() const {
-  MutexLock lock(timeline_mu_);
-  OccupancyTimeline copy = reader_timeline_;
+  OccupancyTimeline copy;
+  {
+    MutexLock lock(timeline_mu_);
+    copy = reader_timeline_;
+  }
   copy.Finish(clock_->Now());
   return copy;
 }

@@ -103,11 +103,13 @@ class PrefetchObject final : public OptimizationObject {
   /// Spawns/retires producers to match target_producers_.
   void ReconcileProducers() EXCLUDES(producers_mu_);
 
+  // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<storage::StorageBackend> backend_;
-  PrefetchOptions options_;
+  PrefetchOptions options_;  // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<const Clock> clock_;
 
-  SampleBuffer buffer_;
+  SampleBuffer buffer_;  // prisma-lint: unguarded(internally synchronized — sharded mutexes)
+  // prisma-lint: unguarded(internally synchronized)
   BoundedQueue<std::string> filename_queue_;  // unbounded FIFO
 
   // NOTE: the five stage mutexes below share LockRank::kStage; the only
@@ -126,6 +128,7 @@ class PrefetchObject final : public OptimizationObject {
 
   // Payload allocations recycle through this pool (shared with the
   // backend read path; stats surface in CollectStats).
+  // prisma-lint: unguarded(pointer set in the constructor; BufferPool is internally synchronized)
   std::shared_ptr<BufferPool> pool_;
 
   // Samples taken from the buffer but not yet fully consumed (chunked

@@ -1,7 +1,6 @@
 #include "dataplane/sample_buffer.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -291,16 +290,32 @@ void SampleBuffer::SetCapacity(std::size_t capacity) {
   WakeBlockedProducers();
 }
 
-// Acquires every shard mutex through std::unique_lock, a lock set the
-// static analysis cannot express; the runtime validator still checks the
-// acquisitions (same-rank locks taken in construction order are legal).
 Status SampleBuffer::SetShardCount(std::size_t num_shards)
     NO_THREAD_SAFETY_ANALYSIS {
   const std::size_t target = std::clamp<std::size_t>(
       num_shards == 0 ? DefaultShardCount() : num_shards, 1, shards_.size());
-  std::vector<std::unique_lock<Mutex>> locks;
-  locks.reserve(shards_.size());
-  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  // Scoped acquisition of every shard mutex, a lock set MutexLock cannot
+  // express (one mutex per scope). Construction order keeps the
+  // same-rank acquisitions legal under the runtime validator, which
+  // still sees each one through Mutex::lock().
+  class AllShardsLock {
+   public:
+    explicit AllShardsLock(std::vector<std::unique_ptr<Shard>>& shards)
+        NO_THREAD_SAFETY_ANALYSIS : shards_(shards) {
+      for (const auto& shard : shards_) shard->mu.lock();
+    }
+    ~AllShardsLock() NO_THREAD_SAFETY_ANALYSIS {
+      for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+        (*it)->mu.unlock();
+      }
+    }
+    AllShardsLock(const AllShardsLock&) = delete;
+    AllShardsLock& operator=(const AllShardsLock&) = delete;
+
+   private:
+    std::vector<std::unique_ptr<Shard>>& shards_;
+  };
+  AllShardsLock locks(shards_);
   // Blocked waiters key on per-shard condition variables; moving the
   // name -> shard map under them would strand their wakeups.
   if (capacity_waiters_.load(std::memory_order_seq_cst) > 0) {

@@ -23,7 +23,12 @@ Status TieringObject::Start() {
     return Status::FailedPrecondition("tiering object already started");
   }
   promote_queue_.Reopen();
-  for (std::uint32_t i = 0; i < std::max<std::uint32_t>(1, options_.migration_workers); ++i) {
+  std::uint32_t n = 1;
+  {
+    MutexLock lock(mu_);  // migration_workers may move under ApplyKnobs
+    n = std::max<std::uint32_t>(1, options_.migration_workers);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { MigrationLoop(); });
   }
   return Status::Ok();
@@ -99,16 +104,27 @@ Result<std::size_t> TieringObject::Read(const std::string& path,
 
   auto n = slow_->Read(path, offset, dst);
   if (!n.ok()) return n;
+  bool candidate = false;
   {
     MutexLock lock(mu_);
     ++counters_.slow_reads;
     const bool queued = pending_.find(path) != pending_.end();
     const bool resident = resident_.find(path) != resident_.end();
-    if (!queued && !resident && running_.load(std::memory_order_acquire)) {
-      const auto size = slow_->FileSize(path);
-      if (size.ok() && *size <= options_.max_promote_bytes) {
+    candidate = !queued && !resident && running_.load(std::memory_order_acquire);
+  }
+  // The promotion-size stat is real slow-tier I/O, so it runs outside
+  // the lock; re-check under the lock afterwards since a concurrent
+  // reader may have queued or promoted the file while we statted.
+  if (candidate) {
+    const auto size = slow_->FileSize(path);
+    if (size.ok() && *size <= options_.max_promote_bytes) {
+      MutexLock lock(mu_);
+      const bool queued = pending_.find(path) != pending_.end();
+      const bool resident = resident_.find(path) != resident_.end();
+      if (!queued && !resident && running_.load(std::memory_order_acquire)) {
         pending_[path] = true;
-        (void)promote_queue_.TryPush(path);  // drop on overload
+        PRISMA_IGNORE_STATUS(promote_queue_.TryPush(path),
+                             "promotion dropped on overload by design");
       }
     }
   }
@@ -127,7 +143,12 @@ Result<std::uint64_t> TieringObject::FileSize(const std::string& path) {
 Status TieringObject::ApplyKnobs(const StageKnobs& knobs) {
   // Tiering reuses the generic knobs: `producers` maps to migration
   // workers (applied on next Start), `buffer_capacity` is N/A.
-  if (knobs.producers) options_.migration_workers = *knobs.producers;
+  // CollectStats reads migration_workers under mu_, so the write must
+  // hold it too.
+  if (knobs.producers) {
+    MutexLock lock(mu_);
+    options_.migration_workers = *knobs.producers;
+  }
   return Status::Ok();
 }
 

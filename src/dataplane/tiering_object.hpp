@@ -67,12 +67,17 @@ class TieringObject final : public OptimizationObject {
   /// Registers a promoted file, demoting LRU entries over budget.
   void Admit(const std::string& path, std::uint64_t bytes) EXCLUDES(mu_);
 
+  // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<storage::StorageBackend> slow_;
+  // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<storage::StorageBackend> fast_;
+  // prisma-lint: unguarded(only migration_workers mutates, and every access to it holds mu_; the other fields are immutable after construction)
   TieringOptions options_;
   std::shared_ptr<const Clock> clock_;
 
+  // prisma-lint: unguarded(internally synchronized)
   BoundedQueue<std::string> promote_queue_;
+  // prisma-lint: unguarded(mutated only in Start/Stop, serialized by the running_ CAS)
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 

@@ -103,17 +103,23 @@ void UdsServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listening socket closed by Stop()
     }
-    MutexLock lock(conns_mu_);
     // Reap handlers that ended on natural disconnects so neither the
-    // thread handles nor the map grow with connection churn. The joins
-    // are instant: these threads have already returned.
-    for (auto& thread : finished_) {
+    // thread handles nor the map grow with connection churn. Claim the
+    // handles under the lock, join after releasing it: the joins are
+    // near-instant (those threads have already returned), but a join is
+    // still a blocking call, and a handler finishing right now needs
+    // conns_mu_ to park itself in finished_.
+    std::vector<std::thread> finished;
+    {
+      MutexLock lock(conns_mu_);
+      finished.swap(finished_);
+      // The handler may look itself up immediately; it blocks on
+      // conns_mu_ until this insertion is published.
+      conns_.emplace(fd, std::thread([this, fd] { HandleConnection(fd); }));
+    }
+    for (auto& thread : finished) {
       if (thread.joinable()) thread.join();
     }
-    finished_.clear();
-    // The handler may look itself up immediately; it blocks on conns_mu_
-    // until this insertion is published.
-    conns_.emplace(fd, std::thread([this, fd] { HandleConnection(fd); }));
   }
 }
 

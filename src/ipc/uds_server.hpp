@@ -50,10 +50,13 @@ class UdsServer {
                     std::vector<std::byte>& scratch);
   Response Dispatch(const Request& req);
 
-  std::string socket_path_;
+  std::string socket_path_;  // prisma-lint: unguarded(immutable after construction)
+  // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<dataplane::Stage> stage_;
 
+  // prisma-lint: unguarded(written only in Start/Stop, serialized by the running_ CAS)
   int listen_fd_ = -1;
+  // prisma-lint: unguarded(written only in Start/Stop, serialized by the running_ CAS)
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
 

@@ -77,8 +77,11 @@ struct TrackedFile {
 };
 
 struct ShimState {
+  // prisma-lint: unguarded(written once in the State() initializer before any interposed call)
   std::string socket_path;
+  // prisma-lint: unguarded(written once in the State() initializer before any interposed call)
   std::string prefix;
+  // prisma-lint: unguarded(written once in the State() initializer before any interposed call)
   bool enabled = false;
 
   prisma::Mutex mu{prisma::LockRank::kLeaf};

@@ -49,8 +49,9 @@ class FlakyBackend final : public StorageBackend {
   }
 
  private:
+  // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<StorageBackend> inner_;
-  FlakyOptions options_;
+  FlakyOptions options_;  // prisma-lint: unguarded(immutable after construction)
   Mutex mu_{LockRank::kBackend};
   Xoshiro256 rng_ GUARDED_BY(mu_);
   std::unordered_map<std::string, std::uint32_t> attempts_ GUARDED_BY(mu_);

@@ -70,8 +70,11 @@ class SyntheticBackend final : public StorageBackend {
   Nanos ModelServiceTime(std::uint64_t bytes, bool cache_hit,
                          std::uint32_t concurrency);
 
+  // prisma-lint: unguarded(immutable after construction)
   SyntheticBackendOptions options_;
+  // prisma-lint: unguarded(const service-time model; deliberately used outside mu_)
   DeviceModel device_;
+  // prisma-lint: unguarded(internally synchronized; AccessAndAdmit runs outside mu_)
   PageCacheModel cache_;
 
   mutable Mutex mu_{LockRank::kBackend};

@@ -43,6 +43,7 @@ TEST_F(LockOrderDeathTest, InvertedRankAborts) {
         Mutex shard_mu{LockRank::kShard};
         Mutex controller_mu{LockRank::kController};
         MutexLock inner(shard_mu);
+        // prisma-lint: allow(lock-rank-static, deliberate inversion exercising the runtime validator)
         MutexLock outer(controller_mu);  // rank 10 after rank 6: boom
       },
       "prisma: lock-order violation");

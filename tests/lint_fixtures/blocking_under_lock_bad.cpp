@@ -1,0 +1,39 @@
+// prisma-lint fixture: blocking while a MutexLock is live — directly,
+// and through a cross-TU-style call chain — must be flagged by
+// no-blocking-under-lock.
+namespace fixture {
+
+enum class LockRank { kUnranked = -1, kLeaf = 1, kStage = 8 };
+
+class Writer {
+ public:
+  void Flush() {
+    MutexLock lock(mu_);
+    fsync(fd_);  // direct blocking call under mu_
+  }
+
+ private:
+  Mutex mu_{LockRank::kLeaf};
+  int fd_ GUARDED_BY(mu_) = -1;
+};
+
+// Indirect: the lock holder never blocks itself, but a callee resolved
+// through the project call graph does.
+class Prober {
+ public:
+  void Refresh(const char* path) {
+    MutexLock lock(mu_);
+    StatBackingFile(path);  // chain: StatBackingFile -> stat
+  }
+  void StatBackingFile(const char* path);
+
+ private:
+  Mutex mu_{LockRank::kStage};
+};
+
+void Prober::StatBackingFile(const char* path) {
+  struct stat st;
+  stat(path, &st);
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// prisma-lint fixture: the sanctioned shapes around blocking work —
+// hoist out of the critical section, toggle the lock off around the
+// I/O, or carry a reasoned allow() — produce no findings.
+namespace fixture {
+
+enum class LockRank { kUnranked = -1, kLeaf = 1 };
+
+class Writer {
+ public:
+  // Shape 1: copy state out under the lock, block after scope exit.
+  void FlushHoisted() {
+    int fd = -1;
+    {
+      MutexLock lock(mu_);
+      fd = fd_;
+    }
+    fsync(fd);
+  }
+
+  // Shape 2: explicitly drop the lock across the blocking region.
+  void FlushToggled() {
+    MutexLock lock(mu_);
+    const int fd = fd_;
+    lock.Unlock();
+    fsync(fd);
+    lock.Lock();
+    ++flushes_;
+  }
+
+  // Shape 3: a reviewed exception with a stated reason.
+  void FlushPinned() {
+    MutexLock lock(mu_);
+    // prisma-lint: allow(no-blocking-under-lock, bounded tmpfs write; measured sub-microsecond)
+    write(fd_, nullptr, 0);
+  }
+
+ private:
+  Mutex mu_{LockRank::kLeaf};
+  int fd_ GUARDED_BY(mu_) = -1;
+  int flushes_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// prisma-lint fixture: mutable members of a Mutex-owning class without
+// GUARDED_BY and without an unguarded(<reason>) suppression must be
+// flagged by guarded-by-coverage.
+namespace fixture {
+
+enum class LockRank { kUnranked = -1, kLeaf = 1 };
+
+class Cache {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_{LockRank::kLeaf};
+  int hits_ = 0;
+  std::string name_;
+};
+
+}  // namespace fixture

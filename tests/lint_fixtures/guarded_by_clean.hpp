@@ -1,0 +1,27 @@
+// prisma-lint fixture: every sanctioned way for a member of a
+// Mutex-owning class to escape guarded-by-coverage, plus a class with
+// no mutex at all (whose members are never candidates).
+namespace fixture {
+
+enum class LockRank { kUnranked = -1, kLeaf = 1 };
+
+class Cache {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_{LockRank::kLeaf};
+  int hits_ GUARDED_BY(mu_) = 0;
+  std::atomic<int> total_{0};
+  const int capacity_ = 16;
+  Mutex* parent_ = nullptr;  // a reference to someone else's lock
+  // prisma-lint: unguarded(immutable after construction)
+  std::string name_;
+};
+
+struct PlainConfig {
+  int workers = 1;
+  bool verbose = false;
+};
+
+}  // namespace fixture

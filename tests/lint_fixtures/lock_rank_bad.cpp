@@ -1,0 +1,41 @@
+// prisma-lint fixture: acquiring a higher-ranked mutex while holding a
+// lower-ranked one — directly, and through a call that acquires down
+// the call graph — must be flagged by lock-rank-static.
+namespace fixture {
+
+enum class LockRank { kUnranked = -1, kLeaf = 1, kShard = 6, kController = 10 };
+
+class Inverted {
+ public:
+  void Bad() {
+    MutexLock inner(shard_mu_);
+    MutexLock outer(controller_mu_);  // rank 10 after rank 6
+  }
+
+ private:
+  Mutex shard_mu_{LockRank::kShard};
+  Mutex controller_mu_{LockRank::kController};
+};
+
+// Indirect: the callee acquires kController while the caller holds
+// kShard.
+class Registry {
+ public:
+  void Touch() { MutexLock lock(mu_); }
+
+ private:
+  Mutex mu_{LockRank::kController};
+};
+
+class Shard {
+ public:
+  void Bad(Registry& r) {
+    MutexLock lock(mu_);
+    r.Touch();
+  }
+
+ private:
+  Mutex mu_{LockRank::kShard};
+};
+
+}  // namespace fixture

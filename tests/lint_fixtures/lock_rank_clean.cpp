@@ -1,0 +1,32 @@
+// prisma-lint fixture: legal acquisition orders produce no findings —
+// descending ranks (outermost highest), and same-rank nesting, which
+// the static check defers to the runtime construction-order validator.
+namespace fixture {
+
+enum class LockRank { kUnranked = -1, kShard = 6, kStage = 8, kController = 10 };
+
+class Ordered {
+ public:
+  void Good() {
+    MutexLock outer(controller_mu_);
+    MutexLock inner(shard_mu_);
+  }
+
+ private:
+  Mutex shard_mu_{LockRank::kShard};
+  Mutex controller_mu_{LockRank::kController};
+};
+
+class SameRankPair {
+ public:
+  void Nested() {
+    MutexLock a(first_mu_);
+    MutexLock b(second_mu_);  // equal ranks: runtime validator decides
+  }
+
+ private:
+  Mutex first_mu_{LockRank::kStage};
+  Mutex second_mu_{LockRank::kStage};
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// prisma-lint fixture: every raw standard-library / pthread
+// synchronization primitive outside src/common/mutex.{hpp,cpp} must be
+// flagged by no-raw-sync. Fixtures are lexed, never compiled.
+namespace fixture {
+
+std::mutex file_mu;
+std::condition_variable cv;
+
+void Locked() {
+  std::lock_guard<std::mutex> g(file_mu);
+  std::unique_lock<std::mutex> u(file_mu);
+}
+
+pthread_mutex_t raw;
+
+void Raw() { pthread_mutex_lock(&raw); }
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// prisma-lint fixture: the sanctioned synchronization vocabulary —
+// ranked prisma::Mutex, MutexLock, CondVar — produces no findings.
+namespace fixture {
+
+enum class LockRank { kUnranked = -1, kLeaf = 1 };
+
+class Counter {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++n_;
+  }
+
+ private:
+  Mutex mu_{LockRank::kLeaf};
+  CondVar changed_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,58 @@
+// prisma-lint regression fixture: two real violations that
+// no-blocking-under-lock caught in this repository before they were
+// fixed, frozen here so the detection never regresses.
+//
+// 1. TieringObject::Read statted the slow tier while holding mu_
+//    (src/dataplane/tiering_object.cpp): a promotion-size FileSize()
+//    probe — real backend I/O — ran inside the residency critical
+//    section. Fixed by computing candidacy under the lock, statting
+//    unlocked, and re-checking under the lock before enqueueing.
+// 2. UdsServer::AcceptLoop joined finished connection-handler threads
+//    while holding conns_mu_ (src/ipc/uds_server.cpp), stalling every
+//    new accept behind a handler's teardown. Fixed by swapping the
+//    finished list out under the lock and joining after release.
+namespace fixture {
+
+enum class LockRank { kUnranked = -1, kStage = 8, kRegistry = 9 };
+
+class Backend {
+ public:
+  long FileSize(const char* path);
+};
+
+long Backend::FileSize(const char* path) {
+  struct stat st;
+  if (stat(path, &st) != 0) return -1;
+  return st.st_size;
+}
+
+class Tiering {
+ public:
+  // Pre-fix shape of TieringObject::Read's promotion probe.
+  void MaybePromote(const char* path) {
+    MutexLock lock(mu_);
+    const long size = slow_.FileSize(path);  // backend stat under mu_
+    if (size >= 0) queued_ = true;
+  }
+
+ private:
+  Mutex mu_{LockRank::kStage};
+  Backend slow_;  // prisma-lint: unguarded(stateless in this fixture)
+  bool queued_ GUARDED_BY(mu_) = false;
+};
+
+class Server {
+ public:
+  // Pre-fix shape of UdsServer::AcceptLoop's reaping.
+  void ReapFinished() {
+    MutexLock lock(conns_mu_);
+    for (auto& t : finished_) t.join();  // thread join under conns_mu_
+    finished_.clear();
+  }
+
+ private:
+  Mutex conns_mu_{LockRank::kRegistry};
+  std::vector<std::thread> finished_ GUARDED_BY(conns_mu_);
+};
+
+}  // namespace fixture

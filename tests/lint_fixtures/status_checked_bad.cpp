@@ -1,0 +1,14 @@
+// prisma-lint fixture: silently dropping a Status/Result — as a bare
+// expression statement or behind a bare (void) cast — must be flagged
+// by status-checked.
+namespace fixture {
+
+Status Flush();
+Result<int> Parse(const char* s);
+
+void Caller() {
+  Flush();
+  (void)Parse("x");
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// prisma-lint fixture: the sanctioned ways to consume a Status/Result —
+// propagate it, branch on it, or discard it with a stated reason via
+// PRISMA_IGNORE_STATUS — produce no findings. File-scope declarations
+// of Status-returning functions are declarations, not dropped calls.
+namespace fixture {
+
+Status Flush();
+Result<int> Parse(const char* s);
+void Use(int v);
+
+Status Propagates() {
+  if (Status s = Flush(); !s.ok()) return s;
+  return Flush();
+}
+
+void Consumes() {
+  PRISMA_IGNORE_STATUS(Flush(), "shutdown path; the socket is already gone");
+  const auto r = Parse("x");
+  if (r.ok()) Use(*r);
+}
+
+}  // namespace fixture

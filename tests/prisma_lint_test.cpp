@@ -1,0 +1,141 @@
+// Golden-file tests for prisma-lint, plus the self-lint gate.
+//
+// Each fixture under tests/lint_fixtures/ is linted standalone through
+// the same Run() path the CLI uses, and the rendered findings must
+// match its .expected file byte for byte. The *_bad fixtures pin every
+// check's detection (weakening a check breaks its golden); the *_clean
+// fixtures pin the sanctioned escape hatches (a check that starts
+// over-reporting breaks those). regression_dataplane.cpp freezes two
+// real violations the linter caught in this repository before they
+// were fixed.
+//
+// SelfLint then runs the full-tree lint and asserts the source is
+// clean modulo the checked-in baseline — the same gate scripts/ci.sh
+// enforces.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver.hpp"
+
+namespace {
+
+const char* const kFixtureDir = PRISMA_SOURCE_DIR "/tests/lint_fixtures/";
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Lints one fixture in isolation (the fixture indexes itself, exactly
+/// like `prisma_lint --root "" --no-baseline <file>`) and renders the
+/// findings with the fixture directory stripped, matching .expected.
+std::string LintFixture(const std::string& name) {
+  prisma_lint::Options opt;
+  opt.targets.push_back(std::string(kFixtureDir) + name);
+  const prisma_lint::RunResult result = prisma_lint::Run(opt);
+  EXPECT_TRUE(result.errors.empty()) << name << ": " << result.errors[0];
+  std::string out;
+  for (const auto& f : result.findings) {
+    std::string line = f.ToString();
+    const std::string prefix(kFixtureDir);
+    if (line.rfind(prefix, 0) == 0) line = line.substr(prefix.size());
+    out += line + "\n";
+  }
+  return out;
+}
+
+struct FixtureCase {
+  const char* source;
+  const char* expected;
+};
+
+class PrismaLintGolden : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(PrismaLintGolden, MatchesExpected) {
+  const FixtureCase& c = GetParam();
+  EXPECT_EQ(LintFixture(c.source),
+            ReadFileOrDie(std::string(kFixtureDir) + c.expected))
+      << "fixture " << c.source
+      << " drifted from its golden; if the change is intentional, "
+         "regenerate with: build/tools/prisma_lint/prisma_lint --root \"\" "
+         "--no-baseline --quiet tests/lint_fixtures/"
+      << c.source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, PrismaLintGolden,
+    ::testing::Values(
+        FixtureCase{"no_raw_sync_bad.cpp", "no_raw_sync_bad.expected"},
+        FixtureCase{"no_raw_sync_clean.cpp", "no_raw_sync_clean.expected"},
+        FixtureCase{"blocking_under_lock_bad.cpp",
+                    "blocking_under_lock_bad.expected"},
+        FixtureCase{"blocking_under_lock_clean.cpp",
+                    "blocking_under_lock_clean.expected"},
+        FixtureCase{"guarded_by_bad.hpp", "guarded_by_bad.expected"},
+        FixtureCase{"guarded_by_clean.hpp", "guarded_by_clean.expected"},
+        FixtureCase{"status_checked_bad.cpp", "status_checked_bad.expected"},
+        FixtureCase{"status_checked_clean.cpp",
+                    "status_checked_clean.expected"},
+        FixtureCase{"lock_rank_bad.cpp", "lock_rank_bad.expected"},
+        FixtureCase{"lock_rank_clean.cpp", "lock_rank_clean.expected"},
+        FixtureCase{"regression_dataplane.cpp",
+                    "regression_dataplane.expected"}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      std::string name = info.param.source;
+      for (char& ch : name) {
+        if (ch == '.') ch = '_';
+      }
+      return name;
+    });
+
+// Structural guarantees the goldens rely on: every *_bad fixture
+// reports at least one finding from its own check, every *_clean
+// fixture reports none. (The goldens already enforce this byte for
+// byte; these assertions keep the intent obvious if a golden is ever
+// regenerated carelessly.)
+TEST(PrismaLintFixtures, BadFixturesFindAndCleanFixturesDoNot) {
+  const std::vector<std::pair<std::string, std::string>> bad = {
+      {"no_raw_sync_bad.cpp", "no-raw-sync"},
+      {"blocking_under_lock_bad.cpp", "no-blocking-under-lock"},
+      {"guarded_by_bad.hpp", "guarded-by-coverage"},
+      {"status_checked_bad.cpp", "status-checked"},
+      {"lock_rank_bad.cpp", "lock-rank-static"},
+      {"regression_dataplane.cpp", "no-blocking-under-lock"},
+  };
+  for (const auto& [file, check] : bad) {
+    const std::string out = LintFixture(file);
+    EXPECT_NE(out.find("[" + check + "]"), std::string::npos)
+        << file << " no longer triggers " << check;
+  }
+  for (const char* file :
+       {"no_raw_sync_clean.cpp", "blocking_under_lock_clean.cpp",
+        "guarded_by_clean.hpp", "status_checked_clean.cpp",
+        "lock_rank_clean.cpp"}) {
+    EXPECT_EQ(LintFixture(file), "") << file << " should lint clean";
+  }
+}
+
+// The gate: the tree itself lints clean modulo the checked-in baseline.
+// This is the same configuration `scripts/ci.sh lint` runs.
+TEST(PrismaLintSelfLint, SourceTreeIsClean) {
+  prisma_lint::Options opt;
+  opt.root = PRISMA_SOURCE_DIR;
+  opt.baseline = std::string(PRISMA_SOURCE_DIR) +
+                 "/scripts/prisma-lint-baseline.txt";
+  const prisma_lint::RunResult result = prisma_lint::Run(opt);
+  for (const auto& e : result.errors) ADD_FAILURE() << e;
+  for (const auto& f : result.findings) {
+    ADD_FAILURE() << f.ToString()
+                  << "\n(fix the violation; the baseline is a last resort "
+                     "and every entry needs a reason comment)";
+  }
+}
+
+}  // namespace

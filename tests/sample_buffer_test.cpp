@@ -251,7 +251,10 @@ TEST(SampleBufferTest, SetShardCountMigratesResidents) {
 
 TEST(SampleBufferTest, SetShardCountRefusesWhileConsumerBlocked) {
   SampleBuffer buf(4, TestClock(), 4);
-  std::thread consumer([&] { (void)buf.Take("pending"); });
+  std::thread consumer([&] {
+    PRISMA_IGNORE_STATUS(buf.Take("pending"),
+                         "unblocked by Close below; value irrelevant");
+  });
   // Wait until the consumer has registered as awaited.
   for (int i = 0; i < 500 && buf.SetShardCount(2).ok(); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));

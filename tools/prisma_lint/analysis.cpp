@@ -1,0 +1,700 @@
+#include "analysis.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace prisma_lint {
+namespace {
+
+using Kind = Token::Kind;
+
+std::string Trim(std::string s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// True when `comment` carries a suppression for `check`:
+///   prisma-lint: allow(<check>[, reason])
+///   prisma-lint: unguarded(<reason>)        (guarded-by-coverage only)
+bool HasMarker(const std::string& comment, const std::string& check) {
+  std::size_t p = comment.find("prisma-lint:");
+  if (p == std::string::npos) return false;
+  const std::string rest = comment.substr(p + 12);
+  for (std::size_t a = rest.find("allow("); a != std::string::npos;
+       a = rest.find("allow(", a + 1)) {
+    const std::string inner = rest.substr(a + 6);
+    const std::size_t e = inner.find_first_of(",)");
+    const std::string name = Trim(inner.substr(0, e));
+    if (name == check || name == "all") return true;
+  }
+  if (check == "guarded-by-coverage" &&
+      rest.find("unguarded(") != std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + check + "] " + message;
+}
+
+std::string Finding::Fingerprint() const {
+  const std::size_t slash = file.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? file : file.substr(slash + 1);
+  return base + ": [" + check + "] " + message;
+}
+
+bool IsSuppressed(const FileTokens& file, int line, const std::string& check) {
+  if (HasMarker(file.CommentAt(line), check)) return true;
+  // A suppression may sit on its own line (or a short run of comment
+  // lines) immediately above the flagged statement.
+  for (int l = line - 1; l > 0 && file.comment_only_lines.count(l); --l) {
+    if (HasMarker(file.CommentAt(l), check)) return true;
+  }
+  return false;
+}
+
+bool IsKeyword(const std::string& s) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "if",       "else",     "for",       "while",    "do",
+      "switch",   "case",     "default",   "return",   "break",
+      "continue", "goto",     "new",       "delete",   "sizeof",
+      "alignof",  "alignas",  "static_assert",         "using",
+      "namespace","template", "typename",  "class",    "struct",
+      "enum",     "union",    "public",    "private",  "protected",
+      "virtual",  "override", "final",     "const",    "constexpr",
+      "consteval","constinit","static",    "inline",   "friend",
+      "typedef",  "operator", "this",      "true",     "false",
+      "nullptr",  "try",      "catch",     "throw",    "co_await",
+      "co_return","co_yield", "decltype",  "noexcept", "auto",
+      "void",     "int",      "char",      "short",    "long",
+      "float",    "double",   "bool",      "unsigned", "signed",
+      "wchar_t",  "reinterpret_cast",      "static_cast",
+      "dynamic_cast",         "const_cast","extern",   "register",
+      "volatile", "mutable",  "explicit",  "export",   "requires",
+      "concept",  "asm",      "defined",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+bool CrossTuResolvable(const std::string& name) {
+  return !name.empty() && name[0] >= 'A' && name[0] <= 'Z';
+}
+
+std::size_t MatchForward(const std::vector<Token>& t, std::size_t open) {
+  const std::string& o = t[open].text;
+  const std::string c = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == o) {
+      ++depth;
+    } else if (t[i].text == c) {
+      if (--depth == 0) return i;
+    }
+  }
+  return t.size() - 1;  // unbalanced; clamp to EOF
+}
+
+// ---------------------------------------------------------------------------
+// Class discovery.
+
+std::vector<ClassInfo> ScanClasses(const FileTokens& file) {
+  const auto& t = file.tokens;
+  std::vector<ClassInfo> out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdent) continue;
+    if (t[i].text == "enum") {
+      // Skip the whole enum: `enum class X : int { ... }` would
+      // otherwise read as a class definition named X.
+      std::size_t j = i + 1;
+      while (j < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+      if (j < t.size() && t[j].text == "{") j = MatchForward(t, j);
+      i = j;
+      continue;
+    }
+    if (t[i].text != "class" && t[i].text != "struct") continue;
+    std::string name;
+    std::size_t j = i + 1;
+    bool is_def = false;
+    while (j < t.size()) {
+      const Token& u = t[j];
+      if (u.text == ";" || u.text == ")" || u.text == ">" || u.text == "," ||
+          u.text == "*" || u.text == "&") {
+        break;  // forward declaration or elaborated type use
+      }
+      if (u.text == "{") {
+        is_def = true;
+        break;
+      }
+      if (u.text == ":") {
+        // Base clause: the name is settled; find the body brace.
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+        is_def = j < t.size() && t[j].text == "{";
+        break;
+      }
+      if (u.text == "[") {  // [[attribute]]
+        j = MatchForward(t, j) + 1;
+        continue;
+      }
+      if (u.kind == Kind::kIdent) {
+        if (u.text == "final") {
+          ++j;
+          continue;
+        }
+        // An identifier followed by a paren group is an attribute macro
+        // (CAPABILITY("mutex")), not the class name.
+        if (j + 1 < t.size() && t[j + 1].text == "(") {
+          j = MatchForward(t, j + 1) + 1;
+          continue;
+        }
+        if (!name.empty()) {
+          // Two plain identifiers: `struct stat st{};` — a variable
+          // declaration with an elaborated type, not a definition.
+          name.clear();
+          break;
+        }
+        name = u.text;
+        ++j;
+        continue;
+      }
+      ++j;
+    }
+    if (!is_def || name.empty()) continue;
+    ClassInfo ci;
+    ci.name = name;
+    ci.line = t[i].line;
+    ci.body_begin = j + 1;
+    ci.body_end = MatchForward(t, j);
+    out.push_back(ci);
+    // Keep scanning inside the body so nested classes are found too.
+  }
+  return out;
+}
+
+std::optional<std::string> EnclosingClass(const std::vector<ClassInfo>& classes,
+                                          std::size_t i) {
+  const ClassInfo* best = nullptr;
+  for (const auto& c : classes) {
+    if (c.body_begin <= i && i < c.body_end) {
+      if (!best || (c.body_end - c.body_begin) < (best->body_end - best->body_begin)) {
+        best = &c;
+      }
+    }
+  }
+  if (!best) return std::nullopt;
+  return best->name;
+}
+
+// ---------------------------------------------------------------------------
+// Function discovery with lock liveness.
+
+const std::unordered_set<std::string>& BlockingPrimitives() {
+  static const std::unordered_set<std::string> kBlocking = {
+      // Syscall-level I/O and waits.
+      "read", "write", "pread", "pwrite", "readv", "writev", "preadv",
+      "pwritev", "recv", "send", "recvfrom", "sendto", "recvmsg", "sendmsg",
+      "accept", "accept4", "connect", "poll", "ppoll", "select", "epoll_wait",
+      "open", "openat", "fsync", "fdatasync", "stat", "fstat", "lstat",
+      "unlink", "rename", "ftruncate",
+      // libc stream I/O.
+      "fopen", "fread", "fwrite", "fgets", "fflush", "getline",
+      // Sleeps and thread joins.
+      "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until", "join",
+      // C++ file streams (flagged at construction).
+      "ifstream", "ofstream", "fstream",
+      // Process spawning.
+      "system", "popen",
+  };
+  return kBlocking;
+}
+
+namespace {
+
+bool IsLambdaStart(const std::vector<Token>& t, std::size_t k) {
+  if (t[k].text != "[") return false;
+  if (k == 0) return true;
+  const Token& p = t[k - 1];
+  if (p.kind == Kind::kIdent && !IsKeyword(p.text)) return false;  // subscript
+  if (p.kind == Kind::kNumber || p.kind == Kind::kString) return false;
+  if (p.text == ")" || p.text == "]") return false;
+  return true;
+}
+
+struct LiveLock {
+  std::string var;
+  std::string mutex_name;
+  std::string key;
+  int rank = -1;
+  int depth = 0;
+  bool held = true;
+};
+
+std::vector<HeldLock> Held(const std::vector<LiveLock>& locks) {
+  std::vector<HeldLock> out;
+  for (const auto& l : locks) {
+    if (l.held) out.push_back({l.mutex_name, l.rank});
+  }
+  return out;
+}
+
+void AnalyzeBody(const std::vector<Token>& t, std::size_t begin,
+                 std::size_t end, const ProjectIndex* index, FnDef& def) {
+  std::vector<LiveLock> locks;
+  int depth = 0;
+  for (std::size_t k = begin; k < end; ++k) {
+    const Token& tok = t[k];
+    if (tok.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (tok.text == "}") {
+      --depth;
+      std::erase_if(locks, [depth](const LiveLock& l) { return l.depth > depth; });
+      continue;
+    }
+    // Lambda bodies are deferred code: they may run on another thread or
+    // after the lock is gone, so their contents neither inherit the
+    // current lock set nor contribute to this function's call/blocking
+    // profile. (Token-global checks still see them.)
+    if (IsLambdaStart(t, k)) {
+      std::size_t e = MatchForward(t, k);
+      std::size_t j = e + 1;
+      if (j < end && t[j].text == "(") j = MatchForward(t, j) + 1;
+      while (j < end &&
+             (t[j].kind == Kind::kIdent || t[j].text == "->" ||
+              t[j].text == "::" || t[j].text == "<" || t[j].text == ">" ||
+              t[j].text == "*" || t[j].text == "&")) {
+        ++j;
+      }
+      k = (j < end && t[j].text == "{") ? MatchForward(t, j) : e;
+      continue;
+    }
+    if (tok.kind != Kind::kIdent) continue;
+
+    // MutexLock declaration: `MutexLock lock(mu_);` / `{shard->mu}`.
+    if (tok.text == "MutexLock" && k + 2 < end &&
+        t[k + 1].kind == Kind::kIdent &&
+        (t[k + 2].text == "(" || t[k + 2].text == "{")) {
+      const std::size_t open = k + 2;
+      const std::size_t close = MatchForward(t, open);
+      std::string mname;
+      std::size_t ident_count = 0;
+      for (std::size_t q = open + 1; q < close; ++q) {
+        if (t[q].kind == Kind::kIdent) {
+          mname = t[q].text;
+          ++ident_count;
+        }
+      }
+      std::string key;
+      if (ident_count == 1 && !def.class_name.empty()) {
+        key = def.class_name + "::" + mname;  // bare member of this class
+      }
+      AcquireSite site;
+      site.mutex_name = mname;
+      site.lookup_key = key;
+      site.line = tok.line;
+      site.held_before = Held(locks);
+      def.acquires.push_back(site);
+      const int rank = index ? index->RankOf(key, mname) : -1;
+      locks.push_back({t[k + 1].text, mname, key, rank, depth, true});
+      k = close;
+      continue;
+    }
+    // Relock/unlock toggles on a tracked MutexLock variable.
+    if (k + 2 < end && t[k + 1].text == "." && t[k + 2].kind == Kind::kIdent &&
+        (t[k + 2].text == "Unlock" || t[k + 2].text == "Lock")) {
+      for (auto it = locks.rbegin(); it != locks.rend(); ++it) {
+        if (it->var == tok.text) {
+          it->held = t[k + 2].text == "Lock";
+          break;
+        }
+      }
+      k += 2;
+      continue;
+    }
+    // Blocking primitives: `::read(...)`, `stream.read(...)`, and
+    // stream construction `std::ifstream in(path)`.
+    if (BlockingPrimitives().count(tok.text) != 0 && k + 1 < end &&
+        (t[k + 1].text == "(" || t[k + 1].kind == Kind::kIdent)) {
+      CallSite site{tok.text, tok.line, Held(locks)};
+      def.blocking.push_back(site);
+      continue;
+    }
+    // Ordinary calls: project-graph edges with the live lock set.
+    if (k + 1 < end && t[k + 1].text == "(" && !IsKeyword(tok.text) &&
+        tok.text != "MutexLock") {
+      def.calls.push_back({tok.text, tok.line, Held(locks)});
+      continue;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FnDef> ScanFunctions(const FileTokens& file,
+                                 const std::vector<ClassInfo>& classes,
+                                 const ProjectIndex* index) {
+  const auto& t = file.tokens;
+  std::vector<FnDef> out;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdent || IsKeyword(t[i].text)) continue;
+    if (t[i + 1].text != "(") continue;
+    const std::size_t close = MatchForward(t, i + 1);
+    if (close + 1 >= t.size()) continue;
+
+    // Decide definition vs. call/declaration: walk the tokens between
+    // the parameter list and a possible body brace. Qualifiers,
+    // annotation macros (REQUIRES(mu_) ...), trailing return types and
+    // constructor init lists are stepped over; anything else means this
+    // was an expression.
+    std::size_t j = close + 1;
+    bool is_def = false;
+    while (j < t.size()) {
+      const std::string& s = t[j].text;
+      if (s == "{") {
+        is_def = true;
+        break;
+      }
+      if (s == ";" || s == "," || s == ")" || s == "]" || s == "}" ||
+          s == "=") {
+        break;
+      }
+      if (s == ":") {
+        // Constructor init list: ident + group, comma-separated, then
+        // the body brace.
+        ++j;
+        while (j < t.size()) {
+          while (j < t.size() &&
+                 (t[j].kind == Kind::kIdent || t[j].text == "::" ||
+                  t[j].text == "<" || t[j].text == ">" || t[j].text == ",")) {
+            ++j;
+          }
+          if (j >= t.size() || (t[j].text != "(" && t[j].text != "{")) break;
+          const std::size_t e = MatchForward(t, j);
+          j = e + 1;
+          if (j < t.size() && t[j].text == ",") {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (j < t.size() && t[j].text == "{") is_def = true;
+        break;
+      }
+      if (t[j].kind == Kind::kIdent) {
+        ++j;
+        if (j < t.size() && t[j].text == "(") j = MatchForward(t, j) + 1;
+        continue;
+      }
+      if (s == "->" || s == "::" || s == "<" || s == ">" || s == ">>" ||
+          s == "*" || s == "&" || s == "&&" || s == "[") {
+        j = (s == "[") ? MatchForward(t, j) + 1 : j + 1;
+        continue;
+      }
+      break;
+    }
+    if (!is_def) continue;
+
+    FnDef def;
+    def.name = t[i].text;
+    def.file = file.path;
+    def.line = t[i].line;
+    if (i >= 2 && t[i - 1].text == "::" && t[i - 2].kind == Kind::kIdent) {
+      def.class_name = t[i - 2].text;
+    } else if (auto cls = EnclosingClass(classes, i)) {
+      def.class_name = *cls;
+    }
+    const std::size_t body_end = MatchForward(t, j);
+    def.body_begin = j + 1;
+    def.body_end = body_end;
+    AnalyzeBody(t, j + 1, body_end, index, def);
+    out.push_back(std::move(def));
+    i = body_end;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Index construction.
+
+void IndexDeclarations(const FileTokens& file,
+                       const std::vector<ClassInfo>& classes,
+                       ProjectIndex& index) {
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdent) continue;
+    const std::string& s = t[i].text;
+
+    // `enum class LockRank { kLeaf = 1, ... }` — the rank table.
+    if (s == "enum") {
+      std::size_t j = i + 1;
+      if (j < t.size() && (t[j].text == "class" || t[j].text == "struct")) ++j;
+      if (j < t.size() && t[j].text == "LockRank") {
+        while (j < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+        if (j < t.size() && t[j].text == "{") {
+          const std::size_t e = MatchForward(t, j);
+          int next_val = 0;
+          for (std::size_t q = j + 1; q < e; ++q) {
+            if (t[q].kind != Kind::kIdent) continue;
+            const std::string name = t[q].text;
+            int val = next_val;
+            if (q + 1 < e && t[q + 1].text == "=") {
+              std::size_t p = q + 2;
+              int sign = 1;
+              if (p < e && t[p].text == "-") {
+                sign = -1;
+                ++p;
+              }
+              if (p < e && t[p].kind == Kind::kNumber) {
+                val = sign * std::atoi(t[p].text.c_str());
+              }
+              q = p;
+            }
+            index.rank_values[name] = val;
+            next_val = val + 1;
+            while (q < e && t[q].text != ",") ++q;
+          }
+          i = e;
+          continue;
+        }
+      }
+    }
+
+    // Mutex member declarations: `Mutex mu_{LockRank::kStage};`,
+    // `mutable Mutex conns_mu_{LockRank::kRegistry};`, `Mutex mu_;`.
+    if (s == "Mutex" && i + 1 < t.size() && t[i + 1].kind == Kind::kIdent &&
+        (i == 0 || (t[i - 1].text != "class" && t[i - 1].text != "struct"))) {
+      const std::string mname = t[i + 1].text;
+      std::size_t j = i + 2;
+      std::string rank_name = "kUnranked";
+      if (j < t.size() && (t[j].text == "{" || t[j].text == "(")) {
+        const std::size_t e = MatchForward(t, j);
+        for (std::size_t q = j + 1; q < e; ++q) {
+          if (t[q].kind == Kind::kIdent && t[q].text.rfind('k', 0) == 0 &&
+              t[q].text != "LockRank") {
+            rank_name = t[q].text;
+          }
+        }
+        j = e + 1;
+      }
+      if (j < t.size() && t[j].text == ";") {
+        std::string key = mname;
+        if (auto cls = EnclosingClass(classes, i)) key = *cls + "::" + mname;
+        index.raw_mutex_decls[key].push_back(rank_name);
+      }
+    }
+
+    // Non-Status return types: any name declared with one of these
+    // return types anywhere disqualifies the whole name from the
+    // status-checked heuristic (see ProjectIndex::nonstatus_fns).
+    static const std::unordered_set<std::string> kNonStatusReturn = {
+        "void",     "bool",     "int",      "long",       "short",
+        "unsigned", "float",    "double",   "char",       "size_t",
+        "uint64_t", "int64_t",  "uint32_t", "int32_t",    "uint8_t",
+        "optional", "string",   "string_view",            "vector",
+    };
+    if (kNonStatusReturn.count(s) != 0 &&
+        (i == 0 || (t[i - 1].text != "(" && t[i - 1].text != "," &&
+                    t[i - 1].text != "<"))) {
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].text == "<") {  // optional<T>, vector<T>
+        int d = 0;
+        for (; j < t.size(); ++j) {
+          if (t[j].text == "<") {
+            ++d;
+          } else if (t[j].text == ">") {
+            if (--d == 0) {
+              ++j;
+              break;
+            }
+          } else if (t[j].text == ">>") {
+            d -= 2;
+            if (d <= 0) {
+              ++j;
+              break;
+            }
+          } else if (t[j].text == ";" || t[j].text == "{") {
+            break;
+          }
+        }
+      }
+      std::string last;
+      while (j + 1 < t.size() && t[j].kind == Kind::kIdent &&
+             !IsKeyword(t[j].text)) {
+        last = t[j].text;
+        if (t[j + 1].text == "::") {
+          j += 2;
+          continue;
+        }
+        ++j;
+        break;
+      }
+      if (!last.empty() && j < t.size() && t[j].text == "(") {
+        index.nonstatus_fns.insert(last);
+      }
+    }
+
+    // Status / Result<T> returning declarations and definitions.
+    if (s == "Status" || s == "Result") {
+      std::size_t j = i + 1;
+      if (s == "Result") {
+        if (j >= t.size() || t[j].text != "<") continue;
+        int d = 0;
+        bool closed = false;
+        for (; j < t.size(); ++j) {
+          if (t[j].text == "<") {
+            ++d;
+          } else if (t[j].text == ">") {
+            if (--d == 0) {
+              ++j;
+              closed = true;
+              break;
+            }
+          } else if (t[j].text == ">>") {
+            d -= 2;
+            if (d <= 0) {
+              ++j;
+              closed = true;
+              break;
+            }
+          } else if (t[j].text == ";" || t[j].text == "{") {
+            break;
+          }
+        }
+        if (!closed) continue;
+      }
+      std::string last;
+      while (j + 1 < t.size() && t[j].kind == Kind::kIdent) {
+        last = t[j].text;
+        if (t[j + 1].text == "::") {
+          j += 2;
+          continue;
+        }
+        ++j;
+        break;
+      }
+      if (!last.empty() && j < t.size() && t[j].text == "(") {
+        index.status_fns.insert(last);
+      }
+    }
+  }
+}
+
+int ProjectIndex::RankOf(const std::string& key,
+                         const std::string& bare_name) const {
+  if (!key.empty()) {
+    const auto it = mutex_ranks.find(key);
+    if (it != mutex_ranks.end()) return it->second;
+  }
+  if (ambiguous_mutex_names.count(bare_name) == 0) {
+    const auto it = mutex_ranks.find(bare_name);
+    if (it != mutex_ranks.end()) return it->second;
+  }
+  return -1;
+}
+
+void FinalizeIndex(ProjectIndex& index) {
+  // Resolve mutex declarations to numeric ranks; aggregate bare member
+  // names across classes, marking collisions ambiguous so RankOf never
+  // guesses between e.g. TieringObject::mu_ (kStage) and
+  // PageCacheModel::mu_ (kPageCache).
+  std::unordered_map<std::string, std::unordered_set<int>> bare;
+  for (const auto& [key, names] : index.raw_mutex_decls) {
+    std::unordered_set<int> vals;
+    for (const auto& n : names) {
+      const auto it = index.rank_values.find(n);
+      vals.insert(it == index.rank_values.end() ? -1 : it->second);
+    }
+    if (vals.size() == 1) {
+      const int v = *vals.begin();
+      if (v >= 0) index.mutex_ranks[key] = v;
+      const std::size_t sep = key.rfind("::");
+      const std::string member =
+          sep == std::string::npos ? key : key.substr(sep + 2);
+      bare[member].insert(v);
+    }
+  }
+  for (const auto& [member, vals] : bare) {
+    if (index.mutex_ranks.count(member) != 0) continue;  // already a key
+    if (vals.size() == 1 && *vals.begin() >= 0) {
+      index.mutex_ranks[member] = *vals.begin();
+    } else if (vals.size() > 1) {
+      index.ambiguous_mutex_names.insert(member);
+    }
+  }
+
+  // A name only counts as Status-returning when every declaration of
+  // that name in the project agrees (name-keyed ⇒ overload-blind).
+  for (const auto& n : index.nonstatus_fns) index.status_fns.erase(n);
+
+  // Blocking closure over the name-keyed call graph.
+  for (const auto& [name, defs] : index.fns) {
+    for (const auto& def : defs) {
+      if (!def.blocking.empty()) {
+        index.blocking_chain[name] = name + " -> " + def.blocking[0].name;
+        break;
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, defs] : index.fns) {
+      if (index.blocking_chain.count(name) != 0) continue;
+      for (const auto& def : defs) {
+        for (const auto& call : def.calls) {
+          if (call.name == name || !CrossTuResolvable(call.name)) continue;
+          if (index.fns.count(call.name) == 0) continue;
+          const auto it = index.blocking_chain.find(call.name);
+          if (it != index.blocking_chain.end()) {
+            index.blocking_chain[name] = name + " -> " + it->second;
+            changed = true;
+            break;
+          }
+        }
+        if (index.blocking_chain.count(name) != 0) break;
+      }
+    }
+  }
+
+  // Effective acquisition ranks, to a fixpoint.
+  for (const auto& [name, defs] : index.fns) {
+    for (const auto& def : defs) {
+      for (const auto& a : def.acquires) {
+        const int r = index.RankOf(a.lookup_key, a.mutex_name);
+        if (r < 0) continue;
+        auto& m = index.effective_ranks[name];
+        if (m.count(r) == 0) m[r] = name + " locks " + a.mutex_name;
+      }
+    }
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, defs] : index.fns) {
+      for (const auto& def : defs) {
+        for (const auto& call : def.calls) {
+          if (call.name == name || !CrossTuResolvable(call.name)) continue;
+          if (index.fns.count(call.name) == 0) continue;
+          const auto it = index.effective_ranks.find(call.name);
+          if (it == index.effective_ranks.end()) continue;
+          const auto src = it->second;  // copy: inserts below may rehash
+          auto& m = index.effective_ranks[name];
+          for (const auto& [r, chain] : src) {
+            if (m.count(r) == 0) {
+              m[r] = name + " -> " + chain;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace prisma_lint

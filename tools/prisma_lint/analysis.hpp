@@ -1,0 +1,174 @@
+// Shared token-level analysis for prisma-lint: findings, suppression
+// comments, class-body discovery, function-body discovery with lock
+// liveness, and the cross-TU project index the interprocedural checks
+// (no-blocking-under-lock, lock-rank-static, status-checked) consume.
+//
+// Everything here is approximate on purpose: the call graph is keyed by
+// bare function name (the linter cannot resolve overloads or virtual
+// dispatch — which is the conservative choice for `backend->Read(...)`,
+// where *some* override really does block), and lock liveness follows
+// MutexLock declarations, Unlock()/Lock() toggles, and brace scopes.
+// False negatives are accepted (macro-hidden locks); false positives
+// are silenced at the site with an explicit reasoned suppression.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace prisma_lint {
+
+struct Finding {
+  std::string file;   // as given to the driver
+  int line = 0;
+  std::string check;  // e.g. "no-raw-sync"
+  std::string message;
+
+  /// "file:line: [check] message" — the emitted form.
+  std::string ToString() const;
+  /// "basename: [check] message" — the baseline fingerprint (path dirs
+  /// and line numbers stripped so refactors that move code do not churn
+  /// the baseline file).
+  std::string Fingerprint() const;
+};
+
+/// True when `line` (or a run of comment-only lines immediately above
+/// it) carries `prisma-lint: allow(<check>...)` — or, for the
+/// guarded-by-coverage check, the dedicated `prisma-lint:
+/// unguarded(<reason>)` form.
+bool IsSuppressed(const FileTokens& file, int line, const std::string& check);
+
+// ---------------------------------------------------------------------------
+// Class discovery (guarded-by-coverage, mutex-member ranks).
+
+struct ClassInfo {
+  std::string name;
+  std::size_t body_begin = 0;  // token index just past '{'
+  std::size_t body_end = 0;    // token index of matching '}'
+  int line = 0;
+};
+
+/// All class/struct definitions in the file, innermost included.
+std::vector<ClassInfo> ScanClasses(const FileTokens& file);
+
+/// Name of the innermost class whose body contains token index `i`.
+std::optional<std::string> EnclosingClass(const std::vector<ClassInfo>& classes,
+                                          std::size_t i);
+
+// ---------------------------------------------------------------------------
+// Function discovery with lock liveness.
+
+/// A MutexLock live at some site, as (mutex member name, rank).
+/// rank < 0 means the rank could not be resolved.
+struct HeldLock {
+  std::string mutex_name;
+  int rank = -1;
+};
+
+struct CallSite {
+  std::string name;
+  int line = 0;
+  std::vector<HeldLock> held;  // locks live at the call
+};
+
+struct AcquireSite {
+  std::string mutex_name;      // last identifier of the lock expression
+  std::string lookup_key;      // Class::member when resolvable
+  int line = 0;
+  std::vector<HeldLock> held_before;
+};
+
+struct FnDef {
+  std::string name;            // unqualified
+  std::string class_name;      // qualifier or enclosing class ("" if free)
+  std::string file;
+  int line = 0;
+  std::size_t body_begin = 0;  // token index just past the body '{'
+  std::size_t body_end = 0;    // token index of the matching '}'
+  std::vector<CallSite> calls;        // every project-relevant call
+  std::vector<CallSite> blocking;     // calls to the primitive blocking set
+  std::vector<AcquireSite> acquires;  // MutexLock construction sites
+};
+
+/// Whether a callee name may be resolved through the name-keyed
+/// cross-TU graph. Project methods are CamelCase, so lowercase names
+/// (size, empty, find, ...) are far more likely to be STL container
+/// calls than calls to a same-named project function — resolving them
+/// drowns every `vec.size()` in whatever a project `size()` does.
+bool CrossTuResolvable(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Cross-TU project index.
+
+struct ProjectIndex {
+  /// LockRank enumerator -> numeric value, parsed from the (single)
+  /// `enum class LockRank` definition in the indexed set.
+  std::map<std::string, int> rank_values;
+
+  /// Mutex declaration -> rank. Keyed twice: "Class::member" and, when
+  /// unambiguous across the project, the bare member name.
+  std::unordered_map<std::string, int> mutex_ranks;
+  std::unordered_set<std::string> ambiguous_mutex_names;
+
+  /// Raw declarations collected during indexing (key -> LockRank
+  /// enumerator names seen); resolved to mutex_ranks by FinalizeIndex,
+  /// since the enum definition may be indexed after its uses.
+  std::unordered_map<std::string, std::vector<std::string>> raw_mutex_decls;
+
+  /// Functions whose declared return type is Status or Result<...>.
+  /// Names that ALSO appear with a non-Status return type anywhere in
+  /// the project (e.g. BoundedQueue::TryPush returns Status but
+  /// SpscRing::TryPush returns bool) are removed by FinalizeIndex —
+  /// a name-keyed check must only fire when every overload agrees.
+  std::unordered_set<std::string> status_fns;
+  std::unordered_set<std::string> nonstatus_fns;
+
+  /// Every function definition, keyed by unqualified name (merging
+  /// overloads and same-named methods — see file comment).
+  std::unordered_map<std::string, std::vector<FnDef>> fns;
+
+  /// Blocking closure: function name -> witness chain ending in a
+  /// primitive blocking call, e.g. "FileSize -> stat". Seeded by the
+  /// primitive set, propagated through the call graph to a fixpoint.
+  std::unordered_map<std::string, std::string> blocking_chain;
+
+  /// Effective acquisitions: function name -> (rank -> witness chain),
+  /// the ranks a call to this function may end up acquiring.
+  std::unordered_map<std::string, std::map<int, std::string>> effective_ranks;
+
+  int RankOf(const std::string& key, const std::string& bare_name) const;
+};
+
+/// The primitive blocking set (syscalls / std waits that must not run
+/// under a prisma::Mutex). Exposed for tests and docs.
+const std::unordered_set<std::string>& BlockingPrimitives();
+
+/// Scans one file's token stream into function definitions (with lock
+/// liveness resolved against `index` when provided for ranks) plus the
+/// file-local contributions to the index. Used in two passes: pass 1
+/// builds the index from every file; pass 2 re-scans target files with
+/// the full index available so held-lock ranks resolve.
+std::vector<FnDef> ScanFunctions(const FileTokens& file,
+                                 const std::vector<ClassInfo>& classes,
+                                 const ProjectIndex* index);
+
+/// Collects declarations into the index: LockRank enum values, Mutex
+/// member ranks, Status/Result-returning function names.
+void IndexDeclarations(const FileTokens& file,
+                       const std::vector<ClassInfo>& classes,
+                       ProjectIndex& index);
+
+/// Finalizes derived state (bare-name mutex ranks, blocking closure,
+/// effective rank sets) once every file has been indexed.
+void FinalizeIndex(ProjectIndex& index);
+
+// Token helpers shared by checks.
+bool IsKeyword(const std::string& s);
+std::size_t MatchForward(const std::vector<Token>& t, std::size_t open);
+
+}  // namespace prisma_lint

@@ -1,0 +1,421 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace prisma_lint {
+namespace {
+
+using Kind = Token::Kind;
+
+void Emit(std::vector<Finding>& out, const FileTokens& file, int line,
+          const char* check, std::string message) {
+  if (IsSuppressed(file, line, check)) return;
+  out.push_back({file.path, line, check, std::move(message)});
+}
+
+bool PathEndsWith(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string RankLabel(const ProjectIndex& index, int rank) {
+  for (const auto& [name, v] : index.rank_values) {
+    if (v == rank) return name;
+  }
+  return "rank " + std::to_string(rank);
+}
+
+std::string HeldLabel(const std::vector<HeldLock>& held) {
+  std::string s;
+  for (const auto& h : held) {
+    if (!s.empty()) s += ", ";
+    s += "'" + h.mutex_name + "'";
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllChecks() {
+  static const std::vector<std::string> kAll = {
+      kNoRawSync, kNoBlockingUnderLock, kGuardedByCoverage, kStatusChecked,
+      kLockRankStatic};
+  return kAll;
+}
+
+// ---------------------------------------------------------------------------
+// (1) no-raw-sync
+
+void CheckNoRawSync(const FileTokens& file, std::vector<Finding>& out) {
+  // The one place allowed to touch the std primitives: the wrapper that
+  // gives them ranks and TSA capabilities.
+  if (PathEndsWith(file.path, "common/mutex.hpp") ||
+      PathEndsWith(file.path, "common/mutex.cpp")) {
+    return;
+  }
+  static const std::set<std::string> kRawStd = {
+      "mutex",          "recursive_mutex",       "timed_mutex",
+      "recursive_timed_mutex",                   "shared_mutex",
+      "shared_timed_mutex",                      "condition_variable",
+      "condition_variable_any",                  "lock_guard",
+      "unique_lock",    "scoped_lock",           "shared_lock",
+  };
+  static const std::set<std::string> kRawPthread = {
+      "pthread_mutex_t",    "pthread_mutex_init", "pthread_mutex_lock",
+      "pthread_mutex_unlock", "pthread_cond_t",   "pthread_cond_init",
+      "pthread_cond_wait",  "pthread_cond_signal",
+  };
+  const auto& t = file.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdent) continue;
+    if (t[i].text == "std" && t[i + 1].text == "::" &&
+        t[i + 2].kind == Kind::kIdent && kRawStd.count(t[i + 2].text) != 0) {
+      Emit(out, file, t[i + 2].line, kNoRawSync,
+           "raw std::" + t[i + 2].text +
+               " is forbidden outside src/common/mutex.{hpp,cpp}; use the "
+               "ranked prisma::Mutex / MutexLock / CondVar");
+      i += 2;
+      continue;
+    }
+    if (kRawPthread.count(t[i].text) != 0) {
+      Emit(out, file, t[i].line, kNoRawSync,
+           "raw " + t[i].text +
+               " is forbidden; use the ranked prisma::Mutex / MutexLock / "
+               "CondVar");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (2) no-blocking-under-lock
+
+void CheckNoBlockingUnderLock(const FileTokens& file,
+                              const std::vector<FnDef>& fns,
+                              const ProjectIndex& index,
+                              std::vector<Finding>& out) {
+  std::set<std::pair<int, std::string>> seen;  // (line, callee) dedup
+  for (const auto& fn : fns) {
+    for (const auto& b : fn.blocking) {
+      if (b.held.empty()) continue;
+      if (!seen.insert({b.line, b.name}).second) continue;
+      Emit(out, file, b.line, kNoBlockingUnderLock,
+           "blocking call '" + b.name + "' while holding " +
+               HeldLabel(b.held) + "; hoist the I/O out of the critical "
+               "section");
+    }
+    for (const auto& c : fn.calls) {
+      if (c.held.empty()) continue;
+      if (c.name == fn.name) continue;  // recursion: reported at the leaf
+      if (!CrossTuResolvable(c.name)) continue;
+      const auto it = index.blocking_chain.find(c.name);
+      if (it == index.blocking_chain.end()) continue;
+      if (!seen.insert({c.line, c.name}).second) continue;
+      Emit(out, file, c.line, kNoBlockingUnderLock,
+           "call to '" + c.name + "' may block (" + it->second +
+               ") while holding " + HeldLabel(c.held));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (3) guarded-by-coverage
+
+namespace {
+
+/// One member-candidate statement inside a class body: token range
+/// [begin, end) at class-body depth, ending before its ';' (or before a
+/// skipped function body).
+struct MemberScan {
+  bool owns_mutex = false;
+  std::string mutex_member;  // first Mutex member's name, for messages
+  struct Candidate {
+    std::string name;
+    int line = 0;
+  };
+  std::vector<Candidate> unguarded;
+};
+
+MemberScan ScanClassBody(const FileTokens& file, const ClassInfo& cls,
+                         const std::vector<ClassInfo>& all) {
+  MemberScan result;
+  const auto& t = file.tokens;
+
+  // Direct-child class body ranges: their members are handled by their
+  // own ClassInfo entry.
+  std::vector<std::pair<std::size_t, std::size_t>> nested;
+  for (const auto& other : all) {
+    if (other.body_begin > cls.body_begin && other.body_end < cls.body_end) {
+      nested.push_back({other.body_begin - 1, other.body_end});  // incl. '{'
+    }
+  }
+
+  std::size_t i = cls.body_begin;
+  while (i < cls.body_end) {
+    // Skip nested class bodies.
+    bool skipped = false;
+    for (const auto& [b, e] : nested) {
+      if (i == b) {
+        i = e + 1;
+        skipped = true;
+        break;
+      }
+    }
+    if (skipped) continue;
+
+    // Collect one statement.
+    std::vector<std::size_t> stmt;  // token indices at paren-depth 0
+    int paren = 0;
+    bool ended_by_body = false;
+    std::size_t j = i;
+    for (; j < cls.body_end; ++j) {
+      const Token& tok = t[j];
+      if (tok.text == "(" || tok.text == "[") {
+        ++paren;
+        stmt.push_back(j);
+        continue;
+      }
+      if (tok.text == ")" || tok.text == "]") {
+        --paren;
+        stmt.push_back(j);
+        continue;
+      }
+      if (tok.text == "{" && paren == 0) {
+        // Function body or brace initializer: record the opener (member
+        // detection wants `name_{` patterns) and skip the group.
+        stmt.push_back(j);
+        j = MatchForward(t, j);
+        // `};` (initializer) continues the statement; a function body
+        // ends it.
+        if (j + 1 < cls.body_end && t[j + 1].text == ";") {
+          ++j;
+          break;
+        }
+        ended_by_body = true;
+        break;
+      }
+      if (tok.text == ";" && paren == 0) break;
+      if (tok.text == ":" && paren == 0 && !stmt.empty() &&
+          t[stmt.back()].kind == Kind::kIdent && stmt.size() == 1) {
+        // Access specifier (`public:` etc.).
+        stmt.clear();
+        break;
+      }
+      if (paren == 0) stmt.push_back(j);
+    }
+    i = j + 1;
+    if (stmt.empty()) continue;
+    (void)ended_by_body;
+
+    // Classify the statement.
+    const std::string& first = t[stmt[0]].text;
+    if (first == "using" || first == "typedef" || first == "friend" ||
+        first == "static" || first == "constexpr" || first == "template" ||
+        first == "enum" || first == "class" || first == "struct" ||
+        first == "public" || first == "private" || first == "protected") {
+      continue;
+    }
+    bool guarded = false, is_mutex = false, exempt = false, indirect = false;
+    for (std::size_t s = 0; s < stmt.size(); ++s) {
+      const std::string& w = t[stmt[s]].text;
+      if (w == "GUARDED_BY" || w == "PT_GUARDED_BY") guarded = true;
+      if (w == "Mutex" || w == "CondVar" || w == "MutexLock") is_mutex = true;
+      if (w == "atomic" || w == "const" || w == "atomic_flag") exempt = true;
+      if (w == "*" || w == "&") indirect = true;
+    }
+    // `Mutex* mu;` is a reference to someone else's lock, not ownership
+    // — it neither makes this class lock-owning nor needs a guard.
+    if (is_mutex && indirect) {
+      is_mutex = false;
+      exempt = true;
+    }
+    // Member-candidate: a non-keyword identifier at depth 0 directly
+    // followed by ';' '=' '{' or '['.
+    std::string member_name;
+    int member_line = 0;
+    for (std::size_t s = 0; s + 1 <= stmt.size(); ++s) {
+      const Token& tok = t[stmt[s]];
+      if (tok.kind != Kind::kIdent || IsKeyword(tok.text)) continue;
+      const std::size_t next_idx = stmt[s] + 1;  // raw successor token
+      const std::string& nx = t[next_idx].text;
+      if (nx == ";" || nx == "=" || nx == "{" || nx == "[") {
+        member_name = tok.text;
+        member_line = tok.line;
+        break;
+      }
+    }
+    if (member_name.empty()) continue;
+    if (is_mutex) {
+      if (!result.owns_mutex) {
+        result.owns_mutex = true;
+        result.mutex_member = member_name;
+      }
+      continue;
+    }
+    if (guarded || exempt) continue;
+    result.unguarded.push_back({member_name, member_line});
+  }
+  return result;
+}
+
+}  // namespace
+
+void CheckGuardedByCoverage(const FileTokens& file,
+                            const std::vector<ClassInfo>& classes,
+                            std::vector<Finding>& out) {
+  for (const auto& cls : classes) {
+    const MemberScan scan = ScanClassBody(file, cls, classes);
+    if (!scan.owns_mutex) continue;
+    for (const auto& m : scan.unguarded) {
+      Emit(out, file, m.line, kGuardedByCoverage,
+           "member '" + m.name + "' of '" + cls.name + "' (which owns '" +
+               scan.mutex_member +
+               "') lacks GUARDED_BY/PT_GUARDED_BY; annotate it or add "
+               "// prisma-lint: unguarded(<reason>)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (4) status-checked
+
+void CheckStatusChecked(const FileTokens& file, const std::vector<FnDef>& fns,
+                        const ProjectIndex& index, std::vector<Finding>& out) {
+  const auto& t = file.tokens;
+
+  // Bare (void) casts on Status/Result-returning calls.
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].text != "(" || t[i + 1].text != "void" || t[i + 2].text != ")") {
+      continue;
+    }
+    // `f(void)` parameter lists and similar: the token before '(' must
+    // not be an identifier, and something must follow the cast.
+    if (i > 0 && t[i - 1].kind == Kind::kIdent) continue;
+    // First call in the casted expression, up to the statement end.
+    std::string callee;
+    int depth = 0;
+    for (std::size_t j = i + 3; j + 1 < t.size(); ++j) {
+      if (t[j].text == ";" && depth == 0) break;
+      if (t[j].text == "(" || t[j].text == "[") ++depth;
+      if (t[j].text == ")" || t[j].text == "]") --depth;
+      if (t[j].kind == Kind::kIdent && t[j + 1].text == "(" &&
+          !IsKeyword(t[j].text)) {
+        callee = t[j].text;
+        break;
+      }
+    }
+    if (callee.empty() || index.status_fns.count(callee) == 0) continue;
+    Emit(out, file, t[i].line, kStatusChecked,
+         "bare (void) cast drops the Status/Result of '" + callee +
+             "'; use PRISMA_IGNORE_STATUS(expr, reason) or propagate it");
+  }
+
+  // Expression statements that silently drop a Status/Result value.
+  // (The [[nodiscard]] on Status/Result catches most of these at
+  // compile time; this closes the gap for toolchains/warning levels
+  // where the diagnostic is off, and for future un-annotated types.)
+  // Only statements inside function bodies count: at class/namespace
+  // scope, `Status Read(...);` is a declaration, not a dropped call.
+  auto in_body = [&fns](std::size_t i) {
+    for (const auto& fn : fns) {
+      if (fn.body_begin <= i && i < fn.body_end) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (!in_body(i)) continue;
+    const std::string& prev = t[i - 1].text;
+    if (prev != ";" && prev != "{" && prev != "}") continue;
+    if (t[i].kind != Kind::kIdent || IsKeyword(t[i].text)) continue;
+    if (t[i].text == "PRISMA_IGNORE_STATUS") continue;
+    // Walk the statement; bail on anything that consumes the value.
+    std::size_t j = i;
+    int depth = 0;
+    bool plain = true;
+    std::string last_call;
+    std::size_t last_call_close = 0;
+    for (; j + 1 < t.size(); ++j) {
+      const Token& tok = t[j];
+      if (tok.text == ";" && depth == 0) break;
+      if (tok.text == "{" && depth == 0) {
+        plain = false;  // function definition or compound statement
+        break;
+      }
+      if (tok.text == "(" || tok.text == "[") {
+        if (tok.text == "(" && t[j - 1].kind == Kind::kIdent &&
+            !IsKeyword(t[j - 1].text) && depth == 0) {
+          last_call = t[j - 1].text;
+          last_call_close = MatchForward(t, j);
+        }
+        ++depth;
+        continue;
+      }
+      if (tok.text == ")" || tok.text == "]") {
+        --depth;
+        continue;
+      }
+      if (depth > 0) continue;
+      if (tok.text == "=" || tok.text == "?" || tok.text == "+=" ||
+          tok.text == "-=" || tok.text == "|=" || tok.text == "&=" ||
+          tok.text == "<<" || tok.text == ">>") {
+        plain = false;
+      }
+      if (tok.kind == Kind::kIdent && j > i && t[j - 1].kind == Kind::kIdent) {
+        plain = false;  // `Status s ...` — a declaration
+      }
+    }
+    if (!plain || last_call.empty()) continue;
+    // The statement must END with the call: `Foo(args);`, `a->Foo(x);`.
+    if (last_call_close + 1 != j) continue;
+    if (index.status_fns.count(last_call) == 0) continue;
+    Emit(out, file, t[i].line, kStatusChecked,
+         "result of '" + last_call +
+             "' (returns Status/Result) is silently dropped; check it, "
+             "propagate it, or use PRISMA_IGNORE_STATUS(expr, reason)");
+    i = j;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (5) lock-rank-static
+
+void CheckLockRankStatic(const FileTokens& file, const std::vector<FnDef>& fns,
+                         const ProjectIndex& index, std::vector<Finding>& out) {
+  std::set<std::pair<int, std::string>> seen;
+  for (const auto& fn : fns) {
+    for (const auto& a : fn.acquires) {
+      const int r2 = index.RankOf(a.lookup_key, a.mutex_name);
+      if (r2 < 0) continue;
+      for (const auto& h : a.held_before) {
+        if (h.rank < 0 || r2 <= h.rank) continue;
+        if (!seen.insert({a.line, a.mutex_name}).second) continue;
+        Emit(out, file, a.line, kLockRankStatic,
+             "acquiring '" + a.mutex_name + "' (" + RankLabel(index, r2) +
+                 ") while holding '" + h.mutex_name + "' (" +
+                 RankLabel(index, h.rank) +
+                 ") inverts the global lock order");
+      }
+    }
+    for (const auto& c : fn.calls) {
+      if (c.held.empty() || c.name == fn.name) continue;
+      if (!CrossTuResolvable(c.name)) continue;
+      const auto it = index.effective_ranks.find(c.name);
+      if (it == index.effective_ranks.end()) continue;
+      for (const auto& h : c.held) {
+        if (h.rank < 0) continue;
+        // Highest rank the callee may acquire.
+        const auto& eff = it->second;
+        const auto top = eff.rbegin();
+        if (top == eff.rend() || top->first <= h.rank) continue;
+        if (!seen.insert({c.line, c.name}).second) continue;
+        Emit(out, file, c.line, kLockRankStatic,
+             "call to '" + c.name + "' may acquire " +
+                 RankLabel(index, top->first) + " (" + top->second +
+                 ") while holding '" + h.mutex_name + "' (" +
+                 RankLabel(index, h.rank) + "): potential rank inversion");
+      }
+    }
+  }
+}
+
+}  // namespace prisma_lint

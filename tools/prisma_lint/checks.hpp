@@ -1,0 +1,59 @@
+// The five PRISMA project-invariant checks. Each takes one lexed target
+// file (plus the cross-TU index where needed) and appends findings.
+// Check names are stable identifiers: they appear in findings, baseline
+// fingerprints, suppression comments, and --checks filters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+#include "lexer.hpp"
+
+namespace prisma_lint {
+
+inline constexpr const char* kNoRawSync = "no-raw-sync";
+inline constexpr const char* kNoBlockingUnderLock = "no-blocking-under-lock";
+inline constexpr const char* kGuardedByCoverage = "guarded-by-coverage";
+inline constexpr const char* kStatusChecked = "status-checked";
+inline constexpr const char* kLockRankStatic = "lock-rank-static";
+
+/// All check names, in reporting order.
+const std::vector<std::string>& AllChecks();
+
+/// (1) std::mutex / std::condition_variable / std::lock_guard /
+/// std::unique_lock / pthread primitives are forbidden outside
+/// src/common/mutex.{hpp,cpp}; synchronization goes through the ranked
+/// prisma::Mutex so both the TSA annotations and the runtime lock-order
+/// validator see every acquisition.
+void CheckNoRawSync(const FileTokens& file, std::vector<Finding>& out);
+
+/// (2) No blocking syscall / sleep / file-stream I/O — direct or via a
+/// call chain that reaches one — while a MutexLock is live.
+void CheckNoBlockingUnderLock(const FileTokens& file,
+                              const std::vector<FnDef>& fns,
+                              const ProjectIndex& index,
+                              std::vector<Finding>& out);
+
+/// (3) Mutable data members of classes that own a prisma::Mutex must
+/// carry GUARDED_BY/PT_GUARDED_BY or an explicit
+/// `// prisma-lint: unguarded(<reason>)` suppression.
+void CheckGuardedByCoverage(const FileTokens& file,
+                            const std::vector<ClassInfo>& classes,
+                            std::vector<Finding>& out);
+
+/// (4) Results of Status/Result<T>-returning calls must be consumed;
+/// bare `(void)` casts are rejected in favor of
+/// PRISMA_IGNORE_STATUS(expr, reason).
+void CheckStatusChecked(const FileTokens& file, const std::vector<FnDef>& fns,
+                        const ProjectIndex& index, std::vector<Finding>& out);
+
+/// (5) Static complement of the runtime lock-order validator: a
+/// MutexLock acquisition (direct, or anywhere down the approximate call
+/// graph) of rank >= a held rank is a potential inversion. Equal ranks
+/// are skipped — same-rank nesting is legal in construction order,
+/// which only the runtime validator can decide.
+void CheckLockRankStatic(const FileTokens& file, const std::vector<FnDef>& fns,
+                         const ProjectIndex& index, std::vector<Finding>& out);
+
+}  // namespace prisma_lint

@@ -1,0 +1,224 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "checks.hpp"
+
+namespace prisma_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Paths the walker never lints: generated/build trees and the lint
+/// fixtures (which contain violations on purpose).
+bool IsExcluded(const std::string& path) {
+  return path.find("/build") != std::string::npos ||
+         path.find("lint_fixtures") != std::string::npos ||
+         path.find("/.git/") != std::string::npos;
+}
+
+bool IsSourceExt(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h";
+}
+
+/// Minimal JSON string scanner for compile_commands.json: pulls the
+/// value following each `"file":` (and `"directory":`, to resolve
+/// relative entries). The format CMake emits is regular enough that a
+/// full JSON parser would be dead weight.
+std::string ParseJsonString(const std::string& s, std::size_t& i) {
+  std::string out;
+  for (++i; i < s.size() && s[i] != '"'; ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        default: out += s[i];
+      }
+      continue;
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ReadCompileCommands(const std::string& path) {
+  std::string text;
+  std::vector<std::string> out;
+  if (!ReadFile(path, text)) return out;
+  std::set<std::string> seen;
+  std::string directory;
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] != '"') continue;
+    std::size_t j = i;
+    const std::string key = ParseJsonString(text, j);
+    i = j;
+    if (key != "file" && key != "directory") continue;
+    // Skip to the value string after the ':'.
+    while (j < text.size() && text[j] != '"' && text[j] != '}') ++j;
+    if (j >= text.size() || text[j] != '"') continue;
+    const std::string value = ParseJsonString(text, j);
+    i = j;
+    if (key == "directory") {
+      directory = value;
+      continue;
+    }
+    fs::path p(value);
+    if (p.is_relative() && !directory.empty()) p = fs::path(directory) / p;
+    std::error_code ec;
+    const fs::path canon = fs::weakly_canonical(p, ec);
+    const std::string str = ec ? p.string() : canon.string();
+    if (IsExcluded(str) || !IsSourceExt(p)) continue;
+    if (seen.insert(str).second) out.push_back(str);
+  }
+  return out;
+}
+
+std::vector<std::string> GlobSources(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::string path = it->path().string();
+    if (IsExcluded(path) || !IsSourceExt(it->path())) continue;
+    out.push_back(path);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> LoadBaseline(const std::string& path) {
+  std::vector<std::string> out;
+  std::string text;
+  if (!ReadFile(path, text)) return out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Entries may carry a trailing reason comment: `fingerprint  # why`.
+    const std::size_t hash = line.find('#');
+    std::string entry =
+        hash == std::string::npos ? line : line.substr(0, hash);
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) {
+      entry.pop_back();
+    }
+    if (!entry.empty()) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult Run(const Options& options) {
+  RunResult result;
+
+  // Assemble the index set: every file whose declarations feed the
+  // cross-TU state, and (by default) the lint targets themselves.
+  std::vector<std::string> index_files;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& p) {
+    if (seen.insert(p).second) index_files.push_back(p);
+  };
+  if (!options.compdb.empty()) {
+    for (const auto& f : ReadCompileCommands(options.compdb)) add(f);
+  }
+  if (!options.root.empty()) {
+    // Headers are not TUs, so the compdb never lists them; glob the
+    // trees that hold project headers.
+    for (const char* sub : {"src", "tools", "tests", "bench", "examples"}) {
+      const fs::path dir = fs::path(options.root) / sub;
+      std::error_code ec;
+      if (!fs::is_directory(dir, ec)) continue;
+      for (const auto& f : GlobSources(dir.string())) add(f);
+    }
+  }
+  for (const auto& f : options.index_extra) add(f);
+  for (const auto& f : options.targets) add(f);
+
+  std::vector<std::string> targets = options.targets;
+  if (targets.empty()) targets = index_files;
+
+  // Pass 1: lex everything once, build the project index.
+  ProjectIndex index;
+  std::unordered_map<std::string, FileTokens> lexed;
+  std::unordered_map<std::string, std::vector<ClassInfo>> classes;
+  for (const auto& path : index_files) {
+    std::string text;
+    if (!ReadFile(path, text)) {
+      result.errors.push_back("cannot read " + path);
+      continue;
+    }
+    auto file = Lex(path, text);
+    auto cls = ScanClasses(file);
+    IndexDeclarations(file, cls, index);
+    for (auto& def : ScanFunctions(file, cls, nullptr)) {
+      index.fns[def.name].push_back(std::move(def));
+    }
+    classes.emplace(path, std::move(cls));
+    lexed.emplace(path, std::move(file));
+  }
+  FinalizeIndex(index);
+
+  // Pass 2: lint the targets with full cross-TU context.
+  std::unordered_set<std::string> enabled(options.checks.begin(),
+                                          options.checks.end());
+  auto on = [&](const char* name) {
+    return enabled.empty() || enabled.count(name) != 0;
+  };
+  std::vector<Finding> findings;
+  for (const auto& path : targets) {
+    const auto it = lexed.find(path);
+    if (it == lexed.end()) continue;  // read error already recorded
+    const FileTokens& file = it->second;
+    const auto& cls = classes.at(path);
+    const auto fns = ScanFunctions(file, cls, &index);
+    if (on(kNoRawSync)) CheckNoRawSync(file, findings);
+    if (on(kNoBlockingUnderLock)) {
+      CheckNoBlockingUnderLock(file, fns, index, findings);
+    }
+    if (on(kGuardedByCoverage)) CheckGuardedByCoverage(file, cls, findings);
+    if (on(kStatusChecked)) CheckStatusChecked(file, fns, index, findings);
+    if (on(kLockRankStatic)) CheckLockRankStatic(file, fns, index, findings);
+  }
+
+  // Baseline filter.
+  std::vector<std::string> baseline;
+  if (!options.baseline.empty()) baseline = LoadBaseline(options.baseline);
+  const std::set<std::string> base_set(baseline.begin(), baseline.end());
+  for (auto& f : findings) {
+    if (base_set.count(f.Fingerprint()) != 0) {
+      ++result.baselined;
+      continue;
+    }
+    result.findings.push_back(std::move(f));
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  return result;
+}
+
+}  // namespace prisma_lint

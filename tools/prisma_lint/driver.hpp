@@ -1,0 +1,41 @@
+// prisma-lint driver: file collection (compile_commands.json plus a
+// header glob, or an explicit list), the two-pass index/lint run, and
+// baseline filtering. Exposed as a library so the fixture tests and the
+// self-lint test drive the exact code path the CLI uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis.hpp"
+
+namespace prisma_lint {
+
+struct Options {
+  std::string root;                  // repo root; "" = no root filtering
+  std::string compdb;                // compile_commands.json path ("" = none)
+  std::string baseline;              // baseline file path ("" = none)
+  std::vector<std::string> checks;   // empty = all
+  std::vector<std::string> targets;  // files to lint; empty = every indexed file
+  /// Extra files lexed and indexed (but not linted) so cross-TU state —
+  /// Status signatures, mutex ranks, the call graph — is complete when
+  /// linting a subset. Empty + no compdb: the targets index themselves.
+  std::vector<std::string> index_extra;
+};
+
+struct RunResult {
+  std::vector<Finding> findings;    // non-baselined, sorted (file, line)
+  std::size_t baselined = 0;        // findings absorbed by the baseline
+  std::vector<std::string> errors;  // unreadable files etc.
+};
+
+/// Source files listed in a compile_commands.json (absolute paths,
+/// deduplicated; entries under build directories are dropped).
+std::vector<std::string> ReadCompileCommands(const std::string& path);
+
+/// Recursively collects *.hpp/*.cpp/*.h/*.cc under `dir` (sorted).
+std::vector<std::string> GlobSources(const std::string& dir);
+
+RunResult Run(const Options& options);
+
+}  // namespace prisma_lint

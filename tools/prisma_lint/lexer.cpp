@@ -1,0 +1,192 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace prisma_lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the checks care about distinguishing.
+/// Everything else falls back to a single character. Maximal munch over
+/// this small set is enough: the checks only look at ::, ->, ., and the
+/// shift/compare operators well enough to not split them mid-token.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*",
+};
+
+}  // namespace
+
+const std::string& FileTokens::CommentAt(int line) const {
+  static const std::string kEmpty;
+  const auto it = comments.find(line);
+  return it == comments.end() ? kEmpty : it->second;
+}
+
+FileTokens Lex(std::string path, const std::string& src) {
+  FileTokens out;
+  out.path = std::move(path);
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  // Tracks whether the current source line produced any code token, so
+  // comment-only lines can be identified (suppressions on the line
+  // above a statement live on such lines).
+  int last_code_line = 0;
+
+  auto add_comment = [&](int at, const std::string& text) {
+    auto& slot = out.comments[at];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+    if (at != last_code_line) out.comment_only_lines.insert(at);
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      add_comment(line, src.substr(start, i - start));
+      continue;
+    }
+    // Block comment (may span lines; text is attached to its first line,
+    // which is where suppressions are written).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int at = line;
+      const std::size_t start = i + 2;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      add_comment(at, src.substr(start, (i < n ? i : n) - start));
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Preprocessor line: skip entirely, honoring \-continuations. Macro
+    // bodies are expanded at call sites the linter cannot see; lexing
+    // them as code would double-count or miscount constructs.
+    if (c == '#') {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        // Comments inside preprocessor lines still end the directive at
+        // the right place and may span lines (block form).
+        if (src[i] == '/' && i + 1 < n && src[i + 1] == '*') {
+          i += 2;
+          while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+            if (src[i] == '\n') ++line;
+            ++i;
+          }
+          i = (i + 1 < n) ? i + 2 : n;
+          continue;
+        }
+        if (src[i] == '/' && i + 1 < n && src[i + 1] == '/') {
+          while (i < n && src[i] != '\n') ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t body = j + 1;
+      std::size_t end = src.find(closer, body);
+      if (end == std::string::npos) end = n;
+      const int at = line;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.tokens.push_back({Token::Kind::kString,
+                            src.substr(i, std::min(end + closer.size(), n) - i),
+                            at});
+      last_code_line = line;
+      i = std::min(end + closer.size(), n);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = i;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;  // unterminated; tolerate
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.tokens.push_back(
+          {quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+           src.substr(start, i - start), line});
+      last_code_line = line;
+      continue;
+    }
+    // Number (loose: consumes hex/float/suffix forms well enough).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const std::size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back({Token::Kind::kNumber, src.substr(start, i - start), line});
+      last_code_line = line;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      const std::size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.tokens.push_back({Token::Kind::kIdent, src.substr(start, i - start), line});
+      last_code_line = line;
+      continue;
+    }
+    // Punctuation, maximal munch over the known multi-char set.
+    {
+      std::string text(1, c);
+      for (const char* p : kPuncts) {
+        const std::size_t len = std::char_traits<char>::length(p);
+        if (src.compare(i, len, p) == 0) {
+          text = p;
+          break;
+        }
+      }
+      out.tokens.push_back({Token::Kind::kPunct, text, line});
+      last_code_line = line;
+      i += text.size();
+    }
+  }
+  out.tokens.push_back({Token::Kind::kEof, "", line});
+  return out;
+}
+
+}  // namespace prisma_lint

@@ -1,0 +1,44 @@
+// prisma-lint tokenizer: a deliberately small C++ lexer.
+//
+// The linter does not parse C++ — it pattern-matches token runs, which
+// is enough for project-invariant checks (see checks.hpp) and keeps the
+// tool free of libclang so it builds wherever a C++20 compiler exists
+// (gcc CI runners included). The lexer therefore only has to get four
+// things exactly right, because getting them wrong produces phantom
+// findings: comments (kept aside, they carry suppressions), string and
+// character literals (may contain "std::mutex"), raw strings, and
+// preprocessor lines (macro bodies are not code the checks should see).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace prisma_lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct, kEof };
+  Kind kind = Kind::kEof;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+/// One lexed file: code tokens with comments/preprocessor stripped, plus
+/// the comment text per line so checks can honor suppressions like
+///   // prisma-lint: allow(no-blocking-under-lock, reason)
+struct FileTokens {
+  std::string path;                              // path as given to the driver
+  std::vector<Token> tokens;                     // ends with a kEof token
+  std::unordered_map<int, std::string> comments; // line -> concatenated text
+  std::set<int> comment_only_lines;              // lines holding only comments
+
+  /// Comment text attached to `line` (empty when none).
+  const std::string& CommentAt(int line) const;
+};
+
+/// Lexes `source`; never fails (unterminated constructs end at EOF).
+FileTokens Lex(std::string path, const std::string& source);
+
+}  // namespace prisma_lint

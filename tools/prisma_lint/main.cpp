@@ -1,0 +1,122 @@
+// prisma-lint CLI. See DESIGN.md §11 for the check catalog.
+//
+//   prisma_lint --root . [--compdb build/compile_commands.json]
+//               [--baseline scripts/prisma-lint-baseline.txt]
+//               [--checks a,b] [files...]
+//
+// With no files, lints every source the compdb + header glob yields;
+// with files, lints just those (the cross-TU index is still built from
+// the whole project so interprocedural checks stay accurate).
+// Exit status: 0 clean (or fully baselined), 1 findings, 2 usage error.
+#include <algorithm>
+#include <iostream>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "driver.hpp"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] [files...]\n"
+      << "  --root DIR       repo root (default: .)\n"
+      << "  --compdb FILE    compile_commands.json (default: <root>/compile_commands.json if present)\n"
+      << "  --baseline FILE  baseline (default: <root>/scripts/prisma-lint-baseline.txt if present)\n"
+      << "  --no-baseline    ignore the baseline file\n"
+      << "  --checks A,B     run only the named checks\n"
+      << "  --list-checks    print check names and exit\n"
+      << "  --quiet          suppress the summary line\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  prisma_lint::Options opt;
+  opt.root = ".";
+  bool no_baseline = false;
+  bool quiet = false;
+  bool compdb_set = false, baseline_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opt.root = value("--root");
+    } else if (arg == "--compdb") {
+      opt.compdb = value("--compdb");
+      compdb_set = true;
+    } else if (arg == "--baseline") {
+      opt.baseline = value("--baseline");
+      baseline_set = true;
+    } else if (arg == "--no-baseline") {
+      no_baseline = true;
+    } else if (arg == "--checks") {
+      std::string list = value("--checks");
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name = list.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (!name.empty()) opt.checks.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--list-checks") {
+      for (const auto& c : prisma_lint::AllChecks()) std::cout << c << "\n";
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << arg << "\n";
+      return Usage(argv[0]);
+    } else {
+      opt.targets.push_back(arg);
+    }
+  }
+
+  for (const auto& c : opt.checks) {
+    const auto& all = prisma_lint::AllChecks();
+    if (std::find(all.begin(), all.end(), c) == all.end()) {
+      std::cerr << "unknown check '" << c << "' (see --list-checks)\n";
+      return 2;
+    }
+  }
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!compdb_set) {
+    const fs::path p = fs::path(opt.root) / "compile_commands.json";
+    if (fs::exists(p, ec)) opt.compdb = p.string();
+  }
+  if (!baseline_set) {
+    const fs::path p =
+        fs::path(opt.root) / "scripts" / "prisma-lint-baseline.txt";
+    if (fs::exists(p, ec)) opt.baseline = p.string();
+  }
+  if (no_baseline) opt.baseline.clear();
+
+  const prisma_lint::RunResult result = prisma_lint::Run(opt);
+  for (const auto& e : result.errors) std::cerr << "prisma-lint: " << e << "\n";
+  for (const auto& f : result.findings) std::cout << f.ToString() << "\n";
+  if (!quiet) {
+    std::cerr << "prisma-lint: " << result.findings.size() << " finding(s)";
+    if (result.baselined > 0) {
+      std::cerr << ", " << result.baselined << " baselined";
+    }
+    std::cerr << "\n";
+  }
+  return result.findings.empty() ? 0 : 1;
+}
