@@ -69,6 +69,10 @@ find_clang() {
 case "${MODE}" in
   default)
     configure_build_test "${BUILD_DIR:-build-ci}"
+    # Smoke-run the stacked-pipeline example: a config-declared
+    # prefetch|tiering chain end-to-end through the UDS server.
+    "${BUILD_DIR:-build-ci}/examples/stacked_pipeline" \
+      configs/stacked_pipeline.cfg
     ;;
   asan)
     configure_build_test "${BUILD_DIR:-build-ci-asan}" -DPRISMA_SANITIZE=address

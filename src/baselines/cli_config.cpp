@@ -76,6 +76,11 @@ Result<CliExperiment> ParseExperiment(const Config& config) {
   if (!workers.ok()) return workers.status();
   out.workers = static_cast<std::size_t>(*workers);
 
+  out.stage_pipeline = config.GetString("stage_pipeline", "prefetch");
+  auto layers = dataplane::ParsePipelineSpec(out.stage_pipeline);
+  if (!layers.ok()) return layers.status();
+  out.pipeline_layers = std::move(*layers);
+
   out.config.run_validation = config.GetBool("validation", true);
   out.config.page_cache_bytes = config.GetBytes("page_cache", 0);
   out.config.fixed_producers = static_cast<std::uint32_t>(

@@ -15,12 +15,16 @@
 //   validation = bool                             (true)
 //   page_cache = byte size ("8GiB")               (0)
 //   fixed_producers / fixed_buffer = pin (t, N)   (0 = auto-tune)
+//   stage_pipeline = '|'-separated optimization-object chain,
+//              outermost first ("prefetch|tiering")  (prefetch)
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "baselines/experiment.hpp"
 #include "common/config.hpp"
+#include "dataplane/pipeline_builder.hpp"
 
 namespace prisma::baselines {
 
@@ -37,6 +41,12 @@ struct CliExperiment {
   ExperimentConfig config;
   std::size_t workers = 4;  // torch pipelines only
   int runs = 1;
+  /// Validated `stage_pipeline` spec (see dataplane/pipeline_builder.hpp)
+  /// and its parsed layer names, outermost first. The DES pipelines model
+  /// a single prefetch layer; experiment front-ends that host a live
+  /// Stage hand this to BuildStagePipeline.
+  std::string stage_pipeline = "prefetch";
+  std::vector<std::string> pipeline_layers = {"prefetch"};
 };
 
 /// Stable name of a pipeline (for output headers).

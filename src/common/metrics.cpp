@@ -50,15 +50,31 @@ MetricsRegistry& MetricsRegistry::Default() {
   return registry;
 }
 
-std::string MetricsRegistry::Label(const std::string& key,
-                                   const std::string& value) {
+namespace {
+
+std::string EscapeLabelValue(const std::string& value) {
   std::string escaped;
   escaped.reserve(value.size());
   for (const char c : value) {
     if (c == '"' || c == '\\') escaped.push_back('\\');
     escaped.push_back(c);
   }
-  return "{" + key + "=\"" + escaped + "\"}";
+  return escaped;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Label(const std::string& key,
+                                   const std::string& value) {
+  return "{" + key + "=\"" + EscapeLabelValue(value) + "\"}";
+}
+
+std::string MetricsRegistry::Label(const std::string& k1,
+                                   const std::string& v1,
+                                   const std::string& k2,
+                                   const std::string& v2) {
+  return "{" + k1 + "=\"" + EscapeLabelValue(v1) + "\"," + k2 + "=\"" +
+         EscapeLabelValue(v2) + "\"}";
 }
 
 }  // namespace prisma

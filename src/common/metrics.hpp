@@ -62,6 +62,10 @@ class MetricsRegistry {
   /// Renders a single-label block: {key="value"} with quoting of '"'.
   static std::string Label(const std::string& key, const std::string& value);
 
+  /// Two-label block: {k1="v1",k2="v2"} — e.g. stage + pipeline object.
+  static std::string Label(const std::string& k1, const std::string& v1,
+                           const std::string& k2, const std::string& v2);
+
  private:
   mutable Mutex mu_{LockRank::kLeaf};
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);

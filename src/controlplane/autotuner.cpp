@@ -24,6 +24,19 @@ std::size_t PrismaAutotuner::TargetBuffer() const {
 
 dataplane::StageKnobs PrismaAutotuner::Tick(
     const dataplane::StageStatsSnapshot& stats) {
+  if (!options_.target_object.empty()) {
+    // Layer targeting: read the named section's view of the stats, run
+    // the unchanged algorithm on it, and scope the resulting knobs back
+    // to that layer.
+    return dataplane::ScopeKnobs(
+        TickFlat(dataplane::SnapshotForObject(stats, options_.target_object)),
+        options_.target_object);
+  }
+  return TickFlat(stats);
+}
+
+dataplane::StageKnobs PrismaAutotuner::TickFlat(
+    const dataplane::StageStatsSnapshot& stats) {
   dataplane::StageKnobs knobs;
   if (!has_last_) {
     has_last_ = true;

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "dataplane/types.hpp"
 
@@ -69,6 +70,13 @@ struct AutotunerOptions {
   std::uint32_t cooldown_periods = 2;
   /// Periods without any knob change after which Converged() holds.
   std::uint32_t converged_periods = 4;
+
+  /// Pipeline layer this tuner targets. Empty = legacy flat routing (the
+  /// stage resolves flat fields to its prefetch layer). When set, Tick
+  /// reads that layer's stats section and returns "<object>.<knob>"
+  /// scoped knobs, so the same algorithm can drive any layer of a
+  /// stacked pipeline.
+  std::string target_object;
 };
 
 class PrismaAutotuner {
@@ -89,6 +97,9 @@ class PrismaAutotuner {
   void Reset();
 
  private:
+  /// The tuning algorithm, in flat-field terms; Tick handles the
+  /// target_object projection/scoping around it.
+  dataplane::StageKnobs TickFlat(const dataplane::StageStatsSnapshot& stats);
   std::size_t TargetBuffer() const;
   dataplane::StageKnobs ClosePeriod();
 

@@ -111,7 +111,7 @@ void Controller::TickOnce() NO_THREAD_SAFETY_ANALYSIS {
   std::vector<StageObservation> observations;
   observations.reserve(proposals.size());
   for (auto& p : proposals) {
-    if (p.knobs.producers || p.knobs.buffer_capacity) {
+    if (!p.knobs.Empty()) {
       const Status s = p.managed->stage->ApplyKnobs(p.knobs);
       if (!s.ok()) {
         PRISMA_LOG(kWarn, "controller")
@@ -215,6 +215,16 @@ void Controller::ExportMetrics(MetricsRegistry& registry) const {
         .Set(static_cast<double>(obs.stats.pool_misses));
     registry.GetGauge("prisma_stage_pool_cached_bytes", labels)
         .Set(static_cast<double>(obs.stats.pool_cached_bytes));
+    // Per-object sections of a stacked pipeline: every layer's gauges,
+    // labelled {stage,object} so operators can tell the prefetch buffer
+    // from the tiering fast tier at a glance.
+    for (const auto& section : obs.stats.objects) {
+      const std::string object_labels = MetricsRegistry::Label(
+          "stage", obs.stage_id, "object", section.object);
+      for (const auto& [key, value] : section.gauges) {
+        registry.GetGauge("prisma_object_" + key, object_labels).Set(value);
+      }
+    }
   }
 }
 

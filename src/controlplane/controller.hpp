@@ -78,7 +78,9 @@ class Controller {
   /// Publishes the latest per-stage observations as gauges:
   ///   prisma_stage_producers{stage="id"}, prisma_stage_buffer_occupancy,
   ///   prisma_stage_buffer_capacity, prisma_stage_samples_consumed,
-  ///   prisma_stage_consumer_waits, prisma_stage_queue_depth.
+  ///   prisma_stage_consumer_waits, prisma_stage_queue_depth,
+  /// plus one prisma_object_<gauge>{stage="id",object="name"} gauge per
+  /// entry of each pipeline layer's stats section.
   void ExportMetrics(MetricsRegistry& registry) const EXCLUDES(mu_);
 
  private:

@@ -19,6 +19,16 @@ void PidAutotuner::Reset() {
 
 dataplane::StageKnobs PidAutotuner::Tick(
     const dataplane::StageStatsSnapshot& stats) {
+  if (!options_.target_object.empty()) {
+    return dataplane::ScopeKnobs(
+        TickFlat(dataplane::SnapshotForObject(stats, options_.target_object)),
+        options_.target_object);
+  }
+  return TickFlat(stats);
+}
+
+dataplane::StageKnobs PidAutotuner::TickFlat(
+    const dataplane::StageStatsSnapshot& stats) {
   dataplane::StageKnobs knobs;
   if (!has_last_) {
     has_last_ = true;

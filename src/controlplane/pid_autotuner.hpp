@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "dataplane/types.hpp"
 
@@ -40,6 +41,10 @@ struct PidAutotunerOptions {
   /// Decisions are made on sample windows like the PRISMA tuner.
   std::uint64_t period_min_inserts = 1000;
   std::uint32_t period_max_ticks = 200;
+
+  /// Pipeline layer this tuner targets (see AutotunerOptions); empty =
+  /// legacy flat routing to the stage's prefetch layer.
+  std::string target_object;
 };
 
 class PidAutotuner {
@@ -53,6 +58,7 @@ class PidAutotuner {
   void Reset();
 
  private:
+  dataplane::StageKnobs TickFlat(const dataplane::StageStatsSnapshot& stats);
   dataplane::StageKnobs ClosePeriod(double occupancy_ratio);
 
   PidAutotunerOptions options_;

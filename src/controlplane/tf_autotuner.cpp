@@ -32,6 +32,16 @@ void TfPrefetchAutotuner::RecordConsumption(std::size_t current_buffer_size) {
 
 dataplane::StageKnobs TfPrefetchAutotuner::Tick(
     const dataplane::StageStatsSnapshot& stats) {
+  if (!options_.target_object.empty()) {
+    return dataplane::ScopeKnobs(
+        TickFlat(dataplane::SnapshotForObject(stats, options_.target_object)),
+        options_.target_object);
+  }
+  return TickFlat(stats);
+}
+
+dataplane::StageKnobs TfPrefetchAutotuner::TickFlat(
+    const dataplane::StageStatsSnapshot& stats) {
   dataplane::StageKnobs knobs;
   if (!has_last_) {
     has_last_ = true;

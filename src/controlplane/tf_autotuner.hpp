@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "dataplane/types.hpp"
 
@@ -26,6 +27,10 @@ struct TfAutotunerOptions {
   std::size_t max_buffer = 512;
   /// Thread-pool size handed to the input pipeline (testbed: 30).
   std::uint32_t thread_pool_size = 30;
+
+  /// Pipeline layer this tuner targets (see AutotunerOptions); empty =
+  /// legacy flat routing to the stage's prefetch layer.
+  std::string target_object;
 };
 
 class TfPrefetchAutotuner {
@@ -48,6 +53,8 @@ class TfPrefetchAutotuner {
   Mode mode() const { return mode_; }
 
  private:
+  dataplane::StageKnobs TickFlat(const dataplane::StageStatsSnapshot& stats);
+
   TfAutotunerOptions options_;
   Mode mode_ = Mode::kUpswing;
   std::size_t buffer_limit_;

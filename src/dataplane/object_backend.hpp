@@ -55,8 +55,6 @@ class ObjectBackend final : public storage::StorageBackend {
     return s;
   }
 
-  OptimizationObject& object() { return *object_; }
-
  private:
   std::shared_ptr<OptimizationObject> object_;
   std::atomic<std::uint64_t> reads_{0};

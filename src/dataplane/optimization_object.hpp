@@ -69,6 +69,38 @@ class OptimizationObject {
   // monitoring") -------------------------------------------------------
   virtual Status ApplyKnobs(const StageKnobs& knobs) = 0;
   virtual StageStatsSnapshot CollectStats() const = 0;
+
+  /// Applies one namespaced knob ("<this object>.<knob>" with the object
+  /// part already stripped by the pipeline router). The default maps the
+  /// generic knob names onto the flat StageKnobs fields, so any object
+  /// whose ApplyKnobs understands those needs no override; objects with
+  /// layer-specific knobs ("migration_workers") override and fall back to
+  /// this for the generic names. Unknown knobs are InvalidArgument.
+  virtual Status ApplyNamedKnob(std::string_view knob, double value) {
+    StageKnobs knobs;
+    if (knob == "producers") {
+      knobs.producers = static_cast<std::uint32_t>(value > 0.0 ? value : 0.0);
+    } else if (knob == "buffer_capacity") {
+      knobs.buffer_capacity =
+          static_cast<std::size_t>(value > 0.0 ? value : 0.0);
+    } else if (knob == "buffer_shards") {
+      knobs.buffer_shards = static_cast<std::size_t>(value > 0.0 ? value : 0.0);
+    } else if (knob == "read_rate_bps") {
+      knobs.read_rate_bps = value;
+    } else {
+      return Status::InvalidArgument("object '" + std::string(Name()) +
+                                     "' has no knob '" + std::string(knob) +
+                                     "'");
+    }
+    return ApplyKnobs(knobs);
+  }
+
+  /// Appends layer-specific gauges ("fast_hits", "promotions") to this
+  /// object's stats section beyond the generic fields SnapshotToSection
+  /// already rendered. Default: nothing extra.
+  virtual void AppendNamedStats(ObjectStatsSection& section) const {
+    (void)section;
+  }
 };
 
 }  // namespace prisma::dataplane

@@ -1,0 +1,105 @@
+#include "dataplane/pipeline_builder.hpp"
+
+#include <algorithm>
+
+#include "dataplane/object_backend.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::dataplane {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::shared_ptr<storage::StorageBackend> DefaultFastTier() {
+  // An instant in-memory device: accepts the tiering layer's write-back
+  // promotions and serves hits with no modeled latency (the RAM tier).
+  storage::SyntheticBackendOptions o;
+  o.profile = storage::DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  return std::make_shared<storage::SyntheticBackend>(o);
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownPipelineLayers() {
+  static const std::vector<std::string> kLayers = {"prefetch", "tiering"};
+  return kLayers;
+}
+
+Result<std::vector<std::string>> ParsePipelineSpec(std::string_view spec) {
+  std::vector<std::string> layers;
+  std::string_view rest = spec;
+  while (true) {
+    const auto bar = rest.find('|');
+    const std::string_view raw =
+        bar == std::string_view::npos ? rest : rest.substr(0, bar);
+    const std::string_view name = Trim(raw);
+    if (name.empty()) {
+      return Status::InvalidArgument(
+          "pipeline spec has an empty layer segment: '" + std::string(spec) +
+          "'");
+    }
+    const auto& known = KnownPipelineLayers();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument("unknown pipeline layer '" +
+                                     std::string(name) + "' in '" +
+                                     std::string(spec) + "'");
+    }
+    if (std::find(layers.begin(), layers.end(), name) != layers.end()) {
+      return Status::InvalidArgument("duplicate pipeline layer '" +
+                                     std::string(name) + "' in '" +
+                                     std::string(spec) + "'");
+    }
+    layers.emplace_back(name);
+    if (bar == std::string_view::npos) break;
+    rest = rest.substr(bar + 1);
+  }
+  return layers;
+}
+
+Result<StagePipeline> BuildStagePipeline(
+    std::string_view spec, std::shared_ptr<storage::StorageBackend> backend,
+    const PipelineOptions& options, std::shared_ptr<const Clock> clock) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("pipeline needs a storage backend");
+  }
+  if (clock == nullptr) {
+    return Status::InvalidArgument("pipeline needs a clock");
+  }
+  auto names = ParsePipelineSpec(spec);
+  if (!names.ok()) return names.status();
+
+  // Build innermost-first: each layer reads from the chain built so far,
+  // exposed as a StorageBackend through an ObjectBackend adapter.
+  std::vector<std::shared_ptr<OptimizationObject>> layers(names->size());
+  std::shared_ptr<storage::StorageBackend> below = std::move(backend);
+  for (std::size_t i = names->size(); i-- > 0;) {
+    const std::string& name = (*names)[i];
+    std::shared_ptr<OptimizationObject> layer;
+    if (name == "prefetch") {
+      layer = std::make_shared<PrefetchObject>(below, options.prefetch, clock);
+    } else if (name == "tiering") {
+      auto fast =
+          options.fast_tier != nullptr ? options.fast_tier : DefaultFastTier();
+      layer = std::make_shared<TieringObject>(below, std::move(fast),
+                                              options.tiering, clock);
+    } else {
+      // Unreachable: ParsePipelineSpec validated the names.
+      return Status::Internal("unhandled pipeline layer '" + name + "'");
+    }
+    layers[i] = layer;
+    if (i > 0) below = std::make_shared<ObjectBackend>(std::move(layer));
+  }
+  return StagePipeline(std::move(layers));
+}
+
+}  // namespace prisma::dataplane

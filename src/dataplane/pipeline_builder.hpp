@@ -1,0 +1,53 @@
+// Declarative pipeline construction from a config spec (DESIGN.md §12).
+//
+// A pipeline spec is layer names joined by '|', outermost first — the
+// order a read traverses them:
+//
+//   stage_pipeline = prefetch|tiering
+//
+// builds PrefetchObject -> ObjectBackend -> TieringObject -> backend.
+// Adding an optimization to a job becomes a config edit, not new
+// plumbing: the builder wires each layer to the next through an
+// ObjectBackend adapter, so no layer knows what sits below it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "dataplane/prefetch_object.hpp"
+#include "dataplane/stage_pipeline.hpp"
+#include "dataplane/tiering_object.hpp"
+#include "storage/backend.hpp"
+
+namespace prisma::dataplane {
+
+/// Layer names the builder understands, in no particular order.
+const std::vector<std::string>& KnownPipelineLayers();
+
+/// Splits "prefetch|tiering" into validated layer names (outermost
+/// first). InvalidArgument on empty specs, empty segments, unknown layer
+/// names, or duplicates (control routing addresses layers by name, so a
+/// name may appear once). Whitespace around segments is ignored.
+Result<std::vector<std::string>> ParsePipelineSpec(std::string_view spec);
+
+/// Per-layer construction options. Knobs can also be set after the fact
+/// through the pipeline's namespaced control surface.
+struct PipelineOptions {
+  PrefetchOptions prefetch;
+  TieringOptions tiering;
+  /// Fast tier for the tiering layer; nullptr gets a fresh in-memory
+  /// SyntheticBackend (instant device), the prototype's RAM tier.
+  std::shared_ptr<storage::StorageBackend> fast_tier;
+};
+
+/// Builds the chain described by `spec` over `backend` (the real
+/// storage), innermost layer first, wiring adjacent layers through
+/// ObjectBackend adapters. The returned pipeline is not started.
+Result<StagePipeline> BuildStagePipeline(
+    std::string_view spec, std::shared_ptr<storage::StorageBackend> backend,
+    const PipelineOptions& options, std::shared_ptr<const Clock> clock);
+
+}  // namespace prisma::dataplane

@@ -366,6 +366,13 @@ StageStatsSnapshot PrefetchObject::CollectStats() const {
   return s;
 }
 
+void PrefetchObject::AppendNamedStats(ObjectStatsSection& section) const {
+  section.Set("reads_served",
+              static_cast<double>(reads_served_.load(std::memory_order_relaxed)));
+  MutexLock lock(rate_mu_);
+  section.Set("read_rate_bps", rate_bps_);
+}
+
 OccupancyTimeline PrefetchObject::ReaderTimeline() const {
   OccupancyTimeline copy;
   {

@@ -84,6 +84,7 @@ class PrefetchObject final : public OptimizationObject {
 
   Status ApplyKnobs(const StageKnobs& knobs) override;
   StageStatsSnapshot CollectStats() const override;
+  void AppendNamedStats(ObjectStatsSection& section) const override;
 
   /// Time-weighted record of concurrently reading producers (Fig. 3).
   /// Snapshot under lock; callers own the copy.

@@ -2,22 +2,25 @@
 
 namespace prisma::dataplane {
 
+Stage::Stage(StageInfo info, StagePipeline pipeline)
+    : info_(std::move(info)), pipeline_(std::move(pipeline)) {}
+
 Stage::Stage(StageInfo info, std::shared_ptr<OptimizationObject> object)
-    : info_(std::move(info)), object_(std::move(object)) {}
+    : Stage(std::move(info), StagePipeline({std::move(object)})) {}
 
-Status Stage::Start() { return object_->Start(); }
+Status Stage::Start() { return pipeline_.Start(); }
 
-void Stage::Stop() { object_->Stop(); }
+void Stage::Stop() { pipeline_.Stop(); }
 
 Result<std::size_t> Stage::Read(const std::string& path, std::uint64_t offset,
                                 std::span<std::byte> dst) {
-  return object_->Read(path, offset, dst);
+  return pipeline_.Read(path, offset, dst);
 }
 
 Result<SampleView> Stage::ReadRef(const std::string& path,
                                   std::uint64_t offset,
                                   std::size_t max_bytes) {
-  return object_->ReadRef(path, offset, max_bytes);
+  return pipeline_.ReadRef(path, offset, max_bytes);
 }
 
 Result<std::vector<std::byte>> Stage::ReadAll(const std::string& path,
@@ -25,7 +28,7 @@ Result<std::vector<std::byte>> Stage::ReadAll(const std::string& path,
   std::vector<std::byte> buf(static_cast<std::size_t>(expected_size));
   std::size_t done = 0;
   while (done < buf.size()) {
-    auto n = object_->Read(path, done, std::span<std::byte>(buf).subspan(done));
+    auto n = pipeline_.Read(path, done, std::span<std::byte>(buf).subspan(done));
     if (!n.ok()) return n.status();
     if (*n == 0) break;
     done += *n;
@@ -35,20 +38,20 @@ Result<std::vector<std::byte>> Stage::ReadAll(const std::string& path,
 }
 
 Result<std::uint64_t> Stage::FileSize(const std::string& path) {
-  return object_->FileSize(path);
+  return pipeline_.FileSize(path);
 }
 
 Status Stage::BeginEpoch(std::uint64_t epoch,
                          const std::vector<std::string>& order) {
-  return object_->BeginEpoch(epoch, order);
+  return pipeline_.BeginEpoch(epoch, order);
 }
 
 Status Stage::ApplyKnobs(const StageKnobs& knobs) {
-  return object_->ApplyKnobs(knobs);
+  return pipeline_.ApplyKnobs(knobs);
 }
 
 StageStatsSnapshot Stage::CollectStats() const {
-  return object_->CollectStats();
+  return pipeline_.CollectStats();
 }
 
 }  // namespace prisma::dataplane

@@ -1,17 +1,18 @@
 // A data-plane stage (paper §III.A / Fig. 1).
 //
-// One stage serves one DL job's storage traffic. It chains optimization
-// objects (PRISMA's prototype uses a single PrefetchObject), exposes the
-// POSIX-compliant interception surface the framework adapters call, and
-// the control interface the control plane drives. Stages register in a
-// StageRegistry so controllers and the UDS server can find them.
+// One stage serves one DL job's storage traffic. It hosts a StagePipeline
+// — an ordered chain of optimization objects built from config (see
+// pipeline_builder.hpp) — exposes the POSIX-compliant interception surface
+// the framework adapters call, and the control interface the control
+// plane drives. Stages register in a StageRegistry so controllers and the
+// UDS server can find them.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "dataplane/optimization_object.hpp"
+#include "dataplane/stage_pipeline.hpp"
 
 namespace prisma::dataplane {
 
@@ -24,11 +25,13 @@ struct StageInfo {
 
 class Stage {
  public:
+  Stage(StageInfo info, StagePipeline pipeline);
+  /// Single-object convenience: wraps `object` in a one-layer pipeline.
   Stage(StageInfo info, std::shared_ptr<OptimizationObject> object);
 
-  /// Starts the optimization object's background machinery.
+  /// Starts the pipeline (innermost-first, all-or-nothing).
   Status Start();
-  /// Stops it (idempotent).
+  /// Stops it, outermost-first (idempotent).
   void Stop();
 
   // --- POSIX-compliant interception surface (paper: "exposes a single
@@ -48,19 +51,21 @@ class Stage {
   /// Metadata intercept (stat-like calls).
   Result<std::uint64_t> FileSize(const std::string& path);
 
-  /// Announces the upcoming epoch's file order (prefetch hint).
+  /// Announces the upcoming epoch's file order to every pipeline layer.
   Status BeginEpoch(std::uint64_t epoch, const std::vector<std::string>& order);
 
   // --- Control interface ------------------------------------------------
+  /// Flat fields alias the prefetch layer; scoped entries route by name.
   Status ApplyKnobs(const StageKnobs& knobs);
+  /// Flat fields mirror the prefetch layer; `objects` has every layer.
   StageStatsSnapshot CollectStats() const;
 
   const StageInfo& info() const { return info_; }
-  OptimizationObject& object() { return *object_; }
+  const StagePipeline& pipeline() const { return pipeline_; }
 
  private:
   StageInfo info_;
-  std::shared_ptr<OptimizationObject> object_;
+  StagePipeline pipeline_;
 };
 
 }  // namespace prisma::dataplane

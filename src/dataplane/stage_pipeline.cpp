@@ -1,0 +1,135 @@
+#include "dataplane/stage_pipeline.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prisma::dataplane {
+
+StagePipeline::StagePipeline(
+    std::vector<std::shared_ptr<OptimizationObject>> layers)
+    : layers_(std::move(layers)) {
+  if (layers_.empty()) {
+    // Programming error, not a runtime condition: every construction path
+    // (builder, Stage convenience ctor) supplies at least one layer.
+    std::fprintf(stderr, "StagePipeline requires at least one layer\n");
+    std::abort();
+  }
+  for (const auto& layer : layers_) {
+    if (layer == nullptr) {
+      std::fprintf(stderr, "StagePipeline layer must not be null\n");
+      std::abort();
+    }
+  }
+}
+
+Status StagePipeline::Start() {
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    Status s = layers_[i]->Start();
+    if (!s.ok()) {
+      // Roll back the layers already running (those inside i),
+      // outermost-first so nothing forwards into a stopped layer.
+      for (std::size_t j = i + 1; j < layers_.size(); ++j) {
+        layers_[j]->Stop();
+      }
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+void StagePipeline::Stop() {
+  for (const auto& layer : layers_) layer->Stop();
+}
+
+Result<std::size_t> StagePipeline::Read(const std::string& path,
+                                        std::uint64_t offset,
+                                        std::span<std::byte> dst) {
+  return layers_.front()->Read(path, offset, dst);
+}
+
+Result<SampleView> StagePipeline::ReadRef(const std::string& path,
+                                          std::uint64_t offset,
+                                          std::size_t max_bytes) {
+  return layers_.front()->ReadRef(path, offset, max_bytes);
+}
+
+Result<std::uint64_t> StagePipeline::FileSize(const std::string& path) {
+  return layers_.front()->FileSize(path);
+}
+
+Status StagePipeline::BeginEpoch(std::uint64_t epoch,
+                                 const std::vector<std::string>& order) {
+  Status first = Status::Ok();
+  for (const auto& layer : layers_) {
+    Status s = layer->BeginEpoch(epoch, order);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+Status StagePipeline::ApplyKnobs(const StageKnobs& knobs) {
+  Status first = Status::Ok();
+  // Flat fields alias the prefetch layer (legacy control surface).
+  StageKnobs flat;
+  flat.producers = knobs.producers;
+  flat.buffer_capacity = knobs.buffer_capacity;
+  flat.buffer_shards = knobs.buffer_shards;
+  flat.read_rate_bps = knobs.read_rate_bps;
+  if (!flat.Empty()) {
+    Status s = RoutingLayer().ApplyKnobs(flat);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  for (const auto& entry : knobs.scoped) {
+    auto layer = FindLayer(entry.object);
+    if (layer == nullptr) {
+      if (first.ok()) {
+        first = Status::InvalidArgument("pipeline has no layer named '" +
+                                        entry.object + "' (knob '" +
+                                        entry.knob + "')");
+      }
+      continue;
+    }
+    Status s = layer->ApplyNamedKnob(entry.knob, entry.value);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+StageStatsSnapshot StagePipeline::CollectStats() const {
+  StageStatsSnapshot out;
+  std::vector<ObjectStatsSection> sections;
+  sections.reserve(layers_.size());
+  OptimizationObject& routing = RoutingLayer();
+  for (const auto& layer : layers_) {
+    StageStatsSnapshot snap = layer->CollectStats();
+    if (layer.get() == &routing) {
+      // The routing layer's snapshot *is* the flat view (the exact stats
+      // the old single-object Stage reported).
+      StageStatsSnapshot flat = snap;
+      flat.objects = std::move(out.objects);  // keep nothing stale
+      out = std::move(flat);
+    }
+    ObjectStatsSection section = SnapshotToSection(layer->Name(), snap);
+    layer->AppendNamedStats(section);
+    sections.push_back(std::move(section));
+  }
+  out.objects = std::move(sections);
+  return out;
+}
+
+std::shared_ptr<OptimizationObject> StagePipeline::FindLayer(
+    std::string_view name) const {
+  for (const auto& layer : layers_) {
+    if (layer->Name() == name) return layer;
+  }
+  return nullptr;
+}
+
+OptimizationObject& StagePipeline::RoutingLayer() const {
+  for (const auto& layer : layers_) {
+    if (layer->Name() == "prefetch") return *layer;
+  }
+  return *layers_.front();
+}
+
+}  // namespace prisma::dataplane

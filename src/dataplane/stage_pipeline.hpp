@@ -1,0 +1,88 @@
+// An ordered chain of optimization objects hosted by one stage (paper
+// §III.A: a stage contains "one or more" optimization objects; PAIO's
+// follow-on data plane builds stages the same way).
+//
+// Layers are held outermost-first: layers_[0] services the framework's
+// intercepted reads and forwards misses to layers_[1] through an
+// ObjectBackend adapter, and so on down to real storage. The chain is
+// immutable after construction — composition is decided by config (see
+// pipeline_builder.hpp), not mutated at runtime — so the pipeline itself
+// needs no lock; all synchronization lives inside the objects.
+//
+// Lifecycle: Start brings layers up innermost-first so an outer layer
+// never forwards into a dead inner one, and rolls already-started layers
+// back (outermost-first) if a later Start fails. Stop tears down
+// outermost-first for the same reason. BeginEpoch reaches every layer.
+//
+// Control routing: flat StageKnobs fields alias the "prefetch" layer (or
+// the outermost layer when none is named prefetch — the old single-object
+// behavior); scoped "<object>.<knob>" entries route to the named layer's
+// ApplyNamedKnob. CollectStats reports the routing layer's snapshot in
+// the flat fields plus one named ObjectStatsSection per layer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataplane/optimization_object.hpp"
+
+namespace prisma::dataplane {
+
+class StagePipeline {
+ public:
+  /// `layers` is outermost-first and must be non-empty; the objects must
+  /// already be wired together (outer layers reading from inner ones via
+  /// ObjectBackend). Layer names should be unique — control routing
+  /// addresses layers by name and always picks the first match.
+  explicit StagePipeline(
+      std::vector<std::shared_ptr<OptimizationObject>> layers);
+
+  /// Starts every layer, innermost-first. On failure, stops the layers
+  /// already started (outermost-first) and returns the failing layer's
+  /// status — a stage is either fully up or fully down.
+  Status Start();
+
+  /// Stops every layer, outermost-first. Idempotent.
+  void Stop();
+
+  // --- Interception surface: delegates to the outermost layer ----------
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst);
+  Result<SampleView> ReadRef(const std::string& path, std::uint64_t offset,
+                             std::size_t max_bytes);
+  Result<std::uint64_t> FileSize(const std::string& path);
+
+  /// Announces the epoch to every layer (outermost-first); every layer is
+  /// told even if an earlier one fails, and the first error is returned.
+  Status BeginEpoch(std::uint64_t epoch, const std::vector<std::string>& order);
+
+  // --- Control interface ------------------------------------------------
+  /// Routes flat fields to the prefetch-alias layer and scoped entries to
+  /// their named layers. Applies everything it can and returns the first
+  /// error (unknown layer names are InvalidArgument).
+  Status ApplyKnobs(const StageKnobs& knobs);
+
+  /// Flat fields mirror the prefetch-alias layer; `objects` holds one
+  /// named section per layer, outermost first.
+  StageStatsSnapshot CollectStats() const;
+
+  std::size_t size() const { return layers_.size(); }
+  /// Layer `i`, outermost first. Precondition: i < size().
+  const std::shared_ptr<OptimizationObject>& Layer(std::size_t i) const {
+    return layers_[i];
+  }
+  /// First layer whose Name() is `name`, or nullptr.
+  std::shared_ptr<OptimizationObject> FindLayer(std::string_view name) const;
+
+ private:
+  /// The layer flat knobs/stats alias: "prefetch" if present, else the
+  /// outermost layer (what the old single-object Stage exposed).
+  OptimizationObject& RoutingLayer() const;
+
+  // prisma-lint: unguarded(immutable after construction)
+  std::vector<std::shared_ptr<OptimizationObject>> layers_;
+};
+
+}  // namespace prisma::dataplane

@@ -6,6 +6,11 @@
 
 namespace prisma::dataplane {
 
+namespace {
+/// How often an idle migration worker re-checks its retirement flag.
+constexpr Millis kWorkerPollInterval{20};
+}  // namespace
+
 TieringObject::TieringObject(
     std::shared_ptr<storage::StorageBackend> slow_tier,
     std::shared_ptr<storage::StorageBackend> fast_tier, TieringOptions options,
@@ -28,23 +33,35 @@ Status TieringObject::Start() {
     MutexLock lock(mu_);  // migration_workers may move under ApplyKnobs
     n = std::max<std::uint32_t>(1, options_.migration_workers);
   }
-  for (std::uint32_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { MigrationLoop(); });
-  }
+  target_workers_.store(n, std::memory_order_release);
+  ReconcileWorkers();
   return Status::Ok();
 }
 
 void TieringObject::Stop() {
   if (!running_.exchange(false)) return;
+  target_workers_.store(0, std::memory_order_release);
   promote_queue_.Close();
-  for (auto& w : workers_) {
+  // Claim the handles under the lock, join with it released: a worker can
+  // be mid-promotion (real I/O) when it observes retirement.
+  std::vector<std::thread> retired;
+  {
+    MutexLock lock(workers_mu_);
+    retired.swap(workers_);
+  }
+  for (auto& w : retired) {
     if (w.joinable()) w.join();
   }
-  workers_.clear();
 }
 
-void TieringObject::MigrationLoop() {
-  while (auto path = promote_queue_.Pop()) {
+void TieringObject::MigrationLoop(std::uint32_t index) {
+  while (running_.load(std::memory_order_acquire) &&
+         index < target_workers_.load(std::memory_order_acquire)) {
+    auto path = promote_queue_.PopFor(kWorkerPollInterval);
+    if (!path) {
+      if (promote_queue_.closed()) break;
+      continue;  // idle; re-check retirement
+    }
     auto data = slow_->ReadAllShared(*path, BufferPool::Default());
     if (!data.ok()) {
       MutexLock lock(mu_);
@@ -61,12 +78,43 @@ void TieringObject::MigrationLoop() {
   }
 }
 
+void TieringObject::ReconcileWorkers() {
+  // Same shape as PrefetchObject::ReconcileProducers: retirees (index >=
+  // target) exit on their own, and the joins run with workers_mu_
+  // released because a retiree may be mid-promotion.
+  std::vector<std::thread> retired;
+  {
+    MutexLock lock(workers_mu_);
+    const std::uint32_t target =
+        target_workers_.load(std::memory_order_acquire);
+    while (workers_.size() > target) {
+      retired.push_back(std::move(workers_.back()));
+      workers_.pop_back();
+    }
+    for (std::uint32_t i = static_cast<std::uint32_t>(workers_.size());
+         i < target; ++i) {
+      workers_.emplace_back([this, i] { MigrationLoop(i); });
+    }
+  }
+  for (auto& w : retired) w.join();
+}
+
 void TieringObject::Admit(const std::string& path, std::uint64_t bytes) {
   MutexLock lock(mu_);
   pending_.erase(path);
   if (resident_.find(path) != resident_.end()) return;  // raced: already in
 
-  while (fast_bytes_ + bytes > options_.fast_tier_capacity && !lru_.empty()) {
+  DemoteOverBudget(bytes);
+  lru_.push_front(path);
+  resident_[path] = Resident{bytes, lru_.begin()};
+  fast_bytes_ += bytes;
+  ++counters_.promotions;
+  counters_.fast_bytes = fast_bytes_;
+}
+
+void TieringObject::DemoteOverBudget(std::uint64_t incoming_bytes) {
+  while (fast_bytes_ + incoming_bytes > options_.fast_tier_capacity &&
+         !lru_.empty()) {
     const std::string victim = lru_.back();
     lru_.pop_back();
     const auto it = resident_.find(victim);
@@ -78,10 +126,6 @@ void TieringObject::Admit(const std::string& path, std::uint64_t bytes) {
       // unlink it. Backends used here tolerate overwrites, so we leave it.
     }
   }
-  lru_.push_front(path);
-  resident_[path] = Resident{bytes, lru_.begin()};
-  fast_bytes_ += bytes;
-  ++counters_.promotions;
   counters_.fast_bytes = fast_bytes_;
 }
 
@@ -105,19 +149,21 @@ Result<std::size_t> TieringObject::Read(const std::string& path,
   auto n = slow_->Read(path, offset, dst);
   if (!n.ok()) return n;
   bool candidate = false;
+  std::uint64_t max_promote = 0;
   {
     MutexLock lock(mu_);
     ++counters_.slow_reads;
     const bool queued = pending_.find(path) != pending_.end();
     const bool resident = resident_.find(path) != resident_.end();
     candidate = !queued && !resident && running_.load(std::memory_order_acquire);
+    max_promote = options_.max_promote_bytes;  // live knob: read under mu_
   }
   // The promotion-size stat is real slow-tier I/O, so it runs outside
   // the lock; re-check under the lock afterwards since a concurrent
   // reader may have queued or promoted the file while we statted.
   if (candidate) {
     const auto size = slow_->FileSize(path);
-    if (size.ok() && *size <= options_.max_promote_bytes) {
+    if (size.ok() && *size <= max_promote) {
       MutexLock lock(mu_);
       const bool queued = pending_.find(path) != pending_.end();
       const bool resident = resident_.find(path) != resident_.end();
@@ -142,14 +188,45 @@ Result<std::uint64_t> TieringObject::FileSize(const std::string& path) {
 
 Status TieringObject::ApplyKnobs(const StageKnobs& knobs) {
   // Tiering reuses the generic knobs: `producers` maps to migration
-  // workers (applied on next Start), `buffer_capacity` is N/A.
-  // CollectStats reads migration_workers under mu_, so the write must
-  // hold it too.
+  // workers (live), `buffer_capacity` is N/A. CollectStats reads
+  // migration_workers under mu_, so the write must hold it too.
   if (knobs.producers) {
-    MutexLock lock(mu_);
-    options_.migration_workers = *knobs.producers;
+    const std::uint32_t n = std::max<std::uint32_t>(1, *knobs.producers);
+    {
+      MutexLock lock(mu_);
+      options_.migration_workers = n;
+    }
+    if (running_.load(std::memory_order_acquire)) {
+      target_workers_.store(n, std::memory_order_release);
+      ReconcileWorkers();
+    }
   }
   return Status::Ok();
+}
+
+Status TieringObject::ApplyNamedKnob(std::string_view knob, double value) {
+  if (knob == "migration_workers" || knob == "producers") {
+    StageKnobs alias;
+    alias.producers =
+        static_cast<std::uint32_t>(std::max(1.0, value > 0.0 ? value : 1.0));
+    return ApplyKnobs(alias);
+  }
+  if (knob == "fast_tier_capacity") {
+    const auto budget =
+        static_cast<std::uint64_t>(value > 0.0 ? value : 0.0);
+    MutexLock lock(mu_);
+    options_.fast_tier_capacity = budget;
+    DemoteOverBudget(0);  // shrinking takes effect immediately
+    return Status::Ok();
+  }
+  if (knob == "max_promote_bytes") {
+    MutexLock lock(mu_);
+    options_.max_promote_bytes =
+        static_cast<std::uint64_t>(value > 0.0 ? value : 0.0);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("tiering has no knob '" + std::string(knob) +
+                                 "'");
 }
 
 StageStatsSnapshot TieringObject::CollectStats() const {
@@ -163,6 +240,23 @@ StageStatsSnapshot TieringObject::CollectStats() const {
   s.passthrough_reads = counters_.slow_reads;
   s.queue_depth = promote_queue_.size();
   return s;
+}
+
+void TieringObject::AppendNamedStats(ObjectStatsSection& section) const {
+  MutexLock lock(mu_);
+  section.Set("fast_hits", static_cast<double>(counters_.fast_hits));
+  section.Set("slow_reads", static_cast<double>(counters_.slow_reads));
+  section.Set("promotions", static_cast<double>(counters_.promotions));
+  section.Set("demotions", static_cast<double>(counters_.demotions));
+  section.Set("fast_bytes", static_cast<double>(fast_bytes_));
+  section.Set("resident_files", static_cast<double>(resident_.size()));
+  section.Set("pending_promotions", static_cast<double>(pending_.size()));
+  section.Set("migration_workers",
+              static_cast<double>(options_.migration_workers));
+  section.Set("fast_tier_capacity",
+              static_cast<double>(options_.fast_tier_capacity));
+  section.Set("max_promote_bytes",
+              static_cast<double>(options_.max_promote_bytes));
 }
 
 TieringObject::TierCounters TieringObject::Counters() const {

@@ -23,10 +23,15 @@
 namespace prisma::dataplane {
 
 struct TieringOptions {
-  /// Byte budget on the fast tier.
+  /// Byte budget on the fast tier. Live knob ("tiering.fast_tier_capacity"):
+  /// shrinking demotes LRU entries immediately.
   std::uint64_t fast_tier_capacity = 1ull << 30;
+  /// Migration-worker pool size. Live knob ("tiering.migration_workers",
+  /// aliased by the flat `producers` field): workers spawn/retire without
+  /// dropping queued promotions.
   std::uint32_t migration_workers = 1;
-  /// Only files up to this size are promoted.
+  /// Only files up to this size are promoted. Live knob
+  /// ("tiering.max_promote_bytes").
   std::uint64_t max_promote_bytes = 64ull * 1024 * 1024;
 };
 
@@ -48,7 +53,9 @@ class TieringObject final : public OptimizationObject {
   Result<std::uint64_t> FileSize(const std::string& path) override;
 
   Status ApplyKnobs(const StageKnobs& knobs) override;
+  Status ApplyNamedKnob(std::string_view knob, double value) override;
   StageStatsSnapshot CollectStats() const override;
+  void AppendNamedStats(ObjectStatsSection& section) const override;
 
   struct TierCounters {
     std::uint64_t fast_hits = 0;
@@ -63,22 +70,32 @@ class TieringObject final : public OptimizationObject {
   bool ResidentFast(const std::string& path) const;
 
  private:
-  void MigrationLoop();
+  void MigrationLoop(std::uint32_t index);
+  /// Spawns/retires workers to match target_workers_ (live knob).
+  void ReconcileWorkers() EXCLUDES(workers_mu_);
   /// Registers a promoted file, demoting LRU entries over budget.
   void Admit(const std::string& path, std::uint64_t bytes) EXCLUDES(mu_);
+  /// Demotes LRU entries until fast_bytes_ fits the (possibly shrunken)
+  /// budget, leaving headroom for `incoming_bytes`.
+  void DemoteOverBudget(std::uint64_t incoming_bytes) REQUIRES(mu_);
 
   // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<storage::StorageBackend> slow_;
   // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<storage::StorageBackend> fast_;
-  // prisma-lint: unguarded(only migration_workers mutates, and every access to it holds mu_; the other fields are immutable after construction)
+  // prisma-lint: unguarded(every access to the mutable fields (migration_workers, fast_tier_capacity, max_promote_bytes) holds mu_)
   TieringOptions options_;
   std::shared_ptr<const Clock> clock_;
 
   // prisma-lint: unguarded(internally synchronized)
   BoundedQueue<std::string> promote_queue_;
-  // prisma-lint: unguarded(mutated only in Start/Stop, serialized by the running_ CAS)
-  std::vector<std::thread> workers_;
+
+  // NOTE: workers_mu_ and mu_ share LockRank::kStage and must never nest:
+  // ReconcileWorkers joins retirees with workers_mu_ released, and the
+  // migration loop takes only mu_.
+  Mutex workers_mu_{LockRank::kStage};  // guards workers_ mutations
+  std::vector<std::thread> workers_ GUARDED_BY(workers_mu_);
+  std::atomic<std::uint32_t> target_workers_{0};
   std::atomic<bool> running_{false};
 
   mutable Mutex mu_{LockRank::kStage};

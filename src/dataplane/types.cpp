@@ -1,0 +1,153 @@
+// Namespaced-knob parsing and the flat-snapshot <-> named-gauge bridge
+// used by StagePipeline's per-object stats (DESIGN.md §12).
+#include "dataplane/types.hpp"
+
+#include <cmath>
+
+namespace prisma::dataplane {
+namespace {
+
+// One generic snapshot field: its wire/gauge name plus accessors. The
+// table is the single source of truth for SnapshotToSection and
+// SnapshotForObject, so the two stay inverses of each other.
+struct FieldSpec {
+  const char* key;
+  double (*get)(const StageStatsSnapshot&);
+  void (*set)(StageStatsSnapshot&, double);
+};
+
+template <typename T>
+T FromDouble(double v) {
+  if (!(v > 0.0)) return T{0};  // also maps NaN to zero
+  return static_cast<T>(std::llround(v));
+}
+
+#define PRISMA_FIELD(name)                                             \
+  FieldSpec {                                                          \
+    #name,                                                             \
+        [](const StageStatsSnapshot& s) {                              \
+          return static_cast<double>(s.name);                          \
+        },                                                             \
+        [](StageStatsSnapshot& s, double v) {                          \
+          s.name = FromDouble<decltype(s.name)>(v);                    \
+        }                                                              \
+  }
+
+constexpr FieldSpec kFields[] = {
+    PRISMA_FIELD(producers),
+    PRISMA_FIELD(buffer_capacity),
+    PRISMA_FIELD(buffer_shards),
+    PRISMA_FIELD(buffer_occupancy),
+    PRISMA_FIELD(buffer_bytes),
+    PRISMA_FIELD(samples_produced),
+    PRISMA_FIELD(samples_consumed),
+    PRISMA_FIELD(consumer_hits),
+    PRISMA_FIELD(consumer_waits),
+    // Durations travel as fractional seconds, matching the reporting
+    // convention everywhere else (ToSeconds).
+    FieldSpec{"consumer_wait_seconds",
+              [](const StageStatsSnapshot& s) {
+                return ToSeconds(s.consumer_wait_time);
+              },
+              [](StageStatsSnapshot& s, double v) {
+                s.consumer_wait_time = FromSeconds(v > 0.0 ? v : 0.0);
+              }},
+    PRISMA_FIELD(producer_blocks),
+    PRISMA_FIELD(passthrough_reads),
+    PRISMA_FIELD(queue_depth),
+    PRISMA_FIELD(active_readers),
+    PRISMA_FIELD(read_retries),
+    PRISMA_FIELD(read_failures),
+    PRISMA_FIELD(oversize_rejects),
+    PRISMA_FIELD(announced_names),
+    PRISMA_FIELD(pool_hits),
+    PRISMA_FIELD(pool_misses),
+    PRISMA_FIELD(pool_cached_bytes),
+};
+
+#undef PRISMA_FIELD
+
+}  // namespace
+
+double ObjectStatsSection::Get(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : gauges) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+void ObjectStatsSection::Set(std::string_view key, double value) {
+  for (auto& [k, v] : gauges) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  gauges.emplace_back(std::string(key), value);
+}
+
+Status StageKnobs::Set(std::string_view path, double value) {
+  const auto dot = path.find('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == path.size()) {
+    return Status::InvalidArgument("knob path must be \"<object>.<knob>\": '" +
+                                   std::string(path) + "'");
+  }
+  ObjectKnob entry;
+  entry.object = std::string(path.substr(0, dot));
+  entry.knob = std::string(path.substr(dot + 1));
+  entry.value = value;
+  scoped.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+const ObjectStatsSection* StageStatsSnapshot::FindObject(
+    std::string_view object) const {
+  for (const auto& section : objects) {
+    if (section.object == object) return &section;
+  }
+  return nullptr;
+}
+
+ObjectStatsSection SnapshotToSection(std::string_view object,
+                                     const StageStatsSnapshot& snap) {
+  ObjectStatsSection section;
+  section.object = std::string(object);
+  section.gauges.reserve(std::size(kFields));
+  for (const auto& field : kFields) {
+    section.gauges.emplace_back(field.key, field.get(snap));
+  }
+  return section;
+}
+
+StageStatsSnapshot SnapshotForObject(const StageStatsSnapshot& snap,
+                                     std::string_view object) {
+  if (object.empty()) return snap;
+  const ObjectStatsSection* section = snap.FindObject(object);
+  if (section == nullptr) return snap;
+  StageStatsSnapshot out = snap;  // keeps `at` and the sections themselves
+  for (const auto& field : kFields) {
+    field.set(out, section->Get(field.key, field.get(snap)));
+  }
+  return out;
+}
+
+StageKnobs ScopeKnobs(const StageKnobs& knobs, std::string_view object) {
+  if (object.empty()) return knobs;
+  StageKnobs out;
+  out.scoped = knobs.scoped;  // already-scoped entries pass through
+  const std::string prefix(object);
+  auto add = [&](const char* knob, double value) {
+    out.scoped.push_back(ObjectKnob{prefix, knob, value});
+  };
+  if (knobs.producers) add("producers", static_cast<double>(*knobs.producers));
+  if (knobs.buffer_capacity) {
+    add("buffer_capacity", static_cast<double>(*knobs.buffer_capacity));
+  }
+  if (knobs.buffer_shards) {
+    add("buffer_shards", static_cast<double>(*knobs.buffer_shards));
+  }
+  if (knobs.read_rate_bps) add("read_rate_bps", *knobs.read_rate_bps);
+  return out;
+}
+
+}  // namespace prisma::dataplane

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/buffer_pool.hpp"
+#include "common/status.hpp"
 #include "common/units.hpp"
 
 namespace prisma::dataplane {
@@ -47,8 +48,25 @@ struct SampleView {
   }
 };
 
+/// One namespaced knob write, addressed as "<object>.<knob>"
+/// ("tiering.migration_workers"): `object` names a pipeline layer by its
+/// OptimizationObject::Name(), `knob` is resolved by that layer's
+/// ApplyNamedKnob. Values travel as doubles (like the stats gauges);
+/// objects round and clamp to their own ranges.
+struct ObjectKnob {
+  std::string object;
+  std::string knob;
+  double value = 0.0;
+};
+
 /// Tuning knobs a control plane may push into a stage. Unset fields keep
 /// their current value, so policies can adjust one knob at a time.
+///
+/// The flat fields predate stacked pipelines and stay as aliases for the
+/// stage's prefetch layer (StagePipeline routes them there; a pipeline
+/// without a prefetch layer hands them to its outermost object, which is
+/// what the old single-object Stage did). Any layer is addressable
+/// through `scoped` entries.
 struct StageKnobs {
   /// Number of producer (prefetch) threads `t`.
   std::optional<std::uint32_t> producers;
@@ -60,6 +78,33 @@ struct StageKnobs {
   /// Backend read-bandwidth budget in bytes/s (QoS reservation; 0 lifts
   /// the limit). Enforced by objects that own a token bucket.
   std::optional<double> read_rate_bps;
+  /// Per-layer knob writes, routed by layer name (see ObjectKnob).
+  std::vector<ObjectKnob> scoped;
+
+  /// Appends a scoped entry from a dotted "<object>.<knob>" path.
+  /// InvalidArgument when either side of the '.' is empty or missing.
+  Status Set(std::string_view path, double value);
+
+  /// True when no field is set and no scoped entry is present — nothing
+  /// for ApplyKnobs to do.
+  bool Empty() const {
+    return !producers && !buffer_capacity && !buffer_shards &&
+           !read_rate_bps && scoped.empty();
+  }
+};
+
+/// Named stats of one pipeline layer: gauges keyed by short names
+/// ("samples_consumed", "fast_hits", ...), reported per object so the
+/// control plane can observe every layer of a stacked pipeline, not just
+/// the outermost one. Serialized over the control wire (ipc/wire.hpp,
+/// stats payload v2) and exported as `prisma_object_*` gauges.
+struct ObjectStatsSection {
+  std::string object;  // layer name, e.g. "prefetch", "tiering"
+  std::vector<std::pair<std::string, double>> gauges;
+
+  double Get(std::string_view key, double fallback = 0.0) const;
+  /// Appends or overwrites `key`.
+  void Set(std::string_view key, double value);
 };
 
 /// Point-in-time monitoring snapshot a stage reports to the control plane
@@ -97,6 +142,33 @@ struct StageStatsSnapshot {
   std::uint64_t pool_hits = 0;          // pooled chunk reused
   std::uint64_t pool_misses = 0;        // fresh allocation
   std::uint64_t pool_cached_bytes = 0;  // bytes idle in pool free lists
+
+  // Per-object sections, one per pipeline layer, outermost first. Empty
+  // for a single-object stage queried through the legacy path; filled by
+  // StagePipeline::CollectStats. The flat fields above mirror the
+  // prefetch layer (or the outermost layer when there is none), exactly
+  // what the old single-object Stage reported.
+  std::vector<ObjectStatsSection> objects;
+
+  /// Section for `object`, or nullptr when absent.
+  const ObjectStatsSection* FindObject(std::string_view object) const;
 };
+
+/// Renders the generic (flat) fields of `snap` into a named-gauge section
+/// for layer `object`. Time fields are reported in seconds.
+ObjectStatsSection SnapshotToSection(std::string_view object,
+                                     const StageStatsSnapshot& snap);
+
+/// Projects the section named `object` back onto the flat snapshot fields
+/// (the inverse of SnapshotToSection, up to double precision) so flat-field
+/// consumers — the existing autotuner arithmetic — can target any layer.
+/// When `object` is empty or absent, returns `snap` unchanged.
+StageStatsSnapshot SnapshotForObject(const StageStatsSnapshot& snap,
+                                     std::string_view object);
+
+/// Rewrites flat knob fields as scoped "<object>.<knob>" entries so a
+/// tuner built on the flat fields can drive a named layer. When `object`
+/// is empty, returns `knobs` unchanged (legacy flat routing).
+StageKnobs ScopeKnobs(const StageKnobs& knobs, std::string_view object);
 
 }  // namespace prisma::dataplane

@@ -164,20 +164,14 @@ Result<UdsClient::RemoteStats> UdsClient::Stats() {
   if (resp->code != StatusCode::kOk) {
     return Status{resp->code, "remote stats failed"};
   }
+  auto payload = DecodeStatsPayload(resp->data);
+  if (!payload.ok()) return payload.status();
   RemoteStats out;
   out.samples_consumed = resp->value;
-  if (resp->data.size() >= 24) {
-    const auto get_u64 = [&](std::size_t at) {
-      std::uint64_t v = 0;
-      for (int i = 0; i < 8; ++i) {
-        v |= static_cast<std::uint64_t>(resp->data[at + i]) << (8 * i);
-      }
-      return v;
-    };
-    out.producers = get_u64(0);
-    out.buffer_capacity = get_u64(8);
-    out.buffer_occupancy = get_u64(16);
-  }
+  out.producers = payload->producers;
+  out.buffer_capacity = payload->buffer_capacity;
+  out.buffer_occupancy = payload->buffer_occupancy;
+  out.objects = std::move(payload->objects);
   return out;
 }
 

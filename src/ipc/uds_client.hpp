@@ -55,6 +55,9 @@ class UdsClient {
     std::uint64_t producers = 0;
     std::uint64_t buffer_capacity = 0;
     std::uint64_t buffer_occupancy = 0;
+    /// Per-object sections of the server's pipeline (stats payload v2);
+    /// empty when talking to a v1 server.
+    std::vector<dataplane::ObjectStatsSection> objects;
   };
   Result<RemoteStats> Stats();
 

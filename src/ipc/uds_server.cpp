@@ -217,16 +217,10 @@ Response UdsServer::Dispatch(const Request& req) {
     }
     case Op::kStats: {
       const auto stats = stage_->CollectStats();
-      // Pack a compact subset: producers, capacity, occupancy, consumed.
+      // Versioned payload: 24-byte legacy prefix (producers, capacity,
+      // occupancy — all old clients parse) + per-object sections (v2).
       resp.value = stats.samples_consumed;
-      resp.data.reserve(3 * 8);
-      const std::uint64_t fields[3] = {stats.producers, stats.buffer_capacity,
-                                       stats.buffer_occupancy};
-      for (const std::uint64_t f : fields) {
-        for (int i = 0; i < 8; ++i) {
-          resp.data.push_back(static_cast<std::byte>((f >> (8 * i)) & 0xff));
-        }
-      }
+      resp.data = EncodeStatsPayload(stats);
       break;
     }
   }

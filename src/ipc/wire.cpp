@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <cstring>
 
@@ -351,6 +352,81 @@ Status DrainResponseData(int fd, std::size_t n) {
     n -= chunk;
   }
   return Status::Ok();
+}
+
+std::vector<std::byte> EncodeStatsPayload(
+    const dataplane::StageStatsSnapshot& stats) {
+  std::vector<std::byte> out;
+  out.reserve(kStatsLegacyBytes + 64 * (1 + stats.objects.size()));
+  // Legacy prefix: v1 clients read exactly these 24 bytes.
+  PutU64(out, stats.producers);
+  PutU64(out, stats.buffer_capacity);
+  PutU64(out, stats.buffer_occupancy);
+  // v2 section block.
+  PutU32(out, kStatsPayloadVersion);
+  PutU32(out, static_cast<std::uint32_t>(stats.objects.size()));
+  for (const auto& section : stats.objects) {
+    PutString(out, section.object);
+    PutU32(out, static_cast<std::uint32_t>(section.gauges.size()));
+    for (const auto& [key, value] : section.gauges) {
+      PutString(out, key);
+      PutU64(out, std::bit_cast<std::uint64_t>(value));
+    }
+  }
+  return out;
+}
+
+Result<StatsPayload> DecodeStatsPayload(std::span<const std::byte> data) {
+  StatsPayload out;
+  if (data.size() < kStatsLegacyBytes) {
+    // Shorter-than-legacy payloads (old servers under error paths) decode
+    // to zeros, matching what legacy clients reported for them.
+    return out;
+  }
+  Cursor c(data);
+  if (auto v = c.U64(); v.ok()) out.producers = *v;
+  if (auto v = c.U64(); v.ok()) out.buffer_capacity = *v;
+  if (auto v = c.U64(); v.ok()) out.buffer_occupancy = *v;
+  if (c.Done()) return out;  // v1: exactly the legacy prefix
+
+  auto version = c.U32();
+  if (!version.ok()) return version.status();
+  out.version = *version;
+  if (*version < 2) {
+    // Unknown trailer from a foreign encoder; the legacy fields stand.
+    return out;
+  }
+  auto n_sections = c.U32();
+  if (!n_sections.ok()) return n_sections.status();
+  // Each section costs at least its two length prefixes; a count beyond
+  // the remaining payload is corrupt (and must not drive a reserve).
+  if (*n_sections > c.Remaining() / 8) {
+    return Status::InvalidArgument("stats section count exceeds payload");
+  }
+  out.objects.reserve(*n_sections);
+  for (std::uint32_t s = 0; s < *n_sections; ++s) {
+    dataplane::ObjectStatsSection section;
+    auto name = c.String();
+    if (!name.ok()) return name.status();
+    section.object = std::move(*name);
+    auto n_gauges = c.U32();
+    if (!n_gauges.ok()) return n_gauges.status();
+    if (*n_gauges > c.Remaining() / 12) {
+      return Status::InvalidArgument("stats gauge count exceeds payload");
+    }
+    section.gauges.reserve(*n_gauges);
+    for (std::uint32_t g = 0; g < *n_gauges; ++g) {
+      auto key = c.String();
+      if (!key.ok()) return key.status();
+      auto bits = c.U64();
+      if (!bits.ok()) return bits.status();
+      section.gauges.emplace_back(std::move(*key),
+                                  std::bit_cast<double>(*bits));
+    }
+    out.objects.push_back(std::move(section));
+  }
+  // Bytes past the v2 section block belong to future versions; ignore.
+  return out;
 }
 
 Result<std::vector<std::byte>> ReadFrame(int fd) {

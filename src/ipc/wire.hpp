@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "dataplane/types.hpp"
 
 namespace prisma::ipc {
 
@@ -96,5 +97,42 @@ Status DrainResponseData(int fd, std::size_t n);
 
 /// Upper bound accepted by ReadFrame (guards against corrupt prefixes).
 inline constexpr std::uint32_t kMaxFrameBytes = 256u * 1024 * 1024;
+
+// --- kStats payload (versioned) ----------------------------------------
+//
+// v1 (legacy): exactly 24 bytes — [u64 producers][u64 buffer_capacity]
+// [u64 buffer_occupancy]. v2 keeps those 24 bytes as a prefix (old
+// clients parse only the prefix and ignore the rest), then appends the
+// per-object sections of a stacked pipeline:
+//
+//   [u32 version][u32 n_sections]
+//   { [u32 name_len][name bytes][u32 n_gauges]
+//     { [u32 key_len][key bytes][u64 value_bits] }* }*
+//
+// Gauge values are IEEE-754 doubles shipped as their little-endian bit
+// pattern. Decoders must ignore bytes past the section block they
+// understand, so future versions can append without breaking v2 readers.
+
+inline constexpr std::uint32_t kStatsPayloadVersion = 2;
+inline constexpr std::size_t kStatsLegacyBytes = 24;
+
+/// Decoded kStats payload: the legacy trio plus (v2) per-object sections.
+struct StatsPayload {
+  std::uint64_t producers = 0;
+  std::uint64_t buffer_capacity = 0;
+  std::uint64_t buffer_occupancy = 0;
+  /// 1 for a legacy 24-byte payload, else the encoder's version.
+  std::uint32_t version = 1;
+  std::vector<dataplane::ObjectStatsSection> objects;
+};
+
+/// Renders a stage snapshot as a v2 kStats payload (legacy 24-byte prefix
+/// + one section per pipeline object).
+std::vector<std::byte> EncodeStatsPayload(
+    const dataplane::StageStatsSnapshot& stats);
+
+/// Parses any known payload version; payloads shorter than the legacy
+/// prefix decode to all-zero fields (what pre-v1 clients reported).
+Result<StatsPayload> DecodeStatsPayload(std::span<const std::byte> data);
 
 }  // namespace prisma::ipc

@@ -48,6 +48,30 @@ TEST(CliConfigTest, ParsesEveryModel) {
   }
 }
 
+TEST(CliConfigTest, DefaultStagePipelineIsPrefetchOnly) {
+  auto e = Parse("");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->stage_pipeline, "prefetch");
+  EXPECT_EQ(e->pipeline_layers, (std::vector<std::string>{"prefetch"}));
+}
+
+TEST(CliConfigTest, ParsesStackedStagePipeline) {
+  auto e = Parse("stage_pipeline = prefetch|tiering");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->stage_pipeline, "prefetch|tiering");
+  EXPECT_EQ(e->pipeline_layers,
+            (std::vector<std::string>{"prefetch", "tiering"}));
+}
+
+TEST(CliConfigTest, RejectsBadStagePipeline) {
+  EXPECT_EQ(Parse("stage_pipeline = prefetch|warp").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Parse("stage_pipeline = prefetch||tiering").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Parse("stage_pipeline = tiering|tiering").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(CliConfigTest, RejectsUnknownNames) {
   EXPECT_EQ(Parse("pipeline = mxnet").status().code(),
             StatusCode::kInvalidArgument);

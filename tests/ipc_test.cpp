@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "dataplane/pipeline_builder.hpp"
 #include "dataplane/prefetch_object.hpp"
 #include "ipc/uds_client.hpp"
 #include "ipc/uds_server.hpp"
@@ -71,6 +72,99 @@ TEST(WireTest, EmptyStringsAndData) {
   auto dresp = DecodeResponse(EncodeResponse(resp));
   ASSERT_TRUE(dresp.ok());
   EXPECT_TRUE(dresp->data.empty());
+}
+
+// --- stats payload (v2: per-object sections) --------------------------------
+
+TEST(WireTest, StatsPayloadV2RoundTrip) {
+  dataplane::StageStatsSnapshot snap;
+  snap.producers = 3;
+  snap.buffer_capacity = 64;
+  snap.buffer_occupancy = 17;
+  dataplane::ObjectStatsSection prefetch;
+  prefetch.object = "prefetch";
+  prefetch.Set("producers", 3);
+  prefetch.Set("consumer_waits", 11);
+  dataplane::ObjectStatsSection tiering;
+  tiering.object = "tiering";
+  tiering.Set("fast_hits", 120);
+  tiering.Set("migration_workers", 2);
+  snap.objects = {prefetch, tiering};
+
+  auto decoded = DecodeStatsPayload(EncodeStatsPayload(snap));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, kStatsPayloadVersion);
+  EXPECT_EQ(decoded->producers, 3u);
+  EXPECT_EQ(decoded->buffer_capacity, 64u);
+  EXPECT_EQ(decoded->buffer_occupancy, 17u);
+  ASSERT_EQ(decoded->objects.size(), 2u);
+  EXPECT_EQ(decoded->objects[0].object, "prefetch");
+  EXPECT_EQ(decoded->objects[0].Get("consumer_waits", 0), 11.0);
+  EXPECT_EQ(decoded->objects[1].object, "tiering");
+  EXPECT_EQ(decoded->objects[1].Get("fast_hits", 0), 120.0);
+  EXPECT_EQ(decoded->objects[1].Get("migration_workers", 0), 2.0);
+}
+
+TEST(WireTest, StatsPayloadLegacy24ByteCompat) {
+  // A v1 server sends exactly the three LE u64 legacy fields; a v2
+  // client must decode them and report no sections.
+  std::vector<std::byte> bytes;
+  const auto put_u64 = [&bytes](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(std::byte{static_cast<unsigned char>(v >> (8 * i))});
+    }
+  };
+  put_u64(4);    // producers
+  put_u64(128);  // buffer_capacity
+  put_u64(9);    // buffer_occupancy
+  ASSERT_EQ(bytes.size(), kStatsLegacyBytes);
+
+  auto decoded = DecodeStatsPayload(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, 1u);
+  EXPECT_EQ(decoded->producers, 4u);
+  EXPECT_EQ(decoded->buffer_capacity, 128u);
+  EXPECT_EQ(decoded->buffer_occupancy, 9u);
+  EXPECT_TRUE(decoded->objects.empty());
+}
+
+TEST(WireTest, StatsPayloadShortPayloadIsAllZero) {
+  auto decoded = DecodeStatsPayload({});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->producers, 0u);
+  EXPECT_TRUE(decoded->objects.empty());
+}
+
+TEST(WireTest, StatsPayloadHostileSectionCountRejected) {
+  dataplane::StageStatsSnapshot snap;
+  auto bytes = EncodeStatsPayload(snap);
+  // Overwrite n_sections (right after the 24-byte prefix + u32 version)
+  // with a count far larger than the remaining bytes could hold.
+  ASSERT_GE(bytes.size(), kStatsLegacyBytes + 8);
+  for (int i = 0; i < 4; ++i) {
+    bytes[kStatsLegacyBytes + 4 + static_cast<std::size_t>(i)] =
+        std::byte{0xFF};
+  }
+  EXPECT_EQ(DecodeStatsPayload(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, StatsPayloadIgnoresTrailingBytes) {
+  // Forward compatibility: a future server may append more blocks after
+  // the v2 sections; today's decoder must ignore them.
+  dataplane::StageStatsSnapshot snap;
+  snap.producers = 2;
+  dataplane::ObjectStatsSection s;
+  s.object = "prefetch";
+  s.Set("producers", 2);
+  snap.objects = {s};
+  auto bytes = EncodeStatsPayload(snap);
+  bytes.insert(bytes.end(), 13, std::byte{0xAB});
+  auto decoded = DecodeStatsPayload(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->producers, 2u);
+  ASSERT_EQ(decoded->objects.size(), 1u);
+  EXPECT_EQ(decoded->objects[0].object, "prefetch");
 }
 
 TEST(WireTest, TruncatedPayloadsRejected) {
@@ -414,6 +508,81 @@ TEST_F(UdsTest, RemoteStats) {
   EXPECT_EQ(stats->samples_consumed, 1u);
   EXPECT_EQ(stats->producers, 2u);
   EXPECT_EQ(stats->buffer_capacity, 16u);
+}
+
+TEST_F(UdsTest, RemoteStatsCarriesObjectSections) {
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path_).ok());
+  const auto& f = ds_.train.At(2);
+  ASSERT_TRUE(client.BeginEpoch(0, {f.name}).ok());
+  ASSERT_TRUE(client.ReadAll(f.name).ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  // The single-object stage reports one section, in sync with the flat
+  // legacy fields (stats payload v2 over the wire).
+  ASSERT_EQ(stats->objects.size(), 1u);
+  EXPECT_EQ(stats->objects[0].object, "prefetch");
+  EXPECT_EQ(stats->objects[0].Get("producers", 0),
+            static_cast<double>(stats->producers));
+  EXPECT_EQ(stats->objects[0].Get("samples_consumed", 0), 1.0);
+}
+
+TEST(UdsStackedTest, StackedStageServesPerObjectStatsOverTheWire) {
+  // A `prefetch|tiering` stage behind the UDS server: the remote client
+  // sees one stats section per layer and can aim namespaced knobs at the
+  // inner layer through the in-process control surface.
+  storage::SyntheticImageNetSpec spec;
+  spec.num_train = 12;
+  spec.num_validation = 2;
+  spec.mean_file_size = 4 * 1024;
+  spec.min_file_size = 1024;
+  const auto ds = storage::MakeSyntheticImageNet(spec);
+  storage::SyntheticBackendOptions o;
+  o.profile = storage::DeviceProfile::Instant();
+  o.time_scale = 0.0;
+  auto backend = std::make_shared<storage::SyntheticBackend>(o, ds);
+
+  dataplane::PipelineOptions opts;
+  opts.prefetch.initial_producers = 1;
+  opts.prefetch.buffer_capacity = 8;
+  auto pipeline = dataplane::BuildStagePipeline("prefetch|tiering", backend,
+                                                opts, SteadyClock::Shared());
+  ASSERT_TRUE(pipeline.ok());
+  auto stage = std::make_shared<dataplane::Stage>(
+      dataplane::StageInfo{"stacked-job", "test", 0}, std::move(*pipeline));
+  ASSERT_TRUE(stage->Start().ok());
+  const std::string socket_path = ::testing::TempDir() + "/prisma_stacked_" +
+                                  std::to_string(::getpid()) + ".sock";
+  UdsServer server(socket_path, stage);
+  ASSERT_TRUE(server.Start().ok());
+
+  UdsClient client;
+  ASSERT_TRUE(client.Connect(socket_path).ok());
+  const auto names = ds.train.Names();
+  ASSERT_TRUE(client.BeginEpoch(0, names).ok());
+  for (const auto& name : names) {
+    auto data = client.ReadAll(name);
+    ASSERT_TRUE(data.ok()) << name;
+    EXPECT_EQ(*data,
+              storage::SyntheticContent::Generate(name, *ds.train.SizeOf(name)));
+  }
+
+  dataplane::StageKnobs knobs;
+  ASSERT_TRUE(knobs.Set("tiering.migration_workers", 2).ok());
+  ASSERT_TRUE(stage->ApplyKnobs(knobs).ok());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->samples_consumed, names.size());
+  ASSERT_EQ(stats->objects.size(), 2u);
+  EXPECT_EQ(stats->objects[0].object, "prefetch");
+  EXPECT_EQ(stats->objects[1].object, "tiering");
+  EXPECT_EQ(stats->objects[1].Get("migration_workers", 0), 2.0);
+  EXPECT_GE(stats->objects[1].Get("slow_reads", 0),
+            static_cast<double>(names.size()));
+
+  server.Stop();
+  stage->Stop();
 }
 
 TEST_F(UdsTest, MultipleConcurrentClients) {

@@ -1,0 +1,465 @@
+// StagePipeline: declarative composition, lifecycle ordering, and the
+// namespaced control surface (DESIGN.md §12).
+//
+// Includes the regression pair for the stacked-composition control bug:
+// with hand-built stacking the control plane only ever talked to the
+// outermost object, so knobs and stats never reached inner layers.
+// KnobsOnHandBuiltStackOnlyReachOutermost freezes that pre-pipeline
+// behavior; PipelineRoutesKnobsToEveryLayer asserts the pipeline's
+// routing fixes it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataplane/object_backend.hpp"
+#include "dataplane/pipeline_builder.hpp"
+#include "dataplane/prefetch_object.hpp"
+#include "dataplane/stage.hpp"
+#include "dataplane/stage_pipeline.hpp"
+#include "dataplane/tiering_object.hpp"
+#include "storage/shuffler.hpp"
+#include "storage/synthetic_backend.hpp"
+
+namespace prisma::dataplane {
+namespace {
+
+using storage::DeviceProfile;
+using storage::SyntheticBackend;
+using storage::SyntheticBackendOptions;
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+
+TEST(PipelineSpecTest, ParsesLayersOutermostFirst) {
+  auto layers = ParsePipelineSpec("prefetch|tiering");
+  ASSERT_TRUE(layers.ok());
+  EXPECT_EQ(*layers, (std::vector<std::string>{"prefetch", "tiering"}));
+}
+
+TEST(PipelineSpecTest, TrimsWhitespaceAroundSegments) {
+  auto layers = ParsePipelineSpec("  prefetch | tiering ");
+  ASSERT_TRUE(layers.ok());
+  EXPECT_EQ(*layers, (std::vector<std::string>{"prefetch", "tiering"}));
+}
+
+TEST(PipelineSpecTest, SingleLayerSpec) {
+  auto layers = ParsePipelineSpec("tiering");
+  ASSERT_TRUE(layers.ok());
+  EXPECT_EQ(*layers, (std::vector<std::string>{"tiering"}));
+}
+
+TEST(PipelineSpecTest, RejectsEmptySpec) {
+  EXPECT_EQ(ParsePipelineSpec("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParsePipelineSpec("   ").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineSpecTest, RejectsEmptySegment) {
+  EXPECT_EQ(ParsePipelineSpec("prefetch||tiering").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParsePipelineSpec("prefetch|").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineSpecTest, RejectsUnknownLayer) {
+  const auto status = ParsePipelineSpec("prefetch|compression").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("compression"), std::string::npos);
+}
+
+TEST(PipelineSpecTest, RejectsDuplicateLayer) {
+  EXPECT_EQ(ParsePipelineSpec("prefetch|prefetch").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Namespaced knob parsing
+
+TEST(StageKnobsTest, SetParsesNamespacedPath) {
+  StageKnobs knobs;
+  ASSERT_TRUE(knobs.Set("tiering.migration_workers", 3).ok());
+  ASSERT_TRUE(knobs.Set("prefetch.producers", 4).ok());
+  ASSERT_EQ(knobs.scoped.size(), 2u);
+  EXPECT_EQ(knobs.scoped[0].object, "tiering");
+  EXPECT_EQ(knobs.scoped[0].knob, "migration_workers");
+  EXPECT_EQ(knobs.scoped[0].value, 3.0);
+  EXPECT_EQ(knobs.scoped[1].object, "prefetch");
+  EXPECT_EQ(knobs.scoped[1].knob, "producers");
+  EXPECT_FALSE(knobs.Empty());
+}
+
+TEST(StageKnobsTest, SetRejectsMalformedPaths) {
+  StageKnobs knobs;
+  EXPECT_EQ(knobs.Set("producers", 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(knobs.Set(".producers", 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(knobs.Set("tiering.", 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(knobs.Empty());
+}
+
+// ---------------------------------------------------------------------------
+// Stats projection helpers (the autotuner layer-targeting seam)
+
+TEST(StatsProjectionTest, SectionRoundTripsThroughSnapshot) {
+  StageStatsSnapshot snap;
+  snap.producers = 5;
+  snap.buffer_capacity = 64;
+  snap.buffer_occupancy = 7;
+  snap.samples_produced = 100;
+  snap.samples_consumed = 90;
+  snap.consumer_waits = 11;
+  snap.queue_depth = 3;
+
+  const ObjectStatsSection section = SnapshotToSection("prefetch", snap);
+  EXPECT_EQ(section.object, "prefetch");
+  EXPECT_EQ(section.Get("producers", 0), 5.0);
+  EXPECT_EQ(section.Get("samples_consumed", 0), 90.0);
+
+  StageStatsSnapshot base;
+  base.objects.push_back(section);
+  const StageStatsSnapshot view = SnapshotForObject(base, "prefetch");
+  EXPECT_EQ(view.producers, 5u);
+  EXPECT_EQ(view.buffer_capacity, 64u);
+  EXPECT_EQ(view.buffer_occupancy, 7u);
+  EXPECT_EQ(view.samples_produced, 100u);
+  EXPECT_EQ(view.samples_consumed, 90u);
+  EXPECT_EQ(view.consumer_waits, 11u);
+  EXPECT_EQ(view.queue_depth, 3u);
+}
+
+TEST(StatsProjectionTest, ScopeKnobsNamespacesFlatFields) {
+  StageKnobs flat;
+  flat.producers = 6;
+  flat.buffer_capacity = 128;
+  const StageKnobs scoped = ScopeKnobs(flat, "tiering");
+  EXPECT_FALSE(scoped.producers.has_value());
+  EXPECT_FALSE(scoped.buffer_capacity.has_value());
+  ASSERT_EQ(scoped.scoped.size(), 2u);
+  EXPECT_EQ(scoped.scoped[0].object, "tiering");
+  EXPECT_EQ(scoped.scoped[0].knob, "producers");
+  EXPECT_EQ(scoped.scoped[0].value, 6.0);
+  EXPECT_EQ(scoped.scoped[1].knob, "buffer_capacity");
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle ordering, via instrumented fake layers
+
+class FakeLayer final : public OptimizationObject {
+ public:
+  FakeLayer(std::string name, std::vector<std::string>* log,
+            bool fail_start = false)
+      : name_(std::move(name)), log_(log), fail_start_(fail_start) {}
+
+  std::string_view Name() const override { return name_; }
+
+  Status Start() override {
+    log_->push_back(name_ + ":start");
+    if (fail_start_) return Status::Internal(name_ + " refuses to start");
+    return Status::Ok();
+  }
+
+  void Stop() override { log_->push_back(name_ + ":stop"); }
+
+  Result<std::size_t> Read(const std::string&, std::uint64_t,
+                           std::span<std::byte>) override {
+    log_->push_back(name_ + ":read");
+    return static_cast<std::size_t>(0);
+  }
+
+  Result<std::uint64_t> FileSize(const std::string&) override {
+    return static_cast<std::uint64_t>(0);
+  }
+
+  Status BeginEpoch(std::uint64_t epoch,
+                    const std::vector<std::string>&) override {
+    log_->push_back(name_ + ":epoch" + std::to_string(epoch));
+    return Status::Ok();
+  }
+
+  Status ApplyKnobs(const StageKnobs&) override {
+    log_->push_back(name_ + ":flat-knobs");
+    return Status::Ok();
+  }
+
+  Status ApplyNamedKnob(std::string_view knob, double value) override {
+    log_->push_back(name_ + ":" + std::string(knob) + "=" +
+                    std::to_string(static_cast<int>(value)));
+    return Status::Ok();
+  }
+
+  StageStatsSnapshot CollectStats() const override { return {}; }
+
+  void AppendNamedStats(ObjectStatsSection& section) const override {
+    section.Set("fake_gauge", 42.0);
+  }
+
+ private:
+  std::string name_;  // prisma-lint: unguarded(immutable after construction)
+  // prisma-lint: unguarded(test fixture; pipeline calls are single-threaded)
+  std::vector<std::string>* log_;
+  bool fail_start_;  // prisma-lint: unguarded(immutable after construction)
+};
+
+TEST(StagePipelineTest, StartsInnermostFirstStopsOutermostFirst) {
+  std::vector<std::string> log;
+  StagePipeline pipeline({std::make_shared<FakeLayer>("outer", &log),
+                          std::make_shared<FakeLayer>("mid", &log),
+                          std::make_shared<FakeLayer>("inner", &log)});
+  ASSERT_TRUE(pipeline.Start().ok());
+  EXPECT_EQ(log, (std::vector<std::string>{"inner:start", "mid:start",
+                                           "outer:start"}));
+  log.clear();
+  pipeline.Stop();
+  EXPECT_EQ(log,
+            (std::vector<std::string>{"outer:stop", "mid:stop", "inner:stop"}));
+}
+
+TEST(StagePipelineTest, PartialStartRollsBackStartedLayers) {
+  std::vector<std::string> log;
+  StagePipeline pipeline(
+      {std::make_shared<FakeLayer>("outer", &log),
+       std::make_shared<FakeLayer>("mid", &log, /*fail_start=*/true),
+       std::make_shared<FakeLayer>("inner", &log)});
+  const Status status = pipeline.Start();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // inner started, mid failed, inner rolled back; outer never started.
+  EXPECT_EQ(log,
+            (std::vector<std::string>{"inner:start", "mid:start", "inner:stop"}));
+}
+
+TEST(StagePipelineTest, BeginEpochReachesEveryLayer) {
+  std::vector<std::string> log;
+  StagePipeline pipeline({std::make_shared<FakeLayer>("outer", &log),
+                          std::make_shared<FakeLayer>("mid", &log),
+                          std::make_shared<FakeLayer>("inner", &log)});
+  ASSERT_TRUE(pipeline.BeginEpoch(7, {}).ok());
+  EXPECT_EQ(log, (std::vector<std::string>{"outer:epoch7", "mid:epoch7",
+                                           "inner:epoch7"}));
+}
+
+TEST(StagePipelineTest, ScopedKnobsRouteToNamedLayer) {
+  std::vector<std::string> log;
+  StagePipeline pipeline({std::make_shared<FakeLayer>("outer", &log),
+                          std::make_shared<FakeLayer>("inner", &log)});
+  StageKnobs knobs;
+  ASSERT_TRUE(knobs.Set("inner.custom_knob", 5).ok());
+  ASSERT_TRUE(pipeline.ApplyKnobs(knobs).ok());
+  EXPECT_EQ(log, (std::vector<std::string>{"inner:custom_knob=5"}));
+}
+
+TEST(StagePipelineTest, UnknownLayerInScopedKnobIsAnError) {
+  std::vector<std::string> log;
+  StagePipeline pipeline({std::make_shared<FakeLayer>("outer", &log)});
+  StageKnobs knobs;
+  ASSERT_TRUE(knobs.Set("ghost.producers", 1).ok());
+  EXPECT_EQ(pipeline.ApplyKnobs(knobs).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StagePipelineTest, CollectStatsHasOneSectionPerLayer) {
+  std::vector<std::string> log;
+  StagePipeline pipeline({std::make_shared<FakeLayer>("outer", &log),
+                          std::make_shared<FakeLayer>("inner", &log)});
+  const auto stats = pipeline.CollectStats();
+  ASSERT_EQ(stats.objects.size(), 2u);
+  EXPECT_EQ(stats.objects[0].object, "outer");
+  EXPECT_EQ(stats.objects[1].object, "inner");
+  ASSERT_NE(stats.FindObject("inner"), nullptr);
+  EXPECT_EQ(stats.FindObject("inner")->Get("fake_gauge", 0), 42.0);
+  EXPECT_EQ(stats.FindObject("ghost"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Real layers: the regression pair and parity with hand-built stacking
+
+class StagePipelineStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::SyntheticImageNetSpec spec;
+    spec.num_train = 40;
+    spec.num_validation = 4;
+    spec.mean_file_size = 8 * 1024;
+    spec.min_file_size = 1024;
+    ds_ = storage::MakeSyntheticImageNet(spec);
+
+    SyntheticBackendOptions o;
+    o.profile = DeviceProfile::Instant();
+    o.time_scale = 0.0;
+    slow_ = std::make_shared<SyntheticBackend>(o, ds_);
+    fast_ = std::make_shared<SyntheticBackend>(o);
+  }
+
+  storage::ImageNetDataset ds_;
+  std::shared_ptr<SyntheticBackend> slow_;
+  std::shared_ptr<SyntheticBackend> fast_;
+};
+
+// Freeze of the PRE-pipeline behavior: when objects were hand-stacked
+// behind a single-object Stage, the control plane held only the
+// outermost object, so a knob aimed at the inner layer silently stopped
+// at the top of the stack. (The single-object Stage forwarded ApplyKnobs
+// verbatim to its one object; this drives the outermost object directly,
+// which is exactly what that Stage did.)
+TEST_F(StagePipelineStackTest, KnobsOnHandBuiltStackOnlyReachOutermost) {
+  TieringOptions to;
+  to.migration_workers = 1;
+  auto tiering =
+      std::make_shared<TieringObject>(slow_, fast_, to, SteadyClock::Shared());
+  ASSERT_TRUE(tiering->Start().ok());
+  auto middle = std::make_shared<ObjectBackend>(tiering);
+  PrefetchOptions po;
+  po.initial_producers = 1;
+  auto prefetch = std::make_shared<PrefetchObject>(middle, po,
+                                                   SteadyClock::Shared());
+  ASSERT_TRUE(prefetch->Start().ok());
+
+  StageKnobs knobs;
+  knobs.producers = 3;
+  ASSERT_TRUE(prefetch->ApplyKnobs(knobs).ok());
+
+  // The outermost layer scaled; the inner layer never saw the knob.
+  EXPECT_EQ(prefetch->CollectStats().producers, 3u);
+  EXPECT_EQ(tiering->CollectStats().producers, 1u);
+
+  // Likewise, the outermost snapshot says nothing about the inner layer.
+  EXPECT_EQ(prefetch->CollectStats().FindObject("tiering"), nullptr);
+
+  prefetch->Stop();
+  tiering->Stop();
+}
+
+// The fix: the pipeline routes scoped knobs to the named layer and
+// reports a stats section for every layer.
+TEST_F(StagePipelineStackTest, PipelineRoutesKnobsToEveryLayer) {
+  TieringOptions to;
+  to.migration_workers = 1;
+  auto tiering =
+      std::make_shared<TieringObject>(slow_, fast_, to, SteadyClock::Shared());
+  auto middle = std::make_shared<ObjectBackend>(tiering);
+  PrefetchOptions po;
+  po.initial_producers = 1;
+  auto prefetch = std::make_shared<PrefetchObject>(middle, po,
+                                                   SteadyClock::Shared());
+
+  StagePipeline pipeline({prefetch, tiering});
+  ASSERT_TRUE(pipeline.Start().ok());
+
+  StageKnobs knobs;
+  knobs.producers = 3;  // flat -> prefetch alias
+  ASSERT_TRUE(knobs.Set("tiering.migration_workers", 2).ok());
+  ASSERT_TRUE(pipeline.ApplyKnobs(knobs).ok());
+
+  const auto stats = pipeline.CollectStats();
+  EXPECT_EQ(stats.producers, 3u);  // flat view == prefetch layer
+  ASSERT_NE(stats.FindObject("prefetch"), nullptr);
+  EXPECT_EQ(stats.FindObject("prefetch")->Get("producers", 0), 3.0);
+  ASSERT_NE(stats.FindObject("tiering"), nullptr);
+  EXPECT_EQ(stats.FindObject("tiering")->Get("migration_workers", 0), 2.0);
+
+  // Unknown knob on a real layer is a routed error, not a silent drop.
+  StageKnobs bad;
+  ASSERT_TRUE(bad.Set("tiering.no_such_knob", 1).ok());
+  EXPECT_EQ(pipeline.ApplyKnobs(bad).code(), StatusCode::kInvalidArgument);
+
+  pipeline.Stop();
+}
+
+// Flat knobs on a pipeline with no prefetch layer keep the old
+// single-object meaning: they alias the outermost layer.
+TEST_F(StagePipelineStackTest, FlatKnobsAliasOutermostWithoutPrefetch) {
+  auto tiering = std::make_shared<TieringObject>(
+      slow_, fast_, TieringOptions{}, SteadyClock::Shared());
+  StagePipeline pipeline({tiering});
+  ASSERT_TRUE(pipeline.Start().ok());
+  StageKnobs knobs;
+  knobs.producers = 4;  // tiering maps producers onto migration workers
+  ASSERT_TRUE(pipeline.ApplyKnobs(knobs).ok());
+  EXPECT_EQ(pipeline.CollectStats().producers, 4u);
+  pipeline.Stop();
+}
+
+// Eviction/promotion semantics of the built `prefetch|tiering` pipeline
+// match the hand-built stack (StackingTest.SecondEpochHitsFastTier
+// ThroughTheStack): after epoch one promotes the working set, epoch two
+// is served from the fast tier.
+TEST_F(StagePipelineStackTest, BuiltPipelineMatchesHandBuiltStacking) {
+  PipelineOptions opts;
+  opts.prefetch.initial_producers = 1;
+  opts.prefetch.buffer_capacity = 8;
+  opts.tiering.fast_tier_capacity = 1ull << 30;  // everything fits
+  opts.fast_tier = fast_;
+  auto built = BuildStagePipeline("prefetch|tiering", slow_, opts,
+                                  SteadyClock::Shared());
+  ASSERT_TRUE(built.ok());
+  StagePipeline pipeline = std::move(*built);
+  ASSERT_TRUE(pipeline.Start().ok());
+
+  auto promotions = [&] {
+    const auto stats = pipeline.CollectStats();
+    const auto* tiering = stats.FindObject("tiering");
+    return tiering ? tiering->Get("promotions", 0) : 0.0;
+  };
+
+  storage::EpochShuffler shuffler(ds_.train.Names(), 9);
+  for (std::uint64_t e = 0; e < 2; ++e) {
+    const auto order = shuffler.OrderFor(e);
+    ASSERT_TRUE(pipeline.BeginEpoch(e, order).ok());
+    for (const auto& name : order) {
+      std::vector<std::byte> buf(*ds_.train.SizeOf(name));
+      ASSERT_TRUE(pipeline.Read(name, 0, buf).ok());
+      EXPECT_EQ(buf, storage::SyntheticContent::Generate(name, buf.size()));
+    }
+    if (e == 0) {
+      for (int i = 0; i < 500; ++i) {
+        if (promotions() >= static_cast<double>(ds_.train.NumFiles())) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  }
+  pipeline.Stop();
+
+  const auto stats = pipeline.CollectStats();
+  ASSERT_NE(stats.FindObject("tiering"), nullptr);
+  EXPECT_GE(stats.FindObject("tiering")->Get("fast_hits", 0),
+            static_cast<double>(ds_.train.NumFiles()))
+      << "epoch 2 should be served from the fast tier";
+}
+
+TEST_F(StagePipelineStackTest, BuilderRejectsBadSpecAndNullBackend) {
+  PipelineOptions opts;
+  EXPECT_FALSE(
+      BuildStagePipeline("prefetch|nope", slow_, opts, SteadyClock::Shared())
+          .ok());
+  EXPECT_FALSE(
+      BuildStagePipeline("prefetch", nullptr, opts, SteadyClock::Shared())
+          .ok());
+}
+
+// Stage fronts a pipeline: the convenience single-object constructor and
+// the full chain behave identically through the Stage surface.
+TEST_F(StagePipelineStackTest, StageHostsPipeline) {
+  PipelineOptions opts;
+  opts.prefetch.initial_producers = 1;
+  opts.fast_tier = fast_;
+  auto built = BuildStagePipeline("prefetch|tiering", slow_, opts,
+                                  SteadyClock::Shared());
+  ASSERT_TRUE(built.ok());
+  Stage stage(StageInfo{"job", "test", 0}, std::move(*built));
+  ASSERT_TRUE(stage.Start().ok());
+  EXPECT_EQ(stage.pipeline().size(), 2u);
+
+  const auto& f = ds_.train.At(0);
+  ASSERT_TRUE(stage.BeginEpoch(0, {f.name}).ok());
+  std::vector<std::byte> buf(f.size);
+  ASSERT_TRUE(stage.Read(f.name, 0, buf).ok());
+  EXPECT_EQ(buf, storage::SyntheticContent::Generate(f.name, f.size));
+
+  const auto stats = stage.CollectStats();
+  EXPECT_EQ(stats.objects.size(), 2u);
+  stage.Stop();
+}
+
+}  // namespace
+}  // namespace prisma::dataplane
