@@ -111,8 +111,14 @@ int main(int argc, char** argv) {
   pipeline_opts.prefetch.initial_producers = 2;
   pipeline_opts.prefetch.max_producers = 8;
   pipeline_opts.prefetch.buffer_capacity = 32;
-  pipeline_opts.tiering.fast_tier_capacity = 64ull * 1024 * 1024;
+  pipeline_opts.tiering.fast_tier_capacity = static_cast<std::uint64_t>(
+      config.GetBytes("tiering.fast_tier_capacity", 64ull * 1024 * 1024));
   pipeline_opts.tiering.migration_workers = 1;
+  // Durable mode (configs/durable_tiering.cfg): the fast tier is a
+  // crash-consistent on-disk store and the stage reopens warm after a
+  // restart instead of re-promoting its working set.
+  pipeline_opts.tiering.durable = config.GetBool("tiering.durable", false);
+  pipeline_opts.fast_tier_path = config.GetString("tiering.fast_tier_path", "");
   auto pipeline = dataplane::BuildStagePipeline(spec, backend, pipeline_opts,
                                                 SteadyClock::Shared());
   if (!pipeline.ok()) {

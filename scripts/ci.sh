@@ -73,9 +73,14 @@ case "${MODE}" in
     # prefetch|tiering chain end-to-end through the UDS server.
     "${BUILD_DIR:-build-ci}/examples/stacked_pipeline" \
       configs/stacked_pipeline.cfg
+    # Crash-consistency chaos: SIGKILL a durable tiering child
+    # mid-promotion, then recover. Short deterministic iteration count —
+    # the full ctest pass above already ran it once at the default count.
+    PRISMA_CHAOS_ITERS=2 "${BUILD_DIR:-build-ci}/tests/tiering_chaos_test"
     ;;
   asan)
     configure_build_test "${BUILD_DIR:-build-ci-asan}" -DPRISMA_SANITIZE=address
+    PRISMA_CHAOS_ITERS=2 "${BUILD_DIR:-build-ci-asan}/tests/tiering_chaos_test"
     ;;
   tsan)
     configure_build_test "${BUILD_DIR:-build-ci-tsan}" -DPRISMA_SANITIZE=thread

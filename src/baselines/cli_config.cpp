@@ -81,6 +81,18 @@ Result<CliExperiment> ParseExperiment(const Config& config) {
   if (!layers.ok()) return layers.status();
   out.pipeline_layers = std::move(*layers);
 
+  out.pipeline_options.tiering.durable = config.GetBool("tiering.durable", false);
+  out.pipeline_options.fast_tier_path =
+      config.GetString("tiering.fast_tier_path", "");
+  out.pipeline_options.tiering.fast_tier_capacity = static_cast<std::uint64_t>(
+      config.GetBytes("tiering.fast_tier_capacity",
+                      out.pipeline_options.tiering.fast_tier_capacity));
+  if (out.pipeline_options.tiering.durable &&
+      out.pipeline_options.fast_tier_path.empty()) {
+    return Status::InvalidArgument(
+        "tiering.durable requires tiering.fast_tier_path");
+  }
+
   out.config.run_validation = config.GetBool("validation", true);
   out.config.page_cache_bytes = config.GetBytes("page_cache", 0);
   out.config.fixed_producers = static_cast<std::uint32_t>(

@@ -17,6 +17,10 @@
 //   fixed_producers / fixed_buffer = pin (t, N)   (0 = auto-tune)
 //   stage_pipeline = '|'-separated optimization-object chain,
 //              outermost first ("prefetch|tiering")  (prefetch)
+//   tiering.durable = bool — persistent fast tier that survives
+//              restarts (requires tiering.fast_tier_path)  (false)
+//   tiering.fast_tier_path = directory backing the durable fast tier
+//   tiering.fast_tier_capacity = byte size ("256MiB")  (1GiB)
 #pragma once
 
 #include <string>
@@ -47,6 +51,11 @@ struct CliExperiment {
   /// Stage hand this to BuildStagePipeline.
   std::string stage_pipeline = "prefetch";
   std::vector<std::string> pipeline_layers = {"prefetch"};
+  /// Per-layer construction options for BuildStagePipeline, populated
+  /// from the tiering.* keys (durable, fast_tier_path,
+  /// fast_tier_capacity). The DES pipelines ignore these; live-stage
+  /// front-ends pass them through verbatim.
+  dataplane::PipelineOptions pipeline_options;
 };
 
 /// Stable name of a pipeline (for output headers).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dataplane/object_backend.hpp"
+#include "storage/persistent_tier_backend.hpp"
 #include "storage/synthetic_backend.hpp"
 
 namespace prisma::dataplane {
@@ -88,8 +89,24 @@ Result<StagePipeline> BuildStagePipeline(
     if (name == "prefetch") {
       layer = std::make_shared<PrefetchObject>(below, options.prefetch, clock);
     } else if (name == "tiering") {
-      auto fast =
-          options.fast_tier != nullptr ? options.fast_tier : DefaultFastTier();
+      std::shared_ptr<storage::StorageBackend> fast = options.fast_tier;
+      if (fast == nullptr && options.tiering.durable) {
+        // Durable mode persists the fast tier on disk so a restarted
+        // stage reopens warm. The on-disk backstop is looser than the
+        // residency budget (2x): the flush worker enforces it lazily
+        // while TieringObject demotes eagerly.
+        if (options.fast_tier_path.empty()) {
+          return Status::InvalidArgument(
+              "tiering.durable requires tiering.fast_tier_path (the "
+              "directory backing the persistent fast tier)");
+        }
+        storage::PersistentTierOptions po;
+        po.byte_budget = options.tiering.fast_tier_capacity * 2;
+        fast = std::make_shared<storage::PersistentTierBackend>(
+            options.fast_tier_path, po);
+      } else if (fast == nullptr) {
+        fast = DefaultFastTier();
+      }
       layer = std::make_shared<TieringObject>(below, std::move(fast),
                                               options.tiering, clock);
     } else {

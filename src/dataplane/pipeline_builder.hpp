@@ -39,8 +39,13 @@ struct PipelineOptions {
   PrefetchOptions prefetch;
   TieringOptions tiering;
   /// Fast tier for the tiering layer; nullptr gets a fresh in-memory
-  /// SyntheticBackend (instant device), the prototype's RAM tier.
+  /// SyntheticBackend (instant device), the prototype's RAM tier —
+  /// unless `tiering.durable` is set, in which case the builder roots a
+  /// PersistentTierBackend at `fast_tier_path` (which must be non-empty).
   std::shared_ptr<storage::StorageBackend> fast_tier;
+  /// Directory backing the durable fast tier ("tiering.fast_tier_path").
+  /// Only consulted when tiering.durable is true and fast_tier is null.
+  std::string fast_tier_path;
 };
 
 /// Builds the chain described by `spec` over `backend` (the real

@@ -27,6 +27,14 @@ Status TieringObject::Start() {
   if (!running_.compare_exchange_strong(expected, true)) {
     return Status::FailedPrecondition("tiering object already started");
   }
+  // `durable` is immutable after construction, so it is safe to read
+  // before any worker exists.
+  if (options_.durable) {
+    if (Status s = RecoverResidency(); !s.ok()) {
+      running_.store(false, std::memory_order_release);
+      return s;
+    }
+  }
   promote_queue_.Reopen();
   std::uint32_t n = 1;
   {
@@ -52,6 +60,41 @@ void TieringObject::Stop() {
   for (auto& w : retired) {
     if (w.joinable()) w.join();
   }
+  // A closed queue still holds promotions no worker dispatched. Drain
+  // them and clear pending_, or those paths would stay marked "queued"
+  // forever and never be promotion-eligible after a Stop/Start cycle.
+  while (promote_queue_.TryPop().has_value()) {
+  }
+  MutexLock lock(mu_);
+  pending_.clear();
+}
+
+Status TieringObject::RecoverResidency() {
+  auto recoverable =
+      std::dynamic_pointer_cast<storage::RecoverableBackend>(fast_);
+  if (recoverable == nullptr) {
+    return Status::FailedPrecondition(
+        "tiering.durable requires a fast tier implementing "
+        "RecoverableBackend (see storage/persistent_tier_backend.hpp)");
+  }
+  auto entries = recoverable->Recover();  // real I/O: runs with mu_ released
+  if (!entries.ok()) return entries.status();
+  std::vector<std::string> victims;
+  {
+    MutexLock lock(mu_);
+    lru_.clear();
+    resident_.clear();
+    fast_bytes_ = 0;
+    for (const auto& e : *entries) {
+      lru_.push_front(e.path);
+      resident_[e.path] = Resident{e.bytes, lru_.begin()};
+      fast_bytes_ += e.bytes;
+    }
+    counters_.recovered_entries += entries->size();
+    victims = DemoteOverBudget(0);  // capacity may have shrunk since
+  }
+  UnlinkDemoted(victims);
+  return Status::Ok();
 }
 
 void TieringObject::MigrationLoop(std::uint32_t index) {
@@ -100,19 +143,25 @@ void TieringObject::ReconcileWorkers() {
 }
 
 void TieringObject::Admit(const std::string& path, std::uint64_t bytes) {
-  MutexLock lock(mu_);
-  pending_.erase(path);
-  if (resident_.find(path) != resident_.end()) return;  // raced: already in
+  std::vector<std::string> victims;
+  {
+    MutexLock lock(mu_);
+    pending_.erase(path);
+    if (resident_.find(path) != resident_.end()) return;  // raced: already in
 
-  DemoteOverBudget(bytes);
-  lru_.push_front(path);
-  resident_[path] = Resident{bytes, lru_.begin()};
-  fast_bytes_ += bytes;
-  ++counters_.promotions;
-  counters_.fast_bytes = fast_bytes_;
+    victims = DemoteOverBudget(bytes);
+    lru_.push_front(path);
+    resident_[path] = Resident{bytes, lru_.begin()};
+    fast_bytes_ += bytes;
+    ++counters_.promotions;
+    counters_.fast_bytes = fast_bytes_;
+  }
+  UnlinkDemoted(victims);
 }
 
-void TieringObject::DemoteOverBudget(std::uint64_t incoming_bytes) {
+std::vector<std::string> TieringObject::DemoteOverBudget(
+    std::uint64_t incoming_bytes) {
+  std::vector<std::string> victims;
   while (fast_bytes_ + incoming_bytes > options_.fast_tier_capacity &&
          !lru_.empty()) {
     const std::string victim = lru_.back();
@@ -122,11 +171,21 @@ void TieringObject::DemoteOverBudget(std::uint64_t incoming_bytes) {
       fast_bytes_ -= it->second.bytes;
       resident_.erase(it);
       ++counters_.demotions;
-      // The fast-tier copy becomes stale garbage; real deployments would
-      // unlink it. Backends used here tolerate overwrites, so we leave it.
+      victims.push_back(victim);
     }
   }
   counters_.fast_bytes = fast_bytes_;
+  return victims;
+}
+
+void TieringObject::UnlinkDemoted(const std::vector<std::string>& victims) {
+  for (const auto& victim : victims) {
+    // Best effort: a durable tier frees the disk space now instead of
+    // leaving stale garbage; recovery re-discards anything missed, and
+    // backends that cannot remove keep tolerating overwrites.
+    PRISMA_IGNORE_STATUS(fast_->Remove(victim),
+                         "demotion unlink is best-effort by design");
+  }
 }
 
 Result<std::size_t> TieringObject::Read(const std::string& path,
@@ -143,7 +202,30 @@ Result<std::size_t> TieringObject::Read(const std::string& path,
     }
   }
   if (fast_hit) {
-    return fast_->Read(path, offset, dst);
+    auto fast_read = fast_->Read(path, offset, dst);
+    if (fast_read.ok()) return fast_read;
+    // Degraded read: the slow tier still has the bytes, so a failing or
+    // corrupt fast tier must not fail the consumer. Evict the poisoned
+    // entry (it would fail every future hit too) and fall through to
+    // the slow-tier path, which also makes the path promotion-eligible
+    // again once the fast tier heals.
+    {
+      MutexLock lock(mu_);
+      ++counters_.fast_read_errors;
+      const auto it = resident_.find(path);
+      if (it != resident_.end()) {
+        fast_bytes_ -= it->second.bytes;
+        lru_.erase(it->second.lru_it);
+        resident_.erase(it);
+        counters_.fast_bytes = fast_bytes_;
+      }
+    }
+    PRISMA_IGNORE_STATUS(
+        fast_->Remove(path),
+        "evicting a poisoned entry is best-effort; the index entry is gone");
+    PRISMA_LOG(kWarn, "tiering")
+        << "fast-tier read of '" << path
+        << "' failed, serving from slow tier: " << fast_read.status().ToString();
   }
 
   auto n = slow_->Read(path, offset, dst);
@@ -168,9 +250,9 @@ Result<std::size_t> TieringObject::Read(const std::string& path,
       const bool queued = pending_.find(path) != pending_.end();
       const bool resident = resident_.find(path) != resident_.end();
       if (!queued && !resident && running_.load(std::memory_order_acquire)) {
-        pending_[path] = true;
-        PRISMA_IGNORE_STATUS(promote_queue_.TryPush(path),
-                             "promotion dropped on overload by design");
+        // Mark pending only when the push lands: a dropped-on-overload
+        // path must stay eligible for the next read's promotion attempt.
+        if (promote_queue_.TryPush(path).ok()) pending_[path] = true;
       }
     }
   }
@@ -214,9 +296,13 @@ Status TieringObject::ApplyNamedKnob(std::string_view knob, double value) {
   if (knob == "fast_tier_capacity") {
     const auto budget =
         static_cast<std::uint64_t>(value > 0.0 ? value : 0.0);
-    MutexLock lock(mu_);
-    options_.fast_tier_capacity = budget;
-    DemoteOverBudget(0);  // shrinking takes effect immediately
+    std::vector<std::string> victims;
+    {
+      MutexLock lock(mu_);
+      options_.fast_tier_capacity = budget;
+      victims = DemoteOverBudget(0);  // shrinking takes effect immediately
+    }
+    UnlinkDemoted(victims);
     return Status::Ok();
   }
   if (knob == "max_promote_bytes") {
@@ -257,6 +343,11 @@ void TieringObject::AppendNamedStats(ObjectStatsSection& section) const {
               static_cast<double>(options_.fast_tier_capacity));
   section.Set("max_promote_bytes",
               static_cast<double>(options_.max_promote_bytes));
+  section.Set("fast_read_errors",
+              static_cast<double>(counters_.fast_read_errors));
+  section.Set("recovered_entries",
+              static_cast<double>(counters_.recovered_entries));
+  section.Set("durable", options_.durable ? 1.0 : 0.0);
 }
 
 TieringObject::TierCounters TieringObject::Counters() const {

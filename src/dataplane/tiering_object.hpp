@@ -33,6 +33,12 @@ struct TieringOptions {
   /// Only files up to this size are promoted. Live knob
   /// ("tiering.max_promote_bytes").
   std::uint64_t max_promote_bytes = 64ull * 1024 * 1024;
+  /// Durable mode: the fast tier survives restarts. Start() rebuilds the
+  /// residency index from the fast tier's recovered contents (the fast
+  /// tier must implement storage::RecoverableBackend — see
+  /// storage/persistent_tier_backend.hpp), so a restarted stage reopens
+  /// warm instead of re-promoting its whole working set.
+  bool durable = false;
 };
 
 class TieringObject final : public OptimizationObject {
@@ -63,6 +69,13 @@ class TieringObject final : public OptimizationObject {
     std::uint64_t promotions = 0;
     std::uint64_t demotions = 0;
     std::uint64_t fast_bytes = 0;
+    /// Fast-tier reads that failed under a resident entry; each one
+    /// evicted the poisoned entry and fell back to the slow tier, so
+    /// the consumer never saw the error.
+    std::uint64_t fast_read_errors = 0;
+    /// Residency entries rebuilt from the fast tier across Start()s
+    /// (durable mode only).
+    std::uint64_t recovered_entries = 0;
   };
   TierCounters Counters() const;
 
@@ -76,8 +89,17 @@ class TieringObject final : public OptimizationObject {
   /// Registers a promoted file, demoting LRU entries over budget.
   void Admit(const std::string& path, std::uint64_t bytes) EXCLUDES(mu_);
   /// Demotes LRU entries until fast_bytes_ fits the (possibly shrunken)
-  /// budget, leaving headroom for `incoming_bytes`.
-  void DemoteOverBudget(std::uint64_t incoming_bytes) REQUIRES(mu_);
+  /// budget, leaving headroom for `incoming_bytes`. Returns the victims;
+  /// the caller must pass them to UnlinkDemoted with mu_ released (the
+  /// unlink is real I/O).
+  [[nodiscard]] std::vector<std::string> DemoteOverBudget(
+      std::uint64_t incoming_bytes) REQUIRES(mu_);
+  /// Unlinks demoted entries from the fast tier (best effort; backends
+  /// that cannot remove keep tolerating overwrites).
+  void UnlinkDemoted(const std::vector<std::string>& victims);
+  /// Durable mode: rebuilds resident_/lru_/fast_bytes_ from the fast
+  /// tier's recovered contents.
+  Status RecoverResidency() EXCLUDES(mu_);
 
   // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<storage::StorageBackend> slow_;

@@ -17,6 +17,10 @@ Result<std::vector<std::byte>> StorageBackend::ReadAll(const std::string& path) 
   return buf;
 }
 
+Status StorageBackend::Remove(const std::string& path) {
+  return Status::FailedPrecondition("backend cannot remove '" + path + "'");
+}
+
 Result<SamplePayload> StorageBackend::ReadAllShared(
     const std::string& path, const std::shared_ptr<BufferPool>& pool) {
   const auto size = FileSize(path);

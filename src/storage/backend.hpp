@@ -53,9 +53,34 @@ class StorageBackend {
   /// materializer and the tiering optimization object).
   virtual Status Write(const std::string& path, std::span<const std::byte> data) = 0;
 
+  /// Removes `path` so later reads return NotFound (the tiering layer
+  /// unlinks demoted fast-tier entries through this). NotFound when the
+  /// path does not exist; the default says the backend cannot remove at
+  /// all (FailedPrecondition), which callers treat as best-effort.
+  virtual Status Remove(const std::string& path);
+
   virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;
 
   virtual BackendStats Stats() const = 0;
+};
+
+/// Implemented alongside StorageBackend by backends whose contents
+/// survive process restarts (the durable fast tier). Recover() rescans
+/// durable state, discards anything invalid (torn writes, checksum
+/// mismatches), and returns what survived so a tiering layer can rebuild
+/// its residency index and reopen warm. Idempotent; must be called
+/// before the backend serves traffic (concurrent writes during the
+/// rescan may be dropped from the rebuilt index).
+class RecoverableBackend {
+ public:
+  struct RecoveredEntry {
+    std::string path;
+    std::uint64_t bytes = 0;
+  };
+
+  virtual ~RecoverableBackend() = default;
+
+  virtual Result<std::vector<RecoveredEntry>> Recover() = 0;
 };
 
 }  // namespace prisma::storage

@@ -15,9 +15,21 @@ Result<std::size_t> FlakyBackend::Read(const std::string& path,
   bool spike = false;
   {
     MutexLock lock(mu_);
-    const std::uint32_t attempt = attempts_[path]++;
-    const bool eligible =
-        options_.fail_first_n == 0 || attempt < options_.fail_first_n;
+    bool eligible = true;
+    if (options_.fail_first_n > 0) {
+      // The attempt map exists only for fail_first_n; bound it so a
+      // long-lived stage (millions of distinct paths) cannot grow it
+      // forever. Clearing is an epoch-style reset: early reads of every
+      // path become fault-eligible again, which the retrying consumers
+      // already tolerate.
+      if (options_.max_tracked_paths != 0 &&
+          attempts_.size() >= options_.max_tracked_paths &&
+          attempts_.find(path) == attempts_.end()) {
+        attempts_.clear();
+      }
+      const std::uint32_t attempt = attempts_[path]++;
+      eligible = attempt < options_.fail_first_n;
+    }
     if (eligible && rng_.NextDouble() < options_.read_error_rate) fail = true;
     if (rng_.NextDouble() < options_.latency_spike_rate) spike = true;
   }
@@ -34,13 +46,45 @@ Result<std::size_t> FlakyBackend::Read(const std::string& path,
 
 Status FlakyBackend::Write(const std::string& path,
                            std::span<const std::byte> data) {
+  bool fail = false;
+  {
+    MutexLock lock(mu_);
+    if (rng_.NextDouble() < options_.write_error_rate) fail = true;
+  }
+  if (fail) {
+    injected_write_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected write fault: " + path);
+  }
   return inner_->Write(path, data);
 }
 
+Status FlakyBackend::Remove(const std::string& path) {
+  return inner_->Remove(path);
+}
+
 Result<std::uint64_t> FlakyBackend::FileSize(const std::string& path) {
+  bool fail = false;
+  {
+    MutexLock lock(mu_);
+    if (rng_.NextDouble() < options_.size_error_rate) fail = true;
+  }
+  if (fail) {
+    injected_size_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected size fault: " + path);
+  }
   return inner_->FileSize(path);
 }
 
 BackendStats FlakyBackend::Stats() const { return inner_->Stats(); }
+
+void FlakyBackend::ResetAttempts() {
+  MutexLock lock(mu_);
+  attempts_.clear();
+}
+
+std::size_t FlakyBackend::TrackedPaths() const {
+  MutexLock lock(mu_);
+  return attempts_.size();
+}
 
 }  // namespace prisma::storage

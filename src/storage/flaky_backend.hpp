@@ -21,6 +21,12 @@ namespace prisma::storage {
 struct FlakyOptions {
   /// Probability in [0,1] that a Read fails with a transient IO error.
   double read_error_rate = 0.0;
+  /// Probability in [0,1] that a Write fails before touching the inner
+  /// backend — exercises the tiering layer's promotion-write path.
+  double write_error_rate = 0.0;
+  /// Probability in [0,1] that a FileSize fails — exercises the
+  /// promotion-candidate stat and recovery paths.
+  double size_error_rate = 0.0;
   /// Probability in [0,1] that a Read stalls for `spike_duration`.
   double latency_spike_rate = 0.0;
   Nanos spike_duration{Millis{5}};
@@ -28,6 +34,12 @@ struct FlakyOptions {
   /// When > 0, only the first `fail_first_n` reads of each path can
   /// fail — models transient faults that clear on retry.
   std::uint32_t fail_first_n = 0;
+  /// Bound on the per-path attempt map behind fail_first_n. When it
+  /// holds this many distinct paths and a new one arrives, the map is
+  /// cleared (an epoch-style reset: every path's early reads become
+  /// fault-eligible again). Long-lived stages previously grew this map
+  /// one entry per path forever. 0 = unbounded (legacy behavior).
+  std::size_t max_tracked_paths = 1 << 16;
 };
 
 class FlakyBackend final : public StorageBackend {
@@ -38,11 +50,27 @@ class FlakyBackend final : public StorageBackend {
                            std::span<std::byte> dst) override;
   Status Write(const std::string& path,
                std::span<const std::byte> data) override;
+  Status Remove(const std::string& path) override;
   Result<std::uint64_t> FileSize(const std::string& path) override;
   BackendStats Stats() const override;
 
+  /// Forgets per-path attempt history (fail_first_n), e.g. at an epoch
+  /// boundary: early-read faults fire again and the map stays bounded
+  /// across arbitrarily many epochs.
+  void ResetAttempts();
+
+  /// Distinct paths currently tracked for fail_first_n (test hook for
+  /// the max_tracked_paths bound).
+  std::size_t TrackedPaths() const;
+
   std::uint64_t InjectedErrors() const {
     return injected_errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t InjectedWriteErrors() const {
+    return injected_write_errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t InjectedSizeErrors() const {
+    return injected_size_errors_.load(std::memory_order_relaxed);
   }
   std::uint64_t InjectedSpikes() const {
     return injected_spikes_.load(std::memory_order_relaxed);
@@ -52,10 +80,12 @@ class FlakyBackend final : public StorageBackend {
   // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<StorageBackend> inner_;
   FlakyOptions options_;  // prisma-lint: unguarded(immutable after construction)
-  Mutex mu_{LockRank::kBackend};
+  mutable Mutex mu_{LockRank::kBackend};
   Xoshiro256 rng_ GUARDED_BY(mu_);
   std::unordered_map<std::string, std::uint32_t> attempts_ GUARDED_BY(mu_);
   std::atomic<std::uint64_t> injected_errors_{0};
+  std::atomic<std::uint64_t> injected_write_errors_{0};
+  std::atomic<std::uint64_t> injected_size_errors_{0};
   std::atomic<std::uint64_t> injected_spikes_{0};
 };
 

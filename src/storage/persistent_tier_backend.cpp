@@ -1,0 +1,524 @@
+#include "storage/persistent_tier_backend.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+
+#include "common/crc32.hpp"
+#include "common/logging.hpp"
+
+namespace prisma::storage {
+namespace {
+
+// Entry footer: | magic u32 | path_len u32 | payload_bytes u64 |
+// payload_crc u32 | footer_crc u32 |. footer_crc seals the path bytes
+// plus the first 20 footer bytes, so a torn tail invalidates the whole
+// footer. Host-endian: entries are node-local cache state, never moved
+// between machines.
+constexpr std::uint32_t kEntryMagic = 0x50544531;  // "PTE1"
+constexpr std::size_t kFooterBytes = 24;
+
+/// Encoded names longer than this switch to a truncated+checksum form so
+/// they stay under the filesystem's NAME_MAX.
+constexpr std::size_t kMaxEncodedName = 200;
+
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_;
+};
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  const int err = errno;
+  if (err == ENOENT) {
+    return Status::NotFound(op + " " + path + ": no such file");
+  }
+  return Status::IoError(op + " " + path + ": " + std::strerror(err));
+}
+
+void Store32(std::byte* dst, std::uint32_t v) { std::memcpy(dst, &v, 4); }
+void Store64(std::byte* dst, std::uint64_t v) { std::memcpy(dst, &v, 8); }
+std::uint32_t Load32(const std::byte* src) {
+  std::uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+std::uint64_t Load64(const std::byte* src) {
+  std::uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+/// Footer + path for `path` over a payload with checksum `payload_crc`.
+std::vector<std::byte> BuildTrailer(const std::string& path,
+                                    std::uint64_t payload_bytes,
+                                    std::uint32_t payload_crc) {
+  std::vector<std::byte> trailer(path.size() + kFooterBytes);
+  std::memcpy(trailer.data(), path.data(), path.size());
+  std::byte* footer = trailer.data() + path.size();
+  Store32(footer, kEntryMagic);
+  Store32(footer + 4, static_cast<std::uint32_t>(path.size()));
+  Store64(footer + 8, payload_bytes);
+  Store32(footer + 16, payload_crc);
+  const std::uint32_t seal =
+      Crc32(std::span<const std::byte>(trailer.data(), path.size() + 20));
+  Store32(footer + 20, seal);
+  return trailer;
+}
+
+Status WriteFully(int fd, std::span<const std::byte> data,
+                  const std::string& path) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> ReadFully(int fd, std::uint64_t offset,
+                              std::span<std::byte> dst,
+                              const std::string& path) {
+  std::size_t done = 0;
+  while (done < dst.size()) {
+    const ssize_t n = ::pread(fd, dst.data() + done, dst.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", path);
+    }
+    if (n == 0) break;  // short file
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+bool PlainNameChar(char c, bool first) {
+  if (first && c == '.') return false;  // no hidden/dot-dot names
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+}
+
+}  // namespace
+
+std::string PersistentTierBackend::EncodeName(const std::string& path) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const char c = path[i];
+    if (PlainNameChar(c, i == 0)) {
+      out.push_back(c);
+    } else {
+      const auto u = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    }
+  }
+  if (out.size() > kMaxEncodedName) {
+    // Injectivity now rests on the CRC suffix; the footer still stores
+    // the full logical path, so recovery never mis-identifies an entry.
+    const std::uint32_t crc = Crc32(AsBytes(path));
+    std::string suffix = "~";
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      suffix.push_back(kHex[(crc >> shift) & 0xF]);
+    }
+    out = out.substr(0, kMaxEncodedName - suffix.size()) + suffix;
+  }
+  return out;
+}
+
+PersistentTierBackend::PersistentTierBackend(std::filesystem::path root,
+                                             PersistentTierOptions options)
+    : root_(std::move(root)),
+      objects_dir_(root_ / "objects"),
+      tmp_dir_(root_ / "tmp"),
+      options_(options) {
+  std::error_code ec;
+  std::filesystem::create_directories(objects_dir_, ec);  // best effort
+  std::filesystem::create_directories(tmp_dir_, ec);
+  flush_worker_ = std::thread([this] { FlushLoop(); });
+}
+
+PersistentTierBackend::~PersistentTierBackend() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  budget_cv_.NotifyAll();
+  if (flush_worker_.joinable()) flush_worker_.join();
+}
+
+Result<std::size_t> PersistentTierBackend::Read(const std::string& path,
+                                                std::uint64_t offset,
+                                                std::span<std::byte> dst) {
+  std::string file;
+  std::uint64_t payload_bytes = 0;
+  {
+    MutexLock lock(mu_);
+    const auto it = index_.find(path);
+    if (it == index_.end()) {
+      return Status::NotFound("persistent tier: '" + path + "' not resident");
+    }
+    file = it->second.file;
+    payload_bytes = it->second.payload_bytes;
+  }
+  if (offset >= payload_bytes) return static_cast<std::size_t>(0);
+  const auto want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(dst.size(), payload_bytes - offset));
+
+  const auto full = ObjectPath(file);
+  Fd fd(::open(full.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.valid()) return ErrnoStatus("open", full.string());
+
+  if (options_.verify_reads) {
+    // Whole-payload CRC check per read: range reads pay a full-file read.
+    std::vector<std::byte> payload(static_cast<std::size_t>(payload_bytes));
+    auto n = ReadFully(fd.get(), 0, payload, full.string());
+    if (!n.ok()) return n.status();
+    if (*n != payload.size()) {
+      return Status::IoError("persistent tier: '" + path +
+                             "' truncated under us");
+    }
+    // The footer sits after the stored path; compute its offset from the
+    // file size rather than assuming the path length.
+    std::array<std::byte, kFooterBytes> footer;
+    struct stat st {};
+    if (::fstat(fd.get(), &st) != 0) return ErrnoStatus("fstat", full.string());
+    if (static_cast<std::uint64_t>(st.st_size) < kFooterBytes) {
+      return Status::IoError("persistent tier: '" + path + "' lost its footer");
+    }
+    auto fread = ReadFully(fd.get(),
+                           static_cast<std::uint64_t>(st.st_size) - kFooterBytes,
+                           footer, full.string());
+    if (!fread.ok()) return fread.status();
+    const std::uint32_t want_crc = Load32(footer.data() + 16);
+    if (Crc32(payload) != want_crc) {
+      return Status::IoError("persistent tier: checksum mismatch on '" + path +
+                             "'");
+    }
+    std::memcpy(dst.data(), payload.data() + offset, want);
+  } else {
+    auto n = ReadFully(fd.get(), offset, dst.subspan(0, want), full.string());
+    if (!n.ok()) return n.status();
+    if (*n != want) {
+      return Status::IoError("persistent tier: '" + path +
+                             "' truncated under us");
+    }
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(want, std::memory_order_relaxed);
+  return want;
+}
+
+Status PersistentTierBackend::Write(const std::string& path,
+                                    std::span<const std::byte> data) {
+  const std::string file = EncodeName(path);
+  const auto tmp =
+      tmp_dir_ / (file.substr(0, 64) + "." + std::to_string(::getpid()) + "." +
+                  std::to_string(tmp_seq_.fetch_add(1)) + ".tmp");
+  const auto final_path = ObjectPath(file);
+
+  {
+    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    if (!fd.valid()) return ErrnoStatus("open", tmp.string());
+    if (Status s = WriteFully(fd.get(), data, tmp.string()); !s.ok()) return s;
+    const auto trailer = BuildTrailer(path, data.size(), Crc32(data));
+    if (Status s = WriteFully(fd.get(), trailer, tmp.string()); !s.ok()) {
+      return s;
+    }
+    if (options_.fsync_writes && ::fsync(fd.get()) != 0) {
+      return ErrnoStatus("fsync", tmp.string());
+    }
+  }
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    const Status s = ErrnoStatus("rename", tmp.string());
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (options_.fsync_writes) {
+    // Persist the rename itself; best effort (the entry is still valid
+    // if only the directory update is lost — recovery just won't see it).
+    Fd dir(::open(objects_dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+    if (dir.valid()) ::fsync(dir.get());
+  }
+
+  const std::uint64_t file_bytes = data.size() + path.size() + kFooterBytes;
+  bool over_budget = false;
+  {
+    MutexLock lock(mu_);
+    auto it = index_.find(path);
+    if (it != index_.end()) {
+      disk_bytes_ -= it->second.file_bytes;
+      write_order_.erase(it->second.order_it);
+      index_.erase(it);
+    }
+    write_order_.push_back(path);
+    index_[path] = Entry{file, data.size(), file_bytes,
+                         std::prev(write_order_.end())};
+    disk_bytes_ += file_bytes;
+    over_budget =
+        options_.byte_budget != 0 && disk_bytes_ > options_.byte_budget;
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+  if (over_budget) budget_cv_.NotifyOne();
+  return Status::Ok();
+}
+
+Status PersistentTierBackend::Remove(const std::string& path) {
+  std::string file;
+  {
+    MutexLock lock(mu_);
+    const auto it = index_.find(path);
+    if (it == index_.end()) {
+      return Status::NotFound("persistent tier: '" + path + "' not resident");
+    }
+    file = it->second.file;
+    disk_bytes_ -= it->second.file_bytes;
+    write_order_.erase(it->second.order_it);
+    index_.erase(it);
+  }
+  const auto full = ObjectPath(file);
+  if (::unlink(full.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink", full.string());
+  }
+  return Status::Ok();
+}
+
+Result<std::uint64_t> PersistentTierBackend::FileSize(const std::string& path) {
+  MutexLock lock(mu_);
+  const auto it = index_.find(path);
+  if (it == index_.end()) {
+    return Status::NotFound("persistent tier: '" + path + "' not resident");
+  }
+  return it->second.payload_bytes;
+}
+
+BackendStats PersistentTierBackend::Stats() const {
+  BackendStats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Result<std::vector<RecoverableBackend::RecoveredEntry>>
+PersistentTierBackend::Recover() {
+  RecoveryStats stats;
+
+  // Stale in-flight temps are never valid entries: a temp either lost
+  // the race to its rename (crash before publish) or belongs to a
+  // long-dead writer. Unlink them all.
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(tmp_dir_, ec)) {
+    ::unlink(de.path().c_str());
+    ++stats.discarded_tmp;
+  }
+
+  // Scan committed entries into locals with no lock held (the rescan is
+  // real I/O); sorted file order keeps recovery — and therefore the
+  // rebuilt eviction order — deterministic.
+  std::vector<std::filesystem::path> files;
+  for (const auto& de : std::filesystem::directory_iterator(objects_dir_, ec)) {
+    files.push_back(de.path());
+  }
+  if (ec) {
+    return Status::IoError("persistent tier: cannot scan " +
+                           objects_dir_.string() + ": " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+
+  struct Scanned {
+    std::string path;
+    Entry entry;
+  };
+  std::vector<Scanned> valid;
+  for (const auto& full : files) {
+    const std::string file = full.filename().string();
+    Fd fd(::open(full.c_str(), O_RDONLY | O_CLOEXEC));
+    if (!fd.valid()) {
+      ++stats.discarded_torn;
+      ::unlink(full.c_str());
+      continue;
+    }
+    struct stat st {};
+    if (::fstat(fd.get(), &st) != 0 ||
+        static_cast<std::uint64_t>(st.st_size) < kFooterBytes) {
+      ++stats.discarded_torn;
+      ::unlink(full.c_str());
+      continue;
+    }
+    const auto file_bytes = static_cast<std::uint64_t>(st.st_size);
+
+    std::array<std::byte, kFooterBytes> footer;
+    auto n = ReadFully(fd.get(), file_bytes - kFooterBytes, footer,
+                       full.string());
+    if (!n.ok() || *n != kFooterBytes ||
+        Load32(footer.data()) != kEntryMagic) {
+      ++stats.discarded_torn;
+      ::unlink(full.c_str());
+      continue;
+    }
+    const std::uint64_t path_len = Load32(footer.data() + 4);
+    const std::uint64_t payload_bytes = Load64(footer.data() + 8);
+    if (path_len + payload_bytes + kFooterBytes != file_bytes) {
+      ++stats.discarded_torn;
+      ::unlink(full.c_str());
+      continue;
+    }
+    std::string path(static_cast<std::size_t>(path_len), '\0');
+    n = ReadFully(fd.get(), payload_bytes,
+                  std::span<std::byte>(reinterpret_cast<std::byte*>(
+                                           path.data()),
+                                       path.size()),
+                  full.string());
+    if (!n.ok() || *n != path.size()) {
+      ++stats.discarded_torn;
+      ::unlink(full.c_str());
+      continue;
+    }
+    std::vector<std::byte> sealed(path.size() + 20);
+    std::memcpy(sealed.data(), path.data(), path.size());
+    std::memcpy(sealed.data() + path.size(), footer.data(), 20);
+    if (Crc32(sealed) != Load32(footer.data() + 20)) {
+      ++stats.discarded_torn;
+      ::unlink(full.c_str());
+      continue;
+    }
+    if (EncodeName(path) != file) {
+      // Valid entry under the wrong name — a copy or tampering, never
+      // something this backend wrote. Reads would miss it forever.
+      ++stats.discarded_foreign;
+      ::unlink(full.c_str());
+      continue;
+    }
+    std::vector<std::byte> payload(static_cast<std::size_t>(payload_bytes));
+    n = ReadFully(fd.get(), 0, payload, full.string());
+    if (!n.ok() || *n != payload.size() ||
+        Crc32(payload) != Load32(footer.data() + 16)) {
+      ++stats.discarded_corrupt;
+      ::unlink(full.c_str());
+      continue;
+    }
+    valid.push_back(Scanned{path, Entry{file, payload_bytes, file_bytes, {}}});
+    ++stats.recovered;
+  }
+
+  std::vector<RecoveredEntry> out;
+  out.reserve(valid.size());
+  std::vector<std::string> victims;
+  {
+    MutexLock lock(mu_);
+    index_.clear();
+    write_order_.clear();
+    disk_bytes_ = 0;
+    for (auto& s : valid) {
+      write_order_.push_back(s.path);
+      s.entry.order_it = std::prev(write_order_.end());
+      disk_bytes_ += s.entry.file_bytes;
+      index_[s.path] = s.entry;
+      out.push_back(RecoveredEntry{s.path, s.entry.payload_bytes});
+    }
+    victims = CollectOverBudgetLocked();
+    recovery_ = stats;
+  }
+  if (!victims.empty()) {
+    evictions_.fetch_add(victims.size(), std::memory_order_relaxed);
+    UnlinkFiles(victims);
+    // Drop evicted paths from the warm set we hand back.
+    std::erase_if(out, [&](const RecoveredEntry& e) {
+      MutexLock lock(mu_);
+      return index_.find(e.path) == index_.end();
+    });
+  }
+  if (stats.discarded_torn + stats.discarded_corrupt +
+          stats.discarded_foreign >
+      0) {
+    PRISMA_LOG(kWarn, "persistent-tier")
+        << "recovery discarded " << stats.discarded_torn << " torn, "
+        << stats.discarded_corrupt << " corrupt, " << stats.discarded_foreign
+        << " foreign entries under " << root_.string();
+  }
+  return out;
+}
+
+PersistentTierBackend::RecoveryStats PersistentTierBackend::LastRecovery()
+    const {
+  MutexLock lock(mu_);
+  return recovery_;
+}
+
+std::uint64_t PersistentTierBackend::DiskBytes() const {
+  MutexLock lock(mu_);
+  return disk_bytes_;
+}
+
+std::uint64_t PersistentTierBackend::Evictions() const {
+  return evictions_.load(std::memory_order_relaxed);
+}
+
+void PersistentTierBackend::FlushLoop() {
+  while (true) {
+    std::vector<std::string> victims;
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && (options_.byte_budget == 0 ||
+                        disk_bytes_ <= options_.byte_budget)) {
+        budget_cv_.WaitFor(mu_, options_.flush_interval);
+      }
+      if (stop_) return;
+      victims = CollectOverBudgetLocked();
+    }
+    evictions_.fetch_add(victims.size(), std::memory_order_relaxed);
+    UnlinkFiles(victims);
+  }
+}
+
+std::vector<std::string> PersistentTierBackend::CollectOverBudgetLocked() {
+  std::vector<std::string> victims;
+  while (options_.byte_budget != 0 && disk_bytes_ > options_.byte_budget &&
+         !write_order_.empty()) {
+    const std::string path = write_order_.front();
+    write_order_.pop_front();
+    const auto it = index_.find(path);
+    if (it == index_.end()) continue;
+    disk_bytes_ -= it->second.file_bytes;
+    victims.push_back(it->second.file);
+    index_.erase(it);
+  }
+  return victims;
+}
+
+void PersistentTierBackend::UnlinkFiles(const std::vector<std::string>& files) {
+  for (const auto& file : files) {
+    ::unlink(ObjectPath(file).c_str());
+  }
+}
+
+}  // namespace prisma::storage

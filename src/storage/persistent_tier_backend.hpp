@@ -1,0 +1,149 @@
+// Durable fast-tier backend: a node-local, crash-consistent cache store
+// (FanStore's persistent node-local tier, PAPERS.md) the tiering
+// optimization object can use instead of the volatile in-memory tier.
+//
+// Layout (file-per-entry under a root directory):
+//
+//   <root>/objects/<encoded-path>   committed entries
+//   <root>/tmp/<encoded>.<pid>.<seq>.tmp   in-flight writes
+//
+// Every entry is [payload][logical path][24-byte footer]; the footer
+// carries a magic, the path length, the payload size, a CRC-32 of the
+// payload, and a CRC-32 sealing the footer+path. Writes are staged into
+// tmp/ (payload, path, footer, fsync) and published with an atomic
+// rename, so a reader — including a recovery scan after SIGKILL — sees
+// either nothing or a complete entry. Recover() rescans objects/,
+// validates both checksums, unlinks torn/corrupt/foreign files and stale
+// temps, and rebuilds the in-memory index; the surviving entries are
+// returned so the tiering layer can reopen warm (RecoverableBackend).
+//
+// A background flush worker enforces an on-disk byte budget by evicting
+// the oldest-written entries; it is a backstop under the tiering layer's
+// own LRU (which unlinks demoted entries synchronously via Remove).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/units.hpp"
+#include "storage/backend.hpp"
+
+namespace prisma::storage {
+
+struct PersistentTierOptions {
+  /// On-disk byte budget over whole entry files (payload + metadata);
+  /// 0 = unlimited. The flush worker evicts oldest-written entries when
+  /// the budget is exceeded.
+  std::uint64_t byte_budget = 0;
+  /// How often the flush worker re-checks the budget (it is also kicked
+  /// after every committed write).
+  Millis flush_interval{50};
+  /// fsync entry data before the publishing rename. Turning this off
+  /// trades crash consistency against the OS page cache for write
+  /// throughput (benchmarks); recovery still never serves a torn entry.
+  bool fsync_writes = true;
+  /// Re-verify the payload CRC-32 on every Read (reads the whole
+  /// payload even for range reads). Recovery always verifies; this adds
+  /// protection against corruption that happens after recovery.
+  bool verify_reads = false;
+};
+
+class PersistentTierBackend final : public StorageBackend,
+                                    public RecoverableBackend {
+ public:
+  /// Creates the directory skeleton and starts the flush worker. No
+  /// recovery scan happens here — call Recover() to reopen warm;
+  /// without it the backend starts cold and ignores prior contents
+  /// (which stay on disk and are reconciled by the next Recover()).
+  PersistentTierBackend(std::filesystem::path root,
+                        PersistentTierOptions options);
+  ~PersistentTierBackend() override;
+
+  Result<std::size_t> Read(const std::string& path, std::uint64_t offset,
+                           std::span<std::byte> dst) override;
+  Status Write(const std::string& path,
+               std::span<const std::byte> data) override;
+  Status Remove(const std::string& path) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  BackendStats Stats() const override;
+
+  /// RecoverableBackend: rescan + validate + rebuild the index. Entries
+  /// over the byte budget are evicted (oldest directory order first)
+  /// before returning.
+  Result<std::vector<RecoveredEntry>> Recover() override;
+
+  /// What the last Recover() saw (all zero before the first call).
+  struct RecoveryStats {
+    std::uint64_t recovered = 0;        // valid entries now indexed
+    std::uint64_t discarded_torn = 0;   // short file / bad footer
+    std::uint64_t discarded_corrupt = 0;  // payload CRC mismatch
+    std::uint64_t discarded_foreign = 0;  // name/footer disagreement
+    std::uint64_t discarded_tmp = 0;    // stale in-flight temp files
+  };
+  RecoveryStats LastRecovery() const;
+
+  /// Bytes of committed entry files currently indexed.
+  std::uint64_t DiskBytes() const;
+  /// Entries evicted by the flush worker since construction.
+  std::uint64_t Evictions() const;
+
+  const std::filesystem::path& root() const { return root_; }
+
+  /// Filesystem-safe encoding of a logical path (percent-escaping);
+  /// injective, so distinct logical paths never collide on disk.
+  static std::string EncodeName(const std::string& path);
+
+ private:
+  struct Entry {
+    std::string file;  // name under objects/
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t file_bytes = 0;  // payload + path + footer (budget unit)
+    std::list<std::string>::iterator order_it;
+  };
+
+  std::filesystem::path ObjectPath(const std::string& file) const {
+    return objects_dir_ / file;
+  }
+  void FlushLoop();
+  /// Pops oldest entries from the index until the budget fits; returns
+  /// their file names for the caller to unlink with mu_ released.
+  std::vector<std::string> CollectOverBudgetLocked() REQUIRES(mu_);
+  /// Unlinks previously collected victims (no lock held).
+  void UnlinkFiles(const std::vector<std::string>& files);
+
+  // prisma-lint: unguarded(immutable after construction)
+  std::filesystem::path root_;
+  // prisma-lint: unguarded(immutable after construction)
+  std::filesystem::path objects_dir_;
+  // prisma-lint: unguarded(immutable after construction)
+  std::filesystem::path tmp_dir_;
+  // prisma-lint: unguarded(immutable after construction)
+  PersistentTierOptions options_;
+
+  mutable Mutex mu_{LockRank::kBackend};
+  std::unordered_map<std::string, Entry> index_ GUARDED_BY(mu_);
+  std::list<std::string> write_order_ GUARDED_BY(mu_);  // front = oldest
+  std::uint64_t disk_bytes_ GUARDED_BY(mu_) = 0;
+  RecoveryStats recovery_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  CondVar budget_cv_;
+
+  // prisma-lint: unguarded(joined in the destructor only, after stop_)
+  std::thread flush_worker_;
+
+  std::atomic<std::uint64_t> tmp_seq_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace prisma::storage

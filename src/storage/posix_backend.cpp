@@ -117,6 +117,12 @@ Status PosixBackend::Write(const std::string& path,
   return Status::Ok();
 }
 
+Status PosixBackend::Remove(const std::string& path) {
+  const auto full = Resolve(path);
+  if (::unlink(full.c_str()) != 0) return ErrnoStatus("unlink", full.string());
+  return Status::Ok();
+}
+
 Result<std::uint64_t> PosixBackend::FileSize(const std::string& path) {
   const auto full = Resolve(path);
   struct stat st{};

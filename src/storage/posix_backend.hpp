@@ -27,6 +27,7 @@ class PosixBackend final : public StorageBackend {
       const std::string& path,
       const std::shared_ptr<BufferPool>& pool) override;
   Status Write(const std::string& path, std::span<const std::byte> data) override;
+  Status Remove(const std::string& path) override;
   Result<std::uint64_t> FileSize(const std::string& path) override;
   BackendStats Stats() const override;
 

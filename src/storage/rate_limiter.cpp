@@ -68,6 +68,10 @@ Status RateLimitedBackend::Write(const std::string& path,
   return inner_->Write(path, data);
 }
 
+Status RateLimitedBackend::Remove(const std::string& path) {
+  return inner_->Remove(path);
+}
+
 Result<std::uint64_t> RateLimitedBackend::FileSize(const std::string& path) {
   return inner_->FileSize(path);
 }

@@ -64,6 +64,7 @@ class RateLimitedBackend final : public StorageBackend {
                            std::span<std::byte> dst) override;
   Status Write(const std::string& path,
                std::span<const std::byte> data) override;
+  Status Remove(const std::string& path) override;
   Result<std::uint64_t> FileSize(const std::string& path) override;
   BackendStats Stats() const override;
 

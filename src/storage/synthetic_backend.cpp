@@ -144,6 +144,15 @@ Status SyntheticBackend::Write(const std::string& path,
   return Status::Ok();
 }
 
+Status SyntheticBackend::Remove(const std::string& path) {
+  MutexLock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("synthetic backend: " + path);
+  files_.erase(it);
+  overrides_.erase(path);
+  return Status::Ok();
+}
+
 Result<std::uint64_t> SyntheticBackend::FileSize(const std::string& path) {
   MutexLock lock(mu_);
   const auto it = files_.find(path);

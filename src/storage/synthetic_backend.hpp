@@ -55,6 +55,10 @@ class SyntheticBackend final : public StorageBackend {
       const std::string& path,
       const std::shared_ptr<BufferPool>& pool) override;
   Status Write(const std::string& path, std::span<const std::byte> data) override;
+  /// Drops `path` from the servable namespace (and any Write override),
+  /// so a demoted fast-tier entry really disappears instead of lingering
+  /// as stale garbage.
+  Status Remove(const std::string& path) override;
   Result<std::uint64_t> FileSize(const std::string& path) override;
   BackendStats Stats() const override;
 

@@ -72,6 +72,31 @@ TEST(CliConfigTest, RejectsBadStagePipeline) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(CliConfigTest, DurableTieringKeys) {
+  auto e = Parse(
+      "stage_pipeline = prefetch|tiering\n"
+      "tiering.durable = true\n"
+      "tiering.fast_tier_path = /var/cache/prisma\n"
+      "tiering.fast_tier_capacity = 256MiB\n");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->pipeline_options.tiering.durable);
+  EXPECT_EQ(e->pipeline_options.fast_tier_path, "/var/cache/prisma");
+  EXPECT_EQ(e->pipeline_options.tiering.fast_tier_capacity,
+            256ull * 1024 * 1024);
+}
+
+TEST(CliConfigTest, DurableTieringDefaultsOff) {
+  auto e = Parse("");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(e->pipeline_options.tiering.durable);
+  EXPECT_TRUE(e->pipeline_options.fast_tier_path.empty());
+}
+
+TEST(CliConfigTest, DurableTieringRequiresPath) {
+  EXPECT_EQ(Parse("tiering.durable = true").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(CliConfigTest, RejectsUnknownNames) {
   EXPECT_EQ(Parse("pipeline = mxnet").status().code(),
             StatusCode::kInvalidArgument);

@@ -5,6 +5,7 @@
 
 #include "dataplane/prefetch_object.hpp"
 #include "dataplane/sample_buffer.hpp"
+#include "dataplane/tiering_object.hpp"
 #include "storage/flaky_backend.hpp"
 #include "storage/shuffler.hpp"
 #include "storage/synthetic_backend.hpp"
@@ -83,6 +84,67 @@ TEST(FlakyBackendTest, LatencySpikesDelay) {
   ASSERT_TRUE(flaky.Read(ds.train.At(0).name, 0, buf).ok());
   EXPECT_GE(std::chrono::steady_clock::now() - t0, Millis{10});
   EXPECT_GE(flaky.InjectedSpikes(), 1u);
+}
+
+TEST(FlakyBackendTest, InjectsWriteFaults) {
+  const auto ds = SmallDataset(5);
+  FlakyOptions fo;
+  fo.write_error_rate = 1.0;
+  FlakyBackend flaky(InstantBackend(ds), fo);
+  const std::vector<std::byte> data(64);
+  EXPECT_EQ(flaky.Write("new_file", data).code(), StatusCode::kIoError);
+  EXPECT_EQ(flaky.InjectedWriteErrors(), 1u);
+  // The fault fired before the inner backend saw anything.
+  EXPECT_FALSE(flaky.FileSize("new_file").ok());
+  // Reads are a separate fault domain.
+  std::vector<std::byte> buf(64);
+  EXPECT_TRUE(flaky.Read(ds.train.At(0).name, 0, buf).ok());
+}
+
+TEST(FlakyBackendTest, InjectsSizeFaults) {
+  const auto ds = SmallDataset(5);
+  FlakyOptions fo;
+  fo.size_error_rate = 1.0;
+  FlakyBackend flaky(InstantBackend(ds), fo);
+  const auto s = flaky.FileSize(ds.train.At(0).name);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(flaky.InjectedSizeErrors(), 1u);
+}
+
+TEST(FlakyBackendTest, AttemptMapStaysBounded) {
+  // Regression: the per-path attempt map behind fail_first_n grew one
+  // entry per distinct path forever; a long-lived stage reading an
+  // ever-changing working set leaked it without bound.
+  const auto ds = SmallDataset(5);
+  FlakyOptions fo;
+  fo.read_error_rate = 1.0;
+  fo.fail_first_n = 1;
+  fo.max_tracked_paths = 8;
+  FlakyBackend flaky(InstantBackend(ds), fo);
+  std::vector<std::byte> buf(16);
+  for (int i = 0; i < 100; ++i) {
+    // Unknown paths still exercise the attempt bookkeeping.
+    PRISMA_IGNORE_STATUS(flaky.Read("ghost" + std::to_string(i), 0, buf).status(),
+                         "only the tracking side effect matters here");
+    EXPECT_LE(flaky.TrackedPaths(), fo.max_tracked_paths);
+  }
+}
+
+TEST(FlakyBackendTest, ResetAttemptsRearmsEarlyReadFaults) {
+  const auto ds = SmallDataset(5);
+  FlakyOptions fo;
+  fo.read_error_rate = 1.0;
+  fo.fail_first_n = 1;
+  FlakyBackend flaky(InstantBackend(ds), fo);
+  const auto& f = ds.train.At(0);
+  std::vector<std::byte> buf(64);
+  EXPECT_FALSE(flaky.Read(f.name, 0, buf).ok());
+  EXPECT_TRUE(flaky.Read(f.name, 0, buf).ok());  // fault cleared
+  flaky.ResetAttempts();                         // epoch boundary
+  EXPECT_EQ(flaky.TrackedPaths(), 0u);
+  EXPECT_FALSE(flaky.Read(f.name, 0, buf).ok());  // fires again
+  EXPECT_TRUE(flaky.Read(f.name, 0, buf).ok());
 }
 
 // --- SampleBuffer failure propagation --------------------------------------------
@@ -202,6 +264,35 @@ TEST(PrefetchFaultTest, OversizedSampleFailsOverToPassthrough) {
   EXPECT_EQ(stats.oversize_rejects, 1u);
   EXPECT_EQ(stats.read_failures, 0u);
   object.Stop();
+}
+
+// --- TieringObject under faults ---------------------------------------------------
+
+TEST(TieringFaultTest, PromotionSurvivesFastTierWriteFaults) {
+  // Promotion writes fail 40% of the time; the consumer must never see
+  // an error (failed promotions just stay on the slow tier) and the
+  // path stays promotion-eligible, so retried reads eventually land it.
+  const auto ds = SmallDataset(20);
+  auto slow = InstantBackend(ds);
+  FlakyOptions fo;
+  fo.write_error_rate = 0.4;
+  auto flaky_fast = std::make_shared<FlakyBackend>(InstantBackend({}), fo);
+
+  TieringObject obj(slow, flaky_fast, TieringOptions{}, SteadyClock::Shared());
+  ASSERT_TRUE(obj.Start().ok());
+  const auto names = ds.train.Names();
+  for (int round = 0; round < 6; ++round) {
+    for (const auto& name : names) {
+      std::vector<std::byte> buf(*ds.train.SizeOf(name));
+      ASSERT_TRUE(obj.Read(name, 0, buf).ok()) << name;
+      ASSERT_EQ(buf, storage::SyntheticContent::Generate(name, buf.size()));
+    }
+    std::this_thread::sleep_for(Millis{10});  // let promotions drain
+  }
+  obj.Stop();
+  EXPECT_GT(flaky_fast->InjectedWriteErrors(), 0u);
+  EXPECT_GT(obj.Counters().promotions, 0u);  // some writes got through
+  EXPECT_EQ(obj.Counters().fast_read_errors, 0u);
 }
 
 TEST(PrefetchFaultTest, NoisyEpochStillCompletesCorrectly) {

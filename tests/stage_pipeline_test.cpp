@@ -9,6 +9,7 @@
 // routing fixes it.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -435,6 +436,30 @@ TEST_F(StagePipelineStackTest, BuilderRejectsBadSpecAndNullBackend) {
   EXPECT_FALSE(
       BuildStagePipeline("prefetch", nullptr, opts, SteadyClock::Shared())
           .ok());
+}
+
+TEST_F(StagePipelineStackTest, BuilderDurableTieringNeedsAPath) {
+  PipelineOptions opts;
+  opts.tiering.durable = true;  // no fast_tier, no fast_tier_path
+  const auto built =
+      BuildStagePipeline("tiering", slow_, opts, SteadyClock::Shared());
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StagePipelineStackTest, BuilderRootsDurableFastTierAtPath) {
+  const auto root = std::filesystem::path(::testing::TempDir()) /
+                    "prisma_builder_durable";
+  std::filesystem::remove_all(root);
+  PipelineOptions opts;
+  opts.tiering.durable = true;
+  opts.fast_tier_path = root.string();
+  auto built = BuildStagePipeline("tiering", slow_, opts, SteadyClock::Shared());
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_TRUE(built->Start().ok());  // durable Start => recovery ran
+  EXPECT_TRUE(std::filesystem::is_directory(root / "objects"));
+  built->Stop();
+  std::filesystem::remove_all(root);
 }
 
 // Stage fronts a pipeline: the convenience single-object constructor and

@@ -1,0 +1,201 @@
+// Crash-consistency chaos test for the durable fast tier: SIGKILL a
+// child mid-promotion, plant corruption, restart over the same
+// directory, and prove recovery serves only intact entries — warm.
+//
+// Iteration count comes from PRISMA_CHAOS_ITERS (default 3; ci.sh runs
+// 2 in the default and asan lanes to keep the suite fast).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "dataplane/pipeline_builder.hpp"
+#include "dataplane/tiering_object.hpp"
+#include "ipc/wire.hpp"
+#include "storage/persistent_tier_backend.hpp"
+#include "storage/posix_backend.hpp"
+
+namespace prisma::dataplane {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kFiles = 16;
+constexpr std::size_t kFileBytes = 4096;
+
+std::string FileName(int k) { return "img" + std::to_string(k); }
+
+std::vector<std::byte> ExpectedContent(int k) {
+  std::vector<std::byte> out(kFileBytes);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::byte>((i * 31 + static_cast<std::size_t>(k)) &
+                                    0xFF);
+  }
+  return out;
+}
+
+int ChaosIterations() {
+  if (const char* env = std::getenv("PRISMA_CHAOS_ITERS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 3;
+}
+
+std::size_t CommittedEntries(const fs::path& fast_root) {
+  std::error_code ec;
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& de :
+       fs::directory_iterator(fast_root / "objects", ec)) {
+    ++n;
+  }
+  return n;
+}
+
+/// Child body after fork: promote the working set through a durable
+/// tiering object until the parent SIGKILLs us. Exits 2 on any setup
+/// failure (which the parent reports as a test failure).
+[[noreturn]] void RunChildWorkload(const fs::path& slow_root,
+                                   const fs::path& fast_root) {
+  auto slow = std::make_shared<storage::PosixBackend>(slow_root);
+  auto fast = std::make_shared<storage::PersistentTierBackend>(
+      fast_root, storage::PersistentTierOptions{});
+  TieringOptions options;
+  options.durable = true;
+  TieringObject obj(slow, fast, options, SteadyClock::Shared());
+  if (!obj.Start().ok()) _exit(2);
+  std::vector<std::byte> buf(kFileBytes);
+  for (int k = 0;; k = (k + 1) % kFiles) {
+    if (!obj.Read(FileName(k), 0, buf).ok()) _exit(2);
+  }
+}
+
+TEST(TieringChaosTest, KillMidPromotionThenRecoverWarm) {
+  const int iters = ChaosIterations();
+  for (int iter = 0; iter < iters; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    const fs::path root = fs::path(::testing::TempDir()) /
+                          ("prisma_chaos_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(iter));
+    const fs::path slow_root = root / "slow";
+    const fs::path fast_root = root / "fast";
+    fs::remove_all(root);
+    fs::create_directories(slow_root);
+
+    for (int k = 0; k < kFiles; ++k) {
+      const auto content = ExpectedContent(k);
+      std::ofstream f(slow_root / FileName(k), std::ios::binary);
+      f.write(reinterpret_cast<const char*>(content.data()),
+              static_cast<std::streamsize>(content.size()));
+      ASSERT_TRUE(f.good());
+    }
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) RunChildWorkload(slow_root, fast_root);
+
+    // Let promotions land, then SIGKILL mid-flight — no shutdown path
+    // runs, so whatever is on disk is exactly what a crash leaves.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (CommittedEntries(fast_root) < 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ::kill(child, SIGKILL);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL)
+        << "child exited on its own (status " << wstatus
+        << ") — workload setup failed";
+    const std::size_t committed = CommittedEntries(fast_root);
+    ASSERT_GE(committed, 3u) << "no promotions landed before the kill";
+
+    // Plant the damage recovery must catch on top of whatever the kill
+    // left: one bit-rotted payload, one torn (truncated) entry.
+    std::vector<fs::path> entries;
+    for (const auto& de : fs::directory_iterator(fast_root / "objects")) {
+      entries.push_back(de.path());
+    }
+    std::sort(entries.begin(), entries.end());
+    {
+      std::fstream f(entries[0],
+                     std::ios::in | std::ios::out | std::ios::binary);
+      ASSERT_TRUE(f.good());
+      f.seekp(1);
+      f.put('\x7F');
+    }
+    fs::resize_file(entries[1], 10);
+
+    // Restart over the same directories, through the declarative
+    // builder (the config-file path users take).
+    auto tier = std::make_shared<storage::PersistentTierBackend>(
+        fast_root, storage::PersistentTierOptions{});
+    PipelineOptions popts;
+    popts.tiering.durable = true;
+    popts.fast_tier = tier;
+    auto pipeline = BuildStagePipeline(
+        "tiering", std::make_shared<storage::PosixBackend>(slow_root), popts,
+        SteadyClock::Shared());
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    ASSERT_TRUE(pipeline->Start().ok());
+    auto obj = std::static_pointer_cast<TieringObject>(
+        pipeline->FindLayer("tiering"));
+    ASSERT_NE(obj, nullptr);
+
+    // Recovery discarded exactly the two planted entries (SIGKILL alone
+    // cannot tear a published entry: the payload and footer are fully
+    // written before the atomic rename).
+    const auto rec = tier->LastRecovery();
+    EXPECT_EQ(rec.discarded_corrupt, 1u);
+    EXPECT_EQ(rec.discarded_torn, 1u);
+    EXPECT_EQ(rec.discarded_foreign, 0u);
+    EXPECT_EQ(rec.recovered, committed - 2);
+    EXPECT_EQ(obj->Counters().recovered_entries, committed - 2);
+
+    // First post-restart epoch: every byte must be intact (degraded
+    // entries come from the slow tier) and the recovered residents must
+    // serve as fast hits — a warm, not cold, restart.
+    std::vector<std::byte> buf(kFileBytes);
+    for (int k = 0; k < kFiles; ++k) {
+      auto n = pipeline->Read(FileName(k), 0, buf);
+      ASSERT_TRUE(n.ok()) << FileName(k) << ": " << n.status().ToString();
+      ASSERT_EQ(*n, kFileBytes);
+      ASSERT_EQ(buf, ExpectedContent(k)) << FileName(k) << " corrupted";
+    }
+    const auto counters = obj->Counters();
+    EXPECT_EQ(counters.fast_hits, committed - 2);
+    EXPECT_GT(counters.fast_hits, 0u);
+    EXPECT_EQ(counters.fast_read_errors, 0u);
+
+    // The new counters travel the control wire: v2 stats payload carries
+    // the tiering section with fast_read_errors / recovered_entries.
+    const auto payload = ipc::EncodeStatsPayload(pipeline->CollectStats());
+    auto decoded = ipc::DecodeStatsPayload(payload);
+    ASSERT_TRUE(decoded.ok());
+    const ObjectStatsSection* section = nullptr;
+    for (const auto& s : decoded->objects) {
+      if (s.object == "tiering") section = &s;
+    }
+    ASSERT_NE(section, nullptr);
+    EXPECT_EQ(section->Get("fast_read_errors", -1.0), 0.0);
+    EXPECT_EQ(section->Get("recovered_entries", -1.0),
+              static_cast<double>(committed - 2));
+    EXPECT_EQ(section->Get("durable", -1.0), 1.0);
+
+    pipeline->Stop();
+    tier.reset();
+    fs::remove_all(root);
+  }
+}
+
+}  // namespace
+}  // namespace prisma::dataplane

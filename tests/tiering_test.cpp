@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 #include "dataplane/tiering_object.hpp"
+#include "storage/flaky_backend.hpp"
+#include "storage/persistent_tier_backend.hpp"
 #include "storage/synthetic_backend.hpp"
 
 namespace prisma::dataplane {
@@ -144,6 +147,168 @@ TEST_F(TieringTest, MissingFileErrors) {
   std::vector<std::byte> buf(10);
   EXPECT_FALSE(obj->Read("ghost", 0, buf).ok());
   obj->Stop();
+}
+
+TEST_F(TieringTest, DegradedReadFallsBackAndEvicts) {
+  // Regression: a failing fast-tier read used to be returned to the
+  // consumer verbatim even though the slow tier still had the bytes.
+  storage::FlakyOptions fo;
+  fo.read_error_rate = 1.0;
+  fo.fail_first_n = 1;  // first fast read of each path fails, then heals
+  auto flaky_fast = std::make_shared<storage::FlakyBackend>(fast_, fo);
+  auto obj = std::make_unique<TieringObject>(slow_, flaky_fast,
+                                             TieringOptions{},
+                                             SteadyClock::Shared());
+  ASSERT_TRUE(obj->Start().ok());
+
+  std::vector<std::byte> buf(1000);
+  ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+  WaitForPromotion(*obj, "f1");
+
+  // The fast hit fails underneath; the consumer must still get f1's
+  // bytes (from the slow tier) and the poisoned entry must be evicted.
+  ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+  EXPECT_EQ(buf[0], std::byte{1});
+  EXPECT_EQ(obj->Counters().fast_read_errors, 1u);
+  EXPECT_EQ(obj->Counters().slow_reads, 2u);
+  EXPECT_GE(flaky_fast->InjectedErrors(), 1u);
+
+  // The degraded read made f1 promotion-eligible again, and the fast
+  // tier has healed (fail_first_n), so the next hit is served fast.
+  WaitForPromotion(*obj, "f1");
+  ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+  EXPECT_EQ(buf[0], std::byte{1});
+  EXPECT_GE(obj->Counters().fast_hits, 2u);  // the failed hit + this one
+  EXPECT_EQ(obj->Counters().fast_read_errors, 1u);
+  obj->Stop();
+}
+
+TEST_F(TieringTest, StopClearsPendingPromotions) {
+  // Regression: Stop() used to close the queue with undispatched
+  // promotions still inside and leave them marked pending, so those
+  // paths were never promotion-eligible again after a Stop/Start cycle.
+  storage::FlakyOptions fo;
+  fo.latency_spike_rate = 1.0;  // every slow-tier read stalls
+  fo.spike_duration = Millis{200};
+  auto slow = std::make_shared<storage::FlakyBackend>(slow_, fo);
+  auto obj = std::make_unique<TieringObject>(slow, fast_, TieringOptions{},
+                                             SteadyClock::Shared());
+  ASSERT_TRUE(obj->Start().ok());
+
+  // Two concurrent reads queue f0 and f1 back to back; the single
+  // migration worker picks one up and stalls ~200ms inside its
+  // slow-tier promotion read, guaranteeing the other is still queued
+  // when Stop() lands 20ms later.
+  std::vector<std::byte> b0(1000), b1(1000);
+  std::thread r0([&] { ASSERT_TRUE(obj->Read("f0", 0, b0).ok()); });
+  std::thread r1([&] { ASSERT_TRUE(obj->Read("f1", 0, b1).ok()); });
+  r0.join();
+  r1.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  obj->Stop();
+
+  // After restart the stranded path must be promotable again.
+  ASSERT_TRUE(obj->Start().ok());
+  ASSERT_TRUE(obj->Read("f0", 0, b0).ok());
+  ASSERT_TRUE(obj->Read("f1", 0, b1).ok());
+  WaitForPromotion(*obj, "f0");
+  WaitForPromotion(*obj, "f1");
+  obj->Stop();
+}
+
+TEST_F(TieringTest, DurableDemotionUnlinksBackingEntry) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "prisma_tiering_durable_demote";
+  fs::remove_all(root);
+  auto tier = std::make_shared<storage::PersistentTierBackend>(
+      root, storage::PersistentTierOptions{});
+
+  TieringOptions options;
+  options.fast_tier_capacity = 2500;  // fits two 1000-byte files
+  auto obj = std::make_unique<TieringObject>(slow_, tier, options,
+                                             SteadyClock::Shared());
+  ASSERT_TRUE(obj->Start().ok());
+
+  std::vector<std::byte> buf(1000);
+  for (const char* name : {"f0", "f1", "f2"}) {
+    ASSERT_TRUE(obj->Read(name, 0, buf).ok());
+    WaitForPromotion(*obj, name);
+  }
+  EXPECT_FALSE(obj->ResidentFast("f0"));  // demoted as LRU
+  // The demotion reclaimed the backing entry, not just the index slot.
+  EXPECT_EQ(tier->FileSize("f0").status().code(), StatusCode::kNotFound);
+  std::size_t entries = 0;
+  for ([[maybe_unused]] const auto& de :
+       fs::directory_iterator(root / "objects")) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 2u);
+  obj->Stop();
+  obj.reset();
+  tier.reset();
+  fs::remove_all(root);
+}
+
+TEST_F(TieringTest, WarmRestartRebuildsResidency) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "prisma_tiering_warm_restart";
+  fs::remove_all(root);
+
+  TieringOptions options;
+  options.durable = true;
+  {
+    auto tier = std::make_shared<storage::PersistentTierBackend>(
+        root, storage::PersistentTierOptions{});
+    auto obj = std::make_unique<TieringObject>(slow_, tier, options,
+                                               SteadyClock::Shared());
+    ASSERT_TRUE(obj->Start().ok());
+    std::vector<std::byte> buf(1000);
+    ASSERT_TRUE(obj->Read("f0", 0, buf).ok());
+    WaitForPromotion(*obj, "f0");
+    ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+    WaitForPromotion(*obj, "f1");
+    obj->Stop();
+  }
+
+  // A fresh backend + object over the same directory reopens warm: the
+  // residency index is rebuilt from the recovered entries, so the first
+  // reads are fast hits with zero slow-tier traffic.
+  auto tier = std::make_shared<storage::PersistentTierBackend>(
+      root, storage::PersistentTierOptions{});
+  auto obj = std::make_unique<TieringObject>(slow_, tier, options,
+                                             SteadyClock::Shared());
+  ASSERT_TRUE(obj->Start().ok());
+  EXPECT_EQ(obj->Counters().recovered_entries, 2u);
+  EXPECT_TRUE(obj->ResidentFast("f0"));
+  EXPECT_TRUE(obj->ResidentFast("f1"));
+
+  std::vector<std::byte> buf(1000);
+  ASSERT_TRUE(obj->Read("f0", 0, buf).ok());
+  EXPECT_EQ(buf[0], std::byte{0});
+  ASSERT_TRUE(obj->Read("f1", 0, buf).ok());
+  EXPECT_EQ(buf[0], std::byte{1});
+  EXPECT_EQ(obj->Counters().fast_hits, 2u);
+  EXPECT_EQ(obj->Counters().slow_reads, 0u);
+  obj->Stop();
+  obj.reset();
+  tier.reset();
+  fs::remove_all(root);
+}
+
+TEST_F(TieringTest, DurableStartRequiresRecoverableFastTier) {
+  TieringOptions options;
+  options.durable = true;
+  auto obj = MakeObject(options);  // synthetic fast tier: not recoverable
+  const Status s = obj->Start();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // The failed Start left the object stopped; a plain restart works.
+  options.durable = false;
+  auto plain = MakeObject(options);
+  ASSERT_TRUE(plain->Start().ok());
+  plain->Stop();
 }
 
 TEST_F(TieringTest, StatsSnapshotShape) {
