@@ -157,8 +157,12 @@ case "${MODE}" in
     cmake -B "${BUILD_DIR}" -S . > /dev/null
     cmake --build "${BUILD_DIR}" -j "${JOBS}" --target prisma_lint
     lint_bin="${BUILD_DIR}/tools/prisma_lint/prisma_lint"
+    # --jobs parallelizes the per-file lex/scan and per-target check
+    # passes; --timings prints per-check CPU time so a check that turns
+    # quadratic shows up in the CI log instead of as a silent slowdown.
     lint_args=(--root . --compdb "${BUILD_DIR}/compile_commands.json"
-               --baseline scripts/prisma-lint-baseline.txt)
+               --baseline scripts/prisma-lint-baseline.txt
+               --jobs "${JOBS}" --timings)
     if [[ "${2:-full}" == "changed" ]]; then
       base="${TIDY_BASE:-origin/main}"
       if ! git rev-parse --verify --quiet "${base}" > /dev/null; then

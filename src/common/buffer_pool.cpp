@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/hot_path.hpp"
+
 namespace prisma {
 namespace {
 
@@ -25,6 +27,8 @@ SamplePayload SamplePayload::CopyOf(std::span<const std::byte> bytes) {
   return SamplePayload{std::move(shared), bytes.size()};
 }
 
+// prisma-lint: allow(no-payload-copy, sink parameter: callers move the
+// vector in and Adopt moves it into the refcounted holder — no byte copy)
 SamplePayload SamplePayload::Adopt(std::vector<std::byte> bytes) {
   if (bytes.empty()) {
     return SamplePayload{};
@@ -108,12 +112,14 @@ std::size_t BufferPool::ClassIndex(std::size_t bytes) {
       std::bit_width(bytes - 1) - std::bit_width(kMinChunkBytes - 1));
 }
 
+PRISMA_HOT_PATH
 PayloadWriter BufferPool::Acquire(std::size_t min_bytes) {
   const std::size_t class_index = ClassIndex(min_bytes);
   if (class_index >= kNumClasses) {
     oversize_.fetch_add(1, std::memory_order_relaxed);
-    return PayloadWriter{nullptr, std::make_unique<std::byte[]>(min_bytes),
-                         min_bytes, kNumClasses};
+    // prisma-lint: allow(hot-path-purity, oversize request: bigger than the
+    // largest class, allocated fresh every time by design)
+    return RefillSlow(min_bytes, kNumClasses);
   }
   const std::size_t chunk_bytes = ClassBytes(class_index);
   SizeClass& cls = classes_[class_index];
@@ -129,11 +135,20 @@ PayloadWriter BufferPool::Acquire(std::size_t min_bytes) {
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  return PayloadWriter{shared_from_this(),
-                       std::make_unique<std::byte[]>(chunk_bytes), chunk_bytes,
-                       class_index};
+  // prisma-lint: allow(hot-path-purity, pool miss: warmup and bursts
+  // allocate here, then the chunk recycles through the free list —
+  // allocs_per_sample in bench/micro_dataplane tracks this rate)
+  return RefillSlow(chunk_bytes, class_index);
 }
 
+PayloadWriter BufferPool::RefillSlow(std::size_t bytes,
+                                     std::size_t class_index) {
+  return PayloadWriter{
+      class_index >= kNumClasses ? nullptr : shared_from_this(),
+      std::make_unique<std::byte[]>(bytes), bytes, class_index};
+}
+
+PRISMA_HOT_PATH
 void BufferPool::Release(std::byte* bytes, std::size_t class_index) {
   std::unique_ptr<std::byte[]> owned(bytes);
   if (class_index >= kNumClasses) {
@@ -148,6 +163,8 @@ void BufferPool::Release(std::byte* bytes, std::size_t class_index) {
   SizeClass& cls = classes_[class_index];
   {
     MutexLock lock(cls.mu);
+    // prisma-lint: allow(hot-path-purity, free-list growth is amortized:
+    // capacity reaches the pool's high-water mark and stays there)
     cls.free_list.push_back(std::move(owned));
   }
   cached_bytes_.fetch_add(chunk_bytes, std::memory_order_relaxed);

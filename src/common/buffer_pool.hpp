@@ -150,6 +150,12 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
   /// Return path for frozen payloads and abandoned writers.
   void Release(std::byte* bytes, std::size_t class_index);
 
+  /// Miss path: allocates a fresh chunk (oversize requests pass
+  /// class_index == kNumClasses and are never pooled). Deliberately NOT
+  /// hot — Acquire's fast path is the free-list hit; this is the
+  /// documented steady-state-warmup allocation behind it.
+  PayloadWriter RefillSlow(std::size_t bytes, std::size_t class_index);
+
   struct SizeClass {
     Mutex mu{LockRank::kBufferPool};
     std::vector<std::unique_ptr<std::byte[]>> free_list GUARDED_BY(mu);

@@ -1,0 +1,34 @@
+// PRISMA_HOT_PATH: marks a function as part of the data plane's
+// critical path — the per-sample code the paper's decoupling argument
+// depends on keeping lean (and that PR 2's benchmarks measured down to
+// ~0 allocations per sample).
+//
+// The macro does two things:
+//
+//  1. Compiler hint: expands to the `hot` function attribute under
+//     GCC/Clang (ordinary optimization hint, no semantic effect), and
+//     to nothing elsewhere.
+//
+//  2. Lint marker: prisma-lint's `hot-path-purity` check treats any
+//     function whose definition carries PRISMA_HOT_PATH as a purity
+//     root. The function is flagged if it — or anything it calls,
+//     transitively through the cross-TU call graph — allocates
+//     (operator new, malloc-family, make_shared/make_unique, growth
+//     calls on containers, std::string/std::function construction) or
+//     blocks (the no-blocking-under-lock primitive set). Findings carry
+//     a witness chain, e.g. `Take -> RefillSlow -> operator new`.
+//
+// Calls from one PRISMA_HOT_PATH function to another are trusted: the
+// callee is audited at its own definition, so annotating a helper moves
+// its findings (and any reasoned suppressions) next to the code that
+// causes them. Deliberate steady-state allocations — amortized
+// free-list growth, bounded bookkeeping inserts — stay annotated and
+// carry `// prisma-lint: allow(hot-path-purity, <reason>)` at the site,
+// which doubles as documentation of the cost. See DESIGN.md §11.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PRISMA_HOT_PATH __attribute__((hot))
+#else
+#define PRISMA_HOT_PATH
+#endif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hot_path.hpp"
 #include "common/logging.hpp"
 
 namespace prisma::dataplane {
@@ -144,6 +145,8 @@ void PrefetchObject::ProducerLoop(std::uint32_t index) {
     }
     // Keep a refcounted alias of the payload (no byte copy) so a
     // cancelled insert can still land the sample below.
+    // prisma-lint: allow(no-payload-copy, refcount bump only: SamplePayload
+    // copies share the underlying bytes)
     SamplePayload payload = *data;
     Sample sample{*name, std::move(*data)};
     const Status inserted = buffer_.Insert(std::move(sample), retired);
@@ -205,6 +208,7 @@ void PrefetchObject::ReconcileProducers() {
   for (auto& p : retired) p.join();
 }
 
+PRISMA_HOT_PATH
 Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
                                            std::uint64_t offset,
                                            std::size_t max_bytes) {
@@ -230,6 +234,8 @@ Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
       // Likely an EOF probe after the sample was consumed (a read loop's
       // final call). Never block on the buffer for bytes that cannot
       // exist; answer from metadata instead.
+      // prisma-lint: allow(hot-path-purity, EOF probe: at most once per
+      // consumed sample, and metadata beats blocking on the buffer)
       const auto size = backend_->FileSize(path);
       if (size.ok() && offset >= *size) return SampleView{};
     }
@@ -244,11 +250,16 @@ Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
       return Status::FailedPrecondition("sample failed over: " + path);
     }
     lock.Lock();
+    // prisma-lint: allow(hot-path-purity, parks the taken payload for
+    // chunked reads: one node per in-flight sample, payload moved not
+    // copied)
     it = taken_.emplace(path, std::move(sample->payload)).first;
   }
 
   // Grab a ref under the lock; the bytes stay alive through it even if
   // another chunk's read erases the entry, so no copy happens in here.
+  // prisma-lint: allow(no-payload-copy, refcount bump only: SamplePayload
+  // copies share the underlying bytes)
   SamplePayload payload = it->second;
   const bool eof = offset >= payload.size();
   const std::size_t n =
@@ -272,6 +283,7 @@ Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
   return SampleView{std::move(payload), static_cast<std::size_t>(offset), n};
 }
 
+PRISMA_HOT_PATH
 Result<std::size_t> PrefetchObject::Read(const std::string& path,
                                          std::uint64_t offset,
                                          std::span<std::byte> dst) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hot_path.hpp"
 #include "common/logging.hpp"
 
 namespace prisma::dataplane {
@@ -188,6 +189,7 @@ void TieringObject::UnlinkDemoted(const std::vector<std::string>& victims) {
   }
 }
 
+PRISMA_HOT_PATH
 Result<std::size_t> TieringObject::Read(const std::string& path,
                                         std::uint64_t offset,
                                         std::span<std::byte> dst) {
@@ -209,25 +211,38 @@ Result<std::size_t> TieringObject::Read(const std::string& path,
     // entry (it would fail every future hit too) and fall through to
     // the slow-tier path, which also makes the path promotion-eligible
     // again once the fast tier heals.
-    {
-      MutexLock lock(mu_);
-      ++counters_.fast_read_errors;
-      const auto it = resident_.find(path);
-      if (it != resident_.end()) {
-        fast_bytes_ -= it->second.bytes;
-        lru_.erase(it->second.lru_it);
-        resident_.erase(it);
-        counters_.fast_bytes = fast_bytes_;
-      }
-    }
-    PRISMA_IGNORE_STATUS(
-        fast_->Remove(path),
-        "evicting a poisoned entry is best-effort; the index entry is gone");
-    PRISMA_LOG(kWarn, "tiering")
-        << "fast-tier read of '" << path
-        << "' failed, serving from slow tier: " << fast_read.status().ToString();
+    // prisma-lint: allow(hot-path-purity, degraded path: runs only when a
+    // fast-tier read failed, never on the steady-state hit)
+    EvictPoisoned(path, fast_read.status());
   }
+  // prisma-lint: allow(hot-path-purity, fast-tier miss: slow-tier I/O and
+  // the promotion probe are the cold path by definition)
+  return ReadSlowTier(path, offset, dst);
+}
 
+void TieringObject::EvictPoisoned(const std::string& path, const Status& why) {
+  {
+    MutexLock lock(mu_);
+    ++counters_.fast_read_errors;
+    const auto it = resident_.find(path);
+    if (it != resident_.end()) {
+      fast_bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_it);
+      resident_.erase(it);
+      counters_.fast_bytes = fast_bytes_;
+    }
+  }
+  PRISMA_IGNORE_STATUS(
+      fast_->Remove(path),
+      "evicting a poisoned entry is best-effort; the index entry is gone");
+  PRISMA_LOG(kWarn, "tiering")
+      << "fast-tier read of '" << path
+      << "' failed, serving from slow tier: " << why.ToString();
+}
+
+Result<std::size_t> TieringObject::ReadSlowTier(const std::string& path,
+                                                std::uint64_t offset,
+                                                std::span<std::byte> dst) {
   auto n = slow_->Read(path, offset, dst);
   if (!n.ok()) return n;
   bool candidate = false;

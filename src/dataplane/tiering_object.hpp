@@ -100,6 +100,17 @@ class TieringObject final : public OptimizationObject {
   /// Durable mode: rebuilds resident_/lru_/fast_bytes_ from the fast
   /// tier's recovered contents.
   Status RecoverResidency() EXCLUDES(mu_);
+  /// Degraded-read cleanup: drops a poisoned fast-tier entry from the
+  /// index, best-effort unlinks it, and logs. Off the hot path — it
+  /// only runs when a fast-tier read failed.
+  void EvictPoisoned(const std::string& path, const Status& why)
+      EXCLUDES(mu_);
+  /// Slow-tier read plus the promotion probe. Deliberately NOT hot:
+  /// Read's fast-hit branch is the purity-audited path, and a miss is
+  /// slow-tier I/O by definition.
+  Result<std::size_t> ReadSlowTier(const std::string& path,
+                                   std::uint64_t offset,
+                                   std::span<std::byte> dst) EXCLUDES(mu_);
 
   // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<storage::StorageBackend> slow_;

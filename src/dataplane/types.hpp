@@ -25,10 +25,14 @@ struct Sample {
   SamplePayload payload;
 
   Sample() = default;
+  // prisma-lint: allow(no-payload-copy, sink constructor: the payload is
+  // moved into place, and moving a SamplePayload is a pointer swap)
   Sample(std::string n, SamplePayload p)
       : name(std::move(n)), payload(std::move(p)) {}
   /// Adopts the vector without copying (tests and benches build samples
   /// from vectors; the storage path builds them from pooled payloads).
+  // prisma-lint: allow(no-payload-copy, sink constructor: the vector is
+  // moved into the refcounted holder via Adopt — no byte copy)
   Sample(std::string n, std::vector<std::byte> bytes)
       : name(std::move(n)), payload(SamplePayload::Adopt(std::move(bytes))) {}
 

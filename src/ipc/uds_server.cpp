@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/hot_path.hpp"
 #include "common/logging.hpp"
 
 namespace prisma::ipc {
@@ -155,6 +156,7 @@ void UdsServer::HandleConnection(int fd) {
   ::close(fd);
 }
 
+PRISMA_HOT_PATH
 Status UdsServer::HandleRead(int fd, const Request& req,
                              std::vector<std::byte>& scratch) {
   if (req.length > kMaxFrameBytes / 2) {
@@ -172,8 +174,14 @@ Status UdsServer::HandleRead(int fd, const Request& req,
   if (view.status().code() != StatusCode::kFailedPrecondition) {
     return WriteResponseFrame(fd, view.status().code(), 0, {});
   }
+  // prisma-lint: allow(hot-path-purity, pass-through fallback: only
+  // unannounced paths and failed-over samples land here, and the scratch
+  // buffer amortizes to its high-water mark)
+  return HandleReadPassThrough(fd, req, scratch);
+}
 
-  // Pass-through fallback (unannounced paths, failed-over samples).
+Status UdsServer::HandleReadPassThrough(int fd, const Request& req,
+                                        std::vector<std::byte>& scratch) {
   // Clamp the staging allocation to the bytes the file can actually
   // yield — a huge req.length must not force a huge buffer.
   const auto size = stage_->FileSize(req.path);

@@ -48,6 +48,11 @@ class UdsServer {
   /// response itself; returns the send status.
   Status HandleRead(int fd, const Request& req,
                     std::vector<std::byte>& scratch);
+  /// Pass-through fallback for HandleRead (unannounced paths, failed-over
+  /// samples): stages the file bytes through `scratch`. Deliberately NOT
+  /// hot — the zero-copy ReadRef branch is the audited fast path.
+  Status HandleReadPassThrough(int fd, const Request& req,
+                               std::vector<std::byte>& scratch);
   Response Dispatch(const Request& req);
 
   std::string socket_path_;  // prisma-lint: unguarded(immutable after construction)

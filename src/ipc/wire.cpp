@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/hot_path.hpp"
+
 namespace prisma::ipc {
 namespace {
 
@@ -30,6 +32,24 @@ void PutU64(std::vector<std::byte>& out, std::uint64_t v) {
 
 void PutBytes(std::vector<std::byte>& out, std::span<const std::byte> b) {
   out.insert(out.end(), b.begin(), b.end());
+}
+
+// Raw-pointer writers for the hot frame paths, which build fixed-size
+// headers in stack arrays instead of heap vectors.
+void PutU8At(std::byte* p, std::uint8_t v) {
+  *p = static_cast<std::byte>(v);
+}
+
+void PutU32At(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void PutU64At(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
 }
 
 void PutString(std::vector<std::byte>& out, const std::string& s) {
@@ -113,6 +133,7 @@ std::vector<std::byte> EncodeRequest(const Request& req) {
   return out;
 }
 
+PRISMA_HOT_PATH
 Result<Request> DecodeRequest(std::span<const std::byte> payload) {
   Cursor c(payload);
   Request req;
@@ -122,6 +143,9 @@ Result<Request> DecodeRequest(std::span<const std::byte> payload) {
     return Status::InvalidArgument("unknown opcode");
   }
   req.op = static_cast<Op>(*op);
+  // prisma-lint: allow(hot-path-purity, the decoded request owns its path
+  // string: one small steady-state allocation per request, bounded by
+  // the path length — serving the read dwarfs it)
   auto path = c.String();
   if (!path.ok()) return path.status();
   req.path = std::move(*path);
@@ -142,10 +166,14 @@ Result<Request> DecodeRequest(std::span<const std::byte> payload) {
   if (*n > c.Remaining() / 4) {
     return Status::InvalidArgument("name count exceeds payload");
   }
+  // prisma-lint: allow(hot-path-purity, kBeginEpoch only: every other op
+  // encodes n_names=0 and never reaches this loop)
   req.names.reserve(*n);
   for (std::uint32_t i = 0; i < *n; ++i) {
+    // prisma-lint: allow(hot-path-purity, kBeginEpoch only, see above)
     auto name = c.String();
     if (!name.ok()) return name.status();
+    // prisma-lint: allow(hot-path-purity, kBeginEpoch only, see above)
     req.names.push_back(std::move(*name));
   }
   if (!c.Done()) return Status::InvalidArgument("trailing bytes in request");
@@ -183,12 +211,17 @@ Result<Response> DecodeResponse(std::span<const std::byte> payload) {
 
 namespace {
 
+PRISMA_HOT_PATH
 Result<std::size_t> RecvAll(int fd, std::byte* p, std::size_t n, bool eof_ok) {
   std::size_t done = 0;
   while (done < n) {
+    // prisma-lint: allow(hot-path-purity, the socket receive IS the data
+    // plane: the frame protocol exists to feed this recv)
     const ssize_t r = ::recv(fd, p + done, n - done, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      // prisma-lint: allow(hot-path-purity, error-path only: the string is
+      // built once per failed connection, never per frame)
       return Status::IoError(std::string("recv: ") + std::strerror(errno));
     }
     if (r == 0) {
@@ -208,6 +241,7 @@ void PutPrefix(std::byte prefix[4], std::uint32_t len) {
 
 }  // namespace
 
+PRISMA_HOT_PATH
 Status WriteFrameV(int fd,
                    std::initializer_list<std::span<const std::byte>> parts) {
   constexpr std::size_t kMaxParts = 8;
@@ -239,9 +273,13 @@ Status WriteFrameV(int fd,
     msghdr msg{};
     msg.msg_iov = iov + idx;
     msg.msg_iovlen = n_iov - idx;
+    // prisma-lint: allow(hot-path-purity, the socket send IS the data
+    // plane: one sendmsg ships the whole frame)
     const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      // prisma-lint: allow(hot-path-purity, error-path only: the string is
+      // built once per failed connection, never per frame)
       return Status::IoError(std::string("sendmsg: ") + std::strerror(errno));
     }
     auto advanced = static_cast<std::size_t>(w);
@@ -257,44 +295,51 @@ Status WriteFrameV(int fd,
   return Status::Ok();
 }
 
+PRISMA_HOT_PATH
 Status WriteFrame(int fd, std::span<const std::byte> payload) {
   return WriteFrameV(fd, {payload});
 }
 
+PRISMA_HOT_PATH
 Status WriteRequestFrame(int fd, const Request& req) {
   if (!req.names.empty()) {
     // kBeginEpoch carries a name list; the flat encoder is simpler than
     // one iovec entry per name and this op is once-per-epoch cold.
+    // prisma-lint: allow(hot-path-purity, once-per-epoch cold branch: only
+    // kBeginEpoch carries names, per-read requests take the flat path)
     const auto payload = EncodeRequest(req);
     return WriteFrameV(fd, {payload});
   }
   // [u8 op][u32 path_len] | path bytes | [u64 offset][u64 length]
-  // [u64 epoch][u32 n_names=0] — same bytes as EncodeRequest, no buffer.
-  std::vector<std::byte> head;
-  head.reserve(5);
-  PutU8(head, static_cast<std::uint8_t>(req.op));
-  PutU32(head, static_cast<std::uint32_t>(req.path.size()));
-  std::vector<std::byte> tail;
-  tail.reserve(28);
-  PutU64(tail, req.offset);
-  PutU64(tail, req.length);
-  PutU64(tail, req.epoch);
-  PutU32(tail, 0);
+  // [u64 epoch][u32 n_names=0] — same bytes as EncodeRequest, built in
+  // stack arrays so the per-read path never touches the heap.
+  std::byte head[5];
+  PutU8At(head, static_cast<std::uint8_t>(req.op));
+  PutU32At(head + 1, static_cast<std::uint32_t>(req.path.size()));
+  std::byte tail[28];
+  PutU64At(tail, req.offset);
+  PutU64At(tail + 8, req.length);
+  PutU64At(tail + 16, req.epoch);
+  PutU32At(tail + 24, 0);
   return WriteFrameV(
       fd, {head, std::as_bytes(std::span(req.path.data(), req.path.size())),
            tail});
 }
 
+PRISMA_HOT_PATH
 Status WriteResponseFrame(int fd, StatusCode code, std::uint64_t value,
                           std::span<const std::byte> data) {
-  std::vector<std::byte> head;
-  head.reserve(kResponseHeaderBytes);
-  PutU8(head, static_cast<std::uint8_t>(code));
-  PutU64(head, value);
-  PutU32(head, static_cast<std::uint32_t>(data.size()));
+  // Header in a stack array: the server's reply path (one call per
+  // served read) must not allocate — `data` is the refcounted payload,
+  // shipped by sendmsg straight out of pool storage.
+  std::byte head[kResponseHeaderBytes];
+  PutU8At(head, static_cast<std::uint8_t>(code));
+  PutU64At(head + 1, value);
+  PutU32At(head + 9, static_cast<std::uint32_t>(data.size()));
   return WriteFrameV(fd, {head, data});
 }
 
+PRISMA_HOT_PATH
 Result<ResponseHeader> ReadResponseHeader(int fd) {
   std::byte prefix[4];
   if (auto r = RecvAll(fd, prefix, 4, /*eof_ok=*/true); !r.ok()) {
@@ -334,6 +379,7 @@ Result<ResponseHeader> ReadResponseHeader(int fd) {
   return header;
 }
 
+PRISMA_HOT_PATH
 Status ReadResponseData(int fd, std::span<std::byte> dst) {
   if (dst.empty()) return Status::Ok();
   if (auto r = RecvAll(fd, dst.data(), dst.size(), /*eof_ok=*/false); !r.ok()) {
@@ -342,6 +388,7 @@ Status ReadResponseData(int fd, std::span<std::byte> dst) {
   return Status::Ok();
 }
 
+PRISMA_HOT_PATH
 Status DrainResponseData(int fd, std::size_t n) {
   std::byte sink[4096];
   while (n > 0) {
@@ -429,6 +476,7 @@ Result<StatsPayload> DecodeStatsPayload(std::span<const std::byte> data) {
   return out;
 }
 
+PRISMA_HOT_PATH
 Result<std::vector<std::byte>> ReadFrame(int fd) {
   std::byte prefix[4];
   if (auto r = RecvAll(fd, prefix, 4, /*eof_ok=*/true); !r.ok()) {

@@ -281,6 +281,7 @@ TEST(WireTest, ScatterFrameMatchesContiguousFrame) {
   const std::vector<std::byte> a = {std::byte{1}, std::byte{2}, std::byte{3}};
   const std::vector<std::byte> b = {};  // empty parts must be harmless
   const std::vector<std::byte> c = {std::byte{9}, std::byte{8}};
+  // prisma-lint: allow(no-payload-copy, test builds the expected bytes)
   std::vector<std::byte> concat = a;
   concat.insert(concat.end(), c.begin(), c.end());
 

@@ -1,0 +1,31 @@
+// prisma-lint fixture: a PRISMA_HOT_PATH function must not allocate or
+// block — directly or through any call chain in the index — and every
+// finding prints the full witness chain back to the primitive site.
+// Fixtures are lexed, never compiled.
+namespace fixture {
+
+// Direct allocations, one per form the analyzer recognizes.
+PRISMA_HOT_PATH void DirectAllocs(std::vector<int>& v) {
+  int* p = new int[8];
+  void* m = malloc(32);
+  auto s = std::make_shared<int>(7);
+  v.push_back(1);
+  std::string name("hot");
+}
+
+// Direct blocking primitive.
+PRISMA_HOT_PATH void DirectBlock(int fd, void* buf) {
+  ::read(fd, buf, 16);
+}
+
+// Interprocedural: the allocation hides two calls down; the finding
+// carries the whole chain (TakeFast -> Refill -> Grow -> reserve).
+void Grow(std::vector<int>& v) { v.reserve(64); }
+void Refill(std::vector<int>& v) { Grow(v); }
+PRISMA_HOT_PATH void TakeFast(std::vector<int>& v) { Refill(v); }
+
+// Interprocedural blocking chain through a helper.
+void Flush(int fd) { ::fsync(fd); }
+PRISMA_HOT_PATH void Commit(int fd) { Flush(fd); }
+
+}  // namespace fixture

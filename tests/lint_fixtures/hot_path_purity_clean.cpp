@@ -1,0 +1,35 @@
+// prisma-lint fixture: the sanctioned hot-path escape hatches. Pure hot
+// functions, hot->hot trust (the callee is audited at its own
+// definition), reasoned allow() suppressions for deliberate steady-state
+// allocations, and cold functions allocating freely. Fixtures are
+// lexed, never compiled.
+namespace fixture {
+
+// Pure: arithmetic and pointer walks only.
+PRISMA_HOT_PATH int Sum(const int* p, int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) total += p[i];
+  return total;
+}
+
+// Hot->hot trust: calls to other PRISMA_HOT_PATH functions are not
+// re-audited here.
+PRISMA_HOT_PATH int SumTwice(const int* p, int n) {
+  return Sum(p, n) + Sum(p, n);
+}
+
+// Reasoned suppression: a deliberate amortized allocation.
+PRISMA_HOT_PATH void Park(std::vector<int>& v, int x) {
+  // prisma-lint: allow(hot-path-purity, amortized growth: capacity
+  // reaches the high-water mark and stays there)
+  v.push_back(x);
+}
+
+// Cold functions allocate freely; only PRISMA_HOT_PATH roots are audited.
+void ColdSetup(std::vector<int>& v) {
+  v.reserve(1024);
+  int* scratch = new int[16];
+  delete[] scratch;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// prisma-lint fixture: every copy form of a heavy payload type
+// (Sample, SamplePayload, SampleView, std::vector<std::byte>) that
+// no-payload-copy must flag — by-value parameters, copy-initialization
+// from an lvalue, per-element range-for copies, lambda capture-by-copy,
+// and paren/brace copy-construction from a tracked heavy name.
+// Fixtures are lexed, never compiled.
+namespace fixture {
+
+void ByValue(Sample sample) {}
+void ByValueVec(std::vector<std::byte> bytes) {}
+
+void CopyInit(const Sample& in, const SamplePayload& payload) {
+  Sample dup = in;
+  SamplePayload second = payload;
+}
+
+void RangeFor(const std::vector<Sample>& samples) {
+  for (Sample s : samples) {
+    Use(s);
+  }
+}
+
+void Capture(const SampleView& view) {
+  auto plain = [view] { return view; };
+  auto init = [v = view] { return v; };
+}
+
+void ParenCopy(const std::vector<std::byte>& a) {
+  std::vector<std::byte> b(a);
+  std::vector<std::byte> c{a};
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// prisma-lint fixture: the sanctioned ways to hand a heavy payload
+// around — references, moves, reference captures, sized construction
+// (the buffer's birth, not a copy), and the reasoned allow() form for
+// deliberate refcount bumps. Fixtures are lexed, never compiled.
+namespace fixture {
+
+void ByRef(const Sample& sample) { Use(sample); }
+
+void Sink(Sample&& sample) {
+  Sample local = std::move(sample);
+  Use(local);
+}
+
+void RefFor(const std::vector<Sample>& samples) {
+  for (const Sample& s : samples) {
+    Use(s);
+  }
+}
+
+void CaptureRef(SampleView& view) {
+  auto byref = [&view] { return view.size(); };
+}
+
+// Sized construction allocates the buffer but copies nothing.
+void Sized(std::size_t n) {
+  std::vector<std::byte> buf(n);
+  Fill(buf);
+}
+
+// Deliberate refcount bump, documented at the site.
+void Alias(const SamplePayload& p) {
+  // prisma-lint: allow(no-payload-copy, refcount bump only: SamplePayload
+  // copies share the underlying bytes)
+  SamplePayload ref = p;
+  Use(ref);
+}
+
+}  // namespace fixture

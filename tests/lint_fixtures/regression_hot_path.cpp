@@ -1,0 +1,39 @@
+// prisma-lint fixture: freezes the real hot-path-purity violation the
+// linter caught in src/ipc/wire.cpp before it was fixed. Every served
+// read built the 13-byte response header in a heap vector — a reserve
+// plus three growth calls per reply. The fix builds the header in a
+// stack array via PutU8At/PutU32At/PutU64At; this fixture pins the
+// detection (including the interprocedural witness chains through the
+// Put* helpers) that forced the change. Fixtures are lexed, never
+// compiled.
+namespace fixture {
+
+void PutU8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void PutU32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// The pre-fix shape: one heap header per served read.
+PRISMA_HOT_PATH
+Status WriteResponseFrame(int fd, StatusCode code, std::uint64_t value,
+                          std::span<const std::byte> data) {
+  std::vector<std::byte> head;
+  head.reserve(13);
+  PutU8(head, static_cast<std::uint8_t>(code));
+  PutU64(head, value);
+  PutU32(head, static_cast<std::uint32_t>(data.size()));
+  return WriteFrameV(fd, {head, data});
+}
+
+}  // namespace fixture

@@ -113,6 +113,7 @@ TEST_F(PrefetchObjectTest, ChunkedReadsAndEof) {
   ASSERT_TRUE(n3.ok());
   EXPECT_EQ(*n3, 0u);
 
+  // prisma-lint: allow(no-payload-copy, test reassembles chunks to compare)
   std::vector<std::byte> reassembled = first;
   reassembled.insert(reassembled.end(), second.begin(), second.end());
   EXPECT_EQ(reassembled, whole);

@@ -5,9 +5,10 @@
 // match its .expected file byte for byte. The *_bad fixtures pin every
 // check's detection (weakening a check breaks its golden); the *_clean
 // fixtures pin the sanctioned escape hatches (a check that starts
-// over-reporting breaks those). regression_dataplane.cpp freezes two
-// real violations the linter caught in this repository before they
-// were fixed.
+// over-reporting breaks those). The regression_* fixtures freeze real
+// violations the linter caught in this repository before they were
+// fixed (a blocking call under a shard lock, and the heap-built wire
+// response header that hot-path-purity forced onto the stack).
 //
 // SelfLint then runs the full-tree lint and asserts the source is
 // clean modulo the checked-in baseline — the same gate scripts/ci.sh
@@ -85,8 +86,18 @@ INSTANTIATE_TEST_SUITE_P(
                     "status_checked_clean.expected"},
         FixtureCase{"lock_rank_bad.cpp", "lock_rank_bad.expected"},
         FixtureCase{"lock_rank_clean.cpp", "lock_rank_clean.expected"},
+        FixtureCase{"hot_path_purity_bad.cpp",
+                    "hot_path_purity_bad.expected"},
+        FixtureCase{"hot_path_purity_clean.cpp",
+                    "hot_path_purity_clean.expected"},
+        FixtureCase{"no_payload_copy_bad.cpp",
+                    "no_payload_copy_bad.expected"},
+        FixtureCase{"no_payload_copy_clean.cpp",
+                    "no_payload_copy_clean.expected"},
         FixtureCase{"regression_dataplane.cpp",
-                    "regression_dataplane.expected"}),
+                    "regression_dataplane.expected"},
+        FixtureCase{"regression_hot_path.cpp",
+                    "regression_hot_path.expected"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.source;
       for (char& ch : name) {
@@ -107,7 +118,10 @@ TEST(PrismaLintFixtures, BadFixturesFindAndCleanFixturesDoNot) {
       {"guarded_by_bad.hpp", "guarded-by-coverage"},
       {"status_checked_bad.cpp", "status-checked"},
       {"lock_rank_bad.cpp", "lock-rank-static"},
+      {"hot_path_purity_bad.cpp", "hot-path-purity"},
+      {"no_payload_copy_bad.cpp", "no-payload-copy"},
       {"regression_dataplane.cpp", "no-blocking-under-lock"},
+      {"regression_hot_path.cpp", "hot-path-purity"},
   };
   for (const auto& [file, check] : bad) {
     const std::string out = LintFixture(file);
@@ -117,9 +131,60 @@ TEST(PrismaLintFixtures, BadFixturesFindAndCleanFixturesDoNot) {
   for (const char* file :
        {"no_raw_sync_clean.cpp", "blocking_under_lock_clean.cpp",
         "guarded_by_clean.hpp", "status_checked_clean.cpp",
-        "lock_rank_clean.cpp"}) {
+        "lock_rank_clean.cpp", "hot_path_purity_clean.cpp",
+        "no_payload_copy_clean.cpp"}) {
     EXPECT_EQ(LintFixture(file), "") << file << " should lint clean";
   }
+}
+
+// Baseline entries are count-matched: one line absorbs ONE occurrence
+// of its fingerprint, and an ` xN` suffix absorbs N. Fingerprints strip
+// line numbers, so without counting a single baseline line would hide
+// every future instance of the same pattern in the same file.
+// no_payload_copy_bad.cpp conveniently reports the same lambda-capture
+// fingerprint twice (the plain and init-capture forms on adjacent
+// lines), which is exactly the shape counting exists for.
+TEST(PrismaLintBaseline, EntriesAbsorbCountedOccurrences) {
+  const std::string fixture =
+      std::string(kFixtureDir) + "no_payload_copy_bad.cpp";
+  prisma_lint::Options opt;
+  opt.targets.push_back(fixture);
+  const prisma_lint::RunResult unfiltered = prisma_lint::Run(opt);
+
+  const std::string dup_fingerprint =
+      "no_payload_copy_bad.cpp: [no-payload-copy] lambda captures 'view' "
+      "by copy copies heavy payload type 'SampleView'; pass by reference, "
+      "move, or add a reasoned allow(no-payload-copy, ...)";
+  std::size_t dup_occurrences = 0;
+  for (const auto& f : unfiltered.findings) {
+    if (f.Fingerprint() == dup_fingerprint) ++dup_occurrences;
+  }
+  ASSERT_EQ(dup_occurrences, 2u)
+      << "fixture drifted: the count-matching test needs a duplicated "
+         "fingerprint";
+
+  const auto lint_with_baseline = [&](const std::string& entry) {
+    const std::string path =
+        ::testing::TempDir() + "/prisma_lint_count_baseline.txt";
+    std::ofstream(path, std::ios::trunc)
+        << "# temp baseline for the count-matching test\n"
+        << entry << "\n";
+    prisma_lint::Options o;
+    o.targets.push_back(fixture);
+    o.baseline = path;
+    return prisma_lint::Run(o);
+  };
+
+  // A bare entry absorbs exactly one of the two occurrences.
+  const prisma_lint::RunResult one = lint_with_baseline(dup_fingerprint);
+  EXPECT_EQ(one.baselined, 1u);
+  EXPECT_EQ(one.findings.size(), unfiltered.findings.size() - 1);
+
+  // ` x2` (reason comments may follow) absorbs both.
+  const prisma_lint::RunResult two =
+      lint_with_baseline(dup_fingerprint + " x2  # both capture forms");
+  EXPECT_EQ(two.baselined, 2u);
+  EXPECT_EQ(two.findings.size(), unfiltered.findings.size() - 2);
 }
 
 // The gate: the tree itself lints clean modulo the checked-in baseline.

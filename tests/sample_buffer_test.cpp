@@ -323,6 +323,8 @@ TEST(SampleBufferTest, PayloadOutlivesEviction) {
 
   auto taken = buf.Take("a");  // evicts "a" from the buffer
   ASSERT_TRUE(taken.ok());
+  // prisma-lint: allow(no-payload-copy, refcount bump is the point: the
+  // test holds a second ref across eviction)
   SamplePayload held = taken->payload;
   taken = Status::NotFound("dropped");  // the Sample itself is gone
 

@@ -49,6 +49,8 @@ TEST(BufferPoolTest, FreezeRecyclesWhenLastRefDrops) {
     ASSERT_TRUE(static_cast<bool>(p));
     EXPECT_EQ(p.size(), 100u);
     EXPECT_EQ(p.data()[0], std::byte{42});
+    // prisma-lint: allow(no-payload-copy, refcount bump is the point: the
+    // test verifies two refs share one buffer)
     SamplePayload copy = p;  // second ref
     EXPECT_EQ(pool->CachedBytes(), 0u);
     // both refs drop at scope end

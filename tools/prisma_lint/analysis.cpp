@@ -213,6 +213,24 @@ const std::unordered_set<std::string>& BlockingPrimitives() {
   return kBlocking;
 }
 
+const std::unordered_set<std::string>& AllocationPrimitives() {
+  static const std::unordered_set<std::string> kAlloc = {
+      "malloc", "calloc", "realloc", "strdup", "strndup", "aligned_alloc",
+      "posix_memalign", "make_shared", "make_unique",
+      "make_shared_for_overwrite", "make_unique_for_overwrite",
+  };
+  return kAlloc;
+}
+
+const std::unordered_set<std::string>& GrowthMethods() {
+  static const std::unordered_set<std::string> kGrowth = {
+      "push_back", "emplace_back", "push_front", "emplace_front",
+      "resize",    "reserve",      "insert",     "emplace",
+      "try_emplace", "append",
+  };
+  return kGrowth;
+}
+
 namespace {
 
 bool IsLambdaStart(const std::vector<Token>& t, std::size_t k) {
@@ -240,6 +258,44 @@ std::vector<HeldLock> Held(const std::vector<LiveLock>& locks) {
     if (l.held) out.push_back({l.mutex_name, l.rank});
   }
   return out;
+}
+
+/// True when the expression starting at `p` is "call-like": a
+/// (possibly qualified) name directly applied to arguments — a prvalue
+/// the initialization moves from, not an lvalue it copies. Covers
+/// `std::move(x)`, `Foo(...)`, `obj.Make(...)` is NOT matched (the
+/// leading ident is followed by '.'), which is the conservative side.
+bool StartsCallLike(const std::vector<Token>& t, std::size_t p,
+                    std::size_t end) {
+  while (p < end &&
+         (t[p].kind == Kind::kIdent || t[p].text == "::" ||
+          t[p].text == "<" || t[p].text == ">")) {
+    if (t[p].kind == Kind::kIdent && p + 1 < end && t[p + 1].text == "(") {
+      return true;
+    }
+    ++p;
+  }
+  return false;
+}
+
+/// Skips a balanced `<...>` template-argument run starting at `n`
+/// (which must be '<'); returns the index just past the closing '>'.
+std::size_t SkipAngles(const std::vector<Token>& t, std::size_t n,
+                       std::size_t end) {
+  int d = 0;
+  for (; n < end; ++n) {
+    if (t[n].text == "<") {
+      ++d;
+    } else if (t[n].text == ">") {
+      if (--d == 0) return n + 1;
+    } else if (t[n].text == ">>") {
+      d -= 2;
+      if (d <= 0) return n + 1;
+    } else if (t[n].text == ";" || t[n].text == "{") {
+      break;  // not template arguments after all
+    }
+  }
+  return n;
 }
 
 void AnalyzeBody(const std::vector<Token>& t, std::size_t begin,
@@ -325,6 +381,49 @@ void AnalyzeBody(const std::vector<Token>& t, std::size_t begin,
       def.blocking.push_back(site);
       continue;
     }
+    // Allocation sites (hot-path-purity): operator new, the malloc /
+    // make_* family, growth calls on containers, and std::string /
+    // std::function construction.
+    if (tok.text == "new") {
+      def.allocs.push_back({"operator new", tok.line, Held(locks)});
+      continue;
+    }
+    if (AllocationPrimitives().count(tok.text) != 0 && k + 1 < end &&
+        (t[k + 1].text == "(" || t[k + 1].text == "<")) {
+      def.allocs.push_back({tok.text, tok.line, Held(locks)});
+      continue;
+    }
+    if (GrowthMethods().count(tok.text) != 0 && k > begin &&
+        (t[k - 1].text == "." || t[k - 1].text == "->") && k + 1 < end &&
+        t[k + 1].text == "(") {
+      def.allocs.push_back({tok.text, tok.line, Held(locks)});
+      continue;
+    }
+    if ((tok.text == "string" || tok.text == "function") && k >= 2 &&
+        t[k - 1].text == "::" && t[k - 2].text == "std") {
+      std::size_t n = k + 1;
+      if (n < end && t[n].text == "<") n = SkipAngles(t, n, end);
+      bool constructs = false;
+      if (n < end && t[n].kind == Kind::kIdent && !IsKeyword(t[n].text)) {
+        // Declaration `std::string name ...`: only an initializer that
+        // is not a move-from-prvalue allocates (`std::string s;` is SSO,
+        // `= std::move(x)` / `= Render(...)` are moves).
+        const std::size_t v = n + 1;
+        if (v + 1 < end && (t[v].text == "(" || t[v].text == "{")) {
+          constructs = t[v + 1].text != ")" && t[v + 1].text != "}";
+        } else if (v < end && t[v].text == "=") {
+          constructs = !StartsCallLike(t, v + 1, end);
+        }
+      } else if (n + 1 < end && (t[n].text == "(" || t[n].text == "{")) {
+        // Temporary `std::string(...)`.
+        constructs = t[n + 1].text != ")" && t[n + 1].text != "}";
+      }
+      if (constructs) {
+        def.allocs.push_back(
+            {"std::" + tok.text + " construction", tok.line, Held(locks)});
+      }
+      continue;
+    }
     // Ordinary calls: project-graph edges with the live lock set.
     if (k + 1 < end && t[k + 1].text == "(" && !IsKeyword(tok.text) &&
         tok.text != "MutexLock") {
@@ -404,6 +503,20 @@ std::vector<FnDef> ScanFunctions(const FileTokens& file,
     def.name = t[i].text;
     def.file = file.path;
     def.line = t[i].line;
+    def.params_begin = i + 1;
+    def.params_end = close;
+    // PRISMA_HOT_PATH annotation: the attribute macro sits in the
+    // declaration prefix, between the previous statement/brace boundary
+    // and the function name (the lexer drops its #define, so the marker
+    // survives as a plain identifier).
+    for (std::size_t b = i; b-- > 0;) {
+      const std::string& prefix = t[b].text;
+      if (prefix == ";" || prefix == "{" || prefix == "}") break;
+      if (prefix == "PRISMA_HOT_PATH") {
+        def.hot_path = true;
+        break;
+      }
+    }
     if (i >= 2 && t[i - 1].text == "::" && t[i - 2].kind == Kind::kIdent) {
       def.class_name = t[i - 2].text;
     } else if (auto cls = EnclosingClass(classes, i)) {
@@ -585,6 +698,270 @@ void IndexDeclarations(const FileTokens& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Payload-copy tracking (no-payload-copy).
+
+const std::unordered_set<std::string>& HeavyPayloadTypes() {
+  static const std::unordered_set<std::string> kHeavy = {
+      "Sample", "SamplePayload", "SampleView",
+  };
+  return kHeavy;
+}
+
+namespace {
+
+struct TrackedVar {
+  std::string name;
+  std::string type;
+  int depth = 0;
+};
+
+/// Matches a heavy payload type spelled at token index `i`; sets the
+/// display label and the index of the type's final token.
+bool MatchHeavyType(const std::vector<Token>& t, std::size_t i,
+                    std::string& label, std::size_t& last) {
+  if (t[i].kind != Kind::kIdent) return false;
+  if (HeavyPayloadTypes().count(t[i].text) != 0) {
+    label = t[i].text;
+    last = i;
+    return true;
+  }
+  if (t[i].text == "vector" && i + 5 < t.size() && t[i + 1].text == "<" &&
+      t[i + 2].text == "std" && t[i + 3].text == "::" &&
+      t[i + 4].text == "byte" && t[i + 5].text == ">") {
+    label = "std::vector<std::byte>";
+    last = i + 5;
+    return true;
+  }
+  return false;
+}
+
+const TrackedVar* LookupVar(const std::vector<TrackedVar>& vars,
+                            const std::string& name) {
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    if (it->name == name) return &*it;
+  }
+  return nullptr;
+}
+
+/// Walks a definition's parameter list: by-value heavy parameters are
+/// copies at every call site; parameters of heavy type (any binding)
+/// seed the tracked-variable scope for the body walk.
+void ScanParams(const std::vector<Token>& t, const FnDef& fn,
+                std::vector<PayloadCopy>& out,
+                std::vector<TrackedVar>& vars) {
+  std::size_t p = fn.params_begin + 1;
+  while (p < fn.params_end) {
+    std::size_t q = p;  // one parameter: [p, q)
+    int depth = 0, angle = 0;
+    for (; q < fn.params_end; ++q) {
+      const std::string& s = t[q].text;
+      if (s == "(" || s == "[" || s == "{") {
+        ++depth;
+      } else if (s == ")" || s == "]" || s == "}") {
+        --depth;
+      } else if (s == "<") {
+        ++angle;
+      } else if (s == ">") {
+        --angle;
+      } else if (s == ">>") {
+        angle -= 2;
+      } else if (s == "," && depth == 0 && angle <= 0) {
+        break;
+      }
+    }
+    std::string label;
+    std::size_t last = 0;
+    bool matched = false;
+    for (std::size_t i = p; i < q && !matched; ++i) {
+      matched = MatchHeavyType(t, i, label, last);
+    }
+    if (matched) {
+      // Declarator between the type and the name (or the default-arg
+      // '='): any '&'/'*' means the parameter does not copy.
+      bool by_value = true;
+      std::string pname;
+      int line = t[last].line;
+      for (std::size_t i = last + 1; i < q; ++i) {
+        const std::string& s = t[i].text;
+        if (s == "&" || s == "&&" || s == "*") by_value = false;
+        if (s == "=") break;
+        if (t[i].kind == Kind::kIdent && !IsKeyword(s)) {
+          pname = s;
+          line = t[i].line;
+        }
+      }
+      if (!pname.empty()) vars.push_back({pname, label, 0});
+      if (by_value) {
+        const std::string who =
+            pname.empty() ? "by-value parameter" : "by-value parameter '" + pname + "'";
+        out.push_back({label, who, line});
+      }
+    }
+    p = q + 1;
+  }
+}
+
+/// Body walk with scope-tracked declarations: flags copy-initialization
+/// from an lvalue, by-value range-for variables, and lambda
+/// capture-by-copy of tracked heavy variables.
+void ScanPayloadBody(const FileTokens& file, const FnDef& fn,
+                     std::vector<TrackedVar> vars,
+                     std::vector<PayloadCopy>& out) {
+  const auto& t = file.tokens;
+  int depth = 0;
+  for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+    const Token& tok = t[k];
+    if (tok.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (tok.text == "}") {
+      --depth;
+      std::erase_if(vars,
+                    [depth](const TrackedVar& v) { return v.depth > depth; });
+      continue;
+    }
+    if (IsLambdaStart(t, k)) {
+      // Capture list: `[x]` and `[y = x]` copy; `[&x]`, `[&]`, `this`
+      // do not. (`[=]` is not resolved against the body — a default
+      // copy-capture of a heavy local should be spelled out anyway.)
+      const std::size_t close = MatchForward(t, k);
+      for (std::size_t c = k + 1; c < close; ++c) {
+        if (t[c].text == "&" || t[c].text == "*") {
+          if (c + 1 < close && t[c + 1].kind == Kind::kIdent) ++c;
+          continue;
+        }
+        if (t[c].kind != Kind::kIdent || t[c].text == "this") continue;
+        if (c + 1 < close && t[c + 1].text == "=") {
+          // Init capture: copying a tracked heavy lvalue is a copy; a
+          // move or call result is not.
+          const std::size_t e = c + 2;
+          if (e < close && t[e].kind == Kind::kIdent &&
+              !StartsCallLike(t, e, close)) {
+            if (const TrackedVar* v = LookupVar(vars, t[e].text)) {
+              out.push_back({v->type,
+                             "lambda captures '" + t[e].text + "' by copy",
+                             t[c].line});
+            }
+          }
+          int d2 = 0;
+          for (c = c + 1; c < close; ++c) {
+            const std::string& s2 = t[c].text;
+            if (s2 == "(" || s2 == "[" || s2 == "{") {
+              ++d2;
+            } else if (s2 == ")" || s2 == "]" || s2 == "}") {
+              --d2;
+            } else if (s2 == "," && d2 == 0) {
+              break;
+            }
+          }
+          continue;
+        }
+        if (const TrackedVar* v = LookupVar(vars, t[c].text)) {
+          out.push_back({v->type,
+                         "lambda captures '" + t[c].text + "' by copy",
+                         t[c].line});
+        }
+      }
+      k = close;  // the lambda body is scanned like any other scope
+      continue;
+    }
+    std::string label;
+    std::size_t last = 0;
+    if (MatchHeavyType(t, k, label, last)) {
+      // Only a declaration counts: heavy type directly followed by a
+      // plain identifier (`Sample::kFoo`, `Result<Sample>`, `Sample(`
+      // temporaries and `new Sample` are not declarations).
+      const std::size_t n = last + 1;
+      const bool decl_shaped =
+          n < fn.body_end && t[n].kind == Kind::kIdent &&
+          !IsKeyword(t[n].text) &&
+          (k == 0 || (t[k - 1].text != "." && t[k - 1].text != "->" &&
+                      t[k - 1].text != "new"));
+      if (decl_shaped) {
+        const std::string vname = t[n].text;
+        const int line = t[n].line;
+        vars.push_back({vname, label, depth});
+        const std::size_t v = n + 1;
+        if (v < fn.body_end) {
+          const std::string& init = t[v].text;
+          if (init == "=") {
+            if (v + 1 < fn.body_end &&
+                (t[v + 1].kind == Kind::kIdent || t[v + 1].text == "*") &&
+                !StartsCallLike(t, v + 1, fn.body_end)) {
+              out.push_back({label,
+                             "copy-initialization of '" + vname +
+                                 "' from an lvalue",
+                             line});
+            }
+          } else if (init == ":") {
+            out.push_back(
+                {label, "range-for copies '" + vname + "' per element", line});
+          } else if (init == "(" || init == "{") {
+            const std::size_t e = MatchForward(t, v);
+            if (e == v + 2 && t[v + 1].kind == Kind::kIdent) {
+              if (LookupVar(vars, t[v + 1].text) != nullptr) {
+                out.push_back({label,
+                               "copy-initialization of '" + vname +
+                                   "' from '" + t[v + 1].text + "'",
+                               line});
+              }
+            }
+          }
+        }
+      }
+      k = last;
+      continue;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PayloadCopy> FindPayloadCopies(const FileTokens& file,
+                                           const std::vector<FnDef>& fns) {
+  std::vector<PayloadCopy> out;
+  for (const auto& fn : fns) {
+    std::vector<TrackedVar> vars;
+    ScanParams(file.tokens, fn, out, vars);
+    ScanPayloadBody(file, fn, std::move(vars), out);
+  }
+  return out;
+}
+
+namespace {
+
+/// Fixpoint propagation shared by the blocking and allocation closures:
+/// a caller inherits the (already-chained) witness of the first tainted
+/// resolvable callee, prefixed with its own name.
+void PropagateChains(
+    const std::unordered_map<std::string, std::vector<FnDef>>& fns,
+    std::unordered_map<std::string, std::string>& chain) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, defs] : fns) {
+      if (chain.count(name) != 0) continue;
+      for (const auto& def : defs) {
+        for (const auto& call : def.calls) {
+          if (call.name == name || !CrossTuResolvable(call.name)) continue;
+          if (fns.count(call.name) == 0) continue;
+          const auto it = chain.find(call.name);
+          if (it != chain.end()) {
+            chain[name] = name + " -> " + it->second;
+            changed = true;
+            break;
+          }
+        }
+        if (chain.count(name) != 0) break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 int ProjectIndex::RankOf(const std::string& key,
                          const std::string& bare_name) const {
   if (!key.empty()) {
@@ -632,35 +1009,24 @@ void FinalizeIndex(ProjectIndex& index) {
   // that name in the project agrees (name-keyed ⇒ overload-blind).
   for (const auto& n : index.nonstatus_fns) index.status_fns.erase(n);
 
-  // Blocking closure over the name-keyed call graph.
+  // Blocking and allocation closures over the name-keyed call graph:
+  // seed from the primitive sites, then propagate caller -> callee to a
+  // fixpoint, prefixing caller names so every entry is a full witness
+  // chain back to a primitive (e.g. "Take -> RefillSlow -> operator
+  // new").
   for (const auto& [name, defs] : index.fns) {
     for (const auto& def : defs) {
-      if (!def.blocking.empty()) {
+      if (def.hot_path) index.hot_fns.insert(name);
+      if (!def.blocking.empty() && index.blocking_chain.count(name) == 0) {
         index.blocking_chain[name] = name + " -> " + def.blocking[0].name;
-        break;
+      }
+      if (!def.allocs.empty() && index.alloc_chain.count(name) == 0) {
+        index.alloc_chain[name] = name + " -> " + def.allocs[0].name;
       }
     }
   }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& [name, defs] : index.fns) {
-      if (index.blocking_chain.count(name) != 0) continue;
-      for (const auto& def : defs) {
-        for (const auto& call : def.calls) {
-          if (call.name == name || !CrossTuResolvable(call.name)) continue;
-          if (index.fns.count(call.name) == 0) continue;
-          const auto it = index.blocking_chain.find(call.name);
-          if (it != index.blocking_chain.end()) {
-            index.blocking_chain[name] = name + " -> " + it->second;
-            changed = true;
-            break;
-          }
-        }
-        if (index.blocking_chain.count(name) != 0) break;
-      }
-    }
-  }
+  PropagateChains(index.fns, index.blocking_chain);
+  PropagateChains(index.fns, index.alloc_chain);
 
   // Effective acquisition ranks, to a fixpoint.
   for (const auto& [name, defs] : index.fns) {
@@ -673,7 +1039,7 @@ void FinalizeIndex(ProjectIndex& index) {
       }
     }
   }
-  changed = true;
+  bool changed = true;
   while (changed) {
     changed = false;
     for (const auto& [name, defs] : index.fns) {

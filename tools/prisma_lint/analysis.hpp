@@ -88,10 +88,14 @@ struct FnDef {
   std::string class_name;      // qualifier or enclosing class ("" if free)
   std::string file;
   int line = 0;
+  bool hot_path = false;       // definition carries PRISMA_HOT_PATH
+  std::size_t params_begin = 0;  // token index of the parameter-list '('
+  std::size_t params_end = 0;    // token index of its matching ')'
   std::size_t body_begin = 0;  // token index just past the body '{'
   std::size_t body_end = 0;    // token index of the matching '}'
   std::vector<CallSite> calls;        // every project-relevant call
   std::vector<CallSite> blocking;     // calls to the primitive blocking set
+  std::vector<CallSite> allocs;       // allocation-primitive sites
   std::vector<AcquireSite> acquires;  // MutexLock construction sites
 };
 
@@ -137,6 +141,16 @@ struct ProjectIndex {
   /// primitive set, propagated through the call graph to a fixpoint.
   std::unordered_map<std::string, std::string> blocking_chain;
 
+  /// Allocation closure: function name -> witness chain ending in an
+  /// allocation primitive, e.g. "Take -> RefillSlow -> operator new".
+  /// Seeded and propagated exactly like blocking_chain.
+  std::unordered_map<std::string, std::string> alloc_chain;
+
+  /// Names with at least one PRISMA_HOT_PATH definition. hot-path-purity
+  /// trusts calls to these: the callee is audited (and suppressed where
+  /// deliberate) at its own definition.
+  std::unordered_set<std::string> hot_fns;
+
   /// Effective acquisitions: function name -> (rank -> witness chain),
   /// the ranks a call to this function may end up acquiring.
   std::unordered_map<std::string, std::map<int, std::string>> effective_ranks;
@@ -147,6 +161,37 @@ struct ProjectIndex {
 /// The primitive blocking set (syscalls / std waits that must not run
 /// under a prisma::Mutex). Exposed for tests and docs.
 const std::unordered_set<std::string>& BlockingPrimitives();
+
+/// Allocation primitives called like free functions (malloc family,
+/// make_shared/make_unique). `operator new` is recognized by keyword.
+const std::unordered_set<std::string>& AllocationPrimitives();
+
+/// Growth methods on containers/strings that may allocate; they only
+/// count as allocation sites when invoked through `.` or `->`.
+const std::unordered_set<std::string>& GrowthMethods();
+
+// ---------------------------------------------------------------------------
+// Payload-copy tracking (no-payload-copy).
+
+/// Heavy payload types whose copies the no-payload-copy check flags.
+/// `std::vector<std::byte>` (payload buffers) is matched structurally in
+/// addition to these single-identifier names.
+const std::unordered_set<std::string>& HeavyPayloadTypes();
+
+/// One flagged copy of a heavy payload type.
+struct PayloadCopy {
+  std::string type;  // e.g. "SamplePayload", "std::vector<std::byte>"
+  std::string what;  // e.g. "by-value parameter 'sample'"
+  int line = 0;
+};
+
+/// Scope-level declared-type tracker: walks each function's parameter
+/// list and body tracking which names hold heavy payload types, and
+/// reports by-value parameters, copy-initialization from an lvalue
+/// (including by-value range-for loop variables), and lambda
+/// capture-by-copy of a tracked heavy variable.
+std::vector<PayloadCopy> FindPayloadCopies(const FileTokens& file,
+                                           const std::vector<FnDef>& fns);
 
 /// Scans one file's token stream into function definitions (with lock
 /// liveness resolved against `index` when provided for ranks) plus the

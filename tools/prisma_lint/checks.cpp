@@ -39,8 +39,9 @@ std::string HeldLabel(const std::vector<HeldLock>& held) {
 
 const std::vector<std::string>& AllChecks() {
   static const std::vector<std::string> kAll = {
-      kNoRawSync, kNoBlockingUnderLock, kGuardedByCoverage, kStatusChecked,
-      kLockRankStatic};
+      kNoRawSync,      kNoBlockingUnderLock, kGuardedByCoverage,
+      kStatusChecked,  kLockRankStatic,      kHotPathPurity,
+      kNoPayloadCopy};
   return kAll;
 }
 
@@ -415,6 +416,77 @@ void CheckLockRankStatic(const FileTokens& file, const std::vector<FnDef>& fns,
                  RankLabel(index, h.rank) + "): potential rank inversion");
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (6) hot-path-purity
+
+void CheckHotPathPurity(const FileTokens& file, const std::vector<FnDef>& fns,
+                        const ProjectIndex& index, std::vector<Finding>& out) {
+  std::set<std::pair<int, std::string>> seen;  // (line, site) dedup
+  for (const auto& fn : fns) {
+    if (!fn.hot_path) continue;
+    const std::string label =
+        fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+    for (const auto& a : fn.allocs) {
+      if (!seen.insert({a.line, a.name}).second) continue;
+      Emit(out, file, a.line, kHotPathPurity,
+           "'" + label + "' is PRISMA_HOT_PATH but allocates: " + fn.name +
+               " -> " + a.name +
+               "; hoist it off the hot path or add a reasoned "
+               "allow(hot-path-purity, ...)");
+    }
+    for (const auto& b : fn.blocking) {
+      if (!seen.insert({b.line, b.name}).second) continue;
+      Emit(out, file, b.line, kHotPathPurity,
+           "'" + label + "' is PRISMA_HOT_PATH but blocks: " + fn.name +
+               " -> " + b.name +
+               "; hoist it off the hot path or add a reasoned "
+               "allow(hot-path-purity, ...)");
+    }
+    for (const auto& c : fn.calls) {
+      if (c.name == fn.name) continue;  // recursion: reported at the leaf
+      if (!CrossTuResolvable(c.name)) continue;
+      // Calls into other PRISMA_HOT_PATH functions are trusted: the
+      // callee is audited (and suppressed where deliberate) at its own
+      // definition.
+      if (index.hot_fns.count(c.name) != 0) continue;
+      const auto alloc = index.alloc_chain.find(c.name);
+      if (alloc != index.alloc_chain.end()) {
+        if (seen.insert({c.line, c.name}).second) {
+          Emit(out, file, c.line, kHotPathPurity,
+               "'" + label + "' is PRISMA_HOT_PATH but may allocate: " +
+                   fn.name + " -> " + alloc->second +
+                   "; hoist the allocation or add a reasoned "
+                   "allow(hot-path-purity, ...)");
+        }
+        continue;  // one witness per call site is enough
+      }
+      const auto block = index.blocking_chain.find(c.name);
+      if (block == index.blocking_chain.end()) continue;
+      if (!seen.insert({c.line, c.name}).second) continue;
+      Emit(out, file, c.line, kHotPathPurity,
+           "'" + label + "' is PRISMA_HOT_PATH but may block: " + fn.name +
+               " -> " + block->second +
+               "; hoist the I/O or add a reasoned "
+               "allow(hot-path-purity, ...)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (7) no-payload-copy
+
+void CheckNoPayloadCopy(const FileTokens& file, const std::vector<FnDef>& fns,
+                        std::vector<Finding>& out) {
+  std::set<std::pair<int, std::string>> seen;  // (line, what) dedup
+  for (const auto& copy : FindPayloadCopies(file, fns)) {
+    if (!seen.insert({copy.line, copy.what}).second) continue;
+    Emit(out, file, copy.line, kNoPayloadCopy,
+         copy.what + " copies heavy payload type '" + copy.type +
+             "'; pass by reference, move, or add a reasoned "
+             "allow(no-payload-copy, ...)");
   }
 }
 

@@ -1,4 +1,4 @@
-// The five PRISMA project-invariant checks. Each takes one lexed target
+// The seven PRISMA project-invariant checks. Each takes one lexed target
 // file (plus the cross-TU index where needed) and appends findings.
 // Check names are stable identifiers: they appear in findings, baseline
 // fingerprints, suppression comments, and --checks filters.
@@ -17,6 +17,8 @@ inline constexpr const char* kNoBlockingUnderLock = "no-blocking-under-lock";
 inline constexpr const char* kGuardedByCoverage = "guarded-by-coverage";
 inline constexpr const char* kStatusChecked = "status-checked";
 inline constexpr const char* kLockRankStatic = "lock-rank-static";
+inline constexpr const char* kHotPathPurity = "hot-path-purity";
+inline constexpr const char* kNoPayloadCopy = "no-payload-copy";
 
 /// All check names, in reporting order.
 const std::vector<std::string>& AllChecks();
@@ -55,5 +57,22 @@ void CheckStatusChecked(const FileTokens& file, const std::vector<FnDef>& fns,
 /// which only the runtime validator can decide.
 void CheckLockRankStatic(const FileTokens& file, const std::vector<FnDef>& fns,
                          const ProjectIndex& index, std::vector<Finding>& out);
+
+/// (6) A PRISMA_HOT_PATH function must not allocate or block — directly
+/// or through any call chain in the cross-TU graph. Findings print the
+/// full witness chain ("Take -> RefillSlow -> operator new"). Calls to
+/// other PRISMA_HOT_PATH functions are trusted (audited at their own
+/// definition); deliberate steady-state allocations carry a reasoned
+/// allow(hot-path-purity, ...) at the site.
+void CheckHotPathPurity(const FileTokens& file, const std::vector<FnDef>& fns,
+                        const ProjectIndex& index, std::vector<Finding>& out);
+
+/// (7) Heavy payload types (Sample, SamplePayload, SampleView,
+/// std::vector<std::byte> buffers) must not be copied: by-value
+/// parameters, copy-initialization from an lvalue (range-for included),
+/// and lambda capture-by-copy are flagged project-wide. This freezes
+/// the zero-copy data plane's one-copy-per-payload-byte guarantee.
+void CheckNoPayloadCopy(const FileTokens& file, const std::vector<FnDef>& fns,
+                        std::vector<Finding>& out);
 
 }  // namespace prisma_lint

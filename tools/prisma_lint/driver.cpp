@@ -1,10 +1,14 @@
 #include "driver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 
 #include "checks.hpp"
@@ -108,8 +112,14 @@ std::vector<std::string> GlobSources(const std::string& dir) {
 
 namespace {
 
-std::vector<std::string> LoadBaseline(const std::string& path) {
-  std::vector<std::string> out;
+/// Baseline entries as fingerprint -> occurrence count. Fingerprints
+/// strip line numbers, so two real instances of the same pattern in one
+/// basename produce IDENTICAL fingerprints; counting (rather than
+/// set-matching) keeps a second instance from hiding behind a baseline
+/// line that absorbed the first. An entry absorbs one occurrence per
+/// line it appears on, or `xN` at the end of the line absorbs N.
+std::map<std::string, std::size_t> LoadBaseline(const std::string& path) {
+  std::map<std::string, std::size_t> out;
   std::string text;
   if (!ReadFile(path, text)) return out;
   std::istringstream in(text);
@@ -122,10 +132,62 @@ std::vector<std::string> LoadBaseline(const std::string& path) {
     while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) {
       entry.pop_back();
     }
-    if (!entry.empty()) out.push_back(entry);
+    if (entry.empty()) continue;
+    std::size_t count = 1;
+    const std::size_t sp = entry.find_last_of(" \t");
+    if (sp != std::string::npos && sp + 1 < entry.size() &&
+        entry[sp + 1] == 'x') {
+      const std::string suffix = entry.substr(sp + 2);
+      if (!suffix.empty() &&
+          suffix.find_first_not_of("0123456789") == std::string::npos) {
+        count = static_cast<std::size_t>(std::stoul(suffix));
+        entry = entry.substr(0, sp);
+        while (!entry.empty() &&
+               (entry.back() == ' ' || entry.back() == '\t')) {
+          entry.pop_back();
+        }
+      }
+    }
+    if (!entry.empty()) out[entry] += count;
   }
   return out;
 }
+
+/// Runs fn(0..n-1) across `jobs` threads claiming indices from a shared
+/// atomic counter. No locks: each index owns a private result slot, and
+/// the join is the only synchronization (deliberate — the linter is
+/// standalone and its own no-raw-sync check covers this tree).
+template <typename Fn>
+void ParallelFor(std::size_t n, int jobs, Fn&& fn) {
+  const std::size_t workers =
+      std::min<std::size_t>(n, jobs < 1 ? 1 : static_cast<std::size_t>(jobs));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto work = [&next, n, &fn] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 0; w + 1 < workers; ++w) pool.emplace_back(work);
+  work();
+  for (auto& th : pool) th.join();
+}
+
+/// Per-file pass-1 result: lexed tokens, classes, index-less function
+/// scan, and the file's declaration contributions (collected into a
+/// private index so the fan-out never touches shared state).
+struct FileScan {
+  bool ok = false;
+  FileTokens file;
+  std::vector<ClassInfo> classes;
+  std::vector<FnDef> fns;
+  ProjectIndex decls;
+};
 
 }  // namespace
 
@@ -158,66 +220,121 @@ RunResult Run(const Options& options) {
   std::vector<std::string> targets = options.targets;
   if (targets.empty()) targets = index_files;
 
-  // Pass 1: lex everything once, build the project index.
-  ProjectIndex index;
-  std::unordered_map<std::string, FileTokens> lexed;
-  std::unordered_map<std::string, std::vector<ClassInfo>> classes;
-  for (const auto& path : index_files) {
+  // Pass 1: lex and scan every file in parallel — each index owns a
+  // private FileScan slot (including a private ProjectIndex for the
+  // file's declarations) — then merge the slots into the real index in
+  // file order, so the result is bit-identical for any job count.
+  std::vector<FileScan> scans(index_files.size());
+  ParallelFor(index_files.size(), options.jobs, [&](std::size_t i) {
+    FileScan& slot = scans[i];
     std::string text;
-    if (!ReadFile(path, text)) {
-      result.errors.push_back("cannot read " + path);
+    if (!ReadFile(index_files[i], text)) return;
+    slot.ok = true;
+    slot.file = Lex(index_files[i], text);
+    slot.classes = ScanClasses(slot.file);
+    IndexDeclarations(slot.file, slot.classes, slot.decls);
+    slot.fns = ScanFunctions(slot.file, slot.classes, nullptr);
+  });
+
+  ProjectIndex index;
+  std::unordered_map<std::string, std::size_t> slot_of;
+  for (std::size_t i = 0; i < index_files.size(); ++i) {
+    FileScan& slot = scans[i];
+    if (!slot.ok) {
+      result.errors.push_back("cannot read " + index_files[i]);
       continue;
     }
-    auto file = Lex(path, text);
-    auto cls = ScanClasses(file);
-    IndexDeclarations(file, cls, index);
-    for (auto& def : ScanFunctions(file, cls, nullptr)) {
+    slot_of.emplace(index_files[i], i);
+    for (const auto& [name, val] : slot.decls.rank_values) {
+      index.rank_values[name] = val;
+    }
+    for (auto& [key, ranks] : slot.decls.raw_mutex_decls) {
+      auto& dst = index.raw_mutex_decls[key];
+      dst.insert(dst.end(), ranks.begin(), ranks.end());
+    }
+    index.status_fns.insert(slot.decls.status_fns.begin(),
+                            slot.decls.status_fns.end());
+    index.nonstatus_fns.insert(slot.decls.nonstatus_fns.begin(),
+                               slot.decls.nonstatus_fns.end());
+    for (auto& def : slot.fns) {
       index.fns[def.name].push_back(std::move(def));
     }
-    classes.emplace(path, std::move(cls));
-    lexed.emplace(path, std::move(file));
+    slot.fns.clear();
   }
   FinalizeIndex(index);
 
-  // Pass 2: lint the targets with full cross-TU context.
+  // Pass 2: lint the targets with full cross-TU context, fanned the
+  // same way — per-target finding slots, merged in target order.
   std::unordered_set<std::string> enabled(options.checks.begin(),
                                           options.checks.end());
   auto on = [&](const char* name) {
     return enabled.empty() || enabled.count(name) != 0;
   };
+  const std::vector<std::string>& check_order = AllChecks();
+  std::vector<std::vector<Finding>> target_findings(targets.size());
+  std::vector<std::vector<double>> target_nanos(
+      targets.size(), std::vector<double>(check_order.size(), 0.0));
+  ParallelFor(targets.size(), options.jobs, [&](std::size_t ti) {
+    const auto it = slot_of.find(targets[ti]);
+    if (it == slot_of.end()) return;  // read error already recorded
+    const FileScan& slot = scans[it->second];
+    const FileTokens& file = slot.file;
+    const auto fns = ScanFunctions(file, slot.classes, &index);
+    std::vector<Finding>& findings = target_findings[ti];
+    std::size_t ci = 0;
+    auto timed = [&](const char* name, auto&& run) {
+      if (on(name)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        run();
+        const auto t1 = std::chrono::steady_clock::now();
+        target_nanos[ti][ci] +=
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+      }
+      ++ci;
+    };
+    timed(kNoRawSync, [&] { CheckNoRawSync(file, findings); });
+    timed(kNoBlockingUnderLock,
+          [&] { CheckNoBlockingUnderLock(file, fns, index, findings); });
+    timed(kGuardedByCoverage,
+          [&] { CheckGuardedByCoverage(file, slot.classes, findings); });
+    timed(kStatusChecked,
+          [&] { CheckStatusChecked(file, fns, index, findings); });
+    timed(kLockRankStatic,
+          [&] { CheckLockRankStatic(file, fns, index, findings); });
+    timed(kHotPathPurity,
+          [&] { CheckHotPathPurity(file, fns, index, findings); });
+    timed(kNoPayloadCopy, [&] { CheckNoPayloadCopy(file, fns, findings); });
+  });
   std::vector<Finding> findings;
-  for (const auto& path : targets) {
-    const auto it = lexed.find(path);
-    if (it == lexed.end()) continue;  // read error already recorded
-    const FileTokens& file = it->second;
-    const auto& cls = classes.at(path);
-    const auto fns = ScanFunctions(file, cls, &index);
-    if (on(kNoRawSync)) CheckNoRawSync(file, findings);
-    if (on(kNoBlockingUnderLock)) {
-      CheckNoBlockingUnderLock(file, fns, index, findings);
-    }
-    if (on(kGuardedByCoverage)) CheckGuardedByCoverage(file, cls, findings);
-    if (on(kStatusChecked)) CheckStatusChecked(file, fns, index, findings);
-    if (on(kLockRankStatic)) CheckLockRankStatic(file, fns, index, findings);
+  for (auto& per_target : target_findings) {
+    for (auto& f : per_target) findings.push_back(std::move(f));
+  }
+  for (std::size_t ci = 0; ci < check_order.size(); ++ci) {
+    double nanos = 0.0;
+    for (const auto& per_target : target_nanos) nanos += per_target[ci];
+    result.check_seconds.emplace_back(check_order[ci], nanos / 1e9);
   }
 
-  // Baseline filter.
-  std::vector<std::string> baseline;
-  if (!options.baseline.empty()) baseline = LoadBaseline(options.baseline);
-  const std::set<std::string> base_set(baseline.begin(), baseline.end());
-  for (auto& f : findings) {
-    if (base_set.count(f.Fingerprint()) != 0) {
-      ++result.baselined;
-      continue;
-    }
-    result.findings.push_back(std::move(f));
-  }
-  std::sort(result.findings.begin(), result.findings.end(),
+  // Sort BEFORE the baseline filter: the baseline matches occurrence
+  // counts, so which instance of N identical fingerprints gets absorbed
+  // must not depend on traversal order.
+  std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
               return a.message < b.message;
             });
+  std::map<std::string, std::size_t> base_count;
+  if (!options.baseline.empty()) base_count = LoadBaseline(options.baseline);
+  for (auto& f : findings) {
+    const auto it = base_count.find(f.Fingerprint());
+    if (it != base_count.end() && it->second > 0) {
+      --it->second;
+      ++result.baselined;
+      continue;
+    }
+    result.findings.push_back(std::move(f));
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis.hpp"
@@ -21,12 +22,19 @@ struct Options {
   /// Status signatures, mutex ranks, the call graph — is complete when
   /// linting a subset. Empty + no compdb: the targets index themselves.
   std::vector<std::string> index_extra;
+  /// Worker threads for the per-file lex/scan and per-target lint fans.
+  /// The index merge stays sequential, so results are identical for any
+  /// value; 1 (the default) runs everything inline.
+  int jobs = 1;
 };
 
 struct RunResult {
   std::vector<Finding> findings;    // non-baselined, sorted (file, line)
   std::size_t baselined = 0;        // findings absorbed by the baseline
   std::vector<std::string> errors;  // unreadable files etc.
+  /// Cumulative per-check lint time (reporting order, seconds), summed
+  /// across workers — wall clock of a parallel run is lower.
+  std::vector<std::pair<std::string, double>> check_seconds;
 };
 
 /// Source files listed in a compile_commands.json (absolute paths,

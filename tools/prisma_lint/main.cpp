@@ -9,6 +9,7 @@
 // the whole project so interprocedural checks stay accurate).
 // Exit status: 0 clean (or fully baselined), 1 findings, 2 usage error.
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <filesystem>
 #include <string>
@@ -28,6 +29,8 @@ int Usage(const char* argv0) {
       << "  --no-baseline    ignore the baseline file\n"
       << "  --checks A,B     run only the named checks\n"
       << "  --list-checks    print check names and exit\n"
+      << "  --jobs N         worker threads for lex/scan and lint (default: 1)\n"
+      << "  --timings        print per-check lint time to stderr\n"
       << "  --quiet          suppress the summary line\n";
   return 2;
 }
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
   opt.root = ".";
   bool no_baseline = false;
   bool quiet = false;
+  bool timings = false;
   bool compdb_set = false, baseline_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,6 +78,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-checks") {
       for (const auto& c : prisma_lint::AllChecks()) std::cout << c << "\n";
       return 0;
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(value("--jobs"));
+      if (opt.jobs < 1) opt.jobs = 1;
+    } else if (arg == "--timings") {
+      timings = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -111,6 +120,14 @@ int main(int argc, char** argv) {
   const prisma_lint::RunResult result = prisma_lint::Run(opt);
   for (const auto& e : result.errors) std::cerr << "prisma-lint: " << e << "\n";
   for (const auto& f : result.findings) std::cout << f.ToString() << "\n";
+  if (timings) {
+    // CPU time summed across workers, not wall clock — the number CI
+    // graphs to spot a check whose cost regressed.
+    for (const auto& [check, seconds] : result.check_seconds) {
+      std::cerr << "prisma-lint: timing " << check << " "
+                << static_cast<long long>(seconds * 1e6) << "us\n";
+    }
+  }
   if (!quiet) {
     std::cerr << "prisma-lint: " << result.findings.size() << " finding(s)";
     if (result.baselined > 0) {
