@@ -163,6 +163,17 @@ case "${MODE}" in
     lint_args=(--root . --compdb "${BUILD_DIR}/compile_commands.json"
                --baseline scripts/prisma-lint-baseline.txt
                --jobs "${JOBS}" --timings)
+    # On GitHub-hosted runs, findings double as ::error annotations so
+    # they land inline on the PR diff instead of only in the job log.
+    if [[ -n "${GITHUB_ACTIONS:-}" ]]; then
+      lint_args+=(--format=github)
+    fi
+    # LINT_TIMINGS_JSON=<path> archives per-check CPU time in the same
+    # google-benchmark JSON shape as bench/results/, for trend diffing
+    # (the checked-in snapshot is bench/results/BENCH_lint_timings.json).
+    if [[ -n "${LINT_TIMINGS_JSON:-}" ]]; then
+      lint_args+=(--timings-json "${LINT_TIMINGS_JSON}")
+    fi
     if [[ "${2:-full}" == "changed" ]]; then
       base="${TIDY_BASE:-origin/main}"
       if ! git rev-parse --verify --quiet "${base}" > /dev/null; then

@@ -81,7 +81,6 @@ class StagePipeline {
   /// outermost layer (what the old single-object Stage exposed).
   OptimizationObject& RoutingLayer() const;
 
-  // prisma-lint: unguarded(immutable after construction)
   std::vector<std::shared_ptr<OptimizationObject>> layers_;
 };
 

@@ -149,7 +149,11 @@ TEST(MutexWrapperTest, WaitUntilReportsTimeout) {
   MutexLock lock(mu);
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
-  EXPECT_FALSE(cv.WaitUntil(mu, deadline));  // nobody notifies
+  // Nobody notifies, but a spurious wakeup also reports "no timeout" —
+  // re-wait until the deadline genuinely fires.
+  while (cv.WaitUntil(mu, deadline)) {
+  }
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
 }
 
 // --- autotuner-shrink race regression ---------------------------------------

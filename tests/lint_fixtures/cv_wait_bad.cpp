@@ -1,0 +1,30 @@
+// prisma-lint fixture: every naked-wait form cv-wait-predicate must
+// flag — a bare Wait, an if-guarded Wait (checks the condition once,
+// so a spurious wakeup slips through), and bare WaitUntil / WaitFor
+// whose "no timeout" result is trusted without re-checking the
+// condition. Fixtures are lexed, never compiled.
+namespace fixture {
+
+void BareWait(Mutex& mu, CondVar& cv) {
+  MutexLock lock(mu);
+  cv.Wait(mu);
+}
+
+void IfIsNotALoop(Mutex& mu, CondVar& cv, const bool& ready) {
+  MutexLock lock(mu);
+  if (!ready) {
+    cv.Wait(mu);
+  }
+}
+
+bool BareWaitUntil(Mutex& mu, CondVar& cv, TimePoint deadline) {
+  MutexLock lock(mu);
+  return cv.WaitUntil(mu, deadline);
+}
+
+bool BareWaitFor(Mutex& mu, CondVar& cv, Duration timeout) {
+  MutexLock lock(mu);
+  return cv.WaitFor(mu, timeout);
+}
+
+}  // namespace fixture

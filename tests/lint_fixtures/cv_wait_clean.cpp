@@ -1,0 +1,48 @@
+// prisma-lint fixture: the sanctioned wait shapes cv-wait-predicate
+// must NOT flag — the canonical `while (!cond) cv.Wait(mu);`
+// (braceless and braced), a deadline wait re-checked in the loop
+// condition, a do/while that re-checks after waking, and a wait inside
+// a for(;;) poll loop. Fixtures are lexed, never compiled.
+namespace fixture {
+
+void CanonicalBraceless(Mutex& mu, CondVar& cv, const bool& ready) {
+  MutexLock lock(mu);
+  while (!ready) cv.Wait(mu);
+}
+
+void CanonicalBraced(Mutex& mu, CondVar& cv, const Queue& q) {
+  MutexLock lock(mu);
+  while (q.empty()) {
+    cv.Wait(mu);
+  }
+}
+
+bool DeadlineRechecked(Mutex& mu, CondVar& cv, const bool& ready,
+                       TimePoint deadline) {
+  MutexLock lock(mu);
+  while (!ready) {
+    if (!cv.WaitUntil(mu, deadline)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RecheckAfterWake(Mutex& mu, CondVar& cv, const Queue& q) {
+  MutexLock lock(mu);
+  do {
+    cv.Wait(mu);
+  } while (q.empty());
+}
+
+void PollLoop(Mutex& mu, CondVar& cv, const bool& stop, Duration tick) {
+  MutexLock lock(mu);
+  for (;;) {
+    if (stop) {
+      break;
+    }
+    cv.WaitFor(mu, tick);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// prisma-lint fixture: a cv-wait-predicate finding silenced by a
+// reasoned allow marker — a deliberate single bounded wait used as a
+// throttle, where a spurious early wake is harmless. The marker
+// suppresses a live finding, so the stale-suppression scanner must
+// stay quiet. Fixtures are lexed, never compiled.
+namespace fixture {
+
+void ThrottleTick(Mutex& mu, CondVar& cv, Duration tick) {
+  MutexLock lock(mu);
+  // prisma-lint: allow(cv-wait-predicate, pure rate limiter; waking early is fine)
+  cv.WaitFor(mu, tick);
+}
+
+}  // namespace fixture

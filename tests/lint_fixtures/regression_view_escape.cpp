@@ -1,0 +1,31 @@
+// prisma-lint fixture: freezes the real view-escape report the linter
+// raised on src/dataplane/prefetch_object.cpp (ReadRef) when the
+// lifetime pass first ran on this tree. ReadRef copies a refcounted
+// SamplePayload out of the cache into a local and returns a SampleView
+// built from it. The naive version — returning a span carved out of
+// the local payload's bytes — really does dangle, and the pass must
+// keep flagging it. The shipped version moves the payload INTO the
+// SampleView, which shares ownership; the engine initially flagged
+// that too, and the fix taught ResolveBorrow that a SampleView{...}
+// construction is refcounted on the spot. This fixture pins both
+// sides of that boundary. Fixtures are lexed, never compiled.
+namespace fixture {
+
+// The dangling shape: the span borrows the local payload's bytes and
+// the payload dies with the frame.
+std::span<const std::byte> ReadRefPreFix(const Key& key, std::size_t offset,
+                                         std::size_t n) {
+  SamplePayload payload = LookupTaken(key);
+  std::span<const std::byte> view = payload.bytes().subspan(offset, n);
+  return view;
+}
+
+// The shipped shape: the view takes shared ownership of the payload,
+// so nothing borrows frame storage. Must stay clean.
+Result<SampleView> ReadRefPostFix(const Key& key, std::size_t offset,
+                                  std::size_t n) {
+  SamplePayload payload = LookupTaken(key);
+  return SampleView{std::move(payload), offset, n};
+}
+
+}  // namespace fixture

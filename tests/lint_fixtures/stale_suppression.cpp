@@ -1,0 +1,26 @@
+// prisma-lint fixture: dead suppression markers the stale scanner must
+// report — an allow whose finding no longer exists (same-line and
+// comment-line-above forms) and an allow naming a check that never
+// fires here. The one live marker (it suppresses a real naked Wait)
+// must NOT be reported, and backtick-quoted mentions like
+// `// prisma-lint: allow(no-raw-sync)` in prose never arm at all.
+// Fixtures are lexed, never compiled.
+namespace fixture {
+
+void MarkerOutlivedItsFinding(Mutex& mu) {
+  MutexLock lock(mu);  // prisma-lint: allow(no-raw-sync, predates the Mutex wrapper)
+  Serve();
+}
+
+void MarkerNamesTheWrongCheck() {
+  // prisma-lint: allow(no-payload-copy, nothing here copies a payload)
+  Serve();
+}
+
+void LiveMarkerStaysQuiet(Mutex& mu, CondVar& cv) {
+  MutexLock lock(mu);
+  // prisma-lint: allow(cv-wait-predicate, single bounded sleep by design)
+  cv.Wait(mu);
+}
+
+}  // namespace fixture

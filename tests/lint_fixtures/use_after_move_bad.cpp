@@ -1,0 +1,39 @@
+// prisma-lint fixture: every moved-from misuse use-after-move must
+// flag — reading a member of a moved Sample, calling into a moved
+// PayloadWriter, sizing a moved std::vector<std::byte>, passing a
+// moved SamplePayload onward, and moving the same local twice. A
+// moved-from payload is empty, so each of these silently serves zero
+// bytes. Fixtures are lexed, never compiled.
+namespace fixture {
+
+void UseMemberAfterMove() {
+  Sample sample = MakeSample();
+  Sink(std::move(sample));
+  Log(sample.path);
+}
+
+void CallAfterMove() {
+  PayloadWriter writer = MakeWriter();
+  Commit(std::move(writer));
+  writer.Append(kMore);
+}
+
+void SizeAfterMove() {
+  std::vector<std::byte> bytes = Load();
+  Take(std::move(bytes));
+  Reserve(bytes.size());
+}
+
+void PassAfterMove() {
+  SamplePayload payload = MakePayload();
+  Stash(std::move(payload));
+  Serve(payload);
+}
+
+void DoubleMove() {
+  SamplePayload payload = MakePayload();
+  Consume(std::move(payload));
+  Consume(std::move(payload));
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// prisma-lint fixture: moved-from locals brought back to life the
+// sanctioned ways — reassignment, reset()/clear()/assign(), a move on
+// only one branch (the tracker un-moves when the branch scope closes),
+// and a move as the last use. None of these may fire use-after-move.
+// Fixtures are lexed, never compiled.
+namespace fixture {
+
+void ReassignThenUse() {
+  SamplePayload payload = MakePayload();
+  Consume(std::move(payload));
+  payload = MakePayload();
+  Serve(payload);
+}
+
+void ResetThenUse() {
+  PayloadWriter writer = MakeWriter();
+  Commit(std::move(writer));
+  writer.reset();
+  writer.Append(kMore);
+}
+
+void ClearThenUse() {
+  std::vector<std::byte> bytes = Load();
+  Take(std::move(bytes));
+  bytes.clear();
+  Reserve(bytes.size());
+}
+
+void BranchMoveThenUse(bool flip) {
+  Sample sample = MakeSample();
+  if (flip) {
+    Sink(std::move(sample));
+    return;
+  }
+  Log(sample.path);
+}
+
+void MoveIsLastUse() {
+  Sample sample = MakeSample();
+  Log(sample.path);
+  Sink(std::move(sample));
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// prisma-lint fixture: a use-after-move finding silenced by a reasoned
+// allow marker. The marker suppresses a live finding, so the
+// stale-suppression scanner must stay quiet. Fixtures are lexed, never
+// compiled.
+namespace fixture {
+
+void ProbeMovedFromState() {
+  std::vector<std::byte> bytes = Load();
+  Take(std::move(bytes));
+  // prisma-lint: allow(use-after-move, asserting the moved-from vector is empty)
+  Check(bytes.empty());
+}
+
+}  // namespace fixture

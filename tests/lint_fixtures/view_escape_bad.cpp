@@ -1,0 +1,74 @@
+// prisma-lint fixture: every escape form view-escape must flag —
+// returning a view rooted in a function-local owner (directly, via a
+// tracked view variable, and via an accessor-derived span), storing a
+// borrowed view into a member or member container that outlives the
+// call, and handing a lambda that captures a view by reference (or a
+// non-refcounted view by value) to a deferred sink (ThreadPool-style
+// Submit, std::thread, and a stored callback). Fixtures are lexed,
+// never compiled.
+namespace fixture {
+
+std::span<const std::byte> ReturnLocalDirect() {
+  std::vector<std::byte> buf = Load();
+  return buf;
+}
+
+std::span<const std::byte> ReturnLocalViaView() {
+  std::vector<std::byte> buf = Load();
+  std::span<const std::byte> view = buf;
+  return view;
+}
+
+std::string_view ReturnLocalAccessor() {
+  std::string name = MakeName();
+  std::string_view view = name.substr(1);
+  return view;
+}
+
+class WindowCache {
+ public:
+  void Remember(std::span<const std::byte> bytes) {
+    window_ = bytes;
+  }
+
+  void RememberLocal() {
+    std::vector<std::byte> buf = Load();
+    std::span<const std::byte> view = buf;
+    windows_.push_back(view);
+  }
+
+ private:
+  std::span<const std::byte> window_;
+  std::vector<std::span<const std::byte>> windows_;
+};
+
+void SubmitRefCapture(ThreadPool& pool) {
+  std::vector<std::byte> block = Load();
+  std::span<const std::byte> view = block;
+  pool.Submit([&view] { Consume(view); });
+}
+
+void SubmitValueCapture(ThreadPool& pool) {
+  std::vector<std::byte> block = Load();
+  std::span<const std::byte> view = block;
+  pool.Submit([view] { Consume(view); });
+}
+
+void ThreadDefaultRefCapture() {
+  std::string name = MakeName();
+  std::string_view view = name;
+  std::thread worker([&] { Consume(view); });
+  worker.join();
+}
+
+class Notifier {
+ public:
+  void Arm(std::span<const std::byte> bytes) {
+    on_ready_target_ = [&bytes] { Consume(bytes); };
+  }
+
+ private:
+  std::function<void()> on_ready_target_;
+};
+
+}  // namespace fixture

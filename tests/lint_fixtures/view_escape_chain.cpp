@@ -1,0 +1,29 @@
+// prisma-lint fixture: interprocedural view-escape witness chains.
+// Trim's summary says it returns a view of its parameter; Wrap inherits
+// that transitively through the view_param_chain fixpoint. A caller
+// returning Trim(local) or Wrap(local) therefore escapes frame storage
+// through one or two helper hops, and the finding must carry the full
+// `(via ...)` witness so the report is actionable without re-deriving
+// the chain by hand. Fixtures are lexed, never compiled.
+namespace fixture {
+
+std::string_view Trim(std::string_view s) {
+  std::string_view out = s.substr(1);
+  return out;
+}
+
+std::string_view Wrap(std::string_view s) {
+  return Trim(s);
+}
+
+std::string_view DescribeDirect() {
+  std::string name = MakeName();
+  return Trim(name);
+}
+
+std::string_view DescribeTwoHops() {
+  std::string name = MakeName();
+  return Wrap(name);
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// prisma-lint fixture: the sanctioned lifetime patterns view-escape
+// must NOT flag — returning a refcounted SampleView built from a local
+// payload (the view shares ownership, nothing borrows the frame),
+// returning a view rooted in a parameter (the caller owns the storage),
+// owning conversions (std::string(view)), copy-capturing a refcounted
+// SampleView into a deferred task, ref-capturing a view in a lambda
+// that runs inline (no deferred sink), and storing a refcounted view
+// into a member. Fixtures are lexed, never compiled.
+namespace fixture {
+
+Result<SampleView> ReturnRefcounted() {
+  SamplePayload payload = MakePayload();
+  return SampleView{std::move(payload), 0, payload_size};
+}
+
+std::string_view ReturnParamRooted(std::string_view name) {
+  std::string_view view = name.substr(1);
+  return view;
+}
+
+std::string ReturnOwningConversion(std::string_view view) {
+  return std::string(view);
+}
+
+void SubmitRefcountedByValue(ThreadPool& pool) {
+  SampleView view = MakeView();
+  pool.Submit([view = std::move(view)] { Consume(view); });
+}
+
+void InlineLambdaMayBorrow() {
+  std::vector<std::byte> buf = Load();
+  std::span<const std::byte> view = buf;
+  ApplyInline([&view] { Consume(view); });
+}
+
+class RefcountedCache {
+ public:
+  void Remember(SamplePayload&& payload) {
+    window_ = SampleView{std::move(payload), 0, 16};
+  }
+
+ private:
+  SampleView window_;
+};
+
+}  // namespace fixture

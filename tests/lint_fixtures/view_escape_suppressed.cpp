@@ -1,0 +1,33 @@
+// prisma-lint fixture: view-escape findings silenced by reasoned
+// allow markers — same-line and comment-line-above forms. Every marker
+// here suppresses a live finding, so the stale-suppression scanner
+// must stay quiet too. Fixtures are lexed, never compiled.
+namespace fixture {
+
+std::string_view ReturnStaticBacked() {
+  static std::string interned = ComputeName();
+  // The root tracker sees a function-local owner; `static` gives it
+  // process lifetime, which only the author can vouch for.
+  // prisma-lint: allow(view-escape, interned string has process lifetime)
+  return interned;
+}
+
+class PinnedCache {
+ public:
+  void Remember(std::span<const std::byte> bytes) {
+    window_ = bytes;  // prisma-lint: allow(view-escape, caller pins the pool page)
+  }
+
+ private:
+  std::span<const std::byte> window_;
+};
+
+void SubmitJoinedBeforeExit(ThreadPool& pool) {
+  std::vector<std::byte> block = Load();
+  std::span<const std::byte> view = block;
+  // prisma-lint: allow(view-escape, pool.Drain() below joins the task)
+  pool.Submit([&view] { Consume(view); });
+  pool.Drain();
+}
+
+}  // namespace fixture

@@ -5,14 +5,20 @@
 // match its .expected file byte for byte. The *_bad fixtures pin every
 // check's detection (weakening a check breaks its golden); the *_clean
 // fixtures pin the sanctioned escape hatches (a check that starts
-// over-reporting breaks those). The regression_* fixtures freeze real
-// violations the linter caught in this repository before they were
-// fixed (a blocking call under a shard lock, and the heap-built wire
-// response header that hot-path-purity forced onto the stack).
+// over-reporting breaks those), and the *_suppressed fixtures pin the
+// allow-marker escape hatch together with the stale-suppression
+// scanner's precision (an armed marker must never be reported dead).
+// The regression_* fixtures freeze real violations the linter caught
+// in this repository before they were fixed (a blocking call under a
+// shard lock, the heap-built wire response header that hot-path-purity
+// forced onto the stack, and the PrefetchObject::ReadRef view-lifetime
+// boundary the escape pass drew).
 //
 // SelfLint then runs the full-tree lint and asserts the source is
-// clean modulo the checked-in baseline — the same gate scripts/ci.sh
-// enforces.
+// clean — no findings AND no stale suppressions — modulo the
+// checked-in baseline; the same gate scripts/ci.sh enforces.
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -20,6 +26,7 @@
 
 #include <gtest/gtest.h>
 
+#include "checks.hpp"
 #include "driver.hpp"
 
 namespace {
@@ -34,22 +41,33 @@ std::string ReadFileOrDie(const std::string& path) {
   return ss.str();
 }
 
+/// Findings then stale suppressions, one ToString() line each — the
+/// order the CLI prints to stdout.
+std::string Render(const prisma_lint::RunResult& result,
+                   const std::string& strip_prefix) {
+  std::string out;
+  const auto append = [&](const prisma_lint::Finding& f) {
+    std::string line = f.ToString();
+    if (!strip_prefix.empty() && line.rfind(strip_prefix, 0) == 0) {
+      line = line.substr(strip_prefix.size());
+    }
+    out += line + "\n";
+  };
+  for (const auto& f : result.findings) append(f);
+  for (const auto& f : result.stale) append(f);
+  return out;
+}
+
 /// Lints one fixture in isolation (the fixture indexes itself, exactly
 /// like `prisma_lint --root "" --no-baseline <file>`) and renders the
-/// findings with the fixture directory stripped, matching .expected.
+/// findings and stale suppressions with the fixture directory
+/// stripped, matching .expected.
 std::string LintFixture(const std::string& name) {
   prisma_lint::Options opt;
   opt.targets.push_back(std::string(kFixtureDir) + name);
   const prisma_lint::RunResult result = prisma_lint::Run(opt);
   EXPECT_TRUE(result.errors.empty()) << name << ": " << result.errors[0];
-  std::string out;
-  for (const auto& f : result.findings) {
-    std::string line = f.ToString();
-    const std::string prefix(kFixtureDir);
-    if (line.rfind(prefix, 0) == 0) line = line.substr(prefix.size());
-    out += line + "\n";
-  }
-  return out;
+  return Render(result, kFixtureDir);
 }
 
 struct FixtureCase {
@@ -94,10 +112,26 @@ INSTANTIATE_TEST_SUITE_P(
                     "no_payload_copy_bad.expected"},
         FixtureCase{"no_payload_copy_clean.cpp",
                     "no_payload_copy_clean.expected"},
+        FixtureCase{"view_escape_bad.cpp", "view_escape_bad.expected"},
+        FixtureCase{"view_escape_clean.cpp", "view_escape_clean.expected"},
+        FixtureCase{"view_escape_suppressed.cpp",
+                    "view_escape_suppressed.expected"},
+        FixtureCase{"view_escape_chain.cpp", "view_escape_chain.expected"},
+        FixtureCase{"use_after_move_bad.cpp", "use_after_move_bad.expected"},
+        FixtureCase{"use_after_move_clean.cpp",
+                    "use_after_move_clean.expected"},
+        FixtureCase{"use_after_move_suppressed.cpp",
+                    "use_after_move_suppressed.expected"},
+        FixtureCase{"cv_wait_bad.cpp", "cv_wait_bad.expected"},
+        FixtureCase{"cv_wait_clean.cpp", "cv_wait_clean.expected"},
+        FixtureCase{"cv_wait_suppressed.cpp", "cv_wait_suppressed.expected"},
+        FixtureCase{"stale_suppression.cpp", "stale_suppression.expected"},
         FixtureCase{"regression_dataplane.cpp",
                     "regression_dataplane.expected"},
         FixtureCase{"regression_hot_path.cpp",
-                    "regression_hot_path.expected"}),
+                    "regression_hot_path.expected"},
+        FixtureCase{"regression_view_escape.cpp",
+                    "regression_view_escape.expected"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.source;
       for (char& ch : name) {
@@ -120,8 +154,14 @@ TEST(PrismaLintFixtures, BadFixturesFindAndCleanFixturesDoNot) {
       {"lock_rank_bad.cpp", "lock-rank-static"},
       {"hot_path_purity_bad.cpp", "hot-path-purity"},
       {"no_payload_copy_bad.cpp", "no-payload-copy"},
+      {"view_escape_bad.cpp", "view-escape"},
+      {"view_escape_chain.cpp", "view-escape"},
+      {"use_after_move_bad.cpp", "use-after-move"},
+      {"cv_wait_bad.cpp", "cv-wait-predicate"},
+      {"stale_suppression.cpp", "stale-suppression"},
       {"regression_dataplane.cpp", "no-blocking-under-lock"},
       {"regression_hot_path.cpp", "hot-path-purity"},
+      {"regression_view_escape.cpp", "view-escape"},
   };
   for (const auto& [file, check] : bad) {
     const std::string out = LintFixture(file);
@@ -132,9 +172,116 @@ TEST(PrismaLintFixtures, BadFixturesFindAndCleanFixturesDoNot) {
        {"no_raw_sync_clean.cpp", "blocking_under_lock_clean.cpp",
         "guarded_by_clean.hpp", "status_checked_clean.cpp",
         "lock_rank_clean.cpp", "hot_path_purity_clean.cpp",
-        "no_payload_copy_clean.cpp"}) {
+        "no_payload_copy_clean.cpp", "view_escape_clean.cpp",
+        "view_escape_suppressed.cpp", "use_after_move_clean.cpp",
+        "use_after_move_suppressed.cpp", "cv_wait_clean.cpp",
+        "cv_wait_suppressed.cpp"}) {
     EXPECT_EQ(LintFixture(file), "") << file << " should lint clean";
   }
+}
+
+// The catalog is exactly the ten documented checks, in stable order —
+// the CLI's --checks validation, the timing table, and DESIGN.md §11
+// all key off these names. `stale-suppression` is deliberately NOT a
+// check: it is meta-analysis that runs whenever the full check set
+// does, so a marker can never be reported dead just because its check
+// was deselected.
+TEST(PrismaLintCatalog, EnforcesTenChecks) {
+  const std::vector<std::string> expected = {
+      "no-raw-sync",       "no-blocking-under-lock",
+      "guarded-by-coverage", "status-checked",
+      "lock-rank-static",  "hot-path-purity",
+      "no-payload-copy",   "view-escape",
+      "use-after-move",    "cv-wait-predicate",
+  };
+  EXPECT_EQ(prisma_lint::AllChecks(), expected);
+}
+
+// Findings from every fixture at --jobs 1 and --jobs 4 must render
+// byte-identically: the parallel driver claims targets with an atomic
+// index but merges per-slot results in deterministic target order, so
+// job count can never reorder (or drop) output.
+TEST(PrismaLintDriver, OutputIsBitIdenticalAcrossJobCounts) {
+  // GlobSources deliberately skips lint_fixtures, so enumerate by hand.
+  std::vector<std::string> sources;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(std::string(kFixtureDir))) {
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp") sources.push_back(entry.path().string());
+  }
+  std::sort(sources.begin(), sources.end());
+  ASSERT_GT(sources.size(), 10u);
+  const auto run = [&](int jobs) {
+    prisma_lint::Options opt;
+    opt.targets = sources;
+    opt.jobs = jobs;
+    const prisma_lint::RunResult result = prisma_lint::Run(opt);
+    EXPECT_TRUE(result.errors.empty());
+    return Render(result, "");
+  };
+  const std::string serial = run(1);
+  EXPECT_NE(serial.find("[view-escape]"), std::string::npos);
+  EXPECT_NE(serial.find("[use-after-move]"), std::string::npos);
+  EXPECT_NE(serial.find("[cv-wait-predicate]"), std::string::npos);
+  EXPECT_NE(serial.find("[stale-suppression]"), std::string::npos);
+  EXPECT_EQ(run(4), serial);
+  EXPECT_EQ(run(7), serial);
+}
+
+// A baseline entry whose fingerprint no longer occurs is itself
+// reported stale on full-tree runs: suppressed debt must shrink
+// monotonically, not linger after the violation is fixed.
+TEST(PrismaLintStale, UnmatchedBaselineEntryIsReported) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "prisma_lint_stale";
+  fs::create_directories(root);
+  std::ofstream(root / "tidy.cpp", std::ios::trunc)
+      << "// nothing to see here\n"
+         "namespace t { void Noop() {} }\n";
+  const fs::path baseline = root / "baseline.txt";
+  std::ofstream(baseline, std::ios::trunc)
+      << "tidy.cpp: [no-raw-sync] long since fixed\n";
+  prisma_lint::Options opt;
+  opt.root = root.string();
+  opt.baseline = baseline.string();
+  const prisma_lint::RunResult result = prisma_lint::Run(opt);
+  EXPECT_TRUE(result.findings.empty());
+  ASSERT_EQ(result.stale_baseline.size(), 1u);
+  EXPECT_NE(result.stale_baseline[0].find("tidy.cpp: [no-raw-sync]"),
+            std::string::npos)
+      << result.stale_baseline[0];
+  EXPECT_NE(result.stale_baseline[0].find("unmatched"), std::string::npos);
+}
+
+// ::error annotations follow the GitHub Actions command grammar:
+// property values escape ',' and ':' (plus '%' and newlines), the
+// message escapes '%' and newlines only.
+TEST(PrismaLintFormat, GithubAnnotationEscapesCommandCharacters) {
+  const prisma_lint::Finding plain{"src/a.cpp", 12, "view-escape",
+                                   "storage dies with the frame"};
+  EXPECT_EQ(plain.ToGitHubAnnotation(),
+            "::error file=src/a.cpp,line=12,title=prisma-lint view-escape"
+            "::storage dies with the frame");
+  const prisma_lint::Finding tricky{"src/a,b:c.cpp", 3, "use-after-move",
+                                    "50% moved\nsee: above"};
+  EXPECT_EQ(tricky.ToGitHubAnnotation(),
+            "::error file=src/a%2Cb%3Ac.cpp,line=3,"
+            "title=prisma-lint use-after-move"
+            "::50%25 moved%0Asee: above");
+}
+
+// Per-check timings cover the whole catalog (the --timings-json report
+// CI archives would silently lose a check otherwise).
+TEST(PrismaLintTimings, EveryCheckIsTimed) {
+  prisma_lint::Options opt;
+  opt.targets.push_back(std::string(kFixtureDir) + "no_raw_sync_clean.cpp");
+  const prisma_lint::RunResult result = prisma_lint::Run(opt);
+  std::vector<std::string> timed;
+  for (const auto& [check, seconds] : result.check_seconds) {
+    EXPECT_GE(seconds, 0.0) << check;
+    timed.push_back(check);
+  }
+  EXPECT_EQ(timed, prisma_lint::AllChecks());
 }
 
 // Baseline entries are count-matched: one line absorbs ONE occurrence
@@ -200,6 +347,16 @@ TEST(PrismaLintSelfLint, SourceTreeIsClean) {
     ADD_FAILURE() << f.ToString()
                   << "\n(fix the violation; the baseline is a last resort "
                      "and every entry needs a reason comment)";
+  }
+  for (const auto& f : result.stale) {
+    ADD_FAILURE() << f.ToString()
+                  << "\n(the marker suppresses nothing anymore; delete it "
+                     "so real suppressions stay auditable)";
+  }
+  for (const auto& s : result.stale_baseline) {
+    ADD_FAILURE() << s
+                  << "\n(the baselined violation is gone; shrink the "
+                     "baseline so the debt ledger stays honest)";
   }
 }
 

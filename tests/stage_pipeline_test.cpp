@@ -198,10 +198,9 @@ class FakeLayer final : public OptimizationObject {
   }
 
  private:
-  std::string name_;  // prisma-lint: unguarded(immutable after construction)
-  // prisma-lint: unguarded(test fixture; pipeline calls are single-threaded)
+  std::string name_;
   std::vector<std::string>* log_;
-  bool fail_start_;  // prisma-lint: unguarded(immutable after construction)
+  bool fail_start_;
 };
 
 TEST(StagePipelineTest, StartsInnermostFirstStopsOutermostFirst) {

@@ -15,12 +15,23 @@ std::string Trim(std::string s) {
   return s.substr(b, e - b + 1);
 }
 
+/// True when the text at `p` sits inside inline code quoting (an odd
+/// number of '`' precede it): doc comments cite the marker forms in
+/// backticks precisely so they don't arm them.
+bool BacktickQuoted(const std::string& comment, std::size_t p) {
+  return std::count(comment.begin(),
+                    comment.begin() + static_cast<std::ptrdiff_t>(p), '`') %
+             2 !=
+         0;
+}
+
 /// True when `comment` carries a suppression for `check`:
-///   prisma-lint: allow(<check>[, reason])
-///   prisma-lint: unguarded(<reason>)        (guarded-by-coverage only)
+///   `prisma-lint: allow(<check>[, reason])`
+///   `prisma-lint: unguarded(<reason>)`        (guarded-by-coverage only)
 bool HasMarker(const std::string& comment, const std::string& check) {
   std::size_t p = comment.find("prisma-lint:");
   if (p == std::string::npos) return false;
+  if (BacktickQuoted(comment, p)) return false;
   const std::string rest = comment.substr(p + 12);
   for (std::size_t a = rest.find("allow("); a != std::string::npos;
        a = rest.find("allow(", a + 1)) {
@@ -36,6 +47,30 @@ bool HasMarker(const std::string& comment, const std::string& check) {
   return false;
 }
 
+/// Workflow-command escaping: GitHub parses properties up to ',' / '::',
+/// and '%' is its escape character, so those must be encoded. Newlines
+/// never occur in messages but are encoded for safety.
+std::string GithubEscape(const std::string& s, bool property) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '%') {
+      out += "%25";
+    } else if (c == '\n') {
+      out += "%0A";
+    } else if (c == '\r') {
+      out += "%0D";
+    } else if (property && c == ',') {
+      out += "%2C";
+    } else if (property && c == ':') {
+      out += "%3A";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string Finding::ToString() const {
@@ -49,6 +84,12 @@ std::string Finding::Fingerprint() const {
   return base + ": [" + check + "] " + message;
 }
 
+std::string Finding::ToGitHubAnnotation() const {
+  return "::error file=" + GithubEscape(file, true) +
+         ",line=" + std::to_string(line) + ",title=prisma-lint " +
+         GithubEscape(check, true) + "::" + GithubEscape(message, false);
+}
+
 bool IsSuppressed(const FileTokens& file, int line, const std::string& check) {
   if (HasMarker(file.CommentAt(line), check)) return true;
   // A suppression may sit on its own line (or a short run of comment
@@ -57,6 +98,87 @@ bool IsSuppressed(const FileTokens& file, int line, const std::string& check) {
     if (HasMarker(file.CommentAt(l), check)) return true;
   }
   return false;
+}
+
+namespace {
+
+/// The exact inverse of IsSuppressed's walk: does a marker on line `l`
+/// reach a finding on `line`? Same line, or a run of comment-only lines
+/// immediately above the finding.
+bool MarkerReaches(const FileTokens& file, int l, int line) {
+  if (l == line) return true;
+  for (int c = line - 1; c > 0 && file.comment_only_lines.count(c) != 0; --c) {
+    if (c == l) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> FindStaleSuppressions(
+    const FileTokens& file, const std::vector<std::string>& known_checks,
+    const std::vector<Finding>& findings) {
+  // Enumerate every marker (line, check name) in the file. comments is
+  // unordered; the driver sorts the returned findings, so collection
+  // order here does not matter.
+  struct Marker {
+    int line = 0;
+    std::string name;     // "" for unguarded(...)
+    bool unguarded = false;
+  };
+  std::vector<Marker> markers;
+  for (const auto& [line, comment] : file.comments) {
+    const std::size_t p = comment.find("prisma-lint:");
+    if (p == std::string::npos) continue;
+    // Mirror HasMarker exactly: backtick-quoted citations never arm a
+    // suppression, so they are not markers to report on either.
+    if (BacktickQuoted(comment, p)) continue;
+    const std::string rest = comment.substr(p + 12);
+    for (std::size_t a = rest.find("allow("); a != std::string::npos;
+         a = rest.find("allow(", a + 1)) {
+      const std::string name = Trim(
+          rest.substr(a + 6, rest.find_first_of(",)", a + 6) - (a + 6)));
+      // Check names are strictly [a-z-]: anything else is prose citing
+      // the syntax (`allow(<check>, ...)`), not a marker.
+      if (name != "all" &&
+          name.find_first_not_of("abcdefghijklmnopqrstuvwxyz-") !=
+              std::string::npos) {
+        continue;
+      }
+      markers.push_back({line, name, false});
+    }
+    if (rest.find("unguarded(") != std::string::npos) {
+      markers.push_back({line, "", true});
+    }
+  }
+
+  std::vector<Finding> out;
+  for (const auto& m : markers) {
+    const std::string check = m.unguarded ? "guarded-by-coverage" : m.name;
+    if (!m.unguarded && m.name != "all" &&
+        std::find(known_checks.begin(), known_checks.end(), m.name) ==
+            known_checks.end()) {
+      out.push_back({file.path, m.line, "stale-suppression",
+                     "suppression names unknown check '" + m.name +
+                         "' (see --list-checks); it silences nothing"});
+      continue;
+    }
+    bool live = false;
+    for (const auto& f : findings) {
+      if (m.name != "all" && f.check != check) continue;
+      if (MarkerReaches(file, m.line, f.line)) {
+        live = true;
+        break;
+      }
+    }
+    if (live) continue;
+    const std::string label =
+        m.unguarded ? "unguarded(...)" : "allow(" + m.name + ")";
+    out.push_back({file.path, m.line, "stale-suppression",
+                   "suppression '" + label +
+                       "' matches no finding; remove the dead marker"});
+  }
+  return out;
 }
 
 bool IsKeyword(const std::string& s) {
@@ -433,6 +555,12 @@ void AnalyzeBody(const std::vector<Token>& t, std::size_t begin,
   }
 }
 
+// Defined with the rest of the lifetime/escape machinery below;
+// ScanFunctions needs them to stamp per-definition borrow summaries.
+bool MatchViewType(const std::vector<Token>& t, std::size_t i,
+                   std::string& label, std::size_t& last);
+void AnalyzeViewReturns(const std::vector<Token>& t, FnDef& def);
+
 }  // namespace
 
 std::vector<FnDef> ScanFunctions(const FileTokens& file,
@@ -525,7 +653,20 @@ std::vector<FnDef> ScanFunctions(const FileTokens& file,
     const std::size_t body_end = MatchForward(t, j);
     def.body_begin = j + 1;
     def.body_end = body_end;
+    // Borrowed return type (view-escape): a view type spelled in the
+    // declaration prefix means every `return` hands out a borrow.
+    for (std::size_t b = i; b-- > 0;) {
+      const std::string& prefix = t[b].text;
+      if (prefix == ";" || prefix == "{" || prefix == "}") break;
+      std::string label;
+      std::size_t last = 0;
+      if (MatchViewType(t, b, label, last) && last < i) {
+        def.returns_view = true;
+        break;
+      }
+    }
     AnalyzeBody(t, j + 1, body_end, index, def);
+    AnalyzeViewReturns(t, def);
     out.push_back(std::move(def));
     i = body_end;
   }
@@ -930,6 +1071,1052 @@ std::vector<PayloadCopy> FindPayloadCopies(const FileTokens& file,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Lifetime & escape analysis (view-escape).
+
+const std::unordered_set<std::string>& ViewOwnerTypes() {
+  static const std::unordered_set<std::string> kOwners = {
+      // `string` only counts as std::string (see MatchOwnerType);
+      // std::vector<std::byte> is matched structurally.
+      "Sample", "SamplePayload", "PayloadWriter", "string",
+  };
+  return kOwners;
+}
+
+const std::unordered_set<std::string>& BorrowAccessors() {
+  static const std::unordered_set<std::string> kAccessors = {
+      "span", "data", "bytes", "c_str", "substr", "subspan", "first", "last",
+  };
+  return kAccessors;
+}
+
+const std::unordered_set<std::string>& DeferredSinks() {
+  static const std::unordered_set<std::string> kSinks = {
+      // ThreadPool / BoundedQueue entry points, plus callback-container
+      // pushes (a stored lambda outlives the frame that built it).
+      // std::thread / std::async are recognized structurally.
+      "Submit", "Push", "TryPush", "Post", "Defer", "Dispatch",
+      "push_back", "emplace_back",
+  };
+  return kSinks;
+}
+
+namespace {
+
+/// A borrowed-view type spelled at `i`: SampleView, std::string_view,
+/// or std::span<...>; sets the display label and the type's final token.
+bool MatchViewType(const std::vector<Token>& t, std::size_t i,
+                   std::string& label, std::size_t& last) {
+  if (t[i].kind != Kind::kIdent) return false;
+  if (t[i].text == "SampleView") {
+    label = "SampleView";
+    last = i;
+    return true;
+  }
+  if (t[i].text == "string_view") {
+    label = "std::string_view";
+    last = i;
+    return true;
+  }
+  if (t[i].text == "span" && i >= 2 && t[i - 1].text == "::" &&
+      t[i - 2].text == "std" && i + 1 < t.size() && t[i + 1].text == "<") {
+    label = "std::span";
+    last = SkipAngles(t, i + 1, t.size()) - 1;
+    return true;
+  }
+  return false;
+}
+
+/// An owner type spelled at `i` (storage a view can point into).
+bool MatchOwnerType(const std::vector<Token>& t, std::size_t i,
+                    std::string& label, std::size_t& last) {
+  if (t[i].kind != Kind::kIdent) return false;
+  if (ViewOwnerTypes().count(t[i].text) != 0) {
+    if (t[i].text == "string" &&
+        !(i >= 2 && t[i - 1].text == "::" && t[i - 2].text == "std")) {
+      return false;  // string_view is a distinct token; bare `string` is not ours
+    }
+    label = t[i].text == "string" ? "std::string" : t[i].text;
+    last = i;
+    return true;
+  }
+  if (t[i].text == "vector" && i + 5 < t.size() && t[i + 1].text == "<" &&
+      t[i + 2].text == "std" && t[i + 3].text == "::" &&
+      t[i + 4].text == "byte" && t[i + 5].text == ">") {
+    label = "std::vector<std::byte>";
+    last = i + 5;
+    return true;
+  }
+  return false;
+}
+
+/// Where a borrowed view's storage lives.
+enum class BorrowRoot { kLocal, kParam, kUnknown };
+
+struct BorrowVar {
+  std::string name;
+  std::string type;  // display label
+  int depth = 0;
+  bool is_view = false;     // false: an owner
+  bool refcounted = false;  // SampleView: copies keep the payload alive
+  BorrowRoot root = BorrowRoot::kUnknown;
+  std::string root_name;  // owner (or parameter) the storage belongs to
+  std::string via;        // helper-call witness chain, "" when direct
+};
+
+const BorrowVar* LookupBorrow(const std::vector<BorrowVar>& vars,
+                              const std::string& name) {
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    if (it->name == name) return &*it;
+  }
+  return nullptr;
+}
+
+BorrowVar* LookupBorrowMut(std::vector<BorrowVar>& vars,
+                           const std::string& name) {
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    if (it->name == name) return &*it;
+  }
+  return nullptr;
+}
+
+/// The callee name when [b, e) starts call-like (`Foo(...)`,
+/// `std::move(...)`); "" otherwise. Used to tell owning conversions
+/// (`std::string(view)`) from borrow-producing helpers.
+std::string FirstCallee(const std::vector<Token>& t, std::size_t b,
+                        std::size_t e) {
+  for (std::size_t p = b;
+       p < e && (t[p].kind == Kind::kIdent || t[p].text == "::" ||
+                 t[p].text == "<" || t[p].text == ">");
+       ++p) {
+    if (t[p].kind == Kind::kIdent && p + 1 < e && t[p + 1].text == "(") {
+      return t[p].text;
+    }
+  }
+  return "";
+}
+
+/// What an initializer / RHS expression [b, e) borrows from: scans for
+/// the first identifier that resolves to a tracked owner or view, with
+/// helper calls that carry a borrows-from-param summary contributing a
+/// witness chain. `chain` may be null (pass 1: no index yet).
+struct BorrowResolution {
+  bool resolved = false;
+  /// The expression yields a borrow on the spot: a tracked view, an
+  /// owner accessor (`buf.data()`), or a summarized helper call.
+  bool is_view_source = false;
+  bool refcounted = false;
+  BorrowRoot root = BorrowRoot::kUnknown;
+  std::string root_name;
+  std::string via;
+};
+
+BorrowResolution ResolveBorrow(
+    const std::vector<Token>& t, std::size_t b, std::size_t e,
+    const std::vector<BorrowVar>& vars,
+    const std::unordered_map<std::string, std::string>* chain) {
+  BorrowResolution r;
+  // A `SampleView{payload, off, n}` / `SampleView(...)` construction is
+  // refcounted on the spot: the new view shares ownership of whatever
+  // payload it is handed, so nothing borrows frame storage.
+  if (b < e && t[b].text == "SampleView" && b + 1 < e &&
+      (t[b + 1].text == "{" || t[b + 1].text == "(")) {
+    r.resolved = true;
+    r.is_view_source = true;
+    r.refcounted = true;
+    return r;
+  }
+  std::string via;
+  for (std::size_t k = b; k < e; ++k) {
+    if (t[k].kind != Kind::kIdent) continue;
+    const std::string& s = t[k].text;
+    if (s == "std" || s == "move") continue;
+    if (k + 1 < e && t[k + 1].text == "(" && via.empty() && chain != nullptr) {
+      const auto it = chain->find(s);
+      if (it != chain->end()) {
+        via = it->second;
+        continue;
+      }
+    }
+    const BorrowVar* v = LookupBorrow(vars, s);
+    if (v == nullptr) continue;
+    const bool accessor =
+        k + 3 < e && (t[k + 1].text == "." || t[k + 1].text == "->") &&
+        BorrowAccessors().count(t[k + 2].text) != 0 && t[k + 3].text == "(";
+    r.resolved = true;
+    r.root = v->root;
+    r.via = !via.empty() ? via : v->via;
+    if (v->is_view) {
+      r.is_view_source = true;
+      r.root_name = v->root_name;
+      // A raw accessor on a refcounted view (SampleView::data()) drops
+      // the refcount back to a plain borrow.
+      r.refcounted = v->refcounted && !accessor;
+    } else {
+      r.root_name = v->name;
+      r.is_view_source = accessor || !via.empty();
+      r.refcounted = false;
+    }
+    return r;
+  }
+  return r;
+}
+
+/// View-typed (and view-container-typed) data members declared in this
+/// file's class bodies, excluding function-body ranges. Storing a
+/// borrowed view into one of these escapes the borrower's frame.
+std::unordered_set<std::string> CollectViewMembers(
+    const FileTokens& file, const std::vector<ClassInfo>& classes,
+    const std::vector<FnDef>& fns) {
+  std::unordered_set<std::string> out;
+  const auto& t = file.tokens;
+  static const std::unordered_set<std::string> kContainers = {
+      "vector", "deque", "list", "array", "map", "unordered_map",
+      "set",    "unordered_set",  "optional", "pair", "tuple",
+  };
+  auto in_fn_body = [&fns](std::size_t i) {
+    for (const auto& fn : fns) {
+      if (fn.body_begin <= i && i < fn.body_end) return true;
+    }
+    return false;
+  };
+  for (const auto& cls : classes) {
+    for (std::size_t i = cls.body_begin; i < cls.body_end; ++i) {
+      if (t[i].kind != Kind::kIdent || in_fn_body(i)) continue;
+      std::string label;
+      std::size_t last = 0;
+      std::size_t name_at = 0;
+      if (MatchViewType(t, i, label, last)) {
+        name_at = last + 1;
+      } else if (kContainers.count(t[i].text) != 0 && i + 1 < cls.body_end &&
+                 t[i + 1].text == "<") {
+        const std::size_t past = SkipAngles(t, i + 1, cls.body_end);
+        bool has_view = false;
+        for (std::size_t q = i + 2; q + 1 < past && !has_view; ++q) {
+          std::string l2;
+          std::size_t u2 = 0;
+          has_view = MatchViewType(t, q, l2, u2);
+        }
+        if (!has_view) continue;
+        name_at = past;
+      } else {
+        continue;
+      }
+      if (name_at + 1 >= cls.body_end || t[name_at].kind != Kind::kIdent ||
+          IsKeyword(t[name_at].text)) {
+        continue;
+      }
+      const std::string& nx = t[name_at + 1].text;
+      if (nx == ";" || nx == "=" || nx == "{" || nx == "[") {
+        out.insert(t[name_at].text);
+      }
+    }
+  }
+  return out;
+}
+
+/// Seeds the borrow scope from a parameter list: view parameters and
+/// owner parameters (by-value owners are function-local storage).
+void ScanBorrowParams(const std::vector<Token>& t, const FnDef& fn,
+                      std::vector<BorrowVar>& vars) {
+  std::size_t p = fn.params_begin + 1;
+  while (p < fn.params_end) {
+    std::size_t q = p;  // one parameter: [p, q)
+    int depth = 0, angle = 0;
+    for (; q < fn.params_end; ++q) {
+      const std::string& s = t[q].text;
+      if (s == "(" || s == "[" || s == "{") {
+        ++depth;
+      } else if (s == ")" || s == "]" || s == "}") {
+        --depth;
+      } else if (s == "<") {
+        ++angle;
+      } else if (s == ">") {
+        --angle;
+      } else if (s == ">>") {
+        angle -= 2;
+      } else if (s == "," && depth == 0 && angle <= 0) {
+        break;
+      }
+    }
+    std::string label;
+    std::size_t last = 0;
+    bool is_view = false, matched = false;
+    for (std::size_t i = p; i < q && !matched; ++i) {
+      if (MatchViewType(t, i, label, last)) {
+        matched = is_view = true;
+      } else if (MatchOwnerType(t, i, label, last)) {
+        matched = true;
+      }
+    }
+    if (matched) {
+      bool by_value = true;
+      std::string pname;
+      for (std::size_t i = last + 1; i < q; ++i) {
+        const std::string& s = t[i].text;
+        if (s == "&" || s == "&&" || s == "*") by_value = false;
+        if (s == "=") break;
+        if (t[i].kind == Kind::kIdent && !IsKeyword(s)) pname = s;
+      }
+      if (!pname.empty()) {
+        BorrowVar v;
+        v.name = pname;
+        v.type = label;
+        v.depth = 0;
+        v.is_view = is_view;
+        v.refcounted = is_view && label == "SampleView";
+        // A view parameter borrows the caller's storage; a by-value
+        // owner parameter IS function-local storage.
+        v.root = is_view ? BorrowRoot::kParam
+                         : (by_value ? BorrowRoot::kLocal : BorrowRoot::kParam);
+        v.root_name = pname;
+        vars.push_back(std::move(v));
+      }
+    }
+    p = q + 1;
+  }
+}
+
+std::string RootLabel(BorrowRoot root) {
+  return root == BorrowRoot::kLocal ? "local" : "parameter";
+}
+
+std::string ViaSuffix(const std::string& via) {
+  return via.empty() ? "" : " (via " + via + ")";
+}
+
+/// For a lambda whose capture list opens at `open`, locates the body.
+/// Returns the capture-list close index; bb/be get the body token range
+/// (be = the closing `}`), or both stay 0 when no body brace follows.
+std::size_t LambdaBounds(const std::vector<Token>& t, std::size_t open,
+                         std::size_t end, std::size_t& bb, std::size_t& be) {
+  const std::size_t close = MatchForward(t, open);
+  bb = be = 0;
+  std::size_t j = close + 1;
+  if (j < end && t[j].text == "(") j = MatchForward(t, j) + 1;
+  while (j < end) {
+    const std::string& s = t[j].text;
+    if (s == "(") {  // noexcept(...) and friends
+      j = MatchForward(t, j) + 1;
+      continue;
+    }
+    if (t[j].kind == Kind::kIdent || s == "->" || s == "::" || s == "<" ||
+        s == ">" || s == "*" || s == "&") {
+      ++j;
+      continue;
+    }
+    break;
+  }
+  if (j < end && t[j].text == "{") {
+    bb = j + 1;
+    be = MatchForward(t, j);
+  }
+  return close;
+}
+
+/// End of the statement starting at `b`: the `;` at nesting depth zero
+/// (parens/brackets/braces all count), capped at `end`.
+std::size_t StmtEnd(const std::vector<Token>& t, std::size_t b,
+                    std::size_t end) {
+  int depth = 0;
+  for (std::size_t e = b; e < end; ++e) {
+    const std::string& s = t[e].text;
+    if (s == "(" || s == "[" || s == "{") {
+      ++depth;
+    } else if (s == ")" || s == "]" || s == "}") {
+      if (--depth < 0) return e;
+    } else if (s == ";" && depth == 0) {
+      return e;
+    }
+  }
+  return end;
+}
+
+/// Declares a view or owner starting at `k`; on success pushes the
+/// variable (rooted per `ResolveBorrow` over its initializer) and
+/// returns the name token index. `chain` may be null (pass 1).
+std::size_t ScanBorrowDecl(
+    const std::vector<Token>& t, std::size_t k, std::size_t body_begin,
+    std::size_t body_end, int depth, std::vector<BorrowVar>& vars,
+    const std::unordered_map<std::string, std::string>* chain) {
+  std::string label;
+  std::size_t last = 0;
+  bool is_view = MatchViewType(t, k, label, last);
+  bool is_owner = !is_view && MatchOwnerType(t, k, label, last);
+  bool is_ptr_view = false;
+  if (!is_view && !is_owner) {
+    // Raw borrowed pointers: `const std::byte* p = buf.data();` and
+    // `auto* / auto&` bindings that resolve to a tracked borrow.
+    if ((t[k].text == "byte" || t[k].text == "char" || t[k].text == "auto") &&
+        k + 1 < body_end && (t[k + 1].text == "*" || t[k + 1].text == "&")) {
+      is_view = is_ptr_view = true;
+      label = t[k].text == "auto" ? "auto&" : "borrowed pointer";
+      last = k;
+    } else {
+      return 0;
+    }
+  }
+  if (k > body_begin &&
+      (t[k - 1].text == "." || t[k - 1].text == "->" || t[k - 1].text == "new" ||
+       t[k - 1].text == "<" || t[k - 1].text == "(")) {
+    return 0;  // member access, placement, template argument, or cast
+  }
+  std::size_t nm = last + 1;
+  bool by_ref = false;
+  while (nm < body_end &&
+         (t[nm].text == "&" || t[nm].text == "&&" || t[nm].text == "*")) {
+    by_ref = true;
+    ++nm;
+  }
+  if (nm >= body_end || t[nm].kind != Kind::kIdent || IsKeyword(t[nm].text)) {
+    return 0;
+  }
+  // Initializer range, if any: `= expr ;`, `(expr)`, `{expr}`.
+  std::size_t ib = 0, ie = 0;
+  if (nm + 1 < body_end) {
+    const std::string& nx = t[nm + 1].text;
+    if (nx == "=") {
+      ib = nm + 2;
+      ie = StmtEnd(t, ib, body_end);
+    } else if (nx == "(" || nx == "{") {
+      ib = nm + 2;
+      ie = MatchForward(t, nm + 1);
+    } else if (nx != ";" && nx != ":") {
+      return 0;  // not a declaration after all (e.g. `Sample s2(` handled, `s.f` not)
+    }
+  }
+  const bool is_auto = is_ptr_view && t[k].text == "auto";
+  if (is_auto && ib == 0) return 0;  // range-for element, etc.
+  BorrowVar v;
+  v.name = t[nm].text;
+  v.type = label;
+  v.depth = depth;
+  v.is_view = is_view;
+  v.refcounted = is_view && label == "SampleView";
+  v.root = BorrowRoot::kUnknown;
+  if (!is_view && !by_ref) {
+    // A by-value owner local is its own storage.
+    v.root = BorrowRoot::kLocal;
+    v.root_name = v.name;
+  } else if (ib != 0) {
+    // Guard: an unknown call-like initializer (`std::string(view)`)
+    // may be an owning conversion — leave the root unknown unless the
+    // callee carries a borrows-from-param summary.
+    const std::string callee = FirstCallee(t, ib, ie);
+    const bool opaque_call =
+        !callee.empty() && callee != "move" &&
+        (chain == nullptr || chain->count(callee) == 0);
+    if (!opaque_call) {
+      const BorrowResolution r = ResolveBorrow(t, ib, ie, vars, chain);
+      if (r.resolved) {
+        v.root = r.root;
+        v.root_name = r.root_name;
+        v.via = r.via;
+        if (is_auto && !r.is_view_source) {
+          // `auto& s = sample;` aliases an owner rather than borrowing.
+          v.is_view = false;
+          v.refcounted = false;
+        }
+      } else if (is_auto) {
+        return 0;  // auto&/auto* of something we don't track at all
+      }
+    } else if (is_auto) {
+      return 0;  // auto bound to an opaque call — type unknown
+    }
+  }
+  vars.push_back(std::move(v));
+  return nm;
+}
+
+/// Pass-1 summary: does this view-returning function hand back a borrow
+/// of one of its parameters? Direct returns set `view_of_param`;
+/// `return Helper(param)` records a call edge so FinalizeIndex can
+/// chain summaries to a fixpoint alongside alloc/blocking chains.
+void AnalyzeViewReturns(const std::vector<Token>& t, FnDef& def) {
+  if (!def.returns_view) return;
+  std::vector<BorrowVar> vars;
+  ScanBorrowParams(t, def, vars);
+  int depth = 0;
+  for (std::size_t k = def.body_begin; k < def.body_end; ++k) {
+    const Token& tok = t[k];
+    if (tok.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (tok.text == "}") {
+      --depth;
+      std::erase_if(vars,
+                    [depth](const BorrowVar& v) { return v.depth > depth; });
+      continue;
+    }
+    if (IsLambdaStart(t, k)) {
+      // A lambda's `return` is the lambda's, not this function's.
+      std::size_t bb = 0, be = 0;
+      const std::size_t close = LambdaBounds(t, k, def.body_end, bb, be);
+      k = be != 0 ? be : close;
+      continue;
+    }
+    if (tok.kind != Kind::kIdent) continue;
+    if (tok.text == "return") {
+      const std::size_t e = StmtEnd(t, k + 1, def.body_end);
+      const std::string callee = FirstCallee(t, k + 1, e);
+      if (!callee.empty() && callee != "move") {
+        // Borrowing through a helper: record the edge; the closure in
+        // FinalizeIndex decides whether the helper borrows its params.
+        if (CrossTuResolvable(callee)) {
+          for (std::size_t q = k + 1; q < e; ++q) {
+            if (t[q].kind != Kind::kIdent) continue;
+            const BorrowVar* v = LookupBorrow(vars, t[q].text);
+            if (v != nullptr && v->root == BorrowRoot::kParam) {
+              def.view_return_param_calls.push_back(callee);
+              break;
+            }
+          }
+        }
+      } else {
+        const BorrowResolution r = ResolveBorrow(t, k + 1, e, vars, nullptr);
+        if (r.resolved && r.root == BorrowRoot::kParam &&
+            def.view_of_param.empty()) {
+          def.view_of_param =
+              def.name + " returns a view of its parameter '" + r.root_name +
+              "'";
+        }
+      }
+      k = e;
+      continue;
+    }
+    const std::size_t nm = ScanBorrowDecl(t, k, def.body_begin, def.body_end,
+                                          depth, vars, nullptr);
+    if (nm != 0) k = nm;
+  }
+}
+
+/// The deferred sink a call whose paren opens at `open` represents, or
+/// "" when the call runs before the frame unwinds. `std::thread t(...)`
+/// and `std::async(...)` are spotted by looking back a few tokens (the
+/// variable name may sit between the type and the paren).
+std::string SinkAt(const std::vector<Token>& t, std::size_t begin,
+                   std::size_t open) {
+  const std::size_t lb = open > begin + 5 ? open - 5 : begin;
+  for (std::size_t b = open; b-- > lb;) {
+    const std::string& s = t[b].text;
+    if (s == ";" || s == "{" || s == "}" || s == "(" || s == ")") break;
+    if (s == "thread") return "std::thread";
+    if (s == "async") return "std::async";
+  }
+  if (open > begin && t[open - 1].kind == Kind::kIdent &&
+      DeferredSinks().count(t[open - 1].text) != 0) {
+    return t[open - 1].text;
+  }
+  return "";
+}
+
+/// When the lambda at `open` is the RHS of `callback_ = [...]` or a
+/// `std::function` assignment, names the stored-callback sink.
+std::string CallbackAssignTarget(const std::vector<Token>& t,
+                                 std::size_t begin, std::size_t open) {
+  if (open == begin || t[open - 1].text != "=") return "";
+  std::string target;
+  bool function_type = false;
+  for (std::size_t b = open - 1; b-- > begin;) {
+    const std::string& s = t[b].text;
+    if (s == ";" || s == "{" || s == "}" || s == "(") break;
+    if (t[b].kind == Kind::kIdent) {
+      if (target.empty() && !IsKeyword(s)) target = s;
+      if (s == "function") function_type = true;
+    }
+  }
+  if (!target.empty() && target.back() == '_') {
+    return "stored callback '" + target + "'";
+  }
+  if (function_type && !target.empty()) {
+    return "std::function '" + target + "'";
+  }
+  return "";
+}
+
+/// Walks a deferred lambda's capture list [open, close) and reports
+/// captures that smuggle a borrowed view past the frame: by-reference
+/// captures of any tracked view (the stack slot dies), and by-value
+/// captures of non-refcounted views whose storage is frame-local.
+void AnalyzeLambdaCaptures(const std::vector<Token>& t, std::size_t open,
+                           std::size_t close, std::size_t bb, std::size_t be,
+                           const std::string& sink,
+                           const std::vector<BorrowVar>& vars,
+                           const ProjectIndex& index,
+                           std::vector<ViewEscape>& out) {
+  auto body_uses = [&](const std::string& name) {
+    for (std::size_t u = bb; u < be && u > 0; ++u) {
+      if (t[u].kind == Kind::kIdent && t[u].text == name &&
+          t[u - 1].text != "." && t[u - 1].text != "->" &&
+          t[u - 1].text != "::") {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto report = [&](const std::string& name, const char* how, BorrowRoot root,
+                    const std::string& root_name, const std::string& via,
+                    int line) {
+    std::string msg =
+        "lambda handed to " + sink + " captures view '" + name + "' " + how;
+    if (root != BorrowRoot::kUnknown) {
+      msg += " (borrows from " + RootLabel(root) + " '" + root_name + "')";
+    }
+    msg += ViaSuffix(via);
+    msg +=
+        "; the borrowed bytes can die before the deferred task runs — "
+        "capture an owning Sample/SamplePayload or a SampleView by value "
+        "instead";
+    out.push_back({std::move(msg), line});
+  };
+  auto skip_init = [&](std::size_t from) {
+    int d2 = 0;
+    std::size_t e2 = from;
+    for (; e2 < close; ++e2) {
+      const std::string& s2 = t[e2].text;
+      if (s2 == "(" || s2 == "[" || s2 == "{" || s2 == "<") {
+        ++d2;
+      } else if (s2 == ")" || s2 == "]" || s2 == "}" || s2 == ">") {
+        --d2;
+      } else if (s2 == "," && d2 == 0) {
+        break;
+      }
+    }
+    return e2;
+  };
+  for (std::size_t c = open + 1; c < close; ++c) {
+    const Token& ct = t[c];
+    if (ct.text == "&") {
+      if (c + 1 < close && t[c + 1].kind == Kind::kIdent &&
+          t[c + 1].text != "this") {
+        // `&name` (or `&name = expr`): a reference into this frame.
+        const BorrowVar* v = LookupBorrow(vars, t[c + 1].text);
+        if (v != nullptr && v->is_view) {
+          report(t[c + 1].text, "by reference", v->root, v->root_name, v->via,
+                 t[c + 1].line);
+        }
+        ++c;
+        if (c + 1 < close && t[c + 1].text == "=") c = skip_init(c + 2);
+        continue;
+      }
+      // Default &-capture: every tracked view the body touches leaks.
+      for (const auto& v : vars) {
+        if (v.is_view && body_uses(v.name)) {
+          report(v.name, "by reference", v.root, v.root_name, v.via, ct.line);
+        }
+      }
+      continue;
+    }
+    if (ct.text == "=" && (t[c - 1].text == "[" || t[c - 1].text == ",")) {
+      // Default copy capture: plain (non-refcounted) views still dangle.
+      for (const auto& v : vars) {
+        if (v.is_view && !v.refcounted && v.root != BorrowRoot::kUnknown &&
+            body_uses(v.name)) {
+          report(v.name, "by value", v.root, v.root_name, v.via, ct.line);
+        }
+      }
+      continue;
+    }
+    if (ct.kind != Kind::kIdent || ct.text == "this" || ct.text == "std" ||
+        ct.text == "move") {
+      continue;
+    }
+    if (c + 1 < close && t[c + 1].text == "=") {
+      // Init capture `x = expr`: resolve what the initializer borrows.
+      const std::size_t e2 = skip_init(c + 2);
+      const std::string callee = FirstCallee(t, c + 2, e2);
+      const bool opaque = !callee.empty() && callee != "move" &&
+                          index.view_param_chain.count(callee) == 0;
+      if (!opaque) {
+        const BorrowResolution r =
+            ResolveBorrow(t, c + 2, e2, vars, &index.view_param_chain);
+        if (r.resolved && r.is_view_source && !r.refcounted &&
+            r.root != BorrowRoot::kUnknown) {
+          report(ct.text, "by value", r.root, r.root_name, r.via, ct.line);
+        }
+      }
+      c = e2;
+      continue;
+    }
+    // Plain copy capture of a tracked, non-refcounted view.
+    const BorrowVar* v = LookupBorrow(vars, ct.text);
+    if (v != nullptr && v->is_view && !v->refcounted &&
+        v->root != BorrowRoot::kUnknown) {
+      report(ct.text, "by value", v->root, v->root_name, v->via, ct.line);
+    }
+  }
+}
+
+const std::unordered_set<std::string>& MemberStoreMethods() {
+  static const std::unordered_set<std::string> kMethods = {
+      "push_back", "emplace_back", "insert", "emplace", "assign", "push",
+  };
+  return kMethods;
+}
+
+}  // namespace
+
+std::vector<ViewEscape> FindViewEscapes(const FileTokens& file,
+                                        const std::vector<ClassInfo>& classes,
+                                        const std::vector<FnDef>& fns,
+                                        const ProjectIndex& index) {
+  const auto& t = file.tokens;
+  const std::unordered_set<std::string> view_members =
+      CollectViewMembers(file, classes, fns);
+  std::vector<ViewEscape> out;
+  for (const auto& fn : fns) {
+    std::vector<BorrowVar> vars;
+    ScanBorrowParams(t, fn, vars);
+    int depth = 0;
+    std::vector<std::string> sink_stack;  // one entry per open paren
+    std::vector<std::pair<std::size_t, std::size_t>> lambda_bodies;
+    for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+      const Token& tok = t[k];
+      if (tok.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (tok.text == "}") {
+        --depth;
+        std::erase_if(vars,
+                      [depth](const BorrowVar& v) { return v.depth > depth; });
+        continue;
+      }
+      if (tok.text == "(") {
+        sink_stack.push_back(SinkAt(t, fn.body_begin, k));
+        continue;
+      }
+      if (tok.text == ")") {
+        if (!sink_stack.empty()) sink_stack.pop_back();
+        continue;
+      }
+      if (IsLambdaStart(t, k)) {
+        std::size_t bb = 0, be = 0;
+        const std::size_t close = LambdaBounds(t, k, fn.body_end, bb, be);
+        // Deferred if handed to an enclosing sink call or stored into a
+        // callback member; immediate lambdas borrow safely.
+        std::string sink;
+        for (auto it = sink_stack.rbegin(); it != sink_stack.rend(); ++it) {
+          if (!it->empty()) {
+            sink = *it;
+            break;
+          }
+        }
+        if (sink.empty()) sink = CallbackAssignTarget(t, fn.body_begin, k);
+        if (!sink.empty()) {
+          AnalyzeLambdaCaptures(t, k, close, bb, be, sink, vars, index, out);
+        }
+        if (be != 0) lambda_bodies.emplace_back(bb, be);
+        k = close;  // body is walked normally for decls and stores
+        continue;
+      }
+      if (tok.kind != Kind::kIdent) continue;
+
+      // Returning a view rooted in function-local storage.
+      if (tok.text == "return" && fn.returns_view) {
+        const std::size_t e = StmtEnd(t, k + 1, fn.body_end);
+        bool in_lambda = false;
+        for (const auto& [lb, le] : lambda_bodies) {
+          if (lb <= k && k < le) in_lambda = true;
+        }
+        if (!in_lambda) {
+          const std::string callee = FirstCallee(t, k + 1, e);
+          const bool opaque = !callee.empty() && callee != "move" &&
+                              index.view_param_chain.count(callee) == 0;
+          if (!opaque) {
+            const BorrowResolution r =
+                ResolveBorrow(t, k + 1, e, vars, &index.view_param_chain);
+            if (r.resolved && r.root == BorrowRoot::kLocal && !r.refcounted) {
+              out.push_back(
+                  {"'" + fn.name + "' returns a view rooted in function-local "
+                   "'" + r.root_name + "'" + ViaSuffix(r.via) +
+                   "; the storage dies with the frame — return an owning type "
+                   "or a refcounted SampleView instead",
+                   tok.line});
+            }
+          }
+        }
+        k = e;
+        continue;
+      }
+
+      const bool this_member =
+          k >= 2 && t[k - 1].text == "->" && t[k - 2].text == "this";
+      const bool plain =
+          k == fn.body_begin ||
+          (t[k - 1].text != "." && t[k - 1].text != "->" &&
+           t[k - 1].text != "::");
+
+      // Assignments: re-root tracked views, flag stores into members.
+      if (k + 1 < fn.body_end && t[k + 1].text == "=" &&
+          (plain || this_member)) {
+        const std::size_t ib = k + 2;
+        const std::size_t e = StmtEnd(t, ib, fn.body_end);
+        const std::string callee = FirstCallee(t, ib, e);
+        const bool opaque = !callee.empty() && callee != "move" &&
+                            index.view_param_chain.count(callee) == 0;
+        if (plain) {
+          if (BorrowVar* v = LookupBorrowMut(vars, tok.text)) {
+            if (v->is_view) {
+              const BorrowResolution r =
+                  opaque ? BorrowResolution{}
+                         : ResolveBorrow(t, ib, e, vars,
+                                         &index.view_param_chain);
+              if (r.resolved) {
+                v->root = r.root;
+                v->root_name = r.root_name;
+                v->via = r.via;
+              } else {
+                v->root = BorrowRoot::kUnknown;
+                v->root_name.clear();
+                v->via.clear();
+              }
+            }
+            k = e;
+            continue;
+          }
+        }
+        if (view_members.count(tok.text) != 0) {
+          if (!opaque) {
+            const BorrowResolution r =
+                ResolveBorrow(t, ib, e, vars, &index.view_param_chain);
+            if (r.resolved && r.is_view_source && !r.refcounted &&
+                r.root != BorrowRoot::kUnknown) {
+              out.push_back(
+                  {"view stored into member '" + tok.text + "' borrows from " +
+                   RootLabel(r.root) + " '" + r.root_name + "'" +
+                   ViaSuffix(r.via) +
+                   "; the member outlives the borrowed storage — copy into an "
+                   "owning payload or keep a refcounted SampleView",
+                   tok.line});
+            }
+          }
+          k = e;
+          continue;
+        }
+        continue;  // untracked LHS: keep walking (the RHS may hold a lambda)
+      }
+
+      // Container members: views_.push_back(v) escapes the frame too.
+      if ((plain || this_member) && k + 3 < fn.body_end &&
+          view_members.count(tok.text) != 0 &&
+          (t[k + 1].text == "." || t[k + 1].text == "->") &&
+          MemberStoreMethods().count(t[k + 2].text) != 0 &&
+          t[k + 3].text == "(") {
+        const std::size_t e = MatchForward(t, k + 3);
+        const std::string callee = FirstCallee(t, k + 4, e);
+        const bool opaque = !callee.empty() && callee != "move" &&
+                            index.view_param_chain.count(callee) == 0;
+        if (!opaque) {
+          const BorrowResolution r =
+              ResolveBorrow(t, k + 4, e, vars, &index.view_param_chain);
+          if (r.resolved && r.is_view_source && !r.refcounted &&
+              r.root != BorrowRoot::kUnknown) {
+            out.push_back(
+                {"view stored into container member '" + tok.text +
+                 "' borrows from " + RootLabel(r.root) + " '" + r.root_name +
+                 "'" + ViaSuffix(r.via) +
+                 "; the container outlives the borrowed storage — store an "
+                 "owning payload or a refcounted SampleView",
+                 tok.line});
+          }
+        }
+        k = e;
+        continue;
+      }
+
+      // Declarations seed / extend the borrow scope.
+      const std::size_t nm = ScanBorrowDecl(t, k, fn.body_begin, fn.body_end,
+                                            depth, vars,
+                                            &index.view_param_chain);
+      if (nm != 0) k = nm;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Use-after-move.
+
+const std::unordered_set<std::string>& MoveTrackedTypes() {
+  static const std::unordered_set<std::string> kTypes = {
+      // SampleView is deliberately absent: a moved-from view is just
+      // empty, and views are cheap to copy anyway.
+      "Sample", "SamplePayload", "PayloadWriter",
+  };
+  return kTypes;
+}
+
+namespace {
+
+/// A move-tracked type spelled at `i` (named types above, plus
+/// std::vector<std::byte> structurally).
+bool MatchMoveType(const std::vector<Token>& t, std::size_t i,
+                   std::string& label, std::size_t& last) {
+  if (t[i].kind != Kind::kIdent) return false;
+  if (MoveTrackedTypes().count(t[i].text) != 0) {
+    label = t[i].text;
+    last = i;
+    return true;
+  }
+  if (t[i].text == "vector" && i + 5 < t.size() && t[i + 1].text == "<" &&
+      t[i + 2].text == "std" && t[i + 3].text == "::" &&
+      t[i + 4].text == "byte" && t[i + 5].text == ">") {
+    label = "std::vector<std::byte>";
+    last = i + 5;
+    return true;
+  }
+  return false;
+}
+
+struct MoveVar {
+  std::string name;
+  std::string type;
+  int depth = 0;
+  bool moved = false;
+  int move_depth = 0;
+};
+
+MoveVar* LookupMove(std::vector<MoveVar>& vars, const std::string& name) {
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    if (it->name == name) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<MovedUse> FindUseAfterMove(const FileTokens& file,
+                                       const std::vector<FnDef>& fns) {
+  const auto& t = file.tokens;
+  std::vector<MovedUse> out;
+  for (const auto& fn : fns) {
+    std::vector<MoveVar> vars;
+    // Parameters: only mutable by-value / rvalue ones can be moved from.
+    {
+      std::size_t p = fn.params_begin + 1;
+      while (p < fn.params_end) {
+        std::size_t q = p;
+        int pd = 0, angle = 0;
+        for (; q < fn.params_end; ++q) {
+          const std::string& s = t[q].text;
+          if (s == "(" || s == "[" || s == "{") {
+            ++pd;
+          } else if (s == ")" || s == "]" || s == "}") {
+            --pd;
+          } else if (s == "<") {
+            ++angle;
+          } else if (s == ">") {
+            --angle;
+          } else if (s == ">>") {
+            angle -= 2;
+          } else if (s == "," && pd == 0 && angle <= 0) {
+            break;
+          }
+        }
+        std::string label;
+        std::size_t last = 0;
+        bool matched = false, is_const = false;
+        for (std::size_t i = p; i < q; ++i) {
+          if (t[i].text == "const") is_const = true;
+          if (!matched && MatchMoveType(t, i, label, last)) matched = true;
+        }
+        if (matched && !is_const) {
+          std::string pname;
+          for (std::size_t i = last + 1; i < q; ++i) {
+            if (t[i].text == "=") break;
+            if (t[i].kind == Kind::kIdent && !IsKeyword(t[i].text)) {
+              pname = t[i].text;
+            }
+          }
+          if (!pname.empty()) vars.push_back({pname, label, 0, false, 0});
+        }
+        p = q + 1;
+      }
+    }
+    int depth = 0;
+    for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+      const Token& tok = t[k];
+      if (tok.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (tok.text == "}") {
+        --depth;
+        for (auto& v : vars) {
+          // A move inside a conditional block doesn't hold past it.
+          if (v.moved && v.move_depth > depth) v.moved = false;
+        }
+        std::erase_if(vars,
+                      [depth](const MoveVar& v) { return v.depth > depth; });
+        continue;
+      }
+      if (tok.kind != Kind::kIdent) continue;
+      // std::move(name)
+      if (tok.text == "std" && k + 5 < fn.body_end && t[k + 1].text == "::" &&
+          t[k + 2].text == "move" && t[k + 3].text == "(" &&
+          t[k + 4].kind == Kind::kIdent && t[k + 5].text == ")") {
+        if (MoveVar* v = LookupMove(vars, t[k + 4].text)) {
+          if (v->moved) {
+            out.push_back({"'" + v->name + "' (" + v->type +
+                               ") is moved from twice; the first std::move "
+                               "already emptied it",
+                           t[k + 4].line});
+          }
+          v->moved = true;
+          v->move_depth = depth;
+        }
+        k += 5;
+        continue;
+      }
+      // Declarations.
+      {
+        std::string label;
+        std::size_t last = 0;
+        if (MatchMoveType(t, k, label, last) && last + 1 < fn.body_end &&
+            t[last + 1].kind == Kind::kIdent && !IsKeyword(t[last + 1].text) &&
+            (k == fn.body_begin ||
+             (t[k - 1].text != "." && t[k - 1].text != "->" &&
+              t[k - 1].text != "new" && t[k - 1].text != "<"))) {
+          const std::string& nx =
+              last + 2 < fn.body_end ? t[last + 2].text : t[fn.body_end].text;
+          if (nx == ";" || nx == "=" || nx == "(" || nx == "{" || nx == ":") {
+            vars.push_back({t[last + 1].text, label, depth, false, 0});
+            k = last + 1;
+            continue;
+          }
+        }
+      }
+      // Uses.
+      if (k > fn.body_begin &&
+          (t[k - 1].text == "." || t[k - 1].text == "->" ||
+           t[k - 1].text == "::")) {
+        continue;
+      }
+      MoveVar* v = LookupMove(vars, tok.text);
+      if (v == nullptr || !v->moved) continue;
+      const std::string& nx = t[k + 1].text;  // tokens end with kEof
+      if (nx == "=") {
+        v->moved = false;  // reassignment refills it
+        continue;
+      }
+      if ((nx == "." || nx == "->") && k + 2 < fn.body_end &&
+          (t[k + 2].text == "reset" || t[k + 2].text == "clear" ||
+           t[k + 2].text == "assign")) {
+        v->moved = false;
+        continue;
+      }
+      out.push_back({"'" + v->name + "' (" + v->type +
+                         ") is used after being moved from; reassign or "
+                         "reset it before reuse",
+                     tok.line});
+      v->moved = false;  // one report per move
+    }
+  }
+  return out;
+}
+
 namespace {
 
 /// Fixpoint propagation shared by the blocking and allocation closures:
@@ -1027,6 +2214,37 @@ void FinalizeIndex(ProjectIndex& index) {
   }
   PropagateChains(index.fns, index.blocking_chain);
   PropagateChains(index.fns, index.alloc_chain);
+
+  // Borrows-from-param closure (view-escape): seed from functions that
+  // directly return a view of a parameter, then walk `return Helper(p)`
+  // edges to a fixpoint so escapes through helpers carry full witness
+  // chains, e.g. "Window -> Trim returns a view of its parameter 's'".
+  for (const auto& [name, defs] : index.fns) {
+    for (const auto& def : defs) {
+      if (!def.view_of_param.empty()) {
+        index.view_param_chain.emplace(name, def.view_of_param);
+        break;
+      }
+    }
+  }
+  bool vchanged = true;
+  while (vchanged) {
+    vchanged = false;
+    for (const auto& [name, defs] : index.fns) {
+      if (index.view_param_chain.count(name) != 0) continue;
+      for (const auto& def : defs) {
+        for (const auto& callee : def.view_return_param_calls) {
+          if (callee == name) continue;
+          const auto it = index.view_param_chain.find(callee);
+          if (it == index.view_param_chain.end()) continue;
+          index.view_param_chain[name] = name + " -> " + it->second;
+          vchanged = true;
+          break;
+        }
+        if (index.view_param_chain.count(name) != 0) break;
+      }
+    }
+  }
 
   // Effective acquisition ranks, to a fixpoint.
   for (const auto& [name, defs] : index.fns) {

@@ -28,6 +28,11 @@ struct Finding {
   int line = 0;
   std::string check;  // e.g. "no-raw-sync"
   std::string message;
+  /// Set when an inline `prisma-lint: allow(...)` marker covers this
+  /// site. Suppressed findings never reach the user, but the driver
+  /// keeps them long enough to prove each marker still earns its keep
+  /// (stale-suppression detection).
+  bool suppressed = false;
 
   /// "file:line: [check] message" — the emitted form.
   std::string ToString() const;
@@ -35,6 +40,9 @@ struct Finding {
   /// and line numbers stripped so refactors that move code do not churn
   /// the baseline file).
   std::string Fingerprint() const;
+  /// GitHub Actions workflow-command form:
+  /// "::error file=F,line=N,title=prisma-lint check::message".
+  std::string ToGitHubAnnotation() const;
 };
 
 /// True when `line` (or a run of comment-only lines immediately above
@@ -42,6 +50,19 @@ struct Finding {
 /// guarded-by-coverage check, the dedicated `prisma-lint:
 /// unguarded(<reason>)` form.
 bool IsSuppressed(const FileTokens& file, int line, const std::string& check);
+
+/// Dead suppressions: every `allow(<check>)` / `unguarded(<reason>)`
+/// marker in `file` that either names a check the linter does not have,
+/// or covers no occurrence of its check (suppressed findings included)
+/// on the line(s) it reaches. `findings` must be this file's findings
+/// with Finding::suppressed still present, from a run with every check
+/// enabled — the driver only calls this when that holds. Returned as
+/// findings under the reserved name "stale-suppression" so they render
+/// and fail the run like any other finding (they are deliberately not
+/// themselves suppressible or baselinable).
+std::vector<Finding> FindStaleSuppressions(
+    const FileTokens& file, const std::vector<std::string>& known_checks,
+    const std::vector<Finding>& findings);
 
 // ---------------------------------------------------------------------------
 // Class discovery (guarded-by-coverage, mutex-member ranks).
@@ -97,6 +118,20 @@ struct FnDef {
   std::vector<CallSite> blocking;     // calls to the primitive blocking set
   std::vector<CallSite> allocs;       // allocation-primitive sites
   std::vector<AcquireSite> acquires;  // MutexLock construction sites
+
+  /// Declared return type is a borrowed-view type (std::span,
+  /// std::string_view, SampleView) — the precondition for the
+  /// view-escape return rules and for the borrows-from-param summary.
+  bool returns_view = false;
+  /// Non-empty when some return statement provably returns a view of a
+  /// parameter; holds the witness text ("Trim returns a view of its
+  /// parameter 's'"). Seeded per definition, merged into
+  /// ProjectIndex::view_param_chain and propagated to fixpoint.
+  std::string view_of_param;
+  /// Callees appearing as `return Callee(...args containing a param...)`
+  /// in a view-returning body: if the callee turns out to borrow from
+  /// its parameter, this definition transitively does too.
+  std::vector<std::string> view_return_param_calls;
 };
 
 /// Whether a callee name may be resolved through the name-keyed
@@ -151,6 +186,14 @@ struct ProjectIndex {
   /// deliberate) at its own definition.
   std::unordered_set<std::string> hot_fns;
 
+  /// Borrow closure: view-returning function name -> witness that a
+  /// call's result borrows from one of its arguments, e.g.
+  /// "Window returns a view of its parameter 'bytes'" or, through a
+  /// helper, "Header -> Window returns a view of its parameter 'bytes'".
+  /// Seeded from FnDef::view_of_param and propagated through
+  /// FnDef::view_return_param_calls exactly like alloc_chain.
+  std::unordered_map<std::string, std::string> view_param_chain;
+
   /// Effective acquisitions: function name -> (rank -> witness chain),
   /// the ranks a call to this function may end up acquiring.
   std::unordered_map<std::string, std::map<int, std::string>> effective_ranks;
@@ -192,6 +235,58 @@ struct PayloadCopy {
 /// capture-by-copy of a tracked heavy variable.
 std::vector<PayloadCopy> FindPayloadCopies(const FileTokens& file,
                                            const std::vector<FnDef>& fns);
+
+// ---------------------------------------------------------------------------
+// Lifetime & escape analysis (view-escape, use-after-move).
+
+/// Owner types whose storage a borrowed view may point into. A view
+/// rooted in a function-local owner dies with the frame.
+/// `std::vector<std::byte>` (pool buffers) is matched structurally.
+const std::unordered_set<std::string>& ViewOwnerTypes();
+
+/// Accessor methods that derive a borrowed view from an owner or from
+/// another view (`payload.span()`, `buf.data()`, `sv.substr(...)`).
+const std::unordered_set<std::string>& BorrowAccessors();
+
+/// Deferred-execution sinks: a lambda passed to one of these may run
+/// after the enclosing frame is gone (ThreadPool::Submit,
+/// BoundedQueue::Push/TryPush, std::thread, stored-callback pushes).
+const std::unordered_set<std::string>& DeferredSinks();
+
+/// One escape of a borrowed view past its owner's lifetime.
+struct ViewEscape {
+  std::string what;  // rendered clause, including any witness chain
+  int line = 0;
+};
+
+/// Interprocedural borrow tracker: walks each function tracking
+/// view-typed declarations and their roots (local owner, parameter, or
+/// unknown), consults `index.view_param_chain` so borrows through
+/// helper calls resolve with a witness chain, and reports (a) returning
+/// a view rooted in a function-local owner, (b) storing a borrowed view
+/// into a member or member container, and (c) lambda captures of views
+/// handed to a deferred-execution sink.
+std::vector<ViewEscape> FindViewEscapes(const FileTokens& file,
+                                        const std::vector<ClassInfo>& classes,
+                                        const std::vector<FnDef>& fns,
+                                        const ProjectIndex& index);
+
+/// Types with scope-level moved-from tracking (use-after-move).
+/// `std::vector<std::byte>` is matched structurally in addition.
+const std::unordered_set<std::string>& MoveTrackedTypes();
+
+/// One use of a moved-from value.
+struct MovedUse {
+  std::string what;
+  int line = 0;
+};
+
+/// Flags any use of a tracked local/parameter after `std::move(var)`
+/// other than reassignment or `reset()`/`clear()`. Conservatively
+/// forgets the moved-from state when the scope containing the move
+/// closes, so a move inside one branch never taints the join point.
+std::vector<MovedUse> FindUseAfterMove(const FileTokens& file,
+                                       const std::vector<FnDef>& fns);
 
 /// Scans one file's token stream into function definitions (with lock
 /// liveness resolved against `index` when provided for ranks) plus the

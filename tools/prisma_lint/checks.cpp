@@ -10,8 +10,11 @@ using Kind = Token::Kind;
 
 void Emit(std::vector<Finding>& out, const FileTokens& file, int line,
           const char* check, std::string message) {
-  if (IsSuppressed(file, line, check)) return;
-  out.push_back({file.path, line, check, std::move(message)});
+  // Suppressed findings are kept (flagged) so the driver can prove each
+  // allow(...) marker still matches something before dropping them.
+  Finding f{file.path, line, check, std::move(message)};
+  f.suppressed = IsSuppressed(file, line, check);
+  out.push_back(std::move(f));
 }
 
 bool PathEndsWith(const std::string& path, const std::string& suffix) {
@@ -41,7 +44,8 @@ const std::vector<std::string>& AllChecks() {
   static const std::vector<std::string> kAll = {
       kNoRawSync,      kNoBlockingUnderLock, kGuardedByCoverage,
       kStatusChecked,  kLockRankStatic,      kHotPathPurity,
-      kNoPayloadCopy};
+      kNoPayloadCopy,  kViewEscape,          kUseAfterMove,
+      kCvWaitPredicate};
   return kAll;
 }
 
@@ -487,6 +491,111 @@ void CheckNoPayloadCopy(const FileTokens& file, const std::vector<FnDef>& fns,
          copy.what + " copies heavy payload type '" + copy.type +
              "'; pass by reference, move, or add a reasoned "
              "allow(no-payload-copy, ...)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (8) view-escape
+
+void CheckViewEscape(const FileTokens& file,
+                     const std::vector<ClassInfo>& classes,
+                     const std::vector<FnDef>& fns, const ProjectIndex& index,
+                     std::vector<Finding>& out) {
+  std::set<std::pair<int, std::string>> seen;  // (line, what) dedup
+  for (const auto& esc : FindViewEscapes(file, classes, fns, index)) {
+    if (!seen.insert({esc.line, esc.what}).second) continue;
+    Emit(out, file, esc.line, kViewEscape, esc.what);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (9) use-after-move
+
+void CheckUseAfterMove(const FileTokens& file, const std::vector<FnDef>& fns,
+                       std::vector<Finding>& out) {
+  std::set<std::pair<int, std::string>> seen;  // (line, what) dedup
+  for (const auto& use : FindUseAfterMove(file, fns)) {
+    if (!seen.insert({use.line, use.what}).second) continue;
+    Emit(out, file, use.line, kUseAfterMove, use.what);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (10) cv-wait-predicate
+
+namespace {
+
+/// Token ranges of loop statements in [begin, end): `while (...)` /
+/// `for (...)` bodies (braced or single-statement) and braced
+/// `do { ... } while`. A Wait inside one is re-checked by construction.
+std::vector<std::pair<std::size_t, std::size_t>> LoopRegions(
+    const std::vector<Token>& t, std::size_t begin, std::size_t end) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t k = begin; k < end; ++k) {
+    if (t[k].kind != Kind::kIdent) continue;
+    const std::string& s = t[k].text;
+    if (s == "do") {
+      if (k + 1 < end && t[k + 1].text == "{") {
+        out.push_back({k, MatchForward(t, k + 1)});
+      }
+      continue;
+    }
+    if (s != "while" && s != "for") continue;
+    if (k + 1 >= end || t[k + 1].text != "(") continue;
+    const std::size_t cond_close = MatchForward(t, k + 1);
+    const std::size_t b = cond_close + 1;
+    if (b >= end) continue;
+    if (t[b].text == "{") {
+      out.push_back({k, MatchForward(t, b)});
+      continue;
+    }
+    // Braceless body: one statement, to the `;` at nesting depth zero.
+    int depth = 0;
+    std::size_t e = b;
+    for (; e < end; ++e) {
+      const std::string& w = t[e].text;
+      if (w == "(" || w == "[" || w == "{") {
+        ++depth;
+      } else if (w == ")" || w == "]" || w == "}") {
+        --depth;
+      } else if (w == ";" && depth == 0) {
+        break;
+      }
+    }
+    out.push_back({k, e});
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckCvWaitPredicate(const FileTokens& file,
+                          const std::vector<FnDef>& fns,
+                          std::vector<Finding>& out) {
+  static const std::set<std::string> kWaits = {"Wait", "WaitUntil", "WaitFor"};
+  const auto& t = file.tokens;
+  std::set<std::pair<int, std::string>> seen;  // (line, method) dedup
+  for (const auto& fn : fns) {
+    const auto regions = LoopRegions(t, fn.body_begin, fn.body_end);
+    for (std::size_t k = fn.body_begin; k + 1 < fn.body_end; ++k) {
+      if (t[k].kind != Kind::kIdent || kWaits.count(t[k].text) == 0) continue;
+      if (k == 0 || (t[k - 1].text != "." && t[k - 1].text != "->")) continue;
+      if (t[k + 1].text != "(") continue;
+      bool looped = false;
+      for (const auto& [rb, re] : regions) {
+        if (rb <= k && k <= re) {
+          looped = true;
+          break;
+        }
+      }
+      if (looped) continue;
+      if (!seen.insert({t[k].line, t[k].text}).second) continue;
+      Emit(out, file, t[k].line, kCvWaitPredicate,
+           "'" + t[k].text +
+               "' outside a condition re-checking loop can lose spurious or "
+               "missed wakeups; wrap it as `while (!ready) cv." + t[k].text +
+               "(mu);` or add a reasoned allow(cv-wait-predicate, ...)");
+    }
   }
 }
 

@@ -1,4 +1,4 @@
-// The seven PRISMA project-invariant checks. Each takes one lexed target
+// The ten PRISMA project-invariant checks. Each takes one lexed target
 // file (plus the cross-TU index where needed) and appends findings.
 // Check names are stable identifiers: they appear in findings, baseline
 // fingerprints, suppression comments, and --checks filters.
@@ -19,6 +19,14 @@ inline constexpr const char* kStatusChecked = "status-checked";
 inline constexpr const char* kLockRankStatic = "lock-rank-static";
 inline constexpr const char* kHotPathPurity = "hot-path-purity";
 inline constexpr const char* kNoPayloadCopy = "no-payload-copy";
+inline constexpr const char* kViewEscape = "view-escape";
+inline constexpr const char* kUseAfterMove = "use-after-move";
+inline constexpr const char* kCvWaitPredicate = "cv-wait-predicate";
+
+/// Reserved reporting name for dead `prisma-lint: allow(...)` markers
+/// and baseline fingerprints (see FindStaleSuppressions). Not a check:
+/// it cannot be enabled, suppressed, or baselined.
+inline constexpr const char* kStaleSuppression = "stale-suppression";
 
 /// All check names, in reporting order.
 const std::vector<std::string>& AllChecks();
@@ -74,5 +82,32 @@ void CheckHotPathPurity(const FileTokens& file, const std::vector<FnDef>& fns,
 /// the zero-copy data plane's one-copy-per-payload-byte guarantee.
 void CheckNoPayloadCopy(const FileTokens& file, const std::vector<FnDef>& fns,
                         std::vector<Finding>& out);
+
+/// (8) A borrowed view (SampleView, std::span, std::string_view, raw
+/// byte pointers) must not outlive the storage it points into: no
+/// returning a view rooted in a function-local owner, no storing a view
+/// into a member (or member container) that outlives the frame, and no
+/// handing a lambda that captures a view by reference — or a
+/// non-refcounted view by value — to ThreadPool / BoundedQueue /
+/// std::thread / a stored callback. Borrows through helper calls are
+/// resolved via the borrows-from-param closure, so findings carry full
+/// witness chains.
+void CheckViewEscape(const FileTokens& file,
+                     const std::vector<ClassInfo>& classes,
+                     const std::vector<FnDef>& fns, const ProjectIndex& index,
+                     std::vector<Finding>& out);
+
+/// (9) A moved-from Sample / SamplePayload / PayloadWriter /
+/// std::vector<std::byte> local or parameter must be reassigned or
+/// reset before any other use.
+void CheckUseAfterMove(const FileTokens& file, const std::vector<FnDef>& fns,
+                       std::vector<Finding>& out);
+
+/// (10) Every CondVar::Wait / WaitUntil / WaitFor call must sit inside
+/// a loop that re-checks its condition (`while (!ready) cv.Wait(mu);`):
+/// a naked wait loses wakeups to spurious returns and missed notifies.
+void CheckCvWaitPredicate(const FileTokens& file,
+                          const std::vector<FnDef>& fns,
+                          std::vector<Finding>& out);
 
 }  // namespace prisma_lint

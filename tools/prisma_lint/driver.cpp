@@ -272,6 +272,7 @@ RunResult Run(const Options& options) {
   };
   const std::vector<std::string>& check_order = AllChecks();
   std::vector<std::vector<Finding>> target_findings(targets.size());
+  std::vector<std::vector<Finding>> target_stale(targets.size());
   std::vector<std::vector<double>> target_nanos(
       targets.size(), std::vector<double>(check_order.size(), 0.0));
   ParallelFor(targets.size(), options.jobs, [&](std::size_t ti) {
@@ -304,10 +305,24 @@ RunResult Run(const Options& options) {
     timed(kHotPathPurity,
           [&] { CheckHotPathPurity(file, fns, index, findings); });
     timed(kNoPayloadCopy, [&] { CheckNoPayloadCopy(file, fns, findings); });
+    timed(kViewEscape,
+          [&] { CheckViewEscape(file, slot.classes, fns, index, findings); });
+    timed(kUseAfterMove, [&] { CheckUseAfterMove(file, fns, findings); });
+    timed(kCvWaitPredicate,
+          [&] { CheckCvWaitPredicate(file, fns, findings); });
+    // Dead-marker scan: needs every check's findings (suppressed ones
+    // included) to prove a marker matches nothing — a subset run can't.
+    if (enabled.empty()) {
+      target_stale[ti] = FindStaleSuppressions(file, check_order, findings);
+    }
+    std::erase_if(findings, [](const Finding& f) { return f.suppressed; });
   });
   std::vector<Finding> findings;
   for (auto& per_target : target_findings) {
     for (auto& f : per_target) findings.push_back(std::move(f));
+  }
+  for (auto& per_target : target_stale) {
+    for (auto& f : per_target) result.stale.push_back(std::move(f));
   }
   for (std::size_t ci = 0; ci < check_order.size(); ++ci) {
     double nanos = 0.0;
@@ -334,6 +349,23 @@ RunResult Run(const Options& options) {
       continue;
     }
     result.findings.push_back(std::move(f));
+  }
+  const auto by_pos = [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.message < b.message;
+  };
+  std::sort(result.stale.begin(), result.stale.end(), by_pos);
+  // Baseline staleness is only provable on a full run: every file
+  // linted, every check enabled. (base_count is an ordered map, so the
+  // report order is deterministic.)
+  if (options.targets.empty() && enabled.empty() && !options.baseline.empty()) {
+    for (const auto& [fp, left] : base_count) {
+      if (left == 0) continue;
+      result.stale_baseline.push_back(
+          "baseline entry '" + fp + "' has " + std::to_string(left) +
+          " unmatched occurrence(s); remove it or lower its count");
+    }
   }
   return result;
 }

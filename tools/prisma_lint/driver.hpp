@@ -32,6 +32,15 @@ struct RunResult {
   std::vector<Finding> findings;    // non-baselined, sorted (file, line)
   std::size_t baselined = 0;        // findings absorbed by the baseline
   std::vector<std::string> errors;  // unreadable files etc.
+  /// Dead `prisma-lint: allow(...)` markers (reported under the reserved
+  /// "stale-suppression" name, sorted like findings). Only populated
+  /// when every check ran (Options::checks empty) — a subset run cannot
+  /// prove a marker dead.
+  std::vector<Finding> stale;
+  /// Baseline fingerprints with unmatched occurrences. Only populated on
+  /// full runs (no explicit targets, all checks enabled): linting a file
+  /// subset leaves the rest of the baseline legitimately unmatched.
+  std::vector<std::string> stale_baseline;
   /// Cumulative per-check lint time (reporting order, seconds), summed
   /// across workers — wall clock of a parallel run is lower.
   std::vector<std::pair<std::string, double>> check_seconds;

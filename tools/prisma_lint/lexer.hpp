@@ -26,8 +26,10 @@ struct Token {
 };
 
 /// One lexed file: code tokens with comments/preprocessor stripped, plus
-/// the comment text per line so checks can honor suppressions like
-///   // prisma-lint: allow(no-blocking-under-lock, reason)
+/// the comment text per line so checks can honor suppression markers (a
+/// `prisma-lint` comment naming the allowed check — see DESIGN.md §11.2
+/// for the exact forms; spelling one out here would read as a live
+/// marker to the stale-suppression scanner).
 struct FileTokens {
   std::string path;                              // path as given to the driver
   std::vector<Token> tokens;                     // ends with a kEof token

@@ -10,6 +10,7 @@
 // Exit status: 0 clean (or fully baselined), 1 findings, 2 usage error.
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <filesystem>
 #include <string>
@@ -31,8 +32,37 @@ int Usage(const char* argv0) {
       << "  --list-checks    print check names and exit\n"
       << "  --jobs N         worker threads for lex/scan and lint (default: 1)\n"
       << "  --timings        print per-check lint time to stderr\n"
+      << "  --timings-json F also write the per-check timings as JSON to F\n"
+      << "  --format=github  emit GitHub Actions ::error annotations\n"
       << "  --quiet          suppress the summary line\n";
   return 2;
+}
+
+/// Per-check timings in the google-benchmark JSON shape the repo's
+/// other bench results use, so CI can diff lint engine cost like any
+/// other benchmark.
+void WriteTimingsJson(const std::string& path,
+                      const prisma_lint::RunResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "prisma-lint: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"context\": {\n"
+      << "    \"executable\": \"prisma_lint\",\n"
+      << "    \"num_checks\": " << result.check_seconds.size() << "\n"
+      << "  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < result.check_seconds.size(); ++i) {
+    const auto& [check, seconds] = result.check_seconds[i];
+    out << "    {\n"
+        << "      \"name\": \"lint/" << check << "\",\n"
+        << "      \"run_type\": \"aggregate\",\n"
+        << "      \"cpu_time\": " << static_cast<long long>(seconds * 1e6)
+        << ",\n"
+        << "      \"time_unit\": \"us\"\n"
+        << "    }" << (i + 1 < result.check_seconds.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -43,6 +73,8 @@ int main(int argc, char** argv) {
   bool no_baseline = false;
   bool quiet = false;
   bool timings = false;
+  bool github = false;
+  std::string timings_json;
   bool compdb_set = false, baseline_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +115,14 @@ int main(int argc, char** argv) {
       if (opt.jobs < 1) opt.jobs = 1;
     } else if (arg == "--timings") {
       timings = true;
+    } else if (arg == "--timings-json") {
+      timings_json = value("--timings-json");
+    } else if (arg == "--format=github") {
+      github = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::cerr << "unknown format '" << arg.substr(9)
+                << "' (supported: github)\n";
+      return 2;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -119,7 +159,19 @@ int main(int argc, char** argv) {
 
   const prisma_lint::RunResult result = prisma_lint::Run(opt);
   for (const auto& e : result.errors) std::cerr << "prisma-lint: " << e << "\n";
-  for (const auto& f : result.findings) std::cout << f.ToString() << "\n";
+  auto print = [&](const prisma_lint::Finding& f) {
+    std::cout << (github ? f.ToGitHubAnnotation() : f.ToString()) << "\n";
+  };
+  for (const auto& f : result.findings) print(f);
+  for (const auto& f : result.stale) print(f);
+  for (const auto& s : result.stale_baseline) {
+    if (github) {
+      prisma_lint::Finding f{opt.baseline, 1, "stale-suppression", s};
+      std::cout << f.ToGitHubAnnotation() << "\n";
+    } else {
+      std::cout << opt.baseline << ": [stale-suppression] " << s << "\n";
+    }
+  }
   if (timings) {
     // CPU time summed across workers, not wall clock — the number CI
     // graphs to spot a check whose cost regressed.
@@ -128,12 +180,18 @@ int main(int argc, char** argv) {
                 << static_cast<long long>(seconds * 1e6) << "us\n";
     }
   }
+  if (!timings_json.empty()) WriteTimingsJson(timings_json, result);
   if (!quiet) {
     std::cerr << "prisma-lint: " << result.findings.size() << " finding(s)";
+    const std::size_t stale =
+        result.stale.size() + result.stale_baseline.size();
+    if (stale > 0) std::cerr << ", " << stale << " stale suppression(s)";
     if (result.baselined > 0) {
       std::cerr << ", " << result.baselined << " baselined";
     }
     std::cerr << "\n";
   }
-  return result.findings.empty() ? 0 : 1;
+  const bool clean = result.findings.empty() && result.stale.empty() &&
+                     result.stale_baseline.empty();
+  return clean ? 0 : 1;
 }
