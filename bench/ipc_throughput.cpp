@@ -31,6 +31,8 @@ namespace {
 
 struct RunResult {
   int workers = 0;
+  std::string engine;            // engine actually selected by the server
+  std::size_t server_threads = 0;  // loops + offload: stays O(cores)
   std::uint64_t samples = 0;
   std::uint64_t bytes = 0;
   double wall_seconds = 0.0;
@@ -41,7 +43,7 @@ struct RunResult {
   double allocs_per_sample = 0.0;
 };
 
-RunResult RunConfig(int workers, int epochs) {
+RunResult RunConfig(int workers, int epochs, EventEngineOptions::Kind kind) {
   storage::SyntheticImageNetSpec spec;
   spec.num_train = 256;
   spec.num_validation = 1;
@@ -67,7 +69,9 @@ RunResult RunConfig(int workers, int epochs) {
   const std::string socket_path = "/tmp/prisma_ipc_bench_" +
                                   std::to_string(::getpid()) + "_" +
                                   std::to_string(workers) + ".sock";
-  ipc::UdsServer server(socket_path, stage);
+  ipc::UdsServer::Options server_opts;
+  server_opts.engine.kind = kind;
+  ipc::UdsServer server(socket_path, stage, server_opts);
   if (!server.Start().ok()) {
     stage->Stop();
     return {};
@@ -115,6 +119,8 @@ RunResult RunConfig(int workers, int epochs) {
 
   RunResult result;
   result.workers = workers;
+  result.engine = std::string(server.engine_name());
+  result.server_threads = server.server_threads();
   bool ok = run_epoch(0);  // warm-up
 
   const std::uint64_t copies0 = CopyAccounting::Copies();
@@ -162,12 +168,15 @@ void WriteJson(const char* path, const std::vector<RunResult>& results) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(f,
-                 "    {\"workers\": %d, \"samples\": %llu, \"bytes\": %llu, "
+                 "    {\"workers\": %d, \"engine\": \"%s\", "
+                 "\"server_threads\": %zu, "
+                 "\"samples\": %llu, \"bytes\": %llu, "
                  "\"wall_seconds\": %.6f, \"ns_per_sample\": %.1f, "
                  "\"mb_per_second\": %.1f, \"copies_per_sample\": %.3f, "
                  "\"bytes_copied_per_sample\": %.1f, "
                  "\"allocs_per_sample\": %.4f}%s\n",
-                 r.workers, static_cast<unsigned long long>(r.samples),
+                 r.workers, r.engine.c_str(), r.server_threads,
+                 static_cast<unsigned long long>(r.samples),
                  static_cast<unsigned long long>(r.bytes), r.wall_seconds,
                  r.ns_per_sample, r.mb_per_second, r.copies_per_sample,
                  r.bytes_copied_per_sample, r.allocs_per_sample,
@@ -185,16 +194,27 @@ int main(int argc, char** argv) {
   if (argc > 1) out_path = argv[1];
 
   std::printf("# ipc_throughput: N UDS workers -> one PRISMA stage\n");
-  std::printf("%-8s %-12s %-10s %-16s %-20s %-14s\n", "workers", "ns/sample",
-              "MB/s", "copies/sample", "bytes_copied/sample", "allocs/sample");
+  std::printf("%-10s %-8s %-8s %-12s %-10s %-16s %-20s %-14s\n", "engine",
+              "workers", "srv_thr", "ns/sample", "MB/s", "copies/sample",
+              "bytes_copied/sample", "allocs/sample");
   std::vector<prisma::RunResult> results;
-  for (const int workers : {1, 4, 8}) {
-    const auto r = prisma::RunConfig(workers, /*epochs=*/3);
-    if (r.samples == 0) return 1;
-    std::printf("%-8d %-12.0f %-10.1f %-16.3f %-20.1f %-14.4f\n", r.workers,
-                r.ns_per_sample, r.mb_per_second, r.copies_per_sample,
-                r.bytes_copied_per_sample, r.allocs_per_sample);
-    results.push_back(r);
+  // Sweep both engines; when io_uring is unavailable kAuto resolves to
+  // epoll and the explicit epoll pass would duplicate it — skip it then.
+  for (const auto kind : {prisma::EventEngineOptions::Kind::kAuto,
+                          prisma::EventEngineOptions::Kind::kEpoll}) {
+    if (kind == prisma::EventEngineOptions::Kind::kEpoll &&
+        !results.empty() && results.front().engine == "epoll") {
+      break;
+    }
+    for (const int workers : {1, 8, 64, 256}) {
+      const auto r = prisma::RunConfig(workers, /*epochs=*/3, kind);
+      if (r.samples == 0) return 1;
+      std::printf("%-10s %-8d %-8zu %-12.0f %-10.1f %-16.3f %-20.1f %-14.4f\n",
+                  r.engine.c_str(), r.workers, r.server_threads,
+                  r.ns_per_sample, r.mb_per_second, r.copies_per_sample,
+                  r.bytes_copied_per_sample, r.allocs_per_sample);
+      results.push_back(r);
+    }
   }
   prisma::WriteJson(out_path, results);
   std::printf("# wrote %s\n", out_path);

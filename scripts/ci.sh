@@ -11,6 +11,10 @@
 #   lockcheck  tier-1 as a Debug build with the runtime lock-order
 #              validator (PRISMA_LOCK_ORDER_CHECKS) enabled; this is the
 #              build where the LockOrderDeathTest cases actually run
+#   uring      tier-1 against both async data-plane configs: one build
+#              with -DPRISMA_IO_URING=ON (runtime-probes the kernel; the
+#              io_uring cases skip gracefully where unsupported) and one
+#              with =OFF (uring compiled out, epoll engine forced)
 #   tsa        clang -Wthread-safety -Werror compile of the tree (no
 #              tests); skipped with a notice when clang is unavailable
 #   tidy       clang-tidy over files changed since the merge base,
@@ -94,6 +98,15 @@ case "${MODE}" in
   lockcheck)
     configure_build_test "${BUILD_DIR:-build-ci-lockcheck}" \
       -DCMAKE_BUILD_TYPE=Debug -DPRISMA_LOCK_CHECKS=ON
+    ;;
+  uring)
+    # Both engine configs must pass the same suite: the ON build selects
+    # io_uring when the kernel supports it (and skips the uring-only
+    # cases when it does not); the OFF build compiles the uring engine
+    # out, so every engine consumer runs on the epoll fallback.
+    configure_build_test "${BUILD_DIR:-build-ci-uring}" -DPRISMA_IO_URING=ON
+    configure_build_test "${BUILD_DIR:-build-ci-uring}-off" \
+      -DPRISMA_IO_URING=OFF
     ;;
   tsa)
     # Compile-only pass with Clang Thread Safety Analysis promoted to an

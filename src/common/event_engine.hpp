@@ -1,0 +1,172 @@
+// Reactor-based async I/O engine: the execution core of the data plane.
+//
+// The thread-per-connection UDS server and blocking-pread producers made
+// thread count the only scaling knob (ROADMAP item 1: ~1.25x from 1->8
+// workers). This engine replaces that model with a small worker pool of
+// event loops — O(cores) threads serving O(connections) sockets and
+// O(prefetch-depth) outstanding backend reads.
+//
+// Two implementations sit behind one proactor-style interface:
+//
+//   io_uring  Each loop owns a ring (raw io_uring_setup/io_uring_enter
+//             syscalls — no liburing dependency) and drives *batched*
+//             submissions: operations queued during one loop iteration
+//             are flushed by a single io_uring_enter that also waits for
+//             completions. Socket recv/send, accept, and offset file
+//             reads are all kernel-async.
+//
+//   epoll     Fallback for kernels/sandboxes without io_uring (and for
+//             the PRISMA_IO_URING=OFF build): non-blocking socket ops
+//             armed on an epoll set, plus a bounded blocking-offload
+//             thread pool for file reads. Same interface, same
+//             completion semantics, so everything above is agnostic.
+//
+// Completion contract (both engines):
+//   * Async* methods may only be called on the loop's own thread (use
+//     Post to hop). They NEVER invoke the callback inline — completions
+//     are dispatched from the loop iteration, so callers cannot reenter
+//     themselves.
+//   * Callbacks receive a result in syscall convention: >= 0 is the byte
+//     count (or accepted fd), < 0 is -errno (-ECANCELED for cancelled
+//     operations, including every operation still pending at Stop()).
+//   * Stop() drains: every pending operation gets exactly one callback
+//     (with -ECANCELED if it never ran) before Stop returns, and no
+//     kernel operation can touch a caller buffer after Stop returns.
+//     Tasks Post()ed after Stop are destroyed without running.
+//
+// Callbacks are raw {function pointer, context} pairs, not
+// std::function: submission and completion are PRISMA_HOT_PATH and must
+// not allocate at steady state (op records recycle through a slab free
+// list keyed by {slot, generation} ids).
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+
+namespace prisma {
+
+/// Allocation-free completion callback: `fn(ctx, res)` with `res` in
+/// syscall convention (>= 0 result, < 0 is -errno).
+struct IoCallback {
+  void (*fn)(void* ctx, int res) = nullptr;
+  void* ctx = nullptr;
+
+  void operator()(int res) const { fn(ctx, res); }
+  explicit operator bool() const { return fn != nullptr; }
+};
+
+/// Handle to a pending operation: {slot, generation} packed. 0 is never
+/// a valid id (submission failures surface through the callback, which
+/// still fires exactly once).
+using OpId = std::uint64_t;
+
+/// Most iovec entries one AsyncSendSome accepts (mirrors WriteFrameV's
+/// part limit plus the frame prefix).
+inline constexpr unsigned kMaxSendIoVec = 9;
+
+class EventLoop {
+ public:
+  virtual ~EventLoop() = default;
+
+  /// Runs `fn` on the loop thread (thread-safe, callable from anywhere).
+  /// After Stop, tasks are destroyed without running.
+  virtual void Post(std::function<void()> fn) = 0;
+
+  // --- Operations (loop thread only; completion via loop iteration) ----
+
+  /// Accepts one connection; result is the new fd (CLOEXEC).
+  virtual OpId AsyncAccept(int listen_fd, IoCallback cb) = 0;
+
+  /// Receives at least 1 byte into `dst` (0 = orderly peer close).
+  virtual OpId AsyncRecvSome(int fd, std::span<std::byte> dst,
+                             IoCallback cb) = 0;
+
+  /// Sends some bytes from `iov` (gather write; at most kMaxSendIoVec
+  /// entries, copied into the op — the array may die, the *buffers* must
+  /// outlive the completion). Partial sends are normal; resubmit the
+  /// remainder.
+  virtual OpId AsyncSendSome(int fd, const iovec* iov, unsigned iov_count,
+                             IoCallback cb) = 0;
+
+  /// pread-style file read at `offset`. On the epoll engine this runs on
+  /// the blocking-offload pool against a dup() of `fd`, so the caller
+  /// may close `fd` as soon as the callback fires.
+  virtual OpId AsyncReadFile(int fd, std::span<std::byte> dst,
+                             std::uint64_t offset, IoCallback cb) = 0;
+
+  /// Requests cancellation of a pending op (loop thread only). The op's
+  /// callback still fires exactly once — with -ECANCELED if the cancel
+  /// won, or its real result if completion raced. No-op for unknown or
+  /// already-completed ids.
+  virtual void Cancel(OpId id) = 0;
+
+  virtual bool OnLoopThread() const = 0;
+};
+
+struct EventEngineOptions {
+  enum class Kind {
+    kAuto,   // io_uring when compiled in and the kernel supports it
+    kUring,  // io_uring, falling back to epoll if unsupported
+    kEpoll,  // force the fallback engine
+  };
+  Kind kind = Kind::kAuto;
+  /// Event-loop worker threads (0 = min(hardware_concurrency, 4)).
+  std::uint32_t workers = 0;
+  /// SQ depth per io_uring loop (batched submissions flush through one
+  /// io_uring_enter per loop iteration).
+  std::uint32_t uring_entries = 256;
+  /// Blocking-offload pool size (0 = max(2, workers)). The epoll engine
+  /// runs file reads here; both engines expose it via Offload() for
+  /// blocking work that must stay off the loops.
+  std::uint32_t offload_threads = 0;
+};
+
+class EventEngine {
+ public:
+  /// Builds an engine per `opts.kind` (kAuto/kUring degrade to epoll
+  /// when io_uring is compiled out or the kernel probe fails). Never
+  /// returns null. The engine starts stopped; call Start().
+  static std::unique_ptr<EventEngine> Create(const EventEngineOptions& opts);
+
+  /// True when the io_uring implementation was compiled in
+  /// (PRISMA_IO_URING=ON and <linux/io_uring.h> present).
+  static bool UringCompiledIn();
+
+  /// UringCompiledIn() plus a one-time runtime probe: io_uring_setup
+  /// succeeds and the kernel reports every opcode the loop uses.
+  static bool UringSupported();
+
+  virtual ~EventEngine() = default;
+
+  virtual Status Start() = 0;
+  /// Stops and joins every loop and the offload pool. Drains pending
+  /// operations (see completion contract above). Idempotent.
+  virtual void Stop() = 0;
+
+  /// "io_uring" or "epoll" — the implementation actually selected.
+  virtual std::string_view name() const = 0;
+
+  virtual std::size_t worker_count() const = 0;
+  /// worker_count() plus the offload pool: the total threads this engine
+  /// owns (the number benchmarks report as "server threads").
+  virtual std::size_t thread_count() const = 0;
+
+  /// Loop `i` (i < worker_count()). Assign each fd to one loop and keep
+  /// all its operations there.
+  virtual EventLoop& LoopAt(std::size_t i) = 0;
+
+  /// Bounded executor for blocking work (backend pass-through reads,
+  /// stage control calls) that must never run on a loop thread.
+  virtual ThreadPool& Offload() = 0;
+};
+
+}  // namespace prisma

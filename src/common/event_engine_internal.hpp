@@ -1,0 +1,342 @@
+// Shared internals of the two EventEngine implementations (epoll in
+// event_engine.cpp, io_uring in uring_engine.cpp). Not installed API —
+// include only from those translation units and their tests.
+#pragma once
+
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/event_engine.hpp"
+#include "common/hot_path.hpp"
+#include "common/logging.hpp"
+#include "common/mutex.hpp"
+
+namespace prisma::detail {
+
+/// Built by event_engine.cpp (always available).
+std::unique_ptr<EventEngine> MakeEpollEngine(const EventEngineOptions& opts);
+
+/// Built by uring_engine.cpp. Returns null when io_uring is compiled out
+/// (PRISMA_IO_URING=OFF / header missing) or the runtime probe fails.
+std::unique_ptr<EventEngine> MakeUringEngine(const EventEngineOptions& opts);
+
+/// One-time runtime probe (false when compiled out).
+bool UringRuntimeProbe();
+
+/// Resolved worker/offload counts for `opts` (applies the 0 = default
+/// rules documented on EventEngineOptions).
+inline std::uint32_t ResolvedWorkers(const EventEngineOptions& opts) {
+  if (opts.workers > 0) return opts.workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : (hw < 4 ? hw : 4);
+}
+
+inline std::uint32_t ResolvedOffload(const EventEngineOptions& opts) {
+  if (opts.offload_threads > 0) return opts.offload_threads;
+  const std::uint32_t w = ResolvedWorkers(opts);
+  return w < 2 ? 2 : w;
+}
+
+// ---------------------------------------------------------------------------
+// Op records.
+//
+// Every pending operation is one slab-resident record addressed by a
+// {slot, generation} OpId. The slab is confined to its loop thread, so
+// it needs no lock; records recycle through a free list and the only
+// allocation is slab growth (deliberately cold).
+
+struct Op {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kAccept,
+    kRecv,
+    kSend,
+    kFile,
+    kInternal,  // engine bookkeeping (eventfd read, async cancel)
+  };
+
+  Kind kind = Kind::kNone;
+  bool live = false;
+  bool cancel_requested = false;
+  /// Epoll engine: op is parked on the epoll set waiting for readiness.
+  bool armed = false;
+  /// Uring engine: an ASYNC_CANCEL targeting this op was submitted.
+  bool cancel_submitted = false;
+  std::uint32_t gen = 1;
+  std::uint32_t slot = 0;
+  std::uint32_t next_free = 0;
+
+  int fd = -1;
+  IoCallback cb;
+  std::byte* buf = nullptr;  // kRecv / kFile destination
+  std::size_t len = 0;
+  std::uint64_t offset = 0;  // kFile
+  iovec iov[kMaxSendIoVec] = {};
+  unsigned iov_count = 0;
+  msghdr msg = {};  // kSend: must stay stable until completion
+  /// Set when the submission path already knows the result (bad args,
+  /// dup failure): the dispatch pass completes the op without a syscall.
+  int immediate_res = 0;
+  bool has_immediate_res = false;
+};
+
+inline constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+class OpSlab {
+ public:
+  static OpId IdOf(const Op& op) {
+    return (static_cast<OpId>(op.gen) << 32) |
+           (static_cast<OpId>(op.slot) + 1);
+  }
+
+  PRISMA_HOT_PATH Op* Acquire(Op::Kind kind) {
+    // prisma-lint: allow(hot-path-purity, slab growth: amortizes to the
+    // high-water mark of concurrent ops, zero at steady state)
+    if (free_head_ == kNoSlot) Grow();
+    Op* op = index_[free_head_];
+    free_head_ = op->next_free;
+    const std::uint32_t gen = op->gen;
+    const std::uint32_t slot = op->slot;
+    *op = Op{};
+    op->gen = gen;
+    op->slot = slot;
+    op->kind = kind;
+    op->live = true;
+    ++live_;
+    return op;
+  }
+
+  /// Invalidates every outstanding OpId for this record (generation
+  /// bump) and returns it to the free list.
+  PRISMA_HOT_PATH void Release(Op* op) {
+    op->live = false;
+    op->kind = Op::Kind::kNone;
+    ++op->gen;
+    op->next_free = free_head_;
+    free_head_ = op->slot;
+    --live_;
+  }
+
+  /// The record for `id`, or null when the id is stale (completed /
+  /// recycled) or malformed.
+  PRISMA_HOT_PATH Op* Find(OpId id) const {
+    if (id == 0) return nullptr;
+    const auto slot = static_cast<std::uint32_t>((id & 0xffffffffu) - 1);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= index_.size()) return nullptr;
+    Op* op = index_[slot];
+    if (!op->live || op->gen != gen) return nullptr;
+    return op;
+  }
+
+  std::size_t live_count() const { return live_; }
+
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (Op* op : index_) {
+      if (op->live) fn(op);
+    }
+  }
+
+ private:
+  /// Cold: slab growth is the only allocation in op management. A loop
+  /// that has ever had K concurrent operations never grows again below
+  /// that high-water mark.
+  void Grow() {
+    constexpr std::size_t kChunk = 64;
+    auto chunk = std::make_unique<Op[]>(kChunk);
+    const auto base = static_cast<std::uint32_t>(index_.size());
+    index_.reserve(index_.size() + kChunk);
+    for (std::size_t i = 0; i < kChunk; ++i) {
+      Op* op = &chunk[i];
+      op->slot = base + static_cast<std::uint32_t>(i);
+      op->next_free = (i + 1 < kChunk) ? op->slot + 1 : free_head_;
+      index_.push_back(op);
+    }
+    free_head_ = base;
+    chunks_.push_back(std::move(chunk));
+  }
+
+  std::vector<std::unique_ptr<Op[]>> chunks_;
+  std::vector<Op*> index_;  // slot -> record (stable)
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Posted-task mailbox: the only cross-thread channel into a loop.
+
+class TaskMailbox {
+ public:
+  ~TaskMailbox() { CloseFd(); }
+
+  Status Open() {
+    efd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (efd_ < 0) {
+      return Status::IoError(std::string("eventfd: ") + std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+
+  void CloseFd() {
+    if (efd_ >= 0) {
+      ::close(efd_);
+      efd_ = -1;
+    }
+  }
+
+  int event_fd() const { return efd_; }
+
+  /// Thread-safe. After RejectFurther, tasks are destroyed unrun.
+  void Push(std::function<void()> fn) {
+    bool accepted = false;
+    {
+      MutexLock lock(mu_);
+      if (accepting_) {
+        tasks_.push_back(std::move(fn));
+        accepted = true;
+      }
+    }
+    // `fn` (and its captures) die here when rejected.
+    if (accepted) Kick();
+  }
+
+  /// Wakes the loop without queueing work (Stop uses this).
+  void Kick() {
+    const std::uint64_t one = 1;
+    // The eventfd is non-blocking; EAGAIN (counter saturated) still
+    // leaves it readable, which is all a kick needs.
+    [[maybe_unused]] const ssize_t r =
+        ::write(efd_, &one, sizeof(one));
+  }
+
+  /// Loop thread: runs every queued task. Returns how many ran.
+  std::size_t Drain() {
+    {
+      MutexLock lock(mu_);
+      running_.swap(tasks_);
+    }
+    const std::size_t n = running_.size();
+    for (auto& fn : running_) fn();
+    running_.clear();
+    return n;
+  }
+
+  /// Loop thread: consumes pending eventfd kicks (nonblocking).
+  void ConsumeEvent() {
+    std::uint64_t count = 0;
+    [[maybe_unused]] const ssize_t r =
+        ::read(efd_, &count, sizeof(count));
+  }
+
+  /// After this, Push destroys tasks instead of queueing them.
+  void RejectFurther() {
+    MutexLock lock(mu_);
+    accepting_ = false;
+  }
+
+ private:
+  Mutex mu_{LockRank::kLeaf};
+  std::vector<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  bool accepting_ GUARDED_BY(mu_) = true;
+  // prisma-lint: unguarded(loop-thread only: swap target for Drain)
+  std::vector<std::function<void()>> running_;
+  // prisma-lint: unguarded(written once in Open before the loop starts)
+  int efd_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Engine scaffolding shared by both implementations. `Loop` must derive
+// from EventLoop and provide:
+//   Status Open(const EventEngineOptions& opts, ThreadPool* offload);
+//   void Run();          // thread body; exits after drain
+//   void RequestStop();  // thread-safe
+//   void CloseFds();     // after join
+template <typename Loop>
+class EngineImpl final : public EventEngine {
+ public:
+  EngineImpl(std::string_view name, const EventEngineOptions& opts)
+      : name_(name),
+        opts_(opts),
+        workers_(ResolvedWorkers(opts)),
+        offload_n_(ResolvedOffload(opts)) {}
+
+  ~EngineImpl() override { Stop(); }
+
+  Status Start() override {
+    if (running_) return Status::FailedPrecondition("engine already running");
+    offload_ = std::make_unique<ThreadPool>(offload_n_);
+    loops_.clear();
+    for (std::uint32_t i = 0; i < workers_; ++i) {
+      auto loop = std::make_unique<Loop>();
+      if (Status s = loop->Open(opts_, offload_.get()); !s.ok()) {
+        for (auto& l : loops_) l->CloseFds();
+        loops_.clear();
+        offload_->Shutdown();
+        offload_.reset();
+        return s;
+      }
+      loops_.push_back(std::move(loop));
+    }
+    threads_.reserve(workers_);
+    for (auto& loop : loops_) {
+      threads_.emplace_back([l = loop.get()] { l->Run(); });
+    }
+    running_ = true;
+    return Status::Ok();
+  }
+
+  void Stop() override {
+    if (!running_) return;
+    running_ = false;
+    for (auto& loop : loops_) loop->RequestStop();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+    for (auto& loop : loops_) loop->CloseFds();
+    // The loop objects stay alive (destroyed with the engine, not here):
+    // completions that outlive Stop — e.g. a buffer waiter delivered
+    // long after teardown — hold an engine reference and Post into the
+    // stopped loop, whose mailbox destroys the task unrun. Destroying
+    // the loops here would turn that documented no-op into a
+    // use-after-free.
+    //
+    // After the loops: a draining loop may still hand completions to the
+    // offload pool's posts; the pool itself drains queued work on
+    // Shutdown (tasks posting to a stopped loop are dropped there). The
+    // pool object likewise stays alive — Submit after Shutdown runs
+    // inline, so Offload() stays a valid reference for stragglers.
+    offload_->Shutdown();
+  }
+
+  std::string_view name() const override { return name_; }
+  std::size_t worker_count() const override { return workers_; }
+  std::size_t thread_count() const override {
+    return static_cast<std::size_t>(workers_) + offload_n_;
+  }
+  EventLoop& LoopAt(std::size_t i) override { return *loops_[i]; }
+  ThreadPool& Offload() override { return *offload_; }
+
+ private:
+  std::string_view name_;
+  EventEngineOptions opts_;
+  std::uint32_t workers_;
+  std::uint32_t offload_n_;
+  // All mutated only in Start/Stop, which the owner serializes (the
+  // UdsServer CAS pattern); loops are internally synchronized.
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::vector<std::thread> threads_;
+  std::unique_ptr<ThreadPool> offload_;
+  bool running_ = false;
+};
+
+}  // namespace prisma::detail

@@ -11,9 +11,11 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "dataplane/types.hpp"
 
 namespace prisma::dataplane {
@@ -49,6 +51,28 @@ class OptimizationObject {
     (void)offset;
     (void)max_bytes;
     return Status::FailedPrecondition("ReadRef unsupported by this object");
+  }
+
+  /// Allocation-light completion callback for ReadRefAsync.
+  struct ReadRefWaiter {
+    void (*fn)(void* ctx, Result<SampleView> result) = nullptr;
+    void* ctx = nullptr;
+  };
+
+  /// Non-blocking ReadRef for the reactor data plane: never blocks the
+  /// calling thread. The callback fires exactly once — synchronously on
+  /// the calling thread (resident sample, early error) or later on
+  /// whichever thread makes the bytes available. kFailedPrecondition
+  /// means the same as for ReadRef: fall back to Read(), which the
+  /// caller must run where blocking is acceptable. The default offloads
+  /// the blocking ReadRef to `offload`, so objects without a native
+  /// async path keep working behind a reactor at bounded-thread cost.
+  virtual void ReadRefAsync(const std::string& path, std::uint64_t offset,
+                            std::size_t max_bytes, ThreadPool& offload,
+                            ReadRefWaiter waiter) {
+    offload.Submit([this, path, offset, max_bytes, waiter] {
+      waiter.fn(waiter.ctx, ReadRef(path, offset, max_bytes));
+    });
   }
 
   /// Size of `path` as the object would serve it (metadata intercept for

@@ -43,7 +43,24 @@ Status PrefetchObject::Start() {
     MutexLock lock(timeline_mu_);
     reader_timeline_.Record(clock_->Now(), 0);
   }
-  ReconcileProducers();
+  if (options_.io_depth > 0) {
+    // Pump mode: outstanding I/O is the knob, thread count is constant.
+    target_io_depth_.store(
+        std::min(options_.io_depth, std::max(1u, options_.max_io_depth)),
+        std::memory_order_release);
+    EventEngineOptions eopts;
+    eopts.workers = 1;
+    eopts.offload_threads = 2;
+    pump_engine_ = EventEngine::Create(eopts);
+    if (Status s = pump_engine_->Start(); !s.ok()) {
+      pump_engine_.reset();
+      running_.store(false, std::memory_order_release);
+      return s;
+    }
+    pump_thread_ = std::thread([this] { PumpLoop(); });
+  } else {
+    ReconcileProducers();
+  }
   return Status::Ok();
 }
 
@@ -62,6 +79,14 @@ void PrefetchObject::Stop() {
   }
   for (auto& p : retired) {
     if (p.joinable()) p.join();
+  }
+  if (pump_thread_.joinable()) pump_thread_.join();
+  if (pump_engine_ != nullptr) {
+    // Drains every outstanding async read (-ECANCELED) and runs the
+    // already-queued blocking inserts to completion, so no pump
+    // completion can touch this object after Stop returns.
+    pump_engine_->Stop();
+    pump_engine_.reset();
   }
   MutexLock tl(timeline_mu_);
   // prisma-lint: allow(no-blocking-under-lock, OccupancyTimeline::Finish is in-memory; the blocking Finish is RecordWriter's)
@@ -167,6 +192,139 @@ void PrefetchObject::ProducerLoop(std::uint32_t index) {
   }
 }
 
+/// Heap state of one in-flight pump read; freed by whichever completion
+/// path finishes it (success insert, final failure, or Stop's drain).
+struct PrefetchObject::PumpRead {
+  PrefetchObject* self = nullptr;
+  std::string name;
+  std::uint32_t attempt = 0;
+};
+
+void PrefetchObject::PumpLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const std::uint32_t depth =
+        std::max(1u, target_io_depth_.load(std::memory_order_acquire));
+    {
+      MutexLock lock(pump_mu_);
+      if (pump_outstanding_ >= depth) {
+        // Re-check the live knob and running_ at least this often.
+        pump_cv_.WaitFor(pump_mu_, kProducerPollInterval);
+        continue;
+      }
+    }
+    auto name = filename_queue_.PopFor(kProducerPollInterval);
+    if (!name) {
+      if (filename_queue_.closed()) break;
+      continue;
+    }
+
+    // QoS reservation, same as the thread-mode producers: pay the byte
+    // budget before the read is issued (the pump thread may sleep; the
+    // outstanding reads keep flowing meanwhile).
+    if (const auto bucket = CurrentBucket()) {
+      const auto size = backend_->FileSize(*name);
+      if (size.ok()) {
+        const Nanos wait = bucket->Reserve(*size);
+        if (wait.count() > 0) std::this_thread::sleep_for(wait);
+      }
+    }
+
+    {
+      MutexLock lock(pump_mu_);
+      ++pump_outstanding_;
+    }
+    RecordActiveReaders(+1);
+    StartPumpRead(new PumpRead{this, std::move(*name), 0});
+  }
+}
+
+void PrefetchObject::StartPumpRead(PumpRead* op) {
+  storage::StorageBackend::AsyncIo io;
+  io.loop = &pump_engine_->LoopAt(0);
+  io.offload = &pump_engine_->Offload();
+  backend_->ReadAllSharedAsync(op->name, pool_, io,
+                               {&PrefetchObject::OnPumpRead, op});
+}
+
+// prisma-lint: allow(no-payload-copy, async completion signature: the
+// payload arrives by value from the backend and is moved onward)
+void PrefetchObject::OnPumpRead(void* ctx, Result<SamplePayload> result) {
+  auto* op = static_cast<PumpRead*>(ctx);
+  PrefetchObject* self = op->self;
+  self->RecordActiveReaders(-1);
+
+  if (!result.ok()) {
+    if (self->running_.load(std::memory_order_acquire) &&
+        op->attempt < self->options_.read_retries) {
+      // Transient fault: back off on the offload pool (this thread may
+      // be the event loop — it must not sleep) and retry.
+      ++op->attempt;
+      self->read_retries_.fetch_add(1, std::memory_order_relaxed);
+      self->pump_engine_->Offload().Submit([op] {
+        PrefetchObject* s = op->self;
+        std::this_thread::sleep_for(s->options_.retry_backoff * op->attempt);
+        if (!s->running_.load(std::memory_order_acquire)) {
+          s->buffer_.MarkFailed(op->name);
+          s->FinishPumpRead();
+          delete op;
+          return;
+        }
+        s->RecordActiveReaders(+1);
+        s->StartPumpRead(op);
+      });
+      return;
+    }
+    self->read_failures_.fetch_add(1, std::memory_order_relaxed);
+    PRISMA_LOG(kWarn, "prefetch")
+        << "pump gave up on " << op->name << ": "
+        << result.status().ToString();
+    self->buffer_.MarkFailed(op->name);
+    self->FinishPumpRead();
+    delete op;
+    return;
+  }
+  if (result->size() > self->options_.max_sample_bytes) {
+    self->oversize_rejects_.fetch_add(1, std::memory_order_relaxed);
+    self->buffer_.MarkFailed(op->name);
+    self->FinishPumpRead();
+    delete op;
+    return;
+  }
+
+  // The capacity gate may block, so the insert runs on the offload pool
+  // (never on the event loop). Waiting consumers bypass the gate via the
+  // buffer's direct handoff, exactly as in thread mode.
+  self->pump_engine_->Offload().Submit(
+      [op, payload = std::move(*result)]() mutable {
+        PrefetchObject* s = op->self;
+        // prisma-lint: allow(no-payload-copy, refcount bump only:
+        // SamplePayload copies share the underlying bytes)
+        SamplePayload alias = payload;
+        const Status inserted =
+            s->buffer_.Insert(Sample{op->name, std::move(payload)}, [s] {
+              return !s->running_.load(std::memory_order_acquire);
+            });
+        if (inserted.code() == StatusCode::kCancelled) {
+          // Stopping mid-insert: land the completed read work with a
+          // forced slot rather than dropping it (same rationale as the
+          // thread-mode producers).
+          if (!s->buffer_.InsertNow(Sample{op->name, std::move(alias)}).ok()) {
+            s->buffer_.MarkFailed(op->name);  // closed under us
+          }
+        }
+        s->FinishPumpRead();
+        delete op;
+      });
+}
+
+void PrefetchObject::FinishPumpRead() {
+  {
+    MutexLock lock(pump_mu_);
+    if (pump_outstanding_ > 0) --pump_outstanding_;
+  }
+  pump_cv_.NotifyOne();
+}
+
 std::shared_ptr<storage::TokenBucket> PrefetchObject::CurrentBucket() const {
   MutexLock lock(rate_mu_);
   return rate_bucket_;
@@ -209,52 +367,11 @@ void PrefetchObject::ReconcileProducers() {
 }
 
 PRISMA_HOT_PATH
-Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
-                                           std::uint64_t offset,
-                                           std::size_t max_bytes) {
-  bool announced;
-  {
-    MutexLock lock(announced_mu_);
-    announced = announced_.find(path) != announced_.end();
-  }
-  if (!announced || !running_.load(std::memory_order_acquire)) {
-    // Pass-through territory: e.g. validation files (the prototype does
-    // not prefetch those — §V.A) or reads before Start(). The caller
-    // falls back to Read(), which serves from the backend.
-    return Status::FailedPrecondition("not buffered: " + path);
-  }
-
-  // Chunked consumption support: a Take()n sample's payload stays parked
-  // in taken_ until the consumer has read past its end.
+std::optional<Result<SampleView>> PrefetchObject::TryServeParked(
+    const std::string& path, std::uint64_t offset, std::size_t max_bytes) {
   MutexLock lock(taken_mu_);
   auto it = taken_.find(path);
-  if (it == taken_.end()) {
-    lock.Unlock();
-    if (offset > 0) {
-      // Likely an EOF probe after the sample was consumed (a read loop's
-      // final call). Never block on the buffer for bytes that cannot
-      // exist; answer from metadata instead.
-      // prisma-lint: allow(hot-path-purity, EOF probe: at most once per
-      // consumed sample, and metadata beats blocking on the buffer)
-      const auto size = backend_->FileSize(path);
-      if (size.ok() && offset >= *size) return SampleView{};
-    }
-    auto sample = buffer_.Take(path);
-    if (!sample.ok()) {
-      // Buffer closed mid-epoch, or the producer gave up on this sample
-      // (persistent fault / oversized file): degrade to pass-through —
-      // correctness over acceleration. Retire the name so the rest of
-      // this file's chunks (and later epochs until re-announced) skip
-      // straight to pass-through instead of blocking on the buffer.
-      RetireAnnounced(path);
-      return Status::FailedPrecondition("sample failed over: " + path);
-    }
-    lock.Lock();
-    // prisma-lint: allow(hot-path-purity, parks the taken payload for
-    // chunked reads: one node per in-flight sample, payload moved not
-    // copied)
-    it = taken_.emplace(path, std::move(sample->payload)).first;
-  }
+  if (it == taken_.end()) return std::nullopt;
 
   // Grab a ref under the lock; the bytes stay alive through it even if
   // another chunk's read erases the entry, so no copy happens in here.
@@ -278,9 +395,145 @@ Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
   // Both mutexes are kStage-ranked and deliberately never nest:
   // announced_mu_ is only taken after taken_mu_ is released.
   if (consumed) RetireAnnounced(path);
+  if (eof) return Result<SampleView>(SampleView{});
+  reads_served_.fetch_add(1, std::memory_order_relaxed);
+  return Result<SampleView>(
+      SampleView{std::move(payload), static_cast<std::size_t>(offset), n});
+}
+
+PRISMA_HOT_PATH
+Result<SampleView> PrefetchObject::ParkAndServe(const std::string& path,
+                                                // prisma-lint: allow(no-payload-copy, sink: the caller moves the payload in to be parked)
+                                                SamplePayload payload,
+                                                std::uint64_t offset,
+                                                std::size_t max_bytes) {
+  MutexLock lock(taken_mu_);
+  // Parks the taken payload for chunked reads: one node per in-flight
+  // sample, payload moved not copied.
+  taken_.insert_or_assign(path, std::move(payload));
+  // Serve the first chunk under the same hold (same math as
+  // TryServeParked, which cannot be reused here without dropping the
+  // lock and racing a concurrent reader of this path).
+  const SamplePayload& parked = taken_.find(path)->second;
+  // prisma-lint: allow(no-payload-copy, refcount bump only: SamplePayload
+  // copies share the underlying bytes)
+  SamplePayload ref = parked;
+  const bool eof = offset >= ref.size();
+  const std::size_t n =
+      eof ? 0
+          : static_cast<std::size_t>(
+                std::min<std::uint64_t>(max_bytes, ref.size() - offset));
+  const bool consumed = offset + n >= ref.size();
+  if (consumed) taken_.erase(path);
+  lock.Unlock();
+  if (consumed) RetireAnnounced(path);
   if (eof) return SampleView{};
   reads_served_.fetch_add(1, std::memory_order_relaxed);
-  return SampleView{std::move(payload), static_cast<std::size_t>(offset), n};
+  return SampleView{std::move(ref), static_cast<std::size_t>(offset), n};
+}
+
+PRISMA_HOT_PATH
+Result<SampleView> PrefetchObject::ReadRef(const std::string& path,
+                                           std::uint64_t offset,
+                                           std::size_t max_bytes) {
+  bool announced;
+  {
+    MutexLock lock(announced_mu_);
+    announced = announced_.find(path) != announced_.end();
+  }
+  if (!announced || !running_.load(std::memory_order_acquire)) {
+    // Pass-through territory: e.g. validation files (the prototype does
+    // not prefetch those — §V.A) or reads before Start(). The caller
+    // falls back to Read(), which serves from the backend.
+    return Status::FailedPrecondition("not buffered: " + path);
+  }
+
+  // Chunked consumption support: a Take()n sample's payload stays parked
+  // in taken_ until the consumer has read past its end.
+  if (auto served = TryServeParked(path, offset, max_bytes)) return *served;
+  if (offset > 0) {
+    // Likely an EOF probe after the sample was consumed (a read loop's
+    // final call). Never block on the buffer for bytes that cannot
+    // exist; answer from metadata instead.
+    // prisma-lint: allow(hot-path-purity, EOF probe: at most once per
+    // consumed sample, and metadata beats blocking on the buffer)
+    const auto size = backend_->FileSize(path);
+    if (size.ok() && offset >= *size) return SampleView{};
+  }
+  auto sample = buffer_.Take(path);
+  if (!sample.ok()) {
+    // Buffer closed mid-epoch, or the producer gave up on this sample
+    // (persistent fault / oversized file): degrade to pass-through —
+    // correctness over acceleration. Retire the name so the rest of
+    // this file's chunks (and later epochs until re-announced) skip
+    // straight to pass-through instead of blocking on the buffer.
+    RetireAnnounced(path);
+    return Status::FailedPrecondition("sample failed over: " + path);
+  }
+  return ParkAndServe(path, std::move(sample->payload), offset, max_bytes);
+}
+
+/// Heap state of one in-flight ReadRefAsync waiting on the buffer.
+struct PrefetchObject::AsyncRef {
+  PrefetchObject* self = nullptr;
+  std::string path;
+  std::uint64_t offset = 0;
+  std::size_t max_bytes = 0;
+  ReadRefWaiter waiter;
+};
+
+PRISMA_HOT_PATH
+void PrefetchObject::ReadRefAsync(const std::string& path,
+                                  std::uint64_t offset, std::size_t max_bytes,
+                                  ThreadPool& offload, ReadRefWaiter waiter) {
+  bool announced;
+  {
+    MutexLock lock(announced_mu_);
+    announced = announced_.find(path) != announced_.end();
+  }
+  if (!announced || !running_.load(std::memory_order_acquire)) {
+    waiter.fn(waiter.ctx, Status::FailedPrecondition("not buffered: " + path));
+    return;
+  }
+  if (auto served = TryServeParked(path, offset, max_bytes)) {
+    waiter.fn(waiter.ctx, std::move(*served));
+    return;
+  }
+  if (offset > 0) {
+    // EOF probe / mid-file first chunk: the sync path may stat the
+    // backend or block on the buffer, so it runs on the offload pool
+    // (bounded; at most once per consumed sample on the common pattern).
+    // prisma-lint: allow(hot-path-purity, hand-off to the offload pool:
+    // one task record per EOF probe / mid-file chunk, not per sample)
+    offload.Submit([this, path, offset, max_bytes, waiter] {
+      waiter.fn(waiter.ctx, ReadRef(path, offset, max_bytes));
+    });
+    return;
+  }
+  // First chunk of a still-in-flight sample: register a waiter and let
+  // the delivering producer complete us — no parked thread.
+  // prisma-lint: allow(hot-path-purity, one state record per in-flight
+  // async read; freed by the exactly-once completion)
+  auto* st = new AsyncRef{this, path, offset, max_bytes, waiter};
+  buffer_.TakeAsync(path, {&PrefetchObject::OnTakeForRef, st});
+}
+
+// prisma-lint: allow(no-payload-copy, async completion signature: the
+// taken sample arrives by value and its payload is moved onward)
+void PrefetchObject::OnTakeForRef(void* ctx, Result<Sample> result) {
+  std::unique_ptr<AsyncRef> st(static_cast<AsyncRef*>(ctx));
+  PrefetchObject* self = st->self;
+  if (!result.ok()) {
+    // Failed over (producer gave up, buffer closed): same degrade-to-
+    // pass-through contract as the sync path.
+    self->RetireAnnounced(st->path);
+    st->waiter.fn(st->waiter.ctx, Status::FailedPrecondition(
+                                      "sample failed over: " + st->path));
+    return;
+  }
+  st->waiter.fn(st->waiter.ctx,
+                self->ParkAndServe(st->path, std::move(result->payload),
+                                   st->offset, st->max_bytes));
 }
 
 PRISMA_HOT_PATH
@@ -327,7 +580,9 @@ Status PrefetchObject::ApplyKnobs(const StageKnobs& knobs) {
     const std::uint32_t t =
         std::clamp<std::uint32_t>(*knobs.producers, 1, options_.max_producers);
     target_producers_.store(t, std::memory_order_release);
-    if (running_.load(std::memory_order_acquire)) {
+    // In pump mode the producer knob is recorded but spawns no threads —
+    // outstanding I/O (io_depth) is the concurrency knob there.
+    if (running_.load(std::memory_order_acquire) && pump_engine_ == nullptr) {
       // Retirees blocked in a full-buffer Insert re-check their cancel
       // predicate only when woken; kick them so the joins below finish
       // promptly even with no consumer draining the buffer.
@@ -341,6 +596,18 @@ Status PrefetchObject::ApplyKnobs(const StageKnobs& knobs) {
     return buffer_.SetShardCount(*knobs.buffer_shards);
   }
   return Status::Ok();
+}
+
+Status PrefetchObject::ApplyNamedKnob(std::string_view knob, double value) {
+  if (knob == "io_depth") {
+    const auto cap = std::max(1u, options_.max_io_depth);
+    target_io_depth_.store(
+        std::clamp<std::uint32_t>(
+            static_cast<std::uint32_t>(value > 0.0 ? value : 0.0), 1, cap),
+        std::memory_order_release);
+    return Status::Ok();  // live: the pump re-reads it every iteration
+  }
+  return OptimizationObject::ApplyNamedKnob(knob, value);
 }
 
 StageStatsSnapshot PrefetchObject::CollectStats() const {
@@ -381,6 +648,12 @@ StageStatsSnapshot PrefetchObject::CollectStats() const {
 void PrefetchObject::AppendNamedStats(ObjectStatsSection& section) const {
   section.Set("reads_served",
               static_cast<double>(reads_served_.load(std::memory_order_relaxed)));
+  section.Set("io_depth", static_cast<double>(
+                              target_io_depth_.load(std::memory_order_acquire)));
+  {
+    MutexLock lock(pump_mu_);
+    section.Set("outstanding_reads", static_cast<double>(pump_outstanding_));
+  }
   MutexLock lock(rate_mu_);
   section.Set("read_rate_bps", rate_bps_);
 }

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -20,6 +21,7 @@
 
 #include "common/bounded_queue.hpp"
 #include "common/clock.hpp"
+#include "common/event_engine.hpp"
 #include "common/histogram.hpp"
 #include "common/mutex.hpp"
 #include "dataplane/optimization_object.hpp"
@@ -52,6 +54,15 @@ struct PrefetchOptions {
   /// Idle-memory budget of the payload buffer pool backend reads draw
   /// from (chunks recycle instead of hitting the allocator per sample).
   std::uint64_t pool_max_cached_bytes = 256ull * 1024 * 1024;
+  /// Async producer pump: 0 keeps the legacy model (t blocking producer
+  /// threads); > 0 replaces it with ONE pump thread keeping up to
+  /// io_depth whole-file reads outstanding on a private event engine
+  /// (io_uring when available) — outstanding I/O becomes a knob
+  /// ("prefetch.io_depth") decoupled from thread count. Thread cost is
+  /// constant (pump + 1 loop + small offload pool) at any depth.
+  std::uint32_t io_depth = 0;
+  /// Upper bound for the io_depth knob in pump mode.
+  std::uint32_t max_io_depth = 256;
 };
 
 class PrefetchObject final : public OptimizationObject {
@@ -80,9 +91,19 @@ class PrefetchObject final : public OptimizationObject {
   Result<SampleView> ReadRef(const std::string& path, std::uint64_t offset,
                              std::size_t max_bytes) override;
 
+  /// Native-async ReadRef: a resident sample completes synchronously; a
+  /// still-in-flight one registers a SampleBuffer::TakeAsync waiter and
+  /// completes from the delivering producer — no thread parks. Only the
+  /// rare chunked-read tail (offset > 0 with nothing parked) falls back
+  /// to offloading the blocking path.
+  void ReadRefAsync(const std::string& path, std::uint64_t offset,
+                    std::size_t max_bytes, ThreadPool& offload,
+                    ReadRefWaiter waiter) override;
+
   Result<std::uint64_t> FileSize(const std::string& path) override;
 
   Status ApplyKnobs(const StageKnobs& knobs) override;
+  Status ApplyNamedKnob(std::string_view knob, double value) override;
   StageStatsSnapshot CollectStats() const override;
   void AppendNamedStats(ObjectStatsSection& section) const override;
 
@@ -93,7 +114,31 @@ class PrefetchObject final : public OptimizationObject {
   SampleBuffer& buffer() { return buffer_; }
 
  private:
+  /// Heap state of one in-flight async operation (defined in the .cpp).
+  struct AsyncRef;
+  struct PumpRead;
+
   void ProducerLoop(std::uint32_t index);
+  /// Pump-mode producer: pops names and keeps up to io_depth async
+  /// whole-file reads outstanding on pump_engine_.
+  void PumpLoop();
+  void StartPumpRead(PumpRead* op);
+  static void OnPumpRead(void* ctx, Result<SamplePayload> result);
+  void FinishPumpRead() EXCLUDES(pump_mu_);
+  /// SampleBuffer::TakeAsync completion for ReadRefAsync.
+  static void OnTakeForRef(void* ctx, Result<Sample> result);
+  /// Serves a chunk from the parked-sample map, or nullopt if `path` has
+  /// no parked payload.
+  std::optional<Result<SampleView>> TryServeParked(const std::string& path,
+                                                   std::uint64_t offset,
+                                                   std::size_t max_bytes)
+      EXCLUDES(taken_mu_);
+  /// Parks `payload` under `path` and serves the first chunk atomically
+  /// (one taken_mu_ hold, so a racing reader of the same path cannot
+  /// consume the entry in between).
+  Result<SampleView> ParkAndServe(const std::string& path,
+                                  SamplePayload payload, std::uint64_t offset,
+                                  std::size_t max_bytes) EXCLUDES(taken_mu_);
   std::shared_ptr<storage::TokenBucket> CurrentBucket() const
       EXCLUDES(rate_mu_);
   void RecordActiveReaders(std::int32_t delta) EXCLUDES(timeline_mu_);
@@ -122,6 +167,19 @@ class PrefetchObject final : public OptimizationObject {
   std::vector<std::thread> producers_ GUARDED_BY(producers_mu_);
   std::atomic<std::uint32_t> target_producers_{0};
   std::atomic<bool> running_{false};
+
+  // Pump mode (options_.io_depth > 0): the private engine driving async
+  // reads, the single pump thread, and the outstanding-read gauge the
+  // pump paces against. Both are written only in Start/Stop, serialized
+  // by the running_ CAS.
+  // prisma-lint: unguarded(written only in Start/Stop, serialized by the running_ CAS)
+  std::unique_ptr<EventEngine> pump_engine_;
+  // prisma-lint: unguarded(written only in Start/Stop, serialized by the running_ CAS)
+  std::thread pump_thread_;
+  std::atomic<std::uint32_t> target_io_depth_{0};
+  mutable Mutex pump_mu_{LockRank::kStage};
+  CondVar pump_cv_;
+  std::uint32_t pump_outstanding_ GUARDED_BY(pump_mu_) = 0;
 
   // The set of announced (prefetchable) names; other paths pass through.
   mutable Mutex announced_mu_{LockRank::kStage};

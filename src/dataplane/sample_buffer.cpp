@@ -77,6 +77,42 @@ void SampleBuffer::ReleaseSlot() {
   if (capacity_waiters_.load(std::memory_order_seq_cst) > 0) {
     WakeBlockedProducers();
   }
+  if (slot_waiter_count_.load(std::memory_order_seq_cst) > 0) {
+    NotifySlotWaiters();
+  }
+}
+
+void SampleBuffer::NotifySlotWaiters() {
+  std::vector<SlotWaiter> waiters;
+  {
+    MutexLock lock(slot_waiters_mu_);
+    waiters.swap(slot_waiters_);
+    slot_waiter_count_.store(0, std::memory_order_seq_cst);
+  }
+  // Outside every lock: the callbacks only schedule work (contract), but
+  // even a misbehaving one must not deadlock against a shard mutex.
+  for (const SlotWaiter& w : waiters) w.fn(w.ctx);
+}
+
+void SampleBuffer::WaitForSlot(void (*fn)(void* ctx), void* ctx) {
+  const auto slot_free = [this] {
+    return slots_used_.load(std::memory_order_seq_cst) <
+               capacity_.load(std::memory_order_seq_cst) ||
+           closed_.load(std::memory_order_seq_cst);
+  };
+  if (slot_free()) {
+    fn(ctx);
+    return;
+  }
+  {
+    MutexLock lock(slot_waiters_mu_);
+    slot_waiters_.push_back({fn, ctx});
+  }
+  slot_waiter_count_.fetch_add(1, std::memory_order_seq_cst);
+  // Same race-closing re-check as the producer capacity handshake: a
+  // slot freed between the probe and the registration must not strand
+  // the waiter.
+  if (slot_free()) NotifySlotWaiters();
 }
 
 void SampleBuffer::WakeBlockedProducers() {
@@ -168,6 +204,22 @@ Status SampleBuffer::Insert(Sample sample, const CancelPredicate& cancelled) {
       }
     }
 
+    if (existing == shard.samples.end()) {
+      if (auto handoff = ExtractWaiterLocked(shard, sample.name)) {
+        // Direct delivery to a TakeAsync waiter: the sample never lands
+        // in the resident map, and the token acquired above releases as
+        // soon as the lock drops (net zero occupancy, like a Take that
+        // raced the insert).
+        ++shard.counters.inserts;
+        Sample out = std::move(sample);
+        const AsyncTake w = *handoff;
+        lock.Unlock();
+        ReleaseSlot();
+        w.waiter.fn(w.waiter.ctx, std::move(out));
+        return Status::Ok();
+      }
+    }
+
     shard.bytes += sample.size();
     if (existing != shard.samples.end()) {
       shard.bytes -= existing->second.size();
@@ -202,6 +254,17 @@ Status SampleBuffer::InsertNow(Sample sample) {
     auto existing = shard.samples.find(sample.name);
     if (existing == shard.samples.end() && !TryAcquireSlot()) {
       ForceAcquireSlot();  // over-capacity until the matching Take
+    }
+    if (existing == shard.samples.end()) {
+      if (auto handoff = ExtractWaiterLocked(shard, sample.name)) {
+        ++shard.counters.inserts;
+        Sample out = std::move(sample);
+        const AsyncTake w = *handoff;
+        lock.Unlock();
+        ReleaseSlot();
+        w.waiter.fn(w.waiter.ctx, std::move(out));
+        return Status::Ok();
+      }
     }
     shard.bytes += sample.size();
     if (existing != shard.samples.end()) {
@@ -275,6 +338,65 @@ Result<Sample> SampleBuffer::Take(const std::string& name) {
   PRISMA_END_FOR_HOME_SHARD
 }
 
+std::optional<SampleBuffer::AsyncTake> SampleBuffer::ExtractWaiterLocked(
+    Shard& shard, const std::string& name) {
+  auto it = shard.take_waiters.find(name);
+  if (it == shard.take_waiters.end()) return std::nullopt;
+  AsyncTake w = it->second.front();
+  it->second.erase(it->second.begin());
+  if (it->second.empty()) shard.take_waiters.erase(it);
+  if (auto an = shard.awaited_names.find(name);
+      an != shard.awaited_names.end()) {
+    if (--an->second <= 0) shard.awaited_names.erase(an);
+  }
+  ++shard.counters.takes;
+  shard.counters.consumer_wait_time += clock_->Now() - w.start;
+  return w;
+}
+
+PRISMA_HOT_PATH
+void SampleBuffer::TakeAsync(const std::string& name, TakeWaiter waiter) {
+  PRISMA_FOR_HOME_SHARD(shard, lock, name) {
+    if (shard.failed_names.erase(name) > 0) {
+      lock.Unlock();
+      // Error path only: the message is built once per failed prefetch,
+      // never per served sample.
+      waiter.fn(waiter.ctx, Status::IoError("prefetch failed for " + name));
+      return;
+    }
+    auto it = shard.samples.find(name);
+    if (it != shard.samples.end()) {
+      ++shard.counters.consumer_hits;
+      ++shard.counters.takes;
+      Sample out = std::move(it->second);
+      shard.bytes -= out.size();
+      shard.samples.erase(it);
+      lock.Unlock();
+      ReleaseSlot();
+      waiter.fn(waiter.ctx, std::move(out));
+      return;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      lock.Unlock();
+      waiter.fn(waiter.ctx, Status::Aborted("sample buffer closed"));
+      return;
+    }
+    ++shard.counters.consumer_waits;
+    // Registering in awaited_names keeps the direct-handoff rule intact:
+    // a producer inserting this name bypasses the capacity gate.
+    ++shard.awaited_names[name];
+    // prisma-lint: allow(hot-path-purity, waiter registration: bounded
+    // by concurrent consumers, only on the miss path)
+    shard.take_waiters[name].push_back({waiter, clock_->Now()});
+    lock.Unlock();
+    // Producers blocked on capacity whose sample hashes here re-check
+    // the handoff condition.
+    shard.not_full.NotifyAll();
+    return;
+  }
+  PRISMA_END_FOR_HOME_SHARD
+}
+
 bool SampleBuffer::Contains(const std::string& name) const {
   PRISMA_FOR_HOME_SHARD(shard, lock, name) {
     return shard.samples.find(name) != shard.samples.end();
@@ -284,9 +406,29 @@ bool SampleBuffer::Contains(const std::string& name) const {
 
 void SampleBuffer::MarkFailed(const std::string& name) {
   PRISMA_FOR_HOME_SHARD(shard, lock, name) {
-    shard.failed_names.insert(name);
+    // Async waiters consume the failure directly (they are "the Take that
+    // observes the mark"); the stored mark covers sync waiters and
+    // not-yet-arrived consumers, exactly as before.
+    std::vector<AsyncTake> waiters;
+    if (auto it = shard.take_waiters.find(name);
+        it != shard.take_waiters.end()) {
+      waiters = std::move(it->second);
+      shard.take_waiters.erase(it);
+      if (auto an = shard.awaited_names.find(name);
+          an != shard.awaited_names.end()) {
+        an->second -= static_cast<int>(waiters.size());
+        if (an->second <= 0) shard.awaited_names.erase(an);
+      }
+      for (const AsyncTake& w : waiters) {
+        shard.counters.consumer_wait_time += clock_->Now() - w.start;
+      }
+    }
+    if (waiters.empty()) shard.failed_names.insert(name);
     lock.Unlock();
     shard.sample_arrived.NotifyAll();
+    for (const AsyncTake& w : waiters) {
+      w.waiter.fn(w.waiter.ctx, Status::IoError("prefetch failed for " + name));
+    }
     return;
   }
   PRISMA_END_FOR_HOME_SHARD
@@ -294,11 +436,27 @@ void SampleBuffer::MarkFailed(const std::string& name) {
 
 void SampleBuffer::Close() {
   closed_.store(true, std::memory_order_seq_cst);
+  std::vector<AsyncTake> cancelled;
   for (const auto& shard : shards_) {
-    { MutexLock lock(shard->mu); }
+    {
+      MutexLock lock(shard->mu);
+      for (auto& [name, waiters] : shard->take_waiters) {
+        if (auto an = shard->awaited_names.find(name);
+            an != shard->awaited_names.end()) {
+          an->second -= static_cast<int>(waiters.size());
+          if (an->second <= 0) shard->awaited_names.erase(an);
+        }
+        for (AsyncTake& w : waiters) cancelled.push_back(w);
+      }
+      shard->take_waiters.clear();
+    }
     shard->not_full.NotifyAll();
     shard->sample_arrived.NotifyAll();
   }
+  for (const AsyncTake& w : cancelled) {
+    w.waiter.fn(w.waiter.ctx, Status::Aborted("sample buffer closed"));
+  }
+  NotifySlotWaiters();
 }
 
 void SampleBuffer::Reopen() {
@@ -308,6 +466,7 @@ void SampleBuffer::Reopen() {
 void SampleBuffer::SetCapacity(std::size_t capacity) {
   capacity_.store(capacity == 0 ? 1 : capacity, std::memory_order_seq_cst);
   WakeBlockedProducers();
+  NotifySlotWaiters();  // growth frees effective slots for async producers
 }
 
 Status SampleBuffer::SetShardCount(std::size_t num_shards)

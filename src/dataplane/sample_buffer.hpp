@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -77,6 +78,30 @@ class SampleBuffer {
   /// Consumer side: blocks until `name` is resident, then removes and
   /// returns it (evict-on-consume). Aborted when closed while waiting.
   Result<Sample> Take(const std::string& name);
+
+  /// Allocation-light completion callback for TakeAsync.
+  struct TakeWaiter {
+    void (*fn)(void* ctx, Result<Sample> result) = nullptr;
+    void* ctx = nullptr;
+  };
+
+  /// Non-blocking Take for the reactor data plane. If `name` is resident
+  /// (or already failed/closed), the callback runs synchronously on the
+  /// calling thread; otherwise it is registered as a waiter and runs
+  /// later on whichever producer thread delivers via Insert/InsertNow,
+  /// MarkFailed, or Close (Aborted). Exactly one invocation either way.
+  /// Waiters participate in the direct-handoff capacity bypass just like
+  /// blocked Take calls. The callback must not call back into this
+  /// buffer; hop through an executor first (e.g. EventLoop::Post).
+  void TakeAsync(const std::string& name, TakeWaiter waiter);
+
+  /// One-shot "capacity slot likely free" notification for async
+  /// producers pacing their outstanding reads. Runs `fn(ctx)` now (same
+  /// thread) if occupancy is below capacity or the buffer is closed;
+  /// otherwise once after a slot frees, capacity grows, or Close. The
+  /// signal is advisory — a racing producer may retake the slot — so
+  /// callers re-check and re-arm. Same reentrancy rule as TakeAsync.
+  void WaitForSlot(void (*fn)(void* ctx), void* ctx);
 
   /// Non-blocking probe used by pass-through decisions and tests.
   bool Contains(const std::string& name) const;
@@ -125,6 +150,18 @@ class SampleBuffer {
   Counters GetCounters() const;
 
  private:
+  /// A registered TakeAsync waiter (start time feeds the wait counters).
+  struct AsyncTake {
+    TakeWaiter waiter;
+    Nanos start{0};
+  };
+
+  /// An armed WaitForSlot callback.
+  struct SlotWaiter {
+    void (*fn)(void* ctx) = nullptr;
+    void* ctx = nullptr;
+  };
+
   // Sized to a cacheline multiple so neighbouring shards' mutexes do not
   // false-share.
   struct alignas(64) Shard {
@@ -132,6 +169,10 @@ class SampleBuffer {
     CondVar not_full;
     CondVar sample_arrived;
     std::unordered_map<std::string, Sample> samples GUARDED_BY(mu);
+    // TakeAsync waiters by name (FIFO per name); every entry also counts
+    // in awaited_names so the direct-handoff rule sees it.
+    std::unordered_map<std::string, std::vector<AsyncTake>> take_waiters
+        GUARDED_BY(mu);
     // Names whose prefetch failed permanently (producer gave up); Take
     // consumes the mark and reports the failure to the consumer.
     std::unordered_set<std::string> failed_names GUARDED_BY(mu);
@@ -153,12 +194,22 @@ class SampleBuffer {
   bool TryAcquireSlot();
   void ForceAcquireSlot();
   void ReleaseSlot();
+  /// Pops the FIFO TakeAsync waiter for `name` (if any) and does the
+  /// take-side bookkeeping; the caller delivers outside the shard lock
+  /// and releases the sample's slot token.
+  std::optional<AsyncTake> ExtractWaiterLocked(Shard& shard,
+                                               const std::string& name)
+      REQUIRES(shard.mu);
+  /// Fires every armed WaitForSlot callback (outside all locks).
+  void NotifySlotWaiters();
 
   std::shared_ptr<const Clock> clock_;
 
   // Shard storage is allocated once and never moves or shrinks, so a
   // thread that resolved a shard under a stale modulus still locks a
   // live object (and then re-resolves).
+  // prisma-lint: unguarded(set once in the ctor; per-shard state is
+  // guarded by shard.mu inside Shard)
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> active_shards_;
 
@@ -170,6 +221,12 @@ class SampleBuffer {
   std::atomic<std::size_t> slots_used_{0};
   std::atomic<std::uint32_t> capacity_waiters_{0};
   std::atomic<bool> closed_{false};
+
+  // WaitForSlot registry. The atomic count lets the hot ReleaseSlot skip
+  // the mutex when nobody is armed (same handshake as capacity_waiters_).
+  Mutex slot_waiters_mu_{LockRank::kLeaf};
+  std::vector<SlotWaiter> slot_waiters_ GUARDED_BY(slot_waiters_mu_);
+  std::atomic<std::uint32_t> slot_waiter_count_{0};
 };
 
 }  // namespace prisma::dataplane

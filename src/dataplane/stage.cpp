@@ -23,6 +23,12 @@ Result<SampleView> Stage::ReadRef(const std::string& path,
   return pipeline_.ReadRef(path, offset, max_bytes);
 }
 
+void Stage::ReadRefAsync(const std::string& path, std::uint64_t offset,
+                         std::size_t max_bytes, ThreadPool& offload,
+                         OptimizationObject::ReadRefWaiter waiter) {
+  pipeline_.ReadRefAsync(path, offset, max_bytes, offload, waiter);
+}
+
 Result<std::vector<std::byte>> Stage::ReadAll(const std::string& path,
                                               std::uint64_t expected_size) {
   std::vector<std::byte> buf(static_cast<std::size_t>(expected_size));

@@ -44,6 +44,12 @@ class Stage {
   Result<SampleView> ReadRef(const std::string& path, std::uint64_t offset,
                              std::size_t max_bytes);
 
+  /// Non-blocking ReadRef for reactor callers (see
+  /// OptimizationObject::ReadRefAsync for the completion contract).
+  void ReadRefAsync(const std::string& path, std::uint64_t offset,
+                    std::size_t max_bytes, ThreadPool& offload,
+                    OptimizationObject::ReadRefWaiter waiter);
+
   /// Whole-file convenience used by the adapters.
   Result<std::vector<std::byte>> ReadAll(const std::string& path,
                                          std::uint64_t expected_size);

@@ -53,6 +53,12 @@ Result<SampleView> StagePipeline::ReadRef(const std::string& path,
   return layers_.front()->ReadRef(path, offset, max_bytes);
 }
 
+void StagePipeline::ReadRefAsync(const std::string& path, std::uint64_t offset,
+                                 std::size_t max_bytes, ThreadPool& offload,
+                                 OptimizationObject::ReadRefWaiter waiter) {
+  layers_.front()->ReadRefAsync(path, offset, max_bytes, offload, waiter);
+}
+
 Result<std::uint64_t> StagePipeline::FileSize(const std::string& path) {
   return layers_.front()->FileSize(path);
 }

@@ -52,6 +52,10 @@ class StagePipeline {
                            std::span<std::byte> dst);
   Result<SampleView> ReadRef(const std::string& path, std::uint64_t offset,
                              std::size_t max_bytes);
+  /// Non-blocking ReadRef (see OptimizationObject::ReadRefAsync).
+  void ReadRefAsync(const std::string& path, std::uint64_t offset,
+                    std::size_t max_bytes, ThreadPool& offload,
+                    OptimizationObject::ReadRefWaiter waiter);
   Result<std::uint64_t> FileSize(const std::string& path);
 
   /// Announces the epoch to every layer (outermost-first); every layer is

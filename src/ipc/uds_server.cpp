@@ -7,15 +7,80 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <utility>
+#include <vector>
 
 #include "common/hot_path.hpp"
 #include "common/logging.hpp"
 
 namespace prisma::ipc {
 
+// Per-connection reactor state machine. All non-atomic fields are owned
+// by the connection's event loop thread; cross-thread completions (stage
+// async reads, offloaded dispatches) re-enter through EventLoop::Post.
+// One request is in flight per connection at a time (the protocol is
+// strictly request/response in order), so recv, processing, and send
+// phases never overlap.
+struct UdsServer::Conn {
+  UdsServer* server = nullptr;
+  /// Keeps the engine object receivable for completions that outlive
+  /// Stop(): Post to a stopped engine destroys the task, safely.
+  std::shared_ptr<EventEngine> engine;
+  EventLoop* loop = nullptr;
+  std::atomic<int> fd{-1};
+
+  // --- Loop-thread-only state -----------------------------------------
+  FrameAssembler assembler;
+  OpId recv_op = 0;
+  OpId send_op = 0;
+  int io_pending = 0;    // engine ops in flight (recv/send)
+  bool in_stage = false; // a stage/offload operation is in flight
+  bool closing = false;
+
+  // Send phase: [framed header | payload]. The payload span aliases
+  // either send_view (zero-copy buffered sample) or send_data/scratch.
+  std::byte send_header[kFramedResponseHeaderBytes] = {};
+  dataplane::SampleView send_view;   // payload keepalive for gather sends
+  std::vector<std::byte> send_data;  // owned payloads (stats, errors)
+  std::span<const std::byte> send_payload;
+  std::size_t send_total = 0;
+  std::size_t send_done = 0;
+
+  std::vector<std::byte> scratch;  // pass-through staging, reused
+
+  /// Close-once: whoever wins the exchange owns the ::close.
+  void CloseFdOnce() {
+    const int f = fd.exchange(-1, std::memory_order_acq_rel);
+    if (f >= 0) ::close(f);
+  }
+
+  /// Completion cell for one engine op: owns a shared_ptr so the conn
+  /// outlives its completions. One cell per submitted op.
+  struct Cell {
+    std::shared_ptr<Conn> conn;
+  };
+
+  /// Heap state of one in-flight kRead riding the stage's async path.
+  /// The shared_ptr keeps the connection (and through it the engine)
+  /// alive until the exactly-once completion lands, even if the server
+  /// stopped.
+  struct RefCtx {
+    UdsServer* server = nullptr;
+    std::shared_ptr<Conn> conn;
+    Request req;
+    Result<dataplane::SampleView> view = Status::Internal("pending");
+  };
+};
+
 UdsServer::UdsServer(std::string socket_path,
                      std::shared_ptr<dataplane::Stage> stage)
-    : socket_path_(std::move(socket_path)), stage_(std::move(stage)) {}
+    : UdsServer(std::move(socket_path), std::move(stage), Options{}) {}
+
+UdsServer::UdsServer(std::string socket_path,
+                     std::shared_ptr<dataplane::Stage> stage, Options options)
+    : socket_path_(std::move(socket_path)),
+      stage_(std::move(stage)),
+      options_(options) {}
 
 UdsServer::~UdsServer() { Stop(); }
 
@@ -58,146 +123,381 @@ Status UdsServer::Start() {
     return s;
   }
 
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  engine_ = EventEngine::Create(options_.engine);
+  if (Status s = engine_->Start(); !s.ok()) {
+    engine_.reset();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_ = false;
+    return s;
+  }
+  // AsyncAccept is loop-thread-only; arm it from the loop.
+  engine_->LoopAt(0).Post([this] { ArmAccept(); });
   return Status::Ok();
 }
 
 void UdsServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Wake the accept loop with shutdown (blocked accept4 returns EINVAL),
-  // but close and clear the fd only after the join: the loop reads
-  // listen_fd_, and closing early would let the kernel hand the number
-  // to someone else while accept4 still uses it.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  // Engine Stop drains every pending operation — the accept, every recv
+  // and send — with exactly one -ECANCELED completion each, running the
+  // connection close paths on the loop threads, and joins the offload
+  // pool after its queued dispatches finish. Deterministic and prompt:
+  // nothing here waits on the stage's sample buffer.
+  engine_->Stop();
+  // Connections still parked on a stage operation never saw a
+  // completion; claim and close them. Their eventual stage completions
+  // hold their own shared_ptr references and Post into the stopped
+  // engine, where the tasks are destroyed without running.
+  std::unordered_map<Conn*, std::shared_ptr<Conn>> conns;
+  {
+    MutexLock lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& [ptr, conn] : conns) conn->CloseFdOnce();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-
-  // Claim every live connection, then tear down outside the lock: the
-  // shutdown wakes handlers blocked in ReadFrame, the join waits for
-  // them to finish, and the close happens only after the join so no
-  // handler ever reads a closed (possibly reused) descriptor.
-  std::unordered_map<int, std::thread> conns;
-  std::vector<std::thread> finished;
-  {
-    MutexLock lock(conns_mu_);
-    conns.swap(conns_);
-    finished.swap(finished_);
-    for (const auto& [fd, thread] : conns) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (auto& [fd, thread] : conns) {
-    if (thread.joinable()) thread.join();
-    ::close(fd);
-  }
-  for (auto& thread : finished) {
-    if (thread.joinable()) thread.join();
-  }
   ::unlink(socket_path_.c_str());
 }
 
-void UdsServer::AcceptLoop() {
-  while (running_.load(std::memory_order_acquire)) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listening socket closed by Stop()
-    }
-    // Reap handlers that ended on natural disconnects so neither the
-    // thread handles nor the map grow with connection churn. Claim the
-    // handles under the lock, join after releasing it: the joins are
-    // near-instant (those threads have already returned), but a join is
-    // still a blocking call, and a handler finishing right now needs
-    // conns_mu_ to park itself in finished_.
-    std::vector<std::thread> finished;
-    {
-      MutexLock lock(conns_mu_);
-      finished.swap(finished_);
-      // The handler may look itself up immediately; it blocks on
-      // conns_mu_ until this insertion is published.
-      conns_.emplace(fd, std::thread([this, fd] { HandleConnection(fd); }));
-    }
-    for (auto& thread : finished) {
-      if (thread.joinable()) thread.join();
-    }
-  }
+std::string_view UdsServer::engine_name() const {
+  return engine_ != nullptr ? engine_->name() : std::string_view("none");
 }
 
-void UdsServer::HandleConnection(int fd) {
-  // Pass-through reads for this connection land here; reusing the vector
-  // across requests keeps the fallback path allocation-free at steady
-  // state.
-  std::vector<std::byte> scratch;
-  while (running_.load(std::memory_order_acquire)) {
-    auto frame = ReadFrame(fd);
-    if (!frame.ok()) break;  // peer closed or connection error
-    auto req = DecodeRequest(*frame);
-    Status sent = Status::Ok();
-    if (!req.ok()) {
-      sent = WriteResponseFrame(fd, req.status().code(), 0, {});
-    } else if (req->op == Op::kRead) {
-      sent = HandleRead(fd, *req, scratch);
-    } else {
-      const Response resp = Dispatch(*req);
-      sent = WriteResponseFrame(fd, resp.code, resp.value, resp.data);
-    }
-    if (!sent.ok()) break;
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-  }
-  // Natural disconnect: remove our entry and close the fd; the accept
-  // loop joins the parked thread handle later. If the entry is gone,
-  // Stop() claimed the map and owns both the join and the close.
+std::size_t UdsServer::server_threads() const {
+  return engine_ != nullptr ? engine_->thread_count() : 0;
+}
+
+std::size_t UdsServer::active_connections() const {
   MutexLock lock(conns_mu_);
-  const auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  finished_.push_back(std::move(it->second));
-  conns_.erase(it);
-  ::close(fd);
+  return conns_.size();
+}
+
+void UdsServer::Unregister(Conn* conn) {
+  std::shared_ptr<Conn> owned;
+  {
+    MutexLock lock(conns_mu_);
+    auto it = conns_.find(conn);
+    if (it == conns_.end()) return;  // Stop() claimed the registry
+    owned = std::move(it->second);
+    conns_.erase(it);
+  }
+  owned->CloseFdOnce();
+}
+
+// --- Accept path -------------------------------------------------------
+
+void UdsServer::ArmAccept() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  engine_->LoopAt(0).AsyncAccept(listen_fd_, {&UdsServer::OnAccept, this});
+}
+
+void UdsServer::OnAccept(void* ctx, int res) {
+  auto* server = static_cast<UdsServer*>(ctx);
+  if (res < 0) {
+    // -ECANCELED is the engine draining at Stop; other errors (EMFILE,
+    // peer reset before accept) re-arm and keep serving.
+    if (res == -ECANCELED ||
+        !server->running_.load(std::memory_order_acquire)) {
+      return;
+    }
+    server->ArmAccept();
+    return;
+  }
+  server->HandleAccepted(res);
+  server->ArmAccept();
+}
+
+/// Finishes teardown once every engine op has completed (stage ops are
+/// deliberately excluded: a request parked on the sample buffer must not
+/// pin teardown — its completion finds the connection closed and drops).
+void UdsServer::MaybeFinishClose(const std::shared_ptr<Conn>& conn) {
+  if (!conn->closing || conn->io_pending > 0) return;
+  conn->server->Unregister(conn.get());
+}
+
+void UdsServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  if (conn->closing) return;
+  conn->closing = true;
+  if (conn->recv_op != 0) conn->loop->Cancel(conn->recv_op);
+  if (conn->send_op != 0) conn->loop->Cancel(conn->send_op);
+  // Drop payload references eagerly; the pooled bytes go back to their
+  // free list without waiting for the registry erase.
+  conn->send_view = dataplane::SampleView{};
+  conn->send_payload = {};
+  MaybeFinishClose(conn);
+}
+
+void UdsServer::StartRecv(const std::shared_ptr<Conn>& conn) {
+  if (conn->closing) return;
+  const auto window = conn->assembler.RecvWindow();
+  ++conn->io_pending;
+  conn->recv_op = conn->loop->AsyncRecvSome(
+      conn->fd.load(std::memory_order_acquire), window,
+      {&UdsServer::OnRecv, new Conn::Cell{conn}});
 }
 
 PRISMA_HOT_PATH
-Status UdsServer::HandleRead(int fd, const Request& req,
-                             std::vector<std::byte>& scratch) {
-  if (req.length > kMaxFrameBytes / 2) {
-    return WriteResponseFrame(fd, StatusCode::kInvalidArgument, 0, {});
+void UdsServer::OnRecv(void* ctx, int res) {
+  std::unique_ptr<Conn::Cell> cell(static_cast<Conn::Cell*>(ctx));
+  const auto& conn = cell->conn;
+  --conn->io_pending;
+  conn->recv_op = 0;
+  if (conn->closing) {
+    MaybeFinishClose(conn);
+    return;
   }
-  // Zero-copy fast path: a buffered sample is served by reference — the
-  // view's refcount keeps the payload alive through the sendmsg, so the
-  // bytes go from the producer's pooled buffer straight to the socket.
-  auto view = stage_->ReadRef(req.path, req.offset,
-                              static_cast<std::size_t>(req.length));
-  if (view.ok()) {
-    const auto data = view->data();
-    return WriteResponseFrame(fd, StatusCode::kOk, data.size(), data);
+  if (res <= 0) {
+    // 0 = orderly peer close; < 0 = connection error or engine drain.
+    // prisma-lint: allow(hot-path-purity, connection teardown: cancel
+    // bookkeeping allocates once per close, never per served sample)
+    CloseConn(conn);
+    return;
   }
-  if (view.status().code() != StatusCode::kFailedPrecondition) {
-    return WriteResponseFrame(fd, view.status().code(), 0, {});
+  if (!conn->assembler.Commit(static_cast<std::size_t>(res)).ok()) {
+    // prisma-lint: allow(hot-path-purity, teardown on corrupt frame,
+    // once per connection lifetime)
+    CloseConn(conn);  // corrupt length prefix
+    return;
   }
-  // prisma-lint: allow(hot-path-purity, pass-through fallback: only
-  // unannounced paths and failed-over samples land here, and the scratch
-  // buffer amortizes to its high-water mark)
-  return HandleReadPassThrough(fd, req, scratch);
+  if (!conn->assembler.HasFrame()) {
+    // prisma-lint: allow(hot-path-purity, one completion cell per recv
+    // op; freed by the exactly-once completion)
+    StartRecv(conn);
+    return;
+  }
+  auto req = DecodeRequest(conn->assembler.Frame());
+  conn->assembler.Reset();
+  if (!req.ok()) {
+    // Malformed request: report the decode error in-band.
+    EncodeFramedResponseHeader(conn->send_header, req.status().code(), 0, 0);
+    conn->send_payload = {};
+    conn->send_total = kFramedResponseHeaderBytes;
+    conn->send_done = 0;
+    SubmitSend(conn);
+    return;
+  }
+  conn->server->RunRequest(conn, std::move(*req));
 }
 
-Status UdsServer::HandleReadPassThrough(int fd, const Request& req,
-                                        std::vector<std::byte>& scratch) {
-  // Clamp the staging allocation to the bytes the file can actually
-  // yield — a huge req.length must not force a huge buffer.
-  const auto size = stage_->FileSize(req.path);
-  if (!size.ok()) {
-    return WriteResponseFrame(fd, size.status().code(), 0, {});
+/// Arms the next gather send for whatever remains of the response.
+PRISMA_HOT_PATH
+void UdsServer::SubmitSend(const std::shared_ptr<Conn>& conn) {
+  iovec iov[2];
+  unsigned iov_count = 0;
+  std::size_t skip = conn->send_done;
+  if (skip < kFramedResponseHeaderBytes) {
+    iov[iov_count].iov_base = conn->send_header + skip;
+    iov[iov_count].iov_len = kFramedResponseHeaderBytes - skip;
+    ++iov_count;
+    skip = 0;
+  } else {
+    skip -= kFramedResponseHeaderBytes;
   }
-  const std::uint64_t avail = req.offset < *size ? *size - req.offset : 0;
-  const auto want =
-      static_cast<std::size_t>(std::min<std::uint64_t>(req.length, avail));
-  if (scratch.size() < want) scratch.resize(want);
-  auto n = stage_->Read(req.path, req.offset, std::span(scratch).first(want));
-  if (!n.ok()) {
-    return WriteResponseFrame(fd, n.status().code(), 0, {});
+  if (skip < conn->send_payload.size()) {
+    iov[iov_count].iov_base =
+        const_cast<std::byte*>(conn->send_payload.data() + skip);
+    iov[iov_count].iov_len = conn->send_payload.size() - skip;
+    ++iov_count;
   }
-  return WriteResponseFrame(fd, StatusCode::kOk, *n,
-                            std::span<const std::byte>(scratch).first(*n));
+  ++conn->io_pending;
+  conn->send_op = conn->loop->AsyncSendSome(
+      conn->fd.load(std::memory_order_acquire), iov, iov_count,
+      // prisma-lint: allow(hot-path-purity, one completion cell per
+      // send op; freed by the exactly-once completion)
+      {&UdsServer::OnSend, new Conn::Cell{conn}});
+}
+
+PRISMA_HOT_PATH
+void UdsServer::OnSend(void* ctx, int res) {
+  std::unique_ptr<Conn::Cell> cell(static_cast<Conn::Cell*>(ctx));
+  const auto& conn = cell->conn;
+  --conn->io_pending;
+  conn->send_op = 0;
+  if (conn->closing) {
+    MaybeFinishClose(conn);
+    return;
+  }
+  if (res < 0) {
+    // prisma-lint: allow(hot-path-purity, connection teardown: cancel
+    // bookkeeping allocates once per close, never per served sample)
+    CloseConn(conn);
+    return;
+  }
+  conn->send_done += static_cast<std::size_t>(res);
+  if (conn->send_done < conn->send_total) {
+    // Partial send (socket buffer full): resubmit the remainder — this
+    // is the reactor's backpressure loop, no thread parks.
+    SubmitSend(conn);
+    return;
+  }
+  // Response fully shipped: release the payload reference and pipeline
+  // the next request.
+  conn->send_view = dataplane::SampleView{};
+  conn->send_payload = {};
+  conn->send_data.clear();
+  conn->server->requests_served_.fetch_add(1, std::memory_order_relaxed);
+  // prisma-lint: allow(hot-path-purity, one completion cell per recv
+  // op; freed by the exactly-once completion)
+  StartRecv(conn);
+}
+
+/// Begins a response send (loop thread). `payload` must alias storage
+/// that lives in the conn (send_view / send_data / scratch).
+void UdsServer::StartSend(const std::shared_ptr<Conn>& conn, StatusCode code,
+                          std::uint64_t value,
+                          std::span<const std::byte> payload) {
+  EncodeFramedResponseHeader(conn->send_header, code, value,
+                             static_cast<std::uint32_t>(payload.size()));
+  conn->send_payload = payload;
+  conn->send_total = kFramedResponseHeaderBytes + payload.size();
+  conn->send_done = 0;
+  SubmitSend(conn);
+}
+
+void UdsServer::HandleAccepted(int fd) {
+  if (!running_.load(std::memory_order_acquire)) {
+    ::close(fd);
+    return;
+  }
+  auto conn = std::make_shared<Conn>();
+  conn->server = this;
+  conn->engine = engine_;
+  const std::size_t idx =
+      next_loop_.fetch_add(1, std::memory_order_relaxed) %
+      engine_->worker_count();
+  conn->loop = &engine_->LoopAt(idx);
+  conn->fd.store(fd, std::memory_order_release);
+  {
+    MutexLock lock(conns_mu_);
+    conns_.emplace(conn.get(), conn);
+  }
+  // The conn's state machine runs on its own loop; hop there to arm the
+  // first recv (we are on loop 0, the accept loop).
+  conn->loop->Post([conn] { StartRecv(conn); });
+}
+
+PRISMA_HOT_PATH
+void UdsServer::RunRequest(const std::shared_ptr<Conn>& conn, Request req) {
+  if (req.op == Op::kPing) {
+    // prisma-lint: allow(hot-path-purity, one completion cell per send
+    // op; freed by the exactly-once completion)
+    StartSend(conn, StatusCode::kOk, 0, {});
+    return;
+  }
+  if (req.op == Op::kRead) {
+    if (req.length > kMaxFrameBytes / 2) {
+      // prisma-lint: allow(hot-path-purity, error reply, once per
+      // malformed request)
+      StartSend(conn, StatusCode::kInvalidArgument, 0, {});
+      return;
+    }
+    conn->in_stage = true;
+    // Zero-copy fast path: the stage's async ReadRef completes from the
+    // delivering producer when the sample is still in flight — no
+    // parked thread, and the payload travels by reference to the
+    // gather-send.
+    // prisma-lint: allow(hot-path-purity, one state record per in-flight
+    // request; freed by the exactly-once completion)
+    auto* rc = new Conn::RefCtx{this, conn, std::move(req)};
+    stage_->ReadRefAsync(rc->req.path, rc->req.offset,
+                         static_cast<std::size_t>(rc->req.length),
+                         engine_->Offload(), {&UdsServer::OnReadRef, rc});
+    return;
+  }
+  // Control-plane ops (FileSize, BeginEpoch, Stats) call into the stage
+  // and may block; they run on the bounded offload pool.
+  conn->in_stage = true;
+  // prisma-lint: allow(hot-path-purity, control-plane ops are rare;
+  // the future state is one allocation per FileSize/BeginEpoch/Stats)
+  engine_->Offload().Submit([this, conn, req = std::move(req)] {
+    Response resp = Dispatch(req);
+    conn->loop->Post([conn, resp = std::move(resp)] {
+      conn->in_stage = false;
+      if (conn->closing) {
+        MaybeFinishClose(conn);
+        return;
+      }
+      conn->send_data = std::move(resp.data);
+      StartSend(conn, resp.code, resp.value, conn->send_data);
+    });
+  });
+}
+
+// prisma-lint: allow(no-payload-copy, waiter callback signature: the
+// view arrives by value because it is refcounted, not deep-copied)
+void UdsServer::OnReadRef(void* ctx, Result<dataplane::SampleView> view) {
+  // Runs on whatever thread made the bytes available (the calling loop
+  // thread for resident samples, a producer for in-flight ones, the
+  // offload pool for fallbacks). Hop to the connection's loop; if the
+  // engine has stopped, the Post destroys the task and the shared_ptr
+  // references unwind the connection.
+  auto* rc = static_cast<Conn::RefCtx*>(ctx);
+  rc->view = std::move(view);
+  std::shared_ptr<Conn::RefCtx> owned(rc);
+  EventLoop* loop = rc->conn->loop;
+  loop->Post([owned] {
+    const auto& conn = owned->conn;
+    conn->in_stage = false;
+    if (conn->closing) {
+      MaybeFinishClose(conn);
+      return;
+    }
+    if (owned->view.ok()) {
+      conn->send_view = std::move(*owned->view);
+      StartSend(conn, StatusCode::kOk, conn->send_view.length,
+                conn->send_view.data());
+      return;
+    }
+    if (owned->view.status().code() != StatusCode::kFailedPrecondition) {
+      StartSend(conn, owned->view.status().code(), 0, {});
+      return;
+    }
+    // Unannounced path or failed-over sample: blocking pass-through.
+    owned->server->PassThroughRead(conn, owned->req);
+  });
+}
+
+void UdsServer::PassThroughRead(const std::shared_ptr<Conn>& conn,
+                                const Request& req) {
+  conn->in_stage = true;
+  engine_->Offload().Submit([this, conn, req] {
+    // Clamp the staging allocation to the bytes the file can actually
+    // yield — a huge req.length must not force a huge buffer.
+    StatusCode code = StatusCode::kOk;
+    std::size_t n = 0;
+    const auto size = stage_->FileSize(req.path);
+    if (!size.ok()) {
+      code = size.status().code();
+    } else {
+      const std::uint64_t avail =
+          req.offset < *size ? *size - req.offset : 0;
+      const auto want =
+          static_cast<std::size_t>(std::min<std::uint64_t>(req.length, avail));
+      if (conn->scratch.size() < want) conn->scratch.resize(want);
+      auto got = stage_->Read(req.path, req.offset,
+                              std::span(conn->scratch).first(want));
+      if (!got.ok()) {
+        code = got.status().code();
+      } else {
+        n = *got;
+      }
+    }
+    conn->loop->Post([conn, code, n] {
+      conn->in_stage = false;
+      if (conn->closing) {
+        MaybeFinishClose(conn);
+        return;
+      }
+      if (code != StatusCode::kOk) {
+        StartSend(conn, code, 0, {});
+        return;
+      }
+      StartSend(conn, StatusCode::kOk, n,
+                std::span<const std::byte>(conn->scratch).first(n));
+    });
+  });
 }
 
 Response UdsServer::Dispatch(const Request& req) {
@@ -206,7 +506,8 @@ Response UdsServer::Dispatch(const Request& req) {
     case Op::kPing:
       break;
     case Op::kRead:
-      // Handled by HandleRead (needs the fd for the zero-copy send).
+      // Handled by RunRequest's async path (needs the connection for the
+      // zero-copy send).
       resp.code = StatusCode::kInternal;
       break;
     case Op::kFileSize: {
@@ -233,11 +534,6 @@ Response UdsServer::Dispatch(const Request& req) {
     }
   }
   return resp;
-}
-
-std::size_t UdsServer::active_connections() const {
-  MutexLock lock(conns_mu_);
-  return conns_.size();
 }
 
 }  // namespace prisma::ipc

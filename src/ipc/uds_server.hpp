@@ -1,17 +1,27 @@
 // PRISMA UDS server: exposes one data-plane stage to external worker
-// *processes* (the PyTorch integration of paper §IV). Each accepted
-// connection gets a handler thread; requests on a connection are served
-// in order. The stage itself is shared — its SampleBuffer lock is the
-// synchronization point the paper identifies as the 8+-worker bottleneck.
+// *processes* (the PyTorch integration of paper §IV).
+//
+// Reactor model: an EventEngine worker pool (io_uring with epoll
+// fallback — see common/event_engine.hpp) drives every connection as a
+// non-blocking state machine. Each accepted connection is pinned to one
+// event loop; requests on a connection are served in order (recv frame
+// -> dispatch -> gather-send response). Blocking stage work (pass-through
+// reads, stats, epoch announcements) runs on the engine's bounded
+// offload pool, and buffered kRead requests ride the stage's native
+// async path (SampleBuffer::TakeAsync) — so server threads stay O(cores)
+// no matter how many workers connect, where the old model parked one
+// thread per connection.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
-#include <thread>
+#include <string_view>
 #include <unordered_map>
-#include <vector>
 
+#include "common/event_engine.hpp"
 #include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "dataplane/stage.hpp"
@@ -21,16 +31,29 @@ namespace prisma::ipc {
 
 class UdsServer {
  public:
+  struct Options {
+    /// Engine selection + sizing (kind, workers, uring_entries,
+    /// offload_threads). Defaults pick io_uring when available and
+    /// O(cores) worker loops.
+    EventEngineOptions engine;
+  };
+
   UdsServer(std::string socket_path, std::shared_ptr<dataplane::Stage> stage);
+  UdsServer(std::string socket_path, std::shared_ptr<dataplane::Stage> stage,
+            Options options);
   ~UdsServer();
 
   UdsServer(const UdsServer&) = delete;
   UdsServer& operator=(const UdsServer&) = delete;
 
-  /// Binds, listens, and spawns the accept loop.
+  /// Binds, listens, starts the engine, and arms the async accept.
   Status Start();
 
-  /// Stops accepting, closes all connections, joins all threads.
+  /// Deterministic, prompt teardown: stops the engine (every pending
+  /// operation drains with exactly one -ECANCELED completion), closes
+  /// every connection, and unlinks the socket. Does NOT wait for
+  /// requests still parked on the stage's sample buffer — those
+  /// complete against a closed connection and are dropped. Idempotent.
   void Stop();
 
   const std::string& socket_path() const { return socket_path_; }
@@ -39,42 +62,67 @@ class UdsServer {
   }
   std::size_t active_connections() const EXCLUDES(conns_mu_);
 
+  /// The engine actually selected ("io_uring" or "epoll"); valid after
+  /// Start().
+  std::string_view engine_name() const;
+  /// Total threads the server owns (event loops + offload pool) — the
+  /// number the throughput bench reports against consumer count.
+  std::size_t server_threads() const;
+
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
-  /// kRead: serves the buffered sample by reference (scatter-gather send
-  /// of header + payload, no intermediate buffer); pass-through reads
-  /// land in `scratch`, clamped to the file's actual size. Sends the
-  /// response itself; returns the send status.
-  Status HandleRead(int fd, const Request& req,
-                    std::vector<std::byte>& scratch);
-  /// Pass-through fallback for HandleRead (unannounced paths, failed-over
-  /// samples): stages the file bytes through `scratch`. Deliberately NOT
-  /// hot — the zero-copy ReadRef branch is the audited fast path.
-  Status HandleReadPassThrough(int fd, const Request& req,
-                               std::vector<std::byte>& scratch);
+  /// Per-connection reactor state (defined in the .cpp). Owned by the
+  /// registry via shared_ptr; operations in flight on the stage hold
+  /// extra references, so a connection torn down mid-request stays a
+  /// valid (inert) object until its last completion lands.
+  struct Conn;
+
+  static void OnAccept(void* ctx, int res);
+  void ArmAccept();
+  void HandleAccepted(int fd);
+  // Connection state-machine steps (loop thread of the conn). Static so
+  // completions that outlive the server still run against the conn's own
+  // shared state.
+  static void StartRecv(const std::shared_ptr<Conn>& conn);
+  static void OnRecv(void* ctx, int res);
+  static void SubmitSend(const std::shared_ptr<Conn>& conn);
+  static void OnSend(void* ctx, int res);
+  static void StartSend(const std::shared_ptr<Conn>& conn, StatusCode code,
+                        std::uint64_t value, std::span<const std::byte> payload);
+  static void CloseConn(const std::shared_ptr<Conn>& conn);
+  static void MaybeFinishClose(const std::shared_ptr<Conn>& conn);
+  /// Runs the decoded request for `conn` (loop thread). kRead rides the
+  /// stage's async path; everything else offloads Dispatch.
+  void RunRequest(const std::shared_ptr<Conn>& conn, Request req);
+  static void OnReadRef(void* ctx, Result<dataplane::SampleView> view);
+  /// Blocking pass-through fallback (offload pool): stages the bytes
+  /// through conn->scratch and posts the send back to the loop.
+  void PassThroughRead(const std::shared_ptr<Conn>& conn, const Request& req);
   Response Dispatch(const Request& req);
+  /// Removes `conn` from the registry (close-once of the fd). Safe from
+  /// any thread.
+  void Unregister(Conn* conn) EXCLUDES(conns_mu_);
 
   std::string socket_path_;  // prisma-lint: unguarded(immutable after construction)
   // prisma-lint: unguarded(immutable after construction)
   std::shared_ptr<dataplane::Stage> stage_;
+  Options options_;  // prisma-lint: unguarded(immutable after construction)
 
+  // The engine is shared (not unique) so stage completions that outlive
+  // a connection — e.g. a TakeAsync waiter delivered after Stop() — can
+  // still Post safely: Post to a stopped engine destroys the task, and
+  // the waiter's reference keeps the engine object alive to receive it.
+  // prisma-lint: unguarded(written only in Start/Stop, serialized by the running_ CAS)
+  std::shared_ptr<EventEngine> engine_;
   // prisma-lint: unguarded(written only in Start/Stop, serialized by the running_ CAS)
   int listen_fd_ = -1;
-  // prisma-lint: unguarded(written only in Start/Stop, serialized by the running_ CAS)
-  std::thread accept_thread_;
   std::atomic<bool> running_{false};
+  std::atomic<std::size_t> next_loop_{0};  // round-robin conn placement
 
-  // Connection lifecycle: the accept loop inserts fd -> handler thread;
-  // on natural disconnect the handler removes its own entry, closes the
-  // fd, and parks its thread handle in finished_ for the accept loop (or
-  // Stop) to join. Stop() claims the whole map instead: it shuts every
-  // fd down, joins the handlers, then closes. Whoever removes an entry
-  // owns the close, so an fd is never closed twice or after the kernel
-  // reused its number.
+  // Live connections. Whoever erases an entry owns the fd close (the
+  // Conn closes once via an atomic fd swap), so an fd is never closed
+  // twice or after the kernel reused its number.
   mutable Mutex conns_mu_{LockRank::kRegistry};
-  std::unordered_map<int, std::thread> conns_ GUARDED_BY(conns_mu_);
-  std::vector<std::thread> finished_ GUARDED_BY(conns_mu_);
+  std::unordered_map<Conn*, std::shared_ptr<Conn>> conns_ GUARDED_BY(conns_mu_);
   std::atomic<std::uint64_t> requests_served_{0};
 };
 

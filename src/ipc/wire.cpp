@@ -401,6 +401,57 @@ Status DrainResponseData(int fd, std::size_t n) {
   return Status::Ok();
 }
 
+PRISMA_HOT_PATH
+std::span<std::byte> FrameAssembler::RecvWindow() {
+  if (!have_len_) {
+    return {prefix_ + prefix_got_, sizeof(prefix_) - prefix_got_};
+  }
+  return {payload_.data() + payload_got_, payload_len_ - payload_got_};
+}
+
+PRISMA_HOT_PATH
+Status FrameAssembler::Commit(std::size_t n) {
+  if (!have_len_) {
+    prefix_got_ += n;
+    if (prefix_got_ < sizeof(prefix_)) return Status::Ok();
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(prefix_[i]) << (8 * i);
+    }
+    if (len > kMaxFrameBytes) {
+      return Status::InvalidArgument("frame too large: " +
+                                     std::to_string(len));
+    }
+    have_len_ = true;
+    payload_len_ = len;
+    payload_got_ = 0;
+    if (payload_.size() < len) {
+      // prisma-lint: allow(hot-path-purity, frame buffer growth amortizes
+      // to the largest frame on the connection; zero at steady state)
+      payload_.resize(len);
+    }
+    return Status::Ok();
+  }
+  payload_got_ += n;
+  return Status::Ok();
+}
+
+void FrameAssembler::Reset() {
+  prefix_got_ = 0;
+  have_len_ = false;
+  payload_len_ = 0;
+  payload_got_ = 0;
+}
+
+PRISMA_HOT_PATH
+void EncodeFramedResponseHeader(std::byte* out, StatusCode code,
+                                std::uint64_t value, std::uint32_t data_len) {
+  PutU32At(out, static_cast<std::uint32_t>(kResponseHeaderBytes + data_len));
+  PutU8At(out + 4, static_cast<std::uint8_t>(code));
+  PutU64At(out + 5, value);
+  PutU32At(out + 13, data_len);
+}
+
 std::vector<std::byte> EncodeStatsPayload(
     const dataplane::StageStatsSnapshot& stats) {
   std::vector<std::byte> out;

@@ -98,6 +98,61 @@ Status DrainResponseData(int fd, std::size_t n);
 /// Upper bound accepted by ReadFrame (guards against corrupt prefixes).
 inline constexpr std::uint32_t kMaxFrameBytes = 256u * 1024 * 1024;
 
+// --- Non-blocking incremental framing (reactor data plane) -------------
+//
+// The blocking ReadFrame/WriteResponseFrame pair parks a thread per
+// connection. The reactor server instead drives partial recv/send
+// completions through these pieces: FrameAssembler turns an arbitrary
+// byte stream into frames without ever blocking, and
+// EncodeFramedResponseHeader renders the frame prefix + response header
+// into caller storage so one gather-send [header | payload] ships a
+// response with zero copies of the payload.
+
+/// Incremental decoder for [u32 len][payload] frames. Usage per recv
+/// completion:  recv into RecvWindow()  ->  Commit(n)  ->  if HasFrame()
+/// consume Frame() and Reset(). The payload buffer is reused across
+/// frames, so steady state allocates nothing once it has grown to the
+/// largest frame seen.
+class FrameAssembler {
+ public:
+  /// Where the next recv should land (prefix remainder or payload
+  /// remainder). Empty only while HasFrame() — Reset() first.
+  std::span<std::byte> RecvWindow();
+
+  /// Accounts `n` bytes received into the last RecvWindow(). Fails on a
+  /// corrupt length prefix (> kMaxFrameBytes).
+  Status Commit(std::size_t n);
+
+  bool HasFrame() const { return have_len_ && payload_got_ == payload_len_; }
+
+  /// The completed frame payload; valid until Reset().
+  std::span<const std::byte> Frame() const {
+    return {payload_.data(), payload_len_};
+  }
+
+  /// Discards the completed frame and starts the next one.
+  void Reset();
+
+ private:
+  std::byte prefix_[4] = {};
+  std::size_t prefix_got_ = 0;
+  bool have_len_ = false;
+  std::uint32_t payload_len_ = 0;
+  std::size_t payload_got_ = 0;
+  std::vector<std::byte> payload_;
+};
+
+/// [u32 frame_len][u8 code][u64 value][u32 data_len]: everything before
+/// the data bytes of a framed response.
+inline constexpr std::size_t kFramedResponseHeaderBytes =
+    4 + kResponseHeaderBytes;
+
+/// Renders the frame prefix + response header for a response whose data
+/// section is `data_len` bytes. The bytes on the wire (header followed
+/// by the data) are identical to WriteResponseFrame's.
+void EncodeFramedResponseHeader(std::byte* out, StatusCode code,
+                                std::uint64_t value, std::uint32_t data_len);
+
 // --- kStats payload (versioned) ----------------------------------------
 //
 // v1 (legacy): exactly 24 bytes — [u64 producers][u64 buffer_capacity]

@@ -1,5 +1,7 @@
 #include "storage/backend.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace prisma::storage {
 
 Result<std::vector<std::byte>> StorageBackend::ReadAll(const std::string& path) {
@@ -35,6 +37,18 @@ Result<SamplePayload> StorageBackend::ReadAllShared(
     done += *n;
   }
   return std::move(writer).Freeze(done);
+}
+
+void StorageBackend::ReadAllSharedAsync(const std::string& path,
+                                        const std::shared_ptr<BufferPool>& pool,
+                                        const AsyncIo& io, PayloadCallback cb) {
+  if (io.offload == nullptr) {
+    cb.fn(cb.ctx, Status::InvalidArgument("async read needs an offload pool"));
+    return;
+  }
+  io.offload->Submit([this, path, pool, cb] {
+    cb.fn(cb.ctx, ReadAllShared(path, pool));
+  });
 }
 
 }  // namespace prisma::storage

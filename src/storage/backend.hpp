@@ -16,6 +16,11 @@
 #include "common/buffer_pool.hpp"
 #include "common/status.hpp"
 
+namespace prisma {
+class EventLoop;
+class ThreadPool;
+}  // namespace prisma
+
 namespace prisma::storage {
 
 /// Aggregated backend counters (monotonic).
@@ -48,6 +53,33 @@ class StorageBackend {
   /// overriding this.
   virtual Result<SamplePayload> ReadAllShared(
       const std::string& path, const std::shared_ptr<BufferPool>& pool);
+
+  /// Completion callback for asynchronous whole-file reads. Raw
+  /// {function pointer, context} — the async read path is hot and must
+  /// not allocate per operation beyond its own state record.
+  struct PayloadCallback {
+    void (*fn)(void* ctx, Result<SamplePayload> result) = nullptr;
+    void* ctx = nullptr;
+  };
+
+  /// Execution context for async reads. `offload` (required) runs work
+  /// that may block; `loop` (optional) drives kernel-async I/O for
+  /// backends that support it. Both must outlive the completion.
+  struct AsyncIo {
+    EventLoop* loop = nullptr;
+    ThreadPool* offload = nullptr;
+  };
+
+  /// Non-blocking ReadAllShared for the reactor data plane: never blocks
+  /// the calling thread; the callback fires exactly once, on an
+  /// unspecified thread (possibly synchronously for immediate errors).
+  /// The default offloads the blocking ReadAllShared to `io.offload`, so
+  /// decorator backends (fault injection, rate limiting) keep their
+  /// semantics without overriding; PosixBackend overrides to drive the
+  /// reads through `io.loop`'s kernel-async file I/O when available.
+  virtual void ReadAllSharedAsync(const std::string& path,
+                                  const std::shared_ptr<BufferPool>& pool,
+                                  const AsyncIo& io, PayloadCallback cb);
 
   /// Creates/overwrites `path` with `data` (used by the dataset
   /// materializer and the tiering optimization object).

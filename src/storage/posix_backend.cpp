@@ -6,6 +6,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <utility>
+
+#include "common/event_engine.hpp"
+#include "common/thread_pool.hpp"
 
 namespace prisma::storage {
 namespace {
@@ -92,6 +96,95 @@ Result<SamplePayload> PosixBackend::ReadAllShared(
   reads_.fetch_add(1, std::memory_order_relaxed);
   bytes_read_.fetch_add(done, std::memory_order_relaxed);
   return std::move(writer).Freeze(done);
+}
+
+struct PosixBackend::AsyncWholeRead {
+  PosixBackend* backend = nullptr;
+  EventLoop* loop = nullptr;
+  int fd = -1;
+  PayloadWriter writer;
+  std::size_t total = 0;
+  std::size_t done = 0;
+  PayloadCallback cb;
+  std::string full;  // resolved path, for error messages
+
+  ~AsyncWholeRead() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void PosixBackend::ReadAllSharedAsync(const std::string& path,
+                                      const std::shared_ptr<BufferPool>& pool,
+                                      const AsyncIo& io, PayloadCallback cb) {
+  if (io.loop == nullptr || io.offload == nullptr) {
+    StorageBackend::ReadAllSharedAsync(path, pool, io, cb);
+    return;
+  }
+  // open/fstat are blocking metadata syscalls, so they run on the
+  // offload pool; the data reads are then kernel-async on the loop.
+  EventLoop* loop = io.loop;
+  io.offload->Submit([this, path, pool, loop, cb] {
+    const auto full = Resolve(path);
+    const int fd = ::open(full.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      cb.fn(cb.ctx, ErrnoStatus("open", full.string()));
+      return;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      const Status s = ErrnoStatus("fstat", full.string());
+      ::close(fd);
+      cb.fn(cb.ctx, s);
+      return;
+    }
+    auto* op = new AsyncWholeRead;
+    op->backend = this;
+    op->loop = loop;
+    op->fd = fd;
+    op->total = static_cast<std::size_t>(st.st_size);
+    op->writer = pool->Acquire(op->total);
+    op->cb = cb;
+    op->full = full.string();
+    if (op->total == 0) {
+      reads_.fetch_add(1, std::memory_order_relaxed);
+      cb.fn(cb.ctx, std::move(op->writer).Freeze(0));
+      delete op;
+      return;
+    }
+    // AsyncReadFile is loop-thread-only; hop there to start the chain.
+    loop->Post([op] { StepAsyncRead(op); });
+  });
+}
+
+void PosixBackend::StepAsyncRead(AsyncWholeRead* op) {
+  op->loop->AsyncReadFile(
+      op->fd, op->writer.span().subspan(op->done, op->total - op->done),
+      op->done, {&PosixBackend::OnAsyncReadChunk, op});
+}
+
+void PosixBackend::OnAsyncReadChunk(void* ctx, int res) {
+  auto* op = static_cast<AsyncWholeRead*>(ctx);
+  if (res == -EINTR) {
+    StepAsyncRead(op);
+    return;
+  }
+  if (res < 0) {
+    op->cb.fn(op->cb.ctx, Status::IoError("async read " + op->full + ": " +
+                                          std::strerror(-res)));
+    delete op;
+    return;
+  }
+  op->done += static_cast<std::size_t>(res);
+  if (res > 0 && op->done < op->total) {
+    StepAsyncRead(op);
+    return;
+  }
+  // Complete (res == 0 means the file was truncated concurrently; freeze
+  // what we have, mirroring the blocking path).
+  op->backend->reads_.fetch_add(1, std::memory_order_relaxed);
+  op->backend->bytes_read_.fetch_add(op->done, std::memory_order_relaxed);
+  op->cb.fn(op->cb.ctx, std::move(op->writer).Freeze(op->done));
+  delete op;
 }
 
 Status PosixBackend::Write(const std::string& path,

@@ -26,6 +26,14 @@ class PosixBackend final : public StorageBackend {
   Result<SamplePayload> ReadAllShared(
       const std::string& path,
       const std::shared_ptr<BufferPool>& pool) override;
+  /// With `io.loop` set, the open/fstat run on the offload pool and the
+  /// data reads become kernel-async operations on the loop (io_uring
+  /// READ, or the epoll engine's bounded offload) — the caller's thread
+  /// never blocks and no thread is parked per outstanding read. Without
+  /// a loop this defers to the base blocking-offload implementation.
+  void ReadAllSharedAsync(const std::string& path,
+                          const std::shared_ptr<BufferPool>& pool,
+                          const AsyncIo& io, PayloadCallback cb) override;
   Status Write(const std::string& path, std::span<const std::byte> data) override;
   Status Remove(const std::string& path) override;
   Result<std::uint64_t> FileSize(const std::string& path) override;
@@ -34,7 +42,15 @@ class PosixBackend final : public StorageBackend {
   const std::filesystem::path& root() const { return root_; }
 
  private:
+  /// Heap state of one in-flight ReadAllSharedAsync (defined in the
+  /// .cpp); owns the fd and the payload writer until completion.
+  struct AsyncWholeRead;
+
   std::filesystem::path Resolve(const std::string& path) const;
+  /// Issues the next kernel-async chunk read (loop thread).
+  static void StepAsyncRead(AsyncWholeRead* op);
+  /// Chunk completion: advance, finish, or fail (loop thread).
+  static void OnAsyncReadChunk(void* ctx, int res);
 
   std::filesystem::path root_;
   std::atomic<std::uint64_t> reads_{0};

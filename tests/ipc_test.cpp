@@ -7,7 +7,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "common/rng.hpp"
@@ -735,6 +737,87 @@ TEST(UdsServerTest, SocketPathTooLong) {
   auto stage = std::shared_ptr<dataplane::Stage>();
   UdsServer server(std::string(200, 'x'), stage);
   EXPECT_EQ(server.Start().code(), StatusCode::kInvalidArgument);
+}
+
+// Stop() must be prompt and deterministic no matter what the connections
+// are doing: idle, mid-frame, or parked on a sample that will never
+// arrive (zero producers, so an announced read waits forever on the
+// buffer). The reactor drains engine ops with -ECANCELED and explicitly
+// does NOT wait for buffer-parked requests. Exercised on both engines.
+TEST(UdsShutdownTest, StopIsPromptUnderLoad) {
+  for (const auto kind : {EventEngineOptions::Kind::kAuto,
+                          EventEngineOptions::Kind::kEpoll}) {
+    storage::SyntheticImageNetSpec spec;
+    spec.num_train = 4;
+    spec.num_validation = 0;
+    spec.mean_file_size = 4 * 1024;
+    spec.min_file_size = 1024;
+    auto ds = storage::MakeSyntheticImageNet(spec);
+    storage::SyntheticBackendOptions o;
+    o.profile = storage::DeviceProfile::Instant();
+    o.time_scale = 0.0;
+    auto backend = std::make_shared<storage::SyntheticBackend>(o, ds);
+
+    dataplane::PrefetchOptions po;
+    po.initial_producers = 0;  // announced samples are never produced
+    po.buffer_capacity = 8;
+    auto object = std::make_shared<dataplane::PrefetchObject>(
+        backend, po, SteadyClock::Shared());
+    auto stage = std::make_shared<dataplane::Stage>(
+        dataplane::StageInfo{"shutdown-job", "pytorch", 0}, object);
+    ASSERT_TRUE(stage->Start().ok());
+
+    const std::string path =
+        ::testing::TempDir() + "/prisma_uds_shutdown_" +
+        std::to_string(::getpid()) +
+        (kind == EventEngineOptions::Kind::kEpoll ? "_epoll" : "_auto") +
+        ".sock";
+    UdsServer::Options opts;
+    opts.engine.kind = kind;
+    UdsServer server(path, stage, opts);
+    ASSERT_TRUE(server.Start().ok());
+
+    // 1. An idle connection (handshake done, nothing in flight).
+    UdsClient idle;
+    ASSERT_TRUE(idle.Connect(path).ok());
+    ASSERT_TRUE(idle.Ping().ok());
+
+    // 2. A connection abandoned mid-frame: two bytes of a length prefix
+    // leave the server's assembler waiting for the rest.
+    int raw = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(raw, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const std::byte half[2] = {std::byte{0x10}, std::byte{0x00}};
+    ASSERT_EQ(::write(raw, half, sizeof(half)), 2);
+
+    // 3. A read parked on the sample buffer: the name is announced, so
+    // the reactor registers an async take that no producer will satisfy.
+    UdsClient parked;
+    ASSERT_TRUE(parked.Connect(path).ok());
+    const std::string name = ds.train.At(0).name;
+    ASSERT_TRUE(parked.BeginEpoch(0, {name}).ok());
+    std::thread reader([&parked, &name] {
+      EXPECT_FALSE(parked.ReadAll(name).ok());
+    });
+    // Let the read reach the server and park before pulling the plug.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    server.Stop();
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(elapsed, std::chrono::seconds(2))
+        << "Stop() stalled on engine kind "
+        << (kind == EventEngineOptions::Kind::kEpoll ? "epoll" : "auto");
+
+    reader.join();
+    EXPECT_FALSE(idle.Ping().ok());
+    ::close(raw);
+    stage->Stop();
+  }
 }
 
 }  // namespace

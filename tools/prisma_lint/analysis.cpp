@@ -321,8 +321,8 @@ const std::unordered_set<std::string>& BlockingPrimitives() {
       "read", "write", "pread", "pwrite", "readv", "writev", "preadv",
       "pwritev", "recv", "send", "recvfrom", "sendto", "recvmsg", "sendmsg",
       "accept", "accept4", "connect", "poll", "ppoll", "select", "epoll_wait",
-      "open", "openat", "fsync", "fdatasync", "stat", "fstat", "lstat",
-      "unlink", "rename", "ftruncate",
+      "epoll_pwait", "io_uring_enter", "open", "openat", "fsync", "fdatasync",
+      "stat", "fstat", "lstat", "unlink", "rename", "ftruncate",
       // libc stream I/O.
       "fopen", "fread", "fwrite", "fgets", "fflush", "getline",
       // Sleeps and thread joins.
@@ -1225,6 +1225,23 @@ BorrowResolution ResolveBorrow(
     r.is_view_source = true;
     r.refcounted = true;
     return r;
+  }
+  // An explicit `Result<...>(expr)` wrapper is transparent: the Result
+  // owns whatever `expr` yields, so borrow resolution applies to the
+  // wrapped expression. `Result<SampleView>(SampleView{p, o, n})` hits
+  // the refcounted construction above; `Result<SampleView>(local_view)`
+  // still resolves the local and reports the escape.
+  if (b < e && t[b].text == "Result" && b + 1 < e && t[b + 1].text == "<") {
+    std::size_t p = b + 2;
+    int depth = 1;
+    while (p < e && depth > 0) {
+      if (t[p].text == "<") ++depth;
+      if (t[p].text == ">") --depth;
+      ++p;
+    }
+    if (p < e && t[p].text == "(") {
+      return ResolveBorrow(t, p + 1, e, vars, chain);
+    }
   }
   std::string via;
   for (std::size_t k = b; k < e; ++k) {
